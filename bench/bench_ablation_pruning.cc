@@ -1,0 +1,92 @@
+// Ablation of VALMOD's design choices (the DESIGN.md callouts):
+//   (a) the Eq. 2 lower bound itself         -> disable = STOMP per length
+//   (b) retaining p > 1 entries per profile  -> p = 1
+//   (c) the selective-recompute fallback     -> full STOMP pass on failure
+//   (d) the ComputeSubMP shortcut            -> full profile every length
+// Run on one easy dataset (ECG) and the hard one (EMG). Shape to verify:
+// each removed ingredient costs time, with the shortcut (d) mattering most
+// on easy data and the fallback (c) mattering most on hard data.
+
+#include <cstdio>
+
+#include "baselines/stomp_adapted.h"
+#include "bench_common.h"
+#include "core/valmod.h"
+#include "datasets/registry.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace {
+
+using valmod::Index;
+
+struct Variant {
+  const char* label;
+  valmod::ValmodOptions (*configure)(const valmod::bench::BenchConfig&);
+};
+
+valmod::ValmodOptions Base(const valmod::bench::BenchConfig& config) {
+  valmod::ValmodOptions options;
+  options.len_min = config.len_min;
+  options.len_max = config.len_min + config.range;
+  options.p = config.p;
+  return options;
+}
+
+}  // namespace
+
+int main() {
+  using namespace valmod;
+  const bench::BenchConfig config = bench::LoadConfig();
+  bench::PrintHeader("Ablation: VALMOD design choices", "DESIGN.md ablations",
+                     config);
+
+  const Variant variants[] = {
+      {"VALMOD (full)", [](const bench::BenchConfig& c) { return Base(c); }},
+      {"p = 1",
+       [](const bench::BenchConfig& c) {
+         ValmodOptions o = Base(c);
+         o.p = 1;
+         return o;
+       }},
+      {"no selective recompute",
+       [](const bench::BenchConfig& c) {
+         ValmodOptions o = Base(c);
+         o.sub_mp.allow_selective_recompute = false;
+         return o;
+       }},
+      {"full profile every length",
+       [](const bench::BenchConfig& c) {
+         ValmodOptions o = Base(c);
+         o.emit_per_length_profiles = true;
+         return o;
+       }},
+  };
+
+  Table table({"dataset", "variant", "seconds", "full MP passes",
+               "selective recomputes"});
+  for (const char* name : {"ECG", "EMG"}) {
+    Series series;
+    if (!GenerateByName(name, config.n, &series).ok()) return 1;
+    for (const Variant& variant : variants) {
+      const ValmodOptions options = variant.configure(config);
+      WallTimer timer;
+      const ValmodResult result = RunValmod(series, options);
+      Index selective = 0;
+      for (const LengthStats& ls : result.length_stats) {
+        selective += ls.selective_recomputes;
+      }
+      table.AddRow({name, variant.label, Table::Num(timer.Seconds(), 3),
+                    Table::Int(result.full_mp_computations),
+                    Table::Int(selective)});
+    }
+    // The no-lower-bound-at-all baseline.
+    WallTimer timer;
+    StompPerLength(series, config.len_min, config.len_min + config.range);
+    table.AddRow({name, "no lower bound (STOMP/length)",
+                  Table::Num(timer.Seconds(), 3),
+                  Table::Int(config.range + 1), "0"});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  return 0;
+}

@@ -1,0 +1,49 @@
+#include "bench_common.h"
+
+#include <cstdlib>
+
+namespace valmod {
+namespace bench {
+
+BenchConfig LoadConfig() {
+  BenchConfig config;
+  double scale = 1.0;
+  if (const char* env = std::getenv("VALMOD_BENCH_SCALE")) {
+    const double parsed = std::atof(env);
+    if (parsed > 0.0) scale = parsed;
+  }
+  if (scale != 1.0) {
+    auto scaled = [scale](Index v) {
+      return static_cast<Index>(static_cast<double>(v) * scale);
+    };
+    config.n = scaled(config.n);
+    for (auto& v : config.series_sizes) v = scaled(v);
+    config.cell_deadline_seconds *= scale;
+  }
+  return config;
+}
+
+std::string FormatSeconds(double seconds, bool dnf) {
+  if (dnf) return "DNF";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds);
+  return buf;
+}
+
+void PrintHeader(const char* title, const char* paper_artifact,
+                 const BenchConfig& config) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("Reproduces: %s (VALMOD, SIGMOD'18)\n", paper_artifact);
+  std::printf(
+      "Scaled config: n=%lld len_min=%lld range=%lld p=%lld "
+      "cell-deadline=%.1fs (set VALMOD_BENCH_SCALE to grow)\n",
+      static_cast<long long>(config.n),
+      static_cast<long long>(config.len_min),
+      static_cast<long long>(config.range), static_cast<long long>(config.p),
+      config.cell_deadline_seconds);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace bench
+}  // namespace valmod

@@ -1,0 +1,55 @@
+#ifndef VALMOD_BENCH_BENCH_COMMON_H_
+#define VALMOD_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+#include "util/timer.h"
+
+namespace valmod {
+namespace bench {
+
+/// Scaled-down analogue of the paper's Table 2 benchmark grid. The paper
+/// ran series of 0.1M-1M points with motif lengths 256-4096 on a 4-core
+/// Xeon; this harness targets a single-core container, so every dimension
+/// is scaled by ~1/16 while keeping the ratios (and hence the curve
+/// *shapes*) intact. `VALMOD_BENCH_SCALE` multiplies the series sizes and
+/// cell deadline for larger machines.
+struct BenchConfig {
+  /// Default series size (paper: 0.5M).
+  Index n = 4096;
+  /// Default smallest motif length (paper: 1024).
+  Index len_min = 128;
+  /// Default motif range l_max - l_min (paper: 200).
+  Index range = 16;
+  /// Default number of retained distance-profile entries (paper: 50).
+  Index p = 10;
+  /// Per-cell wall-clock budget before an algorithm is reported DNF
+  /// (the paper: "failed to finish within a reasonable amount of time").
+  double cell_deadline_seconds = 12.0;
+
+  /// Grid values for the swept dimensions (paper values in parentheses).
+  std::vector<Index> motif_lengths = {64, 96, 128, 192, 256};  // (256..4096)
+  std::vector<Index> motif_ranges = {8, 16, 32, 64, 96};       // (100..600)
+  std::vector<Index> series_sizes = {2048, 4096, 8192, 16384,
+                                     24576};                   // (0.1M..1M)
+  std::vector<Index> p_values = {5, 10, 15, 20, 50};           // (5..150)
+};
+
+/// Reads the config, applying the VALMOD_BENCH_SCALE environment variable.
+BenchConfig LoadConfig();
+
+/// Formats seconds, or "DNF" when the deadline was hit.
+std::string FormatSeconds(double seconds, bool dnf);
+
+/// Prints the standard bench header: what experiment this is, which paper
+/// artifact it regenerates, and the active configuration.
+void PrintHeader(const char* title, const char* paper_artifact,
+                 const BenchConfig& config);
+
+}  // namespace bench
+}  // namespace valmod
+
+#endif  // VALMOD_BENCH_BENCH_COMMON_H_

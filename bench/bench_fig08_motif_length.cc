@@ -1,0 +1,71 @@
+// Regenerates Figure 8: scalability for various motif lengths.
+// For each dataset and each l_min of the (scaled) grid, all four algorithms
+// search the range [l_min, l_min + range]. Shape to verify: VALMOD stays
+// roughly flat across l_min; STOMP pays a full matrix profile per length;
+// QUICK MOTIF is erratic (PAA quality depends on the length/data); MOEN
+// degrades as its carried bound loosens. DNF marks a blown cell budget,
+// exactly like the missing points of the paper's plots.
+
+#include <cstdio>
+
+#include "baselines/moen.h"
+#include "baselines/quick_motif.h"
+#include "baselines/stomp_adapted.h"
+#include "bench_common.h"
+#include "core/valmod.h"
+#include "datasets/registry.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace valmod;
+  const bench::BenchConfig config = bench::LoadConfig();
+  bench::PrintHeader("Figure 8: runtime vs motif length (seconds per cell)",
+                     "Figure 8", config);
+
+  Table table({"dataset", "l_min", "VALMOD", "STOMP", "QUICK MOTIF", "MOEN"});
+  for (const DatasetSpec& spec : BenchmarkDatasets()) {
+    const Series series = spec.generator(config.n, spec.default_seed);
+    for (const Index len_min : config.motif_lengths) {
+      const Index len_max = len_min + config.range;
+
+      WallTimer timer;
+      ValmodOptions valmod_options;
+      valmod_options.len_min = len_min;
+      valmod_options.len_max = len_max;
+      valmod_options.p = config.p;
+      valmod_options.deadline =
+          Deadline::After(config.cell_deadline_seconds);
+      const ValmodResult valmod = RunValmod(series, valmod_options);
+      const std::string valmod_time =
+          bench::FormatSeconds(timer.Seconds(), valmod.dnf);
+
+      timer.Reset();
+      const PerLengthMotifs stomp =
+          StompPerLength(series, len_min, len_max,
+                         Deadline::After(config.cell_deadline_seconds));
+      const std::string stomp_time =
+          bench::FormatSeconds(timer.Seconds(), stomp.dnf);
+
+      timer.Reset();
+      QuickMotifOptions quick_options;
+      quick_options.deadline = Deadline::After(config.cell_deadline_seconds);
+      const PerLengthMotifs quick =
+          QuickMotifPerLength(series, len_min, len_max, quick_options);
+      const std::string quick_time =
+          bench::FormatSeconds(timer.Seconds(), quick.dnf);
+
+      timer.Reset();
+      const MoenResult moen =
+          MoenVariableLength(series, len_min, len_max,
+                             Deadline::After(config.cell_deadline_seconds));
+      const std::string moen_time =
+          bench::FormatSeconds(timer.Seconds(), moen.dnf);
+
+      table.AddRow({spec.name, Table::Int(len_min), valmod_time, stomp_time,
+                    quick_time, moen_time});
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+  return 0;
+}

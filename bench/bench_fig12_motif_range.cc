@@ -1,0 +1,71 @@
+// Regenerates Figure 12: scalability with increasing motif length range.
+// Fixed l_min, growing l_max - l_min. Shape to verify: VALMOD grows gently
+// (one matrix profile + cheap ComputeSubMP per extra length); STOMP and
+// QUICK MOTIF grow linearly in the range (one full search per length) and
+// start missing the cell budget; MOEN sits in between but degrades as its
+// carried bound loosens over many length steps.
+
+#include <cstdio>
+
+#include "baselines/moen.h"
+#include "baselines/quick_motif.h"
+#include "baselines/stomp_adapted.h"
+#include "bench_common.h"
+#include "core/valmod.h"
+#include "datasets/registry.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace valmod;
+  const bench::BenchConfig config = bench::LoadConfig();
+  bench::PrintHeader("Figure 12: runtime vs motif length range (seconds)",
+                     "Figure 12", config);
+
+  Table table({"dataset", "range", "VALMOD", "STOMP", "QUICK MOTIF", "MOEN"});
+  for (const DatasetSpec& spec : BenchmarkDatasets()) {
+    const Series series = spec.generator(config.n, spec.default_seed);
+    for (const Index range : config.motif_ranges) {
+      const Index len_min = config.len_min;
+      const Index len_max = len_min + range;
+
+      WallTimer timer;
+      ValmodOptions valmod_options;
+      valmod_options.len_min = len_min;
+      valmod_options.len_max = len_max;
+      valmod_options.p = config.p;
+      valmod_options.deadline =
+          Deadline::After(config.cell_deadline_seconds);
+      const ValmodResult valmod = RunValmod(series, valmod_options);
+      const std::string valmod_time =
+          bench::FormatSeconds(timer.Seconds(), valmod.dnf);
+
+      timer.Reset();
+      const PerLengthMotifs stomp =
+          StompPerLength(series, len_min, len_max,
+                         Deadline::After(config.cell_deadline_seconds));
+      const std::string stomp_time =
+          bench::FormatSeconds(timer.Seconds(), stomp.dnf);
+
+      timer.Reset();
+      QuickMotifOptions quick_options;
+      quick_options.deadline = Deadline::After(config.cell_deadline_seconds);
+      const PerLengthMotifs quick =
+          QuickMotifPerLength(series, len_min, len_max, quick_options);
+      const std::string quick_time =
+          bench::FormatSeconds(timer.Seconds(), quick.dnf);
+
+      timer.Reset();
+      const MoenResult moen =
+          MoenVariableLength(series, len_min, len_max,
+                             Deadline::After(config.cell_deadline_seconds));
+      const std::string moen_time =
+          bench::FormatSeconds(timer.Seconds(), moen.dnf);
+
+      table.AddRow({spec.name, Table::Int(range), valmod_time, stomp_time,
+                    quick_time, moen_time});
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+  return 0;
+}

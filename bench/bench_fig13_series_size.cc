@@ -1,0 +1,70 @@
+// Regenerates Figure 13: scalability with increasing data series size.
+// Fixed l_min and range, growing n. Shape to verify: every algorithm is
+// super-linear in n, but VALMOD pays the quadratic cost once (at l_min)
+// while STOMP/QUICK MOTIF pay it per length, so the gap widens with n and
+// the baselines start hitting the cell budget (DNF) first.
+
+#include <cstdio>
+
+#include "baselines/moen.h"
+#include "baselines/quick_motif.h"
+#include "baselines/stomp_adapted.h"
+#include "bench_common.h"
+#include "core/valmod.h"
+#include "datasets/registry.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace valmod;
+  const bench::BenchConfig config = bench::LoadConfig();
+  bench::PrintHeader("Figure 13: runtime vs data series size (seconds)",
+                     "Figure 13", config);
+
+  Table table({"dataset", "n", "VALMOD", "STOMP", "QUICK MOTIF", "MOEN"});
+  for (const DatasetSpec& spec : BenchmarkDatasets()) {
+    for (const Index n : config.series_sizes) {
+      const Series series = spec.generator(n, spec.default_seed);
+      const Index len_min = config.len_min;
+      const Index len_max = len_min + config.range;
+
+      WallTimer timer;
+      ValmodOptions valmod_options;
+      valmod_options.len_min = len_min;
+      valmod_options.len_max = len_max;
+      valmod_options.p = config.p;
+      valmod_options.deadline =
+          Deadline::After(config.cell_deadline_seconds);
+      const ValmodResult valmod = RunValmod(series, valmod_options);
+      const std::string valmod_time =
+          bench::FormatSeconds(timer.Seconds(), valmod.dnf);
+
+      timer.Reset();
+      const PerLengthMotifs stomp =
+          StompPerLength(series, len_min, len_max,
+                         Deadline::After(config.cell_deadline_seconds));
+      const std::string stomp_time =
+          bench::FormatSeconds(timer.Seconds(), stomp.dnf);
+
+      timer.Reset();
+      QuickMotifOptions quick_options;
+      quick_options.deadline = Deadline::After(config.cell_deadline_seconds);
+      const PerLengthMotifs quick =
+          QuickMotifPerLength(series, len_min, len_max, quick_options);
+      const std::string quick_time =
+          bench::FormatSeconds(timer.Seconds(), quick.dnf);
+
+      timer.Reset();
+      const MoenResult moen =
+          MoenVariableLength(series, len_min, len_max,
+                             Deadline::After(config.cell_deadline_seconds));
+      const std::string moen_time =
+          bench::FormatSeconds(timer.Seconds(), moen.dnf);
+
+      table.AddRow({spec.name, Table::Int(n), valmod_time, stomp_time,
+                    quick_time, moen_time});
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+  return 0;
+}

@@ -1,0 +1,123 @@
+// google-benchmark microbenchmarks for the hot kernels underneath every
+// experiment: FFT, the MASS sliding dot product, the STOMP row update,
+// Eq. 3 distances from cached statistics, the Eq. 2 lower bound, and the
+// bounded heap that implements listDP. These are the ablation counterpart
+// to the figure-level benches: they show where the O(1)-per-entry claims
+// of Algorithm 4 come from.
+
+#include <benchmark/benchmark.h>
+
+#include <complex>
+#include <vector>
+
+#include "core/lower_bound.h"
+#include "mp/stomp.h"
+#include "signal/distance.h"
+#include "signal/fft.h"
+#include "signal/sliding_dot.h"
+#include "util/bounded_heap.h"
+#include "util/prefix_stats.h"
+#include "util/random.h"
+
+namespace valmod {
+namespace {
+
+Series RandomSeries(Index n, std::uint64_t seed) {
+  Rng rng(seed);
+  Series out(static_cast<std::size_t>(n));
+  for (auto& v : out) v = rng.Gaussian();
+  return out;
+}
+
+void BM_Fft(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<std::complex<double>> data(n);
+  for (auto& x : data) x = {rng.Gaussian(), 0.0};
+  for (auto _ : state) {
+    auto copy = data;
+    Fft(copy, false);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Fft)->RangeMultiplier(4)->Range(256, 16384)->Complexity();
+
+void BM_SlidingDotProduct(benchmark::State& state) {
+  const Index n = state.range(0);
+  const Index m = 128;
+  const Series series = RandomSeries(n, 2);
+  const Series query(series.begin(), series.begin() + m);
+  for (auto _ : state) {
+    auto qt = SlidingDotProduct(query, series);
+    benchmark::DoNotOptimize(qt.data());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SlidingDotProduct)
+    ->RangeMultiplier(4)
+    ->Range(1024, 16384)
+    ->Complexity();
+
+void BM_StompFull(benchmark::State& state) {
+  const Index n = state.range(0);
+  const Series series = RandomSeries(n, 3);
+  const PrefixStats stats(series);
+  for (auto _ : state) {
+    auto profile = Stomp(series, stats, 128);
+    benchmark::DoNotOptimize(profile.distances.data());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_StompFull)->RangeMultiplier(2)->Range(1024, 4096)->Complexity();
+
+void BM_Eq3DistanceFromCachedStats(benchmark::State& state) {
+  const Series series = RandomSeries(4096, 4);
+  const PrefixStats stats(series);
+  const MeanStd a = stats.Stats(10, 128);
+  const MeanStd b = stats.Stats(900, 128);
+  double qt = SubsequenceDotProduct(series, 10, 900, 128);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ZNormalizedDistanceFromDotProduct(qt, 128, a, b));
+    qt += 1e-9;  // Defeat constant folding.
+  }
+}
+BENCHMARK(BM_Eq3DistanceFromCachedStats);
+
+void BM_LowerBoundEvaluation(benchmark::State& state) {
+  double q = 0.37;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LowerBoundDistance(q, 128, 1.7, 2.1));
+    q += 1e-9;
+  }
+}
+BENCHMARK(BM_LowerBoundEvaluation);
+
+void BM_PrefixStatsWindow(benchmark::State& state) {
+  const Series series = RandomSeries(65536, 5);
+  const PrefixStats stats(series);
+  Index offset = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats.Stats(offset, 256));
+    offset = (offset + 97) % 60000;
+  }
+}
+BENCHMARK(BM_PrefixStatsWindow);
+
+void BM_BoundedHeapInsert(benchmark::State& state) {
+  const Index capacity = state.range(0);
+  Rng rng(6);
+  std::vector<double> values(4096);
+  for (auto& v : values) v = rng.Gaussian();
+  std::size_t at = 0;
+  BoundedMaxHeap<double> heap(capacity);
+  for (auto _ : state) {
+    heap.Insert(values[at]);
+    at = (at + 1) % values.size();
+  }
+}
+BENCHMARK(BM_BoundedHeapInsert)->Arg(5)->Arg(50)->Arg(150);
+
+}  // namespace
+}  // namespace valmod

@@ -1,0 +1,43 @@
+// Regenerates Table 2: the benchmark parameter grid and default values.
+// This harness is the single source of truth for the scaled-down grid the
+// other bench binaries sweep; it prints the paper's original values side by
+// side with the scaled ones so the mapping is auditable.
+
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
+#include "util/table.h"
+
+int main() {
+  using namespace valmod;
+  const bench::BenchConfig config = bench::LoadConfig();
+  bench::PrintHeader("Table 2: benchmark parameters (defaults in [..])",
+                     "Table 2", config);
+
+  auto join = [](const std::vector<Index>& values, Index bold) {
+    std::string out;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (i > 0) out += ", ";
+      if (values[i] == bold) out += "[";
+      out += Table::Int(values[i]);
+      if (values[i] == bold) out += "]";
+    }
+    return out;
+  };
+
+  Table table({"parameter", "paper grid (defaults bold)", "this harness"});
+  table.AddRow({"motif length (l_min)", "256 512 [1024] 2048 4096",
+                join(config.motif_lengths, config.len_min)});
+  table.AddRow({"motif range (l_max - l_min)", "100 150 [200] 400 600",
+                join(config.motif_ranges, config.range)});
+  table.AddRow({"data series size", "0.1M 0.2M [0.5M] 0.8M 1M",
+                join(config.series_sizes, config.n)});
+  table.AddRow({"p (entries stored)", "5 10 15 20 [50] 100 150",
+                join(config.p_values, config.p)});
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "Every dimension is scaled by ~1/16 for the single-core container;\n"
+      "curve shapes, not absolute times, are the reproduction target.\n");
+  return 0;
+}

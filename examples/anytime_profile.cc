@@ -1,0 +1,68 @@
+// The anytime property of the matrix profile (Section 2: "in most domains,
+// in just O(nc) steps the algorithm converges to what would be the final
+// solution"). STAMP evaluates distance profiles in random order and is
+// interruptible; this example snapshots the profile-so-far and reports how
+// quickly the motif estimate converges to the exact answer.
+//
+//   ./anytime_profile [--dataset=ECG] [--n=4000] [--len=80]
+
+#include <cstdio>
+
+#include "datasets/registry.h"
+#include "mp/stamp.h"
+#include "mp/stomp.h"
+#include "signal/znorm.h"
+#include "util/cli.h"
+#include "util/prefix_stats.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace valmod;
+  const CommandLine cli(argc, argv);
+  const Index n = cli.GetIndex("n", 4000);
+  const Index len = cli.GetIndex("len", 80);
+
+  Series series;
+  const Status status =
+      GenerateByName(cli.GetString("dataset", "ECG"), n, &series);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  const Series centered = CenterSeries(series);
+  const PrefixStats stats(centered);
+
+  // Exact reference (STOMP).
+  const MotifPair exact = MotifFromProfile(Stomp(centered, stats, len));
+  std::printf("exact motif: offsets (%lld, %lld), distance %.4f\n\n",
+              static_cast<long long>(exact.a),
+              static_cast<long long>(exact.b), exact.distance);
+
+  // Anytime STAMP with snapshots every 5% of the rows.
+  const Index n_sub = NumSubsequences(n, len);
+  Table table({"rows evaluated", "% of total", "motif estimate",
+               "relative error"});
+  StampOptions options;
+  options.seed = 99;
+  options.snapshot_every = n_sub / 20;
+  options.snapshot = [&](Index rows_done, const MatrixProfile& so_far) {
+    const MotifPair estimate = MotifFromProfile(so_far);
+    const double rel_err =
+        exact.distance > 0.0
+            ? (estimate.distance - exact.distance) / exact.distance
+            : 0.0;
+    table.AddRow({Table::Int(rows_done),
+                  Table::Num(100.0 * static_cast<double>(rows_done) /
+                                 static_cast<double>(n_sub),
+                             0),
+                  Table::Num(estimate.distance, 4),
+                  Table::Num(rel_err, 4)});
+  };
+  Stamp(centered, stats, len, options);
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "The estimate typically reaches the exact motif after a small fraction\n"
+      "of the rows — the O(nc) convergence the matrix-profile line relies "
+      "on.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Variable-length join between two recordings (the AB-VALMOD extension):
+// find the closest shared pattern between two separate ECG sessions at
+// every length in a range — e.g. "does the arrhythmia episode in session A
+// appear in session B, and at what time scale?". The same Eq. 2 machinery
+// as VALMOD, across series.
+//
+//   ./cross_recording_join [--n=3000] [--len_min=60] [--len_max=100]
+
+#include <cstdio>
+
+#include "core/ab_valmod.h"
+#include "datasets/generators.h"
+#include "signal/znorm.h"
+#include "util/cli.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace valmod;
+  const CommandLine cli(argc, argv);
+  const Index n = cli.GetIndex("n", 3000);
+
+  // Two sessions of the same subject: same beat morphology, different
+  // noise and timing — cross-session matches exist by construction.
+  const Series session_a = GenerateEcg(n, 21);
+  const Series session_b = GenerateEcg(n, 22);
+  std::printf("two ECG sessions of %lld points each\n",
+              static_cast<long long>(n));
+
+  AbValmodOptions options;
+  options.len_min = cli.GetIndex("len_min", 60);
+  options.len_max = cli.GetIndex("len_max", 100);
+  options.p = 10;
+  WallTimer timer;
+  const AbValmodResult result = RunAbValmod(session_a, session_b, options);
+  std::printf(
+      "AB-VALMOD over lengths [%lld, %lld]: %.2f s, %lld full join passes\n\n",
+      static_cast<long long>(options.len_min),
+      static_cast<long long>(options.len_max), timer.Seconds(),
+      static_cast<long long>(result.full_join_computations));
+
+  Table table({"length", "offset in A", "offset in B", "zdist",
+               "norm dist"});
+  for (const MotifPair& motif : result.per_length_join_motifs) {
+    if (!motif.valid()) continue;
+    table.AddRow({Table::Int(motif.length), Table::Int(motif.a),
+                  Table::Int(motif.b), Table::Num(motif.distance, 3),
+                  Table::Num(LengthNormalize(motif.distance, motif.length),
+                             4)});
+  }
+  std::printf("closest cross-session pair per length:\n%s\n",
+              table.Render().c_str());
+
+  const MotifPair best = result.BestOverall();
+  std::printf(
+      "best shared pattern: A@%lld matches B@%lld over %lld samples "
+      "(z-distance %.3f)\n",
+      static_cast<long long>(best.a), static_cast<long long>(best.b),
+      static_cast<long long>(best.length), best.distance);
+  return 0;
+}

@@ -1,0 +1,116 @@
+// The entomology case study of Figure 1 / Section 9.1: an Asian citrus
+// psyllid's Electrical Penetration Graph contains two semantically
+// different behaviours of *different* characteristic lengths — a ~10 s
+// probing pattern and a ~12 s xylem-ingestion ("sucking") pattern. A
+// fixed-length motif search shows only one of them; VALMOD's
+// variable-length search surfaces both.
+//
+//   ./epg_case_study [--n=12000] [--seed=42]
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "core/ranking.h"
+#include "core/valmod.h"
+#include "datasets/epg.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+namespace {
+
+using valmod::EpgEvent;
+using valmod::EpgSeries;
+using valmod::Index;
+
+/// Ground-truth label of a window, from the generator's event log.
+std::string LabelWindow(const EpgSeries& epg, Index offset, Index len) {
+  for (const EpgEvent& e : epg.events) {
+    const Index lo = std::max(offset, e.offset);
+    const Index hi = std::min(offset + len, e.offset + e.length);
+    if (hi - lo > len / 2) {
+      return e.kind == EpgEvent::Kind::kProbing ? "probing" : "ingestion";
+    }
+  }
+  return "baseline";
+}
+
+/// A tiny ASCII sketch of a subsequence (10 buckets, '-'..'#').
+std::string Sketch(const valmod::Series& values, Index offset, Index len) {
+  double lo = values[static_cast<std::size_t>(offset)];
+  double hi = lo;
+  for (Index k = 0; k < len; ++k) {
+    const double v = values[static_cast<std::size_t>(offset + k)];
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const char levels[] = " .:-=+*#%@";
+  std::string out;
+  for (Index b = 0; b < 40; ++b) {
+    const Index at = offset + b * len / 40;
+    const double v = values[static_cast<std::size_t>(at)];
+    const double frac = hi > lo ? (v - lo) / (hi - lo) : 0.0;
+    out += levels[static_cast<int>(frac * 9.0)];
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace valmod;
+  const CommandLine cli(argc, argv);
+
+  EpgOptions epg_options;
+  epg_options.n = cli.GetIndex("n", 12000);
+  epg_options.seed = static_cast<std::uint64_t>(cli.GetIndex("seed", 42));
+  epg_options.probing_instances = 5;
+  epg_options.ingestion_instances = 5;
+  const EpgSeries epg = GenerateEpg(epg_options);
+  std::printf(
+      "EPG recording: %lld samples at %.0f Hz; probing motif ~%lld samples "
+      "(10 s), ingestion motif ~%lld samples (12 s).\n",
+      static_cast<long long>(epg.values.size()), epg_options.sample_rate,
+      static_cast<long long>(epg.probing_length),
+      static_cast<long long>(epg.ingestion_length));
+
+  // Variable-length search across both behaviour scales.
+  ValmodOptions options;
+  options.len_min = 90;
+  options.len_max = 130;
+  options.p = 10;
+  const ValmodResult result = RunValmod(epg.values, options);
+
+  const std::vector<RankedPair> top = SelectTopKPairs(result.valmp, 4);
+  Table table({"rank", "length", "seconds", "offset a", "offset b",
+               "norm dist", "ground truth"});
+  for (std::size_t r = 0; r < top.size(); ++r) {
+    const RankedPair& pair = top[r];
+    table.AddRow({Table::Int(static_cast<long long>(r + 1)),
+                  Table::Int(pair.length),
+                  Table::Num(static_cast<double>(pair.length) /
+                                 epg_options.sample_rate,
+                             1),
+                  Table::Int(pair.off1), Table::Int(pair.off2),
+                  Table::Num(pair.norm_distance, 4),
+                  LabelWindow(epg, pair.off1, pair.length)});
+  }
+  std::printf("\nTop variable-length motifs (disjoint, ranked by "
+              "length-normalized distance):\n%s\n",
+              table.Render().c_str());
+
+  // Show the discovered waveforms.
+  for (std::size_t r = 0; r < std::min<std::size_t>(top.size(), 2); ++r) {
+    const RankedPair& pair = top[r];
+    std::printf("motif %zu occurrence 1: %s\n", r + 1,
+                Sketch(epg.values, pair.off1, pair.length).c_str());
+    std::printf("motif %zu occurrence 2: %s\n\n", r + 1,
+                Sketch(epg.values, pair.off2, pair.length).c_str());
+  }
+
+  std::printf(
+      "The paper's point: an entomologist running a single-length search at "
+      "12 s\nwould only see the ingestion behaviour and miss the probing "
+      "pattern entirely.\n");
+  return 0;
+}

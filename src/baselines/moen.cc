@@ -1,0 +1,151 @@
+#include "baselines/moen.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "core/lower_bound.h"
+#include "mp/distance_profile.h"
+#include "mp/stomp.h"
+#include "signal/distance.h"
+#include "signal/znorm.h"
+#include "util/check.h"
+#include "util/prefix_stats.h"
+
+namespace valmod {
+namespace {
+
+/// Carried state of one distance-profile row.
+struct RowBound {
+  /// Length at which the row was last fully computed.
+  Index base_len = 0;
+  /// Eq. 2 base term evaluated at the row's best (largest) correlation:
+  /// a lower bound on every entry of the row at any longer length.
+  double lb_base = kInf;
+  /// Row owner's std at the previous processed length (the numerator of
+  /// the next per-step ratio).
+  double sigma_prev = 0.0;
+  /// Cumulative product of per-step clamped sigma ratios since the last
+  /// re-base; multiplied by a value <= 1 at *every* length step, which is
+  /// MOEN's published behaviour ("MOEN multiplies the lower bound by a
+  /// value smaller than 1", VALMOD paper Sec. 6.2) and the reason its
+  /// bound loosens with the length range while VALMOD's Eq. 2 does not.
+  /// Each factor min(1, sigma_t/sigma_{t+1}) <= sigma_t/sigma_{t+1}, so
+  /// the product lower-bounds the exact sigma ratio and the bound remains
+  /// admissible.
+  double decay = 1.0;
+};
+
+/// Fully computes row `j` at length `len`, returning (min dist, argmin) and
+/// re-basing its carried bound.
+std::pair<double, Index> ComputeRow(std::span<const double> series,
+                                    const PrefixStats& stats, Index j,
+                                    Index len, RowBound& bound) {
+  const std::vector<double> profile =
+      ComputeDistanceProfile(series, stats, j, len);
+  const Index arg = ArgMin(profile);
+  double min_dist = kInf;
+  if (arg != kNoNeighbor) min_dist = profile[static_cast<std::size_t>(arg)];
+  bound.base_len = len;
+  bound.sigma_prev = stats.Std(j, len);
+  bound.decay = 1.0;
+  // Max correlation of the row corresponds to its min distance; B(q*) lower
+  // bounds B(q_i) for every i, hence bounds the whole row at any l + k.
+  const double q_star =
+      min_dist == kInf ? -1.0 : CorrelationFromDistance(min_dist, len);
+  bound.lb_base = LowerBoundBase(q_star, len);
+  return {min_dist, arg};
+}
+
+}  // namespace
+
+MoenResult MoenVariableLength(std::span<const double> series, Index len_min,
+                              Index len_max, const Deadline& deadline) {
+  const Index n = static_cast<Index>(series.size());
+  VALMOD_CHECK(len_min >= 4 && len_max >= len_min);
+  VALMOD_CHECK(n >= len_max + ExclusionZone(len_max));
+  // Center the input: a semantic no-op for z-normalized distances that
+  // prevents catastrophic cancellation when the data has a large offset.
+  const Series centered = CenterSeries(series);
+  series = std::span<const double>(centered);
+  const PrefixStats stats(series);
+  MoenResult result;
+
+  const Index n_sub_min = NumSubsequences(n, len_min);
+  std::vector<RowBound> bounds(static_cast<std::size_t>(n_sub_min));
+
+  // First length: every row is needed, so use the incremental STOMP kernel
+  // (O(n) per row) rather than one MASS pass per row, and seed the carried
+  // bounds from the finished profile.
+  {
+    bool dnf = false;
+    const MatrixProfile profile =
+        Stomp(series, stats, len_min, nullptr, deadline, &dnf);
+    if (dnf) {
+      result.dnf = true;
+      return result;
+    }
+    for (Index j = 0; j < n_sub_min; ++j) {
+      RowBound& bound = bounds[static_cast<std::size_t>(j)];
+      bound.base_len = len_min;
+      bound.sigma_prev = stats.Std(j, len_min);
+      bound.decay = 1.0;
+      const double min_dist = profile.distances[static_cast<std::size_t>(j)];
+      const double q_star = min_dist == kInf
+                                ? -1.0
+                                : CorrelationFromDistance(min_dist, len_min);
+      bound.lb_base = LowerBoundBase(q_star, len_min);
+    }
+    result.motifs.push_back(MotifFromProfile(profile));
+    result.stats.push_back(MoenLengthStats{len_min, n_sub_min});
+  }
+
+  for (Index len = len_min + 1; len <= len_max; ++len) {
+    const Index n_sub = NumSubsequences(n, len);
+    // Advance every row's decay by this step's clamped sigma ratio, then
+    // order rows by the carried bound.
+    std::vector<double> row_lb(static_cast<std::size_t>(n_sub));
+    for (Index j = 0; j < n_sub; ++j) {
+      RowBound& b = bounds[static_cast<std::size_t>(j)];
+      const double sigma_now = stats.Std(j, len);
+      const double step_ratio =
+          sigma_now > 0.0 ? std::min(1.0, b.sigma_prev / sigma_now) : 0.0;
+      b.decay *= step_ratio;
+      b.sigma_prev = sigma_now;
+      row_lb[static_cast<std::size_t>(j)] = b.lb_base * b.decay;
+    }
+    std::vector<Index> order(static_cast<std::size_t>(n_sub));
+    std::iota(order.begin(), order.end(), Index{0});
+    std::sort(order.begin(), order.end(), [&](Index a, Index b) {
+      return row_lb[static_cast<std::size_t>(a)] <
+             row_lb[static_cast<std::size_t>(b)];
+    });
+
+    MotifPair motif;
+    motif.length = len;
+    MoenLengthStats ls{len, 0};
+    for (Index j : order) {
+      if (deadline.Expired()) {
+        result.dnf = true;
+        return result;
+      }
+      // Ascending order: once a bound reaches the best achieved distance,
+      // no remaining row can contain a closer pair.
+      if (row_lb[static_cast<std::size_t>(j)] >= motif.distance) break;
+      const auto [min_dist, arg] = ComputeRow(
+          series, stats, j, len, bounds[static_cast<std::size_t>(j)]);
+      ++ls.rows_computed;
+      if (arg == kNoNeighbor) continue;
+      if (min_dist < motif.distance) {
+        motif.distance = min_dist;
+        motif.a = std::min(j, arg);
+        motif.b = std::max(j, arg);
+      }
+    }
+    result.motifs.push_back(motif);
+    result.stats.push_back(ls);
+  }
+  return result;
+}
+
+}  // namespace valmod

@@ -1,0 +1,132 @@
+#include "baselines/projection.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "signal/distance.h"
+#include "signal/znorm.h"
+#include "util/check.h"
+#include "util/prefix_stats.h"
+#include "util/random.h"
+
+namespace valmod {
+namespace {
+
+/// Packs a masked SAX word into a hashable 64-bit key (alphabet <= 10 fits
+/// 4 bits per symbol; mask_size <= 16).
+std::uint64_t PackMaskedWord(const std::vector<std::uint8_t>& word,
+                             const std::vector<Index>& mask) {
+  std::uint64_t key = 0;
+  for (const Index column : mask) {
+    key = (key << 4) | word[static_cast<std::size_t>(column)];
+  }
+  return key;
+}
+
+}  // namespace
+
+MotifPair ProjectionMotif(std::span<const double> series, Index len,
+                          const ProjectionOptions& options,
+                          ProjectionStats* stats_out) {
+  const Index n = static_cast<Index>(series.size());
+  VALMOD_CHECK(len >= 4 && n >= len + ExclusionZone(len));
+  VALMOD_CHECK(options.mask_size >= 1 &&
+               options.mask_size <= options.sax.word_len);
+  VALMOD_CHECK(options.mask_size <= 16);
+  const Series centered = CenterSeries(series);
+  const PrefixStats stats(centered);
+  const Index n_sub = NumSubsequences(n, len);
+  Rng rng(options.seed);
+
+  // SAX-discretize every subsequence once.
+  std::vector<std::vector<std::uint8_t>> words(
+      static_cast<std::size_t>(n_sub));
+  for (Index i = 0; i < n_sub; ++i) {
+    words[static_cast<std::size_t>(i)] = SaxWord(
+        std::span<const double>(centered).subspan(
+            static_cast<std::size_t>(i), static_cast<std::size_t>(len)),
+        options.sax);
+  }
+
+  MotifPair best;
+  best.length = len;
+  auto verify = [&](Index i, Index j) {
+    if (IsTrivialMatch(i, j, len)) return;
+    const double d = SubsequenceDistance(centered, stats, i, j, len);
+    if (stats_out != nullptr) ++stats_out->exact_distances;
+    if (d < best.distance) {
+      best.distance = d;
+      best.a = std::min(i, j);
+      best.b = std::max(i, j);
+    }
+  };
+
+  std::vector<Index> columns(static_cast<std::size_t>(options.sax.word_len));
+  for (Index c = 0; c < options.sax.word_len; ++c) {
+    columns[static_cast<std::size_t>(c)] = c;
+  }
+  // The collision matrix (sparse): pairs that land in the same bucket in
+  // many rounds are the motif candidates. Enormous buckets (ubiquitous
+  // words) are skipped — their pairs carry no signal and would blow up the
+  // quadratic enumeration, the standard PROJECTION mitigation.
+  constexpr std::size_t kMaxBucketEnumerated = 64;
+  std::unordered_map<std::uint64_t, int> collisions;
+  for (Index round = 0; round < options.iterations; ++round) {
+    // Choose mask_size random distinct columns.
+    for (Index i = static_cast<Index>(columns.size()) - 1; i > 0; --i) {
+      const Index j = rng.UniformIndex(0, i);
+      std::swap(columns[static_cast<std::size_t>(i)],
+                columns[static_cast<std::size_t>(j)]);
+    }
+    std::vector<Index> mask(columns.begin(),
+                            columns.begin() + options.mask_size);
+    std::sort(mask.begin(), mask.end());
+
+    // Bucket all subsequences by masked word.
+    std::unordered_map<std::uint64_t, std::vector<Index>> buckets;
+    buckets.reserve(static_cast<std::size_t>(n_sub));
+    for (Index i = 0; i < n_sub; ++i) {
+      buckets[PackMaskedWord(words[static_cast<std::size_t>(i)], mask)]
+          .push_back(i);
+    }
+    if (stats_out != nullptr) {
+      stats_out->buckets += static_cast<Index>(buckets.size());
+    }
+    for (const auto& [key, members] : buckets) {
+      if (members.size() < 2 || members.size() > kMaxBucketEnumerated) {
+        continue;
+      }
+      for (std::size_t x = 0; x < members.size(); ++x) {
+        for (std::size_t y = x + 1; y < members.size(); ++y) {
+          if (IsTrivialMatch(members[x], members[y], len)) continue;
+          ++collisions[static_cast<std::uint64_t>(members[x]) *
+                           static_cast<std::uint64_t>(n_sub) +
+                       static_cast<std::uint64_t>(members[y])];
+        }
+      }
+    }
+  }
+  // Verify the highest-collision cells with true distances.
+  std::vector<std::pair<int, std::uint64_t>> ranked;
+  ranked.reserve(collisions.size());
+  for (const auto& [key, count] : collisions) {
+    ranked.emplace_back(count, key);
+  }
+  const std::size_t budget = static_cast<std::size_t>(
+      options.candidates_per_round * options.iterations);
+  const std::size_t take = std::min(budget, ranked.size());
+  std::partial_sort(
+      ranked.begin(), ranked.begin() + static_cast<std::ptrdiff_t>(take),
+      ranked.end(), [](const auto& a, const auto& b) {
+        return a.first != b.first ? a.first > b.first : a.second < b.second;
+      });
+  for (std::size_t c = 0; c < take; ++c) {
+    const std::uint64_t key = ranked[c].second;
+    verify(static_cast<Index>(key / static_cast<std::uint64_t>(n_sub)),
+           static_cast<Index>(key % static_cast<std::uint64_t>(n_sub)));
+  }
+  return best;
+}
+
+}  // namespace valmod

@@ -1,0 +1,48 @@
+#ifndef VALMOD_BASELINES_PROJECTION_H_
+#define VALMOD_BASELINES_PROJECTION_H_
+
+#include <cstdint>
+#include <span>
+
+#include "mp/matrix_profile.h"
+#include "signal/sax.h"
+#include "util/common.h"
+
+namespace valmod {
+
+/// Parameters of the PROJECTION approximate motif finder — the paper's
+/// Introduction uses exactly this parameter burden ("required the user to
+/// set seven parameters, and it still only produces answers that are
+/// approximately correct") to motivate VALMOD.
+struct ProjectionOptions {
+  SaxParams sax;
+  /// Random-projection iterations (masked-column rounds).
+  Index iterations = 10;
+  /// SAX-word positions kept per round (the projection width).
+  Index mask_size = 4;
+  /// Candidate pairs verified with true distances per round.
+  Index candidates_per_round = 32;
+  std::uint64_t seed = 1;
+};
+
+/// Instrumentation of one PROJECTION run.
+struct ProjectionStats {
+  /// Exact distance computations spent on candidate verification.
+  Index exact_distances = 0;
+  /// Distinct buckets observed across all rounds.
+  Index buckets = 0;
+};
+
+/// PROJECTION [Chiu, Keogh & Lonardi, KDD 2003], the first motif-discovery
+/// algorithm: SAX-discretize every subsequence, repeatedly mask random SAX
+/// columns, bucket subsequences by masked word, and verify the pairs that
+/// collide most often. APPROXIMATE — it can and does miss the true motif
+/// (quantified by bench_approximate_recall); implemented to support the
+/// paper's argument that exactness is worth engineering for.
+MotifPair ProjectionMotif(std::span<const double> series, Index len,
+                          const ProjectionOptions& options = {},
+                          ProjectionStats* stats = nullptr);
+
+}  // namespace valmod
+
+#endif  // VALMOD_BASELINES_PROJECTION_H_

@@ -1,0 +1,187 @@
+#include "baselines/quick_motif.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <vector>
+
+#include "index/rtree.h"
+#include "signal/distance.h"
+#include "signal/znorm.h"
+#include "util/check.h"
+#include "util/prefix_stats.h"
+
+namespace valmod {
+namespace {
+
+/// Builds the summary point of one subsequence: per PAA segment,
+/// sqrt(segment_size) * (segment_mean - mu) / sigma. The sqrt weighting
+/// folds the PAA lower-bound factor into the coordinates, so the *plain*
+/// Euclidean distance between two summary points (and the plain MINDIST
+/// between their MBRs) lower-bounds the true z-normalized distance, even
+/// when `len` is not divisible by the segment count (each segment's squared
+/// difference is bounded by the segment's sum of squared differences via
+/// Cauchy-Schwarz).
+void SummarizeSubsequence(const PrefixStats& stats, Index offset, Index len,
+                          Index segments, double* out) {
+  const MeanStd ms = stats.Stats(offset, len);
+  for (Index s = 0; s < segments; ++s) {
+    const Index start = s * len / segments;
+    const Index end = (s + 1) * len / segments;
+    const Index seg_len = end - start;
+    const double seg_mean =
+        stats.Sum(offset + start, seg_len) / static_cast<double>(seg_len);
+    const double z =
+        IsFlatWindow(ms.mean, ms.std) ? 0.0 : (seg_mean - ms.mean) / ms.std;
+    out[s] = std::sqrt(static_cast<double>(seg_len)) * z;
+  }
+}
+
+double PointDistance(std::span<const double> a, std::span<const double> b) {
+  double acc = 0.0;
+  for (std::size_t d = 0; d < a.size(); ++d) {
+    const double diff = a[d] - b[d];
+    acc += diff * diff;
+  }
+  return std::sqrt(acc);
+}
+
+/// A node pair in the branch-and-bound queue, keyed by the MINDIST of the
+/// nodes' MBRs in summary space (a lower bound on every contained pair's
+/// true distance).
+struct NodePair {
+  double key;
+  Index a;
+  Index b;
+  bool operator>(const NodePair& other) const { return key > other.key; }
+};
+
+}  // namespace
+
+MotifPair QuickMotif(std::span<const double> series, Index len,
+                     const QuickMotifOptions& options, QuickMotifStats* stats,
+                     bool* out_dnf) {
+  const Index n = static_cast<Index>(series.size());
+  VALMOD_CHECK(len >= 4 && n >= len + ExclusionZone(len));
+  const Index n_sub = NumSubsequences(n, len);
+  const Index w = options.paa_segments;
+  VALMOD_CHECK(w >= 1 && w <= len);
+  if (out_dnf != nullptr) *out_dnf = false;
+  // Center the input: a semantic no-op for z-normalized distances that
+  // prevents catastrophic cancellation when the data has a large offset.
+  const Series centered = CenterSeries(series);
+  series = std::span<const double>(centered);
+  const PrefixStats prefix(series);
+
+  // Summaries of every subsequence, row-major.
+  std::vector<double> points(static_cast<std::size_t>(n_sub * w));
+  for (Index i = 0; i < n_sub; ++i) {
+    SummarizeSubsequence(prefix, i, len, w,
+                         &points[static_cast<std::size_t>(i * w)]);
+  }
+  const PackedRTree tree(points, n_sub, w, options.leaf_capacity,
+                         options.fanout);
+
+  MotifPair best;
+  best.length = len;
+  auto point_of = [&](Index id) { return tree.point(id); };
+  auto try_exact = [&](Index i, Index j) {
+    if (IsTrivialMatch(i, j, len)) return;
+    const double lb = PointDistance(point_of(i), point_of(j));
+    if (lb >= best.distance) {
+      if (stats != nullptr) ++stats->paa_pruned;
+      return;
+    }
+    const double d = SubsequenceDistance(series, prefix, i, j, len);
+    if (stats != nullptr) ++stats->exact_distances;
+    if (d < best.distance) {
+      best.distance = d;
+      best.a = std::min(i, j);
+      best.b = std::max(i, j);
+    }
+  };
+
+  // Seed the best-so-far with Hilbert-adjacent pairs (cheap, usually tight):
+  // consecutive points inside each leaf are neighbours on the curve.
+  Index seeded = 0;
+  for (Index node_id = 0; node_id < tree.num_nodes() && seeded < 256;
+       ++node_id) {
+    const RTreeNode& node = tree.node(node_id);
+    if (!node.is_leaf) continue;
+    for (std::size_t k = 0; k + 1 < node.points.size() && seeded < 256; ++k) {
+      try_exact(node.points[k], node.points[k + 1]);
+      ++seeded;
+    }
+  }
+
+  // Branch-and-bound over node pairs.
+  std::priority_queue<NodePair, std::vector<NodePair>, std::greater<NodePair>>
+      queue;
+  queue.push(NodePair{0.0, tree.root(), tree.root()});
+  while (!queue.empty()) {
+    if (options.deadline.Expired()) {
+      if (out_dnf != nullptr) *out_dnf = true;
+      return MotifPair{};
+    }
+    const NodePair top = queue.top();
+    queue.pop();
+    if (top.key >= best.distance) break;  // Nothing closer remains.
+    if (stats != nullptr) ++stats->node_pairs_visited;
+    const RTreeNode& na = tree.node(top.a);
+    const RTreeNode& nb = tree.node(top.b);
+    if (na.is_leaf && nb.is_leaf) {
+      if (top.a == top.b) {
+        for (std::size_t x = 0; x < na.points.size(); ++x) {
+          for (std::size_t y = x + 1; y < na.points.size(); ++y) {
+            try_exact(na.points[x], na.points[y]);
+          }
+        }
+      } else {
+        for (const Index i : na.points) {
+          for (const Index j : nb.points) try_exact(i, j);
+        }
+      }
+      continue;
+    }
+    if (top.a == top.b) {
+      // Self pair of an internal node: children pairs, unordered once each.
+      for (std::size_t x = 0; x < na.children.size(); ++x) {
+        for (std::size_t y = x; y < na.children.size(); ++y) {
+          const Index ca = na.children[x];
+          const Index cb = na.children[y];
+          const double key =
+              ca == cb ? 0.0 : tree.node(ca).mbr.MinDist(tree.node(cb).mbr);
+          if (key < best.distance) queue.push(NodePair{key, ca, cb});
+        }
+      }
+      continue;
+    }
+    // Expand the internal node (prefer a; b when a is a leaf).
+    const bool expand_a = !na.is_leaf;
+    const RTreeNode& expand = expand_a ? na : nb;
+    const Index other = expand_a ? top.b : top.a;
+    for (const Index child : expand.children) {
+      const double key = tree.node(child).mbr.MinDist(tree.node(other).mbr);
+      if (key < best.distance) queue.push(NodePair{key, child, other});
+    }
+  }
+  return best;
+}
+
+PerLengthMotifs QuickMotifPerLength(std::span<const double> series,
+                                    Index len_min, Index len_max,
+                                    const QuickMotifOptions& options) {
+  PerLengthMotifs out;
+  for (Index len = len_min; len <= len_max; ++len) {
+    bool dnf = false;
+    MotifPair motif = QuickMotif(series, len, options, nullptr, &dnf);
+    if (dnf) {
+      out.dnf = true;
+      break;
+    }
+    out.motifs.push_back(motif);
+  }
+  return out;
+}
+
+}  // namespace valmod

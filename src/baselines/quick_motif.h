@@ -1,0 +1,54 @@
+#ifndef VALMOD_BASELINES_QUICK_MOTIF_H_
+#define VALMOD_BASELINES_QUICK_MOTIF_H_
+
+#include <span>
+#include <vector>
+
+#include "baselines/stomp_adapted.h"
+#include "mp/matrix_profile.h"
+#include "util/common.h"
+#include "util/timer.h"
+
+namespace valmod {
+
+/// Tuning of the QUICK MOTIF reimplementation.
+struct QuickMotifOptions {
+  /// PAA dimensionality of the subsequence summaries.
+  Index paa_segments = 8;
+  /// Points per R-tree leaf.
+  Index leaf_capacity = 32;
+  /// Children per internal R-tree node.
+  Index fanout = 8;
+  /// Wall-clock budget (DNF reporting).
+  Deadline deadline;
+};
+
+/// Instrumentation of one QUICK MOTIF run.
+struct QuickMotifStats {
+  /// Exact O(len) distance computations performed.
+  Index exact_distances = 0;
+  /// Node pairs popped from the branch-and-bound queue.
+  Index node_pairs_visited = 0;
+  /// Candidate pairs rejected by the PAA-level lower bound.
+  Index paa_pruned = 0;
+};
+
+/// QUICK MOTIF [Li et al., ICDE 2015], reimplemented per its published
+/// design: z-normalized subsequences are summarized with PAA, bulk-loaded
+/// into a Hilbert-packed R-tree, and the exact motif pair is found by
+/// branch-and-bound over MBR pairs ordered by MINDIST (scaled by
+/// sqrt(len/segments), the PAA lower-bound factor). Exact for a single,
+/// fixed subsequence length. Returns an invalid pair on DNF
+/// (`out_dnf` set when provided).
+MotifPair QuickMotif(std::span<const double> series, Index len,
+                     const QuickMotifOptions& options = QuickMotifOptions(),
+                     QuickMotifStats* stats = nullptr, bool* out_dnf = nullptr);
+
+/// The paper's adaptation: one independent QUICK MOTIF run per length.
+PerLengthMotifs QuickMotifPerLength(
+    std::span<const double> series, Index len_min, Index len_max,
+    const QuickMotifOptions& options = QuickMotifOptions());
+
+}  // namespace valmod
+
+#endif  // VALMOD_BASELINES_QUICK_MOTIF_H_

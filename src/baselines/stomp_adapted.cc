@@ -1,0 +1,32 @@
+#include "baselines/stomp_adapted.h"
+
+#include "mp/stomp.h"
+#include "signal/znorm.h"
+#include "util/check.h"
+#include "util/prefix_stats.h"
+
+namespace valmod {
+
+PerLengthMotifs StompPerLength(std::span<const double> series, Index len_min,
+                               Index len_max, const Deadline& deadline) {
+  VALMOD_CHECK(len_min >= 2 && len_max >= len_min);
+  // Center the input: a semantic no-op for z-normalized distances that
+  // prevents catastrophic cancellation when the data has a large offset.
+  const Series centered = CenterSeries(series);
+  series = std::span<const double>(centered);
+  const PrefixStats stats(series);
+  PerLengthMotifs out;
+  for (Index len = len_min; len <= len_max; ++len) {
+    bool dnf = false;
+    const MatrixProfile profile =
+        Stomp(series, stats, len, nullptr, deadline, &dnf);
+    if (dnf) {
+      out.dnf = true;
+      break;
+    }
+    out.motifs.push_back(MotifFromProfile(profile));
+  }
+  return out;
+}
+
+}  // namespace valmod

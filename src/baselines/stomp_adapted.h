@@ -1,0 +1,30 @@
+#ifndef VALMOD_BASELINES_STOMP_ADAPTED_H_
+#define VALMOD_BASELINES_STOMP_ADAPTED_H_
+
+#include <span>
+#include <vector>
+
+#include "mp/matrix_profile.h"
+#include "util/common.h"
+#include "util/timer.h"
+
+namespace valmod {
+
+/// Result of a per-length baseline sweep.
+struct PerLengthMotifs {
+  std::vector<MotifPair> motifs;
+  /// Deadline expired before the sweep finished; `motifs` covers the
+  /// processed prefix of the range only.
+  bool dnf = false;
+};
+
+/// The paper's "STOMP adapted to find all the motifs for a given
+/// subsequence length range": one independent full STOMP pass per length.
+/// Exact; O((len_max - len_min + 1) * n^2).
+PerLengthMotifs StompPerLength(std::span<const double> series, Index len_min,
+                               Index len_max,
+                               const Deadline& deadline = Deadline());
+
+}  // namespace valmod
+
+#endif  // VALMOD_BASELINES_STOMP_ADAPTED_H_

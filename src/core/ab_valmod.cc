@@ -1,0 +1,280 @@
+#include "core/ab_valmod.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "core/list_dp.h"
+#include "core/lower_bound.h"
+#include "signal/distance.h"
+#include "signal/sliding_dot.h"
+#include "signal/znorm.h"
+#include "util/check.h"
+#include "util/prefix_stats.h"
+
+namespace valmod {
+namespace {
+
+/// One A-row of the join at a given length: distances to every B
+/// subsequence (no exclusion zone), from a prepared dot-product row.
+void JoinRowDistances(std::span<const double> qt,
+                      const MeanStd& row_stats,
+                      std::span<const MeanStd> col_stats_b, Index len,
+                      std::vector<double>& out) {
+  const Index n_sub_b = static_cast<Index>(qt.size());
+  out.resize(static_cast<std::size_t>(n_sub_b));
+  for (Index j = 0; j < n_sub_b; ++j) {
+    out[static_cast<std::size_t>(j)] = ZNormalizedDistanceFromDotProduct(
+        qt[static_cast<std::size_t>(j)], len, row_stats,
+        col_stats_b[static_cast<std::size_t>(j)]);
+  }
+}
+
+/// Harvests the p smallest-LB entries of one join row (the AB analogue of
+/// Algorithm 3's listDP fill; no trivial matches to skip).
+ProfileLbState HarvestJoinRow(Index owner, Index len, Index p,
+                              std::span<const double> qt_row,
+                              std::span<const double> dist_row,
+                              double sigma_owner) {
+  ProfileLbState state;
+  state.owner = owner;
+  state.base_len = len;
+  state.sigma_base = sigma_owner;
+  state.entries = BoundedMaxHeap<LbEntry, LbEntryLess>(p);
+  const double l = static_cast<double>(len);
+  double max_sq = kInf;
+  for (Index j = 0; j < static_cast<Index>(dist_row.size()); ++j) {
+    const double dist = dist_row[static_cast<std::size_t>(j)];
+    const double q = 1.0 - dist * dist / (2.0 * l);
+    const double base_sq = q <= 0.0 ? l : l * (1.0 - q * q);
+    if (base_sq >= max_sq) continue;
+    LbEntry entry;
+    entry.neighbor = j;
+    entry.qt = qt_row[static_cast<std::size_t>(j)];
+    entry.lb_base = std::sqrt(base_sq);
+    state.entries.Insert(entry);
+    if (state.entries.Full()) {
+      const double m = state.entries.Max().lb_base;
+      max_sq = m * m;
+    }
+  }
+  return state;
+}
+
+}  // namespace
+
+MotifPair AbValmodResult::BestOverall() const {
+  MotifPair best;
+  double best_norm = kInf;
+  for (const MotifPair& m : per_length_join_motifs) {
+    if (!m.valid()) continue;
+    const double norm = LengthNormalize(m.distance, m.length);
+    if (norm < best_norm) {
+      best_norm = norm;
+      best = m;
+    }
+  }
+  return best;
+}
+
+AbValmodResult RunAbValmod(std::span<const double> series_a,
+                           std::span<const double> series_b,
+                           const AbValmodOptions& options) {
+  const Index na = static_cast<Index>(series_a.size());
+  const Index nb = static_cast<Index>(series_b.size());
+  VALMOD_CHECK(options.len_min >= 4);
+  VALMOD_CHECK(options.len_max >= options.len_min);
+  VALMOD_CHECK(na >= options.len_max && nb >= options.len_max);
+  VALMOD_CHECK(options.p >= 1);
+
+  const Series a = CenterSeries(series_a);
+  const Series b = CenterSeries(series_b);
+  const PrefixStats stats_a(a);
+  const PrefixStats stats_b(b);
+
+  AbValmodResult result;
+  result.valmp = Valmp(NumSubsequences(na, options.len_min));
+
+  // Full AB pass at len_min (STOMP-style incremental rows), harvesting the
+  // join listDP.
+  ListDp list_dp(static_cast<std::size_t>(
+      NumSubsequences(na, options.len_min)));
+  {
+    const Index len = options.len_min;
+    const Index n_sub_a = NumSubsequences(na, len);
+    const Index n_sub_b = NumSubsequences(nb, len);
+    std::vector<MeanStd> col_stats_b(static_cast<std::size_t>(n_sub_b));
+    for (Index j = 0; j < n_sub_b; ++j) {
+      col_stats_b[static_cast<std::size_t>(j)] = stats_b.Stats(j, len);
+    }
+    std::vector<double> qt = SlidingDotProduct(
+        std::span<const double>(a).subspan(0, static_cast<std::size_t>(len)),
+        b);
+    const std::vector<double> qt_b0_vs_a = SlidingDotProduct(
+        std::span<const double>(b).subspan(0, static_cast<std::size_t>(len)),
+        a);
+    std::vector<double> row;
+    std::vector<double> mp(static_cast<std::size_t>(n_sub_a), kInf);
+    std::vector<Index> ip(static_cast<std::size_t>(n_sub_a), kNoNeighbor);
+    MotifPair motif;
+    motif.length = len;
+    for (Index i = 0; i < n_sub_a; ++i) {
+      if (options.deadline.Expired()) {
+        result.dnf = true;
+        return result;
+      }
+      if (i > 0) {
+        for (Index j = n_sub_b - 1; j >= 1; --j) {
+          qt[static_cast<std::size_t>(j)] =
+              qt[static_cast<std::size_t>(j - 1)] -
+              a[static_cast<std::size_t>(i - 1)] *
+                  b[static_cast<std::size_t>(j - 1)] +
+              a[static_cast<std::size_t>(i + len - 1)] *
+                  b[static_cast<std::size_t>(j + len - 1)];
+        }
+        qt[0] = qt_b0_vs_a[static_cast<std::size_t>(i)];
+      }
+      const MeanStd row_stats = stats_a.Stats(i, len);
+      JoinRowDistances(qt, row_stats, col_stats_b, len, row);
+      Index arg = kNoNeighbor;
+      double best = kInf;
+      for (Index j = 0; j < n_sub_b; ++j) {
+        if (row[static_cast<std::size_t>(j)] < best) {
+          best = row[static_cast<std::size_t>(j)];
+          arg = j;
+        }
+      }
+      mp[static_cast<std::size_t>(i)] = best;
+      ip[static_cast<std::size_t>(i)] = arg;
+      if (best < motif.distance) {
+        motif.distance = best;
+        motif.a = i;
+        motif.b = arg;
+      }
+      list_dp[static_cast<std::size_t>(i)] =
+          HarvestJoinRow(i, len, options.p, qt, row, row_stats.std);
+    }
+    ++result.full_join_computations;
+    UpdateValmp(result.valmp, mp, ip, len);
+    result.per_length_join_motifs.push_back(motif);
+  }
+
+  // Lengths len_min+1 .. len_max: O(1) entry advancement + certification,
+  // exactly Algorithm 4 minus the trivial-match bookkeeping.
+  for (Index len = options.len_min + 1; len <= options.len_max; ++len) {
+    if (options.deadline.Expired()) {
+      result.dnf = true;
+      break;
+    }
+    const Index n_sub_a = NumSubsequences(na, len);
+    const Index n_sub_b = NumSubsequences(nb, len);
+    std::vector<double> sub_mp(static_cast<std::size_t>(n_sub_a), kInf);
+    std::vector<Index> ip(static_cast<std::size_t>(n_sub_a), kNoNeighbor);
+    double min_dist_abs = kInf;
+    double min_lb_abs = kInf;
+    Index best_owner = kNoNeighbor;
+    Index best_neighbor = kNoNeighbor;
+    std::vector<Index> non_valid;
+    for (Index o = 0; o < n_sub_a; ++o) {
+      ProfileLbState& state = list_dp[static_cast<std::size_t>(o)];
+      const MeanStd owner_stats = stats_a.Stats(o, len);
+      double min_dist = kInf;
+      Index min_neighbor = kNoNeighbor;
+      for (LbEntry& entry : state.entries.MutableItems()) {
+        if (entry.dead) continue;
+        if (entry.neighbor >= n_sub_b) {
+          entry.dead = true;
+          continue;
+        }
+        entry.qt += a[static_cast<std::size_t>(o + len - 1)] *
+                    b[static_cast<std::size_t>(entry.neighbor + len - 1)];
+        const double dist = ZNormalizedDistanceFromDotProduct(
+            entry.qt, len, owner_stats,
+            stats_b.Stats(entry.neighbor, len));
+        if (dist < min_dist) {
+          min_dist = dist;
+          min_neighbor = entry.neighbor;
+        }
+      }
+      const double max_lb =
+          state.Complete() || state.entries.Empty()
+              ? kInf
+              : LowerBoundAtLength(state.entries.Max().lb_base,
+                                   state.sigma_base, owner_stats.std);
+      if (min_dist <= max_lb) {
+        sub_mp[static_cast<std::size_t>(o)] = min_dist;
+        ip[static_cast<std::size_t>(o)] = min_neighbor;
+        if (min_dist < min_dist_abs) {
+          min_dist_abs = min_dist;
+          best_owner = o;
+          best_neighbor = min_neighbor;
+        }
+      } else {
+        min_lb_abs = std::min(min_lb_abs, max_lb);
+        non_valid.push_back(o);
+      }
+    }
+    bool certified = min_dist_abs < min_lb_abs;
+    if (!certified) {
+      // Selective fallback: recompute the non-valid rows whose threshold
+      // could still hide a better join pair.
+      std::vector<MeanStd> col_stats_b(static_cast<std::size_t>(n_sub_b));
+      for (Index j = 0; j < n_sub_b; ++j) {
+        col_stats_b[static_cast<std::size_t>(j)] = stats_b.Stats(j, len);
+      }
+      std::vector<double> row;
+      for (const Index o : non_valid) {
+        if (options.deadline.Expired()) {
+          result.dnf = true;
+          return result;
+        }
+        ProfileLbState& state = list_dp[static_cast<std::size_t>(o)];
+        const double max_lb =
+            state.Complete() || state.entries.Empty()
+                ? kInf
+                : LowerBoundAtLength(state.entries.Max().lb_base,
+                                     state.sigma_base, stats_a.Std(o, len));
+        if (max_lb >= min_dist_abs) continue;
+        const std::vector<double> qt = SlidingDotProduct(
+            std::span<const double>(a).subspan(static_cast<std::size_t>(o),
+                                               static_cast<std::size_t>(len)),
+            b);
+        const MeanStd row_stats = stats_a.Stats(o, len);
+        JoinRowDistances(qt, row_stats, col_stats_b, len, row);
+        Index arg = kNoNeighbor;
+        double best = kInf;
+        for (Index j = 0; j < n_sub_b; ++j) {
+          if (row[static_cast<std::size_t>(j)] < best) {
+            best = row[static_cast<std::size_t>(j)];
+            arg = j;
+          }
+        }
+        sub_mp[static_cast<std::size_t>(o)] = best;
+        ip[static_cast<std::size_t>(o)] = arg;
+        list_dp[static_cast<std::size_t>(o)] =
+            HarvestJoinRow(o, len, options.p, qt, row, row_stats.std);
+        if (best < min_dist_abs) {
+          min_dist_abs = best;
+          best_owner = o;
+          best_neighbor = arg;
+        }
+      }
+      ++result.full_join_computations;
+      certified = true;
+    }
+    (void)certified;
+    UpdateValmp(result.valmp, sub_mp, ip, len);
+    MotifPair motif;
+    motif.length = len;
+    if (best_owner != kNoNeighbor) {
+      motif.a = best_owner;
+      motif.b = best_neighbor;
+      motif.distance = min_dist_abs;
+    }
+    result.per_length_join_motifs.push_back(motif);
+  }
+  return result;
+}
+
+}  // namespace valmod

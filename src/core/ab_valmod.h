@@ -1,0 +1,55 @@
+#ifndef VALMOD_CORE_AB_VALMOD_H_
+#define VALMOD_CORE_AB_VALMOD_H_
+
+#include <span>
+#include <vector>
+
+#include "core/valmp.h"
+#include "mp/matrix_profile.h"
+#include "util/common.h"
+#include "util/timer.h"
+
+namespace valmod {
+
+/// Options for variable-length AB-join motif discovery.
+struct AbValmodOptions {
+  Index len_min = 0;
+  Index len_max = 0;
+  /// Retained lower-bound entries per join profile.
+  Index p = 5;
+  Deadline deadline;
+};
+
+/// Output of RunAbValmod.
+struct AbValmodResult {
+  /// Closest cross-series pair for every length in the range
+  /// (`a` = offset in series A, `b` = offset in series B; unlike the
+  /// self-join there is no canonical ordering).
+  std::vector<MotifPair> per_length_join_motifs;
+  /// Per-A-offset best length-normalized distance to B over all lengths
+  /// (the AB analogue of the VALMP; `indices[i]` is an offset in B).
+  Valmp valmp{0};
+  /// Full O(|A| * |B|) join passes executed (>= 1).
+  Index full_join_computations = 0;
+  bool dnf = false;
+
+  /// The best join pair across all lengths under sqrt(1/len) ranking.
+  MotifPair BestOverall() const;
+};
+
+/// Variable-length AB-join motif discovery: an extension of VALMOD beyond
+/// the paper (its future-work section asks for broader applications of the
+/// machinery). The Eq. 2 lower bound never references the trivial-match
+/// structure, so the exact same listDP/ComputeSubMP strategy applies to a
+/// join: one STOMP-style AB pass at len_min harvests the p
+/// smallest-lower-bound entries of every A-subsequence's join profile, and
+/// each further length advances entries in O(1) with the identical
+/// certification logic. Exact: per-length results equal an independent
+/// AB-join per length.
+AbValmodResult RunAbValmod(std::span<const double> series_a,
+                           std::span<const double> series_b,
+                           const AbValmodOptions& options);
+
+}  // namespace valmod
+
+#endif  // VALMOD_CORE_AB_VALMOD_H_

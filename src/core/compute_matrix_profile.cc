@@ -1,0 +1,27 @@
+#include "core/compute_matrix_profile.h"
+
+#include "mp/stomp.h"
+#include "util/check.h"
+
+namespace valmod {
+
+MatrixProfileWithLb ComputeMatrixProfileWithLb(std::span<const double> series,
+                                               const PrefixStats& stats,
+                                               Index len, Index p,
+                                               const Deadline& deadline) {
+  VALMOD_CHECK(p >= 1);
+  const Index n_sub = NumSubsequences(static_cast<Index>(series.size()), len);
+  MatrixProfileWithLb out;
+  out.list_dp.resize(static_cast<std::size_t>(n_sub));
+  // The observer harvests each finished row into listDP; the STOMP kernel
+  // itself is shared with the plain matrix-profile code path.
+  const StompRowObserver observer = [&](Index row, std::span<const double> qt,
+                                        std::span<const double> profile) {
+    out.list_dp[static_cast<std::size_t>(row)] =
+        HarvestProfile(row, len, p, qt, profile, stats);
+  };
+  out.profile = Stomp(series, stats, len, observer, deadline, &out.dnf);
+  return out;
+}
+
+}  // namespace valmod

@@ -1,0 +1,32 @@
+#ifndef VALMOD_CORE_COMPUTE_MATRIX_PROFILE_H_
+#define VALMOD_CORE_COMPUTE_MATRIX_PROFILE_H_
+
+#include <span>
+
+#include "core/list_dp.h"
+#include "mp/matrix_profile.h"
+#include "util/common.h"
+#include "util/prefix_stats.h"
+#include "util/timer.h"
+
+namespace valmod {
+
+/// Result of Algorithm 3: the exact matrix profile at one length plus the
+/// per-profile partial distance profiles (`listDP`) that seed ComputeSubMP.
+struct MatrixProfileWithLb {
+  MatrixProfile profile;
+  ListDp list_dp;
+  /// Set when the deadline expired; the profile is then incomplete.
+  bool dnf = false;
+};
+
+/// Algorithm 3 (ComputeMatrixProfile): a STOMP pass at length `len` that
+/// additionally retains, for every distance profile, the `p` entries with
+/// the smallest Eq. 2 lower bounds. O(n^2 log p) time, O(n p) extra space.
+MatrixProfileWithLb ComputeMatrixProfileWithLb(
+    std::span<const double> series, const PrefixStats& stats, Index len,
+    Index p, const Deadline& deadline = Deadline());
+
+}  // namespace valmod
+
+#endif  // VALMOD_CORE_COMPUTE_MATRIX_PROFILE_H_

@@ -1,0 +1,177 @@
+#include "core/compute_sub_mp.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/lower_bound.h"
+#include "mp/distance_profile.h"
+#include "signal/distance.h"
+#include "signal/sliding_dot.h"
+#include "signal/znorm.h"
+#include "util/check.h"
+
+namespace valmod {
+namespace {
+
+/// Advances one profile's retained entries from `new_len - 1` to `new_len`
+/// and returns (minDist, argmin neighbor) over the live entries.
+std::pair<double, Index> AdvanceProfile(std::span<const double> series,
+                                        const PrefixStats& stats,
+                                        ProfileLbState& state, Index new_len,
+                                        Index n_sub_new) {
+  const Index owner = state.owner;
+  const MeanStd owner_stats = stats.Stats(owner, new_len);
+  double min_dist = kInf;
+  Index min_neighbor = kNoNeighbor;
+  for (LbEntry& entry : state.entries.MutableItems()) {
+    if (entry.dead) continue;
+    const Index nb = entry.neighbor;
+    // The pair leaves play when the neighbor slides past the end of the
+    // series or when the growing exclusion zone turns it into a trivial
+    // match; both conditions are permanent as the length keeps growing.
+    if (nb >= n_sub_new || IsTrivialMatch(owner, nb, new_len)) {
+      entry.dead = true;
+      continue;
+    }
+    entry.qt += series[static_cast<std::size_t>(owner + new_len - 1)] *
+                series[static_cast<std::size_t>(nb + new_len - 1)];
+    const double dist = ZNormalizedDistanceFromDotProduct(
+        entry.qt, new_len, owner_stats, stats.Stats(nb, new_len));
+    if (dist < min_dist) {
+      min_dist = dist;
+      min_neighbor = nb;
+    }
+  }
+  return {min_dist, min_neighbor};
+}
+
+/// Mean LB/dist tightness over the live entries of one profile, at new_len.
+double ProfileTlb(const PrefixStats& stats, const ProfileLbState& state,
+                  Index new_len) {
+  const double sigma_now = stats.Std(state.owner, new_len);
+  const MeanStd owner_stats = stats.Stats(state.owner, new_len);
+  double acc = 0.0;
+  Index count = 0;
+  for (const LbEntry& entry : state.entries.Items()) {
+    if (entry.dead) continue;
+    const double lb =
+        LowerBoundAtLength(entry.lb_base, state.sigma_base, sigma_now);
+    const double dist = ZNormalizedDistanceFromDotProduct(
+        entry.qt, new_len, owner_stats, stats.Stats(entry.neighbor, new_len));
+    if (dist <= 0.0) {
+      acc += 1.0;  // Identical pair: the bound is trivially tight.
+    } else {
+      acc += std::min(1.0, lb / dist);
+    }
+    ++count;
+  }
+  return count == 0 ? 0.0 : acc / static_cast<double>(count);
+}
+
+}  // namespace
+
+SubMpResult ComputeSubMp(std::span<const double> series,
+                         const PrefixStats& stats, ListDp& list_dp,
+                         Index new_len, Index p, const SubMpOptions& options,
+                         const Deadline& deadline,
+                         SubMpDiagnostics* diagnostics) {
+  const Index n = static_cast<Index>(series.size());
+  const Index n_sub_new = NumSubsequences(n, new_len);
+  VALMOD_CHECK(n_sub_new >= 1);
+  VALMOD_CHECK(static_cast<Index>(list_dp.size()) >= n_sub_new);
+
+  SubMpResult result;
+  result.sub_mp.assign(static_cast<std::size_t>(n_sub_new), kInf);
+  result.ip.assign(static_cast<std::size_t>(n_sub_new), kNoNeighbor);
+  result.known.assign(static_cast<std::size_t>(n_sub_new), 0);
+
+  double min_lb_abs = kInf;
+  // Non-valid profiles: (owner, maxLB at new_len).
+  std::vector<std::pair<Index, double>> non_valid;
+
+  for (Index o = 0; o < n_sub_new; ++o) {
+    if ((o & 1023) == 0 && deadline.Expired()) {
+      result.dnf = true;
+      return result;
+    }
+    ProfileLbState& state = list_dp[static_cast<std::size_t>(o)];
+    const auto [min_dist, min_neighbor] =
+        AdvanceProfile(series, stats, state, new_len, n_sub_new);
+    const double max_lb = state.MaxLowerBound(stats, new_len);
+    if (diagnostics != nullptr) {
+      if (min_dist != kInf && max_lb != kInf) {
+        diagnostics->margins.push_back(max_lb - min_dist);
+      }
+      diagnostics->tlb.push_back(ProfileTlb(stats, state, new_len));
+    }
+    // A profile whose heap never filled holds every candidate, so its local
+    // minimum is always the true one (MaxLowerBound returned kInf). The
+    // comparison uses <=: entries outside the heap have LB >= maxLB, hence
+    // true distance >= maxLB >= minDist, so ties still certify.
+    if (min_dist <= max_lb) {
+      result.sub_mp[static_cast<std::size_t>(o)] = min_dist;
+      result.ip[static_cast<std::size_t>(o)] = min_neighbor;
+      result.known[static_cast<std::size_t>(o)] = 1;
+      ++result.valid_count;
+      if (min_dist < result.min_dist_abs) {
+        result.min_dist_abs = min_dist;
+        result.min_owner = o;
+        result.min_neighbor = min_neighbor;
+      }
+    } else {
+      min_lb_abs = std::min(min_lb_abs, max_lb);
+      non_valid.emplace_back(o, max_lb);
+    }
+  }
+
+  // Global certification: every non-valid profile's true minimum is at least
+  // its maxLB, hence at least minLbAbs; if the best certified distance beats
+  // that, it is the exact motif distance for this length.
+  result.best_motif_found = result.min_dist_abs < min_lb_abs;
+
+  // "Last opportunity" (lines 27-38): recompute just the non-valid profiles
+  // that could still hide a better pair, instead of a full STOMP pass.
+  const bool selective_allowed =
+      options.allow_selective_recompute &&
+      static_cast<double>(non_valid.size()) <
+          options.selective_fraction * static_cast<double>(n_sub_new);
+  if (!result.best_motif_found && selective_allowed) {
+    for (const auto& [owner, max_lb] : non_valid) {
+      if (deadline.Expired()) {
+        result.dnf = true;
+        return result;
+      }
+      if (max_lb >= result.min_dist_abs) continue;  // Cannot improve.
+      const std::vector<double> qt_row = SlidingDotProduct(
+          series.subspan(static_cast<std::size_t>(owner),
+                         static_cast<std::size_t>(new_len)),
+          series);
+      const std::vector<double> dist_row =
+          DistanceProfileFromDotProducts(qt_row, stats, owner, new_len);
+      const Index arg = ArgMin(dist_row);
+      ++result.recomputed_count;
+      // Re-base the profile's retained entries at new_len (line 34).
+      list_dp[static_cast<std::size_t>(owner)] =
+          HarvestProfile(owner, new_len, p, qt_row, dist_row, stats);
+      if (arg == kNoNeighbor) continue;
+      const double row_min = dist_row[static_cast<std::size_t>(arg)];
+      result.sub_mp[static_cast<std::size_t>(owner)] = row_min;
+      result.ip[static_cast<std::size_t>(owner)] = arg;
+      if (result.known[static_cast<std::size_t>(owner)] == 0) {
+        result.known[static_cast<std::size_t>(owner)] = 1;
+        ++result.valid_count;
+      }
+      if (row_min < result.min_dist_abs) {
+        result.min_dist_abs = row_min;
+        result.min_owner = owner;
+        result.min_neighbor = arg;
+      }
+    }
+    // Every skipped profile had maxLB >= the running best-so-far, so its
+    // true minimum cannot beat the final answer: the motif is certified.
+    result.best_motif_found = true;
+  }
+  return result;
+}
+
+}  // namespace valmod

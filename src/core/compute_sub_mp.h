@@ -1,0 +1,81 @@
+#ifndef VALMOD_CORE_COMPUTE_SUB_MP_H_
+#define VALMOD_CORE_COMPUTE_SUB_MP_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/list_dp.h"
+#include "util/common.h"
+#include "util/prefix_stats.h"
+#include "util/timer.h"
+
+namespace valmod {
+
+/// Tuning knobs for Algorithm 4.
+struct SubMpOptions {
+  /// Enables the "last opportunity" selective-recompute path (lines 27-38):
+  /// when the motif is not certified, non-valid profiles whose maxLB is
+  /// below the best-so-far are recomputed individually with MASS instead of
+  /// falling back to a full STOMP pass.
+  bool allow_selective_recompute = true;
+  /// The selective path is only attempted when the number of non-valid
+  /// profiles is below this fraction of all profiles. (The paper gates on
+  /// "less than half"; each selective recompute costs a MASS pass,
+  /// O(n log n), versus O(n) per row inside a full STOMP pass, so a much
+  /// smaller gate keeps the fallback strictly cheaper than recomputing the
+  /// whole profile.)
+  double selective_fraction = 0.1;
+};
+
+/// Result of one ComputeSubMP call for subsequence length `new_len`.
+struct SubMpResult {
+  /// bBestM: true when sub_mp certifiably contains the exact motif pair of
+  /// this length; false means the caller must run a full matrix profile.
+  bool best_motif_found = false;
+  /// Partial matrix profile: the certified row minimum where known[i] != 0,
+  /// kInf elsewhere (the ⊥ of the pseudocode).
+  std::vector<double> sub_mp;
+  /// Neighbor offsets matching sub_mp.
+  std::vector<Index> ip;
+  /// known[i] != 0 iff profile i was certified valid (or recomputed).
+  std::vector<std::uint8_t> known;
+  /// Number of certified profiles — the |subMP| series of Figure 14.
+  Index valid_count = 0;
+  /// Profiles recomputed by the selective fallback.
+  Index recomputed_count = 0;
+  /// Best certified distance (the motif distance when best_motif_found).
+  double min_dist_abs = kInf;
+  Index min_owner = kNoNeighbor;
+  Index min_neighbor = kNoNeighbor;
+  /// Deadline expired mid-computation.
+  bool dnf = false;
+};
+
+/// Optional per-profile instrumentation, harvested while the main loop runs;
+/// feeds Figures 9 (pruning margin) and 10 (tightness of the lower bound).
+struct SubMpDiagnostics {
+  /// maxLB - minDist per profile (positive = profile certified); profiles
+  /// with no live entries are skipped.
+  std::vector<double> margins;
+  /// Mean of LB / true-distance over the live entries of each profile
+  /// (in [0, 1]; higher = tighter bound).
+  std::vector<double> tlb;
+};
+
+/// Algorithm 4 (ComputeSubMP): advances every retained `listDP` entry from
+/// length `new_len - 1` to `new_len` in O(1) each, certifies per-profile
+/// minima against the rank-preserved Eq. 2 bounds, and certifies the global
+/// motif via the minDistABS < minLbAbs test. Mutates `list_dp` in place
+/// (running dot products advance; selectively recomputed profiles are
+/// re-based at `new_len`).
+SubMpResult ComputeSubMp(std::span<const double> series,
+                         const PrefixStats& stats, ListDp& list_dp,
+                         Index new_len, Index p,
+                         const SubMpOptions& options = SubMpOptions(),
+                         const Deadline& deadline = Deadline(),
+                         SubMpDiagnostics* diagnostics = nullptr);
+
+}  // namespace valmod
+
+#endif  // VALMOD_CORE_COMPUTE_SUB_MP_H_

@@ -1,0 +1,53 @@
+#include "core/diagnostics.h"
+
+#include "core/compute_matrix_profile.h"
+#include "core/compute_sub_mp.h"
+#include "signal/znorm.h"
+#include "util/check.h"
+#include "util/prefix_stats.h"
+
+namespace valmod {
+
+double LbDiagnostics::PositiveMarginFraction() const {
+  if (margins.empty()) return 0.0;
+  Index positive = 0;
+  for (double m : margins) {
+    if (m > 0.0) ++positive;
+  }
+  return static_cast<double>(positive) / static_cast<double>(margins.size());
+}
+
+double LbDiagnostics::MeanTlb() const {
+  if (tlb.empty()) return 0.0;
+  double acc = 0.0;
+  for (double t : tlb) acc += t;
+  return acc / static_cast<double>(tlb.size());
+}
+
+LbDiagnostics CollectLbDiagnostics(std::span<const double> series,
+                                   Index len_base, Index len_target, Index p) {
+  VALMOD_CHECK(len_target > len_base);
+  // Center the input: a semantic no-op for z-normalized distances that
+  // prevents catastrophic cancellation when the data has a large offset.
+  const Series centered = CenterSeries(series);
+  series = std::span<const double>(centered);
+  const PrefixStats stats(series);
+  MatrixProfileWithLb base =
+      ComputeMatrixProfileWithLb(series, stats, len_base, p);
+  ListDp list_dp = std::move(base.list_dp);
+  LbDiagnostics diag;
+  diag.length = len_target;
+  for (Index len = len_base + 1; len <= len_target; ++len) {
+    SubMpDiagnostics sink;
+    const bool last = len == len_target;
+    ComputeSubMp(series, stats, list_dp, len, p, SubMpOptions(), Deadline(),
+                 last ? &sink : nullptr);
+    if (last) {
+      diag.margins = std::move(sink.margins);
+      diag.tlb = std::move(sink.tlb);
+    }
+  }
+  return diag;
+}
+
+}  // namespace valmod

@@ -1,0 +1,39 @@
+#ifndef VALMOD_CORE_DIAGNOSTICS_H_
+#define VALMOD_CORE_DIAGNOSTICS_H_
+
+#include <span>
+#include <vector>
+
+#include "util/common.h"
+
+namespace valmod {
+
+/// Per-profile lower-bound quality measurements at one subsequence length,
+/// reproducing the quantities of Figures 9 and 10.
+struct LbDiagnostics {
+  /// The length the diagnostics were collected at.
+  Index length = 0;
+  /// maxLB - minDist per distance profile (Figure 9): positive values mean
+  /// the profile's minimum was certified from the retained entries alone.
+  std::vector<double> margins;
+  /// Average tightness of the lower bound per profile (Figure 10):
+  /// mean over retained entries of LB / true distance, in [0, 1].
+  std::vector<double> tlb;
+
+  /// Fraction of profiles with a positive margin (pruning success rate).
+  double PositiveMarginFraction() const;
+  /// Mean of the per-profile TLB averages.
+  double MeanTlb() const;
+};
+
+/// Runs VALMOD's machinery from `len_base` up to `len_target` with p
+/// retained entries per profile and collects the margin/TLB measurements at
+/// the final length. `len_target == len_base` measures the bound one step
+/// ahead of the base (diagnostics need at least one ComputeSubMP step, so
+/// the target must exceed the base).
+LbDiagnostics CollectLbDiagnostics(std::span<const double> series,
+                                   Index len_base, Index len_target, Index p);
+
+}  // namespace valmod
+
+#endif  // VALMOD_CORE_DIAGNOSTICS_H_

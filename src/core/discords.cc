@@ -1,0 +1,42 @@
+#include "core/discords.h"
+
+#include "mp/stomp.h"
+#include "signal/znorm.h"
+#include "util/check.h"
+#include "util/prefix_stats.h"
+
+namespace valmod {
+
+VariableLengthDiscords FindVariableLengthDiscords(
+    std::span<const double> series, Index len_min, Index len_max,
+    const Deadline& deadline) {
+  VALMOD_CHECK(len_min >= 4 && len_max >= len_min);
+  // Center the input: a semantic no-op for z-normalized distances that
+  // prevents catastrophic cancellation when the data has a large offset.
+  const Series centered = CenterSeries(series);
+  series = std::span<const double>(centered);
+  const PrefixStats stats(series);
+  VariableLengthDiscords out;
+  double best_norm = -1.0;
+  for (Index len = len_min; len <= len_max; ++len) {
+    bool dnf = false;
+    const MatrixProfile profile =
+        Stomp(series, stats, len, nullptr, deadline, &dnf);
+    if (dnf) {
+      out.dnf = true;
+      break;
+    }
+    const Discord discord = DiscordFromProfile(profile);
+    out.per_length.push_back(discord);
+    if (discord.valid()) {
+      const double norm = LengthNormalize(discord.distance, len);
+      if (norm > best_norm) {
+        best_norm = norm;
+        out.best = discord;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace valmod

@@ -1,0 +1,33 @@
+#ifndef VALMOD_CORE_DISCORDS_H_
+#define VALMOD_CORE_DISCORDS_H_
+
+#include <span>
+#include <vector>
+
+#include "mp/matrix_profile.h"
+#include "util/common.h"
+#include "util/timer.h"
+
+namespace valmod {
+
+/// Result of variable-length discord discovery (the paper's future-work
+/// extension: discords need the *complete* matrix profile at every length,
+/// which the per-length-profiles mode of the driver provides).
+struct VariableLengthDiscords {
+  /// Top discord for each length in the requested range.
+  std::vector<Discord> per_length;
+  /// The discord with the largest length-normalized nearest-neighbour
+  /// distance across all lengths.
+  Discord best;
+  bool dnf = false;
+};
+
+/// Finds the top discord of every length in [len_min, len_max] and the best
+/// overall under sqrt(1/l) normalization. Exact; O((len_max - len_min) n^2).
+VariableLengthDiscords FindVariableLengthDiscords(
+    std::span<const double> series, Index len_min, Index len_max,
+    const Deadline& deadline = Deadline());
+
+}  // namespace valmod
+
+#endif  // VALMOD_CORE_DISCORDS_H_

@@ -1,0 +1,56 @@
+#include "core/list_dp.h"
+
+#include <cmath>
+
+#include "core/lower_bound.h"
+#include "signal/distance.h"
+#include "util/check.h"
+
+namespace valmod {
+
+double ProfileLbState::MaxLowerBound(const PrefixStats& stats,
+                                     Index len) const {
+  if (Complete() || entries.Empty()) return kInf;
+  const double sigma_now = stats.Std(owner, len);
+  return LowerBoundAtLength(entries.Max().lb_base, sigma_base, sigma_now);
+}
+
+ProfileLbState HarvestProfile(Index owner, Index len, Index p,
+                              std::span<const double> qt_row,
+                              std::span<const double> dist_row,
+                              const PrefixStats& stats) {
+  VALMOD_CHECK(qt_row.size() == dist_row.size());
+  ProfileLbState state;
+  state.owner = owner;
+  state.base_len = len;
+  state.sigma_base = stats.Std(owner, len);
+  state.entries = BoundedMaxHeap<LbEntry, LbEntryLess>(p);
+  const Index n_sub = static_cast<Index>(qt_row.size());
+  // This loop runs once per (row, column), i.e. O(n^2) per matrix-profile
+  // pass, so it is written to be cheap: the correlation is recovered from
+  // the already-computed distance (q = 1 - d^2/(2l), inverting Eq. 3 with
+  // all flat-window conventions already applied), and the heap threshold is
+  // checked on the *squared* base term so the sqrt only runs for entries
+  // that actually enter the heap.
+  const double l = static_cast<double>(len);
+  double max_sq = kInf;  // Squared heap max; +inf until the heap fills.
+  for (Index j = 0; j < n_sub; ++j) {
+    const double dist = dist_row[static_cast<std::size_t>(j)];
+    if (dist == kInf) continue;  // Trivial match.
+    const double q = 1.0 - dist * dist / (2.0 * l);
+    const double base_sq = q <= 0.0 ? l : l * (1.0 - q * q);
+    if (base_sq >= max_sq) continue;  // Cannot displace the heap max.
+    LbEntry entry;
+    entry.neighbor = j;
+    entry.qt = qt_row[static_cast<std::size_t>(j)];
+    entry.lb_base = std::sqrt(base_sq);
+    state.entries.Insert(entry);
+    if (state.entries.Full()) {
+      const double m = state.entries.Max().lb_base;
+      max_sq = m * m;
+    }
+  }
+  return state;
+}
+
+}  // namespace valmod

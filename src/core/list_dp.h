@@ -1,0 +1,84 @@
+#ifndef VALMOD_CORE_LIST_DP_H_
+#define VALMOD_CORE_LIST_DP_H_
+
+#include <span>
+#include <vector>
+
+#include "mp/matrix_profile.h"
+#include "util/bounded_heap.h"
+#include "util/common.h"
+#include "util/prefix_stats.h"
+
+namespace valmod {
+
+/// One retained entry of a (partial) distance profile: the pair
+/// (owner, neighbor) together with everything needed to (a) re-evaluate the
+/// exact z-normalized distance at any later length in O(1) per length step
+/// (the running dot product) and (b) evaluate the Eq. 2 lower bound at any
+/// later length (the k-independent base term).
+struct LbEntry {
+  /// Offset of the other subsequence of the pair.
+  Index neighbor = kNoNeighbor;
+  /// Dot product of the pair's raw values at the current length of the scan
+  /// (updated incrementally by ComputeSubMP).
+  double qt = 0.0;
+  /// Eq. 2 base term B(q, base_len); multiply by sigma_base/sigma_now for
+  /// the lower bound at a later length.
+  double lb_base = 0.0;
+  /// Set when the entry can no longer participate: the neighbor slid past
+  /// the end of the series, or the pair became a trivial match as the
+  /// exclusion zone grew with the length.
+  bool dead = false;
+};
+
+/// Heap order: retain the entries with the *smallest* base lower bounds.
+struct LbEntryLess {
+  bool operator()(const LbEntry& x, const LbEntry& y) const {
+    return x.lb_base < y.lb_base;
+  }
+};
+
+/// The `listDP[i]` of Algorithms 3-4: the p smallest-lower-bound entries of
+/// the distance profile owned by subsequence `owner`, harvested at
+/// `base_len`, plus the owner-side statistics that anchor Eq. 2.
+struct ProfileLbState {
+  Index owner = kNoNeighbor;
+  /// Length at which the entries (and their base lower bounds) were
+  /// harvested; rebased when the profile is fully recomputed.
+  Index base_len = 0;
+  /// Owner's standard deviation at base_len (numerator of the sigma ratio).
+  double sigma_base = 0.0;
+  BoundedMaxHeap<LbEntry, LbEntryLess> entries;
+
+  ProfileLbState() : entries(1) {}
+
+  /// True when the heap never filled: it then holds *every* non-trivial
+  /// entry of the profile, so there is no pruning threshold to respect
+  /// (maxLB is effectively +inf).
+  bool Complete() const { return !entries.Full(); }
+
+  /// The pruning threshold maxLB of Algorithm 4 at subsequence length
+  /// `len`: the largest retained base bound scaled by the sigma ratio.
+  /// Returns kInf for complete profiles.
+  double MaxLowerBound(const PrefixStats& stats, Index len) const;
+};
+
+/// The whole `listDP` vector: one partial profile per subsequence of the
+/// base length.
+using ListDp = std::vector<ProfileLbState>;
+
+/// Builds the ProfileLbState for one profile from its full dot-product and
+/// distance rows (used by the STOMP observer in ComputeMatrixProfile and by
+/// the selective-recompute fallback of ComputeSubMP).
+///
+/// `qt_row[j]` is dot(T_owner, T_j) at length `len`; `dist_row[j]` the
+/// z-normalized distance (kInf marks trivial matches, which are skipped).
+/// Retains the `p` entries with the smallest Eq. 2 base bounds.
+ProfileLbState HarvestProfile(Index owner, Index len, Index p,
+                              std::span<const double> qt_row,
+                              std::span<const double> dist_row,
+                              const PrefixStats& stats);
+
+}  // namespace valmod
+
+#endif  // VALMOD_CORE_LIST_DP_H_

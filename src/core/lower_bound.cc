@@ -1,0 +1,30 @@
+#include "core/lower_bound.h"
+
+#include <cmath>
+
+#include "signal/znorm.h"
+#include "util/check.h"
+
+namespace valmod {
+
+double LowerBoundBase(double correlation, Index base_len) {
+  VALMOD_DCHECK(base_len >= 1);
+  const double l = static_cast<double>(base_len);
+  if (correlation <= 0.0) return std::sqrt(l);
+  const double q = correlation > 1.0 ? 1.0 : correlation;
+  return std::sqrt(l * (1.0 - q * q));
+}
+
+double LowerBoundAtLength(double lower_bound_base, double sigma_base,
+                          double sigma_now) {
+  if (sigma_now < kFlatStdEpsilon) return 0.0;
+  return lower_bound_base * (sigma_base / sigma_now);
+}
+
+double LowerBoundDistance(double correlation, Index base_len,
+                          double sigma_owner_base, double sigma_owner_now) {
+  return LowerBoundAtLength(LowerBoundBase(correlation, base_len),
+                            sigma_owner_base, sigma_owner_now);
+}
+
+}  // namespace valmod

@@ -1,0 +1,44 @@
+#ifndef VALMOD_CORE_LOWER_BOUND_H_
+#define VALMOD_CORE_LOWER_BOUND_H_
+
+#include "util/common.h"
+#include "util/prefix_stats.h"
+
+namespace valmod {
+
+/// The paper's Eq. 2 lower bound, split into its two factors.
+///
+/// Given subsequences of length `base_len` at offsets i (the "unknown" side)
+/// and j (the "known" side, the owner of the distance profile), with Pearson
+/// correlation q between them, the z-normalized distance at any longer
+/// length `base_len + k` is bounded from below by
+///
+///   LB(d_{i,j}^{l+k}) = B(q, l) * sigma_{j,l} / sigma_{j,l+k}
+///
+/// where the base term B(q, l) is
+///
+///   B(q, l) = sqrt(l)              if q <= 0
+///   B(q, l) = sqrt(l * (1 - q^2))  otherwise.
+///
+/// Only the sigma ratio depends on k and it is common to every entry of the
+/// profile of j, which is what makes the bound rank-preserving in k
+/// (Section 4.1).
+
+/// The k-independent base term B(q, base_len).
+double LowerBoundBase(double correlation, Index base_len);
+
+/// Full Eq. 2 bound: B(q, l) * sigma_base / sigma_now.
+/// `sigma_base` is the owner's std at the base length, `sigma_now` at the
+/// target length. A (near-)flat owner window at the target length makes the
+/// ratio blow up; the bound is then truncated to 0 (trivially valid).
+double LowerBoundAtLength(double lower_bound_base, double sigma_base,
+                          double sigma_now);
+
+/// Convenience: Eq. 2 evaluated end-to-end for a pair of offsets, from base
+/// statistics. Used by tests and diagnostics; hot paths use the split form.
+double LowerBoundDistance(double correlation, Index base_len,
+                          double sigma_owner_base, double sigma_owner_now);
+
+}  // namespace valmod
+
+#endif  // VALMOD_CORE_LOWER_BOUND_H_

@@ -1,0 +1,139 @@
+#include "core/motif_sets.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+#include "mp/distance_profile.h"
+#include "signal/znorm.h"
+#include "signal/distance.h"
+#include "util/check.h"
+#include "util/prefix_stats.h"
+#include "util/timer.h"
+
+namespace valmod {
+namespace {
+
+/// Candidate member of a motif set: offset and distance to one of the seeds.
+struct Candidate {
+  Index offset;
+  double dist;
+};
+
+/// Collects every subsequence within `radius` of the seed at `owner`
+/// (length `len`), preferring the retained partial profile when its pruning
+/// threshold certifies completeness within the radius.
+std::vector<Candidate> MembersInRange(std::span<const double> series,
+                                      const PrefixStats& stats,
+                                      const ListDp& list_dp, Index owner,
+                                      Index len, double radius,
+                                      MotifSetStats* out_stats) {
+  std::vector<Candidate> members;
+  const Index n_sub = NumSubsequences(static_cast<Index>(series.size()), len);
+  const ProfileLbState* state =
+      owner < static_cast<Index>(list_dp.size())
+          ? &list_dp[static_cast<std::size_t>(owner)]
+          : nullptr;
+  // The Eq. 2 bound only extrapolates from the base length upward, so the
+  // partial profile is usable only when it was based at or below `len`.
+  const bool usable = state != nullptr && state->base_len <= len;
+  const double max_lb = usable ? state->MaxLowerBound(stats, len) : -kInf;
+  if (usable && max_lb > radius) {
+    // Every subsequence within the radius is among the retained entries:
+    // anything outside the heap has LB >= maxLB > radius (Algorithm 6,
+    // sortAndFilterRange branch). Exact distances are recomputed at `len`
+    // because the running dot products have advanced past it.
+    if (out_stats != nullptr) ++out_stats->answered_from_partial;
+    for (const LbEntry& entry : state->entries.Items()) {
+      const Index nb = entry.neighbor;
+      if (nb >= n_sub || IsTrivialMatch(owner, nb, len)) continue;
+      const double d = SubsequenceDistance(series, stats, owner, nb, len);
+      if (d <= radius) members.push_back(Candidate{nb, d});
+    }
+    return members;
+  }
+  // Radius reaches beyond the retained entries: recompute the profile
+  // (CalcDistProfInRange branch).
+  if (out_stats != nullptr) ++out_stats->full_profile_recomputes;
+  const std::vector<double> profile =
+      ComputeDistanceProfile(series, stats, owner, len);
+  for (Index j = 0; j < static_cast<Index>(profile.size()); ++j) {
+    const double d = profile[static_cast<std::size_t>(j)];
+    if (d <= radius) members.push_back(Candidate{j, d});
+  }
+  return members;
+}
+
+}  // namespace
+
+std::vector<MotifSet> ComputeVariableLengthMotifSets(
+    std::span<const double> series, const ValmodResult& result,
+    const MotifSetOptions& options, MotifSetStats* stats_out) {
+  VALMOD_CHECK(options.k >= 1);
+  VALMOD_CHECK(options.radius_factor >= 0.0);
+  WallTimer timer;
+  // Center the input: a semantic no-op for z-normalized distances that
+  // prevents catastrophic cancellation when the data has a large offset.
+  const Series centered = CenterSeries(series);
+  series = std::span<const double>(centered);
+  const PrefixStats stats(series);
+  const std::vector<RankedPair> pairs =
+      SelectTopKPairs(result.valmp, options.k);
+
+  std::vector<MotifSet> sets;
+  // Global disjointness: a subsequence (offset at some length) joins at most
+  // one set; overlap is judged with the exclusion zone of the shorter of
+  // the two lengths involved, matching the trivial-match rule.
+  std::vector<std::pair<Index, Index>> used;  // (offset, length)
+  auto overlaps_used = [&used](Index off, Index len) {
+    for (const auto& [u_off, u_len] : used) {
+      const Index excl = ExclusionZone(std::min(len, u_len));
+      if (std::llabs(static_cast<long long>(u_off - off)) < excl) return true;
+    }
+    return false;
+  };
+
+  for (const RankedPair& pair : pairs) {
+    const double radius = options.radius_factor * pair.distance;
+    MotifSet set;
+    set.seed = pair;
+    set.radius = radius;
+    // The seeds anchor the set; SelectTopKPairs already guaranteed they do
+    // not overlap earlier sets, but a seed may still have been swallowed by
+    // a previous set's radius expansion.
+    if (overlaps_used(pair.off1, pair.length) ||
+        overlaps_used(pair.off2, pair.length)) {
+      continue;
+    }
+    set.occurrences = {pair.off1, pair.off2};
+    set.distances = {0.0, 0.0};
+    used.emplace_back(pair.off1, pair.length);
+    used.emplace_back(pair.off2, pair.length);
+
+    std::vector<Candidate> candidates = MembersInRange(
+        series, stats, result.list_dp, pair.off1, pair.length, radius,
+        stats_out);
+    const std::vector<Candidate> from_second = MembersInRange(
+        series, stats, result.list_dp, pair.off2, pair.length, radius,
+        stats_out);
+    candidates.insert(candidates.end(), from_second.begin(),
+                      from_second.end());
+    // mergeRemoveTM: ascending by distance, greedily keep candidates that do
+    // not trivially match anything already accepted (in any set).
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& x, const Candidate& y) {
+                return x.dist < y.dist;
+              });
+    for (const Candidate& c : candidates) {
+      if (overlaps_used(c.offset, pair.length)) continue;
+      set.occurrences.push_back(c.offset);
+      set.distances.push_back(c.dist);
+      used.emplace_back(c.offset, pair.length);
+    }
+    sets.push_back(std::move(set));
+  }
+  if (stats_out != nullptr) stats_out->seconds = timer.Seconds();
+  return sets;
+}
+
+}  // namespace valmod

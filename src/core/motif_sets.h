@@ -1,0 +1,64 @@
+#ifndef VALMOD_CORE_MOTIF_SETS_H_
+#define VALMOD_CORE_MOTIF_SETS_H_
+
+#include <span>
+#include <vector>
+
+#include "core/ranking.h"
+#include "core/valmod.h"
+#include "util/common.h"
+
+namespace valmod {
+
+/// A variable-length motif set (Definition 2.6): all subsequences within
+/// radius `radius` of either seed of a top-K motif pair, at that pair's
+/// length.
+struct MotifSet {
+  /// The motif pair the set grew from.
+  RankedPair seed;
+  /// r = D * seed.distance.
+  double radius = 0.0;
+  /// Offsets of the member subsequences, including the two seeds, sorted by
+  /// distance to the nearest seed (ascending; the seeds come first).
+  std::vector<Index> occurrences;
+  /// Distance of each occurrence to its nearest seed (0 for the seeds).
+  std::vector<double> distances;
+
+  /// |S_r^l|, the frequency of the motif set.
+  Index frequency() const { return static_cast<Index>(occurrences.size()); }
+};
+
+/// Parameters of the motif-set stage.
+struct MotifSetOptions {
+  /// Number of top pairs (by length-normalized distance) to extend (K).
+  Index k = 10;
+  /// Radius factor D: the set radius is D times the seed pair distance.
+  double radius_factor = 3.0;
+};
+
+/// Bookkeeping reported by ComputeVariableLengthMotifSets; shows how often
+/// the retained partial profiles sufficed (the source of the 3-6 orders of
+/// magnitude speed-up of Figure 15).
+struct MotifSetStats {
+  /// Seed profiles answered from the retained listDP entries alone.
+  Index answered_from_partial = 0;
+  /// Seed profiles that required a fresh full distance profile.
+  Index full_profile_recomputes = 0;
+  double seconds = 0.0;
+};
+
+/// Algorithms 5-6: extends the top-K motif pairs of a finished VALMOD run
+/// into motif sets. Each subsequence joins at most one set (the disjointness
+/// constraint of Problem 2), enforced greedily in ascending distance order.
+///
+/// For each seed subsequence, when the maximum retained lower bound of its
+/// partial distance profile exceeds the search radius, every member within
+/// the radius is already among the retained entries and no new distance
+/// profile is computed; otherwise the profile is recomputed with MASS.
+std::vector<MotifSet> ComputeVariableLengthMotifSets(
+    std::span<const double> series, const ValmodResult& result,
+    const MotifSetOptions& options, MotifSetStats* stats = nullptr);
+
+}  // namespace valmod
+
+#endif  // VALMOD_CORE_MOTIF_SETS_H_

@@ -1,0 +1,104 @@
+#include "core/pan_profile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "core/valmod.h"
+#include "util/check.h"
+
+namespace valmod {
+
+PanMatrixProfile::PanMatrixProfile(std::vector<MatrixProfile> profiles)
+    : profiles_(std::move(profiles)) {
+  VALMOD_CHECK(!profiles_.empty());
+  len_min_ = profiles_.front().subsequence_length;
+  for (std::size_t k = 0; k < profiles_.size(); ++k) {
+    VALMOD_CHECK_MSG(profiles_[k].subsequence_length ==
+                         len_min_ + static_cast<Index>(k),
+                     "profiles must cover consecutive ascending lengths");
+  }
+}
+
+const MatrixProfile& PanMatrixProfile::ProfileAt(Index len) const {
+  VALMOD_CHECK(len >= len_min() && len <= len_max());
+  return profiles_[static_cast<std::size_t>(len - len_min_)];
+}
+
+double PanMatrixProfile::ValueAt(Index len, Index offset) const {
+  const MatrixProfile& profile = ProfileAt(len);
+  VALMOD_CHECK(offset >= 0 && offset < profile.size());
+  return profile.distances[static_cast<std::size_t>(offset)];
+}
+
+double PanMatrixProfile::NormalizedValueAt(Index len, Index offset) const {
+  const double v = ValueAt(len, offset);
+  if (v == kInf) return 1.0;
+  return std::min(1.0, v / std::sqrt(2.0 * static_cast<double>(len)));
+}
+
+std::vector<Index> PanMatrixProfile::BestLengthPerOffset() const {
+  const Index n_offsets = profiles_.back().size();
+  std::vector<Index> best(static_cast<std::size_t>(n_offsets), len_min_);
+  for (Index offset = 0; offset < n_offsets; ++offset) {
+    double best_value = kInf;
+    for (Index len = len_min(); len <= len_max(); ++len) {
+      if (offset >= ProfileAt(len).size()) break;
+      const double v = NormalizedValueAt(len, offset);
+      if (v < best_value) {
+        best_value = v;
+        best[static_cast<std::size_t>(offset)] = len;
+      }
+    }
+  }
+  return best;
+}
+
+std::string PanMatrixProfile::RenderAscii(Index rows, Index cols) const {
+  VALMOD_CHECK(rows >= 1 && cols >= 1);
+  // Dark = close pair. Indexed from value 0 (closest) to 1 (unrelated).
+  static constexpr char kShades[] = "@%#*+=-:. ";
+  constexpr Index kNumShades = 10;
+  std::string out;
+  for (Index r = 0; r < rows; ++r) {
+    // Top row = longest length.
+    const Index len =
+        len_max() - r * (num_lengths() - 1) / std::max<Index>(1, rows - 1);
+    const MatrixProfile& profile = ProfileAt(len);
+    out += "len ";
+    char label[16];
+    std::snprintf(label, sizeof(label), "%5lld |",
+                  static_cast<long long>(len));
+    out += label;
+    for (Index c = 0; c < cols; ++c) {
+      // Average the normalized values of the offsets in this column bin.
+      const Index lo = c * profile.size() / cols;
+      const Index hi =
+          std::max<Index>(lo + 1, (c + 1) * profile.size() / cols);
+      double acc = 0.0;
+      for (Index o = lo; o < hi; ++o) acc += NormalizedValueAt(len, o);
+      const double mean = acc / static_cast<double>(hi - lo);
+      const Index shade = std::min<Index>(
+          kNumShades - 1, static_cast<Index>(mean * kNumShades));
+      out += kShades[shade];
+    }
+    out += "|\n";
+  }
+  return out;
+}
+
+PanMatrixProfile ComputePanMatrixProfile(std::span<const double> series,
+                                         Index len_min, Index len_max,
+                                         const Deadline& deadline) {
+  ValmodOptions options;
+  options.len_min = len_min;
+  options.len_max = len_max;
+  options.p = 1;  // listDP is irrelevant in emit mode; keep memory minimal.
+  options.emit_per_length_profiles = true;
+  options.deadline = deadline;
+  ValmodResult result = RunValmod(series, options);
+  VALMOD_CHECK_MSG(!result.dnf, "deadline expired mid pan-profile");
+  return PanMatrixProfile(std::move(result.per_length_profiles));
+}
+
+}  // namespace valmod

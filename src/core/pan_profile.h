@@ -1,0 +1,63 @@
+#ifndef VALMOD_CORE_PAN_PROFILE_H_
+#define VALMOD_CORE_PAN_PROFILE_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mp/matrix_profile.h"
+#include "util/common.h"
+#include "util/timer.h"
+
+namespace valmod {
+
+/// The pan matrix profile: the exact matrix profile of *every* length in
+/// [len_min, len_max], stacked. This is the data structure the paper's
+/// future-work section asks for ("efficiently compute a complete matrix
+/// profile for each length in the input range"); the follow-up literature
+/// names it the pan matrix profile. Values are comparable across lengths
+/// via the normalized view d / sqrt(2*len) in [0, 1].
+class PanMatrixProfile {
+ public:
+  /// Builds from per-length profiles (e.g. ValmodResult::
+  /// per_length_profiles). Profiles must be consecutive lengths ascending.
+  explicit PanMatrixProfile(std::vector<MatrixProfile> profiles);
+
+  Index len_min() const { return len_min_; }
+  Index len_max() const { return len_min_ + num_lengths() - 1; }
+  Index num_lengths() const { return static_cast<Index>(profiles_.size()); }
+
+  /// The profile of one length.
+  const MatrixProfile& ProfileAt(Index len) const;
+
+  /// Raw nearest-neighbour distance at (len, offset); kInf when the offset
+  /// has no neighbour at that length.
+  double ValueAt(Index len, Index offset) const;
+
+  /// Length-comparable value in [0, 1]: d / sqrt(2*len) (1 = as far as a
+  /// maximally dissimilar pair can be). Returns 1 for kInf cells.
+  double NormalizedValueAt(Index len, Index offset) const;
+
+  /// For each offset of the shortest length, the length whose normalized
+  /// value is smallest — "at which time scale is this region most
+  /// repetitive?" (the pan profile's headline query).
+  std::vector<Index> BestLengthPerOffset() const;
+
+  /// ASCII heat map: `rows` length-bins (top = len_max) by `cols`
+  /// offset-bins, dark characters = close pairs (small normalized value).
+  std::string RenderAscii(Index rows = 16, Index cols = 72) const;
+
+ private:
+  Index len_min_ = 0;
+  std::vector<MatrixProfile> profiles_;
+};
+
+/// Computes the exact pan matrix profile via the VALMOD driver's
+/// per-length-profiles mode. O((len_max - len_min + 1) * n^2).
+PanMatrixProfile ComputePanMatrixProfile(std::span<const double> series,
+                                         Index len_min, Index len_max,
+                                         const Deadline& deadline = Deadline());
+
+}  // namespace valmod
+
+#endif  // VALMOD_CORE_PAN_PROFILE_H_

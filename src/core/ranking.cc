@@ -1,0 +1,84 @@
+#include "core/ranking.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "signal/znorm.h"
+
+namespace valmod {
+namespace {
+
+/// True when `off` overlaps any of `taken` within its exclusion zone.
+bool Overlaps(const std::vector<std::pair<Index, Index>>& taken, Index off,
+              Index len) {
+  for (const auto& [t_off, t_len] : taken) {
+    const Index excl = ExclusionZone(std::min(len, t_len));
+    if (std::llabs(static_cast<long long>(t_off - off)) < excl) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<RankedPair> SelectTopKPairs(const Valmp& valmp, Index k) {
+  std::vector<Index> order;
+  order.reserve(static_cast<std::size_t>(valmp.size()));
+  for (Index i = 0; i < valmp.size(); ++i) {
+    if (valmp.IsSet(i)) order.push_back(i);
+  }
+  std::sort(order.begin(), order.end(), [&](Index x, Index y) {
+    return valmp.norm_distances[static_cast<std::size_t>(x)] <
+           valmp.norm_distances[static_cast<std::size_t>(y)];
+  });
+  std::vector<RankedPair> out;
+  std::vector<std::pair<Index, Index>> taken;  // (offset, length) pairs used.
+  for (Index i : order) {
+    if (static_cast<Index>(out.size()) >= k) break;
+    const std::size_t s = static_cast<std::size_t>(i);
+    const Index j = valmp.indices[s];
+    const Index len = valmp.lengths[s];
+    if (Overlaps(taken, i, len) || Overlaps(taken, j, len)) continue;
+    RankedPair pair;
+    pair.off1 = std::min(i, j);
+    pair.off2 = std::max(i, j);
+    pair.length = len;
+    pair.distance = valmp.distances[s];
+    pair.norm_distance = valmp.norm_distances[s];
+    out.push_back(pair);
+    taken.emplace_back(i, len);
+    taken.emplace_back(j, len);
+  }
+  return out;
+}
+
+std::vector<std::vector<MotifPair>> TopKMotifsPerLength(
+    const std::vector<MatrixProfile>& per_length_profiles, Index k) {
+  std::vector<std::vector<MotifPair>> out;
+  out.reserve(per_length_profiles.size());
+  for (const MatrixProfile& profile : per_length_profiles) {
+    out.push_back(TopMotifsFromProfile(profile, k));
+  }
+  return out;
+}
+
+std::vector<RankedPair> RankMotifsByNormalizedDistance(
+    const std::vector<MotifPair>& motifs) {
+  std::vector<RankedPair> out;
+  for (const MotifPair& m : motifs) {
+    if (!m.valid()) continue;
+    RankedPair pair;
+    pair.off1 = m.a;
+    pair.off2 = m.b;
+    pair.length = m.length;
+    pair.distance = m.distance;
+    pair.norm_distance = LengthNormalize(m.distance, m.length);
+    out.push_back(pair);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RankedPair& x, const RankedPair& y) {
+              return x.norm_distance < y.norm_distance;
+            });
+  return out;
+}
+
+}  // namespace valmod

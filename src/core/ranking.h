@@ -1,0 +1,46 @@
+#ifndef VALMOD_CORE_RANKING_H_
+#define VALMOD_CORE_RANKING_H_
+
+#include <vector>
+
+#include "core/valmp.h"
+#include "mp/matrix_profile.h"
+#include "util/common.h"
+
+namespace valmod {
+
+/// A motif pair annotated with its length-normalized distance, the ranking
+/// key of Section 3.
+struct RankedPair {
+  Index off1 = kNoNeighbor;
+  Index off2 = kNoNeighbor;
+  Index length = 0;
+  /// Straight z-normalized Euclidean distance.
+  double distance = kInf;
+  /// distance * sqrt(1 / length).
+  double norm_distance = kInf;
+};
+
+/// Selects the top-K motif pairs from a finished VALMP (the role of
+/// Algorithm 5's heapBestKPairs): slots are visited in ascending
+/// length-normalized distance; a pair is taken when neither of its
+/// subsequences overlaps (within the pair's exclusion zone) a subsequence
+/// already taken, which de-duplicates the (a,b)/(b,a) mirror entries and
+/// enforces the disjointness Problem 2 requires.
+std::vector<RankedPair> SelectTopKPairs(const Valmp& valmp, Index k);
+
+/// Ranks per-length motif pairs (Problem 1 output) across lengths by
+/// length-normalized distance, ascending. Invalid pairs are dropped.
+std::vector<RankedPair> RankMotifsByNormalizedDistance(
+    const std::vector<MotifPair>& motifs);
+
+/// The ranked list of Definition 2.3, per length: the top-k disjoint motif
+/// pairs of every length in the range. Requires the run to have been made
+/// with ValmodOptions::emit_per_length_profiles (the complete per-length
+/// profiles are needed to rank beyond the best pair); CHECK-fails otherwise.
+std::vector<std::vector<MotifPair>> TopKMotifsPerLength(
+    const std::vector<MatrixProfile>& per_length_profiles, Index k);
+
+}  // namespace valmod
+
+#endif  // VALMOD_CORE_RANKING_H_

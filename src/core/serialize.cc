@@ -1,0 +1,178 @@
+#include "core/serialize.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace valmod {
+namespace {
+
+Status OpenForWrite(const std::string& path, std::ofstream* out) {
+  out->open(path);
+  if (!*out) return Status::IoError("cannot open for write: " + path);
+  out->precision(17);
+  return Status::Ok();
+}
+
+Status CheckHeader(std::ifstream& in, const std::string& expected,
+                   const std::string& path) {
+  std::string header;
+  if (!std::getline(in, header)) {
+    return Status::IoError("empty file: " + path);
+  }
+  if (header != expected) {
+    return Status::InvalidArgument("unexpected header '" + header + "' in " +
+                                   path + " (want '" + expected + "')");
+  }
+  return Status::Ok();
+}
+
+/// Splits a CSV line into exactly `n` numeric fields.
+Status ParseFields(const std::string& line, int n, double* fields,
+                   const std::string& path) {
+  std::istringstream stream(line);
+  std::string token;
+  for (int f = 0; f < n; ++f) {
+    if (!std::getline(stream, token, ',')) {
+      return Status::InvalidArgument("short row '" + line + "' in " + path);
+    }
+    char* end = nullptr;
+    fields[f] = std::strtod(token.c_str(), &end);
+    if (end == token.c_str()) {
+      return Status::InvalidArgument("bad field '" + token + "' in " + path);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status WriteValmpCsv(const Valmp& valmp, const std::string& path) {
+  std::ofstream out;
+  if (Status s = OpenForWrite(path, &out); !s.ok()) return s;
+  out << "offset,neighbor,length,distance,norm_distance\n";
+  for (Index i = 0; i < valmp.size(); ++i) {
+    if (!valmp.IsSet(i)) continue;
+    const std::size_t k = static_cast<std::size_t>(i);
+    out << i << ',' << valmp.indices[k] << ',' << valmp.lengths[k] << ','
+        << valmp.distances[k] << ',' << valmp.norm_distances[k] << '\n';
+  }
+  out.flush();
+  return out ? Status::Ok() : Status::IoError("write failed: " + path);
+}
+
+Status ReadValmpCsv(const std::string& path, Index n_slots, Valmp* out) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  if (Status s =
+          CheckHeader(in, "offset,neighbor,length,distance,norm_distance",
+                      path);
+      !s.ok()) {
+    return s;
+  }
+  *out = Valmp(n_slots);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    double f[5];
+    if (Status s = ParseFields(line, 5, f, path); !s.ok()) return s;
+    const Index offset = static_cast<Index>(f[0]);
+    if (offset < 0 || offset >= n_slots) {
+      return Status::OutOfRange("offset out of range in " + path);
+    }
+    const std::size_t k = static_cast<std::size_t>(offset);
+    out->indices[k] = static_cast<Index>(f[1]);
+    out->lengths[k] = static_cast<Index>(f[2]);
+    out->distances[k] = f[3];
+    out->norm_distances[k] = f[4];
+  }
+  return Status::Ok();
+}
+
+Status WriteMatrixProfileCsv(const MatrixProfile& profile,
+                             const std::string& path) {
+  std::ofstream out;
+  if (Status s = OpenForWrite(path, &out); !s.ok()) return s;
+  out << "offset,distance,neighbor\n";
+  for (Index i = 0; i < profile.size(); ++i) {
+    const std::size_t k = static_cast<std::size_t>(i);
+    if (profile.indices[k] == kNoNeighbor) continue;
+    out << i << ',' << profile.distances[k] << ',' << profile.indices[k]
+        << '\n';
+  }
+  out.flush();
+  return out ? Status::Ok() : Status::IoError("write failed: " + path);
+}
+
+Status ReadMatrixProfileCsv(const std::string& path,
+                            Index subsequence_length, MatrixProfile* out) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  if (Status s = CheckHeader(in, "offset,distance,neighbor", path); !s.ok()) {
+    return s;
+  }
+  out->subsequence_length = subsequence_length;
+  out->distances.clear();
+  out->indices.clear();
+  std::string line;
+  Index max_offset = -1;
+  std::vector<std::pair<Index, std::pair<double, Index>>> rows;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    double f[3];
+    if (Status s = ParseFields(line, 3, f, path); !s.ok()) return s;
+    const Index offset = static_cast<Index>(f[0]);
+    if (offset < 0) return Status::OutOfRange("negative offset in " + path);
+    rows.emplace_back(offset,
+                      std::make_pair(f[1], static_cast<Index>(f[2])));
+    max_offset = std::max(max_offset, offset);
+  }
+  out->distances.assign(static_cast<std::size_t>(max_offset + 1), kInf);
+  out->indices.assign(static_cast<std::size_t>(max_offset + 1), kNoNeighbor);
+  for (const auto& [offset, value] : rows) {
+    out->distances[static_cast<std::size_t>(offset)] = value.first;
+    out->indices[static_cast<std::size_t>(offset)] = value.second;
+  }
+  return Status::Ok();
+}
+
+Status WriteMotifsCsv(const std::vector<MotifPair>& motifs,
+                      const std::string& path) {
+  std::ofstream out;
+  if (Status s = OpenForWrite(path, &out); !s.ok()) return s;
+  out << "length,offset_a,offset_b,distance\n";
+  for (const MotifPair& m : motifs) {
+    if (!m.valid()) continue;
+    out << m.length << ',' << m.a << ',' << m.b << ',' << m.distance << '\n';
+  }
+  out.flush();
+  return out ? Status::Ok() : Status::IoError("write failed: " + path);
+}
+
+Status ReadMotifsCsv(const std::string& path, std::vector<MotifPair>* out) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  if (Status s = CheckHeader(in, "length,offset_a,offset_b,distance", path);
+      !s.ok()) {
+    return s;
+  }
+  out->clear();
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    double f[4];
+    if (Status s = ParseFields(line, 4, f, path); !s.ok()) return s;
+    MotifPair m;
+    m.length = static_cast<Index>(f[0]);
+    m.a = static_cast<Index>(f[1]);
+    m.b = static_cast<Index>(f[2]);
+    m.distance = f[3];
+    out->push_back(m);
+  }
+  return Status::Ok();
+}
+
+}  // namespace valmod

@@ -1,0 +1,44 @@
+#ifndef VALMOD_CORE_SERIALIZE_H_
+#define VALMOD_CORE_SERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/valmp.h"
+#include "mp/matrix_profile.h"
+#include "util/common.h"
+#include "util/status.h"
+
+namespace valmod {
+
+/// CSV serialization of the library's result types, so runs can be archived
+/// and consumed by external tooling (pandas, R, gnuplot). All writers emit
+/// a header row; all readers validate it.
+
+/// VALMP as `offset,neighbor,length,distance,norm_distance` (set slots
+/// only).
+Status WriteValmpCsv(const Valmp& valmp, const std::string& path);
+
+/// Reads a file written by WriteValmpCsv. Slots absent from the file stay
+/// unset; `n_slots` sizes the container.
+Status ReadValmpCsv(const std::string& path, Index n_slots, Valmp* out);
+
+/// One matrix profile as `offset,distance,neighbor`.
+Status WriteMatrixProfileCsv(const MatrixProfile& profile,
+                             const std::string& path);
+
+/// Reads a file written by WriteMatrixProfileCsv. `subsequence_length` is
+/// not stored in the CSV and must be supplied.
+Status ReadMatrixProfileCsv(const std::string& path,
+                            Index subsequence_length, MatrixProfile* out);
+
+/// Motif pairs as `length,offset_a,offset_b,distance`.
+Status WriteMotifsCsv(const std::vector<MotifPair>& motifs,
+                      const std::string& path);
+
+/// Reads a file written by WriteMotifsCsv.
+Status ReadMotifsCsv(const std::string& path, std::vector<MotifPair>* out);
+
+}  // namespace valmod
+
+#endif  // VALMOD_CORE_SERIALIZE_H_

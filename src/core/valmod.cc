@@ -1,0 +1,145 @@
+#include "core/valmod.h"
+
+#include <algorithm>
+
+#include "core/compute_matrix_profile.h"
+#include "signal/znorm.h"
+#include "util/check.h"
+#include "util/prefix_stats.h"
+
+namespace valmod {
+namespace {
+
+/// Derives the motif pair of one length from a certified SubMpResult.
+MotifPair MotifFromSubMp(const SubMpResult& sub, Index len) {
+  MotifPair motif;
+  motif.length = len;
+  if (sub.min_owner != kNoNeighbor && sub.min_dist_abs != kInf) {
+    motif.a = std::min(sub.min_owner, sub.min_neighbor);
+    motif.b = std::max(sub.min_owner, sub.min_neighbor);
+    motif.distance = sub.min_dist_abs;
+  }
+  return motif;
+}
+
+}  // namespace
+
+MotifPair ValmodResult::BestOverall() const {
+  MotifPair best;
+  double best_norm = kInf;
+  for (const MotifPair& m : per_length_motifs) {
+    if (!m.valid()) continue;
+    const double norm = LengthNormalize(m.distance, m.length);
+    if (norm < best_norm) {
+      best_norm = norm;
+      best = m;
+    }
+  }
+  return best;
+}
+
+ValmodResult RunValmod(std::span<const double> series,
+                       const ValmodOptions& options) {
+  const Index n = static_cast<Index>(series.size());
+  VALMOD_CHECK(options.len_min >= 4);
+  VALMOD_CHECK(options.len_max >= options.len_min);
+  VALMOD_CHECK_MSG(n >= options.len_max + ExclusionZone(options.len_max),
+                   "series too short for len_max");
+  VALMOD_CHECK(options.p >= 1);
+
+  // Center the input: a semantic no-op for z-normalized distances that
+  // prevents catastrophic cancellation when the data has a large offset.
+  const Series centered = CenterSeries(series);
+  series = std::span<const double>(centered);
+  const PrefixStats stats(series);
+  ValmodResult result;
+  result.valmp = Valmp(NumSubsequences(n, options.len_min));
+
+  // Length l_min: full matrix profile + listDP harvest (Algorithm 3).
+  WallTimer timer;
+  MatrixProfileWithLb base = ComputeMatrixProfileWithLb(
+      series, stats, options.len_min, options.p, options.deadline);
+  ++result.full_mp_computations;
+  if (base.dnf) {
+    result.dnf = true;
+    return result;
+  }
+  result.list_dp = std::move(base.list_dp);
+  UpdateValmp(result.valmp, base.profile.distances, base.profile.indices,
+              options.len_min);
+  result.per_length_motifs.push_back(MotifFromProfile(base.profile));
+  result.length_stats.push_back(LengthStats{
+      options.len_min, base.profile.size(), base.profile.size(),
+      /*used_full_recompute=*/true, /*selective_recomputes=*/0,
+      timer.Seconds()});
+  if (options.emit_per_length_profiles) {
+    result.per_length_profiles.push_back(base.profile);
+  }
+
+  // Lengths l_min+1 .. l_max (Algorithm 1 lines 7-16).
+  for (Index len = options.len_min + 1; len <= options.len_max; ++len) {
+    timer.Reset();
+    if (options.deadline.Expired()) {
+      result.dnf = true;
+      break;
+    }
+    if (options.emit_per_length_profiles) {
+      // Future-work extension: the caller wants the complete profile at
+      // every length, so the partial shortcut is not applicable.
+      MatrixProfileWithLb full = ComputeMatrixProfileWithLb(
+          series, stats, len, options.p, options.deadline);
+      ++result.full_mp_computations;
+      if (full.dnf) {
+        result.dnf = true;
+        break;
+      }
+      result.list_dp = std::move(full.list_dp);
+      UpdateValmp(result.valmp, full.profile.distances, full.profile.indices,
+                  len);
+      result.per_length_motifs.push_back(MotifFromProfile(full.profile));
+      result.per_length_profiles.push_back(std::move(full.profile));
+      result.length_stats.push_back(
+          LengthStats{len, NumSubsequences(n, len), NumSubsequences(n, len),
+                      true, 0, timer.Seconds()});
+      continue;
+    }
+
+    SubMpResult sub =
+        ComputeSubMp(series, stats, result.list_dp, len, options.p,
+                     options.sub_mp, options.deadline);
+    if (sub.dnf) {
+      result.dnf = true;
+      break;
+    }
+    LengthStats ls;
+    ls.length = len;
+    ls.n_profiles = NumSubsequences(n, len);
+    ls.valid_count = sub.valid_count;
+    ls.selective_recomputes = sub.recomputed_count;
+    if (sub.best_motif_found) {
+      UpdateValmp(result.valmp, sub.sub_mp, sub.ip, len);
+      result.per_length_motifs.push_back(MotifFromSubMp(sub, len));
+    } else {
+      // Rare: the bounds could not certify the motif; recompute the full
+      // matrix profile for this length and re-base listDP (line 13).
+      MatrixProfileWithLb full = ComputeMatrixProfileWithLb(
+          series, stats, len, options.p, options.deadline);
+      ++result.full_mp_computations;
+      if (full.dnf) {
+        result.dnf = true;
+        break;
+      }
+      result.list_dp = std::move(full.list_dp);
+      UpdateValmp(result.valmp, full.profile.distances, full.profile.indices,
+                  len);
+      result.per_length_motifs.push_back(MotifFromProfile(full.profile));
+      ls.used_full_recompute = true;
+      ls.valid_count = ls.n_profiles;
+    }
+    ls.seconds = timer.Seconds();
+    result.length_stats.push_back(ls);
+  }
+  return result;
+}
+
+}  // namespace valmod

@@ -1,0 +1,83 @@
+#ifndef VALMOD_CORE_VALMOD_H_
+#define VALMOD_CORE_VALMOD_H_
+
+#include <span>
+#include <vector>
+
+#include "core/compute_sub_mp.h"
+#include "core/list_dp.h"
+#include "core/valmp.h"
+#include "mp/matrix_profile.h"
+#include "util/common.h"
+#include "util/timer.h"
+
+namespace valmod {
+
+/// Configuration of a VALMOD run (the inputs of Algorithm 1 plus knobs).
+struct ValmodOptions {
+  /// Smallest subsequence length of the range (l_min). Must be >= 4.
+  Index len_min = 0;
+  /// Largest subsequence length of the range (l_max >= l_min).
+  Index len_max = 0;
+  /// Number of lower-bound entries retained per distance profile (the
+  /// paper's parameter p; its benchmark grid uses 5..150).
+  Index p = 5;
+  /// Algorithm 4 tuning.
+  SubMpOptions sub_mp;
+  /// Wall-clock budget; on expiry the run stops and `dnf` is set.
+  Deadline deadline;
+  /// When true, a full exact matrix profile is emitted for every length via
+  /// a STOMP pass per length (the paper's future-work extension: "compute a
+  /// complete matrix profile for each length in the input range"). This
+  /// disables the ComputeSubMP shortcut, trading speed for completeness.
+  bool emit_per_length_profiles = false;
+};
+
+/// Bookkeeping for one processed length; feeds Figures 8-14.
+struct LengthStats {
+  Index length = 0;
+  /// Number of subsequences (distance profiles) at this length.
+  Index n_profiles = 0;
+  /// Certified entries of subMP (|subMP| in Figure 14); equals n_profiles
+  /// when a full matrix profile was computed.
+  Index valid_count = 0;
+  /// True when Algorithm 1 fell back to a full ComputeMatrixProfile.
+  bool used_full_recompute = false;
+  /// Profiles recomputed by Algorithm 4's selective fallback.
+  Index selective_recomputes = 0;
+  double seconds = 0.0;
+};
+
+/// Output of a VALMOD run.
+struct ValmodResult {
+  /// The variable-length matrix profile (Algorithm 1's VALMP).
+  Valmp valmp{0};
+  /// Exact motif pair for every length in [len_min, len_max] (Problem 1).
+  std::vector<MotifPair> per_length_motifs;
+  /// Full matrix profiles per length; only populated when
+  /// ValmodOptions::emit_per_length_profiles is set.
+  std::vector<MatrixProfile> per_length_profiles;
+  /// Per-length statistics, one entry per processed length.
+  std::vector<LengthStats> length_stats;
+  /// Full O(n^2) matrix-profile passes executed (>= 1: the l_min pass).
+  Index full_mp_computations = 0;
+  /// Deadline expired; results cover only the lengths processed so far.
+  bool dnf = false;
+  /// Final partial-distance-profile state; consumed by the motif-set stage
+  /// (Algorithms 5-6).
+  ListDp list_dp;
+
+  /// The best motif pair across all lengths under the length-normalized
+  /// distance (the global winner of the ranking of Section 3).
+  MotifPair BestOverall() const;
+};
+
+/// Algorithm 1 (VALMOD): exact variable-length motif discovery over
+/// [len_min, len_max]. Requires series.size() >= len_max + ExclusionZone, so
+/// at least one non-trivial pair exists at the largest length.
+ValmodResult RunValmod(std::span<const double> series,
+                       const ValmodOptions& options);
+
+}  // namespace valmod
+
+#endif  // VALMOD_CORE_VALMOD_H_

@@ -1,0 +1,38 @@
+#include "core/valmp.h"
+
+#include "signal/znorm.h"
+#include "util/check.h"
+
+namespace valmod {
+
+Valmp::Valmp(Index n_slots) {
+  distances.assign(static_cast<std::size_t>(n_slots), kInf);
+  norm_distances.assign(static_cast<std::size_t>(n_slots), kInf);
+  lengths.assign(static_cast<std::size_t>(n_slots), 0);
+  indices.assign(static_cast<std::size_t>(n_slots), kNoNeighbor);
+}
+
+void UpdateValmp(Valmp& valmp, std::span<const double> mp_new,
+                 std::span<const Index> ip, Index len,
+                 const ValmpImprovementHook& hook) {
+  VALMOD_CHECK(mp_new.size() == ip.size());
+  VALMOD_CHECK(static_cast<Index>(mp_new.size()) <= valmp.size());
+  const Index n_dp = static_cast<Index>(mp_new.size());
+  for (Index i = 0; i < n_dp; ++i) {
+    const double dist = mp_new[static_cast<std::size_t>(i)];
+    if (dist == kInf) continue;  // ⊥: unknown at this length.
+    const Index neighbor = ip[static_cast<std::size_t>(i)];
+    if (neighbor == kNoNeighbor) continue;
+    const double norm_dist = LengthNormalize(dist, len);
+    const std::size_t s = static_cast<std::size_t>(i);
+    if (!valmp.IsSet(i) || valmp.norm_distances[s] > norm_dist) {
+      valmp.distances[s] = dist;
+      valmp.norm_distances[s] = norm_dist;
+      valmp.lengths[s] = len;
+      valmp.indices[s] = neighbor;
+      if (hook) hook(i, neighbor, len, dist, norm_dist);
+    }
+  }
+}
+
+}  // namespace valmod

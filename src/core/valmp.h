@@ -1,0 +1,58 @@
+#ifndef VALMOD_CORE_VALMP_H_
+#define VALMOD_CORE_VALMP_H_
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "mp/matrix_profile.h"
+#include "util/common.h"
+
+namespace valmod {
+
+/// The Variable-Length Matrix Profile (VALMP), the output of VALMOD
+/// (Algorithm 1). The i-th slot describes the best pair anchored at offset
+/// i over all processed lengths, under the sqrt(1/l) length-normalized
+/// distance of Section 3.
+struct Valmp {
+  /// Straight z-normalized Euclidean distance of the winning pair.
+  std::vector<double> distances;
+  /// Length-normalized distance (distances[i] * sqrt(1/lengths[i])); this is
+  /// the field the update rule compares on.
+  std::vector<double> norm_distances;
+  /// Subsequence length of the winning pair.
+  std::vector<Index> lengths;
+  /// Offset of the winning pair's other subsequence.
+  std::vector<Index> indices;
+
+  /// Creates an empty VALMP with `n_slots` unset entries.
+  explicit Valmp(Index n_slots = 0);
+
+  Index size() const { return static_cast<Index>(distances.size()); }
+
+  /// True when slot `i` has been set at least once.
+  bool IsSet(Index i) const {
+    return indices[static_cast<std::size_t>(i)] != kNoNeighbor;
+  }
+};
+
+/// Callback invoked by UpdateValmp whenever a slot improves; Algorithm 5
+/// hooks the best-K pair heap in here. Arguments: offset, neighbor, length,
+/// straight distance, length-normalized distance.
+using ValmpImprovementHook =
+    std::function<void(Index, Index, Index, double, double)>;
+
+/// Algorithm 2 (updateVALMP): folds a (possibly partial) matrix profile for
+/// subsequence length `len` into `valmp`. `mp_new[i]` may be kInf to mean
+/// "unknown for this length" (the ⊥ of Algorithm 4's SubMP); such slots are
+/// skipped. A slot is overwritten when the new length-normalized distance
+/// beats the stored one (the paper's line 3 compares the straight distance
+/// field against a normalized value — an evident typo; we compare
+/// like-for-like on normalized distances, matching the accompanying text).
+void UpdateValmp(Valmp& valmp, std::span<const double> mp_new,
+                 std::span<const Index> ip, Index len,
+                 const ValmpImprovementHook& hook = nullptr);
+
+}  // namespace valmod
+
+#endif  // VALMOD_CORE_VALMP_H_

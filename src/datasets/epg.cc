@@ -1,0 +1,110 @@
+#include "datasets/epg.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace valmod {
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586;
+
+/// The probing waveform: repeated sharp sawtooth penetrations with a
+/// pause — the "highly technical probing skill" searching for a vein.
+Series ProbingTemplate(Index len, Rng& rng) {
+  Series out(static_cast<std::size_t>(len), 0.0);
+  const double tooth_period = static_cast<double>(len) / 7.0;
+  for (Index i = 0; i < len; ++i) {
+    const double phase =
+        std::fmod(static_cast<double>(i), tooth_period) / tooth_period;
+    // Sawtooth: fast rise, sharp drop; deeper teeth in the middle.
+    const double depth =
+        0.6 + 0.4 * std::sin(M_PI * static_cast<double>(i) /
+                             static_cast<double>(len));
+    out[static_cast<std::size_t>(i)] =
+        depth * (phase < 0.8 ? phase / 0.8 : (1.0 - phase) / 0.2) +
+        rng.Gaussian(0.0, 0.015);
+  }
+  return out;
+}
+
+/// The ingestion waveform: smooth low-frequency rhythmic sucking.
+Series IngestionTemplate(Index len, Rng& rng) {
+  Series out(static_cast<std::size_t>(len), 0.0);
+  const double period = static_cast<double>(len) / 9.0;
+  for (Index i = 0; i < len; ++i) {
+    const double t = static_cast<double>(i);
+    double v = 0.45 * std::sin(kTwoPi * t / period);
+    v += 0.12 * std::sin(2.0 * kTwoPi * t / period + 0.7);
+    out[static_cast<std::size_t>(i)] = v + rng.Gaussian(0.0, 0.01);
+  }
+  return out;
+}
+
+}  // namespace
+
+EpgSeries GenerateEpg(const EpgOptions& options) {
+  VALMOD_CHECK(options.n >= 1000);
+  Rng rng(options.seed);
+  EpgSeries out;
+  out.values.assign(static_cast<std::size_t>(options.n), 0.0);
+  out.probing_length =
+      static_cast<Index>(options.probing_seconds * options.sample_rate);
+  out.ingestion_length =
+      static_cast<Index>(options.ingestion_seconds * options.sample_rate);
+
+  // Baseline: slow random walk with mild mean reversion (electrode drift).
+  double level = 0.0;
+  for (Index i = 0; i < options.n; ++i) {
+    level += rng.Gaussian(0.0, 0.01) - 0.001 * level;
+    out.values[static_cast<std::size_t>(i)] = level + rng.Gaussian(0.0, 0.02);
+  }
+
+  // Schedule the behaviour instances at non-overlapping random offsets.
+  const Index total = options.probing_instances + options.ingestion_instances;
+  const Index max_len = std::max(out.probing_length, out.ingestion_length);
+  VALMOD_CHECK_MSG(total * (max_len + 40) * 2 < options.n,
+                   "series too short for the requested events");
+  std::vector<Index> starts;
+  Index cursor = rng.UniformIndex(50, 200);
+  for (Index e = 0; e < total; ++e) {
+    starts.push_back(cursor);
+    cursor += max_len + rng.UniformIndex(max_len / 2, max_len * 2);
+  }
+  VALMOD_CHECK(cursor < options.n);
+  // Shuffle which slots get which behaviour.
+  std::vector<EpgEvent::Kind> kinds;
+  for (Index e = 0; e < options.probing_instances; ++e) {
+    kinds.push_back(EpgEvent::Kind::kProbing);
+  }
+  for (Index e = 0; e < options.ingestion_instances; ++e) {
+    kinds.push_back(EpgEvent::Kind::kIngestion);
+  }
+  for (Index i = total - 1; i > 0; --i) {
+    const Index j = rng.UniformIndex(0, i);
+    std::swap(kinds[static_cast<std::size_t>(i)],
+              kinds[static_cast<std::size_t>(j)]);
+  }
+
+  for (Index e = 0; e < total; ++e) {
+    const bool probing = kinds[static_cast<std::size_t>(e)] ==
+                         EpgEvent::Kind::kProbing;
+    const Index len = probing ? out.probing_length : out.ingestion_length;
+    Series tmpl =
+        probing ? ProbingTemplate(len, rng) : IngestionTemplate(len, rng);
+    const double scale = 1.0 + rng.Gaussian(0.0, 0.03);
+    const Index at = starts[static_cast<std::size_t>(e)];
+    for (Index k = 0; k < len; ++k) {
+      out.values[static_cast<std::size_t>(at + k)] +=
+          scale * tmpl[static_cast<std::size_t>(k)];
+    }
+    out.events.push_back(EpgEvent{probing ? EpgEvent::Kind::kProbing
+                                          : EpgEvent::Kind::kIngestion,
+                                  at, len});
+  }
+  return out;
+}
+
+}  // namespace valmod

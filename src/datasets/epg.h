@@ -1,0 +1,57 @@
+#ifndef VALMOD_DATASETS_EPG_H_
+#define VALMOD_DATASETS_EPG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/common.h"
+
+namespace valmod {
+
+/// Parameters of the Electrical Penetration Graph simulator (the insect
+/// feeding recording of the Figure 1 / Section 9.1 case study).
+struct EpgOptions {
+  /// Total series length in samples.
+  Index n = 205000 / 10;
+  /// Samples per second; the paper's 205k points over 5.5 h is ~10 Hz.
+  double sample_rate = 10.0;
+  /// Duration of the probing behaviour motif, seconds (paper: ~10 s).
+  double probing_seconds = 10.0;
+  /// Duration of the xylem-ingestion ("sucking") motif, seconds (~12 s).
+  double ingestion_seconds = 12.0;
+  /// How many instances of each behaviour to embed.
+  Index probing_instances = 6;
+  Index ingestion_instances = 6;
+  std::uint64_t seed = 42;
+};
+
+/// Ground truth of one embedded behaviour instance.
+struct EpgEvent {
+  enum class Kind { kProbing, kIngestion };
+  Kind kind;
+  Index offset;
+  Index length;
+};
+
+/// A generated EPG recording plus the ground-truth event log.
+struct EpgSeries {
+  Series values;
+  std::vector<EpgEvent> events;
+
+  /// Length (samples) of the probing motif instances.
+  Index probing_length = 0;
+  /// Length (samples) of the ingestion motif instances.
+  Index ingestion_length = 0;
+};
+
+/// Simulates an EPG recording: drifting baseline punctuated by two
+/// behaviour classes of *different characteristic lengths* — a spiky
+/// probing waveform (~10 s) and a smooth rhythmic ingestion waveform
+/// (~12 s) — each repeated with small jitter. Variable-length motif
+/// discovery should surface both; a single-length search can only see one
+/// (the paper's motivating example).
+EpgSeries GenerateEpg(const EpgOptions& options = EpgOptions());
+
+}  // namespace valmod
+
+#endif  // VALMOD_DATASETS_EPG_H_

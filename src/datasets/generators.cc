@@ -1,0 +1,316 @@
+#include "datasets/generators.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace valmod {
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586;
+
+/// Gaussian bump centred at `center` with width `sigma`, evaluated at x.
+double Bump(double x, double center, double sigma) {
+  const double d = (x - center) / sigma;
+  return std::exp(-0.5 * d * d);
+}
+
+}  // namespace
+
+Series GenerateEcg(Index n, std::uint64_t seed) {
+  VALMOD_CHECK(n >= 1);
+  Rng rng(seed);
+  Series out(static_cast<std::size_t>(n), 0.0);
+  // Baseline wander: a slow drifting sinusoid.
+  const double wander_freq = kTwoPi / 900.0;
+  const double wander_phase = rng.Uniform(0.0, kTwoPi);
+  for (Index i = 0; i < n; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        0.05 * std::sin(wander_freq * static_cast<double>(i) + wander_phase);
+  }
+  // Beats: P wave, QRS complex (down-up-down), T wave, repeated with
+  // period and amplitude jitter.
+  Index beat_start = 0;
+  while (beat_start < n) {
+    const double period = 80.0 + rng.Gaussian(0.0, 1.5);
+    const double amp = 1.0 + rng.Gaussian(0.0, 0.05);
+    const Index beat_len = static_cast<Index>(period);
+    for (Index k = 0; k < beat_len && beat_start + k < n; ++k) {
+      const double x = static_cast<double>(k);
+      double v = 0.0;
+      v += 0.12 * amp * Bump(x, 0.22 * period, 0.040 * period);   // P
+      v -= 0.10 * amp * Bump(x, 0.35 * period, 0.022 * period);   // Q
+      v += 1.00 * amp * Bump(x, 0.40 * period, 0.030 * period);   // R
+      v -= 0.18 * amp * Bump(x, 0.46 * period, 0.024 * period);   // S
+      v += 0.25 * amp * Bump(x, 0.70 * period, 0.060 * period);   // T
+      out[static_cast<std::size_t>(beat_start + k)] += v;
+    }
+    beat_start += std::max<Index>(beat_len, 1);
+  }
+  for (Index i = 0; i < n; ++i) {
+    out[static_cast<std::size_t>(i)] += rng.Gaussian(0.0, 0.015);
+  }
+  return out;
+}
+
+Series GenerateEmg(Index n, std::uint64_t seed) {
+  VALMOD_CHECK(n >= 1);
+  Rng rng(seed);
+  Series out(static_cast<std::size_t>(n), 0.0);
+  // Activation bursts assembled from a small pool of stereotyped
+  // "motor unit" waveforms fired in random order, separated by quiet gaps
+  // of random length. Windows at the unit scale (<= ~64 samples) repeat
+  // throughout the recording, but longer windows span several units in a
+  // random sequence (plus a variable-length gap) and stop matching — the
+  // length-dependent degradation behind the paper's EMG observations
+  // (Figures 8-11). The quiet/burst amplitude contrast additionally makes
+  // quiet-anchored windows suffer a sigma jump when they grow into a
+  // burst, collapsing the Eq. 2 sigma ratio.
+  constexpr Index kUnitLen = 64;
+  constexpr int kPoolSize = 5;
+  constexpr Index kUnitsPerBurst = 4;
+  Series pool[kPoolSize];
+  for (auto& unit : pool) {
+    unit.assign(kUnitLen, 0.0);
+    double smooth = 0.0;
+    for (Index k = 0; k < kUnitLen; ++k) {
+      smooth = 0.6 * smooth + rng.Gaussian(0.0, 0.2);
+      const double envelope = 0.4 + 0.6 * std::sin(M_PI * static_cast<double>(k) /
+                                                   static_cast<double>(kUnitLen));
+      unit[static_cast<std::size_t>(k)] = envelope * smooth;
+    }
+  }
+  Index i = 0;
+  while (i < n) {
+    const Index gap = rng.UniformIndex(120, 600);
+    for (Index k = 0; k < gap && i < n; ++k, ++i) {
+      out[static_cast<std::size_t>(i)] = rng.Gaussian(0.0, 0.015);
+    }
+    // One burst: kUnitsPerBurst units drawn with replacement from the pool.
+    const double amp = rng.Uniform(0.8, 1.2);
+    for (Index u = 0; u < kUnitsPerBurst; ++u) {
+      const Series& unit = pool[static_cast<std::size_t>(
+          rng.UniformIndex(0, kPoolSize - 1))];
+      for (Index k = 0; k < kUnitLen && i < n; ++k, ++i) {
+        double v = amp * unit[static_cast<std::size_t>(k)] +
+                   rng.Gaussian(0.0, 0.02);
+        if (rng.Bernoulli(0.01)) v += rng.Uniform(0.3, 0.7);  // Spike.
+        out[static_cast<std::size_t>(i)] = v;
+      }
+    }
+  }
+  return out;
+}
+
+Series GenerateGap(Index n, std::uint64_t seed) {
+  VALMOD_CHECK(n >= 1);
+  Rng rng(seed);
+  Series out(static_cast<std::size_t>(n), 0.0);
+  const double day = 144.0;  // One simulated day in samples.
+  double level = 1.0;        // Base household load, kW.
+  Index next_shift = rng.UniformIndex(500, 3000);
+  for (Index i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i);
+    const double phase = std::fmod(t, day) / day;  // Position in the day.
+    // Morning and evening peaks on a small nightly base.
+    double v = level;
+    v += 1.6 * Bump(phase, 0.33, 0.05);
+    v += 2.4 * Bump(phase, 0.79, 0.07);
+    // Weekly modulation.
+    v *= 1.0 + 0.15 * std::sin(kTwoPi * t / (7.0 * day));
+    // Appliance spikes.
+    if (rng.Bernoulli(0.004)) v += rng.Uniform(1.0, 5.0);
+    v += rng.Gaussian(0.0, 0.08);
+    if (v < 0.05) v = 0.05;  // Power draw never goes negative.
+    out[static_cast<std::size_t>(i)] = v;
+    // Occasional level shift (occupancy change).
+    if (--next_shift <= 0) {
+      level = rng.Uniform(0.6, 1.6);
+      next_shift = rng.UniformIndex(500, 3000);
+    }
+  }
+  return out;
+}
+
+Series GenerateAstro(Index n, std::uint64_t seed) {
+  VALMOD_CHECK(n >= 1);
+  Rng rng(seed);
+  Series out(static_cast<std::size_t>(n), 0.0);
+  // Smooth background: three slow incommensurate oscillations at the
+  // dataset's tiny amplitude scale (~1e-3, Table 1).
+  const double p1 = rng.Uniform(0.0, kTwoPi);
+  const double p2 = rng.Uniform(0.0, kTwoPi);
+  const double p3 = rng.Uniform(0.0, kTwoPi);
+  for (Index i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i);
+    double v = 0.0;
+    v += 0.0012 * std::sin(kTwoPi * t / 1450.0 + p1);
+    v += 0.0007 * std::sin(kTwoPi * t / 530.0 + p2);
+    v += 0.0004 * std::sin(kTwoPi * t / 211.0 + p3);
+    v += rng.Gaussian(0.0, 0.00005);
+    out[static_cast<std::size_t>(i)] = v;
+  }
+  // Rare flares: sharp rise, exponential decay.
+  const Index n_flares = std::max<Index>(1, n / 20000);
+  for (Index f = 0; f < n_flares; ++f) {
+    const Index at = rng.UniformIndex(0, n - 1);
+    const double amp = rng.Uniform(0.001, 0.003);
+    const double tau = rng.Uniform(30.0, 120.0);
+    for (Index k = 0; at + k < n && k < static_cast<Index>(8.0 * tau); ++k) {
+      out[static_cast<std::size_t>(at + k)] +=
+          amp * std::exp(-static_cast<double>(k) / tau);
+    }
+  }
+  return out;
+}
+
+Series GenerateEeg(Index n, std::uint64_t seed) {
+  VALMOD_CHECK(n >= 1);
+  Rng rng(seed);
+  Series out(static_cast<std::size_t>(n), 0.0);
+  // Background: alpha-band-like oscillation with slowly wandering
+  // amplitude, at scalp-EEG scale (tens of uV).
+  double amp = 20.0;
+  const double p1 = rng.Uniform(0.0, kTwoPi);
+  for (Index i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i);
+    amp += rng.Gaussian(0.0, 0.3);
+    if (amp < 5.0) amp = 5.0;
+    if (amp > 40.0) amp = 40.0;
+    double v = amp * std::sin(kTwoPi * t / 11.0 + p1);
+    v += 0.4 * amp * std::sin(kTwoPi * t / 23.0);
+    v += rng.Gaussian(0.0, 4.0);
+    out[static_cast<std::size_t>(i)] = v;
+  }
+  // CAP A-phase-like events: recurring bursts of high-amplitude slow waves.
+  Index at = rng.UniformIndex(200, 1200);
+  while (at < n) {
+    const Index burst_len = rng.UniformIndex(80, 200);
+    const double burst_amp = rng.Uniform(150.0, 400.0);
+    for (Index k = 0; k < burst_len && at + k < n; ++k) {
+      const double envelope =
+          std::sin(M_PI * static_cast<double>(k) / static_cast<double>(burst_len));
+      out[static_cast<std::size_t>(at + k)] +=
+          burst_amp * envelope *
+          std::sin(kTwoPi * static_cast<double>(k) / 40.0);
+    }
+    at += burst_len + rng.UniformIndex(400, 2000);
+  }
+  return out;
+}
+
+Series GenerateTraceSignature(Index len, std::uint64_t seed) {
+  VALMOD_CHECK(len >= 16);
+  Rng rng(seed);
+  Series out(static_cast<std::size_t>(len), 0.0);
+  // Piecewise washing-machine cycle: flat lead-in (10%), ramp-up (10%),
+  // oscillating plateau (60%), decay (20%).
+  const Index flat_end = len / 10;
+  const Index ramp_end = len / 5;
+  const Index plateau_end = (len * 4) / 5;
+  const double osc_period = static_cast<double>(len) / 12.0;
+  for (Index i = 0; i < len; ++i) {
+    double v = 0.0;
+    if (i < flat_end) {
+      v = 0.0;
+    } else if (i < ramp_end) {
+      v = static_cast<double>(i - flat_end) /
+          static_cast<double>(ramp_end - flat_end);
+    } else if (i < plateau_end) {
+      v = 1.0 + 0.25 * std::sin(kTwoPi * static_cast<double>(i - ramp_end) /
+                                osc_period);
+    } else {
+      const double frac = static_cast<double>(i - plateau_end) /
+                          static_cast<double>(len - plateau_end);
+      v = (1.0 - frac);
+    }
+    out[static_cast<std::size_t>(i)] = v + rng.Gaussian(0.0, 0.01);
+  }
+  return out;
+}
+
+namespace {
+
+/// One stereotyped earthquake waveform: impulsive onset, oscillatory coda
+/// with exponential decay. Deterministic per (seed-derived) parameters so
+/// all instances of a family share fine structure.
+Series EarthquakeTemplate(Index len, double carrier_period, Rng& rng) {
+  Series out(static_cast<std::size_t>(len), 0.0);
+  const double phase = rng.Uniform(0.0, kTwoPi);
+  const double tau = static_cast<double>(len) / 3.5;
+  for (Index k = 0; k < len; ++k) {
+    const double t = static_cast<double>(k);
+    // Sharp rise over the first ~5% (P arrival), then exponential decay.
+    const double rise = 1.0 - std::exp(-t / (0.05 * static_cast<double>(len)));
+    const double decay = std::exp(-t / tau);
+    double v = rise * decay * std::sin(kTwoPi * t / carrier_period + phase);
+    // Higher-frequency component riding the coda.
+    v += 0.35 * rise * decay *
+         std::sin(kTwoPi * t / (carrier_period * 0.37) + 2.0 * phase);
+    out[static_cast<std::size_t>(k)] = v;
+  }
+  return out;
+}
+
+}  // namespace
+
+Series GenerateSeismic(Index n, std::uint64_t seed,
+                       std::vector<Index>* out_event_offsets,
+                       std::vector<int>* out_event_family) {
+  VALMOD_CHECK(n >= 2000);
+  Rng rng(seed);
+  // Microseismic background: band-limited noise (AR(2)-ish), small
+  // amplitude relative to events.
+  Series out(static_cast<std::size_t>(n), 0.0);
+  double x1 = 0.0;
+  double x2 = 0.0;
+  for (Index i = 0; i < n; ++i) {
+    const double x = 1.6 * x1 - 0.7 * x2 + rng.Gaussian(0.0, 0.02);
+    out[static_cast<std::size_t>(i)] = x;
+    x2 = x1;
+    x1 = x;
+  }
+  // Two repeating-earthquake families of different durations.
+  const Series family_a = EarthquakeTemplate(kSeismicFamilyALength, 9.0, rng);
+  const Series family_b = EarthquakeTemplate(kSeismicFamilyBLength, 14.0, rng);
+  const Index events = std::max<Index>(6, n / 2500);
+  Index cursor = rng.UniformIndex(100, 400);
+  for (Index e = 0; e < events && cursor + kSeismicFamilyBLength < n; ++e) {
+    const bool use_a = (e % 2 == 0);
+    const Series& tmpl = use_a ? family_a : family_b;
+    const double magnitude = rng.Uniform(0.9, 1.1);
+    for (std::size_t k = 0; k < tmpl.size(); ++k) {
+      out[static_cast<std::size_t>(cursor) + k] += magnitude * tmpl[k];
+    }
+    if (out_event_offsets != nullptr) out_event_offsets->push_back(cursor);
+    if (out_event_family != nullptr) out_event_family->push_back(use_a ? 0 : 1);
+    cursor += static_cast<Index>(tmpl.size()) +
+              rng.UniformIndex(kSeismicFamilyBLength, kSeismicFamilyBLength * 3);
+  }
+  return out;
+}
+
+Series GenerateRandomWalk(Index n, std::uint64_t seed, double step) {
+  VALMOD_CHECK(n >= 1);
+  Rng rng(seed);
+  Series out(static_cast<std::size_t>(n));
+  double level = 0.0;
+  for (Index i = 0; i < n; ++i) {
+    level += rng.Gaussian(0.0, step);
+    out[static_cast<std::size_t>(i)] = level;
+  }
+  return out;
+}
+
+void InjectPattern(Series& series, const Series& pattern, Index offset,
+                   double scale) {
+  VALMOD_CHECK(offset >= 0);
+  VALMOD_CHECK(static_cast<std::size_t>(offset) + pattern.size() <=
+               series.size());
+  for (std::size_t k = 0; k < pattern.size(); ++k) {
+    series[static_cast<std::size_t>(offset) + k] += scale * pattern[k];
+  }
+}
+
+}  // namespace valmod

@@ -1,0 +1,73 @@
+#ifndef VALMOD_DATASETS_GENERATORS_H_
+#define VALMOD_DATASETS_GENERATORS_H_
+
+#include <cstdint>
+
+#include "util/common.h"
+
+namespace valmod {
+
+/// Seeded synthetic generators standing in for the paper's real datasets
+/// (see DESIGN.md, "Substitutions"). Each generator reproduces the
+/// morphological property of its dataset that the VALMOD evaluation
+/// depends on, not the provenance of the samples.
+
+/// ECG stand-in (Stress Recognition in Automobile Drivers): quasi-periodic
+/// heartbeats built from P/QRS/T Gaussian bumps with period and amplitude
+/// jitter plus baseline wander. Regular and self-similar — the paper's
+/// "easy" dataset where pairwise distances stay uniform across lengths.
+Series GenerateEcg(Index n, std::uint64_t seed);
+
+/// EMG stand-in: bursty heavy noise — quiet segments interleaved with
+/// high-variance activation bursts and spikes. The paper's "hard" dataset:
+/// pairwise distances blow up at long subsequence lengths, which degrades
+/// the Eq. 2 lower bound (Figures 9-11).
+Series GenerateEmg(Index n, std::uint64_t seed);
+
+/// GAP stand-in (global active power): daily load cycle with morning and
+/// evening peaks, weekly modulation, random level shifts and spiky
+/// appliance events, positive-valued.
+Series GenerateGap(Index n, std::uint64_t seed);
+
+/// ASTRO stand-in (celestial-object series): smooth low-amplitude
+/// superposition of slow oscillations with occasional flare transients
+/// (sharp rise, exponential decay) and very small noise.
+Series GenerateAstro(Index n, std::uint64_t seed);
+
+/// EEG stand-in (CAP sleep dataset): ongoing oscillatory background with
+/// amplitude-modulated bursts (A-phase-like events) recurring throughout,
+/// and measurement noise. Values span a large range like scalp EEG in uV.
+Series GenerateEeg(Index n, std::uint64_t seed);
+
+/// A single washing-machine-style signature (the TRACE dataset shape used
+/// in Figure 2): flat lead-in, sharp rise, oscillating plateau, decay.
+/// `len` is the signature length in samples.
+Series GenerateTraceSignature(Index len, std::uint64_t seed);
+
+/// Seismogram stand-in for the paper's seismology case study: continuous
+/// microseismic background noise punctuated by "repeating earthquakes" —
+/// two families of stereotyped event waveforms (impulsive onset, oscillatory
+/// coda with exponential decay) with *different characteristic durations*,
+/// each recurring several times. Variable-length motif discovery should
+/// recover both families; `out_event_offsets`/`out_event_family` (optional)
+/// receive the ground truth.
+Series GenerateSeismic(Index n, std::uint64_t seed,
+                       std::vector<Index>* out_event_offsets = nullptr,
+                       std::vector<int>* out_event_family = nullptr);
+
+/// Durations (in samples) of the two seismic event families embedded by
+/// GenerateSeismic.
+inline constexpr Index kSeismicFamilyALength = 120;
+inline constexpr Index kSeismicFamilyBLength = 180;
+
+/// Pure Gaussian random walk; the neutral background for property tests.
+Series GenerateRandomWalk(Index n, std::uint64_t seed, double step = 1.0);
+
+/// Adds `pattern` into `series` starting at `offset`, scaled by `scale`,
+/// blended additively. Used to plant known motifs for exactness tests.
+void InjectPattern(Series& series, const Series& pattern, Index offset,
+                   double scale = 1.0);
+
+}  // namespace valmod
+
+#endif  // VALMOD_DATASETS_GENERATORS_H_

@@ -1,0 +1,72 @@
+#include "datasets/io.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace valmod {
+
+Status WriteSeriesText(const Series& series, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return Status::IoError("cannot open for write: " + path);
+  file.precision(17);
+  for (double v : series) file << v << '\n';
+  file.flush();
+  if (!file) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Status ReadSeriesText(const std::string& path, Series* out) {
+  std::ifstream file(path);
+  if (!file) return Status::IoError("cannot open for read: " + path);
+  out->clear();
+  std::string line;
+  while (std::getline(file, line)) {
+    // Accept comma- or whitespace-separated values per line.
+    for (char& c : line) {
+      if (c == ',' || c == ';' || c == '\t') c = ' ';
+    }
+    std::istringstream tokens(line);
+    std::string token;
+    while (tokens >> token) {
+      char* end = nullptr;
+      const double v = std::strtod(token.c_str(), &end);
+      if (end == token.c_str() || *end != '\0') {
+        return Status::InvalidArgument("malformed value '" + token + "' in " +
+                                       path);
+      }
+      out->push_back(v);
+    }
+  }
+  return Status::Ok();
+}
+
+Status WriteSeriesBinary(const Series& series, const std::string& path) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) return Status::IoError("cannot open for write: " + path);
+  const std::uint64_t count = series.size();
+  file.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  file.write(reinterpret_cast<const char*>(series.data()),
+             static_cast<std::streamsize>(count * sizeof(double)));
+  file.flush();
+  if (!file) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Status ReadSeriesBinary(const std::string& path, Series* out) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::IoError("cannot open for read: " + path);
+  std::uint64_t count = 0;
+  file.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!file) return Status::IoError("truncated header: " + path);
+  out->assign(count, 0.0);
+  file.read(reinterpret_cast<char*>(out->data()),
+            static_cast<std::streamsize>(count * sizeof(double)));
+  if (!file) return Status::IoError("truncated payload: " + path);
+  return Status::Ok();
+}
+
+}  // namespace valmod

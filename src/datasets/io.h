@@ -1,0 +1,28 @@
+#ifndef VALMOD_DATASETS_IO_H_
+#define VALMOD_DATASETS_IO_H_
+
+#include <string>
+
+#include "util/common.h"
+#include "util/status.h"
+
+namespace valmod {
+
+/// Writes one value per line in plain text (the format the paper's public
+/// datasets ship in).
+Status WriteSeriesText(const Series& series, const std::string& path);
+
+/// Reads a one-value-per-line (or comma/whitespace-separated) text file.
+/// Blank lines are skipped; a malformed token fails the whole read.
+Status ReadSeriesText(const std::string& path, Series* out);
+
+/// Writes the series as little-endian IEEE-754 doubles with an 8-byte
+/// count header.
+Status WriteSeriesBinary(const Series& series, const std::string& path);
+
+/// Reads a series written by WriteSeriesBinary.
+Status ReadSeriesBinary(const std::string& path, Series* out);
+
+}  // namespace valmod
+
+#endif  // VALMOD_DATASETS_IO_H_

@@ -1,0 +1,39 @@
+#include "datasets/registry.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "datasets/generators.h"
+
+namespace valmod {
+
+const std::vector<DatasetSpec>& BenchmarkDatasets() {
+  static const std::vector<DatasetSpec>& specs = *new std::vector<DatasetSpec>{
+      {"ECG", "driver-stress electrocardiogram (PhysioNet) stand-in", 101,
+       &GenerateEcg},
+      {"GAP", "French global-active-power recording (EDF) stand-in", 102,
+       &GenerateGap},
+      {"ASTRO", "celestial-object hard-X-ray series stand-in", 103,
+       &GenerateAstro},
+      {"EMG", "driver-stress electromyogram (PhysioNet) stand-in", 104,
+       &GenerateEmg},
+      {"EEG", "cyclic-alternating-pattern sleep EEG stand-in", 105,
+       &GenerateEeg},
+  };
+  return specs;
+}
+
+Status GenerateByName(const std::string& name, Index n, Series* out) {
+  std::string upper = name;
+  std::transform(upper.begin(), upper.end(), upper.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  for (const DatasetSpec& spec : BenchmarkDatasets()) {
+    if (spec.name == upper) {
+      *out = spec.generator(n, spec.default_seed);
+      return Status::Ok();
+    }
+  }
+  return Status::NotFound("unknown dataset: " + name);
+}
+
+}  // namespace valmod

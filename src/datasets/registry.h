@@ -1,0 +1,31 @@
+#ifndef VALMOD_DATASETS_REGISTRY_H_
+#define VALMOD_DATASETS_REGISTRY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+#include "util/status.h"
+
+namespace valmod {
+
+/// Descriptor of one benchmark dataset (the five of Table 1).
+struct DatasetSpec {
+  std::string name;         // "ECG", "GAP", "ASTRO", "EMG", "EEG"
+  std::string description;  // What the real dataset was; what we simulate.
+  std::uint64_t default_seed;
+  Series (*generator)(Index n, std::uint64_t seed);
+};
+
+/// The five evaluation datasets, in the paper's Table 1 order
+/// (ECG, GAP, ASTRO, EMG, EEG).
+const std::vector<DatasetSpec>& BenchmarkDatasets();
+
+/// Generates `n` points of the named dataset (case-insensitive) with its
+/// default seed. Returns kNotFound for unknown names.
+Status GenerateByName(const std::string& name, Index n, Series* out);
+
+}  // namespace valmod
+
+#endif  // VALMOD_DATASETS_REGISTRY_H_

@@ -1,0 +1,33 @@
+#include "datasets/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace valmod {
+
+SeriesSummary Summarize(std::span<const double> series) {
+  VALMOD_CHECK(!series.empty());
+  SeriesSummary out;
+  out.n = static_cast<Index>(series.size());
+  out.min = series[0];
+  out.max = series[0];
+  // Welford's algorithm: numerically stable single pass.
+  double mean = 0.0;
+  double m2 = 0.0;
+  Index count = 0;
+  for (double v : series) {
+    out.min = std::min(out.min, v);
+    out.max = std::max(out.max, v);
+    ++count;
+    const double delta = v - mean;
+    mean += delta / static_cast<double>(count);
+    m2 += delta * (v - mean);
+  }
+  out.mean = mean;
+  out.std = std::sqrt(m2 / static_cast<double>(count));
+  return out;
+}
+
+}  // namespace valmod

@@ -1,0 +1,24 @@
+#ifndef VALMOD_DATASETS_STATS_H_
+#define VALMOD_DATASETS_STATS_H_
+
+#include <span>
+
+#include "util/common.h"
+
+namespace valmod {
+
+/// The per-dataset summary the paper reports in Table 1.
+struct SeriesSummary {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double std = 0.0;
+  Index n = 0;
+};
+
+/// One-pass summary statistics of a series.
+SeriesSummary Summarize(std::span<const double> series);
+
+}  // namespace valmod
+
+#endif  // VALMOD_DATASETS_STATS_H_

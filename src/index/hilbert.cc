@@ -1,0 +1,76 @@
+#include "index/hilbert.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace valmod {
+namespace {
+
+/// Skilling's in-place transform from Gray-coded Hilbert axes to plain
+/// coordinates runs one way; this is the inverse direction (coordinates ->
+/// transposed Hilbert index), adapted from "Programming the Hilbert curve",
+/// J. Skilling, AIP Conf. Proc. 707 (2004).
+void AxesToTranspose(std::vector<std::uint32_t>& x, int bits) {
+  const int n = static_cast<int>(x.size());
+  // Inverse undo.
+  for (std::uint32_t m = std::uint32_t{1} << (bits - 1); m > 1; m >>= 1) {
+    const std::uint32_t p = m - 1;
+    for (int i = 0; i < n; ++i) {
+      if (x[static_cast<std::size_t>(i)] & m) {
+        x[0] ^= p;  // Invert low bits of x[0].
+      } else {
+        const std::uint32_t t = (x[0] ^ x[static_cast<std::size_t>(i)]) & p;
+        x[0] ^= t;
+        x[static_cast<std::size_t>(i)] ^= t;
+      }
+    }
+  }
+  // Gray encode.
+  for (int i = 1; i < n; ++i) {
+    x[static_cast<std::size_t>(i)] ^= x[static_cast<std::size_t>(i - 1)];
+  }
+  std::uint32_t t = 0;
+  for (std::uint32_t m = std::uint32_t{1} << (bits - 1); m > 1; m >>= 1) {
+    if (x[static_cast<std::size_t>(n - 1)] & m) t ^= m - 1;
+  }
+  for (int i = 0; i < n; ++i) x[static_cast<std::size_t>(i)] ^= t;
+}
+
+}  // namespace
+
+std::uint64_t HilbertIndex(std::span<const std::uint32_t> coords, int bits) {
+  const int dims = static_cast<int>(coords.size());
+  VALMOD_CHECK(dims >= 1 && bits >= 1 && dims * bits <= 64);
+  std::vector<std::uint32_t> x(coords.begin(), coords.end());
+  AxesToTranspose(x, bits);
+  // Interleave the transposed words, most significant bit plane first.
+  std::uint64_t key = 0;
+  for (int b = bits - 1; b >= 0; --b) {
+    for (int i = 0; i < dims; ++i) {
+      key = (key << 1) |
+            ((x[static_cast<std::size_t>(i)] >> b) & std::uint32_t{1});
+    }
+  }
+  return key;
+}
+
+std::uint64_t HilbertIndexOfPoint(std::span<const double> point,
+                                  std::span<const double> lo,
+                                  std::span<const double> hi, int bits) {
+  VALMOD_CHECK(point.size() == lo.size() && point.size() == hi.size());
+  const std::uint32_t max_coord = (std::uint32_t{1} << bits) - 1;
+  std::vector<std::uint32_t> coords(point.size());
+  for (std::size_t d = 0; d < point.size(); ++d) {
+    const double span = hi[d] - lo[d];
+    double frac = span > 0.0 ? (point[d] - lo[d]) / span : 0.0;
+    frac = std::clamp(frac, 0.0, 1.0);
+    coords[d] = static_cast<std::uint32_t>(
+        std::min<double>(std::floor(frac * (max_coord + 1.0)),
+                         static_cast<double>(max_coord)));
+  }
+  return HilbertIndex(coords, bits);
+}
+
+}  // namespace valmod

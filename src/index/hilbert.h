@@ -1,0 +1,34 @@
+#ifndef VALMOD_INDEX_HILBERT_H_
+#define VALMOD_INDEX_HILBERT_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/common.h"
+
+namespace valmod {
+
+/// d-dimensional Hilbert curve index via Skilling's transform (AIP 2004).
+///
+/// QUICK MOTIF bulk-loads its R-tree by sorting the PAA summaries of all
+/// subsequences along a Hilbert curve, which keeps spatially close summaries
+/// in the same leaves and makes the MBR-pair pruning effective.
+
+/// Converts a point given as `bits`-bit integer coordinates (one per
+/// dimension) into its Hilbert index, returned as `dims` words of `bits`
+/// bits in transposed form packed into a single comparison key of
+/// dims * bits bits, most significant first. `bits * dims` must be <= 64 so
+/// the key fits one word.
+std::uint64_t HilbertIndex(std::span<const std::uint32_t> coords, int bits);
+
+/// Quantizes a real-valued point into `bits`-bit integer coordinates over
+/// the bounding box [lo, hi] per dimension, then returns its Hilbert index.
+/// Coordinates outside the box are clamped.
+std::uint64_t HilbertIndexOfPoint(std::span<const double> point,
+                                  std::span<const double> lo,
+                                  std::span<const double> hi, int bits);
+
+}  // namespace valmod
+
+#endif  // VALMOD_INDEX_HILBERT_H_

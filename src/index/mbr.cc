@@ -1,0 +1,65 @@
+#include "index/mbr.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace valmod {
+
+Mbr::Mbr(Index dims) {
+  VALMOD_CHECK(dims >= 1);
+  lo_.assign(static_cast<std::size_t>(dims), kInf);
+  hi_.assign(static_cast<std::size_t>(dims), -kInf);
+}
+
+void Mbr::Extend(std::span<const double> point) {
+  VALMOD_CHECK(static_cast<Index>(point.size()) == dims());
+  for (std::size_t d = 0; d < point.size(); ++d) {
+    lo_[d] = std::min(lo_[d], point[d]);
+    hi_[d] = std::max(hi_[d], point[d]);
+  }
+  empty_ = false;
+}
+
+void Mbr::Extend(const Mbr& other) {
+  VALMOD_CHECK(other.dims() == dims());
+  if (other.empty_) return;
+  for (std::size_t d = 0; d < lo_.size(); ++d) {
+    lo_[d] = std::min(lo_[d], other.lo_[d]);
+    hi_[d] = std::max(hi_[d], other.hi_[d]);
+  }
+  empty_ = false;
+}
+
+double Mbr::MinDist(const Mbr& other) const {
+  VALMOD_CHECK(!empty_ && !other.empty_ && other.dims() == dims());
+  double acc = 0.0;
+  for (std::size_t d = 0; d < lo_.size(); ++d) {
+    double gap = 0.0;
+    if (other.lo_[d] > hi_[d]) {
+      gap = other.lo_[d] - hi_[d];
+    } else if (lo_[d] > other.hi_[d]) {
+      gap = lo_[d] - other.hi_[d];
+    }
+    acc += gap * gap;
+  }
+  return std::sqrt(acc);
+}
+
+double Mbr::MinDistToPoint(std::span<const double> point) const {
+  VALMOD_CHECK(!empty_ && static_cast<Index>(point.size()) == dims());
+  double acc = 0.0;
+  for (std::size_t d = 0; d < point.size(); ++d) {
+    double gap = 0.0;
+    if (point[d] > hi_[d]) {
+      gap = point[d] - hi_[d];
+    } else if (point[d] < lo_[d]) {
+      gap = lo_[d] - point[d];
+    }
+    acc += gap * gap;
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace valmod

@@ -1,0 +1,45 @@
+#ifndef VALMOD_INDEX_MBR_H_
+#define VALMOD_INDEX_MBR_H_
+
+#include <span>
+#include <vector>
+
+#include "util/common.h"
+
+namespace valmod {
+
+/// Minimum bounding rectangle in d dimensions. The QUICK MOTIF pruning
+/// reasons about lower bounds between groups of PAA points via MBR-to-MBR
+/// minimum distances.
+class Mbr {
+ public:
+  /// Creates an empty (inverted) MBR of dimension `dims`.
+  explicit Mbr(Index dims);
+
+  /// Expands the MBR to contain `point` (must match dims).
+  void Extend(std::span<const double> point);
+
+  /// Expands the MBR to contain `other`.
+  void Extend(const Mbr& other);
+
+  Index dims() const { return static_cast<Index>(lo_.size()); }
+  bool empty() const { return empty_; }
+  const std::vector<double>& lo() const { return lo_; }
+  const std::vector<double>& hi() const { return hi_; }
+
+  /// MINDIST: the smallest possible Euclidean distance between any point in
+  /// this MBR and any point in `other` (0 when they intersect).
+  double MinDist(const Mbr& other) const;
+
+  /// MINDIST between this MBR and a point.
+  double MinDistToPoint(std::span<const double> point) const;
+
+ private:
+  bool empty_ = true;
+  std::vector<double> lo_;
+  std::vector<double> hi_;
+};
+
+}  // namespace valmod
+
+#endif  // VALMOD_INDEX_MBR_H_

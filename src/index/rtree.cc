@@ -1,0 +1,86 @@
+#include "index/rtree.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "index/hilbert.h"
+#include "util/check.h"
+
+namespace valmod {
+
+PackedRTree::PackedRTree(std::span<const double> points, Index count,
+                         Index dims, Index leaf_capacity, Index fanout,
+                         int hilbert_bits)
+    : count_(count),
+      dims_(dims),
+      points_(points.begin(), points.end()) {
+  VALMOD_CHECK(count >= 1 && dims >= 1);
+  VALMOD_CHECK(static_cast<Index>(points.size()) == count * dims);
+  VALMOD_CHECK(leaf_capacity >= 1 && fanout >= 2);
+  // Hilbert keys need dims * bits <= 64; shrink bits for high dimensions.
+  while (hilbert_bits > 1 && dims * hilbert_bits > 64) --hilbert_bits;
+
+  // Bounding box of all points, per dimension.
+  std::vector<double> lo(static_cast<std::size_t>(dims), kInf);
+  std::vector<double> hi(static_cast<std::size_t>(dims), -kInf);
+  for (Index i = 0; i < count; ++i) {
+    const auto row = point(i);
+    for (Index d = 0; d < dims; ++d) {
+      lo[static_cast<std::size_t>(d)] =
+          std::min(lo[static_cast<std::size_t>(d)], row[static_cast<std::size_t>(d)]);
+      hi[static_cast<std::size_t>(d)] =
+          std::max(hi[static_cast<std::size_t>(d)], row[static_cast<std::size_t>(d)]);
+    }
+  }
+
+  // Order the point ids along the Hilbert curve.
+  std::vector<std::uint64_t> keys(static_cast<std::size_t>(count));
+  for (Index i = 0; i < count; ++i) {
+    keys[static_cast<std::size_t>(i)] =
+        HilbertIndexOfPoint(point(i), lo, hi, hilbert_bits);
+  }
+  std::vector<Index> order(static_cast<std::size_t>(count));
+  std::iota(order.begin(), order.end(), Index{0});
+  std::sort(order.begin(), order.end(), [&](Index a, Index b) {
+    return keys[static_cast<std::size_t>(a)] < keys[static_cast<std::size_t>(b)];
+  });
+
+  // Pack consecutive runs into leaves.
+  std::vector<Index> level;  // Node ids of the level under construction.
+  for (Index start = 0; start < count; start += leaf_capacity) {
+    RTreeNode leaf;
+    leaf.is_leaf = true;
+    leaf.mbr = Mbr(dims);
+    const Index end = std::min(count, start + leaf_capacity);
+    for (Index k = start; k < end; ++k) {
+      const Index id = order[static_cast<std::size_t>(k)];
+      leaf.points.push_back(id);
+      leaf.mbr.Extend(point(id));
+    }
+    level.push_back(static_cast<Index>(nodes_.size()));
+    nodes_.push_back(std::move(leaf));
+  }
+
+  // Group `fanout` nodes per parent until a single root remains.
+  while (level.size() > 1) {
+    std::vector<Index> next;
+    for (std::size_t start = 0; start < level.size();
+         start += static_cast<std::size_t>(fanout)) {
+      RTreeNode parent;
+      parent.is_leaf = false;
+      parent.mbr = Mbr(dims);
+      const std::size_t end =
+          std::min(level.size(), start + static_cast<std::size_t>(fanout));
+      for (std::size_t k = start; k < end; ++k) {
+        parent.children.push_back(level[k]);
+        parent.mbr.Extend(nodes_[static_cast<std::size_t>(level[k])].mbr);
+      }
+      next.push_back(static_cast<Index>(nodes_.size()));
+      nodes_.push_back(std::move(parent));
+    }
+    level = std::move(next);
+  }
+  root_ = level.front();
+}
+
+}  // namespace valmod

@@ -1,0 +1,62 @@
+#ifndef VALMOD_INDEX_RTREE_H_
+#define VALMOD_INDEX_RTREE_H_
+
+#include <span>
+#include <vector>
+
+#include "index/mbr.h"
+#include "util/common.h"
+
+namespace valmod {
+
+/// One node of the packed R-tree.
+struct RTreeNode {
+  Mbr mbr{1};
+  bool is_leaf = false;
+  /// Node ids of the children (internal nodes only).
+  std::vector<Index> children;
+  /// Point ids stored in this node (leaves only).
+  std::vector<Index> points;
+};
+
+/// A static, bulk-loaded R-tree over d-dimensional points, packed in Hilbert
+/// order (the "Hilbert R-tree" QUICK MOTIF builds over PAA summaries).
+/// Construction sorts the points by Hilbert index, fills leaves with
+/// `leaf_capacity` consecutive points, and groups `fanout` nodes per level
+/// above. The tree is immutable after construction.
+class PackedRTree {
+ public:
+  /// Bulk-loads the tree. `points` is a flattened row-major array of
+  /// `count` points of `dims` doubles each; point id i refers to row i.
+  /// Requires count >= 1.
+  PackedRTree(std::span<const double> points, Index count, Index dims,
+              Index leaf_capacity = 16, Index fanout = 8,
+              int hilbert_bits = 8);
+
+  Index root() const { return root_; }
+  Index num_nodes() const { return static_cast<Index>(nodes_.size()); }
+  Index num_points() const { return count_; }
+  Index dims() const { return dims_; }
+
+  const RTreeNode& node(Index id) const {
+    return nodes_[static_cast<std::size_t>(id)];
+  }
+
+  /// Row view of point `id`.
+  std::span<const double> point(Index id) const {
+    return std::span<const double>(points_)
+        .subspan(static_cast<std::size_t>(id * dims_),
+                 static_cast<std::size_t>(dims_));
+  }
+
+ private:
+  Index count_;
+  Index dims_;
+  Index root_ = 0;
+  std::vector<double> points_;
+  std::vector<RTreeNode> nodes_;
+};
+
+}  // namespace valmod
+
+#endif  // VALMOD_INDEX_RTREE_H_

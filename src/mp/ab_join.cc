@@ -1,0 +1,123 @@
+#include "mp/ab_join.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "signal/distance.h"
+#include "signal/sliding_dot.h"
+#include "signal/znorm.h"
+#include "util/check.h"
+#include "util/prefix_stats.h"
+
+namespace valmod {
+
+AbJoinProfile AbJoin(std::span<const double> series_a,
+                     std::span<const double> series_b, Index len,
+                     const Deadline& deadline, bool* out_dnf) {
+  const Index na = static_cast<Index>(series_a.size());
+  const Index nb = static_cast<Index>(series_b.size());
+  VALMOD_CHECK(len >= 2 && na >= len && nb >= len);
+  if (out_dnf != nullptr) *out_dnf = false;
+  // Center both inputs (see CenterSeries): a semantic no-op that keeps the
+  // dot-product formula well conditioned.
+  const Series a = CenterSeries(series_a);
+  const Series b = CenterSeries(series_b);
+  const PrefixStats stats_a(a);
+  const PrefixStats stats_b(b);
+  const Index n_sub_a = NumSubsequences(na, len);
+  const Index n_sub_b = NumSubsequences(nb, len);
+
+  AbJoinProfile result;
+  result.subsequence_length = len;
+  result.distances.assign(static_cast<std::size_t>(n_sub_a), kInf);
+  result.indices.assign(static_cast<std::size_t>(n_sub_a), kNoNeighbor);
+
+  // QT row for A's first subsequence against B (MASS), kept to seed column
+  // 0 of later rows via the transposed first row trick: QT[i][0] needs
+  // dot(A_i, B_0), which we get from a second MASS of B's first subsequence
+  // against A.
+  std::vector<double> qt = SlidingDotProduct(
+      std::span<const double>(a).subspan(0, static_cast<std::size_t>(len)),
+      b);
+  const std::vector<double> qt_b0_vs_a = SlidingDotProduct(
+      std::span<const double>(b).subspan(0, static_cast<std::size_t>(len)),
+      a);
+
+  auto finish_row = [&](Index i) {
+    const MeanStd ms_a = stats_a.Stats(i, len);
+    double best = kInf;
+    Index best_j = kNoNeighbor;
+    for (Index j = 0; j < n_sub_b; ++j) {
+      const double d = ZNormalizedDistanceFromDotProduct(
+          qt[static_cast<std::size_t>(j)], len, ms_a, stats_b.Stats(j, len));
+      if (d < best) {
+        best = d;
+        best_j = j;
+      }
+    }
+    result.distances[static_cast<std::size_t>(i)] = best;
+    result.indices[static_cast<std::size_t>(i)] = best_j;
+  };
+
+  finish_row(0);
+  for (Index i = 1; i < n_sub_a; ++i) {
+    if (deadline.Expired()) {
+      if (out_dnf != nullptr) *out_dnf = true;
+      return result;
+    }
+    for (Index j = n_sub_b - 1; j >= 1; --j) {
+      qt[static_cast<std::size_t>(j)] =
+          qt[static_cast<std::size_t>(j - 1)] -
+          a[static_cast<std::size_t>(i - 1)] *
+              b[static_cast<std::size_t>(j - 1)] +
+          a[static_cast<std::size_t>(i + len - 1)] *
+              b[static_cast<std::size_t>(j + len - 1)];
+    }
+    qt[0] = qt_b0_vs_a[static_cast<std::size_t>(i)];
+    finish_row(i);
+  }
+  return result;
+}
+
+MotifPair AbJoinMotif(const AbJoinProfile& profile) {
+  MotifPair best;
+  best.length = profile.subsequence_length;
+  for (Index i = 0; i < profile.size(); ++i) {
+    const double d = profile.distances[static_cast<std::size_t>(i)];
+    const Index j = profile.indices[static_cast<std::size_t>(i)];
+    if (j == kNoNeighbor) continue;
+    if (d < best.distance) {
+      best.distance = d;
+      best.a = i;  // Offset in A.
+      best.b = j;  // Offset in B (no canonical ordering across series).
+    }
+  }
+  return best;
+}
+
+AbJoinProfile AbJoinNaive(std::span<const double> series_a,
+                          std::span<const double> series_b, Index len) {
+  const Index n_sub_a =
+      NumSubsequences(static_cast<Index>(series_a.size()), len);
+  const Index n_sub_b =
+      NumSubsequences(static_cast<Index>(series_b.size()), len);
+  VALMOD_CHECK(n_sub_a >= 1 && n_sub_b >= 1);
+  AbJoinProfile result;
+  result.subsequence_length = len;
+  result.distances.assign(static_cast<std::size_t>(n_sub_a), kInf);
+  result.indices.assign(static_cast<std::size_t>(n_sub_a), kNoNeighbor);
+  for (Index i = 0; i < n_sub_a; ++i) {
+    const std::vector<double> za = ZNormalizeSubsequence(series_a, i, len);
+    for (Index j = 0; j < n_sub_b; ++j) {
+      const std::vector<double> zb = ZNormalizeSubsequence(series_b, j, len);
+      const double d = EuclideanDistance(za, zb);
+      if (d < result.distances[static_cast<std::size_t>(i)]) {
+        result.distances[static_cast<std::size_t>(i)] = d;
+        result.indices[static_cast<std::size_t>(i)] = j;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace valmod

@@ -1,0 +1,49 @@
+#ifndef VALMOD_MP_AB_JOIN_H_
+#define VALMOD_MP_AB_JOIN_H_
+
+#include <span>
+
+#include "mp/matrix_profile.h"
+#include "util/common.h"
+#include "util/timer.h"
+
+namespace valmod {
+
+/// The AB-join matrix profile ("Matrix Profile I", Yeh et al. ICDM'16):
+/// for every subsequence of series A, the z-normalized distance to its
+/// nearest neighbour among the subsequences of series B (and the matching
+/// index). Unlike the self-join there is no trivial-match exclusion — the
+/// two series are distinct. The self-join special case of this machinery is
+/// what VALMOD accelerates across lengths; the AB-join is the natural
+/// companion primitive an adopter of this library expects (similarity join
+/// between two recordings).
+struct AbJoinProfile {
+  Index subsequence_length = 0;
+  /// distances[i]: distance from A's subsequence i to its nearest
+  /// neighbour in B.
+  std::vector<double> distances;
+  /// indices[i]: offset of that neighbour in B.
+  std::vector<Index> indices;
+
+  Index size() const { return static_cast<Index>(distances.size()); }
+};
+
+/// Computes the AB-join profile of `series_a` against `series_b` at
+/// subsequence length `len` with the STOMP-style incremental kernel:
+/// O(|A| * |B|) after an O(|B| log |B|) start-up. `deadline` aborts with
+/// `*out_dnf` set; already-finished rows stay valid.
+AbJoinProfile AbJoin(std::span<const double> series_a,
+                     std::span<const double> series_b, Index len,
+                     const Deadline& deadline = Deadline(),
+                     bool* out_dnf = nullptr);
+
+/// The closest pair between the two series (the "join motif").
+MotifPair AbJoinMotif(const AbJoinProfile& profile);
+
+/// Naive O(|A| * |B| * len) reference; the test oracle.
+AbJoinProfile AbJoinNaive(std::span<const double> series_a,
+                          std::span<const double> series_b, Index len);
+
+}  // namespace valmod
+
+#endif  // VALMOD_MP_AB_JOIN_H_

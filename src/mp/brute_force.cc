@@ -1,0 +1,57 @@
+#include "mp/brute_force.h"
+
+#include "signal/znorm.h"
+#include "util/check.h"
+
+namespace valmod {
+
+MatrixProfile BruteForceMatrixProfile(std::span<const double> series,
+                                      Index len) {
+  const Index n = static_cast<Index>(series.size());
+  VALMOD_CHECK(len >= 2 && n >= len + 1);
+  const Index n_sub = NumSubsequences(n, len);
+
+  MatrixProfile result;
+  result.subsequence_length = len;
+  result.distances.assign(static_cast<std::size_t>(n_sub), kInf);
+  result.indices.assign(static_cast<std::size_t>(n_sub), kNoNeighbor);
+
+  std::vector<std::vector<double>> znormed(static_cast<std::size_t>(n_sub));
+  for (Index i = 0; i < n_sub; ++i) {
+    znormed[static_cast<std::size_t>(i)] =
+        ZNormalizeSubsequence(series, i, len);
+  }
+  for (Index i = 0; i < n_sub; ++i) {
+    for (Index j = i + 1; j < n_sub; ++j) {
+      if (IsTrivialMatch(i, j, len)) continue;
+      const double d = EuclideanDistance(znormed[static_cast<std::size_t>(i)],
+                                         znormed[static_cast<std::size_t>(j)]);
+      if (d < result.distances[static_cast<std::size_t>(i)]) {
+        result.distances[static_cast<std::size_t>(i)] = d;
+        result.indices[static_cast<std::size_t>(i)] = j;
+      }
+      if (d < result.distances[static_cast<std::size_t>(j)]) {
+        result.distances[static_cast<std::size_t>(j)] = d;
+        result.indices[static_cast<std::size_t>(j)] = i;
+      }
+    }
+  }
+  return result;
+}
+
+MotifPair BruteForceMotif(std::span<const double> series, Index len) {
+  return MotifFromProfile(BruteForceMatrixProfile(series, len));
+}
+
+std::vector<MotifPair> BruteForceVariableLengthMotifs(
+    std::span<const double> series, Index len_min, Index len_max) {
+  VALMOD_CHECK(len_min >= 2 && len_max >= len_min);
+  std::vector<MotifPair> out;
+  out.reserve(static_cast<std::size_t>(len_max - len_min + 1));
+  for (Index len = len_min; len <= len_max; ++len) {
+    out.push_back(BruteForceMotif(series, len));
+  }
+  return out;
+}
+
+}  // namespace valmod

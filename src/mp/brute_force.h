@@ -1,0 +1,28 @@
+#ifndef VALMOD_MP_BRUTE_FORCE_H_
+#define VALMOD_MP_BRUTE_FORCE_H_
+
+#include <span>
+#include <vector>
+
+#include "mp/matrix_profile.h"
+#include "util/common.h"
+
+namespace valmod {
+
+/// O(n^2 * len) motif pair search by direct z-normalization of every
+/// subsequence pair. The ground-truth oracle for all faster algorithms.
+MotifPair BruteForceMotif(std::span<const double> series, Index len);
+
+/// O(n^2 * len) matrix profile by direct computation; test oracle for STOMP
+/// and STAMP.
+MatrixProfile BruteForceMatrixProfile(std::span<const double> series,
+                                      Index len);
+
+/// Brute-force variable-length search: BruteForceMotif for every length in
+/// [len_min, len_max]. Oracle for VALMOD / MOEN end-to-end tests.
+std::vector<MotifPair> BruteForceVariableLengthMotifs(
+    std::span<const double> series, Index len_min, Index len_max);
+
+}  // namespace valmod
+
+#endif  // VALMOD_MP_BRUTE_FORCE_H_

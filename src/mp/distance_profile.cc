@@ -1,0 +1,65 @@
+#include "mp/distance_profile.h"
+
+#include "mp/matrix_profile.h"
+#include "signal/distance.h"
+#include "signal/sliding_dot.h"
+#include "signal/znorm.h"
+#include "util/check.h"
+
+namespace valmod {
+
+std::vector<double> DistanceProfileFromDotProducts(
+    std::span<const double> qt, const PrefixStats& stats, Index query_offset,
+    Index len) {
+  const Index n_sub = static_cast<Index>(qt.size());
+  const MeanStd q_stats = stats.Stats(query_offset, len);
+  std::vector<double> profile(static_cast<std::size_t>(n_sub), kInf);
+  for (Index j = 0; j < n_sub; ++j) {
+    if (IsTrivialMatch(query_offset, j, len)) continue;
+    profile[static_cast<std::size_t>(j)] = ZNormalizedDistanceFromDotProduct(
+        qt[static_cast<std::size_t>(j)], len, q_stats, stats.Stats(j, len));
+  }
+  return profile;
+}
+
+std::vector<double> ComputeDistanceProfile(std::span<const double> series,
+                                           const PrefixStats& stats,
+                                           Index query_offset, Index len) {
+  const Index n = static_cast<Index>(series.size());
+  VALMOD_CHECK(query_offset >= 0 && query_offset + len <= n);
+  const std::vector<double> qt = SlidingDotProduct(
+      series.subspan(static_cast<std::size_t>(query_offset),
+                     static_cast<std::size_t>(len)),
+      series);
+  return DistanceProfileFromDotProducts(qt, stats, query_offset, len);
+}
+
+std::vector<double> ComputeDistanceProfileNaive(std::span<const double> series,
+                                                Index query_offset, Index len) {
+  const Index n = static_cast<Index>(series.size());
+  VALMOD_CHECK(query_offset >= 0 && query_offset + len <= n);
+  const Index n_sub = NumSubsequences(n, len);
+  const std::vector<double> zq =
+      ZNormalizeSubsequence(series, query_offset, len);
+  std::vector<double> profile(static_cast<std::size_t>(n_sub), kInf);
+  for (Index j = 0; j < n_sub; ++j) {
+    if (IsTrivialMatch(query_offset, j, len)) continue;
+    const std::vector<double> zj = ZNormalizeSubsequence(series, j, len);
+    profile[static_cast<std::size_t>(j)] = EuclideanDistance(zq, zj);
+  }
+  return profile;
+}
+
+Index ArgMin(std::span<const double> profile) {
+  Index best = kNoNeighbor;
+  double best_value = kInf;
+  for (Index j = 0; j < static_cast<Index>(profile.size()); ++j) {
+    if (profile[static_cast<std::size_t>(j)] < best_value) {
+      best_value = profile[static_cast<std::size_t>(j)];
+      best = j;
+    }
+  }
+  return best;
+}
+
+}  // namespace valmod

@@ -1,0 +1,37 @@
+#ifndef VALMOD_MP_DISTANCE_PROFILE_H_
+#define VALMOD_MP_DISTANCE_PROFILE_H_
+
+#include <span>
+#include <vector>
+
+#include "util/common.h"
+#include "util/prefix_stats.h"
+
+namespace valmod {
+
+/// Computes the distance profile of the subsequence at `query_offset`
+/// against every subsequence of `series` of the same length
+/// (Definition 2.4). Entries in the trivial-match exclusion zone are kInf.
+/// O(n log n) via MASS (FFT sliding dot product).
+std::vector<double> ComputeDistanceProfile(std::span<const double> series,
+                                           const PrefixStats& stats,
+                                           Index query_offset, Index len);
+
+/// Same result computed the naive O(n * len) way; the test oracle.
+std::vector<double> ComputeDistanceProfileNaive(std::span<const double> series,
+                                                Index query_offset, Index len);
+
+/// Converts a raw sliding-dot-product row into a distance profile using
+/// Eq. 3, applying the exclusion zone around `query_offset`. `qt` must have
+/// NumSubsequences(n, len) entries. Shared by STOMP and the VALMOD fallback
+/// path so the trivial-match policy lives in exactly one place.
+std::vector<double> DistanceProfileFromDotProducts(
+    std::span<const double> qt, const PrefixStats& stats, Index query_offset,
+    Index len);
+
+/// Index of the minimum entry of `profile`, or kNoNeighbor if all are kInf.
+Index ArgMin(std::span<const double> profile);
+
+}  // namespace valmod
+
+#endif  // VALMOD_MP_DISTANCE_PROFILE_H_

@@ -1,0 +1,77 @@
+#include "mp/matrix_profile.h"
+
+#include <algorithm>
+
+namespace valmod {
+
+MotifPair MotifFromProfile(const MatrixProfile& profile) {
+  MotifPair best;
+  best.length = profile.subsequence_length;
+  for (Index i = 0; i < profile.size(); ++i) {
+    const double d = profile.distances[static_cast<std::size_t>(i)];
+    const Index j = profile.indices[static_cast<std::size_t>(i)];
+    if (j == kNoNeighbor) continue;
+    if (d < best.distance) {
+      best.distance = d;
+      best.a = std::min(i, j);
+      best.b = std::max(i, j);
+    }
+  }
+  return best;
+}
+
+std::vector<MotifPair> TopMotifsFromProfile(const MatrixProfile& profile,
+                                            Index k) {
+  const Index len = profile.subsequence_length;
+  const Index excl = ExclusionZone(len);
+  // Sort offsets by profile value ascending, then greedily take pairs whose
+  // occurrences do not overlap previously taken ones.
+  std::vector<Index> order(static_cast<std::size_t>(profile.size()));
+  for (Index i = 0; i < profile.size(); ++i) {
+    order[static_cast<std::size_t>(i)] = i;
+  }
+  std::sort(order.begin(), order.end(), [&](Index x, Index y) {
+    return profile.distances[static_cast<std::size_t>(x)] <
+           profile.distances[static_cast<std::size_t>(y)];
+  });
+  std::vector<MotifPair> out;
+  std::vector<Index> taken;  // Offsets already covered by selected motifs.
+  auto overlaps_taken = [&](Index off) {
+    for (Index t : taken) {
+      if (std::llabs(static_cast<long long>(t - off)) < excl) return true;
+    }
+    return false;
+  };
+  for (Index i : order) {
+    if (static_cast<Index>(out.size()) >= k) break;
+    const Index j = profile.indices[static_cast<std::size_t>(i)];
+    if (j == kNoNeighbor) continue;
+    if (profile.distances[static_cast<std::size_t>(i)] == kInf) break;
+    if (overlaps_taken(i) || overlaps_taken(j)) continue;
+    MotifPair pair;
+    pair.a = std::min(i, j);
+    pair.b = std::max(i, j);
+    pair.length = len;
+    pair.distance = profile.distances[static_cast<std::size_t>(i)];
+    out.push_back(pair);
+    taken.push_back(i);
+    taken.push_back(j);
+  }
+  return out;
+}
+
+Discord DiscordFromProfile(const MatrixProfile& profile) {
+  Discord best;
+  best.length = profile.subsequence_length;
+  for (Index i = 0; i < profile.size(); ++i) {
+    const double d = profile.distances[static_cast<std::size_t>(i)];
+    if (profile.indices[static_cast<std::size_t>(i)] == kNoNeighbor) continue;
+    if (d > best.distance && d != kInf) {
+      best.distance = d;
+      best.offset = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace valmod

@@ -1,0 +1,66 @@
+#ifndef VALMOD_MP_MATRIX_PROFILE_H_
+#define VALMOD_MP_MATRIX_PROFILE_H_
+
+#include <span>
+#include <vector>
+
+#include "util/common.h"
+
+namespace valmod {
+
+/// Sentinel for "no neighbour" in a matrix-profile index.
+inline constexpr Index kNoNeighbor = -1;
+
+/// A motif pair: the two closest non-trivially-matching subsequences of a
+/// given length (Definition 2.3). `a < b` by convention.
+struct MotifPair {
+  Index a = kNoNeighbor;
+  Index b = kNoNeighbor;
+  Index length = 0;
+  double distance = kInf;
+
+  /// True when a pair has actually been found.
+  bool valid() const { return a != kNoNeighbor && b != kNoNeighbor; }
+};
+
+/// The matrix profile of a series for one subsequence length
+/// (Definition 2.5): per-offset nearest-neighbour distance plus the
+/// matching index vector.
+struct MatrixProfile {
+  Index subsequence_length = 0;
+  /// distances[i]: z-normalized distance from subsequence i to its nearest
+  /// non-trivial neighbour.
+  std::vector<double> distances;
+  /// indices[i]: offset of that neighbour, or kNoNeighbor.
+  std::vector<Index> indices;
+
+  Index size() const { return static_cast<Index>(distances.size()); }
+};
+
+/// Extracts the motif pair (the two lowest values) from a matrix profile.
+/// Returns an invalid pair when the profile is empty or all-infinite.
+MotifPair MotifFromProfile(const MatrixProfile& profile);
+
+/// Extracts the top-k motif pairs from a matrix profile, enforcing the
+/// exclusion zone between the pairs' occurrences so the k pairs describe k
+/// distinct regions (used by the ranked-list view of Definition 2.3).
+std::vector<MotifPair> TopMotifsFromProfile(const MatrixProfile& profile,
+                                            Index k);
+
+/// The discord (subsequence with the largest nearest-neighbour distance),
+/// i.e. the highest point of the matrix profile; part of the paper's
+/// future-work extension implemented here.
+struct Discord {
+  Index offset = kNoNeighbor;
+  Index length = 0;
+  /// Distance to the discord's nearest neighbour.
+  double distance = -1.0;
+  bool valid() const { return offset != kNoNeighbor; }
+};
+
+/// Extracts the top discord from a matrix profile.
+Discord DiscordFromProfile(const MatrixProfile& profile);
+
+}  // namespace valmod
+
+#endif  // VALMOD_MP_MATRIX_PROFILE_H_

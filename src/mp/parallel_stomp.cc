@@ -1,0 +1,111 @@
+#include "mp/parallel_stomp.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "signal/distance.h"
+#include "signal/sliding_dot.h"
+#include "signal/znorm.h"
+#include "util/check.h"
+
+namespace valmod {
+namespace {
+
+/// Processes rows [row_begin, row_end) into the shared result arrays.
+/// Each worker owns a disjoint row range, so the writes never race; the
+/// symmetric (column-side) improvements STOMP usually exploits are folded
+/// into the row scan instead (every pair is visited exactly once per side).
+void ProcessChunk(std::span<const double> series,
+                  std::span<const MeanStd> col_stats, Index len,
+                  Index row_begin, Index row_end, double* distances,
+                  Index* indices) {
+  const Index n_sub = static_cast<Index>(col_stats.size());
+  if (row_begin >= row_end) return;
+  std::vector<double> qt = SlidingDotProduct(
+      series.subspan(static_cast<std::size_t>(row_begin),
+                     static_cast<std::size_t>(len)),
+      series);
+  for (Index i = row_begin; i < row_end; ++i) {
+    if (i > row_begin) {
+      for (Index j = n_sub - 1; j >= 1; --j) {
+        qt[static_cast<std::size_t>(j)] =
+            qt[static_cast<std::size_t>(j - 1)] -
+            series[static_cast<std::size_t>(i - 1)] *
+                series[static_cast<std::size_t>(j - 1)] +
+            series[static_cast<std::size_t>(i + len - 1)] *
+                series[static_cast<std::size_t>(j + len - 1)];
+      }
+      // Column 0 = dot(T_i, T_0) = dot(T_0, T_i): recompute directly; one
+      // O(len) product per row is amortized away by the O(n) row cost.
+      qt[0] = SubsequenceDotProduct(series, 0, i, len);
+    }
+    double best = kInf;
+    Index best_j = kNoNeighbor;
+    const MeanStd row_stats = col_stats[static_cast<std::size_t>(i)];
+    for (Index j = 0; j < n_sub; ++j) {
+      if (IsTrivialMatch(i, j, len)) continue;
+      const double d = ZNormalizedDistanceFromDotProduct(
+          qt[static_cast<std::size_t>(j)], len, row_stats,
+          col_stats[static_cast<std::size_t>(j)]);
+      if (d < best) {
+        best = d;
+        best_j = j;
+      }
+    }
+    distances[i] = best;
+    indices[i] = best_j;
+  }
+}
+
+}  // namespace
+
+MatrixProfile ParallelStomp(std::span<const double> series,
+                            const PrefixStats& stats, Index len,
+                            int threads) {
+  const Index n = static_cast<Index>(series.size());
+  VALMOD_CHECK(len >= 2 && n >= len + 1);
+  const Index n_sub = NumSubsequences(n, len);
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  threads = static_cast<int>(
+      std::min<Index>(threads, std::max<Index>(1, n_sub / 64)));
+
+  MatrixProfile result;
+  result.subsequence_length = len;
+  result.distances.assign(static_cast<std::size_t>(n_sub), kInf);
+  result.indices.assign(static_cast<std::size_t>(n_sub), kNoNeighbor);
+
+  std::vector<MeanStd> col_stats(static_cast<std::size_t>(n_sub));
+  for (Index j = 0; j < n_sub; ++j) {
+    col_stats[static_cast<std::size_t>(j)] = stats.Stats(j, len);
+  }
+
+  if (threads == 1) {
+    ProcessChunk(series, col_stats, len, 0, n_sub, result.distances.data(),
+                 result.indices.data());
+    return result;
+  }
+  std::vector<std::thread> workers;
+  const Index chunk = (n_sub + threads - 1) / threads;
+  for (int t = 0; t < threads; ++t) {
+    const Index begin = static_cast<Index>(t) * chunk;
+    const Index end = std::min<Index>(n_sub, begin + chunk);
+    workers.emplace_back(ProcessChunk, series, std::span<const MeanStd>(col_stats),
+                         len, begin, end, result.distances.data(),
+                         result.indices.data());
+  }
+  for (std::thread& w : workers) w.join();
+  return result;
+}
+
+MatrixProfile ParallelStomp(std::span<const double> series, Index len,
+                            int threads) {
+  const Series centered = CenterSeries(series);
+  const PrefixStats stats(centered);
+  return ParallelStomp(centered, stats, len, threads);
+}
+
+}  // namespace valmod

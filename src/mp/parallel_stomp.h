@@ -1,0 +1,31 @@
+#ifndef VALMOD_MP_PARALLEL_STOMP_H_
+#define VALMOD_MP_PARALLEL_STOMP_H_
+
+#include <span>
+
+#include "mp/matrix_profile.h"
+#include "util/common.h"
+#include "util/prefix_stats.h"
+
+namespace valmod {
+
+/// Multi-threaded STOMP: the row recurrence QT(i) -> QT(i+1) is sequential,
+/// but independent *chunks* of rows can each seed their first row with MASS
+/// and then run the O(n)-per-row recurrence privately (the standard
+/// parallelization used by production matrix-profile implementations and
+/// by the GPU variant the paper cites). Exact: results are identical to
+/// single-threaded Stomp.
+///
+/// `threads` <= 0 picks std::thread::hardware_concurrency(). With one
+/// thread this degenerates to (and is tested against) the serial kernel.
+MatrixProfile ParallelStomp(std::span<const double> series,
+                            const PrefixStats& stats, Index len,
+                            int threads = 0);
+
+/// Convenience overload; centers the input internally.
+MatrixProfile ParallelStomp(std::span<const double> series, Index len,
+                            int threads = 0);
+
+}  // namespace valmod
+
+#endif  // VALMOD_MP_PARALLEL_STOMP_H_

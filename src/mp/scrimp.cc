@@ -1,0 +1,89 @@
+#include "mp/scrimp.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "signal/distance.h"
+#include "signal/znorm.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace valmod {
+
+MatrixProfile Scrimp(std::span<const double> series, const PrefixStats& stats,
+                     Index len, const ScrimpOptions& options) {
+  const Index n = static_cast<Index>(series.size());
+  VALMOD_CHECK(len >= 2 && n >= len + 1);
+  const Index n_sub = NumSubsequences(n, len);
+  const Index excl = ExclusionZone(len);
+
+  MatrixProfile result;
+  result.subsequence_length = len;
+  result.distances.assign(static_cast<std::size_t>(n_sub), kInf);
+  result.indices.assign(static_cast<std::size_t>(n_sub), kNoNeighbor);
+
+  // Column statistics once (same optimization as the STOMP kernel).
+  std::vector<MeanStd> col_stats(static_cast<std::size_t>(n_sub));
+  for (Index j = 0; j < n_sub; ++j) {
+    col_stats[static_cast<std::size_t>(j)] = stats.Stats(j, len);
+  }
+
+  // Diagonals d = excl .. n_sub-1 (pairs (i, i+d)); smaller separations are
+  // trivial matches by definition.
+  std::vector<Index> diagonals;
+  for (Index d = excl; d < n_sub; ++d) diagonals.push_back(d);
+  if (options.randomize_order) {
+    Rng rng(options.seed);
+    for (Index i = static_cast<Index>(diagonals.size()) - 1; i > 0; --i) {
+      const Index j = rng.UniformIndex(0, i);
+      std::swap(diagonals[static_cast<std::size_t>(i)],
+                diagonals[static_cast<std::size_t>(j)]);
+    }
+  }
+  const Index budget =
+      options.max_diagonals > 0
+          ? std::min<Index>(options.max_diagonals,
+                            static_cast<Index>(diagonals.size()))
+          : static_cast<Index>(diagonals.size());
+
+  for (Index step = 0; step < budget; ++step) {
+    const Index d = diagonals[static_cast<std::size_t>(step)];
+    // Walk the diagonal: pairs (i, i + d) for i = 0 .. n_sub - d - 1,
+    // updating the dot product in O(1) per step.
+    double qt = SubsequenceDotProduct(series, 0, d, len);
+    for (Index i = 0; i + d < n_sub; ++i) {
+      if (i > 0) {
+        qt += -series[static_cast<std::size_t>(i - 1)] *
+                  series[static_cast<std::size_t>(i + d - 1)] +
+              series[static_cast<std::size_t>(i + len - 1)] *
+                  series[static_cast<std::size_t>(i + d + len - 1)];
+      }
+      const Index j = i + d;
+      const double dist = ZNormalizedDistanceFromDotProduct(
+          qt, len, col_stats[static_cast<std::size_t>(i)],
+          col_stats[static_cast<std::size_t>(j)]);
+      if (dist < result.distances[static_cast<std::size_t>(i)]) {
+        result.distances[static_cast<std::size_t>(i)] = dist;
+        result.indices[static_cast<std::size_t>(i)] = j;
+      }
+      if (dist < result.distances[static_cast<std::size_t>(j)]) {
+        result.distances[static_cast<std::size_t>(j)] = dist;
+        result.indices[static_cast<std::size_t>(j)] = i;
+      }
+    }
+    if (options.snapshot_every > 0 && options.snapshot &&
+        (step + 1) % options.snapshot_every == 0) {
+      options.snapshot(step + 1, result);
+    }
+  }
+  return result;
+}
+
+MatrixProfile Scrimp(std::span<const double> series, Index len) {
+  const Series centered = CenterSeries(series);
+  const PrefixStats stats(centered);
+  return Scrimp(centered, stats, len);
+}
+
+}  // namespace valmod

@@ -1,0 +1,46 @@
+#ifndef VALMOD_MP_SCRIMP_H_
+#define VALMOD_MP_SCRIMP_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "mp/matrix_profile.h"
+#include "util/common.h"
+#include "util/prefix_stats.h"
+
+namespace valmod {
+
+/// Options for the SCRIMP computation.
+struct ScrimpOptions {
+  /// Evaluate the diagonals in random order (the anytime property: each
+  /// diagonal sprinkles updates across the whole profile, so a random
+  /// prefix of diagonals approximates the final profile much faster than
+  /// STOMP's row order does).
+  bool randomize_order = true;
+  std::uint64_t seed = 13;
+  /// Stop after this many diagonals (0 = all); partial results are valid
+  /// upper bounds of the final profile.
+  Index max_diagonals = 0;
+  /// Invoked every `snapshot_every` diagonals; 0 disables.
+  Index snapshot_every = 0;
+  std::function<void(Index diagonals_done, const MatrixProfile& so_far)>
+      snapshot;
+};
+
+/// SCRIMP [Zhu et al., "Matrix Profile XI", ICDM'18]: the exact O(n^2)
+/// matrix profile computed *diagonal by diagonal*. Along diagonal d the dot
+/// product obeys QT(i+1, i+d+1) = QT(i, i+d) - t_i*t_{i+d} +
+/// t_{i+len}*t_{i+d+len}, so each diagonal costs O(n) like a STOMP row —
+/// but diagonals can be visited in random order, giving a far better
+/// anytime profile than row order. Complements STOMP (used by VALMOD's
+/// inner loop) and STAMP (per-row MASS) in the substrate.
+MatrixProfile Scrimp(std::span<const double> series, const PrefixStats& stats,
+                     Index len, const ScrimpOptions& options = ScrimpOptions());
+
+/// Convenience overload; centers the input internally.
+MatrixProfile Scrimp(std::span<const double> series, Index len);
+
+}  // namespace valmod
+
+#endif  // VALMOD_MP_SCRIMP_H_

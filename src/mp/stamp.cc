@@ -1,0 +1,61 @@
+#include "mp/stamp.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "mp/distance_profile.h"
+#include "util/check.h"
+
+namespace valmod {
+
+MatrixProfile Stamp(std::span<const double> series, const PrefixStats& stats,
+                    Index len, const StampOptions& options) {
+  const Index n = static_cast<Index>(series.size());
+  VALMOD_CHECK(len >= 2 && n >= len + 1);
+  const Index n_sub = NumSubsequences(n, len);
+
+  MatrixProfile result;
+  result.subsequence_length = len;
+  result.distances.assign(static_cast<std::size_t>(n_sub), kInf);
+  result.indices.assign(static_cast<std::size_t>(n_sub), kNoNeighbor);
+
+  std::vector<Index> order(static_cast<std::size_t>(n_sub));
+  std::iota(order.begin(), order.end(), Index{0});
+  if (options.randomize_order) {
+    Rng rng(options.seed);
+    for (Index i = n_sub - 1; i > 0; --i) {
+      const Index j = rng.UniformIndex(0, i);
+      std::swap(order[static_cast<std::size_t>(i)],
+                order[static_cast<std::size_t>(j)]);
+    }
+  }
+
+  const Index row_budget =
+      options.max_rows > 0 ? std::min(options.max_rows, n_sub) : n_sub;
+  for (Index step = 0; step < row_budget; ++step) {
+    const Index row = order[static_cast<std::size_t>(step)];
+    const std::vector<double> profile =
+        ComputeDistanceProfile(series, stats, row, len);
+    // Symmetric min-merge: the row's profile improves both the row entry and
+    // every column entry (dist(i, j) == dist(j, i)).
+    for (Index j = 0; j < n_sub; ++j) {
+      const double d = profile[static_cast<std::size_t>(j)];
+      if (d < result.distances[static_cast<std::size_t>(row)]) {
+        result.distances[static_cast<std::size_t>(row)] = d;
+        result.indices[static_cast<std::size_t>(row)] = j;
+      }
+      if (d < result.distances[static_cast<std::size_t>(j)]) {
+        result.distances[static_cast<std::size_t>(j)] = d;
+        result.indices[static_cast<std::size_t>(j)] = row;
+      }
+    }
+    if (options.snapshot_every > 0 && options.snapshot &&
+        (step + 1) % options.snapshot_every == 0) {
+      options.snapshot(step + 1, result);
+    }
+  }
+  return result;
+}
+
+}  // namespace valmod

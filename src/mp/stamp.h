@@ -1,0 +1,40 @@
+#ifndef VALMOD_MP_STAMP_H_
+#define VALMOD_MP_STAMP_H_
+
+#include <functional>
+#include <span>
+
+#include "mp/matrix_profile.h"
+#include "util/common.h"
+#include "util/prefix_stats.h"
+#include "util/random.h"
+
+namespace valmod {
+
+/// Options for the anytime STAMP computation.
+struct StampOptions {
+  /// Randomize the row evaluation order (the anytime property: a random
+  /// prefix of rows already approximates the final profile well).
+  bool randomize_order = true;
+  /// PRNG seed for the row order.
+  std::uint64_t seed = 7;
+  /// Stop after this many rows (0 = all). With randomized order this yields
+  /// the paper's "O(nc) steps converge" anytime behaviour.
+  Index max_rows = 0;
+  /// Invoked after every `snapshot_every` rows with the number of rows done
+  /// and the profile-so-far; 0 disables snapshots.
+  Index snapshot_every = 0;
+  std::function<void(Index rows_done, const MatrixProfile& so_far)> snapshot;
+};
+
+/// STAMP [Yeh et al., ICDM'16]: each distance profile is computed
+/// independently with MASS, O(n^2 log n) total, but rows can be evaluated in
+/// any order, making it an anytime algorithm. Profile entries are min-merged
+/// symmetrically, so after k rows every offset already carries the best
+/// distance seen so far.
+MatrixProfile Stamp(std::span<const double> series, const PrefixStats& stats,
+                    Index len, const StampOptions& options = StampOptions());
+
+}  // namespace valmod
+
+#endif  // VALMOD_MP_STAMP_H_

@@ -1,0 +1,88 @@
+#include "mp/stomp.h"
+
+#include <vector>
+
+#include "mp/distance_profile.h"
+#include "signal/distance.h"
+#include "signal/sliding_dot.h"
+#include "signal/znorm.h"
+#include "util/check.h"
+
+namespace valmod {
+
+MatrixProfile Stomp(std::span<const double> series, const PrefixStats& stats,
+                    Index len, const StompRowObserver& observer,
+                    const Deadline& deadline, bool* out_dnf) {
+  const Index n = static_cast<Index>(series.size());
+  VALMOD_CHECK(len >= 2 && n >= len + 1);
+  const Index n_sub = NumSubsequences(n, len);
+  if (out_dnf != nullptr) *out_dnf = false;
+
+  MatrixProfile result;
+  result.subsequence_length = len;
+  result.distances.assign(static_cast<std::size_t>(n_sub), kInf);
+  result.indices.assign(static_cast<std::size_t>(n_sub), kNoNeighbor);
+
+  // First dot-product row (query = first subsequence) via MASS; kept around
+  // to seed column 0 of every later row (QT[i][0] == QT[0][i] by symmetry).
+  std::vector<double> qt = SlidingDotProduct(
+      series.subspan(0, static_cast<std::size_t>(len)), series);
+  const std::vector<double> qt_first = qt;
+
+  // Per-column window statistics, computed once: the row loop touches every
+  // column n times, so per-use PrefixStats lookups would dominate.
+  std::vector<MeanStd> col_stats(static_cast<std::size_t>(n_sub));
+  for (Index j = 0; j < n_sub; ++j) {
+    col_stats[static_cast<std::size_t>(j)] = stats.Stats(j, len);
+  }
+
+  std::vector<double> profile(static_cast<std::size_t>(n_sub));
+  auto finish_row = [&](Index row) {
+    const MeanStd row_stats = col_stats[static_cast<std::size_t>(row)];
+    for (Index j = 0; j < n_sub; ++j) {
+      profile[static_cast<std::size_t>(j)] =
+          IsTrivialMatch(row, j, len)
+              ? kInf
+              : ZNormalizedDistanceFromDotProduct(
+                    qt[static_cast<std::size_t>(j)], len, row_stats,
+                    col_stats[static_cast<std::size_t>(j)]);
+    }
+    const Index arg = ArgMin(profile);
+    if (arg != kNoNeighbor) {
+      result.distances[static_cast<std::size_t>(row)] =
+          profile[static_cast<std::size_t>(arg)];
+      result.indices[static_cast<std::size_t>(row)] = arg;
+    }
+    if (observer) observer(row, qt, profile);
+  };
+
+  finish_row(0);
+  for (Index i = 1; i < n_sub; ++i) {
+    if (deadline.Expired()) {
+      if (out_dnf != nullptr) *out_dnf = true;
+      return result;
+    }
+    // Update QT in place, descending j so QT[j-1] is still the old row.
+    for (Index j = n_sub - 1; j >= 1; --j) {
+      qt[static_cast<std::size_t>(j)] =
+          qt[static_cast<std::size_t>(j - 1)] -
+          series[static_cast<std::size_t>(i - 1)] *
+              series[static_cast<std::size_t>(j - 1)] +
+          series[static_cast<std::size_t>(i + len - 1)] *
+              series[static_cast<std::size_t>(j + len - 1)];
+    }
+    qt[0] = qt_first[static_cast<std::size_t>(i)];
+    finish_row(i);
+  }
+  return result;
+}
+
+MatrixProfile Stomp(std::span<const double> series, Index len) {
+  // Center the input (a semantic no-op for z-normalized distances) so this
+  // convenience entry point is robust to large data offsets.
+  const Series centered = CenterSeries(series);
+  const PrefixStats stats(centered);
+  return Stomp(centered, stats, len);
+}
+
+}  // namespace valmod

@@ -1,0 +1,39 @@
+#ifndef VALMOD_MP_STOMP_H_
+#define VALMOD_MP_STOMP_H_
+
+#include <functional>
+#include <span>
+
+#include "mp/matrix_profile.h"
+#include "util/common.h"
+#include "util/prefix_stats.h"
+#include "util/timer.h"
+
+namespace valmod {
+
+/// Per-row observer invoked by Stomp after each distance profile is
+/// completed. `row` is the query offset, `qt` the dot-product row (already
+/// advanced to this row), `profile` the finished distance profile (kInf in
+/// the exclusion zone). VALMOD's ComputeMatrixProfile hooks in here to
+/// harvest lower-bound entries without duplicating the STOMP kernel.
+using StompRowObserver = std::function<void(
+    Index row, std::span<const double> qt, std::span<const double> profile)>;
+
+/// STOMP [Zhu et al., ICDM'16]: the exact O(n^2) matrix profile via
+/// incrementally updated dot products. The first row is computed with MASS
+/// (O(n log n)); every following row is derived from the previous one in
+/// O(n).
+///
+/// `deadline` aborts the computation (profile distances already computed
+/// stay valid, the rest are kInf, and `*out_dnf` is set when provided).
+MatrixProfile Stomp(std::span<const double> series, const PrefixStats& stats,
+                    Index len, const StompRowObserver& observer = nullptr,
+                    const Deadline& deadline = Deadline(),
+                    bool* out_dnf = nullptr);
+
+/// Convenience overload that builds the PrefixStats internally.
+MatrixProfile Stomp(std::span<const double> series, Index len);
+
+}  // namespace valmod
+
+#endif  // VALMOD_MP_STOMP_H_

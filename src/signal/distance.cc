@@ -1,0 +1,62 @@
+#include "signal/distance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "signal/znorm.h"
+#include "util/check.h"
+
+namespace valmod {
+
+double CorrelationFromDotProduct(double qt, Index len, const MeanStd& a,
+                                 const MeanStd& b) {
+  const double l = static_cast<double>(len);
+  const bool flat_a = IsFlatWindow(a.mean, a.std);
+  const bool flat_b = IsFlatWindow(b.mean, b.std);
+  if (flat_a || flat_b) {
+    // Z-normalization maps a flat window to all zeros: two flat windows are
+    // identical (corr 1), a flat and a non-flat window have distance
+    // sqrt(sum zb^2) = sqrt(len), i.e. corr 1 - 1/2 = 0.5.
+    return (flat_a && flat_b) ? 1.0 : 0.5;
+  }
+  const double corr = (qt - l * a.mean * b.mean) / (l * a.std * b.std);
+  return std::clamp(corr, -1.0, 1.0);
+}
+
+double DistanceFromCorrelation(double corr, Index len) {
+  const double v = 2.0 * static_cast<double>(len) * (1.0 - corr);
+  return std::sqrt(std::max(0.0, v));
+}
+
+double CorrelationFromDistance(double dist, Index len) {
+  return 1.0 - dist * dist / (2.0 * static_cast<double>(len));
+}
+
+double ZNormalizedDistanceFromDotProduct(double qt, Index len,
+                                         const MeanStd& a, const MeanStd& b) {
+  return DistanceFromCorrelation(CorrelationFromDotProduct(qt, len, a, b),
+                                 len);
+}
+
+double SubsequenceDotProduct(std::span<const double> series, Index i, Index j,
+                             Index len) {
+  VALMOD_DCHECK(i >= 0 && j >= 0 &&
+                static_cast<std::size_t>(std::max(i, j) + len) <=
+                    series.size());
+  double acc = 0.0;
+  for (Index k = 0; k < len; ++k) {
+    acc += series[static_cast<std::size_t>(i + k)] *
+           series[static_cast<std::size_t>(j + k)];
+  }
+  return acc;
+}
+
+double SubsequenceDistance(std::span<const double> series,
+                           const PrefixStats& stats, Index i, Index j,
+                           Index len) {
+  const double qt = SubsequenceDotProduct(series, i, j, len);
+  return ZNormalizedDistanceFromDotProduct(qt, len, stats.Stats(i, len),
+                                           stats.Stats(j, len));
+}
+
+}  // namespace valmod

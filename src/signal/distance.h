@@ -1,0 +1,43 @@
+#ifndef VALMOD_SIGNAL_DISTANCE_H_
+#define VALMOD_SIGNAL_DISTANCE_H_
+
+#include <span>
+
+#include "util/common.h"
+#include "util/prefix_stats.h"
+
+namespace valmod {
+
+/// Pearson correlation between two subsequences of length `len` given their
+/// dot product `qt` and their window statistics; the `q_{i,j}` of Eq. 2.
+/// Result clamped into [-1, 1] to absorb floating-point drift. Windows with
+/// (near-)zero standard deviation are treated as uncorrelated with everything
+/// except other flat windows (correlation 1 between two flat windows).
+double CorrelationFromDotProduct(double qt, Index len, const MeanStd& a,
+                                 const MeanStd& b);
+
+/// Z-normalized Euclidean distance from the dot product (Eq. 3):
+/// dist = sqrt(2 * len * (1 - (QT - len*mu_a*mu_b) / (len*sigma_a*sigma_b))).
+double ZNormalizedDistanceFromDotProduct(double qt, Index len,
+                                         const MeanStd& a, const MeanStd& b);
+
+/// Distance as a function of correlation: sqrt(2 * len * (1 - corr)).
+double DistanceFromCorrelation(double corr, Index len);
+
+/// Correlation as a function of distance: 1 - dist^2 / (2 * len).
+double CorrelationFromDistance(double dist, Index len);
+
+/// O(len) exact z-normalized distance between the subsequences of `series`
+/// at `i` and `j`, both of length `len`. Convenience wrapper used by the
+/// motif-set stage and by tests.
+double SubsequenceDistance(std::span<const double> series,
+                           const PrefixStats& stats, Index i, Index j,
+                           Index len);
+
+/// O(len) dot product between the subsequences at `i` and `j` of `series`.
+double SubsequenceDotProduct(std::span<const double> series, Index i, Index j,
+                             Index len);
+
+}  // namespace valmod
+
+#endif  // VALMOD_SIGNAL_DISTANCE_H_

@@ -1,0 +1,83 @@
+#include "signal/fft.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace valmod {
+
+Index NextPowerOfTwo(Index n) {
+  VALMOD_CHECK(n >= 1);
+  Index p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+Index ConvolutionFftSize(Index a, Index b) {
+  return NextPowerOfTwo(a + b - 1);
+}
+
+void Fft(std::vector<std::complex<double>>& data, bool inverse) {
+  const std::size_t n = data.size();
+  VALMOD_CHECK(n > 0 && (n & (n - 1)) == 0);
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  // Butterflies, doubling block length each pass.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (auto& x : data) x *= inv_n;
+  }
+}
+
+std::vector<double> FftConvolve(std::span<const double> a,
+                                std::span<const double> b) {
+  VALMOD_CHECK(!a.empty() && !b.empty());
+  const Index out_size = static_cast<Index>(a.size() + b.size()) - 1;
+  const std::size_t fft_size = static_cast<std::size_t>(
+      ConvolutionFftSize(static_cast<Index>(a.size()),
+                         static_cast<Index>(b.size())));
+  // Pack both real inputs into one complex transform: fa = a + i*b. The
+  // spectra are then separated using conjugate symmetry, saving one FFT.
+  std::vector<std::complex<double>> fa(fft_size, {0.0, 0.0});
+  for (std::size_t i = 0; i < a.size(); ++i) fa[i].real(a[i]);
+  for (std::size_t i = 0; i < b.size(); ++i) fa[i].imag(b[i]);
+  Fft(fa, /*inverse=*/false);
+  std::vector<std::complex<double>> prod(fft_size);
+  for (std::size_t k = 0; k < fft_size; ++k) {
+    const std::size_t kc = (fft_size - k) & (fft_size - 1);
+    const std::complex<double> x = fa[k];
+    const std::complex<double> y = std::conj(fa[kc]);
+    // A[k] = (x + y)/2, B[k] = (x - y)/(2i); product A[k]*B[k].
+    const std::complex<double> A = 0.5 * (x + y);
+    const std::complex<double> B = std::complex<double>(0.0, -0.5) * (x - y);
+    prod[k] = A * B;
+  }
+  Fft(prod, /*inverse=*/true);
+  std::vector<double> out(static_cast<std::size_t>(out_size));
+  for (Index i = 0; i < out_size; ++i) {
+    out[static_cast<std::size_t>(i)] = prod[static_cast<std::size_t>(i)].real();
+  }
+  return out;
+}
+
+}  // namespace valmod

@@ -1,0 +1,34 @@
+#ifndef VALMOD_SIGNAL_FFT_H_
+#define VALMOD_SIGNAL_FFT_H_
+
+#include <complex>
+#include <span>
+#include <vector>
+
+#include "util/common.h"
+
+namespace valmod {
+
+/// In-place iterative radix-2 Cooley-Tukey FFT.
+///
+/// `data.size()` must be a power of two. `inverse` selects the inverse
+/// transform (including the 1/n scaling), so `Ifft(Fft(x)) == x` up to
+/// floating-point error. This is the only transform the library needs:
+/// convolution callers zero-pad to the next power of two.
+void Fft(std::vector<std::complex<double>>& data, bool inverse);
+
+/// Smallest power of two >= n (n >= 1).
+Index NextPowerOfTwo(Index n);
+
+/// Circular convolution length needed for a linear convolution of sizes
+/// `a` and `b`, rounded to the next power of two.
+Index ConvolutionFftSize(Index a, Index b);
+
+/// Linear convolution of two real sequences via FFT:
+/// result[k] = sum_i a[i] * b[k - i], size a.size() + b.size() - 1.
+std::vector<double> FftConvolve(std::span<const double> a,
+                                std::span<const double> b);
+
+}  // namespace valmod
+
+#endif  // VALMOD_SIGNAL_FFT_H_

@@ -1,0 +1,51 @@
+#include "signal/paa.h"
+
+#include <cmath>
+
+#include "signal/znorm.h"
+#include "util/check.h"
+
+namespace valmod {
+
+std::vector<double> Paa(std::span<const double> values, Index segments) {
+  const Index n = static_cast<Index>(values.size());
+  VALMOD_CHECK(segments >= 1 && n >= 1);
+  std::vector<double> out(static_cast<std::size_t>(segments), 0.0);
+  if (n % segments == 0) {
+    const Index w = n / segments;
+    for (Index s = 0; s < segments; ++s) {
+      double acc = 0.0;
+      for (Index k = 0; k < w; ++k) {
+        acc += values[static_cast<std::size_t>(s * w + k)];
+      }
+      out[static_cast<std::size_t>(s)] = acc / static_cast<double>(w);
+    }
+    return out;
+  }
+  // General case: each sample i contributes to segment floor(i*segments/n)
+  // with fractional splitting at frame boundaries.
+  const double w = static_cast<double>(n) / static_cast<double>(segments);
+  for (Index s = 0; s < segments; ++s) {
+    const double lo = static_cast<double>(s) * w;
+    const double hi = lo + w;
+    double acc = 0.0;
+    for (Index i = static_cast<Index>(std::floor(lo));
+         i < static_cast<Index>(std::ceil(hi)) && i < n; ++i) {
+      const double left = std::max(lo, static_cast<double>(i));
+      const double right = std::min(hi, static_cast<double>(i + 1));
+      if (right > left) acc += values[static_cast<std::size_t>(i)] * (right - left);
+    }
+    out[static_cast<std::size_t>(s)] = acc / w;
+  }
+  return out;
+}
+
+double PaaLowerBound(std::span<const double> paa_a,
+                     std::span<const double> paa_b, Index len) {
+  VALMOD_CHECK(paa_a.size() == paa_b.size() && !paa_a.empty());
+  const double scale = std::sqrt(static_cast<double>(len) /
+                                 static_cast<double>(paa_a.size()));
+  return scale * EuclideanDistance(paa_a, paa_b);
+}
+
+}  // namespace valmod

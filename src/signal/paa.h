@@ -1,0 +1,30 @@
+#ifndef VALMOD_SIGNAL_PAA_H_
+#define VALMOD_SIGNAL_PAA_H_
+
+#include <span>
+#include <vector>
+
+#include "util/common.h"
+
+namespace valmod {
+
+/// Piecewise Aggregate Approximation: the input is divided into `segments`
+/// equal-width frames and each frame is replaced by its mean. When the
+/// length is not divisible by `segments`, fractional frame boundaries are
+/// handled by weighting boundary samples (the standard PAA generalization),
+/// so the summary is exact for any length.
+///
+/// PAA is the summarization QUICK MOTIF prunes with: for z-normalized
+/// subsequences, sqrt(len / segments) * ED(paa_a, paa_b) lower-bounds the
+/// true Euclidean distance.
+std::vector<double> Paa(std::span<const double> values, Index segments);
+
+/// Lower bound on the Euclidean distance of two length-`len` vectors given
+/// their `segments`-dimensional PAA summaries:
+/// sqrt(len / segments) * ED(a, b).
+double PaaLowerBound(std::span<const double> paa_a,
+                     std::span<const double> paa_b, Index len);
+
+}  // namespace valmod
+
+#endif  // VALMOD_SIGNAL_PAA_H_

@@ -1,0 +1,28 @@
+#include "signal/resample.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace valmod {
+
+std::vector<double> ResampleLinear(std::span<const double> values,
+                                   Index target_len) {
+  const Index n = static_cast<Index>(values.size());
+  VALMOD_CHECK(n >= 2 && target_len >= 2);
+  std::vector<double> out(static_cast<std::size_t>(target_len));
+  const double step = static_cast<double>(n - 1) /
+                      static_cast<double>(target_len - 1);
+  for (Index i = 0; i < target_len; ++i) {
+    const double pos = static_cast<double>(i) * step;
+    Index lo = static_cast<Index>(std::floor(pos));
+    if (lo >= n - 1) lo = n - 2;
+    const double frac = pos - static_cast<double>(lo);
+    out[static_cast<std::size_t>(i)] =
+        values[static_cast<std::size_t>(lo)] * (1.0 - frac) +
+        values[static_cast<std::size_t>(lo + 1)] * frac;
+  }
+  return out;
+}
+
+}  // namespace valmod

@@ -1,0 +1,20 @@
+#ifndef VALMOD_SIGNAL_RESAMPLE_H_
+#define VALMOD_SIGNAL_RESAMPLE_H_
+
+#include <span>
+#include <vector>
+
+#include "util/common.h"
+
+namespace valmod {
+
+/// Linearly resamples `values` to `target_len` points (the down-sampling the
+/// paper uses in Figure 2 to produce "the same signature at various speeds").
+/// Endpoint-preserving: output[0] == values.front(),
+/// output[target_len-1] == values.back().
+std::vector<double> ResampleLinear(std::span<const double> values,
+                                   Index target_len);
+
+}  // namespace valmod
+
+#endif  // VALMOD_SIGNAL_RESAMPLE_H_

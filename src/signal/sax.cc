@@ -1,0 +1,74 @@
+#include "signal/sax.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "signal/paa.h"
+#include "signal/znorm.h"
+#include "util/check.h"
+
+namespace valmod {
+namespace {
+
+// Equiprobable N(0,1) breakpoints for alphabets 2..10 (standard SAX
+// tables); row a holds the a-1 cuts for alphabet size a.
+constexpr double kBreakpoints[][9] = {
+    /* a=2  */ {0.0},
+    /* a=3  */ {-0.43, 0.43},
+    /* a=4  */ {-0.67, 0.0, 0.67},
+    /* a=5  */ {-0.84, -0.25, 0.25, 0.84},
+    /* a=6  */ {-0.97, -0.43, 0.0, 0.43, 0.97},
+    /* a=7  */ {-1.07, -0.57, -0.18, 0.18, 0.57, 1.07},
+    /* a=8  */ {-1.15, -0.67, -0.32, 0.0, 0.32, 0.67, 1.15},
+    /* a=9  */ {-1.22, -0.76, -0.43, -0.14, 0.14, 0.43, 0.76, 1.22},
+    /* a=10 */ {-1.28, -0.84, -0.52, -0.25, 0.0, 0.25, 0.52, 0.84, 1.28},
+};
+
+}  // namespace
+
+std::span<const double> SaxBreakpoints(Index alphabet) {
+  VALMOD_CHECK(alphabet >= 2 && alphabet <= 10);
+  return std::span<const double>(
+      kBreakpoints[static_cast<std::size_t>(alphabet - 2)],
+      static_cast<std::size_t>(alphabet - 1));
+}
+
+std::vector<std::uint8_t> SaxWord(std::span<const double> window,
+                                  const SaxParams& params) {
+  VALMOD_CHECK(params.word_len >= 1 &&
+               params.word_len <= static_cast<Index>(window.size()));
+  const std::vector<double> z = ZNormalize(window);
+  const std::vector<double> paa = Paa(z, params.word_len);
+  const std::span<const double> cuts = SaxBreakpoints(params.alphabet);
+  std::vector<std::uint8_t> word(static_cast<std::size_t>(params.word_len));
+  for (std::size_t s = 0; s < word.size(); ++s) {
+    // Symbol = number of breakpoints below the segment mean.
+    const auto it = std::upper_bound(cuts.begin(), cuts.end(), paa[s]);
+    word[s] = static_cast<std::uint8_t>(it - cuts.begin());
+  }
+  return word;
+}
+
+double SaxMinDist(std::span<const std::uint8_t> word_a,
+                  std::span<const std::uint8_t> word_b, Index len,
+                  const SaxParams& params) {
+  VALMOD_CHECK(word_a.size() == word_b.size());
+  VALMOD_CHECK(static_cast<Index>(word_a.size()) == params.word_len);
+  const std::span<const double> cuts = SaxBreakpoints(params.alphabet);
+  double acc = 0.0;
+  for (std::size_t s = 0; s < word_a.size(); ++s) {
+    const int a = word_a[s];
+    const int b = word_b[s];
+    if (std::abs(a - b) <= 1) continue;  // Adjacent symbols: gap 0.
+    const int hi = std::max(a, b);
+    const int lo = std::min(a, b);
+    const double gap = cuts[static_cast<std::size_t>(hi - 1)] -
+                       cuts[static_cast<std::size_t>(lo)];
+    acc += gap * gap;
+  }
+  return std::sqrt(static_cast<double>(len) /
+                   static_cast<double>(params.word_len)) *
+         std::sqrt(acc);
+}
+
+}  // namespace valmod

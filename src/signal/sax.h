@@ -1,0 +1,44 @@
+#ifndef VALMOD_SIGNAL_SAX_H_
+#define VALMOD_SIGNAL_SAX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/common.h"
+
+namespace valmod {
+
+/// Symbolic Aggregate approXimation (Lin et al. 2003): a z-normalized
+/// subsequence is PAA-reduced to `word_len` segments and each segment mean
+/// is mapped to one of `alphabet` symbols via equiprobable Gaussian
+/// breakpoints. The substrate of PROJECTION (the first motif-discovery
+/// algorithm, which the paper's related work contrasts VALMOD against) and
+/// of the iSAX indexing line.
+struct SaxParams {
+  Index word_len = 8;
+  /// Alphabet size; supported range [2, 10].
+  Index alphabet = 4;
+};
+
+/// The Gaussian breakpoints for an alphabet of size `alphabet`: a vector of
+/// `alphabet - 1` ascending cut points splitting N(0,1) into equiprobable
+/// regions.
+std::span<const double> SaxBreakpoints(Index alphabet);
+
+/// SAX word of a raw (not yet normalized) window: z-normalizes, PAA-reduces,
+/// digitizes. Symbols are 0-based (0 = lowest region).
+std::vector<std::uint8_t> SaxWord(std::span<const double> window,
+                                  const SaxParams& params);
+
+/// MINDIST lower bound between two SAX words of windows of length `len`
+/// (Lin et al.): sqrt(len / word_len) * sqrt(sum_i cell(a_i, b_i)^2), where
+/// cell() is the breakpoint gap between non-adjacent symbols. Lower-bounds
+/// the true Euclidean distance between the *z-normalized* windows.
+double SaxMinDist(std::span<const std::uint8_t> word_a,
+                  std::span<const std::uint8_t> word_b, Index len,
+                  const SaxParams& params);
+
+}  // namespace valmod
+
+#endif  // VALMOD_SIGNAL_SAX_H_

@@ -1,0 +1,51 @@
+#include "signal/sliding_dot.h"
+
+#include <algorithm>
+
+#include "signal/fft.h"
+#include "util/check.h"
+
+namespace valmod {
+namespace {
+
+// Below this query length the naive loop beats the FFT pipeline.
+constexpr Index kNaiveCutoff = 32;
+
+}  // namespace
+
+std::vector<double> SlidingDotProductNaive(std::span<const double> query,
+                                           std::span<const double> series) {
+  const Index m = static_cast<Index>(query.size());
+  const Index n = static_cast<Index>(series.size());
+  VALMOD_CHECK(m >= 1 && n >= m);
+  std::vector<double> out(static_cast<std::size_t>(n - m + 1));
+  for (Index j = 0; j + m <= n; ++j) {
+    double acc = 0.0;
+    for (Index k = 0; k < m; ++k) {
+      acc += query[static_cast<std::size_t>(k)] *
+             series[static_cast<std::size_t>(j + k)];
+    }
+    out[static_cast<std::size_t>(j)] = acc;
+  }
+  return out;
+}
+
+std::vector<double> SlidingDotProduct(std::span<const double> query,
+                                      std::span<const double> series) {
+  const Index m = static_cast<Index>(query.size());
+  const Index n = static_cast<Index>(series.size());
+  VALMOD_CHECK(m >= 1 && n >= m);
+  if (m < kNaiveCutoff) return SlidingDotProductNaive(query, series);
+  // Correlation as convolution with the reversed query: the full linear
+  // convolution conv[k] = sum_i rev_q[i] * series[k - i] yields
+  // conv[m - 1 + j] = dot(query, series[j .. j + m)).
+  std::vector<double> reversed(query.rbegin(), query.rend());
+  const std::vector<double> conv = FftConvolve(reversed, series);
+  std::vector<double> out(static_cast<std::size_t>(n - m + 1));
+  for (Index j = 0; j + m <= n; ++j) {
+    out[static_cast<std::size_t>(j)] = conv[static_cast<std::size_t>(m - 1 + j)];
+  }
+  return out;
+}
+
+}  // namespace valmod

@@ -1,0 +1,25 @@
+#ifndef VALMOD_SIGNAL_SLIDING_DOT_H_
+#define VALMOD_SIGNAL_SLIDING_DOT_H_
+
+#include <span>
+#include <vector>
+
+#include "util/common.h"
+
+namespace valmod {
+
+/// Sliding dot product QT of a query against every subsequence of a series
+/// (the `SlidingDotProduct` primitive of Algorithm 3, from MASS):
+/// result[j] = dot(query, series[j .. j + |query|)), for
+/// j in [0, |series| - |query|]. Computed in O(n log n) via FFT convolution.
+std::vector<double> SlidingDotProduct(std::span<const double> query,
+                                      std::span<const double> series);
+
+/// Naive O(n * m) reference used by tests and for very short queries where
+/// the FFT constant factor does not pay off.
+std::vector<double> SlidingDotProductNaive(std::span<const double> query,
+                                           std::span<const double> series);
+
+}  // namespace valmod
+
+#endif  // VALMOD_SIGNAL_SLIDING_DOT_H_

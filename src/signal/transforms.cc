@@ -1,0 +1,85 @@
+#include "signal/transforms.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace valmod {
+
+Series MovingAverage(std::span<const double> series, Index window) {
+  const Index n = static_cast<Index>(series.size());
+  VALMOD_CHECK(window >= 1 && n >= 1);
+  Series out(static_cast<std::size_t>(n));
+  // Sliding-sum implementation: O(n) regardless of window size.
+  const Index half_left = (window - 1) / 2;
+  const Index half_right = window / 2;
+  double acc = 0.0;
+  Index lo = 0;
+  Index hi = -1;  // Current window is [lo, hi].
+  for (Index i = 0; i < n; ++i) {
+    const Index want_lo = std::max<Index>(0, i - half_left);
+    const Index want_hi = std::min<Index>(n - 1, i + half_right);
+    while (hi < want_hi) acc += series[static_cast<std::size_t>(++hi)];
+    while (lo < want_lo) acc -= series[static_cast<std::size_t>(lo++)];
+    out[static_cast<std::size_t>(i)] =
+        acc / static_cast<double>(want_hi - want_lo + 1);
+  }
+  return out;
+}
+
+Series DetrendLinear(std::span<const double> series) {
+  const Index n = static_cast<Index>(series.size());
+  VALMOD_CHECK(n >= 1);
+  if (n == 1) return Series{0.0};
+  // Least squares fit y = a + b*x with x = 0..n-1.
+  const double nx = static_cast<double>(n);
+  const double sum_x = nx * (nx - 1.0) / 2.0;
+  const double sum_xx = nx * (nx - 1.0) * (2.0 * nx - 1.0) / 6.0;
+  double sum_y = 0.0;
+  double sum_xy = 0.0;
+  for (Index i = 0; i < n; ++i) {
+    sum_y += series[static_cast<std::size_t>(i)];
+    sum_xy += static_cast<double>(i) * series[static_cast<std::size_t>(i)];
+  }
+  const double denom = nx * sum_xx - sum_x * sum_x;
+  const double b = denom != 0.0 ? (nx * sum_xy - sum_x * sum_y) / denom : 0.0;
+  const double a = (sum_y - b * sum_x) / nx;
+  Series out(static_cast<std::size_t>(n));
+  for (Index i = 0; i < n; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        series[static_cast<std::size_t>(i)] - (a + b * static_cast<double>(i));
+  }
+  return out;
+}
+
+Series Downsample(std::span<const double> series, Index factor) {
+  VALMOD_CHECK(factor >= 1 && !series.empty());
+  Series out;
+  out.reserve(series.size() / static_cast<std::size_t>(factor) + 1);
+  for (std::size_t i = 0; i < series.size();
+       i += static_cast<std::size_t>(factor)) {
+    out.push_back(series[i]);
+  }
+  return out;
+}
+
+Series AddGaussianNoise(std::span<const double> series, double sigma,
+                        std::uint64_t seed) {
+  VALMOD_CHECK(sigma >= 0.0);
+  Rng rng(seed);
+  Series out(series.begin(), series.end());
+  for (double& v : out) v += rng.Gaussian(0.0, sigma);
+  return out;
+}
+
+Series Difference(std::span<const double> series) {
+  VALMOD_CHECK(series.size() >= 2);
+  Series out(series.size() - 1);
+  for (std::size_t i = 0; i + 1 < series.size(); ++i) {
+    out[i] = series[i + 1] - series[i];
+  }
+  return out;
+}
+
+}  // namespace valmod

@@ -1,0 +1,40 @@
+#ifndef VALMOD_SIGNAL_TRANSFORMS_H_
+#define VALMOD_SIGNAL_TRANSFORMS_H_
+
+#include <cstdint>
+#include <span>
+
+#include "util/common.h"
+
+namespace valmod {
+
+/// Preprocessing utilities a motif-discovery user reaches for before
+/// running the algorithms: smoothing, detrending, decimation, and noise
+/// injection (for robustness experiments). All are pure functions that
+/// return a new series.
+
+/// Centered moving average with window `window` (odd or even; the window is
+/// truncated at the edges so the output has the same length as the input).
+Series MovingAverage(std::span<const double> series, Index window);
+
+/// Removes the least-squares straight line from the series (linear
+/// detrending). A constant series detrends to all zeros.
+Series DetrendLinear(std::span<const double> series);
+
+/// Keeps every `factor`-th sample (simple decimation). The caller is
+/// responsible for pre-smoothing if aliasing matters; pair with
+/// MovingAverage for a crude low-pass decimator.
+Series Downsample(std::span<const double> series, Index factor);
+
+/// Adds i.i.d. Gaussian noise with standard deviation `sigma` (seeded).
+Series AddGaussianNoise(std::span<const double> series, double sigma,
+                        std::uint64_t seed);
+
+/// First difference: out[i] = in[i+1] - in[i] (length n-1). Turns a
+/// random-walk-like series into its increments; useful because z-normalized
+/// matching on smooth walks is degenerate (see docs/DATASETS.md).
+Series Difference(std::span<const double> series);
+
+}  // namespace valmod
+
+#endif  // VALMOD_SIGNAL_TRANSFORMS_H_

@@ -1,0 +1,67 @@
+#include "signal/znorm.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/prefix_stats.h"
+
+namespace valmod {
+
+std::vector<double> ZNormalize(std::span<const double> values) {
+  VALMOD_CHECK(!values.empty());
+  const MeanStd ms = ExactMeanStd(values, 0, static_cast<Index>(values.size()));
+  std::vector<double> out(values.size());
+  // Two-pass moments are cancellation-free: a scaled absolute epsilon
+  // suffices (an exactly constant window has std exactly 0).
+  if (ms.std <= kFlatStdEpsilon * (1.0 + std::abs(ms.mean))) {
+    return out;  // Constant window -> zeros.
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out[i] = (values[i] - ms.mean) / ms.std;
+  }
+  return out;
+}
+
+std::vector<double> ZNormalizeSubsequence(std::span<const double> series,
+                                          Index offset, Index len) {
+  VALMOD_CHECK(offset >= 0 && len >= 1 &&
+               static_cast<std::size_t>(offset + len) <= series.size());
+  return ZNormalize(series.subspan(static_cast<std::size_t>(offset),
+                                   static_cast<std::size_t>(len)));
+}
+
+double EuclideanDistance(std::span<const double> a,
+                         std::span<const double> b) {
+  VALMOD_CHECK(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+double ZNormalizedDistanceDirect(std::span<const double> a,
+                                 std::span<const double> b) {
+  const std::vector<double> za = ZNormalize(a);
+  const std::vector<double> zb = ZNormalize(b);
+  return EuclideanDistance(za, zb);
+}
+
+double LengthNormalize(double dist, Index len) {
+  VALMOD_CHECK(len >= 1);
+  return dist * std::sqrt(1.0 / static_cast<double>(len));
+}
+
+Series CenterSeries(std::span<const double> series) {
+  VALMOD_CHECK(!series.empty());
+  long double sum = 0.0L;
+  for (double v : series) sum += v;
+  const double mean =
+      static_cast<double>(sum / static_cast<long double>(series.size()));
+  Series out(series.begin(), series.end());
+  for (double& v : out) v -= mean;
+  return out;
+}
+
+}  // namespace valmod

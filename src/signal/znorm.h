@@ -1,0 +1,69 @@
+#ifndef VALMOD_SIGNAL_ZNORM_H_
+#define VALMOD_SIGNAL_ZNORM_H_
+
+#include <span>
+#include <vector>
+
+#include "util/common.h"
+
+namespace valmod {
+
+/// Standard-deviation floor below which a window is treated as constant;
+/// z-normalizing a constant window is undefined, so such windows map to the
+/// all-zeros vector and pairwise distances fall back to a meaningful value.
+inline constexpr double kFlatStdEpsilon = 1e-13;
+
+/// Relative flatness threshold: a window whose standard deviation is below
+/// this fraction of its RMS is numerically constant — its variance sits
+/// within the cancellation noise of the prefix-sum formula
+/// (var = ss/l - mu^2), so treating it as structured would amplify rounding
+/// garbage by 1/std. Chosen above the long-double prefix-sum noise floor
+/// (~1e-7 relative std at 10^7 points) and far below any meaningful signal.
+inline constexpr double kFlatRelEpsilon = 1e-6;
+
+/// Flatness test for moments that came out of the *prefix-sum* formula
+/// (var = ss/l - mu^2): a window whose variance is within cancellation
+/// noise of its mean square is numerically constant. The exact two-pass
+/// path (ZNormalize / ExactMeanStd) has no cancellation and uses the
+/// absolute kFlatStdEpsilon scaled by the mean instead. The two paths
+/// agree on centered data (all algorithm entry points center their input);
+/// the divergence on an exactly-constant plateau was found by
+/// tools/fuzz_differential.
+inline bool IsFlatWindow(double mean, double std) {
+  // std <= rel * rms(mean, std), plus an absolute floor for all-zero data.
+  const double rms_sq = mean * mean + std * std;
+  return std * std <= kFlatRelEpsilon * kFlatRelEpsilon * rms_sq + 1e-26;
+}
+
+/// Returns the z-normalized copy of `values` ((x - mean) / std). A constant
+/// input returns all zeros.
+std::vector<double> ZNormalize(std::span<const double> values);
+
+/// Z-normalizes the subsequence [offset, offset+len) of `series`.
+std::vector<double> ZNormalizeSubsequence(std::span<const double> series,
+                                          Index offset, Index len);
+
+/// Plain (non-normalized) Euclidean distance between equal-length vectors.
+double EuclideanDistance(std::span<const double> a, std::span<const double> b);
+
+/// Z-normalized Euclidean distance computed the direct way: normalize both
+/// inputs, then take the Euclidean distance. O(len); the test oracle for all
+/// the O(1) distance formulas in the library.
+double ZNormalizedDistanceDirect(std::span<const double> a,
+                                 std::span<const double> b);
+
+/// The paper's Section 3 length-normalization: dist * sqrt(1 / len).
+/// Makes motifs of different lengths comparable (Figure 2).
+double LengthNormalize(double dist, Index len);
+
+/// Returns a copy of `series` shifted to zero global mean. Z-normalized
+/// distances are exactly invariant to a global shift, so centering is
+/// semantically a no-op — but it removes the catastrophic cancellation in
+/// the dot-product/mean formulas (Eq. 3) when the data rides on a large
+/// offset (e.g. raw sensor counts around 1e9). Every top-level algorithm
+/// entry point centers its input through this helper.
+Series CenterSeries(std::span<const double> series);
+
+}  // namespace valmod
+
+#endif  // VALMOD_SIGNAL_ZNORM_H_

@@ -1,0 +1,91 @@
+#ifndef VALMOD_UTIL_BOUNDED_HEAP_H_
+#define VALMOD_UTIL_BOUNDED_HEAP_H_
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "util/check.h"
+#include "util/common.h"
+
+namespace valmod {
+
+/// A max-heap with a fixed capacity that retains the `capacity` smallest
+/// elements ever inserted (by `Less`). This is the `listDP` building block of
+/// Algorithm 3: each distance profile keeps the `p` entries with the smallest
+/// lower-bound distances, and `Max()` exposes the p-th smallest (the pruning
+/// threshold `maxLB` of Algorithm 4).
+///
+/// `T` must be movable; `Less` must be a strict weak ordering.
+template <typename T, typename Less = std::less<T>>
+class BoundedMaxHeap {
+ public:
+  /// Creates a heap retaining at most `capacity` (>= 1) elements.
+  explicit BoundedMaxHeap(Index capacity = 1, Less less = Less())
+      : capacity_(capacity), less_(std::move(less)) {
+    VALMOD_CHECK(capacity >= 1);
+    // Reserve eagerly only for small capacities: callers legitimately pass
+    // "unbounded" capacities (retain everything) that must not pre-allocate.
+    items_.reserve(static_cast<std::size_t>(std::min<Index>(capacity, 64)));
+  }
+
+  /// Offers `value`. If the heap is full and `value` is not smaller than the
+  /// current maximum, the offer is rejected. Returns true iff retained.
+  bool Insert(T value) {
+    if (static_cast<Index>(items_.size()) < capacity_) {
+      items_.push_back(std::move(value));
+      std::push_heap(items_.begin(), items_.end(), less_);
+      return true;
+    }
+    if (!less_(value, items_.front())) return false;
+    std::pop_heap(items_.begin(), items_.end(), less_);
+    items_.back() = std::move(value);
+    std::push_heap(items_.begin(), items_.end(), less_);
+    return true;
+  }
+
+  /// True when the heap holds `capacity` elements; from then on `Max()` is a
+  /// lower bound on everything that was rejected.
+  bool Full() const { return static_cast<Index>(items_.size()) >= capacity_; }
+
+  bool Empty() const { return items_.empty(); }
+  Index Size() const { return static_cast<Index>(items_.size()); }
+  Index Capacity() const { return capacity_; }
+
+  /// Largest retained element. Requires the heap to be non-empty.
+  const T& Max() const {
+    VALMOD_CHECK(!items_.empty());
+    return items_.front();
+  }
+
+  /// Removes and returns the largest retained element.
+  T PopMax() {
+    VALMOD_CHECK(!items_.empty());
+    std::pop_heap(items_.begin(), items_.end(), less_);
+    T out = std::move(items_.back());
+    items_.pop_back();
+    return out;
+  }
+
+  /// Unordered view of the retained elements.
+  const std::vector<T>& Items() const { return items_; }
+  std::vector<T>& MutableItems() { return items_; }
+
+  /// Retained elements sorted ascending by `Less`.
+  std::vector<T> SortedAscending() const {
+    std::vector<T> out = items_;
+    std::sort(out.begin(), out.end(), less_);
+    return out;
+  }
+
+  void Clear() { items_.clear(); }
+
+ private:
+  Index capacity_;
+  Less less_;
+  std::vector<T> items_;
+};
+
+}  // namespace valmod
+
+#endif  // VALMOD_UTIL_BOUNDED_HEAP_H_

@@ -1,0 +1,38 @@
+#ifndef VALMOD_UTIL_CHECK_H_
+#define VALMOD_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Precondition checking macros. The library does not use exceptions
+// (Google style); contract violations abort with a source location. CHECK is
+// always on; DCHECK compiles away in NDEBUG builds and is meant for
+// tight inner loops.
+
+#define VALMOD_CHECK(cond)                                                    \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__, __LINE__, \
+                   #cond);                                                    \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+#define VALMOD_CHECK_MSG(cond, msg)                                       \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", __FILE__, \
+                   __LINE__, #cond, msg);                                 \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#ifdef NDEBUG
+#define VALMOD_DCHECK(cond) \
+  do {                      \
+  } while (0)
+#else
+#define VALMOD_DCHECK(cond) VALMOD_CHECK(cond)
+#endif
+
+#endif  // VALMOD_UTIL_CHECK_H_

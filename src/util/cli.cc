@@ -1,0 +1,60 @@
+#include "util/cli.h"
+
+#include <cstdlib>
+
+namespace valmod {
+
+CommandLine::CommandLine(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      options_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      options_[arg] = argv[++i];
+    } else {
+      options_[arg] = "true";
+    }
+  }
+}
+
+bool CommandLine::Has(const std::string& key) const {
+  return options_.count(key) > 0;
+}
+
+std::string CommandLine::GetString(const std::string& key,
+                                   const std::string& def) const {
+  const auto it = options_.find(key);
+  return it == options_.end() ? def : it->second;
+}
+
+Index CommandLine::GetIndex(const std::string& key, Index def) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return def;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  return end == it->second.c_str() ? def : static_cast<Index>(v);
+}
+
+double CommandLine::GetDouble(const std::string& key, double def) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return def;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  return end == it->second.c_str() ? def : v;
+}
+
+bool CommandLine::GetBool(const std::string& key, bool def) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return def;
+  const std::string& v = it->second;
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+}  // namespace valmod

@@ -1,0 +1,50 @@
+#ifndef VALMOD_UTIL_CLI_H_
+#define VALMOD_UTIL_CLI_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+
+namespace valmod {
+
+/// Tiny `--key=value` / `--flag` command-line parser shared by the examples
+/// and benchmark binaries. Unrecognized positional arguments are collected in
+/// order and retrievable via Positional().
+class CommandLine {
+ public:
+  /// Parses argv. Arguments of the form `--key=value` or `--key value`
+  /// become key/value options; bare `--key` becomes `key=true`.
+  CommandLine(int argc, const char* const* argv);
+
+  /// True if `key` was supplied.
+  bool Has(const std::string& key) const;
+
+  /// String value of `key`, or `def` when absent.
+  std::string GetString(const std::string& key, const std::string& def) const;
+
+  /// Integer value of `key`, or `def` when absent/unparseable.
+  Index GetIndex(const std::string& key, Index def) const;
+
+  /// Double value of `key`, or `def` when absent/unparseable.
+  double GetDouble(const std::string& key, double def) const;
+
+  /// Boolean value of `key` ("true"/"1"/"yes" are true), or `def`.
+  bool GetBool(const std::string& key, bool def) const;
+
+  /// Positional arguments in order of appearance.
+  const std::vector<std::string>& Positional() const { return positional_; }
+
+  /// Program name (argv[0]).
+  const std::string& ProgramName() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace valmod
+
+#endif  // VALMOD_UTIL_CLI_H_

@@ -1,0 +1,43 @@
+#ifndef VALMOD_UTIL_COMMON_H_
+#define VALMOD_UTIL_COMMON_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace valmod {
+
+/// Signed index type used throughout the library for offsets and lengths.
+/// Signed arithmetic avoids the classic `size_t` underflow traps in the
+/// sliding-window index computations that dominate this codebase.
+using Index = std::int64_t;
+
+/// A data series is a plain contiguous vector of real values (Definition 2.1).
+using Series = std::vector<double>;
+
+/// Positive infinity, used as the "not yet computed" distance sentinel.
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Number of subsequences of length `len` in a series of `n` points.
+/// Returns 0 when the series is shorter than `len`.
+inline Index NumSubsequences(Index n, Index len) {
+  return n >= len ? n - len + 1 : 0;
+}
+
+/// Half-width of the trivial-match exclusion zone for subsequence length
+/// `len`. The paper (Section 2) heuristically sets it to `len / 2`: offsets
+/// `i`, `j` form a trivial match iff `|i - j| < ExclusionZone(len)`.
+inline Index ExclusionZone(Index len) {
+  return len / 2 > Index{1} ? len / 2 : Index{1};
+}
+
+/// True iff offsets `i` and `j` are a trivial match at subsequence length
+/// `len` (a subsequence always trivially matches itself).
+inline bool IsTrivialMatch(Index i, Index j, Index len) {
+  const Index d = i > j ? i - j : j - i;
+  return d < ExclusionZone(len);
+}
+
+}  // namespace valmod
+
+#endif  // VALMOD_UTIL_COMMON_H_

@@ -1,0 +1,75 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace valmod {
+
+Histogram::Histogram(double lo, double hi, Index bins) : lo_(lo), hi_(hi) {
+  VALMOD_CHECK(bins >= 1);
+  VALMOD_CHECK(lo < hi);
+  counts_.assign(static_cast<std::size_t>(bins), 0);
+}
+
+void Histogram::Add(double value) {
+  const double width = (hi_ - lo_) / static_cast<double>(bins());
+  Index b = static_cast<Index>(std::floor((value - lo_) / width));
+  b = std::clamp<Index>(b, 0, bins() - 1);
+  ++counts_[static_cast<std::size_t>(b)];
+  ++total_;
+}
+
+void Histogram::AddAll(std::span<const double> values) {
+  for (double v : values) Add(v);
+}
+
+std::int64_t Histogram::Count(Index b) const {
+  VALMOD_CHECK(b >= 0 && b < bins());
+  return counts_[static_cast<std::size_t>(b)];
+}
+
+double Histogram::BinLeft(Index b) const {
+  const double width = (hi_ - lo_) / static_cast<double>(bins());
+  return lo_ + width * static_cast<double>(b);
+}
+
+double Histogram::Fraction(Index b) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(Count(b)) / static_cast<double>(total_);
+}
+
+std::string Histogram::Render(int width) const {
+  std::int64_t max_count = 1;
+  for (Index b = 0; b < bins(); ++b) max_count = std::max(max_count, Count(b));
+  std::string out;
+  char line[160];
+  for (Index b = 0; b < bins(); ++b) {
+    const int bar = static_cast<int>(
+        static_cast<double>(Count(b)) / static_cast<double>(max_count) * width);
+    std::snprintf(line, sizeof(line), "%12.4f | %-10lld ", BinLeft(b),
+                  static_cast<long long>(Count(b)));
+    out += line;
+    out.append(static_cast<std::size_t>(bar), '#');
+    out += '\n';
+  }
+  return out;
+}
+
+Histogram MakeHistogram(std::span<const double> values, Index bins) {
+  VALMOD_CHECK(!values.empty());
+  double lo = values[0];
+  double hi = values[0];
+  for (double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (lo == hi) hi = lo + 1.0;  // Degenerate range: widen to one unit.
+  Histogram h(lo, hi + 1e-12, bins);
+  h.AddAll(values);
+  return h;
+}
+
+}  // namespace valmod

@@ -1,0 +1,56 @@
+#ifndef VALMOD_UTIL_HISTOGRAM_H_
+#define VALMOD_UTIL_HISTOGRAM_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+
+namespace valmod {
+
+/// Fixed-bin-count histogram over a value range, used to reproduce the
+/// pairwise-distance distributions of Figure 11.
+class Histogram {
+ public:
+  /// Creates `bins` equal-width bins over [lo, hi). Values outside the range
+  /// are clamped into the first/last bin. Requires bins >= 1 and lo < hi.
+  Histogram(double lo, double hi, Index bins);
+
+  /// Adds one observation.
+  void Add(double value);
+
+  /// Adds every value of `values`.
+  void AddAll(std::span<const double> values);
+
+  Index bins() const { return static_cast<Index>(counts_.size()); }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  std::int64_t total() const { return total_; }
+
+  /// Count in bin `b`.
+  std::int64_t Count(Index b) const;
+
+  /// Left edge of bin `b`.
+  double BinLeft(Index b) const;
+
+  /// Fraction of observations in bin `b` (0 when empty).
+  double Fraction(Index b) const;
+
+  /// Multi-line ASCII rendering: one row per bin with a proportional bar.
+  /// `width` is the maximum bar width in characters.
+  std::string Render(int width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::int64_t> counts_;
+  std::int64_t total_ = 0;
+};
+
+/// Builds a histogram whose range is the [min, max] of `values` and fills it.
+Histogram MakeHistogram(std::span<const double> values, Index bins);
+
+}  // namespace valmod
+
+#endif  // VALMOD_UTIL_HISTOGRAM_H_

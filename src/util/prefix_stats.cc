@@ -1,0 +1,55 @@
+#include "util/prefix_stats.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace valmod {
+
+PrefixStats::PrefixStats(std::span<const double> series) {
+  const std::size_t n = series.size();
+  sum_.resize(n + 1, 0.0L);
+  sq_.resize(n + 1, 0.0L);
+  for (std::size_t i = 0; i < n; ++i) {
+    const long double v = series[i];
+    sum_[i + 1] = sum_[i] + v;
+    sq_[i + 1] = sq_[i] + v * v;
+  }
+}
+
+double PrefixStats::Std(Index offset, Index len) const {
+  return Stats(offset, len).std;
+}
+
+MeanStd PrefixStats::Stats(Index offset, Index len) const {
+  VALMOD_DCHECK(offset >= 0 && len >= 1 && offset + len <= size());
+  const long double l = static_cast<long double>(len);
+  const long double s = sum_[static_cast<std::size_t>(offset + len)] -
+                        sum_[static_cast<std::size_t>(offset)];
+  const long double ss = sq_[static_cast<std::size_t>(offset + len)] -
+                         sq_[static_cast<std::size_t>(offset)];
+  const long double mean = s / l;
+  long double var = ss / l - mean * mean;
+  if (var < 0.0L) var = 0.0L;
+  return MeanStd{static_cast<double>(mean),
+                 static_cast<double>(std::sqrt(var))};
+}
+
+MeanStd ExactMeanStd(std::span<const double> series, Index offset, Index len) {
+  VALMOD_CHECK(offset >= 0 && len >= 1 &&
+               static_cast<std::size_t>(offset + len) <= series.size());
+  double mean = 0.0;
+  for (Index i = 0; i < len; ++i) {
+    mean += series[static_cast<std::size_t>(offset + i)];
+  }
+  mean /= static_cast<double>(len);
+  double var = 0.0;
+  for (Index i = 0; i < len; ++i) {
+    const double d = series[static_cast<std::size_t>(offset + i)] - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(len);
+  return MeanStd{mean, std::sqrt(var)};
+}
+
+}  // namespace valmod

@@ -1,0 +1,68 @@
+#ifndef VALMOD_UTIL_PREFIX_STATS_H_
+#define VALMOD_UTIL_PREFIX_STATS_H_
+
+#include <span>
+#include <vector>
+
+#include "util/common.h"
+
+namespace valmod {
+
+/// Mean and standard deviation of one subsequence.
+struct MeanStd {
+  double mean = 0.0;
+  double std = 0.0;
+};
+
+/// O(1) subsequence statistics via prefix sums (the "running plain and
+/// squared sum" of Algorithm 3, precomputed for the whole series so any
+/// (offset, length) window is serviced in constant time at any length —
+/// which ComputeSubMP needs when the window length changes every iteration).
+///
+/// Sums are accumulated in long double to keep the catastrophic cancellation
+/// in `ss/l - mu^2` under control for long series.
+class PrefixStats {
+ public:
+  /// Builds prefix sums over `series`. O(n) time, O(n) space.
+  explicit PrefixStats(std::span<const double> series);
+
+  /// Number of points in the underlying series.
+  Index size() const { return static_cast<Index>(sum_.size()) - 1; }
+
+  /// Sum of values in the window [offset, offset + len).
+  double Sum(Index offset, Index len) const {
+    return static_cast<double>(sum_[static_cast<std::size_t>(offset + len)] -
+                               sum_[static_cast<std::size_t>(offset)]);
+  }
+
+  /// Sum of squared values in the window [offset, offset + len).
+  double SquaredSum(Index offset, Index len) const {
+    return static_cast<double>(sq_[static_cast<std::size_t>(offset + len)] -
+                               sq_[static_cast<std::size_t>(offset)]);
+  }
+
+  /// Mean of the window [offset, offset + len).
+  double Mean(Index offset, Index len) const {
+    return Sum(offset, len) / static_cast<double>(len);
+  }
+
+  /// Population standard deviation of the window [offset, offset + len).
+  /// Clamped at zero from below (never NaN on constant windows).
+  double Std(Index offset, Index len) const;
+
+  /// Mean and standard deviation together (one pass over the prefix arrays).
+  MeanStd Stats(Index offset, Index len) const;
+
+ private:
+  std::vector<long double> sum_;  // sum_[i] = series[0] + ... + series[i-1]
+  std::vector<long double> sq_;   // sq_[i]  = series[0]^2 + ... + series[i-1]^2
+};
+
+/// Reference implementation: two-pass mean/std over the raw window. Used by
+/// tests to validate PrefixStats and by code paths where numerical fidelity
+/// matters more than speed.
+MeanStd ExactMeanStd(std::span<const double> series, Index offset, Index len);
+
+}  // namespace valmod
+
+#endif  // VALMOD_UTIL_PREFIX_STATS_H_

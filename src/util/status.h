@@ -1,0 +1,63 @@
+#ifndef VALMOD_UTIL_STATUS_H_
+#define VALMOD_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace valmod {
+
+/// Error categories for fallible operations (mostly IO and configuration).
+/// Algorithms whose preconditions are programmer-controlled use CHECK
+/// instead; Status is for failures the caller is expected to handle.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIoError,
+  kOutOfRange,
+  kDeadlineExceeded,
+};
+
+/// A lightweight success-or-error result, in the style of absl::Status.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. `INVALID_ARGUMENT: bad length`.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Name of a status code, e.g. "IO_ERROR".
+const char* StatusCodeName(StatusCode code);
+
+}  // namespace valmod
+
+#endif  // VALMOD_UTIL_STATUS_H_

@@ -1,0 +1,60 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace valmod {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::AddRow(std::vector<std::string> row) {
+  row.resize(headers_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::Num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string Table::Int(long long value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", value);
+  return buf;
+}
+
+std::string Table::Render() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : headers_[c];
+      line += "| ";
+      line += cell;
+      line.append(width[c] - cell.size() + 1, ' ');
+    }
+    line += "|\n";
+    return line;
+  };
+  std::string out = render_row(headers_);
+  std::string sep;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    sep += "|";
+    sep.append(width[c] + 2, '-');
+  }
+  sep += "|\n";
+  out += sep;
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+}  // namespace valmod

@@ -1,0 +1,35 @@
+#ifndef VALMOD_UTIL_TABLE_H_
+#define VALMOD_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace valmod {
+
+/// Minimal ASCII table builder used by the benchmark harnesses to print the
+/// paper's tables and figure series in a uniform, diff-friendly layout.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; the row is padded/truncated to the header width.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats a double with `precision` digits.
+  static std::string Num(double value, int precision = 3);
+
+  /// Convenience: formats an integer.
+  static std::string Int(long long value);
+
+  /// Renders the table with aligned columns and a header separator.
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace valmod
+
+#endif  // VALMOD_UTIL_TABLE_H_

@@ -1,0 +1,4 @@
+#include "util/timer.h"
+
+// WallTimer and Deadline are header-only; this translation unit exists so the
+// header participates in the library's compile checks.

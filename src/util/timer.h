@@ -1,0 +1,60 @@
+#ifndef VALMOD_UTIL_TIMER_H_
+#define VALMOD_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace valmod {
+
+/// Simple wall-clock stopwatch used by the benchmark harnesses.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// A wall-clock budget that long-running algorithms poll to implement the
+/// paper's "failed to finish within a reasonable amount of time" (DNF)
+/// reporting. A default-constructed Deadline never expires.
+class Deadline {
+ public:
+  /// Never expires.
+  Deadline() : unlimited_(true) {}
+
+  /// Expires `seconds` from now.
+  static Deadline After(double seconds) {
+    Deadline d;
+    d.unlimited_ = false;
+    d.expiry_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double>(seconds));
+    return d;
+  }
+
+  /// True once the budget is exhausted. Cheap enough to poll every few
+  /// thousand inner-loop iterations.
+  bool Expired() const {
+    return !unlimited_ && Clock::now() >= expiry_;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  bool unlimited_;
+  Clock::time_point expiry_{};
+};
+
+}  // namespace valmod
+
+#endif  // VALMOD_UTIL_TIMER_H_

@@ -1,0 +1,75 @@
+#include "baselines/moen.h"
+
+#include <gtest/gtest.h>
+
+#include "mp/brute_force.h"
+#include "test_util.h"
+
+namespace valmod {
+namespace {
+
+// Exactness: MOEN's per-length motif distances equal brute force across
+// data characters and seeds.
+class MoenExactnessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MoenExactnessTest, MatchesBruteForcePerLength) {
+  const int seed = GetParam();
+  const Series s =
+      seed % 2 == 0
+          ? testing_util::WhiteNoise(300, static_cast<std::uint64_t>(seed))
+          : testing_util::WalkWithPlantedMotif(
+                300, 24, 40, 200, static_cast<std::uint64_t>(seed));
+  const Index len_min = 16;
+  const Index len_max = 28;
+  const MoenResult result = MoenVariableLength(s, len_min, len_max);
+  const std::vector<MotifPair> truth =
+      BruteForceVariableLengthMotifs(s, len_min, len_max);
+  ASSERT_EQ(result.motifs.size(), truth.size());
+  for (std::size_t k = 0; k < truth.size(); ++k) {
+    EXPECT_NEAR(result.motifs[k].distance, truth[k].distance,
+                1e-6 * (1.0 + truth[k].distance))
+        << "len=" << (len_min + static_cast<Index>(k));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MoenExactnessTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(MoenTest, FirstLengthComputesEveryRow) {
+  const Series s = testing_util::WhiteNoise(250, 5);
+  const MoenResult result = MoenVariableLength(s, 16, 18);
+  ASSERT_FALSE(result.stats.empty());
+  EXPECT_EQ(result.stats[0].rows_computed, NumSubsequences(250, 16));
+}
+
+TEST(MoenTest, PruningSkipsRowsOnRegularData) {
+  // With a strong planted motif, later lengths should prune most rows.
+  const Series s = testing_util::WalkWithPlantedMotif(500, 40, 80, 350, 6);
+  const MoenResult result = MoenVariableLength(s, 32, 40);
+  ASSERT_GE(result.stats.size(), 2u);
+  Index pruned_lengths = 0;
+  for (std::size_t k = 1; k < result.stats.size(); ++k) {
+    if (result.stats[k].rows_computed < result.stats[0].rows_computed) {
+      ++pruned_lengths;
+    }
+  }
+  EXPECT_GT(pruned_lengths, 0);
+}
+
+TEST(MoenTest, DeadlineFlagsDnf) {
+  const Series s = testing_util::WhiteNoise(2000, 7);
+  const MoenResult result =
+      MoenVariableLength(s, 64, 96, Deadline::After(0.0));
+  EXPECT_TRUE(result.dnf);
+}
+
+TEST(MoenTest, MotifLengthsAreLabelled) {
+  const Series s = testing_util::WhiteNoise(250, 8);
+  const MoenResult result = MoenVariableLength(s, 20, 24);
+  for (std::size_t k = 0; k < result.motifs.size(); ++k) {
+    EXPECT_EQ(result.motifs[k].length, 20 + static_cast<Index>(k));
+  }
+}
+
+}  // namespace
+}  // namespace valmod

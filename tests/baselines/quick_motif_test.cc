@@ -1,0 +1,95 @@
+#include "baselines/quick_motif.h"
+
+#include <gtest/gtest.h>
+
+#include "mp/brute_force.h"
+#include "test_util.h"
+
+namespace valmod {
+namespace {
+
+// Exactness across PAA dimensionalities, leaf sizes and data characters.
+struct QuickMotifCase {
+  int paa;
+  int leaf;
+  int seed;
+  bool noise;
+};
+
+class QuickMotifExactnessTest
+    : public ::testing::TestWithParam<QuickMotifCase> {};
+
+TEST_P(QuickMotifExactnessTest, MatchesBruteForce) {
+  const QuickMotifCase c = GetParam();
+  const Series s =
+      c.noise ? testing_util::WhiteNoise(300, static_cast<std::uint64_t>(c.seed))
+              : testing_util::WalkWithPlantedMotif(
+                    300, 24, 40, 200, static_cast<std::uint64_t>(c.seed));
+  QuickMotifOptions options;
+  options.paa_segments = c.paa;
+  options.leaf_capacity = c.leaf;
+  const MotifPair fast = QuickMotif(s, 24, options);
+  const MotifPair truth = BruteForceMotif(s, 24);
+  ASSERT_TRUE(fast.valid());
+  EXPECT_NEAR(fast.distance, truth.distance, 1e-6 * (1.0 + truth.distance));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, QuickMotifExactnessTest,
+    ::testing::Values(QuickMotifCase{4, 8, 1, false},
+                      QuickMotifCase{8, 32, 2, false},
+                      QuickMotifCase{12, 16, 3, false},
+                      QuickMotifCase{8, 32, 4, true},
+                      QuickMotifCase{6, 64, 5, true},
+                      QuickMotifCase{16, 8, 6, false}));
+
+TEST(QuickMotifTest, FindsPlantedMotifLocations) {
+  const Series s = testing_util::NoiseWithPlantedMotif(400, 30, 60, 280, 7);
+  const MotifPair motif = QuickMotif(s, 30);
+  ASSERT_TRUE(motif.valid());
+  EXPECT_NEAR(static_cast<double>(motif.a), 60.0, 3.0);
+  EXPECT_NEAR(static_cast<double>(motif.b), 280.0, 3.0);
+}
+
+TEST(QuickMotifTest, StatsShowPruningActivity) {
+  const Series s = testing_util::WalkWithPlantedMotif(400, 30, 60, 280, 8);
+  QuickMotifStats stats;
+  QuickMotif(s, 30, QuickMotifOptions(), &stats);
+  EXPECT_GT(stats.exact_distances, 0);
+  EXPECT_GT(stats.node_pairs_visited, 0);
+  // Exact distances must be far fewer than the n^2/2 naive pair count on
+  // this easy input.
+  const Index n_sub = NumSubsequences(400, 30);
+  EXPECT_LT(stats.exact_distances, n_sub * n_sub / 4);
+}
+
+TEST(QuickMotifTest, PerLengthSweepMatchesBruteForce) {
+  const Series s = testing_util::WalkWithPlantedMotif(260, 20, 40, 180, 9);
+  const PerLengthMotifs sweep = QuickMotifPerLength(s, 16, 22);
+  const std::vector<MotifPair> truth =
+      BruteForceVariableLengthMotifs(s, 16, 22);
+  ASSERT_EQ(sweep.motifs.size(), truth.size());
+  for (std::size_t k = 0; k < truth.size(); ++k) {
+    EXPECT_NEAR(sweep.motifs[k].distance, truth[k].distance, 1e-6);
+  }
+}
+
+TEST(QuickMotifTest, DeadlineFlagsDnf) {
+  const Series s = testing_util::WhiteNoise(3000, 10);
+  QuickMotifOptions options;
+  options.deadline = Deadline::After(0.0);
+  bool dnf = false;
+  const MotifPair motif = QuickMotif(s, 64, options, nullptr, &dnf);
+  EXPECT_TRUE(dnf);
+  EXPECT_FALSE(motif.valid());
+}
+
+TEST(QuickMotifTest, MotifPairIsNonTrivial) {
+  const Series s = testing_util::WhiteNoise(300, 11);
+  const MotifPair motif = QuickMotif(s, 20);
+  ASSERT_TRUE(motif.valid());
+  EXPECT_FALSE(IsTrivialMatch(motif.a, motif.b, 20));
+}
+
+}  // namespace
+}  // namespace valmod

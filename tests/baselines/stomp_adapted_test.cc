@@ -1,0 +1,41 @@
+#include "baselines/stomp_adapted.h"
+
+#include <gtest/gtest.h>
+
+#include "mp/brute_force.h"
+#include "test_util.h"
+
+namespace valmod {
+namespace {
+
+TEST(StompPerLengthTest, MatchesBruteForcePerLength) {
+  const Series s = testing_util::WalkWithPlantedMotif(280, 22, 40, 190, 21);
+  const PerLengthMotifs sweep = StompPerLength(s, 16, 26);
+  const std::vector<MotifPair> truth =
+      BruteForceVariableLengthMotifs(s, 16, 26);
+  ASSERT_EQ(sweep.motifs.size(), truth.size());
+  EXPECT_FALSE(sweep.dnf);
+  for (std::size_t k = 0; k < truth.size(); ++k) {
+    EXPECT_NEAR(sweep.motifs[k].distance, truth[k].distance,
+                1e-6 * (1.0 + truth[k].distance));
+    EXPECT_EQ(sweep.motifs[k].length, 16 + static_cast<Index>(k));
+  }
+}
+
+TEST(StompPerLengthTest, SingleLengthRange) {
+  const Series s = testing_util::WhiteNoise(200, 22);
+  const PerLengthMotifs sweep = StompPerLength(s, 20, 20);
+  ASSERT_EQ(sweep.motifs.size(), 1u);
+  EXPECT_TRUE(sweep.motifs[0].valid());
+}
+
+TEST(StompPerLengthTest, DeadlineFlagsDnfWithPartialResults) {
+  const Series s = testing_util::WhiteNoise(2000, 23);
+  const PerLengthMotifs sweep =
+      StompPerLength(s, 32, 64, Deadline::After(0.0));
+  EXPECT_TRUE(sweep.dnf);
+  EXPECT_LT(sweep.motifs.size(), 33u);
+}
+
+}  // namespace
+}  // namespace valmod

@@ -1,0 +1,122 @@
+#include "core/ab_valmod.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "mp/ab_join.h"
+#include "test_util.h"
+
+namespace valmod {
+namespace {
+
+// Exactness property: per-length join motifs equal an independent AB-join
+// per length, across p values and data characters.
+struct AbValmodCase {
+  int p;
+  int seed;
+  bool planted;
+};
+
+class AbValmodExactnessTest : public ::testing::TestWithParam<AbValmodCase> {
+};
+
+TEST_P(AbValmodExactnessTest, PerLengthJoinMotifsMatchPerLengthAbJoin) {
+  const AbValmodCase c = GetParam();
+  Series a = testing_util::WhiteNoise(300, static_cast<std::uint64_t>(c.seed));
+  Series b =
+      testing_util::WhiteNoise(260, static_cast<std::uint64_t>(c.seed) + 50);
+  if (c.planted) {
+    for (Index i = 0; i < 40; ++i) {
+      const double v = 4.0 * std::sin(0.4 * static_cast<double>(i));
+      a[static_cast<std::size_t>(80 + i)] = v;
+      b[static_cast<std::size_t>(150 + i)] = v;
+    }
+  }
+  AbValmodOptions options;
+  options.len_min = 16;
+  options.len_max = 28;
+  options.p = c.p;
+  const AbValmodResult result = RunAbValmod(a, b, options);
+  ASSERT_EQ(result.per_length_join_motifs.size(), 13u);
+  for (Index len = 16; len <= 28; ++len) {
+    const MotifPair truth = AbJoinMotif(AbJoin(a, b, len));
+    const MotifPair& got =
+        result.per_length_join_motifs[static_cast<std::size_t>(len - 16)];
+    ASSERT_TRUE(got.valid()) << "len=" << len;
+    EXPECT_NEAR(got.distance, truth.distance, 1e-6 * (1.0 + truth.distance))
+        << "len=" << len << " p=" << c.p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AbValmodExactnessTest,
+    ::testing::Values(AbValmodCase{1, 1, false}, AbValmodCase{5, 2, false},
+                      AbValmodCase{10, 3, true}, AbValmodCase{5, 4, true},
+                      AbValmodCase{20, 5, false}));
+
+TEST(AbValmodTest, FindsPlantedCrossSeriesPattern) {
+  Series a = testing_util::WhiteNoise(400, 11);
+  Series b = testing_util::WhiteNoise(400, 12);
+  for (Index i = 0; i < 50; ++i) {
+    const double v = 5.0 * std::sin(0.35 * static_cast<double>(i));
+    a[static_cast<std::size_t>(120 + i)] = v + 0.02 * std::sin(1.0 * i);
+    b[static_cast<std::size_t>(250 + i)] = v;
+  }
+  AbValmodOptions options;
+  options.len_min = 40;
+  options.len_max = 52;
+  options.p = 5;
+  const AbValmodResult result = RunAbValmod(a, b, options);
+  const MotifPair best = result.BestOverall();
+  ASSERT_TRUE(best.valid());
+  EXPECT_NEAR(static_cast<double>(best.a), 120.0, 3.0);
+  EXPECT_NEAR(static_cast<double>(best.b), 250.0, 3.0);
+}
+
+TEST(AbValmodTest, ValmpTracksPerOffsetBest) {
+  const Series a = testing_util::WhiteNoise(250, 13);
+  const Series b = testing_util::WhiteNoise(250, 14);
+  AbValmodOptions options;
+  options.len_min = 16;
+  options.len_max = 22;
+  options.p = 5;
+  const AbValmodResult result = RunAbValmod(a, b, options);
+  for (Index i = 0; i < result.valmp.size(); ++i) {
+    if (!result.valmp.IsSet(i)) continue;
+    const std::size_t k = static_cast<std::size_t>(i);
+    EXPECT_GE(result.valmp.lengths[k], 16);
+    EXPECT_LE(result.valmp.lengths[k], 22);
+    EXPECT_GE(result.valmp.indices[k], 0);  // Offset in B.
+  }
+}
+
+TEST(AbValmodTest, SelfJoinHasDistanceZeroEverywhere) {
+  // Joining a series with itself (no exclusion zone): every length's join
+  // motif has distance 0.
+  const Series a = testing_util::WhiteNoise(200, 15);
+  AbValmodOptions options;
+  options.len_min = 16;
+  options.len_max = 20;
+  options.p = 3;
+  const AbValmodResult result = RunAbValmod(a, a, options);
+  for (const MotifPair& m : result.per_length_join_motifs) {
+    ASSERT_TRUE(m.valid());
+    EXPECT_NEAR(m.distance, 0.0, 1e-6);
+  }
+}
+
+TEST(AbValmodTest, DeadlineFlagsDnf) {
+  const Series a = testing_util::WhiteNoise(2000, 16);
+  const Series b = testing_util::WhiteNoise(2000, 17);
+  AbValmodOptions options;
+  options.len_min = 64;
+  options.len_max = 96;
+  options.p = 5;
+  options.deadline = Deadline::After(0.0);
+  const AbValmodResult result = RunAbValmod(a, b, options);
+  EXPECT_TRUE(result.dnf);
+}
+
+}  // namespace
+}  // namespace valmod

@@ -1,0 +1,66 @@
+// When p exceeds the number of non-trivial entries per profile, every
+// profile is "complete": the retained entries ARE the whole distance
+// profile, certification can never fail, and VALMOD degenerates into an
+// incremental all-lengths scan with exactly one matrix-profile pass.
+
+#include <gtest/gtest.h>
+
+#include "core/valmod.h"
+#include "mp/brute_force.h"
+#include "test_util.h"
+
+namespace valmod {
+namespace {
+
+TEST(CompleteProfilesTest, HugePMeansSingleMatrixProfilePass) {
+  const Series s = testing_util::WhiteNoise(260, 41);
+  ValmodOptions options;
+  options.len_min = 16;
+  options.len_max = 30;
+  options.p = 1 << 20;  // Far above any profile size.
+  const ValmodResult result = RunValmod(s, options);
+  EXPECT_EQ(result.full_mp_computations, 1);
+  for (std::size_t k = 1; k < result.length_stats.size(); ++k) {
+    EXPECT_FALSE(result.length_stats[k].used_full_recompute);
+    EXPECT_EQ(result.length_stats[k].selective_recomputes, 0);
+    // Every live profile certifies.
+    EXPECT_EQ(result.length_stats[k].valid_count,
+              result.length_stats[k].n_profiles);
+  }
+}
+
+TEST(CompleteProfilesTest, HugePStillExact) {
+  const Series s = testing_util::WalkWithPlantedMotif(260, 20, 40, 180, 42);
+  ValmodOptions options;
+  options.len_min = 16;
+  options.len_max = 24;
+  options.p = 1 << 20;
+  const ValmodResult result = RunValmod(s, options);
+  const std::vector<MotifPair> truth =
+      BruteForceVariableLengthMotifs(s, 16, 24);
+  for (std::size_t k = 0; k < truth.size(); ++k) {
+    EXPECT_NEAR(result.per_length_motifs[k].distance, truth[k].distance,
+                1e-6)
+        << "len=" << (16 + static_cast<Index>(k));
+  }
+}
+
+TEST(CompleteProfilesTest, HugePAndTinyPAgreeOnEveryMotif) {
+  const Series s = testing_util::WhiteNoise(300, 43);
+  ValmodOptions tiny;
+  tiny.len_min = 16;
+  tiny.len_max = 28;
+  tiny.p = 1;
+  ValmodOptions huge = tiny;
+  huge.p = 1 << 20;
+  const ValmodResult a = RunValmod(s, tiny);
+  const ValmodResult b = RunValmod(s, huge);
+  ASSERT_EQ(a.per_length_motifs.size(), b.per_length_motifs.size());
+  for (std::size_t k = 0; k < a.per_length_motifs.size(); ++k) {
+    EXPECT_NEAR(a.per_length_motifs[k].distance,
+                b.per_length_motifs[k].distance, 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace valmod

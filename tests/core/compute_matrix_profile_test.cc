@@ -1,0 +1,76 @@
+#include "core/compute_matrix_profile.h"
+
+#include <gtest/gtest.h>
+
+#include "mp/brute_force.h"
+#include "test_util.h"
+
+namespace valmod {
+namespace {
+
+TEST(ComputeMatrixProfileWithLbTest, ProfileMatchesBruteForce) {
+  const Series s = testing_util::WalkWithPlantedMotif(350, 24, 50, 250, 11);
+  const PrefixStats stats(s);
+  const MatrixProfileWithLb result =
+      ComputeMatrixProfileWithLb(s, stats, 24, 5);
+  const MatrixProfile truth = BruteForceMatrixProfile(s, 24);
+  ASSERT_EQ(result.profile.size(), truth.size());
+  for (Index i = 0; i < truth.size(); ++i) {
+    const std::size_t k = static_cast<std::size_t>(i);
+    if (truth.distances[k] == kInf) continue;
+    EXPECT_NEAR(result.profile.distances[k], truth.distances[k], 1e-6);
+  }
+}
+
+TEST(ComputeMatrixProfileWithLbTest, OneListDpStatePerProfile) {
+  const Series s = testing_util::WhiteNoise(300, 12);
+  const PrefixStats stats(s);
+  const MatrixProfileWithLb result =
+      ComputeMatrixProfileWithLb(s, stats, 20, 5);
+  ASSERT_EQ(static_cast<Index>(result.list_dp.size()),
+            NumSubsequences(300, 20));
+  for (Index o = 0; o < static_cast<Index>(result.list_dp.size()); ++o) {
+    const ProfileLbState& state = result.list_dp[static_cast<std::size_t>(o)];
+    EXPECT_EQ(state.owner, o);
+    EXPECT_EQ(state.base_len, 20);
+    EXPECT_EQ(state.entries.Size(), 5);
+  }
+}
+
+TEST(ComputeMatrixProfileWithLbTest, LargePKeepsWholeProfiles) {
+  const Series s = testing_util::WhiteNoise(120, 13);
+  const PrefixStats stats(s);
+  const MatrixProfileWithLb result =
+      ComputeMatrixProfileWithLb(s, stats, 16, 100000);
+  for (const ProfileLbState& state : result.list_dp) {
+    EXPECT_TRUE(state.Complete());
+  }
+}
+
+TEST(ComputeMatrixProfileWithLbTest, EntriesHoldValidNeighbors) {
+  const Series s = testing_util::WhiteNoise(250, 14);
+  const PrefixStats stats(s);
+  const MatrixProfileWithLb result =
+      ComputeMatrixProfileWithLb(s, stats, 18, 4);
+  const Index n_sub = NumSubsequences(250, 18);
+  for (const ProfileLbState& state : result.list_dp) {
+    for (const LbEntry& entry : state.entries.Items()) {
+      EXPECT_GE(entry.neighbor, 0);
+      EXPECT_LT(entry.neighbor, n_sub);
+      EXPECT_FALSE(IsTrivialMatch(state.owner, entry.neighbor, 18));
+      EXPECT_FALSE(entry.dead);
+      EXPECT_GE(entry.lb_base, 0.0);
+    }
+  }
+}
+
+TEST(ComputeMatrixProfileWithLbTest, DeadlineSetsDnf) {
+  const Series s = testing_util::WhiteNoise(3000, 15);
+  const PrefixStats stats(s);
+  const MatrixProfileWithLb result = ComputeMatrixProfileWithLb(
+      s, stats, 64, 5, Deadline::After(0.0));
+  EXPECT_TRUE(result.dnf);
+}
+
+}  // namespace
+}  // namespace valmod

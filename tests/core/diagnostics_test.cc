@@ -1,0 +1,60 @@
+#include "core/diagnostics.h"
+
+#include <gtest/gtest.h>
+
+#include "datasets/generators.h"
+#include "test_util.h"
+
+namespace valmod {
+namespace {
+
+TEST(DiagnosticsTest, CollectsOneEntryPerLiveProfile) {
+  const Series s = testing_util::WalkWithPlantedMotif(400, 30, 60, 280, 101);
+  const LbDiagnostics diag = CollectLbDiagnostics(s, 20, 24, 5);
+  EXPECT_EQ(diag.length, 24);
+  EXPECT_FALSE(diag.margins.empty());
+  EXPECT_EQ(static_cast<Index>(diag.tlb.size()), NumSubsequences(400, 24));
+}
+
+TEST(DiagnosticsTest, TlbValuesAreInUnitInterval) {
+  const Series s = testing_util::WhiteNoise(300, 102);
+  const LbDiagnostics diag = CollectLbDiagnostics(s, 16, 20, 5);
+  for (double t : diag.tlb) {
+    EXPECT_GE(t, 0.0);
+    EXPECT_LE(t, 1.0);
+  }
+}
+
+TEST(DiagnosticsTest, MeanTlbAndPositiveFractionConsistent) {
+  const Series s = testing_util::WalkWithPlantedMotif(400, 30, 60, 280, 103);
+  const LbDiagnostics diag = CollectLbDiagnostics(s, 20, 22, 5);
+  const double frac = diag.PositiveMarginFraction();
+  EXPECT_GE(frac, 0.0);
+  EXPECT_LE(frac, 1.0);
+  EXPECT_GE(diag.MeanTlb(), 0.0);
+  EXPECT_LE(diag.MeanTlb(), 1.0);
+}
+
+TEST(DiagnosticsTest, EmptyDiagnosticsReportZero) {
+  LbDiagnostics diag;
+  EXPECT_DOUBLE_EQ(diag.PositiveMarginFraction(), 0.0);
+  EXPECT_DOUBLE_EQ(diag.MeanTlb(), 0.0);
+}
+
+TEST(DiagnosticsTest, RegularDataTighterThanNoisyDataAtLongLengths) {
+  // The Figure 9/10 phenomenon: on ECG-like regular data the bound stays
+  // tight as the length grows; on EMG-like bursty data it degrades. The
+  // contrast appears at lengths beyond the EMG burst scale, where quiet
+  // windows grow into bursts and their sigma ratio collapses.
+  const Series ecg = GenerateEcg(3000, 7);
+  const Series emg = GenerateEmg(3000, 7);
+  const LbDiagnostics ecg_diag = CollectLbDiagnostics(ecg, 160, 192, 5);
+  const LbDiagnostics emg_diag = CollectLbDiagnostics(emg, 160, 192, 5);
+  EXPECT_GT(ecg_diag.MeanTlb(), emg_diag.MeanTlb());
+  // Pruning success (Figure 9): most ECG profiles certify, EMG's collapse.
+  EXPECT_GT(ecg_diag.PositiveMarginFraction(),
+            emg_diag.PositiveMarginFraction() + 0.1);
+}
+
+}  // namespace
+}  // namespace valmod

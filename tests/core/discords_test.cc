@@ -1,0 +1,65 @@
+#include "core/discords.h"
+
+#include <gtest/gtest.h>
+
+#include "datasets/generators.h"
+#include "mp/brute_force.h"
+#include "test_util.h"
+
+namespace valmod {
+namespace {
+
+Series SeriesWithAnomaly(Index n, Index at, Index anomaly_len,
+                         std::uint64_t seed) {
+  // Smooth periodic background with one violent glitch: the classic discord
+  // setup.
+  Series s(static_cast<std::size_t>(n));
+  for (Index i = 0; i < n; ++i) {
+    s[static_cast<std::size_t>(i)] =
+        std::sin(2.0 * M_PI * static_cast<double>(i) / 40.0);
+  }
+  Rng rng(seed);
+  for (Index k = 0; k < anomaly_len; ++k) {
+    s[static_cast<std::size_t>(at + k)] += rng.Uniform(-3.0, 3.0);
+  }
+  return s;
+}
+
+TEST(DiscordsTest, FindsPlantedAnomaly) {
+  const Series s = SeriesWithAnomaly(600, 300, 30, 111);
+  const VariableLengthDiscords discords =
+      FindVariableLengthDiscords(s, 24, 32);
+  ASSERT_TRUE(discords.best.valid());
+  // The discord window must overlap the glitch.
+  EXPECT_GT(discords.best.offset + discords.best.length, 295);
+  EXPECT_LT(discords.best.offset, 335);
+}
+
+TEST(DiscordsTest, OneDiscordPerLength) {
+  const Series s = SeriesWithAnomaly(500, 250, 20, 112);
+  const VariableLengthDiscords discords =
+      FindVariableLengthDiscords(s, 16, 22);
+  EXPECT_EQ(discords.per_length.size(), 7u);
+  for (std::size_t k = 0; k < discords.per_length.size(); ++k) {
+    EXPECT_EQ(discords.per_length[k].length, 16 + static_cast<Index>(k));
+  }
+}
+
+TEST(DiscordsTest, PerLengthDiscordMatchesBruteForceProfileMax) {
+  const Series s = SeriesWithAnomaly(300, 150, 16, 113);
+  const VariableLengthDiscords discords =
+      FindVariableLengthDiscords(s, 20, 20);
+  const Discord truth = DiscordFromProfile(BruteForceMatrixProfile(s, 20));
+  ASSERT_EQ(discords.per_length.size(), 1u);
+  EXPECT_NEAR(discords.per_length[0].distance, truth.distance, 1e-6);
+}
+
+TEST(DiscordsTest, DeadlineFlagsDnf) {
+  const Series s = testing_util::WhiteNoise(3000, 114);
+  const VariableLengthDiscords discords =
+      FindVariableLengthDiscords(s, 64, 80, Deadline::After(0.0));
+  EXPECT_TRUE(discords.dnf);
+}
+
+}  // namespace
+}  // namespace valmod

@@ -1,0 +1,134 @@
+#include "core/list_dp.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/lower_bound.h"
+#include "mp/distance_profile.h"
+#include "signal/distance.h"
+#include "signal/sliding_dot.h"
+#include "test_util.h"
+
+namespace valmod {
+namespace {
+
+struct Harvested {
+  Series series;
+  PrefixStats stats;
+  ProfileLbState state;
+  std::vector<double> qt_row;
+  std::vector<double> dist_row;
+};
+
+Harvested HarvestFixture(Index owner, Index len, Index p) {
+  Series s = testing_util::WalkWithPlantedMotif(400, 30, 60, 280, 71);
+  PrefixStats stats(s);
+  std::vector<double> qt = SlidingDotProduct(
+      std::span<const double>(s).subspan(static_cast<std::size_t>(owner),
+                                         static_cast<std::size_t>(len)),
+      s);
+  std::vector<double> dist =
+      DistanceProfileFromDotProducts(qt, stats, owner, len);
+  ProfileLbState state = HarvestProfile(owner, len, p, qt, dist, stats);
+  return Harvested{std::move(s), std::move(stats), std::move(state),
+                   std::move(qt), std::move(dist)};
+}
+
+TEST(HarvestProfileTest, RecordsOwnerAndBase) {
+  const Harvested h = HarvestFixture(50, 20, 5);
+  EXPECT_EQ(h.state.owner, 50);
+  EXPECT_EQ(h.state.base_len, 20);
+  EXPECT_NEAR(h.state.sigma_base, h.stats.Std(50, 20), 1e-12);
+}
+
+TEST(HarvestProfileTest, RetainsExactlyPEntries) {
+  const Harvested h = HarvestFixture(50, 20, 5);
+  EXPECT_EQ(h.state.entries.Size(), 5);
+  EXPECT_TRUE(h.state.entries.Full());
+  EXPECT_FALSE(h.state.Complete());
+}
+
+TEST(HarvestProfileTest, SmallProfileIsComplete) {
+  // p larger than the number of non-trivial entries: the heap never fills.
+  const Harvested h = HarvestFixture(50, 20, 100000);
+  EXPECT_FALSE(h.state.entries.Full());
+  EXPECT_TRUE(h.state.Complete());
+  EXPECT_EQ(h.state.MaxLowerBound(h.stats, 21), kInf);
+}
+
+TEST(HarvestProfileTest, SkipsTrivialMatches) {
+  const Harvested h = HarvestFixture(50, 20, 100000);
+  for (const LbEntry& e : h.state.entries.Items()) {
+    EXPECT_FALSE(IsTrivialMatch(50, e.neighbor, 20));
+  }
+}
+
+TEST(HarvestProfileTest, RetainsTheSmallestBaseBounds) {
+  const Index owner = 50;
+  const Index len = 20;
+  const Index p = 7;
+  const Harvested h = HarvestFixture(owner, len, p);
+  // Recompute every base bound and compare the p smallest with the heap.
+  std::vector<double> all_bounds;
+  const MeanStd owner_stats = h.stats.Stats(owner, len);
+  for (Index j = 0; j < static_cast<Index>(h.qt_row.size()); ++j) {
+    if (h.dist_row[static_cast<std::size_t>(j)] == kInf) continue;
+    const double q = CorrelationFromDotProduct(
+        h.qt_row[static_cast<std::size_t>(j)], len, owner_stats,
+        h.stats.Stats(j, len));
+    all_bounds.push_back(LowerBoundBase(q, len));
+  }
+  std::sort(all_bounds.begin(), all_bounds.end());
+  std::vector<double> kept;
+  for (const LbEntry& e : h.state.entries.Items()) kept.push_back(e.lb_base);
+  std::sort(kept.begin(), kept.end());
+  ASSERT_EQ(kept.size(), static_cast<std::size_t>(p));
+  for (Index k = 0; k < p; ++k) {
+    EXPECT_NEAR(kept[static_cast<std::size_t>(k)],
+                all_bounds[static_cast<std::size_t>(k)], 1e-12);
+  }
+}
+
+TEST(HarvestProfileTest, EntriesStoreCurrentDotProducts) {
+  const Harvested h = HarvestFixture(50, 20, 5);
+  for (const LbEntry& e : h.state.entries.Items()) {
+    const double direct = SubsequenceDotProduct(h.series, 50, e.neighbor, 20);
+    EXPECT_NEAR(e.qt, direct, 1e-6 * (1.0 + std::abs(direct)));
+  }
+}
+
+TEST(ProfileLbStateTest, MaxLowerBoundScalesWithSigmaRatio) {
+  const Harvested h = HarvestFixture(50, 20, 5);
+  const double at_base_plus_1 = h.state.MaxLowerBound(h.stats, 21);
+  const double expected =
+      h.state.entries.Max().lb_base *
+      (h.state.sigma_base / h.stats.Std(50, 21));
+  EXPECT_NEAR(at_base_plus_1, expected, 1e-12);
+}
+
+TEST(ProfileLbStateTest, MaxLowerBoundIsThresholdForUnstoredEntries) {
+  // Pruning-correctness invariant: every entry NOT retained has a base
+  // bound >= the heap max, hence at any length its true distance is >= the
+  // scaled maxLB.
+  const Index owner = 50;
+  const Index len = 20;
+  const Harvested h = HarvestFixture(owner, len, 5);
+  const double max_base = h.state.entries.Max().lb_base;
+  std::vector<bool> retained(h.qt_row.size(), false);
+  for (const LbEntry& e : h.state.entries.Items()) {
+    retained[static_cast<std::size_t>(e.neighbor)] = true;
+  }
+  const MeanStd owner_stats = h.stats.Stats(owner, len);
+  for (Index j = 0; j < static_cast<Index>(h.qt_row.size()); ++j) {
+    if (h.dist_row[static_cast<std::size_t>(j)] == kInf) continue;
+    if (retained[static_cast<std::size_t>(j)]) continue;
+    const double q = CorrelationFromDotProduct(
+        h.qt_row[static_cast<std::size_t>(j)], len, owner_stats,
+        h.stats.Stats(j, len));
+    EXPECT_GE(LowerBoundBase(q, len), max_base - 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace valmod

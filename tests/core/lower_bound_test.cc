@@ -1,0 +1,129 @@
+#include "core/lower_bound.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "signal/distance.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace valmod {
+namespace {
+
+TEST(LowerBoundBaseTest, NonPositiveCorrelationGivesSqrtLen) {
+  EXPECT_DOUBLE_EQ(LowerBoundBase(0.0, 64), 8.0);
+  EXPECT_DOUBLE_EQ(LowerBoundBase(-0.7, 64), 8.0);
+  EXPECT_DOUBLE_EQ(LowerBoundBase(-1.0, 100), 10.0);
+}
+
+TEST(LowerBoundBaseTest, PositiveCorrelationShrinksBound) {
+  const double at_zero = LowerBoundBase(0.0, 64);
+  const double at_half = LowerBoundBase(0.5, 64);
+  const double at_one = LowerBoundBase(1.0, 64);
+  EXPECT_LT(at_half, at_zero);
+  EXPECT_NEAR(at_one, 0.0, 1e-12);
+  EXPECT_NEAR(at_half, std::sqrt(64.0 * 0.75), 1e-12);
+}
+
+TEST(LowerBoundBaseTest, MonotoneDecreasingInCorrelation) {
+  double prev = kInf;
+  for (double q = -1.0; q <= 1.0; q += 0.05) {
+    const double b = LowerBoundBase(q, 128);
+    EXPECT_LE(b, prev + 1e-12);
+    prev = b;
+  }
+}
+
+TEST(LowerBoundAtLengthTest, ScalesBySigmaRatio) {
+  EXPECT_DOUBLE_EQ(LowerBoundAtLength(10.0, 2.0, 4.0), 5.0);
+  EXPECT_DOUBLE_EQ(LowerBoundAtLength(10.0, 4.0, 2.0), 20.0);
+}
+
+TEST(LowerBoundAtLengthTest, FlatTargetWindowTruncatesToZero) {
+  EXPECT_DOUBLE_EQ(LowerBoundAtLength(10.0, 2.0, 0.0), 0.0);
+}
+
+// The paper's key claim (Section 4.1): Eq. 2 lower-bounds the true
+// z-normalized distance at every extended length. Property-tested over
+// random pairs, datasets, and extension amounts.
+class LowerBoundValidityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LowerBoundValidityTest, BoundNeverExceedsTrueDistance) {
+  const int seed = GetParam();
+  const Series s = seed % 2 == 0
+                       ? testing_util::WalkWithPlantedMotif(
+                             600, 40, 80, 420, static_cast<std::uint64_t>(seed))
+                       : testing_util::WhiteNoise(
+                             600, static_cast<std::uint64_t>(seed));
+  const PrefixStats stats(s);
+  Rng rng(static_cast<std::uint64_t>(seed) * 7919);
+  const Index base_len = 24;
+  for (int trial = 0; trial < 200; ++trial) {
+    const Index max_k = 48;
+    const Index limit = 600 - base_len - max_k;
+    const Index i = rng.UniformIndex(0, limit);
+    const Index j = rng.UniformIndex(0, limit);
+    if (i == j) continue;
+    // Base statistics at base_len; j is the owner (known side).
+    const double qt = SubsequenceDotProduct(s, i, j, base_len);
+    const double q = CorrelationFromDotProduct(
+        qt, base_len, stats.Stats(i, base_len), stats.Stats(j, base_len));
+    const double lb_base = LowerBoundBase(q, base_len);
+    const double sigma_base = stats.Std(j, base_len);
+    for (Index k : {1, 2, 8, 24, 48}) {
+      const Index len = base_len + k;
+      const double lb =
+          LowerBoundAtLength(lb_base, sigma_base, stats.Std(j, len));
+      const double truth = SubsequenceDistance(s, stats, i, j, len);
+      EXPECT_LE(lb, truth + 1e-7 * (1.0 + truth))
+          << "i=" << i << " j=" << j << " k=" << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LowerBoundValidityTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(LowerBoundRankPreservationTest, OrderingStableAcrossExtensions) {
+  // Within the distance profile of a fixed owner j, the lower-bound order
+  // of entries must not change with k (only the common sigma ratio moves).
+  const Series s = testing_util::WalkWithPlantedMotif(500, 30, 60, 350, 17);
+  const PrefixStats stats(s);
+  const Index base_len = 20;
+  const Index owner = 100;
+  std::vector<std::pair<double, Index>> base_bounds;
+  for (Index i = 0; i < 400; i += 7) {
+    if (IsTrivialMatch(owner, i, base_len)) continue;
+    const double qt = SubsequenceDotProduct(s, i, owner, base_len);
+    const double q =
+        CorrelationFromDotProduct(qt, base_len, stats.Stats(i, base_len),
+                                  stats.Stats(owner, base_len));
+    base_bounds.emplace_back(LowerBoundBase(q, base_len), i);
+  }
+  std::sort(base_bounds.begin(), base_bounds.end());
+  // At any extended length, bounds evaluated via the sigma ratio must be in
+  // the same (non-decreasing) order.
+  const double sigma_base = stats.Std(owner, base_len);
+  for (Index k : {1, 5, 20, 60}) {
+    const double sigma_now = stats.Std(owner, base_len + k);
+    double prev = -1.0;
+    for (const auto& [lb_base, i] : base_bounds) {
+      const double lb = LowerBoundAtLength(lb_base, sigma_base, sigma_now);
+      EXPECT_GE(lb, prev - 1e-12) << "k=" << k << " entry at i=" << i;
+      prev = lb;
+    }
+  }
+}
+
+TEST(LowerBoundDistanceTest, EndToEndWrapperMatchesSplitForm) {
+  const double q = 0.42;
+  const Index len = 50;
+  EXPECT_DOUBLE_EQ(
+      LowerBoundDistance(q, len, 2.0, 3.0),
+      LowerBoundAtLength(LowerBoundBase(q, len), 2.0, 3.0));
+}
+
+}  // namespace
+}  // namespace valmod

@@ -1,0 +1,101 @@
+// Oracle test for Algorithm 6: the members of each motif set must be
+// exactly the subsequences a brute-force range query would return, minus
+// those removed by the trivial-match / disjointness rules — checked by
+// verifying (a) soundness: every member is within the radius, and (b)
+// completeness: every brute-force in-range subsequence is either a member
+// or excluded for a *provable* reason (overlaps an accepted occurrence).
+
+#include <algorithm>
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "core/motif_sets.h"
+#include "core/valmod.h"
+#include "signal/distance.h"
+#include "signal/znorm.h"
+#include "test_util.h"
+#include "util/prefix_stats.h"
+
+namespace valmod {
+namespace {
+
+class MotifSetOracleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MotifSetOracleTest, MembersMatchBruteForceRangeQuery) {
+  const int seed = GetParam();
+  const Series series = testing_util::WalkWithPlantedMotif(
+      500, 32, 60, 350, static_cast<std::uint64_t>(seed));
+  ValmodOptions options;
+  options.len_min = 24;
+  options.len_max = 40;
+  options.p = 10;
+  const ValmodResult result = RunValmod(series, options);
+
+  MotifSetOptions set_options;
+  set_options.k = 3;
+  set_options.radius_factor = 4.0;
+  const std::vector<MotifSet> sets =
+      ComputeVariableLengthMotifSets(series, result, set_options);
+  ASSERT_FALSE(sets.empty());
+
+  const Series centered = CenterSeries(series);
+  const PrefixStats stats(centered);
+
+  // Collect every accepted occurrence (offset, length) across all sets to
+  // evaluate the disjointness excuse.
+  std::vector<std::pair<Index, Index>> accepted;
+  for (const MotifSet& set : sets) {
+    for (Index off : set.occurrences) {
+      accepted.emplace_back(off, set.seed.length);
+    }
+  }
+  auto overlaps_accepted = [&accepted](Index off, Index len) {
+    for (const auto& [a_off, a_len] : accepted) {
+      const Index excl = ExclusionZone(std::min(len, a_len));
+      if (std::llabs(static_cast<long long>(a_off - off)) < excl) return true;
+    }
+    return false;
+  };
+
+  for (const MotifSet& set : sets) {
+    const Index len = set.seed.length;
+    const Index n_sub =
+        NumSubsequences(static_cast<Index>(series.size()), len);
+    // (a) soundness.
+    for (std::size_t m = 2; m < set.occurrences.size(); ++m) {
+      const Index off = set.occurrences[m];
+      const double d1 =
+          SubsequenceDistance(centered, stats, off, set.seed.off1, len);
+      const double d2 =
+          SubsequenceDistance(centered, stats, off, set.seed.off2, len);
+      EXPECT_LE(std::min(d1, d2), set.radius + 1e-6);
+    }
+    // (b) completeness: brute-force range query around both seeds.
+    for (Index j = 0; j < n_sub; ++j) {
+      if (IsTrivialMatch(j, set.seed.off1, len) ||
+          IsTrivialMatch(j, set.seed.off2, len)) {
+        continue;
+      }
+      const double d1 =
+          SubsequenceDistance(centered, stats, j, set.seed.off1, len);
+      const double d2 =
+          SubsequenceDistance(centered, stats, j, set.seed.off2, len);
+      if (std::min(d1, d2) > set.radius) continue;  // Out of range.
+      const bool is_member =
+          std::find(set.occurrences.begin(), set.occurrences.end(), j) !=
+          set.occurrences.end();
+      EXPECT_TRUE(is_member || overlaps_accepted(j, len))
+          << "in-range offset " << j << " (dist "
+          << std::min(d1, d2) << " <= " << set.radius
+          << ") missing from set at length " << len
+          << " without a disjointness excuse";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MotifSetOracleTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace valmod

@@ -1,0 +1,157 @@
+#include "core/motif_sets.h"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "core/valmod.h"
+#include "signal/distance.h"
+#include "test_util.h"
+#include "util/prefix_stats.h"
+
+namespace valmod {
+namespace {
+
+struct SetsFixture {
+  Series series;
+  ValmodResult result;
+};
+
+SetsFixture RunOnPlantedSeries(std::uint64_t seed, Index p = 10) {
+  SetsFixture run;
+  run.series = testing_util::WalkWithPlantedMotif(600, 40, 80, 400, seed);
+  ValmodOptions options;
+  options.len_min = 24;
+  options.len_max = 44;
+  options.p = p;
+  run.result = RunValmod(run.series, options);
+  return run;
+}
+
+TEST(MotifSetsTest, SetsContainTheirSeeds) {
+  const SetsFixture run = RunOnPlantedSeries(91);
+  MotifSetOptions options;
+  options.k = 4;
+  options.radius_factor = 3.0;
+  const std::vector<MotifSet> sets =
+      ComputeVariableLengthMotifSets(run.series, run.result, options);
+  ASSERT_FALSE(sets.empty());
+  for (const MotifSet& set : sets) {
+    ASSERT_GE(set.frequency(), 2);
+    EXPECT_EQ(set.occurrences[0], set.seed.off1);
+    EXPECT_EQ(set.occurrences[1], set.seed.off2);
+    EXPECT_DOUBLE_EQ(set.distances[0], 0.0);
+    EXPECT_DOUBLE_EQ(set.distances[1], 0.0);
+  }
+}
+
+TEST(MotifSetsTest, MembersAreWithinRadiusOfASeed) {
+  const SetsFixture run = RunOnPlantedSeries(92);
+  MotifSetOptions options;
+  options.k = 3;
+  options.radius_factor = 4.0;
+  const std::vector<MotifSet> sets =
+      ComputeVariableLengthMotifSets(run.series, run.result, options);
+  const PrefixStats stats(run.series);
+  for (const MotifSet& set : sets) {
+    const Index len = set.seed.length;
+    for (std::size_t m = 2; m < set.occurrences.size(); ++m) {
+      const Index off = set.occurrences[m];
+      const double d1 =
+          SubsequenceDistance(run.series, stats, off, set.seed.off1, len);
+      const double d2 =
+          SubsequenceDistance(run.series, stats, off, set.seed.off2, len);
+      EXPECT_LE(std::min(d1, d2), set.radius + 1e-6);
+      EXPECT_NEAR(set.distances[m], std::min(d1, d2), 1e-6);
+    }
+  }
+}
+
+TEST(MotifSetsTest, SetsArePairwiseDisjoint) {
+  const SetsFixture run = RunOnPlantedSeries(93);
+  MotifSetOptions options;
+  options.k = 5;
+  options.radius_factor = 5.0;
+  const std::vector<MotifSet> sets =
+      ComputeVariableLengthMotifSets(run.series, run.result, options);
+  std::vector<std::pair<Index, Index>> all;  // (offset, length)
+  for (const MotifSet& set : sets) {
+    for (Index off : set.occurrences) all.emplace_back(off, set.seed.length);
+  }
+  for (std::size_t x = 0; x < all.size(); ++x) {
+    for (std::size_t y = x + 1; y < all.size(); ++y) {
+      const Index excl = ExclusionZone(std::min(all[x].second, all[y].second));
+      EXPECT_GE(std::llabs(static_cast<long long>(all[x].first -
+                                                  all[y].first)),
+                excl)
+          << "offsets " << all[x].first << " and " << all[y].first;
+    }
+  }
+}
+
+TEST(MotifSetsTest, OccurrencesSortedByDistance) {
+  const SetsFixture run = RunOnPlantedSeries(94);
+  MotifSetOptions options;
+  options.k = 3;
+  options.radius_factor = 6.0;
+  const std::vector<MotifSet> sets =
+      ComputeVariableLengthMotifSets(run.series, run.result, options);
+  for (const MotifSet& set : sets) {
+    for (std::size_t m = 3; m < set.distances.size(); ++m) {
+      EXPECT_GE(set.distances[m], set.distances[m - 1] - 1e-12);
+    }
+  }
+}
+
+TEST(MotifSetsTest, ZeroRadiusFactorYieldsSeedOnlySets) {
+  const SetsFixture run = RunOnPlantedSeries(95);
+  MotifSetOptions options;
+  options.k = 2;
+  options.radius_factor = 0.0;
+  const std::vector<MotifSet> sets =
+      ComputeVariableLengthMotifSets(run.series, run.result, options);
+  for (const MotifSet& set : sets) {
+    EXPECT_EQ(set.frequency(), 2);
+  }
+}
+
+TEST(MotifSetsTest, LargerRadiusNeverShrinksFirstSet) {
+  const SetsFixture run = RunOnPlantedSeries(96);
+  MotifSetOptions small;
+  small.k = 1;
+  small.radius_factor = 2.0;
+  MotifSetOptions large;
+  large.k = 1;
+  large.radius_factor = 6.0;
+  const std::vector<MotifSet> small_sets =
+      ComputeVariableLengthMotifSets(run.series, run.result, small);
+  const std::vector<MotifSet> large_sets =
+      ComputeVariableLengthMotifSets(run.series, run.result, large);
+  ASSERT_EQ(small_sets.size(), 1u);
+  ASSERT_EQ(large_sets.size(), 1u);
+  EXPECT_GE(large_sets[0].frequency(), small_sets[0].frequency());
+}
+
+TEST(MotifSetsTest, StatsReportPruningActivity) {
+  const SetsFixture run = RunOnPlantedSeries(97, /*p=*/20);
+  MotifSetOptions options;
+  options.k = 4;
+  options.radius_factor = 2.0;
+  MotifSetStats stats;
+  ComputeVariableLengthMotifSets(run.series, run.result, options, &stats);
+  EXPECT_GE(stats.answered_from_partial + stats.full_profile_recomputes, 1);
+  EXPECT_GE(stats.seconds, 0.0);
+}
+
+TEST(MotifSetsTest, RespectsK) {
+  const SetsFixture run = RunOnPlantedSeries(98);
+  MotifSetOptions options;
+  options.k = 2;
+  options.radius_factor = 2.0;
+  const std::vector<MotifSet> sets =
+      ComputeVariableLengthMotifSets(run.series, run.result, options);
+  EXPECT_LE(sets.size(), 2u);
+}
+
+}  // namespace
+}  // namespace valmod

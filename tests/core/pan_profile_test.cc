@@ -1,0 +1,94 @@
+#include "core/pan_profile.h"
+
+#include <gtest/gtest.h>
+
+#include "mp/brute_force.h"
+#include "test_util.h"
+
+namespace valmod {
+namespace {
+
+PanMatrixProfile SmallPan(const Series& s, Index len_min, Index len_max) {
+  return ComputePanMatrixProfile(s, len_min, len_max);
+}
+
+TEST(PanProfileTest, CoversRequestedLengthRange) {
+  const Series s = testing_util::WhiteNoise(260, 1);
+  const PanMatrixProfile pan = SmallPan(s, 16, 22);
+  EXPECT_EQ(pan.len_min(), 16);
+  EXPECT_EQ(pan.len_max(), 22);
+  EXPECT_EQ(pan.num_lengths(), 7);
+}
+
+TEST(PanProfileTest, EveryLayerIsTheExactMatrixProfile) {
+  const Series s = testing_util::WalkWithPlantedMotif(260, 20, 40, 180, 2);
+  const PanMatrixProfile pan = SmallPan(s, 18, 22);
+  for (Index len = 18; len <= 22; ++len) {
+    const MatrixProfile truth = BruteForceMatrixProfile(s, len);
+    const MatrixProfile& layer = pan.ProfileAt(len);
+    ASSERT_EQ(layer.size(), truth.size());
+    for (Index i = 0; i < truth.size(); ++i) {
+      const std::size_t k = static_cast<std::size_t>(i);
+      if (truth.distances[k] == kInf) continue;
+      EXPECT_NEAR(layer.distances[k], truth.distances[k], 1e-6)
+          << "len=" << len << " i=" << i;
+    }
+  }
+}
+
+TEST(PanProfileTest, NormalizedValuesInUnitInterval) {
+  const Series s = testing_util::WhiteNoise(260, 3);
+  const PanMatrixProfile pan = SmallPan(s, 16, 20);
+  for (Index len = 16; len <= 20; ++len) {
+    for (Index o = 0; o < pan.ProfileAt(len).size(); o += 7) {
+      const double v = pan.NormalizedValueAt(len, o);
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(PanProfileTest, BestLengthPerOffsetPicksThePlantedScale) {
+  // A strong motif of length ~32 planted twice: for offsets inside the
+  // plantings, the best (most repetitive) length should sit near 32 rather
+  // than at the extremes of [16, 48].
+  const Series s = testing_util::NoiseWithPlantedMotif(500, 32, 80, 350, 4);
+  const PanMatrixProfile pan = SmallPan(s, 16, 48);
+  const std::vector<Index> best = pan.BestLengthPerOffset();
+  // Offset exactly at the first planting.
+  const Index chosen = best[80];
+  EXPECT_GE(chosen, 24);
+  EXPECT_LE(chosen, 48);
+}
+
+TEST(PanProfileTest, AsciiRenderHasRequestedShape) {
+  const Series s = testing_util::WhiteNoise(300, 5);
+  const PanMatrixProfile pan = SmallPan(s, 16, 24);
+  const std::string art = pan.RenderAscii(5, 40);
+  Index lines = 0;
+  for (char c : art) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 5);
+  // Each row: "len " + 5-char length + " |" (11 chars) + 40 cells + "|".
+  const std::size_t first_line = art.find('\n');
+  EXPECT_EQ(first_line, 11u + 40u + 1u);
+}
+
+TEST(PanProfileTest, MotifRegionsRenderDarker) {
+  const Series s = testing_util::NoiseWithPlantedMotif(600, 40, 100, 400, 6);
+  const PanMatrixProfile pan = SmallPan(s, 36, 44);
+  // The planted offsets must have much smaller normalized values than the
+  // median offset.
+  const double planted = pan.NormalizedValueAt(40, 100);
+  double acc = 0.0;
+  Index count = 0;
+  for (Index o = 0; o < pan.ProfileAt(40).size(); o += 11) {
+    acc += pan.NormalizedValueAt(40, o);
+    ++count;
+  }
+  EXPECT_LT(planted, 0.5 * acc / static_cast<double>(count));
+}
+
+}  // namespace
+}  // namespace valmod

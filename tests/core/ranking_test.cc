@@ -1,0 +1,146 @@
+#include "core/ranking.h"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "core/valmod.h"
+#include "signal/znorm.h"
+#include "test_util.h"
+
+namespace valmod {
+namespace {
+
+Valmp MakeValmp(const std::vector<double>& dists,
+                const std::vector<Index>& indices,
+                const std::vector<Index>& lengths) {
+  Valmp v(static_cast<Index>(dists.size()));
+  for (std::size_t i = 0; i < dists.size(); ++i) {
+    v.distances[i] = dists[i];
+    v.indices[i] = indices[i];
+    v.lengths[i] = lengths[i];
+    v.norm_distances[i] = LengthNormalize(dists[i], lengths[i]);
+  }
+  return v;
+}
+
+TEST(SelectTopKPairsTest, OrdersByNormalizedDistance) {
+  // Offsets 0 and 40 pair together; offsets 80 and 120 pair together.
+  Valmp v = MakeValmp({8.0, 2.0, 9.0, 9.0}, {1, 0, 3, 2}, {16, 16, 16, 16});
+  // Slots live at offsets 0,1,2,3 -> too close; spread them out.
+  Valmp spread(200);
+  auto set = [&spread](Index off, Index nb, double d, Index len) {
+    const std::size_t s = static_cast<std::size_t>(off);
+    spread.distances[s] = d;
+    spread.indices[s] = nb;
+    spread.lengths[s] = len;
+    spread.norm_distances[s] = LengthNormalize(d, len);
+  };
+  set(0, 60, 8.0, 16);
+  set(60, 0, 8.0, 16);
+  set(120, 180, 2.0, 16);
+  set(180, 120, 2.0, 16);
+  const std::vector<RankedPair> top = SelectTopKPairs(spread, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].off1, 120);
+  EXPECT_EQ(top[0].off2, 180);
+  EXPECT_EQ(top[1].off1, 0);
+  EXPECT_LE(top[0].norm_distance, top[1].norm_distance);
+  (void)v;
+}
+
+TEST(SelectTopKPairsTest, DeduplicatesMirrorEntries) {
+  Valmp v(200);
+  auto set = [&v](Index off, Index nb, double d) {
+    const std::size_t s = static_cast<std::size_t>(off);
+    v.distances[s] = d;
+    v.indices[s] = nb;
+    v.lengths[s] = 16;
+    v.norm_distances[s] = LengthNormalize(d, 16);
+  };
+  set(10, 100, 3.0);
+  set(100, 10, 3.0);
+  const std::vector<RankedPair> top = SelectTopKPairs(v, 5);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].off1, 10);
+  EXPECT_EQ(top[0].off2, 100);
+}
+
+TEST(SelectTopKPairsTest, SelectedPairsAreMutuallyDisjoint) {
+  const Series s = testing_util::WalkWithPlantedMotif(600, 40, 80, 400, 31);
+  ValmodOptions options;
+  options.len_min = 20;
+  options.len_max = 32;
+  options.p = 5;
+  const ValmodResult result = RunValmod(s, options);
+  const std::vector<RankedPair> top = SelectTopKPairs(result.valmp, 6);
+  std::vector<std::pair<Index, Index>> occs;
+  for (const RankedPair& pair : top) {
+    occs.emplace_back(pair.off1, pair.length);
+    occs.emplace_back(pair.off2, pair.length);
+  }
+  for (std::size_t x = 0; x < occs.size(); ++x) {
+    for (std::size_t y = x + 1; y < occs.size(); ++y) {
+      const Index excl =
+          ExclusionZone(std::min(occs[x].second, occs[y].second));
+      EXPECT_GE(std::llabs(static_cast<long long>(occs[x].first -
+                                                  occs[y].first)),
+                excl);
+    }
+  }
+}
+
+TEST(SelectTopKPairsTest, KLargerThanAvailableReturnsAll) {
+  Valmp v(50);
+  v.distances[0] = 1.0;
+  v.indices[0] = 30;
+  v.lengths[0] = 10;
+  v.norm_distances[0] = LengthNormalize(1.0, 10);
+  const std::vector<RankedPair> top = SelectTopKPairs(v, 100);
+  EXPECT_EQ(top.size(), 1u);
+}
+
+TEST(RankMotifsTest, SortsAcrossLengthsByNormalizedDistance) {
+  std::vector<MotifPair> motifs;
+  motifs.push_back(MotifPair{0, 50, 100, 10.0});   // norm = 1.0
+  motifs.push_back(MotifPair{5, 60, 25, 2.5});     // norm = 0.5
+  motifs.push_back(MotifPair{9, 70, 400, 40.0});   // norm = 2.0
+  const std::vector<RankedPair> ranked =
+      RankMotifsByNormalizedDistance(motifs);
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0].length, 25);
+  EXPECT_EQ(ranked[1].length, 100);
+  EXPECT_EQ(ranked[2].length, 400);
+}
+
+TEST(TopKMotifsPerLengthTest, OneRankedListPerLength) {
+  const Series s = testing_util::WalkWithPlantedMotif(400, 30, 60, 280, 32);
+  ValmodOptions options;
+  options.len_min = 20;
+  options.len_max = 24;
+  options.p = 5;
+  options.emit_per_length_profiles = true;
+  const ValmodResult result = RunValmod(s, options);
+  const auto ranked = TopKMotifsPerLength(result.per_length_profiles, 3);
+  ASSERT_EQ(ranked.size(), 5u);
+  for (std::size_t l = 0; l < ranked.size(); ++l) {
+    ASSERT_FALSE(ranked[l].empty());
+    // First entry is the motif of that length.
+    EXPECT_NEAR(ranked[l][0].distance,
+                result.per_length_motifs[l].distance, 1e-9);
+    for (std::size_t r = 1; r < ranked[l].size(); ++r) {
+      EXPECT_GE(ranked[l][r].distance, ranked[l][r - 1].distance);
+    }
+  }
+}
+
+TEST(RankMotifsTest, DropsInvalidPairs) {
+  std::vector<MotifPair> motifs(3);
+  motifs[1] = MotifPair{0, 50, 20, 1.0};
+  const std::vector<RankedPair> ranked =
+      RankMotifsByNormalizedDistance(motifs);
+  EXPECT_EQ(ranked.size(), 1u);
+}
+
+}  // namespace
+}  // namespace valmod

@@ -1,0 +1,133 @@
+#include "core/serialize.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "core/valmod.h"
+#include "mp/stomp.h"
+#include "test_util.h"
+
+namespace valmod {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(SerializeValmpTest, RoundTripPreservesSetSlots) {
+  const Series s = testing_util::WalkWithPlantedMotif(300, 24, 50, 200, 1);
+  ValmodOptions options;
+  options.len_min = 16;
+  options.len_max = 24;
+  options.p = 5;
+  const ValmodResult result = RunValmod(s, options);
+  const std::string path = TempPath("valmp.csv");
+  ASSERT_TRUE(WriteValmpCsv(result.valmp, path).ok());
+  Valmp loaded(0);
+  ASSERT_TRUE(ReadValmpCsv(path, result.valmp.size(), &loaded).ok());
+  ASSERT_EQ(loaded.size(), result.valmp.size());
+  for (Index i = 0; i < loaded.size(); ++i) {
+    const std::size_t k = static_cast<std::size_t>(i);
+    EXPECT_EQ(loaded.IsSet(i), result.valmp.IsSet(i)) << i;
+    if (!loaded.IsSet(i)) continue;
+    EXPECT_EQ(loaded.indices[k], result.valmp.indices[k]);
+    EXPECT_EQ(loaded.lengths[k], result.valmp.lengths[k]);
+    EXPECT_DOUBLE_EQ(loaded.distances[k], result.valmp.distances[k]);
+    EXPECT_DOUBLE_EQ(loaded.norm_distances[k],
+                     result.valmp.norm_distances[k]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeProfileTest, RoundTripPreservesProfile) {
+  const Series s = testing_util::WhiteNoise(260, 2);
+  const MatrixProfile profile = Stomp(s, 20);
+  const std::string path = TempPath("profile.csv");
+  ASSERT_TRUE(WriteMatrixProfileCsv(profile, path).ok());
+  MatrixProfile loaded;
+  ASSERT_TRUE(ReadMatrixProfileCsv(path, 20, &loaded).ok());
+  ASSERT_EQ(loaded.size(), profile.size());
+  EXPECT_EQ(loaded.subsequence_length, 20);
+  for (Index i = 0; i < loaded.size(); ++i) {
+    const std::size_t k = static_cast<std::size_t>(i);
+    EXPECT_EQ(loaded.indices[k], profile.indices[k]);
+    if (profile.indices[k] != kNoNeighbor) {
+      EXPECT_DOUBLE_EQ(loaded.distances[k], profile.distances[k]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeMotifsTest, RoundTripPreservesPairs) {
+  std::vector<MotifPair> motifs;
+  motifs.push_back(MotifPair{10, 200, 32, 1.25});
+  motifs.push_back(MotifPair{55, 480, 40, 2.5});
+  motifs.push_back(MotifPair{});  // Invalid: dropped on write.
+  const std::string path = TempPath("motifs.csv");
+  ASSERT_TRUE(WriteMotifsCsv(motifs, path).ok());
+  std::vector<MotifPair> loaded;
+  ASSERT_TRUE(ReadMotifsCsv(path, &loaded).ok());
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].a, 10);
+  EXPECT_EQ(loaded[0].b, 200);
+  EXPECT_EQ(loaded[0].length, 32);
+  EXPECT_DOUBLE_EQ(loaded[0].distance, 1.25);
+  EXPECT_EQ(loaded[1].length, 40);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, WrongHeaderIsRejected) {
+  const std::string path = TempPath("bad_header.csv");
+  {
+    std::ofstream f(path);
+    f << "totally,unrelated,columns\n1,2,3\n";
+  }
+  MatrixProfile profile;
+  EXPECT_EQ(ReadMatrixProfileCsv(path, 16, &profile).code(),
+            StatusCode::kInvalidArgument);
+  std::vector<MotifPair> motifs;
+  EXPECT_EQ(ReadMotifsCsv(path, &motifs).code(),
+            StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MalformedRowIsRejected) {
+  const std::string path = TempPath("bad_row.csv");
+  {
+    std::ofstream f(path);
+    f << "length,offset_a,offset_b,distance\n10,garbage,3,4\n";
+  }
+  std::vector<MotifPair> motifs;
+  EXPECT_EQ(ReadMotifsCsv(path, &motifs).code(),
+            StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, OutOfRangeValmpOffsetIsRejected) {
+  const std::string path = TempPath("oob.csv");
+  {
+    std::ofstream f(path);
+    f << "offset,neighbor,length,distance,norm_distance\n"
+      << "999,1,16,2.0,0.5\n";
+  }
+  Valmp loaded(0);
+  EXPECT_EQ(ReadValmpCsv(path, 10, &loaded).code(), StatusCode::kOutOfRange);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFilesAreIoErrors) {
+  Valmp valmp(0);
+  MatrixProfile profile;
+  std::vector<MotifPair> motifs;
+  EXPECT_EQ(ReadValmpCsv("/nonexistent/x.csv", 5, &valmp).code(),
+            StatusCode::kIoError);
+  EXPECT_EQ(ReadMatrixProfileCsv("/nonexistent/x.csv", 8, &profile).code(),
+            StatusCode::kIoError);
+  EXPECT_EQ(ReadMotifsCsv("/nonexistent/x.csv", &motifs).code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace valmod

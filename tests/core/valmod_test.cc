@@ -1,0 +1,179 @@
+#include "core/valmod.h"
+
+#include <gtest/gtest.h>
+
+#include "datasets/registry.h"
+#include "mp/brute_force.h"
+#include "signal/znorm.h"
+#include "test_util.h"
+
+namespace valmod {
+namespace {
+
+ValmodOptions MakeOptions(Index len_min, Index len_max, Index p) {
+  ValmodOptions options;
+  options.len_min = len_min;
+  options.len_max = len_max;
+  options.p = p;
+  return options;
+}
+
+// The headline exactness property (Problem 1): VALMOD's motif distance per
+// length equals brute force, for every length in the range, across p values
+// and data characters.
+struct ValmodCase {
+  const char* label;
+  int p;
+  int seed;
+  bool noise;
+};
+
+class ValmodExactnessTest : public ::testing::TestWithParam<ValmodCase> {};
+
+TEST_P(ValmodExactnessTest, PerLengthMotifsMatchBruteForce) {
+  const ValmodCase c = GetParam();
+  const Series s =
+      c.noise ? testing_util::WhiteNoise(350, static_cast<std::uint64_t>(c.seed))
+              : testing_util::WalkWithPlantedMotif(
+                    350, 30, 50, 250, static_cast<std::uint64_t>(c.seed));
+  const Index len_min = 18;
+  const Index len_max = 34;
+  const ValmodResult result =
+      RunValmod(s, MakeOptions(len_min, len_max, c.p));
+  const std::vector<MotifPair> truth =
+      BruteForceVariableLengthMotifs(s, len_min, len_max);
+  ASSERT_EQ(result.per_length_motifs.size(), truth.size());
+  for (std::size_t k = 0; k < truth.size(); ++k) {
+    ASSERT_TRUE(truth[k].valid());
+    ASSERT_TRUE(result.per_length_motifs[k].valid()) << "len=" << len_min + k;
+    EXPECT_NEAR(result.per_length_motifs[k].distance, truth[k].distance,
+                1e-6 * (1.0 + truth[k].distance))
+        << c.label << " len=" << (len_min + static_cast<Index>(k));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ValmodExactnessTest,
+    ::testing::Values(ValmodCase{"p1_motif", 1, 11, false},
+                      ValmodCase{"p5_motif", 5, 12, false},
+                      ValmodCase{"p20_motif", 20, 13, false},
+                      ValmodCase{"p5_noise", 5, 14, true},
+                      ValmodCase{"p10_noise", 10, 15, true}));
+
+TEST(ValmodTest, ValmpEntriesAreConsistent) {
+  const Series s = testing_util::WalkWithPlantedMotif(350, 30, 50, 250, 21);
+  const ValmodResult result = RunValmod(s, MakeOptions(16, 30, 5));
+  const Valmp& v = result.valmp;
+  for (Index i = 0; i < v.size(); ++i) {
+    if (!v.IsSet(i)) continue;
+    const std::size_t k = static_cast<std::size_t>(i);
+    EXPECT_GE(v.lengths[k], 16);
+    EXPECT_LE(v.lengths[k], 30);
+    EXPECT_NEAR(v.norm_distances[k],
+                LengthNormalize(v.distances[k], v.lengths[k]), 1e-12);
+    EXPECT_FALSE(IsTrivialMatch(i, v.indices[k], v.lengths[k]));
+  }
+}
+
+TEST(ValmodTest, BestOverallIsMinimumNormalizedDistance) {
+  const Series s = testing_util::WalkWithPlantedMotif(350, 30, 50, 250, 22);
+  const ValmodResult result = RunValmod(s, MakeOptions(16, 30, 5));
+  const MotifPair best = result.BestOverall();
+  ASSERT_TRUE(best.valid());
+  const double best_norm = LengthNormalize(best.distance, best.length);
+  for (const MotifPair& m : result.per_length_motifs) {
+    EXPECT_GE(LengthNormalize(m.distance, m.length) + 1e-12, best_norm);
+  }
+}
+
+TEST(ValmodTest, SingleLengthRangeDegeneratesToMatrixProfile) {
+  const Series s = testing_util::WalkWithPlantedMotif(300, 24, 40, 200, 23);
+  const ValmodResult result = RunValmod(s, MakeOptions(24, 24, 5));
+  ASSERT_EQ(result.per_length_motifs.size(), 1u);
+  const MotifPair truth = BruteForceMotif(s, 24);
+  EXPECT_NEAR(result.per_length_motifs[0].distance, truth.distance, 1e-6);
+  EXPECT_EQ(result.full_mp_computations, 1);
+}
+
+TEST(ValmodTest, LengthStatsCoverWholeRange) {
+  const Series s = testing_util::WhiteNoise(300, 24);
+  const ValmodResult result = RunValmod(s, MakeOptions(16, 26, 5));
+  ASSERT_EQ(result.length_stats.size(), 11u);
+  for (std::size_t k = 0; k < result.length_stats.size(); ++k) {
+    EXPECT_EQ(result.length_stats[k].length, 16 + static_cast<Index>(k));
+    EXPECT_LE(result.length_stats[k].valid_count,
+              result.length_stats[k].n_profiles);
+  }
+}
+
+TEST(ValmodTest, SubMpShrinksAcrossIterations) {
+  // Figure 14's observation: |subMP| trends downward as the length grows,
+  // as long as the retained entries are not re-based. Selective recomputes
+  // are disabled so the listDP state evolves purely by length extension;
+  // runs that needed a full re-base are skipped (the trend only holds
+  // between re-bases).
+  const Series s = testing_util::WalkWithPlantedMotif(500, 40, 80, 350, 25);
+  ValmodOptions options = MakeOptions(32, 64, 5);
+  options.sub_mp.allow_selective_recompute = false;
+  const ValmodResult result = RunValmod(s, options);
+  const auto& stats = result.length_stats;
+  ASSERT_GE(stats.size(), 9u);
+  for (std::size_t k = 1; k < stats.size(); ++k) {
+    if (stats[k].used_full_recompute) {
+      GTEST_SKIP() << "full re-base at length " << stats[k].length;
+    }
+  }
+  // Mean of the last quarter must not exceed the mean of the first quarter
+  // (after the base pass); strict per-step monotonicity is not claimed.
+  const std::size_t quarter = (stats.size() - 1) / 4;
+  double head = 0.0;
+  double tail = 0.0;
+  for (std::size_t k = 0; k < quarter; ++k) {
+    head += static_cast<double>(stats[1 + k].valid_count);
+    tail += static_cast<double>(stats[stats.size() - 1 - k].valid_count);
+  }
+  EXPECT_LE(tail, head * 1.05);
+}
+
+TEST(ValmodTest, EmitPerLengthProfilesProducesExactProfiles) {
+  const Series s = testing_util::WalkWithPlantedMotif(260, 20, 40, 180, 26);
+  ValmodOptions options = MakeOptions(16, 20, 5);
+  options.emit_per_length_profiles = true;
+  const ValmodResult result = RunValmod(s, options);
+  ASSERT_EQ(result.per_length_profiles.size(), 5u);
+  for (const MatrixProfile& profile : result.per_length_profiles) {
+    const MatrixProfile truth =
+        BruteForceMatrixProfile(s, profile.subsequence_length);
+    for (Index i = 0; i < profile.size(); ++i) {
+      const std::size_t k = static_cast<std::size_t>(i);
+      if (truth.distances[k] == kInf) continue;
+      EXPECT_NEAR(profile.distances[k], truth.distances[k], 1e-6);
+    }
+  }
+}
+
+TEST(ValmodTest, DeadlineProducesDnf) {
+  const Series s = testing_util::WhiteNoise(4000, 27);
+  ValmodOptions options = MakeOptions(64, 128, 5);
+  options.deadline = Deadline::After(0.0);
+  const ValmodResult result = RunValmod(s, options);
+  EXPECT_TRUE(result.dnf);
+}
+
+TEST(ValmodTest, WorksOnEveryBenchmarkDataset) {
+  for (const DatasetSpec& spec : BenchmarkDatasets()) {
+    Series s;
+    ASSERT_TRUE(GenerateByName(spec.name, 400, &s).ok());
+    const ValmodResult result = RunValmod(s, MakeOptions(16, 24, 5));
+    const std::vector<MotifPair> truth =
+        BruteForceVariableLengthMotifs(s, 16, 24);
+    for (std::size_t k = 0; k < truth.size(); ++k) {
+      EXPECT_NEAR(result.per_length_motifs[k].distance, truth[k].distance,
+                  1e-5 * (1.0 + truth[k].distance))
+          << spec.name << " len=" << (16 + static_cast<Index>(k));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace valmod

@@ -1,0 +1,112 @@
+// Slot-level oracle for the VALMP: with the per-length-profiles mode as
+// ground truth, the VALMP produced by the *pruned* run must hold, for every
+// offset, exactly the minimum length-normalized distance over all lengths
+// whose certified subMP covered that offset — and the global minimum must
+// match the unpruned ground truth exactly.
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/valmod.h"
+#include "signal/znorm.h"
+#include "test_util.h"
+
+namespace valmod {
+namespace {
+
+class ValmpOracleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ValmpOracleTest, GlobalMinimumMatchesUnprunedRun) {
+  const int seed = GetParam();
+  const Series s = testing_util::WalkWithPlantedMotif(
+      400, 28, 60, 280, static_cast<std::uint64_t>(seed));
+  ValmodOptions pruned;
+  pruned.len_min = 18;
+  pruned.len_max = 30;
+  pruned.p = 5;
+  ValmodOptions full = pruned;
+  full.emit_per_length_profiles = true;
+
+  const ValmodResult fast = RunValmod(s, pruned);
+  const ValmodResult truth = RunValmod(s, full);
+
+  auto global_min = [](const Valmp& v) {
+    double best = kInf;
+    for (Index i = 0; i < v.size(); ++i) {
+      if (v.IsSet(i)) {
+        best = std::min(best, v.norm_distances[static_cast<std::size_t>(i)]);
+      }
+    }
+    return best;
+  };
+  EXPECT_NEAR(global_min(fast.valmp), global_min(truth.valmp), 1e-9);
+}
+
+TEST_P(ValmpOracleTest, SlotValuesNeverBeatGroundTruth) {
+  // The pruned VALMP sees a subset of the per-length profile values, so
+  // each of its slots must be >= the unpruned slot (never better), and
+  // where set, must correspond to a real pair distance.
+  const int seed = GetParam();
+  const Series s = testing_util::WhiteNoise(
+      350, static_cast<std::uint64_t>(seed) + 100);
+  ValmodOptions pruned;
+  pruned.len_min = 16;
+  pruned.len_max = 24;
+  pruned.p = 5;
+  ValmodOptions full = pruned;
+  full.emit_per_length_profiles = true;
+
+  const ValmodResult fast = RunValmod(s, pruned);
+  const ValmodResult truth = RunValmod(s, full);
+  ASSERT_EQ(fast.valmp.size(), truth.valmp.size());
+  for (Index i = 0; i < fast.valmp.size(); ++i) {
+    const std::size_t k = static_cast<std::size_t>(i);
+    if (!fast.valmp.IsSet(i)) continue;
+    ASSERT_TRUE(truth.valmp.IsSet(i));
+    EXPECT_GE(fast.valmp.norm_distances[k] + 1e-9,
+              truth.valmp.norm_distances[k])
+        << "offset " << i;
+    // The recorded (distance, length) must be consistent.
+    EXPECT_NEAR(fast.valmp.norm_distances[k],
+                LengthNormalize(fast.valmp.distances[k],
+                                fast.valmp.lengths[k]),
+                1e-12);
+  }
+}
+
+TEST_P(ValmpOracleTest, SlotValuesAppearInGroundTruthProfiles) {
+  // Every set slot of the pruned VALMP must equal the ground-truth profile
+  // value of (offset, recorded length) — the pruned run never invents
+  // distances.
+  const int seed = GetParam();
+  const Series s = testing_util::WalkWithPlantedMotif(
+      380, 24, 50, 260, static_cast<std::uint64_t>(seed) + 200);
+  ValmodOptions pruned;
+  pruned.len_min = 16;
+  pruned.len_max = 26;
+  pruned.p = 8;
+  ValmodOptions full = pruned;
+  full.emit_per_length_profiles = true;
+
+  const ValmodResult fast = RunValmod(s, pruned);
+  const ValmodResult truth = RunValmod(s, full);
+  for (Index i = 0; i < fast.valmp.size(); ++i) {
+    const std::size_t k = static_cast<std::size_t>(i);
+    if (!fast.valmp.IsSet(i)) continue;
+    const Index len = fast.valmp.lengths[k];
+    const std::size_t profile_idx = static_cast<std::size_t>(len - 16);
+    ASSERT_LT(profile_idx, truth.per_length_profiles.size());
+    const MatrixProfile& profile = truth.per_length_profiles[profile_idx];
+    ASSERT_LT(i, profile.size());
+    EXPECT_NEAR(fast.valmp.distances[k],
+                profile.distances[static_cast<std::size_t>(i)],
+                1e-6 * (1.0 + fast.valmp.distances[k]))
+        << "offset " << i << " length " << len;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ValmpOracleTest, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace valmod

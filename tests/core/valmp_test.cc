@@ -1,0 +1,95 @@
+#include "core/valmp.h"
+
+#include <gtest/gtest.h>
+
+#include "signal/znorm.h"
+
+namespace valmod {
+namespace {
+
+TEST(ValmpTest, ConstructedEmptyAndUnset) {
+  const Valmp v(5);
+  EXPECT_EQ(v.size(), 5);
+  for (Index i = 0; i < 5; ++i) {
+    EXPECT_FALSE(v.IsSet(i));
+    EXPECT_EQ(v.distances[static_cast<std::size_t>(i)], kInf);
+  }
+}
+
+TEST(UpdateValmpTest, FirstUpdateSetsAllFields) {
+  Valmp v(3);
+  const std::vector<double> mp = {2.0, 4.0, 6.0};
+  const std::vector<Index> ip = {1, 2, 0};
+  UpdateValmp(v, mp, ip, 16);
+  for (Index i = 0; i < 3; ++i) {
+    const std::size_t s = static_cast<std::size_t>(i);
+    EXPECT_TRUE(v.IsSet(i));
+    EXPECT_DOUBLE_EQ(v.distances[s], mp[s]);
+    EXPECT_DOUBLE_EQ(v.norm_distances[s], LengthNormalize(mp[s], 16));
+    EXPECT_EQ(v.lengths[s], 16);
+    EXPECT_EQ(v.indices[s], ip[s]);
+  }
+}
+
+TEST(UpdateValmpTest, ImprovementOnlyOnSmallerNormalizedDistance) {
+  Valmp v(1);
+  UpdateValmp(v, std::vector<double>{4.0}, std::vector<Index>{5}, 16);
+  // Same straight distance at four times the length: normalized distance is
+  // halved -> must replace.
+  UpdateValmp(v, std::vector<double>{4.0}, std::vector<Index>{9}, 64);
+  EXPECT_EQ(v.lengths[0], 64);
+  EXPECT_EQ(v.indices[0], 9);
+  // Worse normalized distance must not replace.
+  UpdateValmp(v, std::vector<double>{100.0}, std::vector<Index>{3}, 65);
+  EXPECT_EQ(v.lengths[0], 64);
+}
+
+TEST(UpdateValmpTest, SkipsUnknownSlots) {
+  Valmp v(2);
+  UpdateValmp(v, std::vector<double>{kInf, 1.0}, std::vector<Index>{0, 0}, 8);
+  EXPECT_FALSE(v.IsSet(0));
+  EXPECT_TRUE(v.IsSet(1));
+}
+
+TEST(UpdateValmpTest, SkipsNoNeighborSlots) {
+  Valmp v(1);
+  UpdateValmp(v, std::vector<double>{1.0}, std::vector<Index>{kNoNeighbor}, 8);
+  EXPECT_FALSE(v.IsSet(0));
+}
+
+TEST(UpdateValmpTest, ShorterProfileUpdatesPrefixOnly) {
+  Valmp v(4);
+  UpdateValmp(v, std::vector<double>{1.0, 2.0}, std::vector<Index>{1, 0}, 8);
+  EXPECT_TRUE(v.IsSet(0));
+  EXPECT_TRUE(v.IsSet(1));
+  EXPECT_FALSE(v.IsSet(2));
+  EXPECT_FALSE(v.IsSet(3));
+}
+
+TEST(UpdateValmpTest, HookFiresOnImprovementsOnly) {
+  Valmp v(2);
+  Index fires = 0;
+  const ValmpImprovementHook hook = [&fires](Index, Index, Index, double,
+                                             double) { ++fires; };
+  UpdateValmp(v, std::vector<double>{2.0, 3.0}, std::vector<Index>{1, 0}, 8,
+              hook);
+  EXPECT_EQ(fires, 2);
+  // No improvement: same values at the same length.
+  UpdateValmp(v, std::vector<double>{2.0, 3.0}, std::vector<Index>{1, 0}, 8,
+              hook);
+  EXPECT_EQ(fires, 2);
+}
+
+TEST(UpdateValmpTest, HookReceivesNormalizedDistance) {
+  Valmp v(1);
+  double seen_norm = -1.0;
+  const ValmpImprovementHook hook =
+      [&seen_norm](Index, Index, Index, double, double norm) {
+        seen_norm = norm;
+      };
+  UpdateValmp(v, std::vector<double>{6.0}, std::vector<Index>{2}, 9, hook);
+  EXPECT_DOUBLE_EQ(seen_norm, 2.0);  // 6 * sqrt(1/9).
+}
+
+}  // namespace
+}  // namespace valmod

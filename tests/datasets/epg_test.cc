@@ -1,0 +1,102 @@
+#include "datasets/epg.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace valmod {
+namespace {
+
+EpgOptions SmallOptions() {
+  EpgOptions options;
+  options.n = 8000;
+  options.probing_instances = 4;
+  options.ingestion_instances = 4;
+  options.seed = 5;
+  return options;
+}
+
+TEST(EpgTest, GeneratesRequestedLength) {
+  const EpgSeries epg = GenerateEpg(SmallOptions());
+  EXPECT_EQ(epg.values.size(), 8000u);
+}
+
+TEST(EpgTest, EventLogCoversAllInstances) {
+  const EpgSeries epg = GenerateEpg(SmallOptions());
+  Index probing = 0;
+  Index ingestion = 0;
+  for (const EpgEvent& e : epg.events) {
+    if (e.kind == EpgEvent::Kind::kProbing) {
+      ++probing;
+      EXPECT_EQ(e.length, epg.probing_length);
+    } else {
+      ++ingestion;
+      EXPECT_EQ(e.length, epg.ingestion_length);
+    }
+  }
+  EXPECT_EQ(probing, 4);
+  EXPECT_EQ(ingestion, 4);
+}
+
+TEST(EpgTest, BehaviourLengthsDiffer) {
+  const EpgSeries epg = GenerateEpg(SmallOptions());
+  EXPECT_EQ(epg.probing_length, 100);     // 10 s at 10 Hz.
+  EXPECT_EQ(epg.ingestion_length, 120);   // 12 s at 10 Hz.
+}
+
+TEST(EpgTest, EventsDoNotOverlap) {
+  const EpgSeries epg = GenerateEpg(SmallOptions());
+  for (std::size_t x = 0; x < epg.events.size(); ++x) {
+    for (std::size_t y = x + 1; y < epg.events.size(); ++y) {
+      const EpgEvent& a = epg.events[x];
+      const EpgEvent& b = epg.events[y];
+      const bool disjoint = a.offset + a.length <= b.offset ||
+                            b.offset + b.length <= a.offset;
+      EXPECT_TRUE(disjoint);
+    }
+  }
+}
+
+TEST(EpgTest, EventsStayInBounds) {
+  const EpgSeries epg = GenerateEpg(SmallOptions());
+  for (const EpgEvent& e : epg.events) {
+    EXPECT_GE(e.offset, 0);
+    EXPECT_LE(e.offset + e.length, 8000);
+  }
+}
+
+TEST(EpgTest, DeterministicForSameSeed) {
+  const EpgSeries a = GenerateEpg(SmallOptions());
+  const EpgSeries b = GenerateEpg(SmallOptions());
+  EXPECT_EQ(a.values, b.values);
+}
+
+TEST(EpgTest, AllValuesFinite) {
+  const EpgSeries epg = GenerateEpg(SmallOptions());
+  for (double v : epg.values) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(EpgTest, EventRegionsCarryMoreEnergyThanBaseline) {
+  const EpgSeries epg = GenerateEpg(SmallOptions());
+  // Mean absolute deviation inside events vs a baseline window.
+  double event_energy = 0.0;
+  Index event_samples = 0;
+  for (const EpgEvent& e : epg.events) {
+    for (Index k = 0; k < e.length; ++k) {
+      event_energy += std::abs(epg.values[static_cast<std::size_t>(
+          e.offset + k)]);
+      ++event_samples;
+    }
+  }
+  event_energy /= static_cast<double>(event_samples);
+  // Baseline: last 500 samples (the schedule leaves the tail empty).
+  double base_energy = 0.0;
+  for (std::size_t i = epg.values.size() - 500; i < epg.values.size(); ++i) {
+    base_energy += std::abs(epg.values[i]);
+  }
+  base_energy /= 500.0;
+  EXPECT_GT(event_energy, base_energy);
+}
+
+}  // namespace
+}  // namespace valmod

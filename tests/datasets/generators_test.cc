@@ -1,0 +1,110 @@
+#include "datasets/generators.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "datasets/stats.h"
+#include "mp/stomp.h"
+
+namespace valmod {
+namespace {
+
+TEST(GeneratorsTest, RequestedLengthIsHonoured) {
+  EXPECT_EQ(GenerateEcg(1234, 1).size(), 1234u);
+  EXPECT_EQ(GenerateEmg(777, 1).size(), 777u);
+  EXPECT_EQ(GenerateGap(2000, 1).size(), 2000u);
+  EXPECT_EQ(GenerateAstro(999, 1).size(), 999u);
+  EXPECT_EQ(GenerateEeg(555, 1).size(), 555u);
+  EXPECT_EQ(GenerateRandomWalk(100, 1).size(), 100u);
+}
+
+TEST(GeneratorsTest, DeterministicForSameSeed) {
+  const Series a = GenerateEcg(500, 9);
+  const Series b = GenerateEcg(500, 9);
+  EXPECT_EQ(a, b);
+}
+
+TEST(GeneratorsTest, DifferentSeedsProduceDifferentSeries) {
+  const Series a = GenerateEmg(500, 1);
+  const Series b = GenerateEmg(500, 2);
+  EXPECT_NE(a, b);
+}
+
+TEST(GeneratorsTest, AllValuesFinite) {
+  for (const Series& s :
+       {GenerateEcg(2000, 3), GenerateEmg(2000, 3), GenerateGap(2000, 3),
+        GenerateAstro(2000, 3), GenerateEeg(2000, 3)}) {
+    for (double v : s) EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(GeneratorsTest, GapIsPositive) {
+  const Series s = GenerateGap(5000, 4);
+  for (double v : s) EXPECT_GT(v, 0.0);
+}
+
+TEST(GeneratorsTest, AstroHasTinyAmplitude) {
+  const SeriesSummary summary = Summarize(GenerateAstro(10000, 5));
+  EXPECT_LT(summary.std, 0.05);  // Table 1: std-dev 0.00031 scale.
+}
+
+TEST(GeneratorsTest, EegSpansLargeRange) {
+  const SeriesSummary summary = Summarize(GenerateEeg(20000, 6));
+  EXPECT_GT(summary.max - summary.min, 100.0);  // Table 1: -966..920 scale.
+}
+
+TEST(GeneratorsTest, EcgIsQuasiPeriodic) {
+  // A strong motif must exist: the matrix profile minimum over heartbeats
+  // must sit far below sqrt(2*len), the concentration level of unrelated
+  // windows.
+  const Series s = GenerateEcg(2000, 7);
+  const MatrixProfile mp = Stomp(s, 80);
+  double min = kInf;
+  for (double d : mp.distances) min = std::min(min, d);
+  EXPECT_LT(min, 0.15 * std::sqrt(2.0 * 80.0));
+}
+
+TEST(GeneratorsTest, EmgLacksLongCoherentMotifs) {
+  // The property Figures 9-11 rely on: at long subsequence lengths ECG
+  // still contains very close pairs (repeated beats) while EMG's best pair
+  // stays near the white-noise concentration level, so EMG's pruning
+  // margins collapse.
+  const Series emg = GenerateEmg(6000, 8);
+  const Series ecg = GenerateEcg(6000, 8);
+  auto profile_min = [](const Series& s, Index len) {
+    const MatrixProfile mp = Stomp(s, len);
+    double lo = kInf;
+    for (double d : mp.distances) lo = std::min(lo, d);
+    return lo;
+  };
+  // Weak sanity proxy; the load-bearing Figure 9/10 contrast (pruning
+  // margins and TLB) is asserted in diagnostics_test.cc.
+  EXPECT_LT(profile_min(ecg, 256), 0.85 * profile_min(emg, 256));
+}
+
+TEST(TraceSignatureTest, HasRampPlateauAndDecay) {
+  const Series sig = GenerateTraceSignature(200, 9);
+  EXPECT_EQ(sig.size(), 200u);
+  // Lead-in is near zero, plateau is near one.
+  EXPECT_LT(std::abs(sig[5]), 0.2);
+  double plateau_mean = 0.0;
+  for (Index i = 80; i < 120; ++i) {
+    plateau_mean += sig[static_cast<std::size_t>(i)];
+  }
+  plateau_mean /= 40.0;
+  EXPECT_NEAR(plateau_mean, 1.0, 0.3);
+  EXPECT_LT(sig.back(), 0.3);
+}
+
+TEST(InjectPatternTest, AddsScaledPattern) {
+  Series s(10, 1.0);
+  const Series pattern = {1.0, 2.0};
+  InjectPattern(s, pattern, 3, 2.0);
+  EXPECT_DOUBLE_EQ(s[3], 3.0);
+  EXPECT_DOUBLE_EQ(s[4], 5.0);
+  EXPECT_DOUBLE_EQ(s[5], 1.0);
+}
+
+}  // namespace
+}  // namespace valmod

@@ -1,0 +1,116 @@
+#include "datasets/io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace valmod {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+Series RandomSeries(Index n, std::uint64_t seed) {
+  Rng rng(seed);
+  Series out(static_cast<std::size_t>(n));
+  for (auto& v : out) v = rng.Gaussian();
+  return out;
+}
+
+TEST(IoTest, TextRoundTripPreservesValues) {
+  const Series original = RandomSeries(200, 1);
+  const std::string path = TempPath("roundtrip.txt");
+  ASSERT_TRUE(WriteSeriesText(original, path).ok());
+  Series loaded;
+  ASSERT_TRUE(ReadSeriesText(path, &loaded).ok());
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded[i], original[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, BinaryRoundTripIsBitExact) {
+  const Series original = RandomSeries(500, 2);
+  const std::string path = TempPath("roundtrip.bin");
+  ASSERT_TRUE(WriteSeriesBinary(original, path).ok());
+  Series loaded;
+  ASSERT_TRUE(ReadSeriesBinary(path, &loaded).ok());
+  EXPECT_EQ(loaded, original);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, ReadTextAcceptsCommaSeparated) {
+  const std::string path = TempPath("csv.txt");
+  {
+    std::ofstream f(path);
+    f << "1.5, 2.5\n3.5\n";
+  }
+  Series loaded;
+  ASSERT_TRUE(ReadSeriesText(path, &loaded).ok());
+  ASSERT_EQ(loaded.size(), 3u);
+  EXPECT_DOUBLE_EQ(loaded[0], 1.5);
+  EXPECT_DOUBLE_EQ(loaded[2], 3.5);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, ReadTextSkipsBlankLines) {
+  const std::string path = TempPath("blank.txt");
+  {
+    std::ofstream f(path);
+    f << "1.0\n\n2.0\n\n";
+  }
+  Series loaded;
+  ASSERT_TRUE(ReadSeriesText(path, &loaded).ok());
+  EXPECT_EQ(loaded.size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, ReadTextRejectsMalformedToken) {
+  const std::string path = TempPath("bad.txt");
+  {
+    std::ofstream f(path);
+    f << "1.0\nnot-a-number\n";
+  }
+  Series loaded;
+  const Status status = ReadSeriesText(path, &loaded);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, MissingFileIsIoError) {
+  Series loaded;
+  EXPECT_EQ(ReadSeriesText("/nonexistent/nope.txt", &loaded).code(),
+            StatusCode::kIoError);
+  EXPECT_EQ(ReadSeriesBinary("/nonexistent/nope.bin", &loaded).code(),
+            StatusCode::kIoError);
+}
+
+TEST(IoTest, TruncatedBinaryIsIoError) {
+  const std::string path = TempPath("trunc.bin");
+  {
+    std::ofstream f(path, std::ios::binary);
+    const std::uint64_t count = 100;  // Claims 100 doubles, writes none.
+    f.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  }
+  Series loaded;
+  EXPECT_EQ(ReadSeriesBinary(path, &loaded).code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, EmptySeriesRoundTrips) {
+  const Series empty;
+  const std::string path = TempPath("empty.bin");
+  ASSERT_TRUE(WriteSeriesBinary(empty, path).ok());
+  Series loaded = {1.0, 2.0};
+  ASSERT_TRUE(ReadSeriesBinary(path, &loaded).ok());
+  EXPECT_TRUE(loaded.empty());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace valmod

@@ -1,0 +1,53 @@
+#include "datasets/registry.h"
+
+#include <gtest/gtest.h>
+
+namespace valmod {
+namespace {
+
+TEST(RegistryTest, FiveBenchmarkDatasetsInTableOrder) {
+  const auto& specs = BenchmarkDatasets();
+  ASSERT_EQ(specs.size(), 5u);
+  EXPECT_EQ(specs[0].name, "ECG");
+  EXPECT_EQ(specs[1].name, "GAP");
+  EXPECT_EQ(specs[2].name, "ASTRO");
+  EXPECT_EQ(specs[3].name, "EMG");
+  EXPECT_EQ(specs[4].name, "EEG");
+}
+
+TEST(RegistryTest, GenerateByNameHonoursLength) {
+  Series s;
+  ASSERT_TRUE(GenerateByName("ECG", 1000, &s).ok());
+  EXPECT_EQ(s.size(), 1000u);
+}
+
+TEST(RegistryTest, NamesAreCaseInsensitive) {
+  Series a;
+  Series b;
+  ASSERT_TRUE(GenerateByName("emg", 500, &a).ok());
+  ASSERT_TRUE(GenerateByName("EMG", 500, &b).ok());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RegistryTest, UnknownNameIsNotFound) {
+  Series s;
+  EXPECT_EQ(GenerateByName("TAXI", 100, &s).code(), StatusCode::kNotFound);
+}
+
+TEST(RegistryTest, GeneratorsMatchDirectCalls) {
+  Series via_registry;
+  ASSERT_TRUE(GenerateByName("GAP", 300, &via_registry).ok());
+  const auto& specs = BenchmarkDatasets();
+  const Series direct = specs[1].generator(300, specs[1].default_seed);
+  EXPECT_EQ(via_registry, direct);
+}
+
+TEST(RegistryTest, EverySpecHasDescriptionAndGenerator) {
+  for (const DatasetSpec& spec : BenchmarkDatasets()) {
+    EXPECT_FALSE(spec.description.empty());
+    EXPECT_NE(spec.generator, nullptr);
+  }
+}
+
+}  // namespace
+}  // namespace valmod

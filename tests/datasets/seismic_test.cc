@@ -1,0 +1,83 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "datasets/generators.h"
+#include "mp/stomp.h"
+
+namespace valmod {
+namespace {
+
+TEST(SeismicTest, GeneratesRequestedLengthDeterministically) {
+  std::vector<Index> offsets_a;
+  std::vector<int> families_a;
+  const Series a = GenerateSeismic(10000, 5, &offsets_a, &families_a);
+  const Series b = GenerateSeismic(10000, 5);
+  EXPECT_EQ(a.size(), 10000u);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(offsets_a.empty());
+  EXPECT_EQ(offsets_a.size(), families_a.size());
+}
+
+TEST(SeismicTest, EventsAlternateFamilies) {
+  std::vector<Index> offsets;
+  std::vector<int> families;
+  GenerateSeismic(15000, 6, &offsets, &families);
+  Index count_a = 0;
+  Index count_b = 0;
+  for (int f : families) {
+    (f == 0 ? count_a : count_b)++;
+  }
+  EXPECT_GE(count_a, 2);
+  EXPECT_GE(count_b, 2);
+}
+
+TEST(SeismicTest, EventsInBoundsAndSpaced) {
+  std::vector<Index> offsets;
+  std::vector<int> families;
+  const Series s = GenerateSeismic(12000, 7, &offsets, &families);
+  for (std::size_t e = 0; e < offsets.size(); ++e) {
+    const Index len = families[e] == 0 ? kSeismicFamilyALength
+                                       : kSeismicFamilyBLength;
+    EXPECT_GE(offsets[e], 0);
+    EXPECT_LE(offsets[e] + len, static_cast<Index>(s.size()));
+    if (e > 0) {
+      EXPECT_GT(offsets[e], offsets[e - 1] + kSeismicFamilyALength);
+    }
+  }
+}
+
+TEST(SeismicTest, AllValuesFinite) {
+  const Series s = GenerateSeismic(8000, 8);
+  for (double v : s) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(SeismicTest, RepeatersFormStrongMotifs) {
+  // The matrix profile at the family-A duration must have a deep minimum
+  // (two family-A events) well below the noise-pair level sqrt(2*len).
+  std::vector<Index> offsets;
+  std::vector<int> families;
+  const Series s = GenerateSeismic(12000, 9, &offsets, &families);
+  const MatrixProfile mp = Stomp(s, kSeismicFamilyALength);
+  double min = kInf;
+  Index arg = kNoNeighbor;
+  for (Index i = 0; i < mp.size(); ++i) {
+    if (mp.distances[static_cast<std::size_t>(i)] < min) {
+      min = mp.distances[static_cast<std::size_t>(i)];
+      arg = i;
+    }
+  }
+  EXPECT_LT(min, 0.35 * std::sqrt(2.0 * kSeismicFamilyALength));
+  // The motif window must overlap an embedded event.
+  bool overlaps = false;
+  for (std::size_t e = 0; e < offsets.size(); ++e) {
+    if (arg + kSeismicFamilyALength > offsets[e] &&
+        arg < offsets[e] + kSeismicFamilyBLength) {
+      overlaps = true;
+    }
+  }
+  EXPECT_TRUE(overlaps);
+}
+
+}  // namespace
+}  // namespace valmod

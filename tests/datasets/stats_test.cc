@@ -1,0 +1,49 @@
+#include "datasets/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace valmod {
+namespace {
+
+TEST(SummarizeTest, KnownSmallSeries) {
+  const Series s = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const SeriesSummary summary = Summarize(s);
+  EXPECT_DOUBLE_EQ(summary.min, 2.0);
+  EXPECT_DOUBLE_EQ(summary.max, 9.0);
+  EXPECT_DOUBLE_EQ(summary.mean, 5.0);
+  EXPECT_DOUBLE_EQ(summary.std, 2.0);
+  EXPECT_EQ(summary.n, 8);
+}
+
+TEST(SummarizeTest, SingleValue) {
+  const Series s = {3.0};
+  const SeriesSummary summary = Summarize(s);
+  EXPECT_DOUBLE_EQ(summary.min, 3.0);
+  EXPECT_DOUBLE_EQ(summary.max, 3.0);
+  EXPECT_DOUBLE_EQ(summary.std, 0.0);
+}
+
+TEST(SummarizeTest, StableUnderLargeOffset) {
+  // Welford must not lose the variance when the mean dwarfs it.
+  Rng rng(1);
+  Series s(100000);
+  for (auto& v : s) v = 1e9 + rng.Gaussian();
+  const SeriesSummary summary = Summarize(s);
+  EXPECT_NEAR(summary.std, 1.0, 0.02);
+}
+
+TEST(SummarizeTest, GaussianMoments) {
+  Rng rng(2);
+  Series s(200000);
+  for (auto& v : s) v = rng.Gaussian(5.0, 3.0);
+  const SeriesSummary summary = Summarize(s);
+  EXPECT_NEAR(summary.mean, 5.0, 0.05);
+  EXPECT_NEAR(summary.std, 3.0, 0.05);
+}
+
+}  // namespace
+}  // namespace valmod

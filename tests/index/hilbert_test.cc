@@ -1,0 +1,119 @@
+#include "index/hilbert.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace valmod {
+namespace {
+
+TEST(HilbertTest, OneDimensionIsIdentityOrder) {
+  // In 1-D the curve is the line itself: index order == coordinate order.
+  std::vector<std::uint64_t> keys;
+  for (std::uint32_t x = 0; x < 16; ++x) {
+    const std::uint32_t coords[] = {x};
+    keys.push_back(HilbertIndex(coords, 4));
+  }
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+TEST(HilbertTest, TwoDimBijectionOverFullGrid) {
+  // All 2^(2*bits) cells map to distinct keys in [0, 2^(2*bits)).
+  const int bits = 4;
+  std::set<std::uint64_t> keys;
+  for (std::uint32_t x = 0; x < 16; ++x) {
+    for (std::uint32_t y = 0; y < 16; ++y) {
+      const std::uint32_t coords[] = {x, y};
+      const std::uint64_t k = HilbertIndex(coords, bits);
+      EXPECT_LT(k, 256u);
+      keys.insert(k);
+    }
+  }
+  EXPECT_EQ(keys.size(), 256u);
+}
+
+TEST(HilbertTest, CurveIsContinuousIn2D) {
+  // Consecutive keys correspond to grid cells at Manhattan distance 1: the
+  // defining locality property of the Hilbert curve.
+  const int bits = 3;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> by_key(64);
+  for (std::uint32_t x = 0; x < 8; ++x) {
+    for (std::uint32_t y = 0; y < 8; ++y) {
+      const std::uint32_t coords[] = {x, y};
+      by_key[HilbertIndex(coords, bits)] = {x, y};
+    }
+  }
+  for (std::size_t k = 1; k < by_key.size(); ++k) {
+    const int dx = std::abs(static_cast<int>(by_key[k].first) -
+                            static_cast<int>(by_key[k - 1].first));
+    const int dy = std::abs(static_cast<int>(by_key[k].second) -
+                            static_cast<int>(by_key[k - 1].second));
+    EXPECT_EQ(dx + dy, 1) << "key=" << k;
+  }
+}
+
+TEST(HilbertTest, ThreeDimBijection) {
+  const int bits = 2;
+  std::set<std::uint64_t> keys;
+  for (std::uint32_t x = 0; x < 4; ++x) {
+    for (std::uint32_t y = 0; y < 4; ++y) {
+      for (std::uint32_t z = 0; z < 4; ++z) {
+        const std::uint32_t coords[] = {x, y, z};
+        keys.insert(HilbertIndex(coords, bits));
+      }
+    }
+  }
+  EXPECT_EQ(keys.size(), 64u);
+}
+
+TEST(HilbertIndexOfPointTest, ClampsOutOfBoxPoints) {
+  const std::vector<double> lo = {0.0, 0.0};
+  const std::vector<double> hi = {1.0, 1.0};
+  const std::vector<double> below = {-5.0, -5.0};
+  const std::vector<double> above = {9.0, 9.0};
+  const std::vector<double> corner_lo = {0.0, 0.0};
+  const std::vector<double> corner_hi = {1.0, 1.0};
+  EXPECT_EQ(HilbertIndexOfPoint(below, lo, hi, 4),
+            HilbertIndexOfPoint(corner_lo, lo, hi, 4));
+  EXPECT_EQ(HilbertIndexOfPoint(above, lo, hi, 4),
+            HilbertIndexOfPoint(corner_hi, lo, hi, 4));
+}
+
+TEST(HilbertIndexOfPointTest, NearbyPointsGetNearbyKeysOnAverage) {
+  // Locality smoke test: pairs of close points should have a much smaller
+  // mean key distance than pairs of far points.
+  const std::vector<double> lo = {0.0, 0.0};
+  const std::vector<double> hi = {1.0, 1.0};
+  double close_acc = 0.0;
+  double far_acc = 0.0;
+  int count = 0;
+  for (double x = 0.05; x < 0.9; x += 0.07) {
+    for (double y = 0.05; y < 0.9; y += 0.07) {
+      const std::vector<double> p = {x, y};
+      const std::vector<double> near = {x + 0.01, y};
+      const std::vector<double> far = {1.0 - x, 1.0 - y};
+      const auto kp = HilbertIndexOfPoint(p, lo, hi, 8);
+      close_acc += std::abs(static_cast<double>(kp) -
+                            static_cast<double>(
+                                HilbertIndexOfPoint(near, lo, hi, 8)));
+      far_acc += std::abs(static_cast<double>(kp) -
+                          static_cast<double>(
+                              HilbertIndexOfPoint(far, lo, hi, 8)));
+      ++count;
+    }
+  }
+  EXPECT_LT(close_acc / count, far_acc / count / 4.0);
+}
+
+TEST(HilbertIndexOfPointTest, DegenerateBoxDoesNotCrash) {
+  const std::vector<double> lo = {1.0};
+  const std::vector<double> hi = {1.0};
+  const std::vector<double> p = {1.0};
+  EXPECT_EQ(HilbertIndexOfPoint(p, lo, hi, 4), 0u);
+}
+
+}  // namespace
+}  // namespace valmod

@@ -1,0 +1,114 @@
+#include "index/mbr.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace valmod {
+namespace {
+
+TEST(MbrTest, StartsEmpty) {
+  const Mbr mbr(3);
+  EXPECT_TRUE(mbr.empty());
+  EXPECT_EQ(mbr.dims(), 3);
+}
+
+TEST(MbrTest, ExtendWithPointsGrowsBox) {
+  Mbr mbr(2);
+  mbr.Extend(std::vector<double>{1.0, 5.0});
+  mbr.Extend(std::vector<double>{3.0, 2.0});
+  EXPECT_FALSE(mbr.empty());
+  EXPECT_DOUBLE_EQ(mbr.lo()[0], 1.0);
+  EXPECT_DOUBLE_EQ(mbr.hi()[0], 3.0);
+  EXPECT_DOUBLE_EQ(mbr.lo()[1], 2.0);
+  EXPECT_DOUBLE_EQ(mbr.hi()[1], 5.0);
+}
+
+TEST(MbrTest, ExtendWithMbrMergesBoxes) {
+  Mbr a(1);
+  a.Extend(std::vector<double>{0.0});
+  Mbr b(1);
+  b.Extend(std::vector<double>{10.0});
+  a.Extend(b);
+  EXPECT_DOUBLE_EQ(a.lo()[0], 0.0);
+  EXPECT_DOUBLE_EQ(a.hi()[0], 10.0);
+}
+
+TEST(MbrTest, ExtendWithEmptyMbrIsNoop) {
+  Mbr a(1);
+  a.Extend(std::vector<double>{2.0});
+  const Mbr empty(1);
+  a.Extend(empty);
+  EXPECT_DOUBLE_EQ(a.lo()[0], 2.0);
+  EXPECT_DOUBLE_EQ(a.hi()[0], 2.0);
+}
+
+TEST(MbrMinDistTest, IntersectingBoxesHaveZeroDistance) {
+  Mbr a(2);
+  a.Extend(std::vector<double>{0.0, 0.0});
+  a.Extend(std::vector<double>{2.0, 2.0});
+  Mbr b(2);
+  b.Extend(std::vector<double>{1.0, 1.0});
+  b.Extend(std::vector<double>{3.0, 3.0});
+  EXPECT_DOUBLE_EQ(a.MinDist(b), 0.0);
+}
+
+TEST(MbrMinDistTest, AxisAlignedGap) {
+  Mbr a(2);
+  a.Extend(std::vector<double>{0.0, 0.0});
+  a.Extend(std::vector<double>{1.0, 1.0});
+  Mbr b(2);
+  b.Extend(std::vector<double>{4.0, 0.0});
+  b.Extend(std::vector<double>{5.0, 1.0});
+  EXPECT_DOUBLE_EQ(a.MinDist(b), 3.0);
+}
+
+TEST(MbrMinDistTest, DiagonalGapIsPythagorean) {
+  Mbr a(2);
+  a.Extend(std::vector<double>{0.0, 0.0});
+  Mbr b(2);
+  b.Extend(std::vector<double>{3.0, 4.0});
+  EXPECT_DOUBLE_EQ(a.MinDist(b), 5.0);
+}
+
+TEST(MbrMinDistTest, SymmetricInArguments) {
+  Mbr a(2);
+  a.Extend(std::vector<double>{0.0, 0.0});
+  a.Extend(std::vector<double>{1.0, 2.0});
+  Mbr b(2);
+  b.Extend(std::vector<double>{5.0, -3.0});
+  EXPECT_DOUBLE_EQ(a.MinDist(b), b.MinDist(a));
+}
+
+TEST(MbrMinDistTest, LowerBoundsPointPairs) {
+  // MINDIST between two boxes never exceeds the distance between any two
+  // contained points.
+  Mbr a(2);
+  a.Extend(std::vector<double>{0.0, 0.0});
+  a.Extend(std::vector<double>{1.0, 1.0});
+  Mbr b(2);
+  b.Extend(std::vector<double>{2.0, 2.0});
+  b.Extend(std::vector<double>{4.0, 3.0});
+  const double mindist = a.MinDist(b);
+  const std::vector<std::vector<double>> in_a = {{0.0, 0.0}, {1.0, 1.0},
+                                                 {0.5, 0.7}};
+  const std::vector<std::vector<double>> in_b = {{2.0, 2.0}, {4.0, 3.0},
+                                                 {3.0, 2.5}};
+  for (const auto& pa : in_a) {
+    for (const auto& pb : in_b) {
+      const double d = std::hypot(pa[0] - pb[0], pa[1] - pb[1]);
+      EXPECT_LE(mindist, d + 1e-12);
+    }
+  }
+}
+
+TEST(MbrMinDistToPointTest, InsidePointHasZeroDistance) {
+  Mbr a(2);
+  a.Extend(std::vector<double>{0.0, 0.0});
+  a.Extend(std::vector<double>{2.0, 2.0});
+  EXPECT_DOUBLE_EQ(a.MinDistToPoint(std::vector<double>{1.0, 1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(a.MinDistToPoint(std::vector<double>{5.0, 2.0}), 3.0);
+}
+
+}  // namespace
+}  // namespace valmod

@@ -1,0 +1,144 @@
+#include "index/rtree.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace valmod {
+namespace {
+
+std::vector<double> RandomPoints(Index count, Index dims, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(static_cast<std::size_t>(count * dims));
+  for (auto& v : out) v = rng.Uniform(-10.0, 10.0);
+  return out;
+}
+
+TEST(PackedRTreeTest, SinglePointTree) {
+  const std::vector<double> pts = {1.0, 2.0};
+  const PackedRTree tree(pts, 1, 2);
+  EXPECT_EQ(tree.num_points(), 1);
+  const RTreeNode& root = tree.node(tree.root());
+  EXPECT_TRUE(root.is_leaf);
+  ASSERT_EQ(root.points.size(), 1u);
+  EXPECT_EQ(root.points[0], 0);
+}
+
+TEST(PackedRTreeTest, EveryPointAppearsInExactlyOneLeaf) {
+  const Index count = 500;
+  const std::vector<double> pts = RandomPoints(count, 4, 3);
+  const PackedRTree tree(pts, count, 4, /*leaf_capacity=*/16, /*fanout=*/4);
+  std::set<Index> seen;
+  for (Index id = 0; id < tree.num_nodes(); ++id) {
+    const RTreeNode& node = tree.node(id);
+    if (!node.is_leaf) continue;
+    for (Index p : node.points) {
+      EXPECT_TRUE(seen.insert(p).second) << "duplicate point " << p;
+    }
+  }
+  EXPECT_EQ(static_cast<Index>(seen.size()), count);
+}
+
+TEST(PackedRTreeTest, LeafMbrsContainTheirPoints) {
+  const Index count = 300;
+  const std::vector<double> pts = RandomPoints(count, 3, 4);
+  const PackedRTree tree(pts, count, 3);
+  for (Index id = 0; id < tree.num_nodes(); ++id) {
+    const RTreeNode& node = tree.node(id);
+    if (!node.is_leaf) continue;
+    for (Index p : node.points) {
+      EXPECT_DOUBLE_EQ(node.mbr.MinDistToPoint(tree.point(p)), 0.0);
+    }
+  }
+}
+
+TEST(PackedRTreeTest, ParentMbrsContainChildMbrs) {
+  const Index count = 400;
+  const std::vector<double> pts = RandomPoints(count, 2, 5);
+  const PackedRTree tree(pts, count, 2, 8, 4);
+  for (Index id = 0; id < tree.num_nodes(); ++id) {
+    const RTreeNode& node = tree.node(id);
+    if (node.is_leaf) continue;
+    for (Index child : node.children) {
+      const RTreeNode& c = tree.node(child);
+      for (Index d = 0; d < 2; ++d) {
+        EXPECT_LE(node.mbr.lo()[static_cast<std::size_t>(d)],
+                  c.mbr.lo()[static_cast<std::size_t>(d)]);
+        EXPECT_GE(node.mbr.hi()[static_cast<std::size_t>(d)],
+                  c.mbr.hi()[static_cast<std::size_t>(d)]);
+      }
+    }
+  }
+}
+
+TEST(PackedRTreeTest, RootReachesEveryLeaf) {
+  const Index count = 200;
+  const std::vector<double> pts = RandomPoints(count, 2, 6);
+  const PackedRTree tree(pts, count, 2, 4, 3);
+  // BFS from the root must visit every node exactly once.
+  std::set<Index> visited;
+  std::vector<Index> frontier = {tree.root()};
+  while (!frontier.empty()) {
+    const Index id = frontier.back();
+    frontier.pop_back();
+    EXPECT_TRUE(visited.insert(id).second);
+    const RTreeNode& node = tree.node(id);
+    for (Index child : node.children) frontier.push_back(child);
+  }
+  EXPECT_EQ(static_cast<Index>(visited.size()), tree.num_nodes());
+}
+
+TEST(PackedRTreeTest, LeafCapacityIsRespected) {
+  const Index count = 100;
+  const std::vector<double> pts = RandomPoints(count, 2, 7);
+  const PackedRTree tree(pts, count, 2, /*leaf_capacity=*/10, 4);
+  for (Index id = 0; id < tree.num_nodes(); ++id) {
+    const RTreeNode& node = tree.node(id);
+    if (node.is_leaf) {
+      EXPECT_LE(static_cast<Index>(node.points.size()), 10);
+      EXPECT_GE(node.points.size(), 1u);
+    }
+  }
+}
+
+TEST(PackedRTreeTest, HighDimensionalPointsSupported) {
+  // 16-D PAA summaries: Hilbert bits shrink internally to fit 64-bit keys.
+  const Index count = 128;
+  const std::vector<double> pts = RandomPoints(count, 16, 8);
+  const PackedRTree tree(pts, count, 16);
+  EXPECT_EQ(tree.num_points(), count);
+  EXPECT_GE(tree.num_nodes(), count / 16);
+}
+
+TEST(PackedRTreeTest, HilbertPackingKeepsNeighborsTogether) {
+  // Points drawn from two well-separated clusters: no leaf should mix the
+  // clusters (Hilbert order visits one cluster before the other).
+  Rng rng(9);
+  const Index count = 200;
+  std::vector<double> pts;
+  for (Index i = 0; i < count; ++i) {
+    const double base = i < count / 2 ? 0.0 : 100.0;
+    pts.push_back(base + rng.Uniform(0.0, 1.0));
+    pts.push_back(base + rng.Uniform(0.0, 1.0));
+  }
+  const PackedRTree tree(pts, count, 2, 8, 4);
+  // At most one leaf (the one straddling the curve's transition between
+  // the clusters) may contain points of both.
+  Index mixed_leaves = 0;
+  for (Index id = 0; id < tree.num_nodes(); ++id) {
+    const RTreeNode& node = tree.node(id);
+    if (!node.is_leaf) continue;
+    int low = 0;
+    int high = 0;
+    for (Index p : node.points) {
+      (tree.point(p)[0] < 50.0 ? low : high)++;
+    }
+    if (low > 0 && high > 0) ++mixed_leaves;
+  }
+  EXPECT_LE(mixed_leaves, 1);
+}
+
+}  // namespace
+}  // namespace valmod

@@ -1,0 +1,192 @@
+#include <algorithm>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "baselines/moen.h"
+#include "baselines/quick_motif.h"
+#include "baselines/stomp_adapted.h"
+#include "core/motif_sets.h"
+#include "core/ranking.h"
+#include "core/valmod.h"
+#include "datasets/epg.h"
+#include "datasets/registry.h"
+#include "signal/znorm.h"
+
+namespace valmod {
+namespace {
+
+/// All four algorithms of the paper's benchmark must agree on the motif
+/// distance at every length of the range, on every dataset of Table 1.
+class CrossAlgorithmTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CrossAlgorithmTest, AllAlgorithmsAgreeOnEveryLength) {
+  Series series;
+  ASSERT_TRUE(GenerateByName(GetParam(), 700, &series).ok());
+  const Index len_min = 24;
+  const Index len_max = 36;
+
+  ValmodOptions valmod_options;
+  valmod_options.len_min = len_min;
+  valmod_options.len_max = len_max;
+  valmod_options.p = 5;
+  const ValmodResult valmod = RunValmod(series, valmod_options);
+
+  const MoenResult moen = MoenVariableLength(series, len_min, len_max);
+  const PerLengthMotifs stomp = StompPerLength(series, len_min, len_max);
+  const PerLengthMotifs quick = QuickMotifPerLength(series, len_min, len_max);
+
+  const std::size_t n_lengths =
+      static_cast<std::size_t>(len_max - len_min + 1);
+  ASSERT_EQ(valmod.per_length_motifs.size(), n_lengths);
+  ASSERT_EQ(moen.motifs.size(), n_lengths);
+  ASSERT_EQ(stomp.motifs.size(), n_lengths);
+  ASSERT_EQ(quick.motifs.size(), n_lengths);
+  for (std::size_t k = 0; k < n_lengths; ++k) {
+    const double reference = stomp.motifs[k].distance;
+    const double tol = 1e-5 * (1.0 + reference);
+    EXPECT_NEAR(valmod.per_length_motifs[k].distance, reference, tol)
+        << GetParam() << " VALMOD len=" << (len_min + static_cast<Index>(k));
+    EXPECT_NEAR(moen.motifs[k].distance, reference, tol)
+        << GetParam() << " MOEN len=" << (len_min + static_cast<Index>(k));
+    EXPECT_NEAR(quick.motifs[k].distance, reference, tol)
+        << GetParam() << " QUICK len=" << (len_min + static_cast<Index>(k));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Datasets, CrossAlgorithmTest,
+                         ::testing::Values("ECG", "GAP", "ASTRO", "EMG",
+                                           "EEG"));
+
+TEST(EpgCaseStudyTest, VariableLengthSearchSurfacesBothBehaviours) {
+  // The Figure 1 scenario: probing (~100 samples) and ingestion
+  // (~120 samples) coexist; a variable-length search over [90, 130] must
+  // report motif pairs at both behaviour scales, each anchored at embedded
+  // event locations.
+  EpgOptions options;
+  options.n = 6000;
+  options.probing_instances = 3;
+  options.ingestion_instances = 3;
+  options.seed = 77;
+  const EpgSeries epg = GenerateEpg(options);
+
+  ValmodOptions valmod_options;
+  valmod_options.len_min = 90;
+  valmod_options.len_max = 130;
+  valmod_options.p = 10;
+  const ValmodResult result = RunValmod(epg.values, valmod_options);
+
+  auto overlaps_event_of_kind = [&epg](Index offset, Index len,
+                                       EpgEvent::Kind kind) {
+    for (const EpgEvent& e : epg.events) {
+      if (e.kind != kind) continue;
+      const Index lo = std::max(offset, e.offset);
+      const Index hi = std::min(offset + len, e.offset + e.length);
+      if (hi - lo > len / 2) return true;
+    }
+    return false;
+  };
+
+  // The paper's claim is that a *variable-length* search surfaces both
+  // behaviours while any single length can only show one. The top disjoint
+  // ranked pairs across the whole range must therefore cover both event
+  // kinds.
+  const std::vector<RankedPair> top = SelectTopKPairs(result.valmp, 3);
+  ASSERT_GE(top.size(), 2u);
+  bool probing_covered = false;
+  bool ingestion_covered = false;
+  for (const RankedPair& pair : top) {
+    if (overlaps_event_of_kind(pair.off1, pair.length,
+                               EpgEvent::Kind::kProbing) &&
+        overlaps_event_of_kind(pair.off2, pair.length,
+                               EpgEvent::Kind::kProbing)) {
+      probing_covered = true;
+    }
+    if (overlaps_event_of_kind(pair.off1, pair.length,
+                               EpgEvent::Kind::kIngestion) &&
+        overlaps_event_of_kind(pair.off2, pair.length,
+                               EpgEvent::Kind::kIngestion)) {
+      ingestion_covered = true;
+    }
+  }
+  EXPECT_TRUE(probing_covered);
+  EXPECT_TRUE(ingestion_covered);
+}
+
+TEST(EndToEndTest, MotifSetsRecoverPlantedOccurrences) {
+  // Motif sets on the EPG data should collect several occurrences of the
+  // repeated behaviours, not just the seed pairs.
+  EpgOptions options;
+  options.n = 6000;
+  options.probing_instances = 5;
+  options.ingestion_instances = 5;
+  options.seed = 78;
+  const EpgSeries epg = GenerateEpg(options);
+
+  ValmodOptions valmod_options;
+  valmod_options.len_min = 95;
+  valmod_options.len_max = 125;
+  valmod_options.p = 10;
+  const ValmodResult result = RunValmod(epg.values, valmod_options);
+
+  MotifSetOptions set_options;
+  set_options.k = 2;
+  set_options.radius_factor = 3.0;
+  const std::vector<MotifSet> sets =
+      ComputeVariableLengthMotifSets(epg.values, result, set_options);
+  ASSERT_FALSE(sets.empty());
+  EXPECT_GE(sets[0].frequency(), 3);
+}
+
+TEST(EndToEndTest, ValmpAgreesWithPerLengthNormalizedMinimum) {
+  Series series;
+  ASSERT_TRUE(GenerateByName("ECG", 600, &series).ok());
+  ValmodOptions options;
+  options.len_min = 20;
+  options.len_max = 32;
+  options.p = 5;
+  const ValmodResult result = RunValmod(series, options);
+  // The global VALMP minimum must equal the best length-normalized motif
+  // distance across the per-length answers.
+  double valmp_min = kInf;
+  for (Index i = 0; i < result.valmp.size(); ++i) {
+    if (result.valmp.IsSet(i)) {
+      valmp_min = std::min(
+          valmp_min, result.valmp.norm_distances[static_cast<std::size_t>(i)]);
+    }
+  }
+  double motif_min = kInf;
+  for (const MotifPair& m : result.per_length_motifs) {
+    if (m.valid()) {
+      motif_min = std::min(motif_min, LengthNormalize(m.distance, m.length));
+    }
+  }
+  EXPECT_NEAR(valmp_min, motif_min, 1e-9);
+}
+
+TEST(EndToEndTest, RankedPairsHeadTheValmpOrder) {
+  Series series;
+  ASSERT_TRUE(GenerateByName("EEG", 600, &series).ok());
+  ValmodOptions options;
+  options.len_min = 20;
+  options.len_max = 30;
+  options.p = 5;
+  const ValmodResult result = RunValmod(series, options);
+  const std::vector<RankedPair> top = SelectTopKPairs(result.valmp, 3);
+  ASSERT_FALSE(top.empty());
+  for (std::size_t k = 1; k < top.size(); ++k) {
+    EXPECT_GE(top[k].norm_distance, top[k - 1].norm_distance);
+  }
+  // The first ranked pair is the global VALMP minimum.
+  double valmp_min = kInf;
+  for (Index i = 0; i < result.valmp.size(); ++i) {
+    if (result.valmp.IsSet(i)) {
+      valmp_min = std::min(
+          valmp_min, result.valmp.norm_distances[static_cast<std::size_t>(i)]);
+    }
+  }
+  EXPECT_NEAR(top[0].norm_distance, valmp_min, 1e-9);
+}
+
+}  // namespace
+}  // namespace valmod

@@ -1,0 +1,104 @@
+// Contract tests: the library is exception-free (Google style); violated
+// preconditions abort via VALMOD_CHECK with a source location. These death
+// tests pin the contracts of the public entry points so an accidental
+// silent-acceptance regression is caught.
+
+#include <gtest/gtest.h>
+
+#include "baselines/quick_motif.h"
+#include "core/motif_sets.h"
+#include "core/valmod.h"
+#include "datasets/generators.h"
+#include "signal/paa.h"
+#include "signal/resample.h"
+#include "signal/sax.h"
+#include "test_util.h"
+#include "util/bounded_heap.h"
+#include "util/histogram.h"
+#include "util/prefix_stats.h"
+
+namespace valmod {
+namespace {
+
+TEST(PreconditionDeathTest, ValmodRejectsTinyLenMin) {
+  const Series s = testing_util::WhiteNoise(200, 1);
+  ValmodOptions options;
+  options.len_min = 2;  // < 4.
+  options.len_max = 8;
+  EXPECT_DEATH(RunValmod(s, options), "len_min");
+}
+
+TEST(PreconditionDeathTest, ValmodRejectsInvertedRange) {
+  const Series s = testing_util::WhiteNoise(200, 2);
+  ValmodOptions options;
+  options.len_min = 32;
+  options.len_max = 16;
+  EXPECT_DEATH(RunValmod(s, options), "len_max");
+}
+
+TEST(PreconditionDeathTest, ValmodRejectsTooShortSeries) {
+  const Series s = testing_util::WhiteNoise(40, 3);
+  ValmodOptions options;
+  options.len_min = 30;
+  options.len_max = 36;
+  EXPECT_DEATH(RunValmod(s, options), "series too short");
+}
+
+TEST(PreconditionDeathTest, ValmodRejectsNonPositiveP) {
+  const Series s = testing_util::WhiteNoise(200, 4);
+  ValmodOptions options;
+  options.len_min = 16;
+  options.len_max = 20;
+  options.p = 0;
+  EXPECT_DEATH(RunValmod(s, options), "p");
+}
+
+TEST(PreconditionDeathTest, MotifSetsRejectNegativeRadiusFactor) {
+  const Series s = testing_util::WhiteNoise(200, 5);
+  ValmodOptions options;
+  options.len_min = 16;
+  options.len_max = 20;
+  const ValmodResult result = RunValmod(s, options);
+  MotifSetOptions set_options;
+  set_options.radius_factor = -1.0;
+  EXPECT_DEATH(ComputeVariableLengthMotifSets(s, result, set_options),
+               "radius_factor");
+}
+
+TEST(PreconditionDeathTest, QuickMotifRejectsOversizedPaa) {
+  const Series s = testing_util::WhiteNoise(200, 6);
+  QuickMotifOptions options;
+  options.paa_segments = 100;  // > len.
+  EXPECT_DEATH(QuickMotif(s, 16, options), "w");
+}
+
+TEST(PreconditionDeathTest, BoundedHeapRejectsZeroCapacity) {
+  EXPECT_DEATH(BoundedMaxHeap<int>(0), "capacity");
+}
+
+TEST(PreconditionDeathTest, HistogramRejectsEmptyRange) {
+  EXPECT_DEATH(Histogram(1.0, 1.0, 4), "lo < hi");
+}
+
+TEST(PreconditionDeathTest, PaaRejectsZeroSegments) {
+  const std::vector<double> v = {1.0, 2.0};
+  EXPECT_DEATH(Paa(v, 0), "segments");
+}
+
+TEST(PreconditionDeathTest, ResampleRejectsSinglePointTarget) {
+  const std::vector<double> v = {1.0, 2.0, 3.0};
+  EXPECT_DEATH(ResampleLinear(v, 1), "target_len");
+}
+
+TEST(PreconditionDeathTest, SaxRejectsUnsupportedAlphabet) {
+  EXPECT_DEATH(SaxBreakpoints(11), "alphabet");
+}
+
+TEST(PreconditionDeathTest, PrefixStatsRejectsOutOfRangeWindow) {
+  const Series s = testing_util::WhiteNoise(50, 7);
+  const PrefixStats stats(s);
+  EXPECT_DEATH(ExactMeanStd(s, 40, 20), "offset");
+}
+
+}  // namespace
+}  // namespace valmod

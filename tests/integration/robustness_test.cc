@@ -1,0 +1,212 @@
+// Robustness tests: degenerate and adversarial inputs that stress the
+// z-normalization edge cases (flat windows), the numerical guards
+// (correlation clamping), and the fallback paths of Algorithm 4 — inputs a
+// downstream user will eventually feed the library.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/moen.h"
+#include "baselines/quick_motif.h"
+#include "core/motif_sets.h"
+#include "core/valmod.h"
+#include "mp/brute_force.h"
+#include "mp/stomp.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace valmod {
+namespace {
+
+/// Noise with several hard-constant plateaus (sensor saturation).
+Series SeriesWithFlatRegions(Index n, std::uint64_t seed) {
+  Rng rng(seed);
+  Series s(static_cast<std::size_t>(n));
+  for (auto& v : s) v = rng.Gaussian();
+  for (Index start : {n / 8, n / 2, (n * 3) / 4}) {
+    const Index len = n / 10;
+    const double level = rng.Uniform(-2.0, 2.0);
+    for (Index k = 0; k < len && start + k < n; ++k) {
+      s[static_cast<std::size_t>(start + k)] = level;
+    }
+  }
+  return s;
+}
+
+/// A step series: two constant halves (every window near the edge has a
+/// near-degenerate std on one side).
+Series StepSeries(Index n) {
+  Series s(static_cast<std::size_t>(n), 0.0);
+  for (Index i = n / 2; i < n; ++i) s[static_cast<std::size_t>(i)] = 5.0;
+  return s;
+}
+
+TEST(RobustnessTest, FlatRegionsProduceFiniteProfilesEverywhere) {
+  const Series s = SeriesWithFlatRegions(600, 1);
+  const MatrixProfile mp = Stomp(s, 24);
+  for (Index i = 0; i < mp.size(); ++i) {
+    const double d = mp.distances[static_cast<std::size_t>(i)];
+    EXPECT_FALSE(std::isnan(d)) << "i=" << i;
+  }
+}
+
+TEST(RobustnessTest, ValmodExactOnFlatRegionSeries) {
+  const Series s = SeriesWithFlatRegions(400, 2);
+  ValmodOptions options;
+  options.len_min = 16;
+  options.len_max = 28;
+  options.p = 5;
+  const ValmodResult result = RunValmod(s, options);
+  const std::vector<MotifPair> truth =
+      BruteForceVariableLengthMotifs(s, 16, 28);
+  ASSERT_EQ(result.per_length_motifs.size(), truth.size());
+  for (std::size_t k = 0; k < truth.size(); ++k) {
+    EXPECT_NEAR(result.per_length_motifs[k].distance, truth[k].distance,
+                1e-6 * (1.0 + truth[k].distance))
+        << "len=" << (16 + static_cast<Index>(k));
+  }
+}
+
+TEST(RobustnessTest, StepSeriesDoesNotCrashAnyAlgorithm) {
+  const Series s = StepSeries(300);
+  EXPECT_NO_FATAL_FAILURE({
+    ValmodOptions options;
+    options.len_min = 16;
+    options.len_max = 20;
+    options.p = 3;
+    RunValmod(s, options);
+  });
+  EXPECT_NO_FATAL_FAILURE(MoenVariableLength(s, 16, 20));
+  EXPECT_NO_FATAL_FAILURE(QuickMotif(s, 16));
+}
+
+TEST(RobustnessTest, StepSeriesValmodMatchesBruteForce) {
+  const Series s = StepSeries(300);
+  ValmodOptions options;
+  options.len_min = 16;
+  options.len_max = 20;
+  options.p = 3;
+  const ValmodResult result = RunValmod(s, options);
+  const std::vector<MotifPair> truth =
+      BruteForceVariableLengthMotifs(s, 16, 20);
+  for (std::size_t k = 0; k < truth.size(); ++k) {
+    EXPECT_NEAR(result.per_length_motifs[k].distance, truth[k].distance,
+                1e-6)
+        << "len=" << (16 + static_cast<Index>(k));
+  }
+}
+
+TEST(RobustnessTest, HugeAmplitudeOffsetsStayExact) {
+  // Values around 1e9 with unit-scale structure: exercises the prefix-sum
+  // variance cancellation.
+  Series s = testing_util::WalkWithPlantedMotif(300, 24, 40, 200, 3);
+  for (auto& v : s) v += 1e9;
+  ValmodOptions options;
+  options.len_min = 20;
+  options.len_max = 26;
+  options.p = 5;
+  const ValmodResult result = RunValmod(s, options);
+  const std::vector<MotifPair> truth =
+      BruteForceVariableLengthMotifs(s, 20, 26);
+  for (std::size_t k = 0; k < truth.size(); ++k) {
+    EXPECT_NEAR(result.per_length_motifs[k].distance, truth[k].distance,
+                1e-3)
+        << "len=" << (20 + static_cast<Index>(k));
+  }
+}
+
+TEST(RobustnessTest, TinyAmplitudeSeriesStaysExact) {
+  Series s = testing_util::WhiteNoise(300, 4, /*sigma=*/1e-8);
+  ValmodOptions options;
+  options.len_min = 16;
+  options.len_max = 20;
+  options.p = 5;
+  const ValmodResult result = RunValmod(s, options);
+  const std::vector<MotifPair> truth =
+      BruteForceVariableLengthMotifs(s, 16, 20);
+  for (std::size_t k = 0; k < truth.size(); ++k) {
+    EXPECT_NEAR(result.per_length_motifs[k].distance, truth[k].distance,
+                1e-5)
+        << "len=" << (16 + static_cast<Index>(k));
+  }
+}
+
+TEST(RobustnessTest, MinimumViableSeriesLength) {
+  // The smallest configuration the driver accepts: n = len_max + excl.
+  const Index len = 8;
+  const Index n = len + ExclusionZone(len) + len;  // A little headroom.
+  const Series s = testing_util::WhiteNoise(n, 5);
+  ValmodOptions options;
+  options.len_min = len;
+  options.len_max = len;
+  options.p = 2;
+  const ValmodResult result = RunValmod(s, options);
+  EXPECT_EQ(result.per_length_motifs.size(), 1u);
+}
+
+TEST(RobustnessTest, SawtoothPeriodicSeriesAllLengthsExact) {
+  // Strong periodicity: many ties in the distance profile, a stress test
+  // for tie handling in the certification logic.
+  Series s(500);
+  for (Index i = 0; i < 500; ++i) {
+    s[static_cast<std::size_t>(i)] =
+        static_cast<double>(i % 25) + 0.01 * std::sin(static_cast<double>(i));
+  }
+  ValmodOptions options;
+  options.len_min = 20;
+  options.len_max = 30;
+  options.p = 5;
+  const ValmodResult result = RunValmod(s, options);
+  const std::vector<MotifPair> truth =
+      BruteForceVariableLengthMotifs(s, 20, 30);
+  for (std::size_t k = 0; k < truth.size(); ++k) {
+    EXPECT_NEAR(result.per_length_motifs[k].distance, truth[k].distance,
+                1e-6 * (1.0 + truth[k].distance))
+        << "len=" << (20 + static_cast<Index>(k));
+  }
+}
+
+TEST(RobustnessTest, ExactPlateauMotifHasDistanceZero) {
+  // Regression (found by tools/fuzz_differential): an exactly-constant
+  // plateau contains non-trivially-matching window pairs at distance 0.
+  // The prefix-sum path used to compute garbage correlations from the
+  // cancellation noise of var = ss/l - mu^2 and miss them; the relative
+  // flatness test (IsFlatWindow) fixes this. Both brute force and VALMOD
+  // must report the zero-distance motif.
+  Rng rng(777);
+  Series s(260);
+  for (auto& v : s) v = rng.Gaussian();
+  const double level = 1.37;
+  for (Index i = 100; i < 140; ++i) {
+    s[static_cast<std::size_t>(i)] = level;  // Exactly constant plateau.
+  }
+  ValmodOptions options;
+  options.len_min = 8;
+  options.len_max = 12;
+  options.p = 5;
+  const ValmodResult result = RunValmod(s, options);
+  for (const MotifPair& motif : result.per_length_motifs) {
+    ASSERT_TRUE(motif.valid());
+    EXPECT_NEAR(motif.distance, 0.0, 1e-9) << "len=" << motif.length;
+    const MotifPair truth = BruteForceMotif(s, motif.length);
+    EXPECT_NEAR(truth.distance, 0.0, 1e-9);
+  }
+}
+
+TEST(RobustnessTest, MotifSetsOnDegenerateSeriesDoNotCrash) {
+  const Series s = SeriesWithFlatRegions(400, 6);
+  ValmodOptions options;
+  options.len_min = 16;
+  options.len_max = 24;
+  options.p = 5;
+  const ValmodResult result = RunValmod(s, options);
+  MotifSetOptions set_options;
+  set_options.k = 5;
+  set_options.radius_factor = 10.0;  // Absurdly wide radius.
+  EXPECT_NO_FATAL_FAILURE(
+      ComputeVariableLengthMotifSets(s, result, set_options));
+}
+
+}  // namespace
+}  // namespace valmod

@@ -1,0 +1,105 @@
+#include "mp/ab_join.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "util/random.h"
+
+namespace valmod {
+namespace {
+
+// Property: the STOMP-kernel AB-join equals the naive oracle across length
+// and size combinations, including unequal series lengths.
+struct AbJoinCase {
+  int na;
+  int nb;
+  int len;
+  int seed;
+};
+
+class AbJoinPropertyTest : public ::testing::TestWithParam<AbJoinCase> {};
+
+TEST_P(AbJoinPropertyTest, MatchesNaiveOracle) {
+  const AbJoinCase c = GetParam();
+  const Series a =
+      testing_util::WhiteNoise(c.na, static_cast<std::uint64_t>(c.seed));
+  const Series b = testing_util::WhiteNoise(
+      c.nb, static_cast<std::uint64_t>(c.seed) + 1000);
+  const AbJoinProfile fast = AbJoin(a, b, c.len);
+  const AbJoinProfile slow = AbJoinNaive(a, b, c.len);
+  ASSERT_EQ(fast.size(), slow.size());
+  for (Index i = 0; i < fast.size(); ++i) {
+    const std::size_t k = static_cast<std::size_t>(i);
+    EXPECT_NEAR(fast.distances[k], slow.distances[k],
+                1e-6 * (1.0 + slow.distances[k]))
+        << "i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AbJoinPropertyTest,
+    ::testing::Values(AbJoinCase{120, 120, 16, 1}, AbJoinCase{200, 80, 20, 2},
+                      AbJoinCase{80, 200, 20, 3}, AbJoinCase{150, 150, 33, 4},
+                      AbJoinCase{64, 300, 8, 5}));
+
+TEST(AbJoinTest, FindsSharedPatternAcrossSeries) {
+  // The same pattern planted in two otherwise unrelated noise series: the
+  // join motif must link the two plantings.
+  Series a = testing_util::WhiteNoise(300, 11);
+  Series b = testing_util::WhiteNoise(300, 12);
+  Series pattern(40);
+  for (Index i = 0; i < 40; ++i) {
+    pattern[static_cast<std::size_t>(i)] =
+        5.0 * std::sin(0.5 * static_cast<double>(i));
+  }
+  for (Index i = 0; i < 40; ++i) {
+    a[static_cast<std::size_t>(100 + i)] = pattern[static_cast<std::size_t>(i)];
+    b[static_cast<std::size_t>(220 + i)] = pattern[static_cast<std::size_t>(i)];
+  }
+  const AbJoinProfile profile = AbJoin(a, b, 40);
+  const MotifPair motif = AbJoinMotif(profile);
+  ASSERT_TRUE(motif.valid());
+  EXPECT_NEAR(static_cast<double>(motif.a), 100.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(motif.b), 220.0, 2.0);
+}
+
+TEST(AbJoinTest, NoExclusionZoneAcrossSeries) {
+  // Joining a series with a copy of itself: every subsequence finds itself
+  // at distance 0 (there is no trivial-match suppression in an AB-join).
+  const Series a = testing_util::WhiteNoise(200, 13);
+  const AbJoinProfile profile = AbJoin(a, a, 24);
+  for (Index i = 0; i < profile.size(); ++i) {
+    EXPECT_NEAR(profile.distances[static_cast<std::size_t>(i)], 0.0, 1e-6);
+    EXPECT_EQ(profile.indices[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(AbJoinTest, ProfileSizeIsSubsequencesOfA) {
+  const Series a = testing_util::WhiteNoise(100, 14);
+  const Series b = testing_util::WhiteNoise(500, 15);
+  EXPECT_EQ(AbJoin(a, b, 20).size(), NumSubsequences(100, 20));
+}
+
+TEST(AbJoinTest, DeadlineFlagsDnf) {
+  const Series a = testing_util::WhiteNoise(2000, 16);
+  const Series b = testing_util::WhiteNoise(2000, 17);
+  bool dnf = false;
+  AbJoin(a, b, 64, Deadline::After(0.0), &dnf);
+  EXPECT_TRUE(dnf);
+}
+
+TEST(AbJoinTest, RobustToLargeOffsets) {
+  Series a = testing_util::WhiteNoise(150, 18);
+  Series b = testing_util::WhiteNoise(150, 19);
+  for (auto& v : a) v += 1e9;
+  for (auto& v : b) v -= 1e9;
+  const AbJoinProfile fast = AbJoin(a, b, 16);
+  const AbJoinProfile slow = AbJoinNaive(a, b, 16);
+  for (Index i = 0; i < fast.size(); ++i) {
+    EXPECT_NEAR(fast.distances[static_cast<std::size_t>(i)],
+                slow.distances[static_cast<std::size_t>(i)], 1e-3);
+  }
+}
+
+}  // namespace
+}  // namespace valmod

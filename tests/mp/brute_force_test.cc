@@ -1,0 +1,79 @@
+#include "mp/brute_force.h"
+
+#include <gtest/gtest.h>
+
+#include "signal/znorm.h"
+#include "test_util.h"
+
+namespace valmod {
+namespace {
+
+TEST(BruteForceTest, FindsPlantedMotif) {
+  const Series s = testing_util::NoiseWithPlantedMotif(300, 24, 40, 200, 61);
+  const MotifPair motif = BruteForceMotif(s, 24);
+  ASSERT_TRUE(motif.valid());
+  EXPECT_NEAR(static_cast<double>(motif.a), 40.0, 3.0);
+  EXPECT_NEAR(static_cast<double>(motif.b), 200.0, 3.0);
+}
+
+TEST(BruteForceTest, MotifDistanceMatchesDirectRecomputation) {
+  const Series s = testing_util::WhiteNoise(200, 62);
+  const MotifPair motif = BruteForceMotif(s, 16);
+  ASSERT_TRUE(motif.valid());
+  const double direct = ZNormalizedDistanceDirect(
+      std::span<const double>(s).subspan(static_cast<std::size_t>(motif.a), 16),
+      std::span<const double>(s).subspan(static_cast<std::size_t>(motif.b),
+                                         16));
+  EXPECT_NEAR(motif.distance, direct, 1e-9);
+}
+
+TEST(BruteForceTest, MotifPairIsNonTrivial) {
+  const Series s = testing_util::WhiteNoise(200, 63);
+  const MotifPair motif = BruteForceMotif(s, 20);
+  ASSERT_TRUE(motif.valid());
+  EXPECT_FALSE(IsTrivialMatch(motif.a, motif.b, 20));
+}
+
+TEST(BruteForceTest, MotifIsActuallyTheClosestPair) {
+  const Series s = testing_util::WhiteNoise(120, 64);
+  const Index len = 12;
+  const MotifPair motif = BruteForceMotif(s, len);
+  const Index n_sub = NumSubsequences(120, len);
+  for (Index i = 0; i < n_sub; ++i) {
+    for (Index j = i + 1; j < n_sub; ++j) {
+      if (IsTrivialMatch(i, j, len)) continue;
+      const double d = ZNormalizedDistanceDirect(
+          std::span<const double>(s).subspan(static_cast<std::size_t>(i),
+                                             static_cast<std::size_t>(len)),
+          std::span<const double>(s).subspan(static_cast<std::size_t>(j),
+                                             static_cast<std::size_t>(len)));
+      EXPECT_GE(d + 1e-9, motif.distance) << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST(BruteForceVariableLengthTest, OneMotifPerLength) {
+  const Series s = testing_util::WalkWithPlantedMotif(300, 24, 40, 200, 65);
+  const std::vector<MotifPair> motifs =
+      BruteForceVariableLengthMotifs(s, 20, 28);
+  ASSERT_EQ(motifs.size(), 9u);
+  for (std::size_t k = 0; k < motifs.size(); ++k) {
+    EXPECT_EQ(motifs[k].length, 20 + static_cast<Index>(k));
+    EXPECT_TRUE(motifs[k].valid());
+  }
+}
+
+TEST(BruteForceMatrixProfileTest, SelfConsistentIndices) {
+  const Series s = testing_util::WhiteNoise(150, 66);
+  const MatrixProfile mp = BruteForceMatrixProfile(s, 14);
+  for (Index i = 0; i < mp.size(); ++i) {
+    const Index j = mp.indices[static_cast<std::size_t>(i)];
+    if (j == kNoNeighbor) continue;
+    EXPECT_FALSE(IsTrivialMatch(i, j, 14));
+    EXPECT_GE(j, 0);
+    EXPECT_LT(j, mp.size());
+  }
+}
+
+}  // namespace
+}  // namespace valmod

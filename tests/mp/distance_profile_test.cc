@@ -1,0 +1,88 @@
+#include "mp/distance_profile.h"
+
+#include <gtest/gtest.h>
+
+#include "mp/matrix_profile.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace valmod {
+namespace {
+
+TEST(DistanceProfileTest, ExclusionZoneEntriesAreInfinite) {
+  const Series s = testing_util::WhiteNoise(200, 1);
+  const PrefixStats stats(s);
+  const Index len = 20;
+  const Index query = 50;
+  const std::vector<double> profile =
+      ComputeDistanceProfile(s, stats, query, len);
+  const Index excl = ExclusionZone(len);
+  for (Index j = query - excl + 1; j < query + excl; ++j) {
+    if (j < 0 || j >= static_cast<Index>(profile.size())) continue;
+    EXPECT_EQ(profile[static_cast<std::size_t>(j)], kInf) << "j=" << j;
+  }
+  // Just outside the zone must be finite.
+  EXPECT_NE(profile[static_cast<std::size_t>(query - excl)], kInf);
+  EXPECT_NE(profile[static_cast<std::size_t>(query + excl)], kInf);
+}
+
+TEST(DistanceProfileTest, SizeIsNumSubsequences) {
+  const Series s = testing_util::WhiteNoise(150, 2);
+  const PrefixStats stats(s);
+  EXPECT_EQ(ComputeDistanceProfile(s, stats, 0, 30).size(), 121u);
+}
+
+// Property: MASS-based profile equals the naive profile across query
+// positions and lengths.
+class DistanceProfilePropertyTest
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(DistanceProfilePropertyTest, FastMatchesNaive) {
+  const auto [len, query] = GetParam();
+  const Series s = testing_util::WalkWithPlantedMotif(500, 40, 60, 350, 21);
+  const PrefixStats stats(s);
+  const std::vector<double> fast =
+      ComputeDistanceProfile(s, stats, query, len);
+  const std::vector<double> slow =
+      ComputeDistanceProfileNaive(s, query, len);
+  ASSERT_EQ(fast.size(), slow.size());
+  for (std::size_t j = 0; j < fast.size(); ++j) {
+    if (slow[j] == kInf) {
+      EXPECT_EQ(fast[j], kInf) << "j=" << j;
+    } else {
+      EXPECT_NEAR(fast[j], slow[j], 1e-6 * (1.0 + slow[j])) << "j=" << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, DistanceProfilePropertyTest,
+    ::testing::Values(std::pair{8, 0}, std::pair{16, 100}, std::pair{40, 60},
+                      std::pair{64, 436}, std::pair{100, 250}));
+
+TEST(ArgMinTest, FindsMinimumIndex) {
+  const std::vector<double> profile = {3.0, kInf, 1.0, 2.0};
+  EXPECT_EQ(ArgMin(profile), 2);
+}
+
+TEST(ArgMinTest, AllInfiniteReturnsNoNeighbor) {
+  const std::vector<double> profile = {kInf, kInf};
+  EXPECT_EQ(ArgMin(profile), kNoNeighbor);
+}
+
+TEST(ArgMinTest, EmptyReturnsNoNeighbor) {
+  EXPECT_EQ(ArgMin(std::vector<double>{}), kNoNeighbor);
+}
+
+TEST(DistanceProfileTest, PlantedMotifIsNearestNeighbor) {
+  // Query at the first planted occurrence: the nearest neighbour must be at
+  // (or within a couple of samples of) the second occurrence.
+  const Series s = testing_util::WalkWithPlantedMotif(600, 50, 80, 400, 33);
+  const PrefixStats stats(s);
+  const std::vector<double> profile = ComputeDistanceProfile(s, stats, 80, 50);
+  const Index arg = ArgMin(profile);
+  EXPECT_NEAR(static_cast<double>(arg), 400.0, 3.0);
+}
+
+}  // namespace
+}  // namespace valmod

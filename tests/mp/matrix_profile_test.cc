@@ -1,0 +1,112 @@
+#include "mp/matrix_profile.h"
+
+#include <gtest/gtest.h>
+
+#include "mp/stomp.h"
+#include "test_util.h"
+
+namespace valmod {
+namespace {
+
+MatrixProfile MakeProfile(std::vector<double> distances,
+                          std::vector<Index> indices, Index len) {
+  MatrixProfile mp;
+  mp.subsequence_length = len;
+  mp.distances = std::move(distances);
+  mp.indices = std::move(indices);
+  return mp;
+}
+
+TEST(MotifFromProfileTest, PicksGlobalMinimum) {
+  const MatrixProfile mp =
+      MakeProfile({5.0, 1.0, 3.0}, {1, 2, 0}, 10);
+  const MotifPair motif = MotifFromProfile(mp);
+  EXPECT_TRUE(motif.valid());
+  EXPECT_EQ(motif.a, 1);
+  EXPECT_EQ(motif.b, 2);
+  EXPECT_DOUBLE_EQ(motif.distance, 1.0);
+  EXPECT_EQ(motif.length, 10);
+}
+
+TEST(MotifFromProfileTest, EmptyProfileIsInvalid) {
+  MatrixProfile mp;
+  mp.subsequence_length = 5;
+  EXPECT_FALSE(MotifFromProfile(mp).valid());
+}
+
+TEST(MotifFromProfileTest, AllNoNeighborIsInvalid) {
+  const MatrixProfile mp =
+      MakeProfile({kInf, kInf}, {kNoNeighbor, kNoNeighbor}, 8);
+  EXPECT_FALSE(MotifFromProfile(mp).valid());
+}
+
+TEST(MotifFromProfileTest, CanonicalOrderingAless) {
+  const MatrixProfile mp = MakeProfile({2.0, 9.0, 9.0}, {2, 0, 0}, 4);
+  const MotifPair motif = MotifFromProfile(mp);
+  EXPECT_LT(motif.a, motif.b);
+}
+
+TEST(TopMotifsTest, ReturnsDisjointRankedPairs) {
+  const Series s = testing_util::WalkWithPlantedMotif(800, 40, 100, 600, 50);
+  const MatrixProfile mp = Stomp(s, 40);
+  const std::vector<MotifPair> top = TopMotifsFromProfile(mp, 3);
+  ASSERT_GE(top.size(), 1u);
+  // Ranked ascending by distance.
+  for (std::size_t k = 1; k < top.size(); ++k) {
+    EXPECT_GE(top[k].distance, top[k - 1].distance);
+  }
+  // Pairwise disjoint occurrences (no offsets within the exclusion zone).
+  const Index excl = ExclusionZone(40);
+  std::vector<Index> offsets;
+  for (const MotifPair& m : top) {
+    offsets.push_back(m.a);
+    offsets.push_back(m.b);
+  }
+  for (std::size_t x = 0; x < offsets.size(); ++x) {
+    for (std::size_t y = x + 1; y < offsets.size(); ++y) {
+      EXPECT_GE(std::abs(static_cast<long long>(offsets[x] - offsets[y])),
+                excl);
+    }
+  }
+}
+
+TEST(TopMotifsTest, FirstPairIsTheMotif) {
+  const Series s = testing_util::WalkWithPlantedMotif(500, 30, 60, 350, 51);
+  const MatrixProfile mp = Stomp(s, 30);
+  const MotifPair best = MotifFromProfile(mp);
+  const std::vector<MotifPair> top = TopMotifsFromProfile(mp, 1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].a, best.a);
+  EXPECT_EQ(top[0].b, best.b);
+}
+
+TEST(DiscordFromProfileTest, PicksMaximumFiniteEntry) {
+  const MatrixProfile mp = MakeProfile({2.0, 8.0, 3.0}, {1, 2, 0}, 6);
+  const Discord discord = DiscordFromProfile(mp);
+  EXPECT_TRUE(discord.valid());
+  EXPECT_EQ(discord.offset, 1);
+  EXPECT_DOUBLE_EQ(discord.distance, 8.0);
+}
+
+TEST(DiscordFromProfileTest, IgnoresInfiniteAndUnsetEntries) {
+  const MatrixProfile mp =
+      MakeProfile({kInf, 1.0, 5.0}, {kNoNeighbor, 2, 1}, 6);
+  const Discord discord = DiscordFromProfile(mp);
+  EXPECT_EQ(discord.offset, 2);
+}
+
+TEST(ExclusionZoneTest, HalfLengthHeuristic) {
+  EXPECT_EQ(ExclusionZone(100), 50);
+  EXPECT_EQ(ExclusionZone(3), 1);
+  EXPECT_EQ(ExclusionZone(2), 1);
+}
+
+TEST(TrivialMatchTest, SelfAndNearbyAreTrivial) {
+  EXPECT_TRUE(IsTrivialMatch(10, 10, 20));
+  EXPECT_TRUE(IsTrivialMatch(10, 15, 20));
+  EXPECT_FALSE(IsTrivialMatch(10, 20, 20));
+  EXPECT_FALSE(IsTrivialMatch(20, 10, 20));
+}
+
+}  // namespace
+}  // namespace valmod

@@ -1,0 +1,77 @@
+#include "mp/parallel_stomp.h"
+
+#include <gtest/gtest.h>
+
+#include "mp/stomp.h"
+#include "test_util.h"
+
+namespace valmod {
+namespace {
+
+void ExpectEqualProfiles(const MatrixProfile& a, const MatrixProfile& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (Index i = 0; i < a.size(); ++i) {
+    const std::size_t k = static_cast<std::size_t>(i);
+    if (b.distances[k] == kInf) {
+      EXPECT_EQ(a.distances[k], kInf) << "i=" << i;
+    } else {
+      EXPECT_NEAR(a.distances[k], b.distances[k],
+                  1e-6 * (1.0 + b.distances[k]))
+          << "i=" << i;
+    }
+  }
+}
+
+// Property: parallel result is identical to the serial kernel for any
+// thread count, including counts that do not divide the row count.
+class ParallelStompTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelStompTest, MatchesSerialStomp) {
+  const int threads = GetParam();
+  const Series s = testing_util::WalkWithPlantedMotif(700, 40, 100, 500, 71);
+  const PrefixStats stats(s);
+  const MatrixProfile parallel = ParallelStomp(s, stats, 40, threads);
+  const MatrixProfile serial = Stomp(s, stats, 40);
+  ExpectEqualProfiles(parallel, serial);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelStompTest,
+                         ::testing::Values(1, 2, 3, 7, 16));
+
+TEST(ParallelStompTest, DefaultThreadCountWorks) {
+  const Series s = testing_util::WhiteNoise(500, 72);
+  const PrefixStats stats(s);
+  ExpectEqualProfiles(ParallelStomp(s, stats, 32, 0), Stomp(s, stats, 32));
+}
+
+TEST(ParallelStompTest, TinyInputFallsBackToOneChunk) {
+  // n_sub < 64 per thread forces the thread count down to 1 internally.
+  const Series s = testing_util::WhiteNoise(80, 73);
+  const PrefixStats stats(s);
+  ExpectEqualProfiles(ParallelStomp(s, stats, 8, 8), Stomp(s, stats, 8));
+}
+
+TEST(ParallelStompTest, ConvenienceOverloadCentersInput) {
+  Series s = testing_util::WhiteNoise(300, 74);
+  Series shifted = s;
+  for (auto& v : shifted) v += 1e9;
+  ExpectEqualProfiles(ParallelStomp(shifted, 20, 4), ParallelStomp(s, 20, 4));
+}
+
+TEST(ParallelStompTest, MotifMatchesAcrossThreadCounts) {
+  const Series s = testing_util::NoiseWithPlantedMotif(600, 36, 90, 420, 75);
+  MotifPair reference;
+  for (const int threads : {1, 2, 5}) {
+    const MotifPair motif =
+        MotifFromProfile(ParallelStomp(s, 36, threads));
+    if (threads == 1) {
+      reference = motif;
+    } else {
+      EXPECT_EQ(motif.a, reference.a);
+      EXPECT_EQ(motif.b, reference.b);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace valmod

@@ -1,0 +1,138 @@
+#include "mp/scrimp.h"
+
+#include <gtest/gtest.h>
+
+#include "mp/brute_force.h"
+#include "mp/stamp.h"
+#include "mp/stomp.h"
+#include "test_util.h"
+
+namespace valmod {
+namespace {
+
+// Property: full SCRIMP equals the brute-force matrix profile across
+// datasets, lengths, and traversal orders.
+struct ScrimpCase {
+  int len;
+  bool randomize;
+  int seed;
+};
+
+class ScrimpPropertyTest : public ::testing::TestWithParam<ScrimpCase> {};
+
+TEST_P(ScrimpPropertyTest, MatchesBruteForce) {
+  const ScrimpCase c = GetParam();
+  const Series s = testing_util::WalkWithPlantedMotif(
+      350, c.len, 50, 250, static_cast<std::uint64_t>(c.seed));
+  const PrefixStats stats(s);
+  ScrimpOptions options;
+  options.randomize_order = c.randomize;
+  const MatrixProfile fast = Scrimp(s, stats, c.len, options);
+  const MatrixProfile truth = BruteForceMatrixProfile(s, c.len);
+  ASSERT_EQ(fast.size(), truth.size());
+  for (Index i = 0; i < fast.size(); ++i) {
+    const std::size_t k = static_cast<std::size_t>(i);
+    if (truth.distances[k] == kInf) {
+      EXPECT_EQ(fast.distances[k], kInf) << "i=" << i;
+    } else {
+      EXPECT_NEAR(fast.distances[k], truth.distances[k],
+                  1e-6 * (1.0 + truth.distances[k]))
+          << "i=" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ScrimpPropertyTest,
+    ::testing::Values(ScrimpCase{8, true, 1}, ScrimpCase{24, true, 2},
+                      ScrimpCase{24, false, 3}, ScrimpCase{64, true, 4},
+                      ScrimpCase{33, false, 5}));
+
+TEST(ScrimpTest, AgreesWithStompAndStamp) {
+  const Series s = testing_util::WhiteNoise(400, 6);
+  const PrefixStats stats(s);
+  const MatrixProfile scrimp = Scrimp(s, stats, 30);
+  const MatrixProfile stomp = Stomp(s, stats, 30);
+  const MatrixProfile stamp = Stamp(s, stats, 30);
+  for (Index i = 0; i < scrimp.size(); ++i) {
+    const std::size_t k = static_cast<std::size_t>(i);
+    EXPECT_NEAR(scrimp.distances[k], stomp.distances[k], 1e-6);
+    EXPECT_NEAR(scrimp.distances[k], stamp.distances[k], 1e-6);
+  }
+}
+
+TEST(ScrimpTest, PartialRunOverestimatesFinalProfile) {
+  const Series s = testing_util::WalkWithPlantedMotif(400, 30, 60, 280, 7);
+  const PrefixStats stats(s);
+  ScrimpOptions options;
+  options.max_diagonals = 40;
+  const MatrixProfile partial = Scrimp(s, stats, 30, options);
+  const MatrixProfile full = Scrimp(s, stats, 30);
+  for (Index i = 0; i < partial.size(); ++i) {
+    const std::size_t k = static_cast<std::size_t>(i);
+    EXPECT_GE(partial.distances[k] + 1e-9, full.distances[k]);
+  }
+}
+
+TEST(ScrimpTest, AnytimeConvergesFasterThanRowOrderStamp) {
+  // The SCRIMP claim: after an equal slice of work, random-diagonal order
+  // approximates the profile better than STAMP's sequential row order,
+  // because each diagonal touches every offset once.
+  const Series s = testing_util::WalkWithPlantedMotif(500, 40, 80, 360, 8);
+  const PrefixStats stats(s);
+
+  ScrimpOptions scrimp_options;
+  scrimp_options.max_diagonals = 40;  // ~9% of diagonals.
+  const MatrixProfile scrimp_partial = Scrimp(s, stats, 40, scrimp_options);
+
+  StampOptions stamp_options;
+  stamp_options.randomize_order = false;  // Sequential rows.
+  stamp_options.max_rows = 40;            // Same number of O(n) passes.
+  const MatrixProfile stamp_partial = Stamp(s, stats, 40, stamp_options);
+
+  const MatrixProfile full = Stomp(s, stats, 40);
+  auto mean_excess = [&full](const MatrixProfile& approx) {
+    double acc = 0.0;
+    Index count = 0;
+    for (Index i = 0; i < full.size(); ++i) {
+      const std::size_t k = static_cast<std::size_t>(i);
+      if (approx.distances[k] == kInf) {
+        acc += 10.0;  // Untouched offsets penalized uniformly.
+      } else {
+        acc += approx.distances[k] - full.distances[k];
+      }
+      ++count;
+    }
+    return acc / static_cast<double>(count);
+  };
+  EXPECT_LT(mean_excess(scrimp_partial), mean_excess(stamp_partial));
+}
+
+TEST(ScrimpTest, SnapshotsAreInvoked) {
+  const Series s = testing_util::WhiteNoise(250, 9);
+  const PrefixStats stats(s);
+  ScrimpOptions options;
+  options.snapshot_every = 50;
+  Index snapshots = 0;
+  options.snapshot = [&snapshots](Index done, const MatrixProfile&) {
+    EXPECT_EQ(done % 50, 0);
+    ++snapshots;
+  };
+  Scrimp(s, stats, 20, options);
+  EXPECT_GT(snapshots, 0);
+}
+
+TEST(ScrimpTest, ConvenienceOverloadCentersInput) {
+  Series s = testing_util::WhiteNoise(200, 10);
+  Series shifted = s;
+  for (auto& v : shifted) v += 1e9;
+  const MatrixProfile a = Scrimp(s, 16);
+  const MatrixProfile b = Scrimp(shifted, 16);
+  for (Index i = 0; i < a.size(); ++i) {
+    const std::size_t k = static_cast<std::size_t>(i);
+    EXPECT_NEAR(a.distances[k], b.distances[k], 1e-3);
+  }
+}
+
+}  // namespace
+}  // namespace valmod

@@ -1,0 +1,85 @@
+#include "mp/stamp.h"
+
+#include <gtest/gtest.h>
+
+#include "mp/brute_force.h"
+#include "mp/stomp.h"
+#include "test_util.h"
+
+namespace valmod {
+namespace {
+
+TEST(StampTest, FullRunMatchesStomp) {
+  const Series s = testing_util::WalkWithPlantedMotif(400, 30, 60, 280, 41);
+  const PrefixStats stats(s);
+  const MatrixProfile stamp = Stamp(s, stats, 30);
+  const MatrixProfile stomp = Stomp(s, stats, 30);
+  ASSERT_EQ(stamp.size(), stomp.size());
+  for (Index i = 0; i < stamp.size(); ++i) {
+    const std::size_t k = static_cast<std::size_t>(i);
+    if (stomp.distances[k] == kInf) {
+      EXPECT_EQ(stamp.distances[k], kInf);
+    } else {
+      EXPECT_NEAR(stamp.distances[k], stomp.distances[k],
+                  1e-6 * (1.0 + stomp.distances[k]));
+    }
+  }
+}
+
+TEST(StampTest, SequentialOrderAlsoExact) {
+  const Series s = testing_util::WhiteNoise(250, 42);
+  const PrefixStats stats(s);
+  StampOptions options;
+  options.randomize_order = false;
+  const MatrixProfile stamp = Stamp(s, stats, 20, options);
+  const MatrixProfile truth = BruteForceMatrixProfile(s, 20);
+  for (Index i = 0; i < stamp.size(); ++i) {
+    const std::size_t k = static_cast<std::size_t>(i);
+    if (truth.distances[k] == kInf) continue;
+    EXPECT_NEAR(stamp.distances[k], truth.distances[k], 1e-6);
+  }
+}
+
+TEST(StampTest, AnytimePrefixOverestimatesFinalProfile) {
+  // After a random prefix of rows, every entry is an upper bound of the
+  // final profile value (the anytime invariant).
+  const Series s = testing_util::WalkWithPlantedMotif(400, 30, 60, 280, 43);
+  const PrefixStats stats(s);
+  StampOptions options;
+  options.max_rows = 60;
+  const MatrixProfile partial = Stamp(s, stats, 30, options);
+  const MatrixProfile full = Stamp(s, stats, 30);
+  for (Index i = 0; i < partial.size(); ++i) {
+    const std::size_t k = static_cast<std::size_t>(i);
+    EXPECT_GE(partial.distances[k] + 1e-9, full.distances[k]);
+  }
+}
+
+TEST(StampTest, AnytimeConvergesOnEasyData) {
+  // On a series with a strong planted motif, a modest random prefix should
+  // already locate the motif pair (the paper's O(nc) convergence claim).
+  const Series s = testing_util::NoiseWithPlantedMotif(600, 40, 100, 450, 44);
+  const PrefixStats stats(s);
+  StampOptions options;
+  options.max_rows = 150;
+  const MotifPair approx = MotifFromProfile(Stamp(s, stats, 40, options));
+  const MotifPair exact = MotifFromProfile(Stamp(s, stats, 40));
+  EXPECT_NEAR(approx.distance, exact.distance, 1e-6);
+}
+
+TEST(StampTest, SnapshotsAreInvoked) {
+  const Series s = testing_util::WhiteNoise(200, 45);
+  const PrefixStats stats(s);
+  StampOptions options;
+  options.snapshot_every = 50;
+  Index snapshots = 0;
+  options.snapshot = [&snapshots](Index rows_done, const MatrixProfile&) {
+    EXPECT_EQ(rows_done % 50, 0);
+    ++snapshots;
+  };
+  Stamp(s, stats, 20, options);
+  EXPECT_EQ(snapshots, NumSubsequences(200, 20) / 50);
+}
+
+}  // namespace
+}  // namespace valmod

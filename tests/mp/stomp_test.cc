@@ -1,0 +1,109 @@
+#include "mp/stomp.h"
+
+#include <gtest/gtest.h>
+
+#include "mp/brute_force.h"
+#include "test_util.h"
+
+namespace valmod {
+namespace {
+
+void ExpectProfilesEqual(const MatrixProfile& fast, const MatrixProfile& slow,
+                         double tol = 1e-6) {
+  ASSERT_EQ(fast.size(), slow.size());
+  for (Index i = 0; i < fast.size(); ++i) {
+    const std::size_t s = static_cast<std::size_t>(i);
+    if (slow.distances[s] == kInf) {
+      EXPECT_EQ(fast.distances[s], kInf) << "i=" << i;
+    } else {
+      EXPECT_NEAR(fast.distances[s], slow.distances[s],
+                  tol * (1.0 + slow.distances[s]))
+          << "i=" << i;
+    }
+  }
+}
+
+// Property: STOMP equals the brute-force matrix profile across datasets and
+// subsequence lengths.
+struct StompCase {
+  const char* name;
+  int len;
+  int seed;
+};
+
+class StompPropertyTest : public ::testing::TestWithParam<StompCase> {};
+
+TEST_P(StompPropertyTest, MatchesBruteForce) {
+  const StompCase c = GetParam();
+  const Series s = testing_util::WalkWithPlantedMotif(
+      400, c.len, 50, 280, static_cast<std::uint64_t>(c.seed));
+  const MatrixProfile fast = Stomp(s, c.len);
+  const MatrixProfile slow = BruteForceMatrixProfile(s, c.len);
+  ExpectProfilesEqual(fast, slow);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, StompPropertyTest,
+    ::testing::Values(StompCase{"short", 8, 1}, StompCase{"mid", 24, 2},
+                      StompCase{"long", 64, 3}, StompCase{"odd", 33, 4},
+                      StompCase{"big", 120, 5}));
+
+TEST(StompTest, MotifPairMatchesBruteForce) {
+  const Series s = testing_util::WalkWithPlantedMotif(500, 40, 70, 390, 77);
+  const MotifPair fast = MotifFromProfile(Stomp(s, 40));
+  const MotifPair slow = BruteForceMotif(s, 40);
+  EXPECT_EQ(fast.a, slow.a);
+  EXPECT_EQ(fast.b, slow.b);
+  EXPECT_NEAR(fast.distance, slow.distance, 1e-7);
+}
+
+TEST(StompTest, FindsPlantedMotifLocations) {
+  const Series s = testing_util::NoiseWithPlantedMotif(500, 40, 70, 390, 78);
+  const MotifPair motif = MotifFromProfile(Stomp(s, 40));
+  EXPECT_NEAR(static_cast<double>(motif.a), 70.0, 3.0);
+  EXPECT_NEAR(static_cast<double>(motif.b), 390.0, 3.0);
+}
+
+TEST(StompTest, WhiteNoiseStillExact) {
+  const Series s = testing_util::WhiteNoise(300, 9);
+  ExpectProfilesEqual(Stomp(s, 16), BruteForceMatrixProfile(s, 16));
+}
+
+TEST(StompTest, ObserverSeesEveryRow) {
+  const Series s = testing_util::WhiteNoise(200, 10);
+  const PrefixStats stats(s);
+  Index rows = 0;
+  const StompRowObserver observer =
+      [&rows](Index row, std::span<const double> qt,
+              std::span<const double> profile) {
+        EXPECT_EQ(qt.size(), profile.size());
+        EXPECT_EQ(row, rows);
+        ++rows;
+      };
+  Stomp(s, stats, 25, observer);
+  EXPECT_EQ(rows, NumSubsequences(200, 25));
+}
+
+TEST(StompTest, DeadlineAbortsAndFlagsDnf) {
+  const Series s = testing_util::WhiteNoise(2000, 11);
+  const PrefixStats stats(s);
+  bool dnf = false;
+  Stomp(s, stats, 64, nullptr, Deadline::After(0.0), &dnf);
+  EXPECT_TRUE(dnf);
+}
+
+TEST(StompTest, ProfileIsSymmetricallyConsistent) {
+  // Every profile entry must point at a neighbour whose own entry is at
+  // most the same distance (nearest-neighbour consistency).
+  const Series s = testing_util::WhiteNoise(300, 12);
+  const MatrixProfile mp = Stomp(s, 20);
+  for (Index i = 0; i < mp.size(); ++i) {
+    const Index j = mp.indices[static_cast<std::size_t>(i)];
+    if (j == kNoNeighbor) continue;
+    EXPECT_LE(mp.distances[static_cast<std::size_t>(j)],
+              mp.distances[static_cast<std::size_t>(i)] + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace valmod

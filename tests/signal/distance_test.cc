@@ -1,0 +1,105 @@
+#include "signal/distance.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "signal/znorm.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace valmod {
+namespace {
+
+TEST(CorrelationTest, PerfectlyCorrelatedWindows) {
+  // b = 2a + 1: correlation 1 after normalization.
+  const Series s = {1.0, 2.0, 3.0, 4.0, /*b:*/ 3.0, 5.0, 7.0, 9.0};
+  const PrefixStats stats(s);
+  const double qt = SubsequenceDotProduct(s, 0, 4, 4);
+  const double corr =
+      CorrelationFromDotProduct(qt, 4, stats.Stats(0, 4), stats.Stats(4, 4));
+  EXPECT_NEAR(corr, 1.0, 1e-12);
+}
+
+TEST(CorrelationTest, AntiCorrelatedWindows) {
+  const Series s = {1.0, 2.0, 3.0, 4.0, /*b:*/ 4.0, 3.0, 2.0, 1.0};
+  const PrefixStats stats(s);
+  const double qt = SubsequenceDotProduct(s, 0, 4, 4);
+  const double corr =
+      CorrelationFromDotProduct(qt, 4, stats.Stats(0, 4), stats.Stats(4, 4));
+  EXPECT_NEAR(corr, -1.0, 1e-12);
+}
+
+TEST(CorrelationTest, ClampedIntoValidRange) {
+  // Degenerate numerics must never escape [-1, 1].
+  Rng rng(7);
+  Series s(256);
+  for (auto& v : s) v = 1e6 + 1e-4 * rng.Gaussian();
+  const PrefixStats stats(s);
+  for (Index i = 0; i + 16 <= 240; i += 16) {
+    const double qt = SubsequenceDotProduct(s, 0, i, 16);
+    const double corr = CorrelationFromDotProduct(qt, 16, stats.Stats(0, 16),
+                                                  stats.Stats(i, 16));
+    EXPECT_GE(corr, -1.0);
+    EXPECT_LE(corr, 1.0);
+  }
+}
+
+TEST(DistanceCorrelationTest, RoundTrip) {
+  for (double corr : {-1.0, -0.5, 0.0, 0.3, 0.99, 1.0}) {
+    const double d = DistanceFromCorrelation(corr, 64);
+    EXPECT_NEAR(CorrelationFromDistance(d, 64), corr, 1e-12);
+  }
+}
+
+TEST(DistanceTest, PerfectCorrelationGivesZeroDistance) {
+  EXPECT_DOUBLE_EQ(DistanceFromCorrelation(1.0, 128), 0.0);
+}
+
+TEST(DistanceTest, AntiCorrelationGivesMaximalDistance) {
+  EXPECT_DOUBLE_EQ(DistanceFromCorrelation(-1.0, 128),
+                   std::sqrt(4.0 * 128.0));
+}
+
+// Property: the O(1) Eq. 3 distance equals the direct z-normalize-and-
+// subtract distance on random pairs, for multiple subsequence lengths.
+class Eq3PropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(Eq3PropertyTest, MatchesDirectZNormDistance) {
+  const Index len = GetParam();
+  const Series s = testing_util::WalkWithPlantedMotif(800, 40, 100, 600, 11);
+  const PrefixStats stats(s);
+  Rng rng(99);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Index i = rng.UniformIndex(0, 800 - len);
+    const Index j = rng.UniformIndex(0, 800 - len);
+    const double fast = SubsequenceDistance(s, stats, i, j, len);
+    const std::vector<double> za = ZNormalizeSubsequence(s, i, len);
+    const std::vector<double> zb = ZNormalizeSubsequence(s, j, len);
+    const double slow = EuclideanDistance(za, zb);
+    EXPECT_NEAR(fast, slow, 1e-6 * (1.0 + slow)) << "i=" << i << " j=" << j;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, Eq3PropertyTest,
+                         ::testing::Values(8, 16, 50, 128, 333));
+
+TEST(DistanceTest, FlatVsFlatWindowsAreIdentical) {
+  Series s(64, 5.0);
+  const PrefixStats stats(s);
+  EXPECT_DOUBLE_EQ(SubsequenceDistance(s, stats, 0, 32, 16), 0.0);
+}
+
+TEST(DistanceTest, FlatVsStructuredWindowDistanceIsSqrtLen) {
+  Series s(64, 0.0);
+  for (Index i = 32; i < 64; ++i) {
+    s[static_cast<std::size_t>(i)] = std::sin(0.7 * static_cast<double>(i));
+  }
+  const PrefixStats stats(s);
+  // Flat window z-normalizes to zeros; distance to a unit-variance window
+  // of length l is sqrt(l).
+  EXPECT_NEAR(SubsequenceDistance(s, stats, 0, 40, 16), std::sqrt(16.0), 1e-9);
+}
+
+}  // namespace
+}  // namespace valmod

@@ -1,0 +1,111 @@
+#include "signal/fft.h"
+
+#include <cmath>
+#include <complex>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace valmod {
+namespace {
+
+TEST(FftTest, NextPowerOfTwo) {
+  EXPECT_EQ(NextPowerOfTwo(1), 1);
+  EXPECT_EQ(NextPowerOfTwo(2), 2);
+  EXPECT_EQ(NextPowerOfTwo(3), 4);
+  EXPECT_EQ(NextPowerOfTwo(1023), 1024);
+  EXPECT_EQ(NextPowerOfTwo(1024), 1024);
+  EXPECT_EQ(NextPowerOfTwo(1025), 2048);
+}
+
+TEST(FftTest, ForwardOfImpulseIsFlat) {
+  std::vector<std::complex<double>> data(8, {0.0, 0.0});
+  data[0] = {1.0, 0.0};
+  Fft(data, /*inverse=*/false);
+  for (const auto& x : data) {
+    EXPECT_NEAR(x.real(), 1.0, 1e-12);
+    EXPECT_NEAR(x.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(FftTest, ForwardOfConstantIsImpulse) {
+  std::vector<std::complex<double>> data(16, {1.0, 0.0});
+  Fft(data, /*inverse=*/false);
+  EXPECT_NEAR(data[0].real(), 16.0, 1e-12);
+  for (std::size_t k = 1; k < data.size(); ++k) {
+    EXPECT_NEAR(std::abs(data[k]), 0.0, 1e-12);
+  }
+}
+
+TEST(FftTest, RoundTripRecoversInput) {
+  Rng rng(5);
+  std::vector<std::complex<double>> data(256);
+  std::vector<std::complex<double>> original(256);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = {rng.Gaussian(), rng.Gaussian()};
+    original[i] = data[i];
+  }
+  Fft(data, false);
+  Fft(data, true);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i].real(), original[i].real(), 1e-10);
+    EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-10);
+  }
+}
+
+TEST(FftTest, ParsevalEnergyConservation) {
+  Rng rng(6);
+  const std::size_t n = 128;
+  std::vector<std::complex<double>> data(n);
+  double time_energy = 0.0;
+  for (auto& x : data) {
+    x = {rng.Gaussian(), 0.0};
+    time_energy += std::norm(x);
+  }
+  Fft(data, false);
+  double freq_energy = 0.0;
+  for (const auto& x : data) freq_energy += std::norm(x);
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy, 1e-8);
+}
+
+TEST(FftConvolveTest, SmallKnownConvolution) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {4.0, 5.0};
+  const std::vector<double> c = FftConvolve(a, b);
+  ASSERT_EQ(c.size(), 4u);
+  EXPECT_NEAR(c[0], 4.0, 1e-10);
+  EXPECT_NEAR(c[1], 13.0, 1e-10);
+  EXPECT_NEAR(c[2], 22.0, 1e-10);
+  EXPECT_NEAR(c[3], 15.0, 1e-10);
+}
+
+// Property: FFT convolution equals the direct O(n^2) convolution for random
+// inputs of awkward (non-power-of-two) sizes.
+class FftConvolvePropertyTest
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(FftConvolvePropertyTest, MatchesDirectConvolution) {
+  const auto [na, nb] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(na * 1000 + nb));
+  std::vector<double> a(static_cast<std::size_t>(na));
+  std::vector<double> b(static_cast<std::size_t>(nb));
+  for (auto& v : a) v = rng.Gaussian();
+  for (auto& v : b) v = rng.Gaussian();
+  const std::vector<double> fast = FftConvolve(a, b);
+  for (std::size_t k = 0; k < fast.size(); ++k) {
+    double direct = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (k >= i && k - i < b.size()) direct += a[i] * b[k - i];
+    }
+    EXPECT_NEAR(fast[k], direct, 1e-8) << "k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, FftConvolvePropertyTest,
+    ::testing::Values(std::pair{1, 1}, std::pair{7, 5}, std::pair{33, 100},
+                      std::pair{100, 33}, std::pair{255, 257}));
+
+}  // namespace
+}  // namespace valmod

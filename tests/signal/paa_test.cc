@@ -1,0 +1,89 @@
+#include "signal/paa.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "signal/znorm.h"
+#include "util/random.h"
+
+namespace valmod {
+namespace {
+
+TEST(PaaTest, DivisibleLengthSegmentMeans) {
+  const std::vector<double> values = {1.0, 3.0, 5.0, 7.0, 2.0, 4.0};
+  const std::vector<double> paa = Paa(values, 3);
+  ASSERT_EQ(paa.size(), 3u);
+  EXPECT_DOUBLE_EQ(paa[0], 2.0);
+  EXPECT_DOUBLE_EQ(paa[1], 6.0);
+  EXPECT_DOUBLE_EQ(paa[2], 3.0);
+}
+
+TEST(PaaTest, OneSegmentIsGlobalMean) {
+  const std::vector<double> values = {2.0, 4.0, 9.0};
+  const std::vector<double> paa = Paa(values, 1);
+  ASSERT_EQ(paa.size(), 1u);
+  EXPECT_DOUBLE_EQ(paa[0], 5.0);
+}
+
+TEST(PaaTest, SegmentsEqualLengthIsIdentity) {
+  const std::vector<double> values = {1.0, -2.0, 3.5};
+  const std::vector<double> paa = Paa(values, 3);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(paa[i], values[i]);
+}
+
+TEST(PaaTest, NonDivisibleLengthPreservesTotalMass) {
+  // Weighted PAA: sum of segment means * segment width == sum of values.
+  Rng rng(8);
+  std::vector<double> values(10);
+  for (auto& v : values) v = rng.Gaussian();
+  const std::vector<double> paa = Paa(values, 3);
+  double mass = 0.0;
+  for (double m : paa) mass += m * (10.0 / 3.0);
+  double expected = 0.0;
+  for (double v : values) expected += v;
+  EXPECT_NEAR(mass, expected, 1e-10);
+}
+
+TEST(PaaTest, ConstantInputGivesConstantSummary) {
+  const std::vector<double> values(17, 4.5);
+  for (const double m : Paa(values, 5)) EXPECT_NEAR(m, 4.5, 1e-12);
+}
+
+// Property: the PAA lower bound never exceeds the true Euclidean distance
+// (the pruning-correctness invariant QUICK MOTIF relies on).
+class PaaLowerBoundPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PaaLowerBoundPropertyTest, LowerBoundsTrueDistance) {
+  const int segments = GetParam();
+  Rng rng(static_cast<std::uint64_t>(segments) * 31);
+  const Index len = 96;  // Divisible and non-divisible by several params.
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<double> a(static_cast<std::size_t>(len));
+    std::vector<double> b(static_cast<std::size_t>(len));
+    for (auto& v : a) v = rng.Gaussian();
+    for (auto& v : b) v = rng.Gaussian();
+    const double truth = EuclideanDistance(a, b);
+    const double lb =
+        PaaLowerBound(Paa(a, segments), Paa(b, segments), len);
+    EXPECT_LE(lb, truth + 1e-9) << "segments=" << segments;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SegmentCounts, PaaLowerBoundPropertyTest,
+                         ::testing::Values(1, 2, 4, 8, 12, 96));
+
+TEST(PaaLowerBoundTest, TightWhenSegmentsEqualLength) {
+  Rng rng(12);
+  const Index len = 32;
+  std::vector<double> a(32);
+  std::vector<double> b(32);
+  for (auto& v : a) v = rng.Gaussian();
+  for (auto& v : b) v = rng.Gaussian();
+  const double truth = EuclideanDistance(a, b);
+  const double lb = PaaLowerBound(Paa(a, len), Paa(b, len), len);
+  EXPECT_NEAR(lb, truth, 1e-10);
+}
+
+}  // namespace
+}  // namespace valmod

@@ -1,0 +1,58 @@
+#include "signal/resample.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace valmod {
+namespace {
+
+TEST(ResampleTest, PreservesEndpoints) {
+  const std::vector<double> values = {3.0, 7.0, 1.0, 9.0};
+  for (Index target : {2, 3, 7, 100}) {
+    const std::vector<double> out = ResampleLinear(values, target);
+    ASSERT_EQ(static_cast<Index>(out.size()), target);
+    EXPECT_DOUBLE_EQ(out.front(), 3.0);
+    EXPECT_DOUBLE_EQ(out.back(), 9.0);
+  }
+}
+
+TEST(ResampleTest, IdentityWhenTargetEqualsInput) {
+  const std::vector<double> values = {1.0, 2.0, 4.0, 8.0};
+  const std::vector<double> out = ResampleLinear(values, 4);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_NEAR(out[i], values[i], 1e-12);
+  }
+}
+
+TEST(ResampleTest, UpsamplingLinearRampStaysLinear) {
+  std::vector<double> ramp(10);
+  for (std::size_t i = 0; i < 10; ++i) ramp[i] = static_cast<double>(i);
+  const std::vector<double> out = ResampleLinear(ramp, 19);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_NEAR(out[i], static_cast<double>(i) * 0.5, 1e-12);
+  }
+}
+
+TEST(ResampleTest, DownsamplingSineKeepsShape) {
+  std::vector<double> sine(1000);
+  for (std::size_t i = 0; i < sine.size(); ++i) {
+    sine[i] = std::sin(2.0 * M_PI * static_cast<double>(i) / 1000.0);
+  }
+  const std::vector<double> out = ResampleLinear(sine, 100);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const double expected =
+        std::sin(2.0 * M_PI * static_cast<double>(i) / 99.0 * (999.0 / 1000.0));
+    EXPECT_NEAR(out[i], expected, 0.01);
+  }
+}
+
+TEST(ResampleTest, ConstantInputStaysConstant) {
+  const std::vector<double> values(7, 2.5);
+  for (const double v : ResampleLinear(values, 23)) {
+    EXPECT_DOUBLE_EQ(v, 2.5);
+  }
+}
+
+}  // namespace
+}  // namespace valmod

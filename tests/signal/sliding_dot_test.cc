@@ -1,0 +1,67 @@
+#include "signal/sliding_dot.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "util/random.h"
+
+namespace valmod {
+namespace {
+
+TEST(SlidingDotTest, TinyKnownCase) {
+  const std::vector<double> series = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> query = {1.0, 1.0};
+  const std::vector<double> out = SlidingDotProductNaive(query, series);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[0], 3.0);
+  EXPECT_DOUBLE_EQ(out[1], 5.0);
+  EXPECT_DOUBLE_EQ(out[2], 7.0);
+}
+
+TEST(SlidingDotTest, QueryEqualsSeriesIsSelfDot) {
+  const std::vector<double> series = {1.0, -2.0, 0.5};
+  const std::vector<double> out = SlidingDotProductNaive(series, series);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0], 1.0 + 4.0 + 0.25);
+}
+
+// Property: the FFT path agrees with the naive path for query lengths on
+// both sides of the internal cutoff.
+class SlidingDotPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SlidingDotPropertyTest, FftMatchesNaive) {
+  const Index m = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m));
+  std::vector<double> series(1000);
+  for (auto& v : series) v = rng.Gaussian();
+  const std::vector<double> query(series.begin() + 100,
+                                  series.begin() + 100 + m);
+  const std::vector<double> fast = SlidingDotProduct(query, series);
+  const std::vector<double> slow = SlidingDotProductNaive(query, series);
+  ASSERT_EQ(fast.size(), slow.size());
+  for (std::size_t j = 0; j < fast.size(); ++j) {
+    EXPECT_NEAR(fast[j], slow[j], 1e-6) << "j=" << j;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(QueryLengths, SlidingDotPropertyTest,
+                         ::testing::Values(2, 8, 31, 32, 33, 64, 100, 500));
+
+TEST(SlidingDotTest, OutputSizeIsNMinusMPlusOne) {
+  const std::vector<double> series(100, 1.0);
+  const std::vector<double> query(40, 1.0);
+  EXPECT_EQ(SlidingDotProduct(query, series).size(), 61u);
+}
+
+TEST(SlidingDotTest, WorksOnStructuredSeries) {
+  const Series series = testing_util::WalkWithPlantedMotif(600, 30, 50, 400, 9);
+  const std::vector<double> query(series.begin() + 50, series.begin() + 110);
+  const std::vector<double> fast = SlidingDotProduct(query, series);
+  const std::vector<double> slow = SlidingDotProductNaive(query, series);
+  for (std::size_t j = 0; j < fast.size(); ++j) {
+    EXPECT_NEAR(fast[j], slow[j], 1e-5 * (1.0 + std::abs(slow[j])));
+  }
+}
+
+}  // namespace
+}  // namespace valmod

@@ -1,0 +1,149 @@
+#include "signal/transforms.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/prefix_stats.h"
+#include "util/random.h"
+
+namespace valmod {
+namespace {
+
+TEST(MovingAverageTest, WindowOneIsIdentity) {
+  const Series s = {1.0, -2.0, 3.0};
+  EXPECT_EQ(MovingAverage(s, 1), s);
+}
+
+TEST(MovingAverageTest, InteriorValuesAreWindowMeans) {
+  const Series s = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const Series out = MovingAverage(s, 3);
+  EXPECT_DOUBLE_EQ(out[1], 2.0);
+  EXPECT_DOUBLE_EQ(out[2], 3.0);
+  EXPECT_DOUBLE_EQ(out[3], 4.0);
+}
+
+TEST(MovingAverageTest, EdgesUseTruncatedWindows) {
+  const Series s = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const Series out = MovingAverage(s, 3);
+  EXPECT_DOUBLE_EQ(out[0], 1.5);  // Mean of {1, 2}.
+  EXPECT_DOUBLE_EQ(out[4], 4.5);  // Mean of {4, 5}.
+}
+
+TEST(MovingAverageTest, SlidingSumMatchesNaiveOnRandomData) {
+  Rng rng(1);
+  Series s(200);
+  for (auto& v : s) v = rng.Gaussian();
+  for (const Index window : {2, 5, 16, 200, 500}) {
+    const Series fast = MovingAverage(s, window);
+    for (Index i = 0; i < 200; ++i) {
+      const Index lo = std::max<Index>(0, i - (window - 1) / 2);
+      const Index hi = std::min<Index>(199, i + window / 2);
+      double acc = 0.0;
+      for (Index k = lo; k <= hi; ++k) acc += s[static_cast<std::size_t>(k)];
+      EXPECT_NEAR(fast[static_cast<std::size_t>(i)],
+                  acc / static_cast<double>(hi - lo + 1), 1e-9)
+          << "window=" << window << " i=" << i;
+    }
+  }
+}
+
+TEST(MovingAverageTest, SmoothsNoise) {
+  Rng rng(2);
+  Series s(5000);
+  for (auto& v : s) v = rng.Gaussian();
+  const Series smooth = MovingAverage(s, 21);
+  const MeanStd raw = ExactMeanStd(s, 0, 5000);
+  const MeanStd sm = ExactMeanStd(smooth, 0, 5000);
+  EXPECT_LT(sm.std, 0.4 * raw.std);
+}
+
+TEST(DetrendLinearTest, RemovesExactLine) {
+  Series s(50);
+  for (Index i = 0; i < 50; ++i) {
+    s[static_cast<std::size_t>(i)] = 3.0 + 0.5 * static_cast<double>(i);
+  }
+  for (const double v : DetrendLinear(s)) EXPECT_NEAR(v, 0.0, 1e-9);
+}
+
+TEST(DetrendLinearTest, ConstantSeriesDetrendsToZero) {
+  const Series s(10, 7.0);
+  for (const double v : DetrendLinear(s)) EXPECT_NEAR(v, 0.0, 1e-12);
+}
+
+TEST(DetrendLinearTest, PreservesResidualStructure) {
+  // Sine + line: detrending keeps the sine (up to small leakage).
+  Series s(400);
+  for (Index i = 0; i < 400; ++i) {
+    const double t = static_cast<double>(i);
+    s[static_cast<std::size_t>(i)] = 2.0 * t + 5.0 * std::sin(0.3 * t);
+  }
+  const Series out = DetrendLinear(s);
+  const MeanStd ms = ExactMeanStd(out, 0, 400);
+  EXPECT_NEAR(ms.std, 5.0 / std::sqrt(2.0), 0.4);
+}
+
+TEST(DetrendLinearTest, SingleSampleReturnsZero) {
+  const Series s = {42.0};
+  const Series out = DetrendLinear(s);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+}
+
+TEST(DownsampleTest, FactorOneIsIdentity) {
+  const Series s = {1.0, 2.0, 3.0};
+  EXPECT_EQ(Downsample(s, 1), s);
+}
+
+TEST(DownsampleTest, KeepsEveryKthSample) {
+  const Series s = {0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+  const Series out = Downsample(s, 3);
+  const Series expected = {0.0, 3.0, 6.0};
+  EXPECT_EQ(out, expected);
+}
+
+TEST(AddGaussianNoiseTest, ZeroSigmaIsIdentity) {
+  const Series s = {1.0, 2.0, 3.0};
+  EXPECT_EQ(AddGaussianNoise(s, 0.0, 9), s);
+}
+
+TEST(AddGaussianNoiseTest, NoiseHasRequestedScale) {
+  const Series s(50000, 0.0);
+  const Series noisy = AddGaussianNoise(s, 2.5, 10);
+  const MeanStd ms = ExactMeanStd(noisy, 0, 50000);
+  EXPECT_NEAR(ms.std, 2.5, 0.05);
+  EXPECT_NEAR(ms.mean, 0.0, 0.05);
+}
+
+TEST(AddGaussianNoiseTest, Deterministic) {
+  const Series s(100, 1.0);
+  EXPECT_EQ(AddGaussianNoise(s, 1.0, 11), AddGaussianNoise(s, 1.0, 11));
+  EXPECT_NE(AddGaussianNoise(s, 1.0, 11), AddGaussianNoise(s, 1.0, 12));
+}
+
+TEST(DifferenceTest, FirstDifferences) {
+  const Series s = {1.0, 4.0, 2.0, 2.0};
+  const Series out = Difference(s);
+  const Series expected = {3.0, -2.0, 0.0};
+  EXPECT_EQ(out, expected);
+}
+
+TEST(DifferenceTest, WalkDifferencesAreIncrements) {
+  Rng rng(13);
+  Series walk(100);
+  double level = 0.0;
+  Series increments;
+  for (auto& v : walk) {
+    const double step = rng.Gaussian();
+    increments.push_back(step);
+    level += step;
+    v = level;
+  }
+  const Series out = Difference(walk);
+  for (std::size_t i = 0; i + 1 < walk.size(); ++i) {
+    EXPECT_NEAR(out[i], increments[i + 1], 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace valmod

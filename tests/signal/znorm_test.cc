@@ -1,0 +1,120 @@
+#include "signal/znorm.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/prefix_stats.h"
+#include "util/random.h"
+
+namespace valmod {
+namespace {
+
+TEST(ZNormalizeTest, OutputHasZeroMeanUnitStd) {
+  Rng rng(3);
+  std::vector<double> values(100);
+  for (auto& v : values) v = rng.Uniform(-5.0, 20.0);
+  const std::vector<double> z = ZNormalize(values);
+  const MeanStd ms = ExactMeanStd(z, 0, 100);
+  EXPECT_NEAR(ms.mean, 0.0, 1e-12);
+  EXPECT_NEAR(ms.std, 1.0, 1e-12);
+}
+
+TEST(ZNormalizeTest, ConstantInputMapsToZeros) {
+  const std::vector<double> values(10, 42.0);
+  const std::vector<double> z = ZNormalize(values);
+  for (double v : z) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(ZNormalizeTest, InvariantToAffineTransform) {
+  Rng rng(4);
+  std::vector<double> values(64);
+  for (auto& v : values) v = rng.Gaussian();
+  std::vector<double> shifted(64);
+  for (std::size_t i = 0; i < 64; ++i) shifted[i] = 3.0 * values[i] + 17.0;
+  const std::vector<double> za = ZNormalize(values);
+  const std::vector<double> zb = ZNormalize(shifted);
+  for (std::size_t i = 0; i < 64; ++i) EXPECT_NEAR(za[i], zb[i], 1e-10);
+}
+
+TEST(ZNormalizeSubsequenceTest, MatchesManualSlice) {
+  Rng rng(5);
+  std::vector<double> series(50);
+  for (auto& v : series) v = rng.Gaussian();
+  const std::vector<double> direct = ZNormalizeSubsequence(series, 10, 20);
+  const std::vector<double> slice(series.begin() + 10, series.begin() + 30);
+  const std::vector<double> expected = ZNormalize(slice);
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_DOUBLE_EQ(direct[i], expected[i]);
+  }
+}
+
+TEST(EuclideanDistanceTest, KnownValues) {
+  const std::vector<double> a = {0.0, 0.0};
+  const std::vector<double> b = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, b), 5.0);
+}
+
+TEST(EuclideanDistanceTest, IdenticalVectorsHaveZeroDistance) {
+  const std::vector<double> a = {1.5, -2.0, 0.25};
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, a), 0.0);
+}
+
+TEST(ZNormalizedDistanceDirectTest, ScaleAndOffsetInvariant) {
+  Rng rng(6);
+  std::vector<double> a(40);
+  for (auto& v : a) v = rng.Gaussian();
+  std::vector<double> b(40);
+  for (std::size_t i = 0; i < 40; ++i) b[i] = -2.0 * a[i] + 100.0;
+  // Negative scaling flips the sign of z-values: distance is maximal; use
+  // positive scaling for the invariance check.
+  std::vector<double> c(40);
+  for (std::size_t i = 0; i < 40; ++i) c[i] = 5.0 * a[i] - 3.0;
+  EXPECT_NEAR(ZNormalizedDistanceDirect(a, c), 0.0, 1e-10);
+  EXPECT_GT(ZNormalizedDistanceDirect(a, b), 1.0);
+}
+
+TEST(LengthNormalizeTest, Formula) {
+  EXPECT_DOUBLE_EQ(LengthNormalize(10.0, 4), 5.0);
+  EXPECT_DOUBLE_EQ(LengthNormalize(0.0, 100), 0.0);
+}
+
+TEST(CenterSeriesTest, ResultHasZeroMean) {
+  Rng rng(8);
+  Series s(1000);
+  for (auto& v : s) v = rng.Uniform(50.0, 150.0);
+  const Series centered = CenterSeries(s);
+  const MeanStd ms = ExactMeanStd(centered, 0, 1000);
+  EXPECT_NEAR(ms.mean, 0.0, 1e-9);
+}
+
+TEST(CenterSeriesTest, PreservesShape) {
+  const Series s = {1.0, 5.0, 3.0};
+  const Series centered = CenterSeries(s);
+  EXPECT_DOUBLE_EQ(centered[1] - centered[0], 4.0);
+  EXPECT_DOUBLE_EQ(centered[2] - centered[1], -2.0);
+}
+
+TEST(CenterSeriesTest, ZNormDistancesInvariantToCentering) {
+  Rng rng(9);
+  Series s(200);
+  for (auto& v : s) v = 1000.0 + rng.Gaussian();
+  const Series centered = CenterSeries(s);
+  const auto a_raw = std::span<const double>(s).subspan(10, 32);
+  const auto b_raw = std::span<const double>(s).subspan(120, 32);
+  const auto a_c = std::span<const double>(centered).subspan(10, 32);
+  const auto b_c = std::span<const double>(centered).subspan(120, 32);
+  EXPECT_NEAR(ZNormalizedDistanceDirect(a_raw, b_raw),
+              ZNormalizedDistanceDirect(a_c, b_c), 1e-9);
+}
+
+TEST(LengthNormalizeTest, EqualZDistancesRankLongerFirst) {
+  // Two pairs at the same straight distance: the longer pair must get the
+  // smaller normalized distance (the sqrt(1/l) correction favours longer
+  // matches; Section 3).
+  const double d = 7.0;
+  EXPECT_LT(LengthNormalize(d, 200), LengthNormalize(d, 100));
+}
+
+}  // namespace
+}  // namespace valmod

@@ -1,0 +1,68 @@
+#ifndef VALMOD_TESTS_TEST_UTIL_H_
+#define VALMOD_TESTS_TEST_UTIL_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "datasets/generators.h"
+#include "util/common.h"
+#include "util/random.h"
+
+namespace valmod {
+namespace testing_util {
+
+/// A small series with planted structure: random walk with two injected
+/// sine-burst motifs, so motif searches have a crisp, known answer region.
+inline Series WalkWithPlantedMotif(Index n, Index motif_len, Index at_a,
+                                   Index at_b, std::uint64_t seed) {
+  Series series = GenerateRandomWalk(n, seed, 0.5);
+  Series pattern(static_cast<std::size_t>(motif_len));
+  for (Index i = 0; i < motif_len; ++i) {
+    pattern[static_cast<std::size_t>(i)] =
+        4.0 * std::sin(6.283185307179586 * static_cast<double>(i) /
+                       (static_cast<double>(motif_len) / 3.0));
+  }
+  InjectPattern(series, pattern, at_a);
+  InjectPattern(series, pattern, at_b);
+  return series;
+}
+
+/// White noise with two planted sine bursts. Unlike the random-walk
+/// variant, the background has no smooth segments that z-normalize into
+/// near-duplicates, so the planted pair is unambiguously the motif and
+/// location assertions are deterministic.
+inline Series NoiseWithPlantedMotif(Index n, Index motif_len, Index at_a,
+                                    Index at_b, std::uint64_t seed) {
+  Rng rng(seed);
+  Series series(static_cast<std::size_t>(n));
+  for (auto& v : series) v = rng.Gaussian();
+  Series pattern(static_cast<std::size_t>(motif_len));
+  for (Index i = 0; i < motif_len; ++i) {
+    pattern[static_cast<std::size_t>(i)] =
+        5.0 * std::sin(6.283185307179586 * static_cast<double>(i) /
+                       (static_cast<double>(motif_len) / 3.0));
+  }
+  // Overwrite (rather than add) so the two occurrences differ only by a
+  // little residual noise.
+  for (Index i = 0; i < motif_len; ++i) {
+    series[static_cast<std::size_t>(at_a + i)] =
+        pattern[static_cast<std::size_t>(i)] + 0.05 * rng.Gaussian();
+    series[static_cast<std::size_t>(at_b + i)] =
+        pattern[static_cast<std::size_t>(i)] + 0.05 * rng.Gaussian();
+  }
+  return series;
+}
+
+/// White-noise series: the adversarial input for pruning-based algorithms
+/// (no real motifs, distances concentrated).
+inline Series WhiteNoise(Index n, std::uint64_t seed, double sigma = 1.0) {
+  Rng rng(seed);
+  Series out(static_cast<std::size_t>(n));
+  for (auto& v : out) v = rng.Gaussian(0.0, sigma);
+  return out;
+}
+
+}  // namespace testing_util
+}  // namespace valmod
+
+#endif  // VALMOD_TESTS_TEST_UTIL_H_

@@ -1,0 +1,110 @@
+#include "util/bounded_heap.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace valmod {
+namespace {
+
+TEST(BoundedMaxHeapTest, StartsEmpty) {
+  BoundedMaxHeap<int> heap(3);
+  EXPECT_TRUE(heap.Empty());
+  EXPECT_FALSE(heap.Full());
+  EXPECT_EQ(heap.Size(), 0);
+  EXPECT_EQ(heap.Capacity(), 3);
+}
+
+TEST(BoundedMaxHeapTest, InsertBelowCapacityAlwaysRetains) {
+  BoundedMaxHeap<int> heap(3);
+  EXPECT_TRUE(heap.Insert(5));
+  EXPECT_TRUE(heap.Insert(1));
+  EXPECT_TRUE(heap.Insert(9));
+  EXPECT_TRUE(heap.Full());
+  EXPECT_EQ(heap.Max(), 9);
+}
+
+TEST(BoundedMaxHeapTest, RejectsValuesNotSmallerThanMaxWhenFull) {
+  BoundedMaxHeap<int> heap(2);
+  heap.Insert(3);
+  heap.Insert(7);
+  EXPECT_FALSE(heap.Insert(7));   // Equal to max: rejected.
+  EXPECT_FALSE(heap.Insert(10));  // Larger: rejected.
+  EXPECT_EQ(heap.Max(), 7);
+}
+
+TEST(BoundedMaxHeapTest, EvictsMaxWhenSmallerValueArrives) {
+  BoundedMaxHeap<int> heap(2);
+  heap.Insert(3);
+  heap.Insert(7);
+  EXPECT_TRUE(heap.Insert(1));
+  EXPECT_EQ(heap.Max(), 3);
+  EXPECT_EQ(heap.Size(), 2);
+}
+
+TEST(BoundedMaxHeapTest, PopMaxReturnsDescending) {
+  BoundedMaxHeap<int> heap(4);
+  for (int v : {8, 3, 5, 1}) heap.Insert(v);
+  EXPECT_EQ(heap.PopMax(), 8);
+  EXPECT_EQ(heap.PopMax(), 5);
+  EXPECT_EQ(heap.PopMax(), 3);
+  EXPECT_EQ(heap.PopMax(), 1);
+  EXPECT_TRUE(heap.Empty());
+}
+
+TEST(BoundedMaxHeapTest, SortedAscendingMatchesStdSort) {
+  BoundedMaxHeap<int> heap(5);
+  for (int v : {9, 2, 7, 4, 6, 1, 8}) heap.Insert(v);
+  const std::vector<int> sorted = heap.SortedAscending();
+  const std::vector<int> expected = {1, 2, 4, 6, 7};
+  EXPECT_EQ(sorted, expected);
+}
+
+TEST(BoundedMaxHeapTest, ClearResets) {
+  BoundedMaxHeap<int> heap(2);
+  heap.Insert(1);
+  heap.Clear();
+  EXPECT_TRUE(heap.Empty());
+  EXPECT_TRUE(heap.Insert(100));
+}
+
+// Property: against a stream of random values, the heap retains exactly the
+// k smallest, for any k.
+class BoundedHeapPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BoundedHeapPropertyTest, RetainsKSmallestOfRandomStream) {
+  const int k = GetParam();
+  Rng rng(static_cast<std::uint64_t>(k) * 977);
+  BoundedMaxHeap<double> heap(k);
+  std::vector<double> all;
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.Gaussian();
+    all.push_back(v);
+    heap.Insert(v);
+  }
+  std::sort(all.begin(), all.end());
+  std::vector<double> retained = heap.SortedAscending();
+  ASSERT_EQ(static_cast<int>(retained.size()), k);
+  for (int i = 0; i < k; ++i) {
+    EXPECT_DOUBLE_EQ(retained[static_cast<std::size_t>(i)],
+                     all[static_cast<std::size_t>(i)]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, BoundedHeapPropertyTest,
+                         ::testing::Values(1, 2, 5, 16, 50, 150));
+
+TEST(BoundedMaxHeapTest, CustomComparatorOrdersByAbsoluteValue) {
+  auto abs_less = [](int a, int b) { return std::abs(a) < std::abs(b); };
+  BoundedMaxHeap<int, decltype(abs_less)> heap(2, abs_less);
+  heap.Insert(-9);
+  heap.Insert(1);
+  heap.Insert(-2);
+  EXPECT_EQ(std::abs(heap.Max()), 2);
+}
+
+}  // namespace
+}  // namespace valmod

@@ -1,0 +1,70 @@
+#include "util/cli.h"
+
+#include <gtest/gtest.h>
+
+namespace valmod {
+namespace {
+
+CommandLine Parse(std::vector<const char*> argv) {
+  return CommandLine(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(CommandLineTest, ParsesKeyEqualsValue) {
+  const CommandLine cli = Parse({"prog", "--n=100", "--name=ecg"});
+  EXPECT_EQ(cli.GetIndex("n", 0), 100);
+  EXPECT_EQ(cli.GetString("name", ""), "ecg");
+}
+
+TEST(CommandLineTest, ParsesKeySpaceValue) {
+  const CommandLine cli = Parse({"prog", "--n", "42"});
+  EXPECT_EQ(cli.GetIndex("n", 0), 42);
+}
+
+TEST(CommandLineTest, BareFlagIsTrue) {
+  const CommandLine cli = Parse({"prog", "--verbose"});
+  EXPECT_TRUE(cli.GetBool("verbose", false));
+  EXPECT_TRUE(cli.Has("verbose"));
+}
+
+TEST(CommandLineTest, MissingKeyUsesDefault) {
+  const CommandLine cli = Parse({"prog"});
+  EXPECT_EQ(cli.GetIndex("n", 7), 7);
+  EXPECT_EQ(cli.GetString("x", "dflt"), "dflt");
+  EXPECT_DOUBLE_EQ(cli.GetDouble("d", 2.5), 2.5);
+  EXPECT_FALSE(cli.GetBool("b", false));
+  EXPECT_FALSE(cli.Has("n"));
+}
+
+TEST(CommandLineTest, DoubleParsing) {
+  const CommandLine cli = Parse({"prog", "--radius=3.75"});
+  EXPECT_DOUBLE_EQ(cli.GetDouble("radius", 0.0), 3.75);
+}
+
+TEST(CommandLineTest, MalformedNumberFallsBackToDefault) {
+  const CommandLine cli = Parse({"prog", "--n=abc"});
+  EXPECT_EQ(cli.GetIndex("n", 5), 5);
+}
+
+TEST(CommandLineTest, PositionalArgumentsPreserved) {
+  const CommandLine cli = Parse({"prog", "input.txt", "--n=3", "out.txt"});
+  ASSERT_EQ(cli.Positional().size(), 2u);
+  EXPECT_EQ(cli.Positional()[0], "input.txt");
+  EXPECT_EQ(cli.Positional()[1], "out.txt");
+}
+
+TEST(CommandLineTest, BoolSpellings) {
+  const CommandLine cli =
+      Parse({"prog", "--a=true", "--b=1", "--c=yes", "--d=no"});
+  EXPECT_TRUE(cli.GetBool("a", false));
+  EXPECT_TRUE(cli.GetBool("b", false));
+  EXPECT_TRUE(cli.GetBool("c", false));
+  EXPECT_FALSE(cli.GetBool("d", true));
+}
+
+TEST(CommandLineTest, ProgramName) {
+  const CommandLine cli = Parse({"my_bench"});
+  EXPECT_EQ(cli.ProgramName(), "my_bench");
+}
+
+}  // namespace
+}  // namespace valmod

@@ -1,0 +1,84 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace valmod {
+namespace {
+
+TEST(HistogramTest, CountsFallInCorrectBins) {
+  Histogram h(0.0, 10.0, 5);  // Bins: [0,2) [2,4) [4,6) [6,8) [8,10)
+  h.Add(1.0);
+  h.Add(3.0);
+  h.Add(3.5);
+  h.Add(9.9);
+  EXPECT_EQ(h.Count(0), 1);
+  EXPECT_EQ(h.Count(1), 2);
+  EXPECT_EQ(h.Count(2), 0);
+  EXPECT_EQ(h.Count(4), 1);
+  EXPECT_EQ(h.total(), 4);
+}
+
+TEST(HistogramTest, OutOfRangeValuesClampToEdgeBins) {
+  Histogram h(0.0, 1.0, 4);
+  h.Add(-5.0);
+  h.Add(42.0);
+  EXPECT_EQ(h.Count(0), 1);
+  EXPECT_EQ(h.Count(3), 1);
+}
+
+TEST(HistogramTest, BinLeftEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.BinLeft(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.BinLeft(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.BinLeft(4), 8.0);
+}
+
+TEST(HistogramTest, FractionsSumToOne) {
+  Histogram h(0.0, 1.0, 10);
+  for (int i = 0; i < 100; ++i) h.Add(static_cast<double>(i) / 100.0);
+  double total = 0.0;
+  for (Index b = 0; b < h.bins(); ++b) total += h.Fraction(b);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(HistogramTest, FractionOfEmptyHistogramIsZero) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.Fraction(0), 0.0);
+}
+
+TEST(HistogramTest, AddAllMatchesIndividualAdds) {
+  const std::vector<double> values = {0.1, 0.4, 0.9, 0.4};
+  Histogram a(0.0, 1.0, 4);
+  Histogram b(0.0, 1.0, 4);
+  a.AddAll(values);
+  for (double v : values) b.Add(v);
+  for (Index bin = 0; bin < 4; ++bin) EXPECT_EQ(a.Count(bin), b.Count(bin));
+}
+
+TEST(MakeHistogramTest, AutoRangeSpansData) {
+  const std::vector<double> values = {-2.0, 0.0, 5.0};
+  const Histogram h = MakeHistogram(values, 7);
+  EXPECT_DOUBLE_EQ(h.lo(), -2.0);
+  EXPECT_GE(h.hi(), 5.0);
+  EXPECT_EQ(h.total(), 3);
+}
+
+TEST(MakeHistogramTest, ConstantDataDoesNotCrash) {
+  const std::vector<double> values(10, 4.0);
+  const Histogram h = MakeHistogram(values, 3);
+  EXPECT_EQ(h.total(), 10);
+}
+
+TEST(HistogramTest, RenderContainsOneLinePerBin) {
+  Histogram h(0.0, 1.0, 3);
+  h.Add(0.5);
+  const std::string render = h.Render();
+  int lines = 0;
+  for (char c : render) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 3);
+}
+
+}  // namespace
+}  // namespace valmod

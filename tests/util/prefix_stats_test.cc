@@ -1,0 +1,77 @@
+#include "util/prefix_stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "util/random.h"
+
+namespace valmod {
+namespace {
+
+TEST(PrefixStatsTest, SumsOfSmallWindow) {
+  const Series s = {1.0, 2.0, 3.0, 4.0};
+  const PrefixStats stats(s);
+  EXPECT_DOUBLE_EQ(stats.Sum(0, 4), 10.0);
+  EXPECT_DOUBLE_EQ(stats.Sum(1, 2), 5.0);
+  EXPECT_DOUBLE_EQ(stats.SquaredSum(0, 2), 5.0);
+  EXPECT_DOUBLE_EQ(stats.Mean(0, 4), 2.5);
+}
+
+TEST(PrefixStatsTest, StdOfConstantWindowIsZero) {
+  const Series s(64, 3.25);
+  const PrefixStats stats(s);
+  EXPECT_DOUBLE_EQ(stats.Std(0, 64), 0.0);
+  EXPECT_DOUBLE_EQ(stats.Std(10, 20), 0.0);
+}
+
+TEST(PrefixStatsTest, SizeMatchesInput) {
+  const Series s(17, 1.0);
+  const PrefixStats stats(s);
+  EXPECT_EQ(stats.size(), 17);
+}
+
+TEST(PrefixStatsTest, ExactMeanStdKnownValues) {
+  const Series s = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const MeanStd ms = ExactMeanStd(s, 0, 8);
+  EXPECT_DOUBLE_EQ(ms.mean, 5.0);
+  EXPECT_DOUBLE_EQ(ms.std, 2.0);
+}
+
+// Property: prefix-sum statistics agree with the two-pass reference on
+// random windows of random data, across magnitudes.
+class PrefixStatsPropertyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PrefixStatsPropertyTest, MatchesExactComputationOnRandomWindows) {
+  const double magnitude = GetParam();
+  Rng rng(31337);
+  Series s(4096);
+  for (auto& v : s) v = magnitude * rng.Gaussian();
+  const PrefixStats stats(s);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Index len = rng.UniformIndex(2, 512);
+    const Index offset = rng.UniformIndex(0, 4096 - len);
+    const MeanStd fast = stats.Stats(offset, len);
+    const MeanStd slow = ExactMeanStd(s, offset, len);
+    EXPECT_NEAR(fast.mean, slow.mean, 1e-9 * magnitude)
+        << "offset=" << offset << " len=" << len;
+    EXPECT_NEAR(fast.std, slow.std, 1e-7 * magnitude)
+        << "offset=" << offset << " len=" << len;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Magnitudes, PrefixStatsPropertyTest,
+                         ::testing::Values(1e-3, 1.0, 1e3));
+
+TEST(PrefixStatsTest, HandlesRandomWalkOffsets) {
+  const Series s = testing_util::WalkWithPlantedMotif(1000, 50, 100, 700, 5);
+  const PrefixStats stats(s);
+  const MeanStd fast = stats.Stats(123, 77);
+  const MeanStd slow = ExactMeanStd(s, 123, 77);
+  EXPECT_NEAR(fast.mean, slow.mean, 1e-8);
+  EXPECT_NEAR(fast.std, slow.std, 1e-8);
+}
+
+}  // namespace
+}  // namespace valmod

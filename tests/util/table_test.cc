@@ -1,0 +1,50 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace valmod {
+namespace {
+
+TEST(TableTest, RendersHeadersAndRows) {
+  Table t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "22"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(TableTest, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.AddRow({"only"});
+  EXPECT_NO_FATAL_FAILURE(t.Render());
+}
+
+TEST(TableTest, NumFormatsPrecision) {
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Num(2.0, 0), "2");
+}
+
+TEST(TableTest, IntFormats) {
+  EXPECT_EQ(Table::Int(-42), "-42");
+  EXPECT_EQ(Table::Int(1234567890123LL), "1234567890123");
+}
+
+TEST(TableTest, ColumnsAlignAcrossRows) {
+  Table t({"x", "y"});
+  t.AddRow({"short", "1"});
+  t.AddRow({"a-much-longer-cell", "2"});
+  const std::string out = t.Render();
+  // All lines must have equal length (aligned columns).
+  std::size_t first_len = out.find('\n');
+  std::size_t pos = first_len + 1;
+  while (pos < out.size()) {
+    const std::size_t next = out.find('\n', pos);
+    EXPECT_EQ(next - pos, first_len);
+    pos = next + 1;
+  }
+}
+
+}  // namespace
+}  // namespace valmod

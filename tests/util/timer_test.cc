@@ -1,0 +1,47 @@
+#include "util/timer.h"
+
+#include <gtest/gtest.h>
+
+namespace valmod {
+namespace {
+
+TEST(WallTimerTest, ElapsedIsNonNegativeAndMonotone) {
+  WallTimer timer;
+  const double t1 = timer.Seconds();
+  const double t2 = timer.Seconds();
+  EXPECT_GE(t1, 0.0);
+  EXPECT_GE(t2, t1);
+}
+
+TEST(WallTimerTest, ResetRestartsFromZero) {
+  WallTimer timer;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += static_cast<double>(i);
+  timer.Reset();
+  EXPECT_LT(timer.Seconds(), 0.5);
+}
+
+TEST(WallTimerTest, MillisMatchesSecondsScale) {
+  WallTimer timer;
+  const double s = timer.Seconds();
+  const double ms = timer.Millis();
+  EXPECT_GE(ms, s * 1e3 * 0.5);
+}
+
+TEST(DeadlineTest, DefaultNeverExpires) {
+  Deadline d;
+  EXPECT_FALSE(d.Expired());
+}
+
+TEST(DeadlineTest, ZeroBudgetExpiresImmediately) {
+  const Deadline d = Deadline::After(0.0);
+  EXPECT_TRUE(d.Expired());
+}
+
+TEST(DeadlineTest, GenerousBudgetNotExpired) {
+  const Deadline d = Deadline::After(3600.0);
+  EXPECT_FALSE(d.Expired());
+}
+
+}  // namespace
+}  // namespace valmod

@@ -1,0 +1,105 @@
+// mp_tool: single-length matrix-profile utility over a series file.
+// Computes the exact matrix profile with a selectable algorithm and writes
+// it as CSV; optionally prints the top-k motifs and the top discord.
+//
+//   ./mp_tool INPUT.txt --len=100 [--algo=stomp|stamp|scrimp]
+//             [--out=profile.csv] [--motifs=3] [--discord]
+//   ./mp_tool --generate=ECG --n=4096 --len=100 ...
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "core/serialize.h"
+#include "datasets/io.h"
+#include "datasets/registry.h"
+#include "mp/matrix_profile.h"
+#include "mp/scrimp.h"
+#include "mp/stamp.h"
+#include "mp/stomp.h"
+#include "signal/znorm.h"
+#include "util/cli.h"
+#include "util/prefix_stats.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace {
+
+int Fail(const valmod::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace valmod;
+  const CommandLine cli(argc, argv);
+
+  Series series;
+  if (cli.Has("generate")) {
+    const Status status = GenerateByName(cli.GetString("generate", "ECG"),
+                                         cli.GetIndex("n", 4096), &series);
+    if (!status.ok()) return Fail(status);
+  } else if (!cli.Positional().empty()) {
+    const Status status = ReadSeriesText(cli.Positional()[0], &series);
+    if (!status.ok()) return Fail(status);
+  } else {
+    std::fprintf(stderr,
+                 "usage: %s INPUT.txt --len=L [--algo=stomp|stamp|scrimp] "
+                 "[--out=FILE.csv] [--motifs=K] [--discord]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  const Index len = cli.GetIndex("len", 0);
+  if (len < 4 || static_cast<std::size_t>(2 * len) > series.size()) {
+    std::fprintf(stderr, "error: need 4 <= len <= n/2 (len=%lld, n=%zu)\n",
+                 static_cast<long long>(len), series.size());
+    return 2;
+  }
+
+  const std::string algo = cli.GetString("algo", "stomp");
+  const Series centered = CenterSeries(series);
+  const PrefixStats stats(centered);
+  WallTimer timer;
+  MatrixProfile profile;
+  if (algo == "stomp") {
+    profile = Stomp(centered, stats, len);
+  } else if (algo == "stamp") {
+    profile = Stamp(centered, stats, len);
+  } else if (algo == "scrimp") {
+    profile = Scrimp(centered, stats, len);
+  } else {
+    std::fprintf(stderr, "error: unknown --algo=%s\n", algo.c_str());
+    return 2;
+  }
+  std::printf("%s over %zu points at length %lld: %.3f s\n", algo.c_str(),
+              series.size(), static_cast<long long>(len), timer.Seconds());
+
+  const Index k = cli.GetIndex("motifs", 3);
+  const std::vector<MotifPair> motifs = TopMotifsFromProfile(profile, k);
+  Table table({"rank", "offset a", "offset b", "zdist"});
+  for (std::size_t r = 0; r < motifs.size(); ++r) {
+    table.AddRow({Table::Int(static_cast<long long>(r + 1)),
+                  Table::Int(motifs[r].a), Table::Int(motifs[r].b),
+                  Table::Num(motifs[r].distance, 4)});
+  }
+  std::printf("%s", table.Render().c_str());
+
+  if (cli.GetBool("discord", false)) {
+    const Discord discord = DiscordFromProfile(profile);
+    std::printf("top discord: offset %lld, nn-distance %.4f\n",
+                static_cast<long long>(discord.offset), discord.distance);
+  }
+
+  if (cli.Has("out")) {
+    const std::string path = cli.GetString("out", "profile.csv");
+    if (const Status status = WriteMatrixProfileCsv(profile, path);
+        !status.ok()) {
+      return Fail(status);
+    }
+    std::printf("profile written to %s\n", path.c_str());
+  }
+  return 0;
+}
