@@ -36,10 +36,12 @@ int main() {
       // |subMP| per iteration (right-hand panels), first dataset only to
       // keep the output readable.
       if (spec.name == "ECG") {
-        submp_block += "p=" + std::to_string(p) + " |subMP|:";
+        submp_block += "p=";
+        submp_block += std::to_string(p);
+        submp_block += " |subMP|:";
         for (std::size_t k = 1; k < result.length_stats.size(); ++k) {
-          submp_block +=
-              " " + std::to_string(result.length_stats[k].valid_count);
+          submp_block += ' ';
+          submp_block += std::to_string(result.length_stats[k].valid_count);
         }
         submp_block += "\n";
       }

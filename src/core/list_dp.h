@@ -33,6 +33,7 @@ struct LbEntry {
 
 /// Heap order: retain the entries with the *smallest* base lower bounds.
 struct LbEntryLess {
+  /// Orders by the base lower bound, smallest first.
   bool operator()(const LbEntry& x, const LbEntry& y) const {
     return x.lb_base < y.lb_base;
   }

@@ -66,7 +66,7 @@ std::string PanMatrixProfile::RenderAscii(Index rows, Index cols) const {
         len_max() - r * (num_lengths() - 1) / std::max<Index>(1, rows - 1);
     const MatrixProfile& profile = ProfileAt(len);
     out += "len ";
-    char label[16];
+    char label[32];
     std::snprintf(label, sizeof(label), "%5lld |",
                   static_cast<long long>(len));
     out += label;

@@ -23,8 +23,11 @@ class PanMatrixProfile {
   /// per_length_profiles). Profiles must be consecutive lengths ascending.
   explicit PanMatrixProfile(std::vector<MatrixProfile> profiles);
 
+  /// Shortest subsequence length covered by the pan-profile.
   Index len_min() const { return len_min_; }
+  /// Longest subsequence length covered by the pan-profile.
   Index len_max() const { return len_min_ + num_lengths() - 1; }
+  /// Number of consecutive lengths covered ([len_min, len_max]).
   Index num_lengths() const { return static_cast<Index>(profiles_.size()); }
 
   /// The profile of one length.

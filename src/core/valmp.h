@@ -28,6 +28,7 @@ struct Valmp {
   /// Creates an empty VALMP with `n_slots` unset entries.
   explicit Valmp(Index n_slots = 0);
 
+  /// Number of offset slots (one per subsequence of the shortest length).
   Index size() const { return static_cast<Index>(distances.size()); }
 
   /// True when slot `i` has been set at least once.

@@ -8,6 +8,8 @@
 namespace valmod {
 
 const std::vector<DatasetSpec>& BenchmarkDatasets() {
+  // Leak-on-purpose singleton: destroying it at exit would race other
+  // static destructors.  // lint: allow(no-naked-new) -- see above
   static const std::vector<DatasetSpec>& specs = *new std::vector<DatasetSpec>{
       {"ECG", "driver-stress electrocardiogram (PhysioNet) stand-in", 101,
        &GenerateEcg},

@@ -1,64 +1,16 @@
 #include "mp/parallel_stomp.h"
 
 #include <algorithm>
+#include <atomic>
 #include <thread>
 #include <vector>
 
-#include "signal/distance.h"
+#include "mp/stomp_kernel.h"
 #include "signal/sliding_dot.h"
 #include "signal/znorm.h"
 #include "util/check.h"
 
 namespace valmod {
-namespace {
-
-/// Processes rows [row_begin, row_end) into the shared result arrays.
-/// Each worker owns a disjoint row range, so the writes never race; the
-/// symmetric (column-side) improvements STOMP usually exploits are folded
-/// into the row scan instead (every pair is visited exactly once per side).
-void ProcessChunk(std::span<const double> series,
-                  std::span<const MeanStd> col_stats, Index len,
-                  Index row_begin, Index row_end, double* distances,
-                  Index* indices) {
-  const Index n_sub = static_cast<Index>(col_stats.size());
-  if (row_begin >= row_end) return;
-  std::vector<double> qt = SlidingDotProduct(
-      series.subspan(static_cast<std::size_t>(row_begin),
-                     static_cast<std::size_t>(len)),
-      series);
-  for (Index i = row_begin; i < row_end; ++i) {
-    if (i > row_begin) {
-      for (Index j = n_sub - 1; j >= 1; --j) {
-        qt[static_cast<std::size_t>(j)] =
-            qt[static_cast<std::size_t>(j - 1)] -
-            series[static_cast<std::size_t>(i - 1)] *
-                series[static_cast<std::size_t>(j - 1)] +
-            series[static_cast<std::size_t>(i + len - 1)] *
-                series[static_cast<std::size_t>(j + len - 1)];
-      }
-      // Column 0 = dot(T_i, T_0) = dot(T_0, T_i): recompute directly; one
-      // O(len) product per row is amortized away by the O(n) row cost.
-      qt[0] = SubsequenceDotProduct(series, 0, i, len);
-    }
-    double best = kInf;
-    Index best_j = kNoNeighbor;
-    const MeanStd row_stats = col_stats[static_cast<std::size_t>(i)];
-    for (Index j = 0; j < n_sub; ++j) {
-      if (IsTrivialMatch(i, j, len)) continue;
-      const double d = ZNormalizedDistanceFromDotProduct(
-          qt[static_cast<std::size_t>(j)], len, row_stats,
-          col_stats[static_cast<std::size_t>(j)]);
-      if (d < best) {
-        best = d;
-        best_j = j;
-      }
-    }
-    distances[i] = best;
-    indices[i] = best_j;
-  }
-}
-
-}  // namespace
 
 MatrixProfile ParallelStomp(std::span<const double> series,
                             const PrefixStats& stats, Index len,
@@ -66,37 +18,52 @@ MatrixProfile ParallelStomp(std::span<const double> series,
   const Index n = static_cast<Index>(series.size());
   VALMOD_CHECK(len >= 2 && n >= len + 1);
   const Index n_sub = NumSubsequences(n, len);
+  const Index num_chunks =
+      (n_sub + internal::kStompChunkRows - 1) / internal::kStompChunkRows;
   if (threads <= 0) {
     threads = static_cast<int>(std::thread::hardware_concurrency());
     if (threads <= 0) threads = 1;
   }
-  threads = static_cast<int>(
-      std::min<Index>(threads, std::max<Index>(1, n_sub / 64)));
+  threads = static_cast<int>(std::min<Index>(threads, num_chunks));
 
   MatrixProfile result;
   result.subsequence_length = len;
   result.distances.assign(static_cast<std::size_t>(n_sub), kInf);
   result.indices.assign(static_cast<std::size_t>(n_sub), kNoNeighbor);
 
+  const std::vector<double> qt_first = SlidingDotProduct(
+      series.subspan(0, static_cast<std::size_t>(len)), series);
   std::vector<MeanStd> col_stats(static_cast<std::size_t>(n_sub));
   for (Index j = 0; j < n_sub; ++j) {
     col_stats[static_cast<std::size_t>(j)] = stats.Stats(j, len);
   }
 
-  if (threads == 1) {
-    ProcessChunk(series, col_stats, len, 0, n_sub, result.distances.data(),
-                 result.indices.data());
+  // Workers pull chunks off the shared grid. The grid itself never depends
+  // on the thread count (see stomp_kernel.h), so any `threads` value yields
+  // the same floating-point result; the counter only balances load. Relaxed
+  // ordering suffices: each chunk's rows are written by exactly one worker
+  // and thread join() publishes everything before `result` is read.
+  std::atomic<Index> next_chunk{0};
+  auto worker = [&]() {
+    for (;;) {
+      const Index c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) return;
+      const Index begin = c * internal::kStompChunkRows;
+      const Index end =
+          std::min<Index>(n_sub, begin + internal::kStompChunkRows);
+      internal::StompProcessRows(series, col_stats, qt_first, len, begin, end,
+                                 result.distances.data(),
+                                 result.indices.data(), nullptr, Deadline());
+    }
+  };
+
+  if (threads <= 1) {
+    worker();
     return result;
   }
   std::vector<std::thread> workers;
-  const Index chunk = (n_sub + threads - 1) / threads;
-  for (int t = 0; t < threads; ++t) {
-    const Index begin = static_cast<Index>(t) * chunk;
-    const Index end = std::min<Index>(n_sub, begin + chunk);
-    workers.emplace_back(ProcessChunk, series, std::span<const MeanStd>(col_stats),
-                         len, begin, end, result.distances.data(),
-                         result.indices.data());
-  }
+  workers.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) workers.emplace_back(worker);
   for (std::thread& w : workers) w.join();
   return result;
 }

@@ -13,8 +13,9 @@ namespace valmod {
 /// but independent *chunks* of rows can each seed their first row with MASS
 /// and then run the O(n)-per-row recurrence privately (the standard
 /// parallelization used by production matrix-profile implementations and
-/// by the GPU variant the paper cites). Exact: results are identical to
-/// single-threaded Stomp.
+/// by the GPU variant the paper cites). Deterministic and exact: serial
+/// Stomp runs the identical fixed chunk grid (stomp_kernel.h), so the
+/// result is bit-identical to single-threaded Stomp for any thread count.
 ///
 /// `threads` <= 0 picks std::thread::hardware_concurrency(). With one
 /// thread this degenerates to (and is tested against) the serial kernel.

@@ -1,9 +1,10 @@
 #include "mp/stomp.h"
 
+#include <algorithm>
 #include <vector>
 
-#include "mp/distance_profile.h"
-#include "signal/distance.h"
+#include "mp/matrix_profile.h"
+#include "mp/stomp_kernel.h"
 #include "signal/sliding_dot.h"
 #include "signal/znorm.h"
 #include "util/check.h"
@@ -25,9 +26,8 @@ MatrixProfile Stomp(std::span<const double> series, const PrefixStats& stats,
 
   // First dot-product row (query = first subsequence) via MASS; kept around
   // to seed column 0 of every later row (QT[i][0] == QT[0][i] by symmetry).
-  std::vector<double> qt = SlidingDotProduct(
+  const std::vector<double> qt_first = SlidingDotProduct(
       series.subspan(0, static_cast<std::size_t>(len)), series);
-  const std::vector<double> qt_first = qt;
 
   // Per-column window statistics, computed once: the row loop touches every
   // column n times, so per-use PrefixStats lookups would dominate.
@@ -36,43 +36,17 @@ MatrixProfile Stomp(std::span<const double> series, const PrefixStats& stats,
     col_stats[static_cast<std::size_t>(j)] = stats.Stats(j, len);
   }
 
-  std::vector<double> profile(static_cast<std::size_t>(n_sub));
-  auto finish_row = [&](Index row) {
-    const MeanStd row_stats = col_stats[static_cast<std::size_t>(row)];
-    for (Index j = 0; j < n_sub; ++j) {
-      profile[static_cast<std::size_t>(j)] =
-          IsTrivialMatch(row, j, len)
-              ? kInf
-              : ZNormalizedDistanceFromDotProduct(
-                    qt[static_cast<std::size_t>(j)], len, row_stats,
-                    col_stats[static_cast<std::size_t>(j)]);
-    }
-    const Index arg = ArgMin(profile);
-    if (arg != kNoNeighbor) {
-      result.distances[static_cast<std::size_t>(row)] =
-          profile[static_cast<std::size_t>(arg)];
-      result.indices[static_cast<std::size_t>(row)] = arg;
-    }
-    if (observer) observer(row, qt, profile);
-  };
-
-  finish_row(0);
-  for (Index i = 1; i < n_sub; ++i) {
-    if (deadline.Expired()) {
+  // Rows run on the fixed chunk grid shared with ParallelStomp, so the two
+  // produce bit-identical profiles (see stomp_kernel.h).
+  for (Index begin = 0; begin < n_sub; begin += internal::kStompChunkRows) {
+    const Index end = std::min<Index>(n_sub, begin + internal::kStompChunkRows);
+    if (!internal::StompProcessRows(series, col_stats, qt_first, len, begin,
+                                    end, result.distances.data(),
+                                    result.indices.data(), observer,
+                                    deadline)) {
       if (out_dnf != nullptr) *out_dnf = true;
       return result;
     }
-    // Update QT in place, descending j so QT[j-1] is still the old row.
-    for (Index j = n_sub - 1; j >= 1; --j) {
-      qt[static_cast<std::size_t>(j)] =
-          qt[static_cast<std::size_t>(j - 1)] -
-          series[static_cast<std::size_t>(i - 1)] *
-              series[static_cast<std::size_t>(j - 1)] +
-          series[static_cast<std::size_t>(i + len - 1)] *
-              series[static_cast<std::size_t>(j + len - 1)];
-    }
-    qt[0] = qt_first[static_cast<std::size_t>(i)];
-    finish_row(i);
   }
   return result;
 }

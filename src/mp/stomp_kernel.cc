@@ -1,0 +1,81 @@
+#include "mp/stomp_kernel.h"
+
+#include <vector>
+
+#include "mp/distance_profile.h"
+#include "mp/matrix_profile.h"
+#include "signal/distance.h"
+#include "signal/sliding_dot.h"
+
+namespace valmod {
+namespace internal {
+
+bool StompProcessRows(std::span<const double> series,
+                      std::span<const MeanStd> col_stats,
+                      std::span<const double> qt_first, Index len,
+                      Index row_begin, Index row_end, double* distances,
+                      Index* indices, const StompRowObserver& observer,
+                      const Deadline& deadline) {
+  const Index n_sub = static_cast<Index>(col_stats.size());
+  if (row_begin >= row_end) return true;
+  std::vector<double> qt = SlidingDotProduct(
+      series.subspan(static_cast<std::size_t>(row_begin),
+                     static_cast<std::size_t>(len)),
+      series);
+  // The full profile row is only materialized when someone watches it; the
+  // plain matrix-profile path tracks the minimum inline.
+  std::vector<double> profile;
+  if (observer) profile.resize(static_cast<std::size_t>(n_sub));
+
+  for (Index i = row_begin; i < row_end; ++i) {
+    if (deadline.Expired()) return false;
+    if (i > row_begin) {
+      // Update QT in place, descending j so QT[j-1] is still the old row.
+      for (Index j = n_sub - 1; j >= 1; --j) {
+        qt[static_cast<std::size_t>(j)] =
+            qt[static_cast<std::size_t>(j - 1)] -
+            series[static_cast<std::size_t>(i - 1)] *
+                series[static_cast<std::size_t>(j - 1)] +
+            series[static_cast<std::size_t>(i + len - 1)] *
+                series[static_cast<std::size_t>(j + len - 1)];
+      }
+      qt[0] = qt_first[static_cast<std::size_t>(i)];
+    }
+    const MeanStd row_stats = col_stats[static_cast<std::size_t>(i)];
+    double best = kInf;
+    Index best_j = kNoNeighbor;
+    if (observer) {
+      for (Index j = 0; j < n_sub; ++j) {
+        profile[static_cast<std::size_t>(j)] =
+            IsTrivialMatch(i, j, len)
+                ? kInf
+                : ZNormalizedDistanceFromDotProduct(
+                      qt[static_cast<std::size_t>(j)], len, row_stats,
+                      col_stats[static_cast<std::size_t>(j)]);
+      }
+      const Index arg = ArgMin(profile);
+      if (arg != kNoNeighbor) {
+        best = profile[static_cast<std::size_t>(arg)];
+        best_j = arg;
+      }
+    } else {
+      for (Index j = 0; j < n_sub; ++j) {
+        if (IsTrivialMatch(i, j, len)) continue;
+        const double d = ZNormalizedDistanceFromDotProduct(
+            qt[static_cast<std::size_t>(j)], len, row_stats,
+            col_stats[static_cast<std::size_t>(j)]);
+        if (d < best) {
+          best = d;
+          best_j = j;
+        }
+      }
+    }
+    distances[i] = best;
+    indices[i] = best_j;
+    if (observer) observer(i, qt, profile);
+  }
+  return true;
+}
+
+}  // namespace internal
+}  // namespace valmod

@@ -1,0 +1,47 @@
+#ifndef VALMOD_MP_STOMP_KERNEL_H_
+#define VALMOD_MP_STOMP_KERNEL_H_
+
+#include <span>
+
+#include "mp/stomp.h"
+#include "util/common.h"
+#include "util/prefix_stats.h"
+#include "util/timer.h"
+
+namespace valmod {
+namespace internal {
+
+/// STOMP rows are processed on a fixed grid of this many rows per chunk.
+/// Every chunk re-seeds its dot-product row with MASS instead of continuing
+/// the O(n)-per-row recurrence across the boundary. The grid is a property
+/// of the *algorithm*, not of the thread count, which buys two guarantees:
+///
+///  1. Determinism: serial Stomp and ParallelStomp perform bit-identical
+///     floating-point operations for every row, for any thread count, so
+///     their profiles compare equal with ==, not just within a tolerance.
+///  2. Bounded drift: rounding error of the QT recurrence accumulates over
+///     at most kStompChunkRows steps instead of O(n).
+inline constexpr Index kStompChunkRows = 256;
+
+/// Processes rows [row_begin, row_end) of the STOMP distance matrix into
+/// `distances` / `indices` (both sized to the full n_sub profile). The
+/// chunk's first dot-product row is seeded with MASS; later rows use the
+/// O(n) STOMP recurrence, with column 0 restored from `qt_first` (the
+/// precomputed row-0 dot products; QT[i][0] == QT[0][i] by symmetry).
+///
+/// `observer`, when set, receives each finished row's QT and distance
+/// profile (kInf inside the exclusion zone) — see StompRowObserver.
+/// Returns false as soon as `deadline` expires; rows not yet finished keep
+/// their initial values. Thread-safe for disjoint row ranges: everything
+/// read is shared-immutable and everything written is row-indexed.
+bool StompProcessRows(std::span<const double> series,
+                      std::span<const MeanStd> col_stats,
+                      std::span<const double> qt_first, Index len,
+                      Index row_begin, Index row_end, double* distances,
+                      Index* indices, const StompRowObserver& observer,
+                      const Deadline& deadline);
+
+}  // namespace internal
+}  // namespace valmod
+
+#endif  // VALMOD_MP_STOMP_KERNEL_H_

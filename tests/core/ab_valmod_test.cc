@@ -60,7 +60,8 @@ TEST(AbValmodTest, FindsPlantedCrossSeriesPattern) {
   Series b = testing_util::WhiteNoise(400, 12);
   for (Index i = 0; i < 50; ++i) {
     const double v = 5.0 * std::sin(0.35 * static_cast<double>(i));
-    a[static_cast<std::size_t>(120 + i)] = v + 0.02 * std::sin(1.0 * i);
+    a[static_cast<std::size_t>(120 + i)] =
+        v + 0.02 * std::sin(static_cast<double>(i));
     b[static_cast<std::size_t>(250 + i)] = v;
   }
   AbValmodOptions options;

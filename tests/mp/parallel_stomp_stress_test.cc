@@ -1,0 +1,119 @@
+// TSan-targeted stress test for the parallel STOMP kernel.
+//
+// ParallelStomp's contract is strict determinism: because serial Stomp and
+// the parallel driver run the *same* fixed chunk grid (stomp_kernel.h), the
+// parallel result must be bit-identical to the serial one — not merely
+// within a tolerance — for every thread count and every awkward series
+// length. This file sweeps thread counts (including primes larger than the
+// machine) and lengths that leave ragged final chunks, repeating each run
+// so ThreadSanitizer sees many distinct interleavings of the chunk queue.
+//
+// Run under the `tsan` preset (cmake --preset tsan) to prove race-freedom;
+// under a plain build it still proves determinism.
+
+#include "mp/parallel_stomp.h"
+
+#include <cstdint>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mp/stomp.h"
+#include "mp/stomp_kernel.h"
+#include "test_util.h"
+
+namespace valmod {
+namespace {
+
+void ExpectBitIdentical(const MatrixProfile& got, const MatrixProfile& want) {
+  ASSERT_EQ(got.size(), want.size());
+  ASSERT_EQ(got.subsequence_length, want.subsequence_length);
+  // memcmp compares the raw bit patterns: NaN-safe, -0.0 != +0.0, and any
+  // mismatch is then reported per-index for debuggability.
+  if (std::memcmp(got.distances.data(), want.distances.data(),
+                  sizeof(double) * got.distances.size()) == 0 &&
+      std::memcmp(got.indices.data(), want.indices.data(),
+                  sizeof(Index) * got.indices.size()) == 0) {
+    return;
+  }
+  for (Index i = 0; i < got.size(); ++i) {
+    const std::size_t k = static_cast<std::size_t>(i);
+    EXPECT_EQ(got.distances[k], want.distances[k]) << "distance i=" << i;
+    EXPECT_EQ(got.indices[k], want.indices[k]) << "index i=" << i;
+  }
+}
+
+int HardwareThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 4 : static_cast<int>(hw);
+}
+
+// Series lengths chosen so n_sub is never a multiple of kStompChunkRows:
+// every run ends in a ragged final chunk, and the first two are also small
+// enough that some requested thread counts exceed the chunk count.
+std::vector<Index> StressLengths(Index len) {
+  const Index chunk = internal::kStompChunkRows;
+  return {
+      len + chunk - 1 + 17,       // 2 chunks, second one tiny
+      3 * chunk + len - 1 + 101,  // 4 chunks, last ~40% full
+      7 * chunk + len - 1 + 73,   // 8 chunks: all sweep threads get work
+  };
+}
+
+class ParallelStompStressTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelStompStressTest, BitIdenticalToSerialStomp) {
+  const int threads = GetParam();
+  for (const Index len : {Index{8}, Index{37}}) {
+    for (const Index n : StressLengths(len)) {
+      const Series s = testing_util::WalkWithPlantedMotif(
+          n, len, n / 7, (5 * n) / 7, static_cast<std::uint64_t>(1234 + len));
+      const PrefixStats stats(s);
+      const MatrixProfile serial = Stomp(s, stats, len);
+      // Repeat the parallel run: each repetition reshuffles which worker
+      // claims which chunk, which is exactly what TSan needs to observe.
+      for (int rep = 0; rep < 3; ++rep) {
+        const MatrixProfile parallel = ParallelStomp(s, stats, len, threads);
+        ExpectBitIdentical(parallel, serial);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelStompStressTest,
+                         ::testing::Values(1, 2, 3, 7));
+
+TEST(ParallelStompStressTest, HardwareConcurrencyRepeatedRuns) {
+  const int threads = HardwareThreads();
+  const Index len = 64;  // FFT seeding path (len >= naive cutoff).
+  const Index n = 5 * internal::kStompChunkRows + len - 1 + 191;
+  const Series s = testing_util::NoiseWithPlantedMotif(n, len, n / 5,
+                                                       (3 * n) / 5, 99);
+  const PrefixStats stats(s);
+  const MatrixProfile serial = Stomp(s, stats, len);
+  for (int rep = 0; rep < 5; ++rep) {
+    ExpectBitIdentical(ParallelStomp(s, stats, len, threads), serial);
+  }
+}
+
+TEST(ParallelStompStressTest, OversubscribedThreadsClampToChunks) {
+  // Far more threads than chunks: the driver must clamp instead of spawning
+  // idle workers, and the result must still be exact.
+  const Series s = testing_util::WhiteNoise(400, 7);
+  const PrefixStats stats(s);
+  ExpectBitIdentical(ParallelStomp(s, stats, 16, 64), Stomp(s, stats, 16));
+}
+
+TEST(ParallelStompStressTest, ConvenienceOverloadIsDeterministic) {
+  Series s = testing_util::WhiteNoise(900, 8);
+  for (auto& v : s) v += 1e7;  // Large offset exercises the centering path.
+  const MatrixProfile serial = Stomp(s, 48);
+  for (const int threads : {2, 3, HardwareThreads()}) {
+    ExpectBitIdentical(ParallelStomp(s, 48, threads), serial);
+  }
+}
+
+}  // namespace
+}  // namespace valmod

@@ -16,7 +16,7 @@ TEST(WallTimerTest, ElapsedIsNonNegativeAndMonotone) {
 TEST(WallTimerTest, ResetRestartsFromZero) {
   WallTimer timer;
   volatile double sink = 0.0;
-  for (int i = 0; i < 100000; ++i) sink += static_cast<double>(i);
+  for (int i = 0; i < 100000; ++i) sink = sink + static_cast<double>(i);
   timer.Reset();
   EXPECT_LT(timer.Seconds(), 0.5);
 }

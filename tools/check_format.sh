@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Check-only clang-format gate: exits non-zero if any tracked C++ file
+# deviates from .clang-format. Never rewrites anything.
+#
+#   tools/check_format.sh [paths...]   # default: src tests bench tools examples
+#
+# Exits 0 with a notice when clang-format is missing locally; CI installs it.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+fmt_bin="${CLANG_FORMAT:-clang-format}"
+if ! command -v "${fmt_bin}" >/dev/null 2>&1; then
+  echo "check_format.sh: ${fmt_bin} not found on PATH; skipping (install" \
+       "clang-format or set CLANG_FORMAT to enable this check)." >&2
+  exit 0
+fi
+
+paths=("$@")
+if [[ ${#paths[@]} -eq 0 ]]; then
+  paths=("${repo_root}/src" "${repo_root}/tests" "${repo_root}/bench" \
+         "${repo_root}/tools" "${repo_root}/examples")
+fi
+
+mapfile -t sources < <(find "${paths[@]}" \( -name '*.cc' -o -name '*.h' \) \
+    | sort)
+
+echo "check_format.sh: checking ${#sources[@]} files" >&2
+"${fmt_bin}" --dry-run -Werror --style=file "${sources[@]}"
+echo "check_format.sh: formatting clean." >&2

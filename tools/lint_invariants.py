@@ -1,0 +1,344 @@
+#!/usr/bin/env python3
+"""VALMOD project invariant linter.
+
+Enforces codebase-specific rules that generic tooling (clang-tidy, compiler
+warnings) cannot express. Runs as a tier-1 CTest test (`lint_invariants`),
+so a violation fails `ctest`, not just CI. Run locally with:
+
+    python3 tools/lint_invariants.py --root .
+
+Checks (use `--list` to print this table):
+
+  header-guard        #ifndef/#define/#endif guards spell VALMOD_<PATH>_H_.
+  no-pow-square       Kernels use x * x, never std::pow(x, 2): pow is not
+                      constant-folded on every toolchain and the distance
+                      kernels sit on the hot path of Algorithms 3-6.
+  span-by-value       std::span is a cheap view; passing `const span<T>&`
+                      adds an indirection for nothing. Pass it by value.
+  no-naked-new        No naked `new` outside explicitly waived
+                      leak-on-purpose singletons; the codebase owns memory
+                      through containers and values.
+  core-docs           Every public function declared in src/core headers
+                      carries a /// doc comment: src/core is the paper
+                      surface (Algorithms 3-6) and each entry point must
+                      say which figure/definition it reproduces.
+  no-float-distance   Distance math is double-only. Eq. 2's admissibility
+                      argument relies on the error bounds worked out for
+                      64-bit; a stray float silently halves the mantissa.
+  no-using-namespace  Headers never open namespaces for their includers.
+  self-include-first  Every src/<dir>/foo.cc includes "its" header
+                      "<dir>/foo.h" first, proving the header is
+                      self-contained.
+
+A line can waive a named check with a trailing comment:
+
+    static Foo& foo = *new Foo{...};  // lint: allow(no-naked-new) -- why
+
+Keep waivers rare and always justify them after the `--`.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+SRC_DIRS = ("src",)
+HEADER_GUARD_DIRS = ("src", "bench", "tests")
+DISTANCE_MATH_DIRS = ("src/core", "src/mp", "src/signal")
+
+WAIVER_RE = re.compile(r"//\s*lint:\s*allow\(([a-z0-9-]+)\)")
+
+
+def find_files(root, subdirs, exts):
+    out = []
+    for sub in subdirs:
+        base = os.path.join(root, sub)
+        for dirpath, _, names in os.walk(base):
+            for name in sorted(names):
+                if name.endswith(exts):
+                    out.append(os.path.join(dirpath, name))
+    return sorted(out)
+
+
+def strip_comments_and_strings(line):
+    """Removes // comments, string and char literals (single line scope)."""
+    out = []
+    i, n = 0, len(line)
+    while i < n:
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c == "/" and i + 1 < n and line[i + 1] == "*":
+            end = line.find("*/", i + 2)
+            if end < 0:
+                break
+            i = end + 2
+            continue
+        if c in "\"'":
+            quote = c
+            i += 1
+            while i < n:
+                if line[i] == "\\":
+                    i += 2
+                    continue
+                if line[i] == quote:
+                    break
+                i += 1
+            i += 1
+            out.append(quote + quote)
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def waived(line, check, prev_line=""):
+    """A waiver may sit on the flagged line or on the line just above it."""
+    for candidate in (line, prev_line):
+        m = WAIVER_RE.search(candidate)
+        if m and m.group(1) == check:
+            return True
+    return False
+
+
+class Linter:
+    def __init__(self, root):
+        self.root = root
+        self.errors = []
+
+    def error(self, path, lineno, check, message):
+        rel = os.path.relpath(path, self.root)
+        self.errors.append(f"{rel}:{lineno}: [{check}] {message}")
+
+    # --- check: header-guard -------------------------------------------------
+
+    def check_header_guards(self):
+        for path in find_files(self.root, HEADER_GUARD_DIRS, (".h",)):
+            rel = os.path.relpath(path, self.root)
+            expected = "VALMOD_" + re.sub(r"[/.]", "_", rel.upper()) + "_"
+            if rel.startswith("src/"):
+                expected = "VALMOD_" + re.sub(
+                    r"[/.]", "_", rel[len("src/"):].upper()) + "_"
+            with open(path, encoding="utf-8") as f:
+                lines = f.read().splitlines()
+            ifndef = next((l for l in lines if l.startswith("#ifndef")), None)
+            define = next((l for l in lines if l.startswith("#define")), None)
+            endif = next(
+                (l for l in reversed(lines) if l.startswith("#endif")), None)
+            if ifndef != f"#ifndef {expected}":
+                self.error(path, 1, "header-guard",
+                           f"expected '#ifndef {expected}', got "
+                           f"'{ifndef or '<missing>'}'")
+                continue
+            if define != f"#define {expected}":
+                self.error(path, 2, "header-guard",
+                           f"expected '#define {expected}'")
+            if endif != f"#endif  // {expected}":
+                self.error(path, len(lines), "header-guard",
+                           f"closing line must be '#endif  // {expected}'")
+
+    # --- check: no-pow-square ------------------------------------------------
+
+    POW_SQUARE_RE = re.compile(r"std::pow\s*\([^,()]*,\s*2(?:\.0*)?\s*\)")
+
+    def check_no_pow_square(self):
+        for path in find_files(self.root, SRC_DIRS, (".h", ".cc")):
+            lines = read_lines(path)
+            for lineno, line in enumerate(lines, 1):
+                if waived(line, "no-pow-square",
+                          lines[lineno - 2] if lineno >= 2 else ""):
+                    continue
+                if self.POW_SQUARE_RE.search(strip_comments_and_strings(line)):
+                    self.error(path, lineno, "no-pow-square",
+                               "use x * x instead of std::pow(x, 2) in "
+                               "kernel code")
+
+    # --- check: span-by-value ------------------------------------------------
+
+    SPAN_REF_RE = re.compile(r"const\s+std::span\s*<[^;{]*?>\s*&")
+
+    def check_span_by_value(self):
+        for path in find_files(self.root, SRC_DIRS, (".h", ".cc")):
+            lines = read_lines(path)
+            for lineno, line in enumerate(lines, 1):
+                if waived(line, "span-by-value",
+                          lines[lineno - 2] if lineno >= 2 else ""):
+                    continue
+                if self.SPAN_REF_RE.search(strip_comments_and_strings(line)):
+                    self.error(path, lineno, "span-by-value",
+                               "std::span is a view; pass it by value, not "
+                               "by const reference")
+
+    # --- check: no-naked-new -------------------------------------------------
+
+    NAKED_NEW_RE = re.compile(r"(^|[^\w.])new\s+[A-Za-z_:<]")
+
+    def check_no_naked_new(self):
+        for path in find_files(self.root, SRC_DIRS, (".h", ".cc")):
+            lines = read_lines(path)
+            for lineno, line in enumerate(lines, 1):
+                if waived(line, "no-naked-new",
+                          lines[lineno - 2] if lineno >= 2 else ""):
+                    continue
+                if self.NAKED_NEW_RE.search(strip_comments_and_strings(line)):
+                    self.error(path, lineno, "no-naked-new",
+                               "no naked `new`: own memory via containers "
+                               "or values (waive deliberate leak-on-purpose "
+                               "singletons with a justification)")
+
+    # --- check: core-docs ----------------------------------------------------
+
+    FUNC_DECL_RE = re.compile(
+        r"^(?:template\s*<.*>\s*)?"
+        r"(?:[\w:<>,*&\s]+?)\s"          # return type
+        r"([A-Za-z_]\w*)\s*\("            # function name + open paren
+    )
+    DECL_SKIP_RE = re.compile(
+        r"^\s*(?://|#|\}|namespace\b|using\b|typedef\b|static_assert\b|"
+        r"VALMOD_|return\b|if\b|for\b|while\b|switch\b|else\b)")
+
+    def check_core_docs(self):
+        for path in find_files(self.root, ("src/core",), (".h",)):
+            lines = read_lines(path)
+            for lineno, line in enumerate(lines, 1):
+                if waived(line, "core-docs"):
+                    continue
+                stripped = line.strip()
+                if self.DECL_SKIP_RE.match(line):
+                    continue
+                # Only consider the first line of a declaration at namespace
+                # or class scope (indent 0 or one level).
+                indent = len(line) - len(line.lstrip(" "))
+                if indent > 2 or not stripped:
+                    continue
+                # Continuation lines of a multi-line signature start with a
+                # non-type token or the previous line ends with ( or ,.
+                prev = lines[lineno - 2].rstrip() if lineno >= 2 else ""
+                if prev.endswith((",", "(", "&&", "||", "+", "-", "=")):
+                    continue
+                m = self.FUNC_DECL_RE.match(stripped)
+                if not m:
+                    continue
+                if stripped.startswith(("struct", "class", "enum")):
+                    continue
+                doc = prev.strip()
+                if not (doc.startswith("///") or doc.startswith("template")):
+                    self.error(path, lineno, "core-docs",
+                               f"public function '{m.group(1)}' in src/core "
+                               "needs a /// doc comment (this is the paper "
+                               "surface; say what it reproduces)")
+
+    # --- check: no-float-distance --------------------------------------------
+
+    FLOAT_RE = re.compile(r"(^|[^\w])float($|[^\w])")
+
+    def check_no_float_distance(self):
+        for path in find_files(self.root, DISTANCE_MATH_DIRS, (".h", ".cc")):
+            lines = read_lines(path)
+            for lineno, line in enumerate(lines, 1):
+                if waived(line, "no-float-distance",
+                          lines[lineno - 2] if lineno >= 2 else ""):
+                    continue
+                if self.FLOAT_RE.search(strip_comments_and_strings(line)):
+                    self.error(path, lineno, "no-float-distance",
+                               "distance math is double-only (Eq. 2 "
+                               "admissibility analysis assumes 64-bit); "
+                               "no `float` in src/core, src/mp, src/signal")
+
+    # --- check: no-using-namespace -------------------------------------------
+
+    USING_NS_RE = re.compile(r"^\s*using\s+namespace\b")
+
+    def check_no_using_namespace(self):
+        for path in find_files(self.root, HEADER_GUARD_DIRS, (".h",)):
+            for lineno, line in enumerate(read_lines(path), 1):
+                if waived(line, "no-using-namespace"):
+                    continue
+                if self.USING_NS_RE.match(strip_comments_and_strings(line)):
+                    self.error(path, lineno, "no-using-namespace",
+                               "headers must not inject namespaces into "
+                               "their includers")
+
+    # --- check: self-include-first -------------------------------------------
+
+    INCLUDE_RE = re.compile(r'^#include\s+"([^"]+)"')
+
+    def check_self_include_first(self):
+        for path in find_files(self.root, SRC_DIRS, (".cc",)):
+            rel = os.path.relpath(path, self.root)
+            own_header = rel[len("src/"):-len(".cc")] + ".h"
+            if not os.path.exists(
+                    os.path.join(self.root, "src", own_header)):
+                continue  # e.g. a main() translation unit with no header
+            first_include = None
+            first_lineno = 0
+            for lineno, line in enumerate(read_lines(path), 1):
+                m = self.INCLUDE_RE.match(line)
+                if m:
+                    first_include = m.group(1)
+                    first_lineno = lineno
+                    break
+                if line.startswith("#include <"):
+                    first_include = line
+                    first_lineno = lineno
+                    break
+            if first_include != own_header:
+                if waived(read_lines(path)[first_lineno - 1],
+                          "self-include-first"):
+                    continue
+                self.error(path, first_lineno or 1, "self-include-first",
+                           f'first include must be "{own_header}" so the '
+                           "header proves self-contained")
+
+    def run(self):
+        self.check_header_guards()
+        self.check_no_pow_square()
+        self.check_span_by_value()
+        self.check_no_naked_new()
+        self.check_core_docs()
+        self.check_no_float_distance()
+        self.check_no_using_namespace()
+        self.check_self_include_first()
+        return self.errors
+
+
+_FILE_CACHE = {}
+
+
+def read_lines(path):
+    if path not in _FILE_CACHE:
+        with open(path, encoding="utf-8") as f:
+            _FILE_CACHE[path] = f.read().splitlines()
+    return _FILE_CACHE[path]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".",
+                        help="repository root (default: cwd)")
+    parser.add_argument("--list", action="store_true",
+                        help="print the list of checks and exit")
+    args = parser.parse_args()
+    if args.list:
+        print(__doc__)
+        return 0
+    root = os.path.abspath(args.root)
+    # A wrong --root must fail loudly, not pass vacuously over zero files.
+    for required in ("src", "tests", "tools"):
+        if not os.path.isdir(os.path.join(root, required)):
+            print(f"lint_invariants: {root} has no {required}/ directory; "
+                  "is --root the repository root?", file=sys.stderr)
+            return 2
+    errors = Linter(root).run()
+    for e in errors:
+        print(e)
+    if errors:
+        print(f"\nlint_invariants: {len(errors)} violation(s). See "
+              "tools/lint_invariants.py --list for the rule rationale.")
+        return 1
+    print("lint_invariants: all invariants hold.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
