@@ -1,0 +1,83 @@
+// Streaming-update cost: per-append incremental maintenance vs recomputing
+// the batch matrix profile after every tick. The streaming update is
+// O(window) per appended point while a batch recompute is O(window^2), so
+// the speedup must grow linearly with the window — the asymptotic claim
+// behind src/stream. Each row also reports the maintenance counters
+// (MASS re-seeds, eviction repairs) so the cost drivers are visible.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "datasets/generators.h"
+#include "mp/stomp.h"
+#include "stream/streaming_profile.h"
+#include "util/prefix_stats.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace valmod;
+  const bench::BenchConfig config = bench::LoadConfig();
+  bench::PrintHeader("Streaming update: per-append cost vs batch recompute",
+                     "streaming extension (no paper artifact)", config);
+
+  const Index appends = 512;  // Timed appends per cell.
+  Table table({"window", "len", "append-us", "batch-us", "speedup",
+               "reseeds", "repairs"});
+  for (const Index window : {Index{2048}, Index{4096}, Index{8192}}) {
+    for (const Index len : {Index{64}, Index{128}}) {
+      PlantedWalkSpec spec;
+      spec.motif_length = len;
+      spec.mean_period = window / 4;
+      const Series data =
+          GeneratePlantedWalk(window + appends, 1234, spec);
+
+      // Fill the sliding window, then time the steady-state appends.
+      StreamingMatrixProfile streaming(
+          StreamingProfileOptions{len, window, 1 << 15});
+      for (Index i = 0; i < window; ++i) {
+        streaming.Append(data[static_cast<std::size_t>(i)]);
+      }
+      const Index reseeds_before = streaming.mass_reseeds();
+      const Index repairs_before = streaming.stale_recomputes();
+      WallTimer append_timer;
+      for (Index i = window; i < window + appends; ++i) {
+        streaming.Append(data[static_cast<std::size_t>(i)]);
+      }
+      const double per_append_us =
+          append_timer.Seconds() * 1e6 / static_cast<double>(appends);
+
+      // The alternative a stream consumer has without src/stream: a full
+      // batch STOMP over the live window on every tick.
+      const std::span<const double> live = streaming.series().Window();
+      WallTimer batch_timer;
+      const PrefixStats stats(live);
+      const MatrixProfile batch = Stomp(live, stats, len);
+      const double batch_us = batch_timer.Seconds() * 1e6;
+      const double speedup = batch_us / per_append_us;
+      (void)batch;
+
+      table.AddRow({Table::Int(window), Table::Int(len),
+                    Table::Num(per_append_us, 2), Table::Num(batch_us, 1),
+                    Table::Num(speedup, 1),
+                    Table::Int(streaming.mass_reseeds() - reseeds_before),
+                    Table::Int(streaming.stale_recomputes() -
+                               repairs_before)});
+      std::printf(
+          "{\"bench\":\"streaming_update\",\"window\":%lld,\"len\":%lld,"
+          "\"appends\":%lld,\"per_append_us\":%.3f,\"batch_per_tick_us\":"
+          "%.3f,\"speedup\":%.2f,\"mass_reseeds\":%lld,"
+          "\"stale_recomputes\":%lld}\n",
+          static_cast<long long>(window), static_cast<long long>(len),
+          static_cast<long long>(appends), per_append_us, batch_us, speedup,
+          static_cast<long long>(streaming.mass_reseeds() - reseeds_before),
+          static_cast<long long>(streaming.stale_recomputes() -
+                                 repairs_before));
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "Per-append cost is O(window); a batch recompute is O(window^2), so\n"
+      "the speedup column must roughly double with the window size.\n");
+  return 0;
+}

@@ -1,0 +1,174 @@
+// Online motif monitoring over a live stream: the deployment shape of
+// src/stream. Ticks arrive from a file (one value per line), from stdin
+// ("-"), or from a synthetic registry dataset; the monitor appends each
+// tick into an OnlineMotifTracker and periodically reports the current
+// best variable-length motif pair and top discord of the sliding window.
+// State can be checkpointed on exit and restored on the next run, so a
+// restarted monitor resumes without replaying the stream.
+//
+//   ./stream_monitor --synthetic=PLANTED --ticks=4096 --len_min=24
+//                    --len_max=40 --len_step=8 [--capacity=1024]
+//                    [--report_every=512] [--top_k=3]
+//                    [--checkpoint=FILE] [--restore=FILE]
+//   ./stream_monitor INPUT.txt --len_min=64 --len_max=96
+//   tail -f ticks.txt | ./stream_monitor - --len_min=64 --len_max=96
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "datasets/io.h"
+#include "datasets/registry.h"
+#include "stream/checkpoint.h"
+#include "stream/online_motif_tracker.h"
+#include "util/cli.h"
+
+namespace {
+
+int Fail(const valmod::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+void PrintUsage(const char* prog) {
+  std::fprintf(
+      stderr,
+      "usage: %s INPUT.txt|- --len_min=L --len_max=U [--len_step=1]\n"
+      "          [--capacity=N] [--report_every=512] [--top_k=3]\n"
+      "          [--checkpoint=FILE] [--restore=FILE]\n"
+      "       %s --synthetic=PLANTED|ECG|... --ticks=4096 --len_min=L "
+      "--len_max=U\n",
+      prog, prog);
+}
+
+void Report(const valmod::OnlineMotifTracker& tracker) {
+  using valmod::Index;
+  const Index base = tracker.dropped();
+  const valmod::RankedPair best = tracker.BestPair();
+  if (best.off1 == valmod::kNoNeighbor) {
+    std::printf("tick %lld: warming up (window %lld)\n",
+                static_cast<long long>(tracker.total_appended()),
+                static_cast<long long>(tracker.size()));
+    return;
+  }
+  std::printf(
+      "tick %lld: motif len=%lld at %lld/%lld norm_dist=%.4f",
+      static_cast<long long>(tracker.total_appended()),
+      static_cast<long long>(best.length),
+      static_cast<long long>(base + best.off1),
+      static_cast<long long>(base + best.off2), best.norm_distance);
+  const std::vector<valmod::Discord> discords = tracker.TopDiscords(1);
+  if (!discords.empty()) {
+    std::printf("  discord len=%lld at %lld",
+                static_cast<long long>(discords[0].length),
+                static_cast<long long>(base + discords[0].offset));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace valmod;
+  const CommandLine cli(argc, argv);
+
+  OnlineTrackerOptions options;
+  options.length_min = cli.GetIndex("len_min", 24);
+  options.length_max = cli.GetIndex("len_max", 40);
+  options.length_step = cli.GetIndex("len_step", 8);
+  options.capacity = cli.GetIndex("capacity", 1024);
+  if (options.length_min < 2 || options.length_max < options.length_min ||
+      options.length_step < 1 ||
+      (options.capacity != 0 &&
+       options.capacity < 2 * options.length_max)) {
+    PrintUsage(cli.ProgramName().c_str());
+    return 1;
+  }
+  const Index report_every = cli.GetIndex("report_every", 512);
+  const Index top_k = cli.GetIndex("top_k", 3);
+
+  OnlineMotifTracker tracker(options);
+  if (cli.Has("restore")) {
+    const std::string from = cli.GetString("restore", "");
+    if (const Status s = ReadCheckpoint(from, &tracker); !s.ok()) {
+      return Fail(s);
+    }
+    std::printf("restored %s at tick %lld (window %lld)\n", from.c_str(),
+                static_cast<long long>(tracker.total_appended()),
+                static_cast<long long>(tracker.size()));
+  }
+
+  // Feed the ticks.
+  if (cli.Has("synthetic")) {
+    const Index ticks = cli.GetIndex("ticks", 4096);
+    Series data;
+    if (const Status s =
+            GenerateByName(cli.GetString("synthetic", "PLANTED"), ticks,
+                           &data);
+        !s.ok()) {
+      return Fail(s);
+    }
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      tracker.Append(data[i]);
+      if (tracker.total_appended() % report_every == 0) Report(tracker);
+    }
+  } else {
+    if (cli.Positional().empty()) {
+      PrintUsage(cli.ProgramName().c_str());
+      return 1;
+    }
+    const std::string input = cli.Positional()[0];
+    if (input == "-") {
+      // Line-at-a-time from stdin: the live-monitor shape.
+      std::string line;
+      while (std::getline(std::cin, line)) {
+        std::istringstream stream(line);
+        double value = 0.0;
+        if (!(stream >> value)) continue;  // Skip blank/comment lines.
+        tracker.Append(value);
+        if (tracker.total_appended() % report_every == 0) Report(tracker);
+      }
+    } else {
+      Series data;
+      if (const Status s = ReadSeriesText(input, &data); !s.ok()) {
+        return Fail(s);
+      }
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        tracker.Append(data[i]);
+        if (tracker.total_appended() % report_every == 0) Report(tracker);
+      }
+    }
+  }
+
+  // Final summary over the live window.
+  std::printf("\nfinal window: %lld points (ticks %lld..%lld)\n",
+              static_cast<long long>(tracker.size()),
+              static_cast<long long>(tracker.dropped()),
+              static_cast<long long>(tracker.total_appended() - 1));
+  const Index base = tracker.dropped();
+  const std::vector<RankedPair> pairs = tracker.TopKPairs(top_k);
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    std::printf("motif %zu: len=%lld at %lld/%lld dist=%.4f norm=%.4f\n",
+                i + 1, static_cast<long long>(pairs[i].length),
+                static_cast<long long>(base + pairs[i].off1),
+                static_cast<long long>(base + pairs[i].off2),
+                pairs[i].distance, pairs[i].norm_distance);
+  }
+  const std::vector<Discord> discords = tracker.TopDiscords(top_k);
+  for (std::size_t i = 0; i < discords.size(); ++i) {
+    std::printf("discord %zu: len=%lld at %lld dist=%.4f\n", i + 1,
+                static_cast<long long>(discords[i].length),
+                static_cast<long long>(base + discords[i].offset),
+                discords[i].distance);
+  }
+
+  if (cli.Has("checkpoint")) {
+    const std::string to = cli.GetString("checkpoint", "");
+    if (const Status s = WriteCheckpoint(tracker, to); !s.ok()) {
+      return Fail(s);
+    }
+    std::printf("checkpoint written to %s\n", to.c_str());
+  }
+  return 0;
+}

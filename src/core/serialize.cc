@@ -1,6 +1,7 @@
 #include "core/serialize.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -14,14 +15,16 @@ Status OpenForWrite(const std::string& path, std::ofstream* out) {
   out->open(path);
   if (!*out) return Status::IoError("cannot open for write: " + path);
   out->precision(17);
+  WriteCsvVersionLine(*out);
   return Status::Ok();
 }
 
 Status CheckHeader(std::ifstream& in, const std::string& expected,
                    const std::string& path) {
+  if (Status s = CheckCsvVersionLine(in, path); !s.ok()) return s;
   std::string header;
   if (!std::getline(in, header)) {
-    return Status::IoError("empty file: " + path);
+    return Status::IoError("missing header row in " + path);
   }
   if (header != expected) {
     return Status::InvalidArgument("unexpected header '" + header + "' in " +
@@ -30,9 +33,48 @@ Status CheckHeader(std::ifstream& in, const std::string& expected,
   return Status::Ok();
 }
 
-/// Splits a CSV line into exactly `n` numeric fields.
-Status ParseFields(const std::string& line, int n, double* fields,
-                   const std::string& path) {
+/// Casts a parsed field to Index after checking it fits the serialized
+/// index range (a corrupt field must not size containers or index arrays).
+Status CheckedIndex(double field, const std::string& what,
+                    const std::string& path, Index* out) {
+  if (!(field >= static_cast<double>(-1) &&
+        field <= static_cast<double>(kMaxSerializedIndex))) {
+    return Status::OutOfRange(what + " out of range in " + path);
+  }
+  *out = static_cast<Index>(field);
+  return Status::Ok();
+}
+
+}  // namespace
+
+void WriteCsvVersionLine(std::ostream& out) {
+  out << "# valmod-csv " << kCsvFormatVersion << '\n';
+}
+
+Status CheckCsvVersionLine(std::istream& in, const std::string& path) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::IoError("empty file: " + path);
+  }
+  std::istringstream stream(line);
+  std::string hash;
+  std::string magic;
+  int version = 0;
+  if (!(stream >> hash >> magic >> version) || hash != "#" ||
+      magic != "valmod-csv") {
+    return Status::InvalidArgument(
+        "missing '# valmod-csv <version>' line in " + path +
+        " (legacy v1 or foreign file?)");
+  }
+  if (version != kCsvFormatVersion) {
+    return Status::InvalidArgument("unsupported format version " +
+                                   std::to_string(version) + " in " + path);
+  }
+  return Status::Ok();
+}
+
+Status ParseCsvFields(const std::string& line, int n, double* fields,
+                      const std::string& path) {
   std::istringstream stream(line);
   std::string token;
   for (int f = 0; f < n; ++f) {
@@ -44,11 +86,17 @@ Status ParseFields(const std::string& line, int n, double* fields,
     if (end == token.c_str()) {
       return Status::InvalidArgument("bad field '" + token + "' in " + path);
     }
+    if (std::isnan(fields[f])) {
+      return Status::InvalidArgument("NaN field in '" + line + "' in " +
+                                     path);
+    }
+  }
+  if (std::getline(stream, token, ',')) {
+    return Status::InvalidArgument("extra field(s) in row '" + line +
+                                   "' in " + path);
   }
   return Status::Ok();
 }
-
-}  // namespace
 
 Status WriteValmpCsv(const Valmp& valmp, const std::string& path) {
   std::ofstream out;
@@ -78,14 +126,34 @@ Status ReadValmpCsv(const std::string& path, Index n_slots, Valmp* out) {
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     double f[5];
-    if (Status s = ParseFields(line, 5, f, path); !s.ok()) return s;
-    const Index offset = static_cast<Index>(f[0]);
+    if (Status s = ParseCsvFields(line, 5, f, path); !s.ok()) return s;
+    Index offset = 0;
+    Index neighbor = 0;
+    Index length = 0;
+    if (Status s = CheckedIndex(f[0], "offset", path, &offset); !s.ok()) {
+      return s;
+    }
+    if (Status s = CheckedIndex(f[1], "neighbor", path, &neighbor); !s.ok()) {
+      return s;
+    }
+    if (Status s = CheckedIndex(f[2], "length", path, &length); !s.ok()) {
+      return s;
+    }
     if (offset < 0 || offset >= n_slots) {
       return Status::OutOfRange("offset out of range in " + path);
     }
+    if (neighbor < 0 || neighbor >= n_slots) {
+      return Status::OutOfRange("neighbor out of range in " + path);
+    }
+    if (length < 2) {
+      return Status::InvalidArgument("length < 2 in " + path);
+    }
+    if (f[3] < 0.0 || f[4] < 0.0) {
+      return Status::InvalidArgument("negative distance in " + path);
+    }
     const std::size_t k = static_cast<std::size_t>(offset);
-    out->indices[k] = static_cast<Index>(f[1]);
-    out->lengths[k] = static_cast<Index>(f[2]);
+    out->indices[k] = neighbor;
+    out->lengths[k] = length;
     out->distances[k] = f[3];
     out->norm_distances[k] = f[4];
   }
@@ -123,11 +191,23 @@ Status ReadMatrixProfileCsv(const std::string& path,
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     double f[3];
-    if (Status s = ParseFields(line, 3, f, path); !s.ok()) return s;
-    const Index offset = static_cast<Index>(f[0]);
+    if (Status s = ParseCsvFields(line, 3, f, path); !s.ok()) return s;
+    Index offset = 0;
+    Index neighbor = 0;
+    if (Status s = CheckedIndex(f[0], "offset", path, &offset); !s.ok()) {
+      return s;
+    }
+    if (Status s = CheckedIndex(f[2], "neighbor", path, &neighbor); !s.ok()) {
+      return s;
+    }
     if (offset < 0) return Status::OutOfRange("negative offset in " + path);
-    rows.emplace_back(offset,
-                      std::make_pair(f[1], static_cast<Index>(f[2])));
+    if (neighbor < 0) {
+      return Status::OutOfRange("negative neighbor in " + path);
+    }
+    if (f[1] < 0.0) {
+      return Status::InvalidArgument("negative distance in " + path);
+    }
+    rows.emplace_back(offset, std::make_pair(f[1], neighbor));
     max_offset = std::max(max_offset, offset);
   }
   out->distances.assign(static_cast<std::size_t>(max_offset + 1), kInf);
@@ -164,11 +244,21 @@ Status ReadMotifsCsv(const std::string& path, std::vector<MotifPair>* out) {
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     double f[4];
-    if (Status s = ParseFields(line, 4, f, path); !s.ok()) return s;
+    if (Status s = ParseCsvFields(line, 4, f, path); !s.ok()) return s;
     MotifPair m;
-    m.length = static_cast<Index>(f[0]);
-    m.a = static_cast<Index>(f[1]);
-    m.b = static_cast<Index>(f[2]);
+    if (Status s = CheckedIndex(f[0], "length", path, &m.length); !s.ok()) {
+      return s;
+    }
+    if (Status s = CheckedIndex(f[1], "offset_a", path, &m.a); !s.ok()) {
+      return s;
+    }
+    if (Status s = CheckedIndex(f[2], "offset_b", path, &m.b); !s.ok()) {
+      return s;
+    }
+    if (m.length < 2 || m.a < 0 || m.b < 0 || f[3] < 0.0) {
+      return Status::InvalidArgument("malformed motif row '" + line +
+                                     "' in " + path);
+    }
     m.distance = f[3];
     out->push_back(m);
   }

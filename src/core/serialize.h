@@ -1,6 +1,7 @@
 #ifndef VALMOD_CORE_SERIALIZE_H_
 #define VALMOD_CORE_SERIALIZE_H_
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -12,8 +13,37 @@
 namespace valmod {
 
 /// CSV serialization of the library's result types, so runs can be archived
-/// and consumed by external tooling (pandas, R, gnuplot). All writers emit
-/// a header row; all readers validate it.
+/// and consumed by external tooling (pandas, R, gnuplot). All writers stamp
+/// a format-version line and a header row; all readers validate both and
+/// reject malformed rows instead of silently misreading them.
+
+/// Format version stamped as `# valmod-csv <version>` in the first line of
+/// every file written by this module. Readers reject files whose version
+/// line is missing (pre-versioning legacy files) or carries a different
+/// version, so format drift fails loudly instead of parsing garbage.
+/// History: v1 = headerless-version files (before the version line existed);
+/// v2 = version line + strict row validation.
+inline constexpr int kCsvFormatVersion = 2;
+
+/// Largest offset/index value any reader accepts. A corrupted offset field
+/// would otherwise size an output container from whatever bytes happen to be
+/// in the file; 2^28 slots (a multi-GB profile) is far beyond any series
+/// this library processes.
+inline constexpr Index kMaxSerializedIndex = Index{1} << 28;
+
+/// Writes the `# valmod-csv <version>` line (first line of every file).
+void WriteCsvVersionLine(std::ostream& out);
+
+/// Consumes and validates the version line. Returns InvalidArgument when it
+/// is missing or names an unsupported version.
+Status CheckCsvVersionLine(std::istream& in, const std::string& path);
+
+/// Splits one CSV line into exactly `n` numeric fields. Rejects short rows,
+/// non-numeric fields, NaN fields, and trailing extra fields (all of which
+/// the pre-v2 parser silently tolerated). Shared with the streaming
+/// checkpoint reader (src/stream/checkpoint.cc).
+Status ParseCsvFields(const std::string& line, int n, double* fields,
+                      const std::string& path);
 
 /// VALMP as `offset,neighbor,length,distance,norm_distance` (set slots
 /// only).

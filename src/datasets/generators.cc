@@ -303,6 +303,57 @@ Series GenerateRandomWalk(Index n, std::uint64_t seed, double step) {
   return out;
 }
 
+Series GeneratePlantedWalk(Index n, std::uint64_t seed,
+                           const PlantedWalkSpec& spec,
+                           std::vector<Index>* out_offsets) {
+  VALMOD_CHECK(n >= 1);
+  VALMOD_CHECK(spec.motif_length >= 4);
+  VALMOD_CHECK(spec.mean_period > spec.motif_length);
+  VALMOD_CHECK(spec.period_jitter >= 0.0 && spec.period_jitter < 1.0);
+  Rng rng(seed);
+  Series out(static_cast<std::size_t>(n));
+  double level = 0.0;
+  for (Index i = 0; i < n; ++i) {
+    level += rng.Gaussian(0.0, spec.walk_step);
+    out[static_cast<std::size_t>(i)] = level;
+  }
+  // The template: two incommensurate oscillations plus smoothed noise
+  // detail, fixed per seed so every occurrence shares fine structure.
+  const Index len = spec.motif_length;
+  const double p1 = rng.Uniform(0.0, kTwoPi);
+  const double p2 = rng.Uniform(0.0, kTwoPi);
+  Series tmpl(static_cast<std::size_t>(len));
+  double smooth = 0.0;
+  for (Index k = 0; k < len; ++k) {
+    const double t = static_cast<double>(k);
+    smooth = 0.7 * smooth + rng.Gaussian(0.0, 0.25);
+    tmpl[static_cast<std::size_t>(k)] =
+        std::sin(kTwoPi * t * 3.0 / static_cast<double>(len) + p1) +
+        0.5 * std::sin(kTwoPi * t * 7.0 / static_cast<double>(len) + p2) +
+        smooth;
+  }
+  // Plant occurrences at quasi-periodic offsets for the whole stream.
+  const Index lo = static_cast<Index>(
+      static_cast<double>(spec.mean_period) * (1.0 - spec.period_jitter));
+  const Index hi = static_cast<Index>(
+      static_cast<double>(spec.mean_period) * (1.0 + spec.period_jitter));
+  Index cursor = rng.UniformIndex(0, spec.mean_period);
+  while (cursor + len <= n) {
+    for (Index k = 0; k < len; ++k) {
+      out[static_cast<std::size_t>(cursor + k)] +=
+          spec.amplitude * tmpl[static_cast<std::size_t>(k)] +
+          rng.Gaussian(0.0, spec.occurrence_noise);
+    }
+    if (out_offsets != nullptr) out_offsets->push_back(cursor);
+    cursor += std::max<Index>(len + 1, rng.UniformIndex(lo, hi));
+  }
+  return out;
+}
+
+Series GeneratePlantedWalk(Index n, std::uint64_t seed) {
+  return GeneratePlantedWalk(n, seed, PlantedWalkSpec{});
+}
+
 void InjectPattern(Series& series, const Series& pattern, Index offset,
                    double scale) {
   VALMOD_CHECK(offset >= 0);

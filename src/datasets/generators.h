@@ -63,6 +63,38 @@ inline constexpr Index kSeismicFamilyBLength = 180;
 /// Pure Gaussian random walk; the neutral background for property tests.
 Series GenerateRandomWalk(Index n, std::uint64_t seed, double step = 1.0);
 
+/// Parameters of GeneratePlantedWalk.
+struct PlantedWalkSpec {
+  /// Length of the planted motif template in samples.
+  Index motif_length = 64;
+  /// Mean spacing between consecutive occurrence starts; must exceed
+  /// motif_length so occurrences never overlap.
+  Index mean_period = 600;
+  /// Relative jitter of the spacing: each gap is drawn uniformly from
+  /// [mean_period * (1 - jitter), mean_period * (1 + jitter)].
+  double period_jitter = 0.3;
+  /// Scale of the template relative to the walk's step size.
+  double amplitude = 4.0;
+  /// Standard deviation of per-occurrence additive noise, so occurrences
+  /// are near-identical but not bitwise equal.
+  double occurrence_noise = 0.05;
+  /// Step size of the random-walk background.
+  double walk_step = 0.5;
+};
+
+/// Streaming-benchmark generator: a Gaussian random walk with one
+/// stereotyped motif planted at quasi-periodic offsets. Because occurrences
+/// keep arriving for the whole stream, a sliding window of a few periods
+/// always contains at least two — the ground truth the online tracker
+/// (src/stream) is tested and benchmarked against. `out_offsets` (optional)
+/// receives the occurrence start offsets.
+Series GeneratePlantedWalk(Index n, std::uint64_t seed,
+                           const PlantedWalkSpec& spec,
+                           std::vector<Index>* out_offsets = nullptr);
+
+/// Default-spec overload matching the dataset-registry generator signature.
+Series GeneratePlantedWalk(Index n, std::uint64_t seed);
+
 /// Adds `pattern` into `series` starting at `offset`, scaled by `scale`,
 /// blended additively. Used to plant known motifs for exactness tests.
 void InjectPattern(Series& series, const Series& pattern, Index offset,

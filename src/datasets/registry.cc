@@ -25,14 +25,27 @@ const std::vector<DatasetSpec>& BenchmarkDatasets() {
   return specs;
 }
 
+const std::vector<DatasetSpec>& ExtraDatasets() {
+  // Leak-on-purpose singleton, same rationale as BenchmarkDatasets().
+  // lint: allow(no-naked-new) -- see above
+  static const std::vector<DatasetSpec>& specs = *new std::vector<DatasetSpec>{
+      {"PLANTED",
+       "random walk with a quasi-periodically planted motif (streaming)", 106,
+       &GeneratePlantedWalk},
+  };
+  return specs;
+}
+
 Status GenerateByName(const std::string& name, Index n, Series* out) {
   std::string upper = name;
   std::transform(upper.begin(), upper.end(), upper.begin(),
                  [](unsigned char c) { return std::toupper(c); });
-  for (const DatasetSpec& spec : BenchmarkDatasets()) {
-    if (spec.name == upper) {
-      *out = spec.generator(n, spec.default_seed);
-      return Status::Ok();
+  for (const auto* list : {&BenchmarkDatasets(), &ExtraDatasets()}) {
+    for (const DatasetSpec& spec : *list) {
+      if (spec.name == upper) {
+        *out = spec.generator(n, spec.default_seed);
+        return Status::Ok();
+      }
     }
   }
   return Status::NotFound("unknown dataset: " + name);

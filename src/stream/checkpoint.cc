@@ -1,0 +1,281 @@
+#include "stream/checkpoint.h"
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/serialize.h"
+#include "mp/matrix_profile.h"
+#include "stream/streaming_profile.h"
+#include "util/common.h"
+
+namespace valmod {
+namespace {
+
+/// FNV-1a 64 over the raw bytes — the checkpoint trailer hash. Chosen for
+/// being dependency-free and byte-order independent; the trailer guards
+/// against truncation and bit flips, not adversaries.
+std::uint64_t Fnv1a64(std::string_view bytes) {
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (char c : bytes) {
+    hash ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+/// Reads one line of the body, failing with InvalidArgument naming `what`
+/// when the checkpoint ends early.
+Status NextLine(std::istringstream& in, const std::string& what,
+                const std::string& path, std::string* line) {
+  if (!std::getline(in, *line)) {
+    return Status::InvalidArgument("checkpoint truncated before " + what +
+                                   " in " + path);
+  }
+  return Status::Ok();
+}
+
+/// Parses a `<keyword> <int>...` line into `n` integers, rejecting wrong
+/// keywords, missing fields, and trailing junk.
+Status ParseKeywordLine(const std::string& line, const std::string& keyword,
+                        int n, long long* values, const std::string& path) {
+  std::istringstream stream(line);
+  std::string word;
+  if (!(stream >> word) || word != keyword) {
+    return Status::InvalidArgument("expected '" + keyword + "' line, got '" +
+                                   line + "' in " + path);
+  }
+  for (int i = 0; i < n; ++i) {
+    if (!(stream >> values[i])) {
+      return Status::InvalidArgument("malformed '" + keyword + "' line '" +
+                                     line + "' in " + path);
+    }
+  }
+  if (stream >> word) {
+    return Status::InvalidArgument("trailing junk on '" + keyword +
+                                   "' line in " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status WriteCheckpoint(const OnlineMotifTracker& tracker,
+                       const std::string& path) {
+  std::ostringstream body;
+  body.precision(17);
+  const OnlineTrackerOptions& options = tracker.options();
+  body << "valmod-stream-checkpoint " << kStreamCheckpointVersion << '\n';
+  body << "options " << options.length_min << ' ' << options.length_max
+       << ' ' << options.length_step << ' ' << options.capacity << ' '
+       << options.stats_recompute_interval << '\n';
+  body << "total_appended " << tracker.total_appended() << '\n';
+
+  // The window is shared by every per-length profile, so it is stored once.
+  const std::vector<Index>& lengths = tracker.lengths();
+  std::vector<StreamingProfileSnapshot> snapshots;
+  snapshots.reserve(lengths.size());
+  for (Index len : lengths) {
+    snapshots.push_back(tracker.ProfileForLength(len).TakeSnapshot());
+  }
+  const std::vector<double>& window = snapshots.front().window;
+  body << "window " << window.size() << '\n';
+  for (double v : window) body << v << '\n';
+
+  body << "profiles " << lengths.size() << '\n';
+  for (const StreamingProfileSnapshot& snapshot : snapshots) {
+    body << "profile " << snapshot.options.subsequence_length << ' '
+         << (snapshot.initialized ? 1 : 0) << ' '
+         << snapshot.rows_since_reseed << ' ' << snapshot.distances.size()
+         << '\n';
+    for (std::size_t i = 0; i < snapshot.distances.size(); ++i) {
+      body << snapshot.distances[i] << ',' << snapshot.indices[i] << ','
+           << snapshot.qt_last[i] << '\n';
+    }
+  }
+
+  const std::string text = body.str();
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out << text << "checksum " << std::hex << Fnv1a64(text) << '\n';
+  out.flush();
+  return out ? Status::Ok() : Status::IoError("write failed: " + path);
+}
+
+Status ReadCheckpoint(const std::string& path, OnlineMotifTracker* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in) return Status::IoError("read failed: " + path);
+  const std::string content = buffer.str();
+
+  // Version first: a version mismatch must produce a clear error even
+  // though it also changes the checksum.
+  const std::size_t first_newline = content.find('\n');
+  if (first_newline == std::string::npos) {
+    return Status::InvalidArgument("not a stream checkpoint: " + path);
+  }
+  {
+    std::istringstream magic_line(content.substr(0, first_newline));
+    std::string magic;
+    int version = 0;
+    if (!(magic_line >> magic >> version) ||
+        magic != "valmod-stream-checkpoint") {
+      return Status::InvalidArgument("not a stream checkpoint: " + path);
+    }
+    if (version != kStreamCheckpointVersion) {
+      return Status::InvalidArgument("unsupported checkpoint version " +
+                                     std::to_string(version) + " in " + path);
+    }
+  }
+
+  // Checksum second: any byte flip in the body is rejected before the
+  // content is parsed.
+  const std::size_t trailer_pos = content.rfind("\nchecksum ");
+  if (trailer_pos == std::string::npos) {
+    return Status::InvalidArgument("missing checksum trailer in " + path);
+  }
+  const std::string body = content.substr(0, trailer_pos + 1);
+  {
+    std::istringstream trailer(content.substr(trailer_pos + 1));
+    std::string word;
+    std::string hex;
+    trailer >> word >> hex;
+    if (word != "checksum" || hex.empty()) {
+      return Status::InvalidArgument("malformed checksum trailer in " + path);
+    }
+    if (trailer >> word) {
+      return Status::InvalidArgument("trailing data after checksum in " +
+                                     path);
+    }
+    char* end = nullptr;
+    const std::uint64_t stored = std::strtoull(hex.c_str(), &end, 16);
+    if (end == hex.c_str() || *end != '\0' || stored != Fnv1a64(body)) {
+      return Status::InvalidArgument("checksum mismatch in " + path +
+                                     " (corrupt or truncated checkpoint)");
+    }
+  }
+
+  std::istringstream lines(body);
+  std::string line;
+  std::getline(lines, line);  // magic line, validated above
+
+  // Options are range-checked here because the OnlineMotifTracker
+  // constructor treats bad options as programmer error (CHECK-abort),
+  // while a corrupt file must surface as a recoverable Status.
+  long long v[5];
+  if (Status s = NextLine(lines, "options", path, &line); !s.ok()) return s;
+  if (Status s = ParseKeywordLine(line, "options", 5, v, path); !s.ok()) {
+    return s;
+  }
+  OnlineTrackerOptions options;
+  options.length_min = static_cast<Index>(v[0]);
+  options.length_max = static_cast<Index>(v[1]);
+  options.length_step = static_cast<Index>(v[2]);
+  options.capacity = static_cast<Index>(v[3]);
+  options.stats_recompute_interval = static_cast<Index>(v[4]);
+  if (options.length_min < 2 || options.length_max < options.length_min ||
+      options.length_max > kMaxSerializedIndex || options.length_step < 1 ||
+      options.stats_recompute_interval < 1 ||
+      (options.capacity != 0 &&
+       options.capacity < 2 * options.length_max)) {
+    return Status::InvalidArgument("invalid tracker options in " + path);
+  }
+
+  if (Status s = NextLine(lines, "total_appended", path, &line); !s.ok()) {
+    return s;
+  }
+  if (Status s = ParseKeywordLine(line, "total_appended", 1, v, path);
+      !s.ok()) {
+    return s;
+  }
+  const Index total_appended = static_cast<Index>(v[0]);
+
+  if (Status s = NextLine(lines, "window", path, &line); !s.ok()) return s;
+  if (Status s = ParseKeywordLine(line, "window", 1, v, path); !s.ok()) {
+    return s;
+  }
+  const Index window_size = static_cast<Index>(v[0]);
+  if (window_size < 0 || window_size > kMaxSerializedIndex ||
+      (options.capacity != 0 && window_size > options.capacity) ||
+      total_appended < window_size) {
+    return Status::OutOfRange("window size out of range in " + path);
+  }
+  std::vector<double> window;
+  window.reserve(static_cast<std::size_t>(window_size));
+  for (Index i = 0; i < window_size; ++i) {
+    if (Status s = NextLine(lines, "window values", path, &line); !s.ok()) {
+      return s;
+    }
+    double value = 0.0;
+    if (Status s = ParseCsvFields(line, 1, &value, path); !s.ok()) return s;
+    window.push_back(value);
+  }
+
+  if (Status s = NextLine(lines, "profiles", path, &line); !s.ok()) return s;
+  if (Status s = ParseKeywordLine(line, "profiles", 1, v, path); !s.ok()) {
+    return s;
+  }
+  const long long num_profiles = v[0];
+  std::vector<StreamingProfileSnapshot> snapshots;
+  for (long long p = 0; p < num_profiles; ++p) {
+    if (Status s = NextLine(lines, "profile header", path, &line); !s.ok()) {
+      return s;
+    }
+    long long h[4];
+    if (Status s = ParseKeywordLine(line, "profile", 4, h, path); !s.ok()) {
+      return s;
+    }
+    StreamingProfileSnapshot snapshot;
+    snapshot.options.subsequence_length = static_cast<Index>(h[0]);
+    snapshot.options.capacity = options.capacity;
+    snapshot.options.stats_recompute_interval =
+        options.stats_recompute_interval;
+    snapshot.total_appended = total_appended;
+    snapshot.initialized = h[1] != 0;
+    snapshot.rows_since_reseed = static_cast<Index>(h[2]);
+    snapshot.window = window;
+    const long long n_sub = h[3];
+    if (n_sub < 0 || n_sub > window_size) {
+      return Status::OutOfRange("profile row count out of range in " + path);
+    }
+    snapshot.distances.reserve(static_cast<std::size_t>(n_sub));
+    snapshot.indices.reserve(static_cast<std::size_t>(n_sub));
+    snapshot.qt_last.reserve(static_cast<std::size_t>(n_sub));
+    for (long long i = 0; i < n_sub; ++i) {
+      if (Status s = NextLine(lines, "profile rows", path, &line); !s.ok()) {
+        return s;
+      }
+      double f[3];
+      if (Status s = ParseCsvFields(line, 3, f, path); !s.ok()) return s;
+      if (f[0] < 0.0) {
+        return Status::InvalidArgument("negative distance in " + path);
+      }
+      if (!(f[1] >= -1.0 && f[1] <= static_cast<double>(window_size))) {
+        return Status::OutOfRange("neighbor index out of range in " + path);
+      }
+      snapshot.distances.push_back(f[0]);
+      snapshot.indices.push_back(static_cast<Index>(f[1]));
+      snapshot.qt_last.push_back(f[2]);
+    }
+    snapshots.push_back(std::move(snapshot));
+  }
+  while (std::getline(lines, line)) {
+    if (!line.empty()) {
+      return Status::InvalidArgument("trailing data before checksum in " +
+                                     path);
+    }
+  }
+
+  // Structural validation of each snapshot (array sizes, index ranges,
+  // reseed counter) happens inside the restore path.
+  return OnlineMotifTracker::FromSnapshots(options, snapshots, out);
+}
+
+}  // namespace valmod

@@ -1,0 +1,37 @@
+#ifndef VALMOD_STREAM_CHECKPOINT_H_
+#define VALMOD_STREAM_CHECKPOINT_H_
+
+#include <string>
+
+#include "stream/online_motif_tracker.h"
+#include "util/status.h"
+
+namespace valmod {
+
+/// Checkpoint/restore of an OnlineMotifTracker through a single text file,
+/// so a monitoring process can restart without replaying the stream. The
+/// format (documented in docs/STREAMING.md) is line-oriented: a magic line
+/// `valmod-stream-checkpoint <version>`, the tracker options, the shared
+/// window stored once, one profile section per tracked length, and a
+/// trailing FNV-1a 64 checksum over every preceding byte. The reader
+/// validates the version first (so version mismatches produce a clear
+/// error), then the checksum (so any byte flip elsewhere is rejected before
+/// parsing), then the structural invariants of every section.
+
+/// Version stamped in the magic line. Readers reject other versions.
+inline constexpr int kStreamCheckpointVersion = 1;
+
+/// Writes the tracker's complete state to `path`. Returns IoError when the
+/// file cannot be written.
+Status WriteCheckpoint(const OnlineMotifTracker& tracker,
+                       const std::string& path);
+
+/// Restores a tracker from a file written by WriteCheckpoint. Returns
+/// IoError when the file cannot be read, InvalidArgument on version
+/// mismatch, checksum failure, or inconsistent content. `*out` is assigned
+/// only on success.
+Status ReadCheckpoint(const std::string& path, OnlineMotifTracker* out);
+
+}  // namespace valmod
+
+#endif  // VALMOD_STREAM_CHECKPOINT_H_

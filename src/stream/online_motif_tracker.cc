@@ -1,0 +1,167 @@
+#include "stream/online_motif_tracker.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+#include "signal/znorm.h"
+#include "util/check.h"
+
+namespace valmod {
+namespace {
+
+/// True when `off` overlaps any taken (offset, length) occurrence within
+/// the exclusion zone — the disjointness rule of core/ranking.
+bool Overlaps(const std::vector<std::pair<Index, Index>>& taken, Index off,
+              Index len) {
+  for (const auto& [t_off, t_len] : taken) {
+    const Index excl = ExclusionZone(std::min(len, t_len));
+    if (std::llabs(static_cast<long long>(t_off - off)) < excl) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+OnlineMotifTracker::OnlineMotifTracker(OnlineTrackerOptions options)
+    : options_(options) {
+  VALMOD_CHECK(options_.length_min >= 2);
+  VALMOD_CHECK(options_.length_max >= options_.length_min);
+  VALMOD_CHECK(options_.length_step >= 1);
+  VALMOD_CHECK(options_.capacity == 0 ||
+               options_.capacity >= 2 * options_.length_max);
+  for (Index len = options_.length_min; len <= options_.length_max;
+       len += options_.length_step) {
+    lengths_.push_back(len);
+    StreamingProfileOptions profile_options;
+    profile_options.subsequence_length = len;
+    profile_options.capacity = options_.capacity;
+    profile_options.stats_recompute_interval =
+        options_.stats_recompute_interval;
+    profiles_.emplace_back(profile_options);
+  }
+}
+
+Status OnlineMotifTracker::FromSnapshots(
+    const OnlineTrackerOptions& options,
+    std::span<const StreamingProfileSnapshot> snapshots,
+    OnlineMotifTracker* out) {
+  OnlineMotifTracker tracker(options);
+  if (snapshots.size() != tracker.profiles_.size()) {
+    return Status::InvalidArgument("checkpoint: snapshot count does not "
+                                   "match the tracked length range");
+  }
+  for (std::size_t i = 0; i < snapshots.size(); ++i) {
+    const StreamingProfileSnapshot& snapshot = snapshots[i];
+    if (snapshot.options.subsequence_length != tracker.lengths_[i]) {
+      return Status::InvalidArgument("checkpoint: snapshot length order "
+                                     "does not match lengths()");
+    }
+    if (snapshot.options.capacity != options.capacity ||
+        snapshot.total_appended != snapshots[0].total_appended ||
+        snapshot.window.size() != snapshots[0].window.size()) {
+      return Status::InvalidArgument(
+          "checkpoint: snapshots disagree on the shared window");
+    }
+    if (Status s = StreamingMatrixProfile::FromSnapshot(
+            snapshot, &tracker.profiles_[i]);
+        !s.ok()) {
+      return s;
+    }
+  }
+  *out = std::move(tracker);
+  return Status::Ok();
+}
+
+void OnlineMotifTracker::Append(double value) {
+  for (StreamingMatrixProfile& profile : profiles_) profile.Append(value);
+}
+
+void OnlineMotifTracker::AppendBlock(std::span<const double> values) {
+  for (double v : values) Append(v);
+}
+
+const StreamingMatrixProfile& OnlineMotifTracker::ProfileForLength(
+    Index len) const {
+  for (std::size_t i = 0; i < lengths_.size(); ++i) {
+    if (lengths_[i] == len) return profiles_[i];
+  }
+  VALMOD_CHECK_MSG(false, "length is not tracked");
+  std::abort();  // unreachable; silences no-return warnings
+}
+
+bool OnlineMotifTracker::ready() const {
+  for (const StreamingMatrixProfile& profile : profiles_) {
+    if (profile.BestMotif().valid()) return true;
+  }
+  return false;
+}
+
+RankedPair OnlineMotifTracker::BestPair() const {
+  RankedPair best;
+  for (const StreamingMatrixProfile& profile : profiles_) {
+    const MotifPair pair = profile.BestMotif();
+    if (!pair.valid()) continue;
+    const double norm = LengthNormalize(pair.distance, pair.length);
+    if (norm < best.norm_distance) {
+      best.off1 = pair.a;
+      best.off2 = pair.b;
+      best.length = pair.length;
+      best.distance = pair.distance;
+      best.norm_distance = norm;
+    }
+  }
+  return best;
+}
+
+std::vector<RankedPair> OnlineMotifTracker::TopKPairs(Index k) const {
+  // Gather per-length candidates (top-k of each length's profile), rank
+  // them together under the sqrt(1/l) normalization, then greedily keep
+  // pairs whose occurrences are disjoint — the streaming analogue of
+  // Algorithm 5's heapBestKPairs.
+  std::vector<MotifPair> candidates;
+  for (const StreamingMatrixProfile& profile : profiles_) {
+    const std::vector<MotifPair> top =
+        TopMotifsFromProfile(profile.Profile(), k);
+    candidates.insert(candidates.end(), top.begin(), top.end());
+  }
+  const std::vector<RankedPair> ranked =
+      RankMotifsByNormalizedDistance(candidates);
+  std::vector<RankedPair> out;
+  std::vector<std::pair<Index, Index>> taken;
+  for (const RankedPair& pair : ranked) {
+    if (static_cast<Index>(out.size()) >= k) break;
+    if (Overlaps(taken, pair.off1, pair.length) ||
+        Overlaps(taken, pair.off2, pair.length)) {
+      continue;
+    }
+    out.push_back(pair);
+    taken.emplace_back(pair.off1, pair.length);
+    taken.emplace_back(pair.off2, pair.length);
+  }
+  return out;
+}
+
+std::vector<Discord> OnlineMotifTracker::TopDiscords(Index k) const {
+  std::vector<Discord> candidates;
+  for (const StreamingMatrixProfile& profile : profiles_) {
+    const Discord d = profile.TopDiscord();
+    if (d.valid()) candidates.push_back(d);
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Discord& a, const Discord& b) {
+              return LengthNormalize(a.distance, a.length) >
+                     LengthNormalize(b.distance, b.length);
+            });
+  std::vector<Discord> out;
+  std::vector<std::pair<Index, Index>> taken;
+  for (const Discord& d : candidates) {
+    if (static_cast<Index>(out.size()) >= k) break;
+    if (Overlaps(taken, d.offset, d.length)) continue;
+    out.push_back(d);
+    taken.emplace_back(d.offset, d.length);
+  }
+  return out;
+}
+
+}  // namespace valmod

@@ -1,0 +1,102 @@
+#ifndef VALMOD_STREAM_ONLINE_MOTIF_TRACKER_H_
+#define VALMOD_STREAM_ONLINE_MOTIF_TRACKER_H_
+
+#include <span>
+#include <vector>
+
+#include "core/ranking.h"
+#include "mp/matrix_profile.h"
+#include "stream/streaming_profile.h"
+#include "util/common.h"
+#include "util/status.h"
+
+namespace valmod {
+
+/// Configuration of an OnlineMotifTracker.
+struct OnlineTrackerOptions {
+  /// Inclusive motif-length range tracked, stepped by `length_step` —
+  /// the streaming counterpart of ValmodOptions' [l_min, l_max].
+  Index length_min = 0;
+  Index length_max = 0;
+  Index length_step = 1;
+  /// Sliding-window capacity in points shared by every tracked length
+  /// (0 = unbounded). When positive it must be >= 2 * length_max.
+  Index capacity = 0;
+  /// Forwarded to every per-length StreamingSeries drift policy.
+  Index stats_recompute_interval = 1 << 15;
+};
+
+/// Keeps VALMOD's variable-length motif state current as points arrive: one
+/// StreamingMatrixProfile per tracked length, queried under the paper's
+/// sqrt(1/l) length normalization (Section 3) so pairs of different lengths
+/// rank against each other exactly like the batch Problem 2 machinery in
+/// core/ranking. Evictions propagate to every length, so the best pair,
+/// top-K pairs, and top discords always describe the live window only.
+class OnlineMotifTracker {
+ public:
+  /// Creates a tracker over the configured length range; CHECK-fails on
+  /// invalid options.
+  explicit OnlineMotifTracker(OnlineTrackerOptions options);
+
+  /// Checkpoint-restore constructor: rebuilds a tracker from per-length
+  /// snapshots (one per tracked length, in lengths() order, all sharing the
+  /// same window). Returns InvalidArgument on inconsistent snapshots.
+  static Status FromSnapshots(
+      const OnlineTrackerOptions& options,
+      std::span<const StreamingProfileSnapshot> snapshots,
+      OnlineMotifTracker* out);
+
+  /// Appends one point to every tracked length. Cost O(L * w) for L lengths
+  /// over a window of w points.
+  void Append(double value);
+
+  /// Appends every value of `values` in order.
+  void AppendBlock(std::span<const double> values);
+
+  /// Active options.
+  const OnlineTrackerOptions& options() const { return options_; }
+
+  /// The tracked subsequence lengths, ascending.
+  const std::vector<Index>& lengths() const { return lengths_; }
+
+  /// Number of live points in the shared window.
+  Index size() const { return profiles_.front().size(); }
+
+  /// Total points ever appended.
+  Index total_appended() const {
+    return profiles_.front().series().total_appended();
+  }
+
+  /// Number of evicted points.
+  Index dropped() const { return profiles_.front().series().dropped(); }
+
+  /// The per-length streaming profile; `len` must be a tracked length.
+  const StreamingMatrixProfile& ProfileForLength(Index len) const;
+
+  /// True once at least one tracked length has a valid pair.
+  bool ready() const;
+
+  /// The current best pair across all tracked lengths under the
+  /// length-normalized distance; an invalid pair (off1 == kNoNeighbor)
+  /// before ready().
+  RankedPair BestPair() const;
+
+  /// The current top-k pairs across all tracked lengths, ascending by
+  /// length-normalized distance, with occurrences disjoint under the
+  /// exclusion-zone rule of core/ranking's SelectTopKPairs.
+  std::vector<RankedPair> TopKPairs(Index k) const;
+
+  /// The current top-k discords across all tracked lengths, descending by
+  /// length-normalized nearest-neighbor distance, at most one per tracked
+  /// length, offsets disjoint under the exclusion zone.
+  std::vector<Discord> TopDiscords(Index k) const;
+
+ private:
+  OnlineTrackerOptions options_;
+  std::vector<Index> lengths_;
+  std::vector<StreamingMatrixProfile> profiles_;
+};
+
+}  // namespace valmod
+
+#endif  // VALMOD_STREAM_ONLINE_MOTIF_TRACKER_H_

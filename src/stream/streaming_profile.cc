@@ -1,0 +1,259 @@
+#include "stream/streaming_profile.h"
+
+#include <utility>
+
+#include "mp/stomp.h"
+#include "mp/stomp_kernel.h"
+#include "signal/distance.h"
+#include "signal/sliding_dot.h"
+#include "util/check.h"
+
+namespace valmod {
+
+StreamingMatrixProfile::StreamingMatrixProfile(StreamingProfileOptions options)
+    : options_(options),
+      series_(StreamingSeriesOptions{options.capacity,
+                                     options.stats_recompute_interval}) {
+  VALMOD_CHECK(options_.subsequence_length >= 2);
+  VALMOD_CHECK(options_.capacity == 0 ||
+               options_.capacity >= 2 * options_.subsequence_length);
+}
+
+void StreamingMatrixProfile::Append(double value) {
+  const bool evicts =
+      options_.capacity > 0 && series_.size() == options_.capacity;
+  series_.Append(value);
+  std::vector<Index> stale;
+  if (evicts && initialized_) EvictFront(&stale);
+  if (series_.size() < options_.subsequence_length + 1) return;  // warm-up
+  if (!initialized_) {
+    InitializeFromBatch();
+    return;
+  }
+  IncorporateNewRow();
+  for (Index offset : stale) RecomputeRow(offset);
+}
+
+void StreamingMatrixProfile::AppendBlock(std::span<const double> values) {
+  for (double v : values) Append(v);
+}
+
+void StreamingMatrixProfile::InitializeFromBatch() {
+  const Index len = options_.subsequence_length;
+  const std::span<const double> t = series_.Window();
+  // A fresh PrefixStats over the window makes the initial profile
+  // bit-identical to a batch Stomp call on the same data.
+  const PrefixStats stats(t);
+  MatrixProfile profile = Stomp(t, stats, len);
+  distances_ = std::move(profile.distances);
+  indices_ = std::move(profile.indices);
+  const Index r = num_subsequences() - 1;
+  qt_last_ =
+      SlidingDotProduct(t.subspan(static_cast<std::size_t>(r),
+                                  static_cast<std::size_t>(len)),
+                        t);
+  rows_since_reseed_ = 0;
+  ++mass_reseeds_;
+  initialized_ = true;
+}
+
+void StreamingMatrixProfile::IncorporateNewRow() {
+  const Index len = options_.subsequence_length;
+  const std::span<const double> t = series_.Window();
+  const Index n_sub = num_subsequences();
+  const Index r = n_sub - 1;
+
+  col_stats_.resize(static_cast<std::size_t>(n_sub));
+  for (Index c = 0; c < n_sub; ++c) {
+    col_stats_[static_cast<std::size_t>(c)] = series_.Stats(c, len);
+  }
+
+  // Advance the dot-product row. Re-seed with MASS on the batch kernel's
+  // fixed chunk grid (bounds recurrence drift to kStompChunkRows steps, the
+  // same guarantee batch STOMP gives itself — see mp/stomp_kernel.h);
+  // otherwise derive row r from row r-1 with the O(n) STOMP recurrence.
+  if (rows_since_reseed_ + 1 >= internal::kStompChunkRows) {
+    qt_scratch_ =
+        SlidingDotProduct(t.subspan(static_cast<std::size_t>(r),
+                                    static_cast<std::size_t>(len)),
+                          t);
+    rows_since_reseed_ = 0;
+    ++mass_reseeds_;
+  } else {
+    qt_scratch_.resize(static_cast<std::size_t>(n_sub));
+    for (Index c = n_sub - 1; c >= 1; --c) {
+      qt_scratch_[static_cast<std::size_t>(c)] =
+          qt_last_[static_cast<std::size_t>(c - 1)] -
+          t[static_cast<std::size_t>(r - 1)] *
+              t[static_cast<std::size_t>(c - 1)] +
+          t[static_cast<std::size_t>(r + len - 1)] *
+              t[static_cast<std::size_t>(c + len - 1)];
+    }
+    qt_scratch_[0] = SubsequenceDotProduct(t, r, 0, len);
+    ++rows_since_reseed_;
+  }
+
+  // Distance profile of the new row: set its own slot to the row minimum
+  // and min-update every older slot against the new subsequence.
+  const MeanStd row_stats = col_stats_[static_cast<std::size_t>(r)];
+  double best = kInf;
+  Index best_c = kNoNeighbor;
+  distances_.push_back(kInf);
+  indices_.push_back(kNoNeighbor);
+  for (Index c = 0; c < n_sub; ++c) {
+    if (IsTrivialMatch(r, c, len)) continue;
+    const std::size_t k = static_cast<std::size_t>(c);
+    const double d = ZNormalizedDistanceFromDotProduct(qt_scratch_[k], len,
+                                                       row_stats,
+                                                       col_stats_[k]);
+    if (d < best) {
+      best = d;
+      best_c = c;
+    }
+    if (d < distances_[k]) {
+      distances_[k] = d;
+      indices_[k] = r;
+    }
+  }
+  distances_[static_cast<std::size_t>(r)] = best;
+  indices_[static_cast<std::size_t>(r)] = best_c;
+  qt_last_.swap(qt_scratch_);
+}
+
+void StreamingMatrixProfile::EvictFront(std::vector<Index>* stale) {
+  // Subsequence 0 of the previous window left the buffer: drop its profile
+  // slot, shift every stored neighbor index down by one, and collect the
+  // offsets whose nearest neighbor was the evicted subsequence — their
+  // stored distance is no longer witnessed and must be recomputed.
+  distances_.erase(distances_.begin());
+  indices_.erase(indices_.begin());
+  if (!qt_last_.empty()) qt_last_.erase(qt_last_.begin());
+  for (std::size_t j = 0; j < indices_.size(); ++j) {
+    if (indices_[j] == kNoNeighbor) continue;
+    if (--indices_[j] < 0) {
+      indices_[j] = kNoNeighbor;
+      distances_[j] = kInf;
+      stale->push_back(static_cast<Index>(j));
+    }
+  }
+}
+
+void StreamingMatrixProfile::RecomputeRow(Index row) {
+  const Index len = options_.subsequence_length;
+  const std::span<const double> t = series_.Window();
+  const Index n_sub = num_subsequences();
+  const std::vector<double> qt =
+      SlidingDotProduct(t.subspan(static_cast<std::size_t>(row),
+                                  static_cast<std::size_t>(len)),
+                        t);
+  const MeanStd row_stats = series_.Stats(row, len);
+  double best = kInf;
+  Index best_c = kNoNeighbor;
+  for (Index c = 0; c < n_sub; ++c) {
+    if (IsTrivialMatch(row, c, len)) continue;
+    const double d = ZNormalizedDistanceFromDotProduct(
+        qt[static_cast<std::size_t>(c)], len, row_stats,
+        series_.Stats(c, len));
+    if (d < best) {
+      best = d;
+      best_c = c;
+    }
+  }
+  // Only this row's slot is refreshed: every other slot's stored minimum is
+  // still witnessed by a live subsequence.
+  distances_[static_cast<std::size_t>(row)] = best;
+  indices_[static_cast<std::size_t>(row)] = best_c;
+  ++stale_recomputes_;
+}
+
+MatrixProfile StreamingMatrixProfile::Profile() const {
+  MatrixProfile out;
+  out.subsequence_length = options_.subsequence_length;
+  out.distances = distances_;
+  out.indices = indices_;
+  return out;
+}
+
+MotifPair StreamingMatrixProfile::BestMotif() const {
+  return MotifFromProfile(Profile());
+}
+
+Discord StreamingMatrixProfile::TopDiscord() const {
+  return DiscordFromProfile(Profile());
+}
+
+StreamingProfileSnapshot StreamingMatrixProfile::TakeSnapshot() const {
+  StreamingProfileSnapshot snapshot;
+  snapshot.options = options_;
+  snapshot.total_appended = series_.total_appended();
+  snapshot.initialized = initialized_;
+  snapshot.rows_since_reseed = rows_since_reseed_;
+  const std::span<const double> t = series_.Window();
+  snapshot.window.assign(t.begin(), t.end());
+  snapshot.distances = distances_;
+  snapshot.indices = indices_;
+  snapshot.qt_last = qt_last_;
+  return snapshot;
+}
+
+Status StreamingMatrixProfile::FromSnapshot(
+    const StreamingProfileSnapshot& snapshot, StreamingMatrixProfile* out) {
+  const StreamingProfileOptions& options = snapshot.options;
+  const Index len = options.subsequence_length;
+  const Index n = static_cast<Index>(snapshot.window.size());
+  if (len < 2) {
+    return Status::InvalidArgument("snapshot: subsequence length < 2");
+  }
+  if (options.capacity != 0 && options.capacity < 2 * len) {
+    return Status::InvalidArgument("snapshot: capacity < 2 * length");
+  }
+  if (options.capacity != 0 && n > options.capacity) {
+    return Status::InvalidArgument("snapshot: window exceeds capacity");
+  }
+  if (options.stats_recompute_interval < 1) {
+    return Status::InvalidArgument("snapshot: recompute interval < 1");
+  }
+  if (snapshot.total_appended < n) {
+    return Status::InvalidArgument("snapshot: total appends < window size");
+  }
+  const Index n_sub = NumSubsequences(n, len);
+  if (snapshot.initialized) {
+    if (n < len + 1) {
+      return Status::InvalidArgument("snapshot: initialized but window too "
+                                     "short for two subsequences");
+    }
+    const std::size_t want = static_cast<std::size_t>(n_sub);
+    if (snapshot.distances.size() != want ||
+        snapshot.indices.size() != want || snapshot.qt_last.size() != want) {
+      return Status::InvalidArgument("snapshot: profile arrays do not match "
+                                     "the window's subsequence count");
+    }
+    if (snapshot.rows_since_reseed < 0 ||
+        snapshot.rows_since_reseed >= internal::kStompChunkRows) {
+      return Status::InvalidArgument("snapshot: reseed counter out of range");
+    }
+    for (Index idx : snapshot.indices) {
+      if (idx < kNoNeighbor || idx >= n_sub) {
+        return Status::OutOfRange("snapshot: neighbor index out of range");
+      }
+    }
+  } else if (!snapshot.distances.empty() || !snapshot.indices.empty() ||
+             !snapshot.qt_last.empty()) {
+    return Status::InvalidArgument(
+        "snapshot: uninitialized profile carries state");
+  }
+  StreamingMatrixProfile restored(options);
+  restored.series_ = StreamingSeries(
+      StreamingSeriesOptions{options.capacity,
+                             options.stats_recompute_interval},
+      snapshot.window, snapshot.total_appended);
+  restored.initialized_ = snapshot.initialized;
+  restored.rows_since_reseed_ = snapshot.rows_since_reseed;
+  restored.distances_ = snapshot.distances;
+  restored.indices_ = snapshot.indices;
+  restored.qt_last_ = snapshot.qt_last;
+  *out = std::move(restored);
+  return Status::Ok();
+}
+
+}  // namespace valmod

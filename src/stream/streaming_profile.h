@@ -1,0 +1,147 @@
+#ifndef VALMOD_STREAM_STREAMING_PROFILE_H_
+#define VALMOD_STREAM_STREAMING_PROFILE_H_
+
+#include <span>
+#include <vector>
+
+#include "mp/matrix_profile.h"
+#include "stream/streaming_series.h"
+#include "util/common.h"
+#include "util/prefix_stats.h"
+#include "util/status.h"
+
+namespace valmod {
+
+/// Configuration of a StreamingMatrixProfile.
+struct StreamingProfileOptions {
+  /// Subsequence (motif) length the profile is maintained for. Required,
+  /// >= 2.
+  Index subsequence_length = 0;
+  /// Sliding-window capacity in points (0 = unbounded). When positive it
+  /// must be at least 2 * subsequence_length, so the window always holds
+  /// non-trivially-matching pairs.
+  Index capacity = 0;
+  /// Forwarded to the underlying StreamingSeries drift policy.
+  Index stats_recompute_interval = 1 << 15;
+};
+
+/// Serializable state of a StreamingMatrixProfile, produced by
+/// TakeSnapshot() and consumed by FromSnapshot() — the unit of the
+/// checkpoint/restore path (src/stream/checkpoint.h). Restoring from a
+/// snapshot reproduces the exact internal arrays, so a restarted process
+/// continues bit-for-bit without replaying the stream.
+struct StreamingProfileSnapshot {
+  StreamingProfileOptions options;
+  Index total_appended = 0;
+  bool initialized = false;
+  Index rows_since_reseed = 0;
+  std::vector<double> window;
+  std::vector<double> distances;
+  std::vector<Index> indices;
+  std::vector<double> qt_last;
+};
+
+/// Incrementally maintained matrix profile over an append-only series: the
+/// STAMPI idea (Yeh et al., ICDM'16) adapted to this codebase's batch STOMP
+/// conventions. Each appended point introduces one new subsequence whose
+/// dot-product row is derived from the previous row with the O(n) STOMP
+/// recurrence of mp/stomp_kernel; the row is re-seeded with MASS on the same
+/// fixed chunk grid (kStompChunkRows) as batch STOMP, so recurrence rounding
+/// drift stays bounded by the chunk length and streaming results remain
+/// directly comparable to a batch recompute over the accumulated window.
+///
+/// With a bounded window, eviction of the oldest point invalidates profile
+/// entries whose nearest neighbor left the window; those rows are recomputed
+/// exactly (MASS), keeping the maintained profile exact over the live window
+/// rather than an approximation.
+class StreamingMatrixProfile {
+ public:
+  /// Creates an empty streaming profile; CHECK-fails on invalid options
+  /// (see StreamingProfileOptions).
+  explicit StreamingMatrixProfile(StreamingProfileOptions options);
+
+  /// Appends one point and folds it into the profile. Cost: O(w) for a
+  /// window of w points (O(w log w) on chunk-reseed appends and when
+  /// eviction invalidated entries).
+  void Append(double value);
+
+  /// Appends every value of `values` in order.
+  void AppendBlock(std::span<const double> values);
+
+  /// The underlying windowed series.
+  const StreamingSeries& series() const { return series_; }
+
+  /// Active options.
+  const StreamingProfileOptions& options() const { return options_; }
+
+  /// Number of live points in the window.
+  Index size() const { return series_.size(); }
+
+  /// Number of live subsequences (profile slots once initialized).
+  Index num_subsequences() const {
+    return NumSubsequences(series_.size(), options_.subsequence_length);
+  }
+
+  /// True once the warm-up is over (>= 2 subsequences) and the profile is
+  /// being maintained; Profile() is empty before that.
+  bool initialized() const { return initialized_; }
+
+  /// Snapshot of the current matrix profile over the live window, in
+  /// window-relative offsets (0 = oldest live point).
+  MatrixProfile Profile() const;
+
+  /// Best (lowest-distance) pair currently in the window.
+  MotifPair BestMotif() const;
+
+  /// Subsequence with the largest nearest-neighbor distance in the window.
+  Discord TopDiscord() const;
+
+  /// Number of MASS re-seeds of the dot-product row so far (chunk-grid
+  /// boundaries plus initialization); exposed for tests and benchmarks.
+  Index mass_reseeds() const { return mass_reseeds_; }
+
+  /// Number of profile rows recomputed because eviction removed their
+  /// nearest neighbor; exposed for tests and benchmarks.
+  Index stale_recomputes() const { return stale_recomputes_; }
+
+  /// Copies the complete internal state for checkpointing.
+  StreamingProfileSnapshot TakeSnapshot() const;
+
+  /// Rebuilds a profile from a snapshot. Returns InvalidArgument when the
+  /// snapshot is internally inconsistent (sizes, ranges); used by the
+  /// checkpoint reader after checksum validation.
+  static Status FromSnapshot(const StreamingProfileSnapshot& snapshot,
+                             StreamingMatrixProfile* out);
+
+ private:
+  /// Runs batch STOMP over the current window (first time two subsequences
+  /// exist) and seeds the incremental dot-product row.
+  void InitializeFromBatch();
+
+  /// Folds the newest subsequence into the profile: advances the QT row,
+  /// computes its distance profile, and min-updates every slot.
+  void IncorporateNewRow();
+
+  /// Shifts profile state after the oldest point was evicted and collects
+  /// the offsets whose stored nearest neighbor left the window.
+  void EvictFront(std::vector<Index>* stale);
+
+  /// Exactly recomputes one row's nearest neighbor (MASS distance profile).
+  void RecomputeRow(Index row);
+
+  StreamingProfileOptions options_;
+  StreamingSeries series_;
+  bool initialized_ = false;
+  std::vector<double> distances_;  // window-relative profile
+  std::vector<Index> indices_;
+  std::vector<double> qt_last_;  // QT row of the newest subsequence
+  Index rows_since_reseed_ = 0;
+  Index mass_reseeds_ = 0;
+  Index stale_recomputes_ = 0;
+  std::vector<MeanStd> col_stats_;  // per-append scratch
+  std::vector<double> qt_scratch_;
+};
+
+}  // namespace valmod
+
+#endif  // VALMOD_STREAM_STREAMING_PROFILE_H_

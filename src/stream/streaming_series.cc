@@ -1,0 +1,88 @@
+#include "stream/streaming_series.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace valmod {
+
+StreamingSeries::StreamingSeries(StreamingSeriesOptions options)
+    : options_(options) {
+  VALMOD_CHECK(options_.capacity == 0 || options_.capacity >= 2);
+  VALMOD_CHECK(options_.stats_recompute_interval >= 1);
+  sum_.push_back(0.0L);
+  sq_.push_back(0.0L);
+  if (options_.capacity > 0) {
+    const std::size_t cap = static_cast<std::size_t>(options_.capacity);
+    // The buffer is compacted before it doubles, so 2x capacity suffices.
+    data_.reserve(2 * cap);
+    sum_.reserve(2 * cap + 1);
+    sq_.reserve(2 * cap + 1);
+  }
+}
+
+StreamingSeries::StreamingSeries(StreamingSeriesOptions options,
+                                 std::span<const double> window,
+                                 Index total_appended)
+    : StreamingSeries(options) {
+  VALMOD_CHECK(total_appended >= static_cast<Index>(window.size()));
+  VALMOD_CHECK(options_.capacity == 0 ||
+               static_cast<Index>(window.size()) <= options_.capacity);
+  data_.assign(window.begin(), window.end());
+  total_appended_ = total_appended;
+  Rebuild();
+  rebuild_count_ = 0;  // The restore rebuild is not a drift event.
+}
+
+void StreamingSeries::Append(double value) {
+  if (options_.capacity > 0 && size() == options_.capacity) ++start_;
+  data_.push_back(value);
+  const long double v = value;
+  sum_.push_back(sum_.back() + v);
+  sq_.push_back(sq_.back() + v * v);
+  ++total_appended_;
+  ++appends_since_rebuild_;
+  // Compact when the dead prefix outgrows the live window (amortized O(1)
+  // per append) or when the drift policy forces an exact recomputation.
+  if (start_ > 0 && (start_ >= size() ||
+                     appends_since_rebuild_ >=
+                         options_.stats_recompute_interval)) {
+    Rebuild();
+  }
+}
+
+void StreamingSeries::AppendBlock(std::span<const double> values) {
+  for (double v : values) Append(v);
+}
+
+MeanStd StreamingSeries::Stats(Index offset, Index len) const {
+  VALMOD_DCHECK(offset >= 0 && len >= 1 && offset + len <= size());
+  const std::size_t lo = static_cast<std::size_t>(start_ + offset);
+  const std::size_t hi = static_cast<std::size_t>(start_ + offset + len);
+  const long double l = static_cast<long double>(len);
+  const long double s = sum_[hi] - sum_[lo];
+  const long double ss = sq_[hi] - sq_[lo];
+  const long double mean = s / l;
+  long double var = ss / l - mean * mean;
+  if (var < 0.0L) var = 0.0L;
+  return MeanStd{static_cast<double>(mean),
+                 static_cast<double>(std::sqrt(var))};
+}
+
+void StreamingSeries::Rebuild() {
+  data_.erase(data_.begin(),
+              data_.begin() + static_cast<std::ptrdiff_t>(start_));
+  start_ = 0;
+  const std::size_t n = data_.size();
+  sum_.assign(n + 1, 0.0L);
+  sq_.assign(n + 1, 0.0L);
+  for (std::size_t i = 0; i < n; ++i) {
+    const long double v = data_[i];
+    sum_[i + 1] = sum_[i] + v;
+    sq_[i + 1] = sq_[i] + v * v;
+  }
+  appends_since_rebuild_ = 0;
+  ++rebuild_count_;
+}
+
+}  // namespace valmod

@@ -1,0 +1,101 @@
+#ifndef VALMOD_STREAM_STREAMING_SERIES_H_
+#define VALMOD_STREAM_STREAMING_SERIES_H_
+
+#include <span>
+#include <vector>
+
+#include "util/common.h"
+#include "util/prefix_stats.h"
+
+namespace valmod {
+
+/// Configuration of a StreamingSeries.
+struct StreamingSeriesOptions {
+  /// Maximum number of live points. Once reached, every append evicts the
+  /// oldest point (a sliding window). 0 keeps every point (append-only).
+  Index capacity = 0;
+  /// Appends between forced exact rebuilds of the rolling prefix
+  /// statistics. Rebuilds re-accumulate the prefix sums from the live
+  /// window only, which bounds the floating-point drift of the rolling
+  /// formulas (see docs/STREAMING.md, "Drift policy").
+  Index stats_recompute_interval = 1 << 15;
+};
+
+/// Append-only view of a growing data series with rolling z-normalization
+/// statistics: the streaming counterpart of util/prefix_stats. Points are
+/// held in a compacting ring buffer whose live window stays contiguous, so
+/// the sliding-dot-product kernels can consume it as a plain span; prefix
+/// sums extend incrementally in O(1) per append and are periodically
+/// re-accumulated from scratch so rounding drift never grows with the
+/// stream length.
+class StreamingSeries {
+ public:
+  /// Creates an empty streaming series. A positive `options.capacity`
+  /// (>= 2) turns the series into a sliding window that evicts the oldest
+  /// point once full; 0 keeps every appended point.
+  explicit StreamingSeries(StreamingSeriesOptions options = {});
+
+  /// Checkpoint-restore constructor: reconstructs a series whose live
+  /// window is `window` after `total_appended` total appends. Prefix
+  /// statistics are rebuilt exactly from the window contents, so no replay
+  /// of evicted points is needed.
+  StreamingSeries(StreamingSeriesOptions options,
+                  std::span<const double> window, Index total_appended);
+
+  /// Appends one point, evicting the oldest when the window is at
+  /// capacity. Amortized O(1): prefix statistics extend incrementally and
+  /// the dead prefix left by eviction is compacted geometrically.
+  void Append(double value);
+
+  /// Appends every value of `values` in order.
+  void AppendBlock(std::span<const double> values);
+
+  /// Number of live (non-evicted) points.
+  Index size() const { return static_cast<Index>(data_.size()) - start_; }
+
+  /// Total points ever appended, including evicted ones.
+  Index total_appended() const { return total_appended_; }
+
+  /// Number of evicted points; equivalently, the absolute stream position
+  /// of live offset 0.
+  Index dropped() const { return total_appended() - size(); }
+
+  /// Contiguous view of the live window, oldest point first.
+  std::span<const double> Window() const {
+    return std::span<const double>(data_).subspan(
+        static_cast<std::size_t>(start_));
+  }
+
+  /// Value at live offset `i` (0 = oldest live point).
+  double At(Index i) const {
+    return data_[static_cast<std::size_t>(start_ + i)];
+  }
+
+  /// Mean and population standard deviation of the live-window subsequence
+  /// [offset, offset + len), computed from the rolling prefix sums with the
+  /// same long-double formula as PrefixStats::Stats, so the streaming and
+  /// batch distance kernels see matching statistics.
+  MeanStd Stats(Index offset, Index len) const;
+
+  /// Number of exact prefix rebuilds performed so far (compactions plus
+  /// interval-forced recomputations); exposed for tests and benchmarks.
+  Index rebuild_count() const { return rebuild_count_; }
+
+ private:
+  /// Compacts the dead prefix away and re-accumulates the prefix sums from
+  /// the live window, resetting the drift-policy counters.
+  void Rebuild();
+
+  StreamingSeriesOptions options_;
+  std::vector<double> data_;      // dead prefix [0, start_) + live window
+  std::vector<long double> sum_;  // sum_[i] = data_[0] + ... + data_[i-1]
+  std::vector<long double> sq_;   // sq_[i]  = data_[0]^2 + ... + data_[i-1]^2
+  Index start_ = 0;
+  Index total_appended_ = 0;
+  Index appends_since_rebuild_ = 0;
+  Index rebuild_count_ = 0;
+};
+
+}  // namespace valmod
+
+#endif  // VALMOD_STREAM_STREAMING_SERIES_H_

@@ -78,11 +78,90 @@ TEST(SerializeMotifsTest, RoundTripPreservesPairs) {
   std::remove(path.c_str());
 }
 
+TEST(SerializeTest, MissingVersionLineIsRejected) {
+  // A pre-v2 file starts directly with the header row.
+  const std::string path = TempPath("legacy.csv");
+  {
+    std::ofstream f(path);
+    f << "offset,distance,neighbor\n0,1.0,5\n";
+  }
+  MatrixProfile profile;
+  const Status s = ReadMatrixProfileCsv(path, 16, &profile);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("valmod-csv"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, UnsupportedVersionIsRejected) {
+  const std::string path = TempPath("future.csv");
+  {
+    std::ofstream f(path);
+    f << "# valmod-csv 99\noffset,distance,neighbor\n0,1.0,5\n";
+  }
+  MatrixProfile profile;
+  const Status s = ReadMatrixProfileCsv(path, 16, &profile);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("version"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, WriterStampsCurrentVersion) {
+  const std::string path = TempPath("stamped.csv");
+  ASSERT_TRUE(WriteMotifsCsv({MotifPair{1, 50, 16, 1.0}}, path).ok());
+  std::ifstream f(path);
+  std::string first;
+  ASSERT_TRUE(std::getline(f, first));
+  EXPECT_EQ(first,
+            "# valmod-csv " + std::to_string(kCsvFormatVersion));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, ExtraFieldsAreRejected) {
+  const std::string path = TempPath("extra.csv");
+  {
+    std::ofstream f(path);
+    f << "# valmod-csv 2\nlength,offset_a,offset_b,distance\n"
+      << "10,2,300,4.0,extra\n";
+  }
+  std::vector<MotifPair> motifs;
+  EXPECT_EQ(ReadMotifsCsv(path, &motifs).code(),
+            StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, NanFieldIsRejected) {
+  const std::string path = TempPath("nan.csv");
+  {
+    std::ofstream f(path);
+    f << "# valmod-csv 2\nlength,offset_a,offset_b,distance\n"
+      << "10,2,300,nan\n";
+  }
+  std::vector<MotifPair> motifs;
+  EXPECT_EQ(ReadMotifsCsv(path, &motifs).code(),
+            StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, HugeOffsetIsRejectedBeforeAllocation) {
+  // A corrupt offset far past kMaxSerializedIndex must fail cleanly
+  // instead of sizing the output container from it.
+  const std::string path = TempPath("huge.csv");
+  {
+    std::ofstream f(path);
+    f << "# valmod-csv 2\noffset,distance,neighbor\n"
+      << "99999999999999999,1.0,5\n";
+  }
+  MatrixProfile profile;
+  EXPECT_EQ(ReadMatrixProfileCsv(path, 16, &profile).code(),
+            StatusCode::kOutOfRange);
+  std::remove(path.c_str());
+}
+
 TEST(SerializeTest, WrongHeaderIsRejected) {
   const std::string path = TempPath("bad_header.csv");
   {
     std::ofstream f(path);
-    f << "totally,unrelated,columns\n1,2,3\n";
+    f << "# valmod-csv 2\ntotally,unrelated,columns\n1,2,3\n";
   }
   MatrixProfile profile;
   EXPECT_EQ(ReadMatrixProfileCsv(path, 16, &profile).code(),
@@ -97,7 +176,8 @@ TEST(SerializeTest, MalformedRowIsRejected) {
   const std::string path = TempPath("bad_row.csv");
   {
     std::ofstream f(path);
-    f << "length,offset_a,offset_b,distance\n10,garbage,3,4\n";
+    f << "# valmod-csv 2\nlength,offset_a,offset_b,distance\n"
+      << "10,garbage,3,4\n";
   }
   std::vector<MotifPair> motifs;
   EXPECT_EQ(ReadMotifsCsv(path, &motifs).code(),
@@ -109,7 +189,7 @@ TEST(SerializeTest, OutOfRangeValmpOffsetIsRejected) {
   const std::string path = TempPath("oob.csv");
   {
     std::ofstream f(path);
-    f << "offset,neighbor,length,distance,norm_distance\n"
+    f << "# valmod-csv 2\noffset,neighbor,length,distance,norm_distance\n"
       << "999,1,16,2.0,0.5\n";
   }
   Valmp loaded(0);

@@ -6,6 +6,7 @@
 
 #include "datasets/stats.h"
 #include "mp/stomp.h"
+#include "signal/znorm.h"
 
 namespace valmod {
 namespace {
@@ -95,6 +96,56 @@ TEST(TraceSignatureTest, HasRampPlateauAndDecay) {
   plateau_mean /= 40.0;
   EXPECT_NEAR(plateau_mean, 1.0, 0.3);
   EXPECT_LT(sig.back(), 0.3);
+}
+
+TEST(PlantedWalkTest, OccurrencesAreWhereReported) {
+  PlantedWalkSpec spec;
+  spec.motif_length = 48;
+  spec.mean_period = 300;
+  std::vector<Index> offsets;
+  const Series s = GeneratePlantedWalk(4000, 7, spec, &offsets);
+  EXPECT_EQ(s.size(), 4000u);
+  // Occurrences keep arriving through the whole stream, never overlap, and
+  // always fit.
+  ASSERT_GE(offsets.size(), 8u);
+  for (std::size_t i = 0; i < offsets.size(); ++i) {
+    EXPECT_LE(offsets[i] + spec.motif_length, 4000);
+    if (i > 0) {
+      EXPECT_GT(offsets[i], offsets[i - 1] + spec.motif_length);
+    }
+  }
+  EXPECT_GT(offsets.back(), 4000 - 2 * spec.mean_period);
+}
+
+TEST(PlantedWalkTest, PlantedPairBeatsBackgroundDistance) {
+  // Any two occurrences are near-duplicates up to the small per-occurrence
+  // noise, so their z-normalized distance is far below the expected
+  // distance between random background windows.
+  PlantedWalkSpec spec;
+  std::vector<Index> offsets;
+  const Series s = GeneratePlantedWalk(5000, 8, spec, &offsets);
+  ASSERT_GE(offsets.size(), 2u);
+  const double planted = ZNormalizedDistanceDirect(
+      std::span<const double>(s).subspan(
+          static_cast<std::size_t>(offsets[0]),
+          static_cast<std::size_t>(spec.motif_length)),
+      std::span<const double>(s).subspan(
+          static_cast<std::size_t>(offsets[1]),
+          static_cast<std::size_t>(spec.motif_length)));
+  const double background = ZNormalizedDistanceDirect(
+      std::span<const double>(s).subspan(
+          static_cast<std::size_t>(offsets[0] + spec.motif_length + 5),
+          static_cast<std::size_t>(spec.motif_length)),
+      std::span<const double>(s).subspan(
+          static_cast<std::size_t>(offsets[1] + spec.motif_length + 5),
+          static_cast<std::size_t>(spec.motif_length)));
+  EXPECT_LT(planted, 0.5 * background);
+}
+
+TEST(PlantedWalkTest, DefaultOverloadMatchesDefaultSpec) {
+  const Series a = GeneratePlantedWalk(1500, 9);
+  const Series b = GeneratePlantedWalk(1500, 9, PlantedWalkSpec{});
+  EXPECT_EQ(a, b);
 }
 
 TEST(InjectPatternTest, AddsScaledPattern) {

@@ -43,10 +43,28 @@ TEST(RegistryTest, GeneratorsMatchDirectCalls) {
 }
 
 TEST(RegistryTest, EverySpecHasDescriptionAndGenerator) {
-  for (const DatasetSpec& spec : BenchmarkDatasets()) {
-    EXPECT_FALSE(spec.description.empty());
-    EXPECT_NE(spec.generator, nullptr);
+  for (const auto* list : {&BenchmarkDatasets(), &ExtraDatasets()}) {
+    for (const DatasetSpec& spec : *list) {
+      EXPECT_FALSE(spec.description.empty());
+      EXPECT_NE(spec.generator, nullptr);
+    }
   }
+}
+
+TEST(RegistryTest, ExtraDatasetsStayOutOfTheBenchmarkFive) {
+  // The batch benchmark suites iterate BenchmarkDatasets(); PLANTED exists
+  // for the streaming subsystem and must not silently grow that set.
+  ASSERT_EQ(ExtraDatasets().size(), 1u);
+  EXPECT_EQ(ExtraDatasets()[0].name, "PLANTED");
+  for (const DatasetSpec& spec : BenchmarkDatasets()) {
+    EXPECT_NE(spec.name, "PLANTED");
+  }
+}
+
+TEST(RegistryTest, PlantedIsReachableByName) {
+  Series s;
+  ASSERT_TRUE(GenerateByName("planted", 2000, &s).ok());
+  EXPECT_EQ(s.size(), 2000u);
 }
 
 }  // namespace

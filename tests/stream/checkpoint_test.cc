@@ -1,0 +1,165 @@
+#include "stream/checkpoint.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "datasets/generators.h"
+#include "test_util.h"
+
+namespace valmod {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  out << content;
+}
+
+OnlineMotifTracker MakeTracker(Index capacity) {
+  OnlineTrackerOptions options;
+  options.length_min = 12;
+  options.length_max = 20;
+  options.length_step = 4;
+  options.capacity = capacity;
+  return OnlineMotifTracker(options);
+}
+
+void ExpectTrackersEqual(const OnlineMotifTracker& a,
+                         const OnlineMotifTracker& b) {
+  ASSERT_EQ(a.lengths(), b.lengths());
+  EXPECT_EQ(a.total_appended(), b.total_appended());
+  EXPECT_EQ(a.size(), b.size());
+  for (Index len : a.lengths()) {
+    const MatrixProfile pa = a.ProfileForLength(len).Profile();
+    const MatrixProfile pb = b.ProfileForLength(len).Profile();
+    ASSERT_EQ(pa.size(), pb.size()) << "len=" << len;
+    for (Index i = 0; i < pa.size(); ++i) {
+      const std::size_t k = static_cast<std::size_t>(i);
+      EXPECT_EQ(pa.distances[k], pb.distances[k]) << len << "," << i;
+      EXPECT_EQ(pa.indices[k], pb.indices[k]) << len << "," << i;
+    }
+  }
+}
+
+TEST(CheckpointTest, RoundTripRestoresExactState) {
+  OnlineMotifTracker tracker = MakeTracker(300);
+  tracker.AppendBlock(GeneratePlantedWalk(1000, 30));
+  const std::string path = TempPath("roundtrip.ckpt");
+  ASSERT_TRUE(WriteCheckpoint(tracker, path).ok());
+  OnlineMotifTracker restored = MakeTracker(300);
+  ASSERT_TRUE(ReadCheckpoint(path, &restored).ok());
+  ExpectTrackersEqual(tracker, restored);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, RestoredTrackerContinuesIdentically) {
+  // With an unbounded window the restored prefix statistics are rebuilt in
+  // the same accumulation order as the original's, so post-restore appends
+  // produce bit-identical profiles.
+  const Series head = testing_util::WhiteNoise(400, 31);
+  const Series tail = testing_util::WhiteNoise(150, 32);
+  OnlineMotifTracker original = MakeTracker(0);
+  original.AppendBlock(head);
+  const std::string path = TempPath("continue.ckpt");
+  ASSERT_TRUE(WriteCheckpoint(original, path).ok());
+  OnlineMotifTracker restored = MakeTracker(0);
+  ASSERT_TRUE(ReadCheckpoint(path, &restored).ok());
+  original.AppendBlock(tail);
+  restored.AppendBlock(tail);
+  ExpectTrackersEqual(original, restored);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, WarmupTrackerRoundTrips) {
+  // A checkpoint taken before any profile initialized (window shorter than
+  // length + 1) must still restore.
+  OnlineMotifTracker tracker = MakeTracker(0);
+  tracker.AppendBlock(testing_util::WhiteNoise(8, 33));
+  const std::string path = TempPath("warmup.ckpt");
+  ASSERT_TRUE(WriteCheckpoint(tracker, path).ok());
+  OnlineMotifTracker restored = MakeTracker(0);
+  ASSERT_TRUE(ReadCheckpoint(path, &restored).ok());
+  EXPECT_EQ(restored.total_appended(), 8);
+  EXPECT_FALSE(restored.ready());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, FlippedByteFailsChecksum) {
+  OnlineMotifTracker tracker = MakeTracker(0);
+  tracker.AppendBlock(testing_util::WhiteNoise(120, 34));
+  const std::string path = TempPath("corrupt.ckpt");
+  ASSERT_TRUE(WriteCheckpoint(tracker, path).ok());
+  std::string content = ReadFile(path);
+  // Flip one digit in the middle of the body (past the magic line).
+  const std::size_t at = content.size() / 2;
+  content[at] = content[at] == '7' ? '3' : '7';
+  WriteFile(path, content);
+  OnlineMotifTracker restored = MakeTracker(0);
+  const Status s = ReadCheckpoint(path, &restored);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("checksum"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, TruncationIsRejected) {
+  OnlineMotifTracker tracker = MakeTracker(0);
+  tracker.AppendBlock(testing_util::WhiteNoise(120, 35));
+  const std::string path = TempPath("truncated.ckpt");
+  ASSERT_TRUE(WriteCheckpoint(tracker, path).ok());
+  const std::string content = ReadFile(path);
+  WriteFile(path, content.substr(0, content.size() - 40));
+  OnlineMotifTracker restored = MakeTracker(0);
+  EXPECT_EQ(ReadCheckpoint(path, &restored).code(),
+            StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, VersionMismatchIsReportedClearly) {
+  OnlineMotifTracker tracker = MakeTracker(0);
+  tracker.AppendBlock(testing_util::WhiteNoise(60, 36));
+  const std::string path = TempPath("version.ckpt");
+  ASSERT_TRUE(WriteCheckpoint(tracker, path).ok());
+  std::string content = ReadFile(path);
+  const std::size_t eol = content.find('\n');
+  ASSERT_NE(eol, std::string::npos);
+  content.replace(0, eol, "valmod-stream-checkpoint 99");
+  WriteFile(path, content);
+  OnlineMotifTracker restored = MakeTracker(0);
+  const Status s = ReadCheckpoint(path, &restored);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  // The version error must win over the (also broken) checksum.
+  EXPECT_NE(s.message().find("version"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, ForeignFileIsRejected) {
+  const std::string path = TempPath("foreign.ckpt");
+  WriteFile(path, "just some text\nnot a checkpoint\n");
+  OnlineMotifTracker restored = MakeTracker(0);
+  EXPECT_EQ(ReadCheckpoint(path, &restored).code(),
+            StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, MissingFileIsIoError) {
+  OnlineMotifTracker restored = MakeTracker(0);
+  EXPECT_EQ(ReadCheckpoint("/nonexistent/stream.ckpt", &restored).code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace valmod

@@ -1,0 +1,168 @@
+#include "stream/online_motif_tracker.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datasets/generators.h"
+#include "mp/stomp.h"
+#include "signal/znorm.h"
+#include "test_util.h"
+#include "util/prefix_stats.h"
+
+namespace valmod {
+namespace {
+
+OnlineTrackerOptions SmallTracker(Index len_min, Index len_max, Index step,
+                                  Index capacity) {
+  OnlineTrackerOptions options;
+  options.length_min = len_min;
+  options.length_max = len_max;
+  options.length_step = step;
+  options.capacity = capacity;
+  return options;
+}
+
+TEST(OnlineMotifTrackerTest, LengthRangeIsMaterialized) {
+  const OnlineMotifTracker tracker(SmallTracker(8, 16, 4, 0));
+  ASSERT_EQ(tracker.lengths().size(), 3u);
+  EXPECT_EQ(tracker.lengths()[0], 8);
+  EXPECT_EQ(tracker.lengths()[1], 12);
+  EXPECT_EQ(tracker.lengths()[2], 16);
+  EXPECT_EQ(tracker.ProfileForLength(12).options().subsequence_length, 12);
+}
+
+TEST(OnlineMotifTrackerTest, PerLengthProfileMatchesBatchStomp) {
+  const Series data = testing_util::WhiteNoise(300, 20);
+  OnlineMotifTracker tracker(SmallTracker(8, 16, 8, 0));
+  tracker.AppendBlock(data);
+  for (Index len : tracker.lengths()) {
+    const PrefixStats stats(data);
+    const MatrixProfile batch = Stomp(data, stats, len);
+    const MatrixProfile streaming = tracker.ProfileForLength(len).Profile();
+    ASSERT_EQ(streaming.size(), batch.size());
+    for (Index i = 0; i < batch.size(); ++i) {
+      const std::size_t k = static_cast<std::size_t>(i);
+      EXPECT_NEAR(streaming.distances[k], batch.distances[k],
+                  1e-7 * (1.0 + batch.distances[k]))
+          << "len=" << len << " i=" << i;
+    }
+  }
+}
+
+TEST(OnlineMotifTrackerTest, TracksPlantedMotifInSlidingWindow) {
+  PlantedWalkSpec spec;
+  spec.motif_length = 32;
+  spec.mean_period = 200;
+  spec.amplitude = 6.0;
+  spec.walk_step = 0.25;
+  std::vector<Index> offsets;
+  const Series data = GeneratePlantedWalk(2000, 42, spec, &offsets);
+  ASSERT_GE(offsets.size(), 4u);
+
+  OnlineMotifTracker tracker(SmallTracker(28, 36, 4, 600));
+  tracker.AppendBlock(data);
+  ASSERT_TRUE(tracker.ready());
+  const RankedPair best = tracker.BestPair();
+  ASSERT_NE(best.off1, kNoNeighbor);
+
+  // Both halves of the best pair must sit on planted occurrences (compared
+  // in absolute stream offsets, window offset + dropped count).
+  const Index base = tracker.dropped();
+  for (Index window_offset : {best.off1, best.off2}) {
+    const Index absolute = base + window_offset;
+    bool near_occurrence = false;
+    for (Index planted : offsets) {
+      if (std::llabs(static_cast<long long>(absolute - planted)) <=
+          spec.motif_length) {
+        near_occurrence = true;
+      }
+    }
+    EXPECT_TRUE(near_occurrence) << "absolute offset " << absolute;
+  }
+}
+
+TEST(OnlineMotifTrackerTest, EvictionForgetsOldMotif) {
+  // A strong pair early in the stream must stop dominating once both of
+  // its occurrences slid out of the window.
+  const Index len = 24;
+  Series data = testing_util::WhiteNoise(1200, 21);
+  const Series with_pair =
+      testing_util::NoiseWithPlantedMotif(200, len, 30, 130, 22);
+  for (Index i = 0; i < 200; ++i) {
+    data[static_cast<std::size_t>(i)] = with_pair[static_cast<std::size_t>(i)];
+  }
+  OnlineMotifTracker tracker(SmallTracker(len, len, 1, 256));
+  Index fed = 0;
+  for (; fed < 200; ++fed) tracker.Append(data[static_cast<std::size_t>(fed)]);
+  const RankedPair with_motif = tracker.BestPair();
+  ASSERT_NE(with_motif.off1, kNoNeighbor);
+  for (; fed < 1200; ++fed) {
+    tracker.Append(data[static_cast<std::size_t>(fed)]);
+  }
+  const RankedPair after = tracker.BestPair();
+  ASSERT_NE(after.off1, kNoNeighbor);
+  EXPECT_GT(after.norm_distance, 2.0 * with_motif.norm_distance);
+}
+
+TEST(OnlineMotifTrackerTest, TopKPairsAreSortedAndDisjoint) {
+  const Series data = testing_util::WhiteNoise(500, 23);
+  OnlineMotifTracker tracker(SmallTracker(8, 16, 4, 0));
+  tracker.AppendBlock(data);
+  const std::vector<RankedPair> top = tracker.TopKPairs(3);
+  ASSERT_GE(top.size(), 2u);
+  for (std::size_t i = 1; i < top.size(); ++i) {
+    EXPECT_LE(top[i - 1].norm_distance, top[i].norm_distance);
+  }
+  for (std::size_t i = 0; i < top.size(); ++i) {
+    for (std::size_t j = i + 1; j < top.size(); ++j) {
+      const Index excl =
+          ExclusionZone(std::min(top[i].length, top[j].length));
+      for (Index a : {top[i].off1, top[i].off2}) {
+        for (Index b : {top[j].off1, top[j].off2}) {
+          EXPECT_GE(std::llabs(static_cast<long long>(a - b)), excl)
+              << "pairs " << i << " and " << j << " overlap";
+        }
+      }
+    }
+  }
+}
+
+TEST(OnlineMotifTrackerTest, TopDiscordsSortedWithOnePerLength) {
+  const Series data = testing_util::WhiteNoise(400, 24);
+  OnlineMotifTracker tracker(SmallTracker(8, 24, 8, 0));
+  tracker.AppendBlock(data);
+  const std::vector<Discord> discords = tracker.TopDiscords(3);
+  ASSERT_GE(discords.size(), 1u);
+  for (std::size_t i = 0; i < discords.size(); ++i) {
+    EXPECT_TRUE(discords[i].valid());
+    if (i > 0) {
+      EXPECT_GE(
+          LengthNormalize(discords[i - 1].distance, discords[i - 1].length),
+          LengthNormalize(discords[i].distance, discords[i].length));
+    }
+    for (std::size_t j = i + 1; j < discords.size(); ++j) {
+      EXPECT_NE(discords[i].length, discords[j].length);
+    }
+  }
+}
+
+TEST(OnlineMotifTrackerTest, FromSnapshotsRejectsWrongCount) {
+  OnlineMotifTracker source(SmallTracker(8, 16, 4, 0));
+  source.AppendBlock(testing_util::WhiteNoise(100, 25));
+  std::vector<StreamingProfileSnapshot> snapshots;
+  for (Index len : source.lengths()) {
+    snapshots.push_back(source.ProfileForLength(len).TakeSnapshot());
+  }
+  snapshots.pop_back();
+  OnlineMotifTracker out(SmallTracker(8, 16, 4, 0));
+  EXPECT_EQ(OnlineMotifTracker::FromSnapshots(source.options(), snapshots,
+                                              &out)
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace valmod

@@ -1,0 +1,184 @@
+#include "stream/streaming_profile.h"
+
+#include <gtest/gtest.h>
+
+#include "mp/stomp.h"
+#include "signal/distance.h"
+#include "test_util.h"
+#include "util/prefix_stats.h"
+
+namespace valmod {
+namespace {
+
+/// Batch STOMP over exactly the given window, without the input centering
+/// of the convenience overload, so results are comparable bit-for-bit with
+/// the streaming path that consumes the window as-is.
+MatrixProfile BatchProfile(std::span<const double> window, Index len) {
+  const PrefixStats stats(window);
+  return Stomp(window, stats, len);
+}
+
+void ExpectProfilesNear(const MatrixProfile& streaming,
+                        const MatrixProfile& batch, double tol) {
+  ASSERT_EQ(streaming.size(), batch.size());
+  for (Index i = 0; i < streaming.size(); ++i) {
+    const std::size_t k = static_cast<std::size_t>(i);
+    if (batch.distances[k] == kInf) {
+      EXPECT_EQ(streaming.distances[k], kInf) << "i=" << i;
+    } else {
+      EXPECT_NEAR(streaming.distances[k], batch.distances[k],
+                  tol * (1.0 + batch.distances[k]))
+          << "i=" << i;
+    }
+  }
+}
+
+/// Every profile entry must be witnessed: the stored distance equals the
+/// exact distance to the stored neighbor.
+void ExpectProfileSelfConsistent(const MatrixProfile& profile,
+                                 std::span<const double> window) {
+  const PrefixStats stats(window);
+  for (Index i = 0; i < profile.size(); ++i) {
+    const Index j = profile.indices[static_cast<std::size_t>(i)];
+    if (j == kNoNeighbor) continue;
+    EXPECT_FALSE(IsTrivialMatch(i, j, profile.subsequence_length));
+    const double exact =
+        SubsequenceDistance(window, stats, i, j, profile.subsequence_length);
+    EXPECT_NEAR(profile.distances[static_cast<std::size_t>(i)], exact,
+                1e-6 * (1.0 + exact))
+        << "i=" << i;
+  }
+}
+
+TEST(StreamingDifferentialTest, ExactAtInitialization) {
+  // The first time two subsequences exist the profile is produced by the
+  // batch kernel itself, so it must be bit-identical to batch STOMP.
+  const Index len = 16;
+  const Series data = testing_util::WhiteNoise(17, 5);
+  StreamingMatrixProfile streaming(
+      StreamingProfileOptions{len, 0, 1 << 15});
+  streaming.AppendBlock(data);
+  ASSERT_TRUE(streaming.initialized());
+  const MatrixProfile got = streaming.Profile();
+  const MatrixProfile want = BatchProfile(data, len);
+  ASSERT_EQ(got.size(), want.size());
+  for (Index i = 0; i < got.size(); ++i) {
+    const std::size_t k = static_cast<std::size_t>(i);
+    EXPECT_EQ(got.distances[k], want.distances[k]) << i;
+    EXPECT_EQ(got.indices[k], want.indices[k]) << i;
+  }
+}
+
+TEST(StreamingDifferentialTest, GrowingStreamMatchesBatch) {
+  // Enough appends to cross several kStompChunkRows re-seed boundaries
+  // (n_sub = 669 > 2 * 256), so both the recurrence path and the MASS
+  // re-seed path are exercised and compared against a full batch recompute.
+  const Index len = 32;
+  const Series data =
+      testing_util::WalkWithPlantedMotif(700, len, 100, 480, 6);
+  StreamingMatrixProfile streaming(
+      StreamingProfileOptions{len, 0, 1 << 15});
+  streaming.AppendBlock(data);
+  EXPECT_GT(streaming.mass_reseeds(), 2);
+  const MatrixProfile got = streaming.Profile();
+  ExpectProfilesNear(got, BatchProfile(data, len), 1e-7);
+  ExpectProfileSelfConsistent(got, data);
+}
+
+TEST(StreamingDifferentialTest, SlidingWindowMatchesBatchOnLiveWindow) {
+  // With a bounded window the profile must equal a batch recompute over
+  // exactly the live window, including rows repaired after their nearest
+  // neighbor was evicted.
+  const Index len = 16;
+  const Index capacity = 256;
+  const Series data = testing_util::WhiteNoise(2000, 7);
+  StreamingMatrixProfile streaming(
+      StreamingProfileOptions{len, capacity, 1 << 10});
+  streaming.AppendBlock(data);
+  EXPECT_EQ(streaming.size(), capacity);
+  EXPECT_GT(streaming.stale_recomputes(), 0);
+  const std::span<const double> window = streaming.series().Window();
+  const MatrixProfile got = streaming.Profile();
+  ExpectProfilesNear(got, BatchProfile(window, len), 1e-7);
+  ExpectProfileSelfConsistent(got, window);
+}
+
+TEST(StreamingDifferentialTest, PlantedPairSurvivesSliding) {
+  // Plant a motif pair inside what will be the final window and check the
+  // streaming profile's best pair lands on it.
+  const Index len = 24;
+  const Index n = 1500;
+  Series data = testing_util::WhiteNoise(n, 8);
+  const Series planted = testing_util::NoiseWithPlantedMotif(
+      400, len, 120, 310, 9);
+  for (Index i = 0; i < 400; ++i) {
+    data[static_cast<std::size_t>(n - 400 + i)] =
+        planted[static_cast<std::size_t>(i)];
+  }
+  StreamingMatrixProfile streaming(
+      StreamingProfileOptions{len, 400, 1 << 15});
+  streaming.AppendBlock(data);
+  const MotifPair best = streaming.BestMotif();
+  ASSERT_TRUE(best.valid());
+  EXPECT_NEAR(static_cast<double>(best.a), 120.0, 3.0);
+  EXPECT_NEAR(static_cast<double>(best.b), 310.0, 3.0);
+}
+
+TEST(StreamingProfileTest, WarmupProfileIsEmpty) {
+  StreamingMatrixProfile streaming(
+      StreamingProfileOptions{32, 0, 1 << 15});
+  const Series data = testing_util::WhiteNoise(32, 10);
+  streaming.AppendBlock(data);  // Exactly len points: one subsequence only.
+  EXPECT_FALSE(streaming.initialized());
+  EXPECT_EQ(streaming.Profile().size(), 0);
+  EXPECT_FALSE(streaming.BestMotif().valid());
+}
+
+TEST(StreamingDifferentialTest, SnapshotRestoreContinuesBitIdentically) {
+  const Index len = 16;
+  const Series head = testing_util::WhiteNoise(600, 11);
+  const Series tail = testing_util::WhiteNoise(200, 12);
+  StreamingMatrixProfile original(
+      StreamingProfileOptions{len, 0, 1 << 15});
+  original.AppendBlock(head);
+  StreamingMatrixProfile restored(
+      StreamingProfileOptions{len, 0, 1 << 15});
+  ASSERT_TRUE(StreamingMatrixProfile::FromSnapshot(original.TakeSnapshot(),
+                                                   &restored)
+                  .ok());
+  original.AppendBlock(tail);
+  restored.AppendBlock(tail);
+  const MatrixProfile a = original.Profile();
+  const MatrixProfile b = restored.Profile();
+  ASSERT_EQ(a.size(), b.size());
+  for (Index i = 0; i < a.size(); ++i) {
+    const std::size_t k = static_cast<std::size_t>(i);
+    EXPECT_EQ(a.distances[k], b.distances[k]) << i;
+    EXPECT_EQ(a.indices[k], b.indices[k]) << i;
+  }
+}
+
+TEST(StreamingProfileTest, InvalidSnapshotsAreRejected) {
+  const Index len = 16;
+  StreamingMatrixProfile source(StreamingProfileOptions{len, 0, 1 << 15});
+  source.AppendBlock(testing_util::WhiteNoise(100, 13));
+  StreamingMatrixProfile out(StreamingProfileOptions{len, 0, 1 << 15});
+
+  StreamingProfileSnapshot truncated = source.TakeSnapshot();
+  truncated.distances.pop_back();
+  EXPECT_EQ(StreamingMatrixProfile::FromSnapshot(truncated, &out).code(),
+            StatusCode::kInvalidArgument);
+
+  StreamingProfileSnapshot bad_index = source.TakeSnapshot();
+  bad_index.indices[3] = 10000;
+  EXPECT_EQ(StreamingMatrixProfile::FromSnapshot(bad_index, &out).code(),
+            StatusCode::kOutOfRange);
+
+  StreamingProfileSnapshot bad_reseed = source.TakeSnapshot();
+  bad_reseed.rows_since_reseed = -5;
+  EXPECT_EQ(StreamingMatrixProfile::FromSnapshot(bad_reseed, &out).code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace valmod

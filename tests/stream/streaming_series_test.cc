@@ -1,0 +1,107 @@
+#include "stream/streaming_series.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "util/prefix_stats.h"
+
+namespace valmod {
+namespace {
+
+TEST(StreamingSeriesTest, AppendOnlyStatsMatchPrefixStatsBitwise) {
+  // Without eviction the rolling sums accumulate in the same order with the
+  // same long-double arithmetic as PrefixStats, so the statistics are
+  // bit-identical, which is what keeps streaming distances comparable to
+  // batch ones.
+  const Series data = testing_util::WhiteNoise(500, 1);
+  StreamingSeries series;
+  for (double v : data) series.Append(v);
+  const PrefixStats batch(data);
+  for (Index offset : {Index{0}, Index{3}, Index{250}, Index{460}}) {
+    for (Index len : {Index{2}, Index{16}, Index{40}}) {
+      const MeanStd streaming = series.Stats(offset, len);
+      const MeanStd expected = batch.Stats(offset, len);
+      EXPECT_EQ(streaming.mean, expected.mean) << offset << "," << len;
+      EXPECT_EQ(streaming.std, expected.std) << offset << "," << len;
+    }
+  }
+}
+
+TEST(StreamingSeriesTest, WindowSlidesAndReportsDropped) {
+  StreamingSeries series(StreamingSeriesOptions{8, 1 << 15});
+  for (int i = 0; i < 20; ++i) series.Append(static_cast<double>(i));
+  EXPECT_EQ(series.size(), 8);
+  EXPECT_EQ(series.total_appended(), 20);
+  EXPECT_EQ(series.dropped(), 12);
+  const std::span<const double> window = series.Window();
+  ASSERT_EQ(window.size(), 8u);
+  for (int k = 0; k < 8; ++k) {
+    EXPECT_EQ(window[static_cast<std::size_t>(k)],
+              static_cast<double>(12 + k));
+    EXPECT_EQ(series.At(k), static_cast<double>(12 + k));
+  }
+}
+
+TEST(StreamingSeriesTest, StatsStayExactAcrossEvictionAndRebuilds) {
+  const Series data = testing_util::WhiteNoise(5000, 2);
+  StreamingSeries series(StreamingSeriesOptions{64, 32});
+  for (double v : data) series.Append(v);
+  EXPECT_GT(series.rebuild_count(), 0);
+  const std::span<const double> window = series.Window();
+  for (Index offset : {Index{0}, Index{10}, Index{48}}) {
+    const MeanStd rolling = series.Stats(offset, 16);
+    const MeanStd exact = ExactMeanStd(window, offset, 16);
+    EXPECT_NEAR(rolling.mean, exact.mean, 1e-9);
+    EXPECT_NEAR(rolling.std, exact.std, 1e-9);
+  }
+}
+
+TEST(StreamingSeriesTest, CompactionBoundsMemory) {
+  StreamingSeries series(StreamingSeriesOptions{16, 1 << 15});
+  for (int i = 0; i < 100000; ++i) series.Append(static_cast<double>(i % 7));
+  // The dead prefix is compacted geometrically, so a long stream cannot
+  // accumulate unbounded storage in front of a small window.
+  EXPECT_EQ(series.size(), 16);
+  EXPECT_GT(series.rebuild_count(), 1000);
+}
+
+TEST(StreamingSeriesTest, AppendBlockMatchesAppendLoop) {
+  const Series data = testing_util::WhiteNoise(300, 3);
+  StreamingSeries loop(StreamingSeriesOptions{50, 64});
+  StreamingSeries block(StreamingSeriesOptions{50, 64});
+  for (double v : data) loop.Append(v);
+  block.AppendBlock(data);
+  ASSERT_EQ(loop.size(), block.size());
+  EXPECT_EQ(loop.total_appended(), block.total_appended());
+  for (Index i = 0; i < loop.size(); ++i) {
+    EXPECT_EQ(loop.At(i), block.At(i)) << i;
+  }
+  const MeanStd a = loop.Stats(5, 20);
+  const MeanStd b = block.Stats(5, 20);
+  EXPECT_EQ(a.mean, b.mean);
+  EXPECT_EQ(a.std, b.std);
+}
+
+TEST(StreamingSeriesTest, RestoreConstructorReproducesWindow) {
+  const Series data = testing_util::WhiteNoise(400, 4);
+  StreamingSeries original(StreamingSeriesOptions{128, 1 << 15});
+  original.AppendBlock(data);
+  const StreamingSeries restored(StreamingSeriesOptions{128, 1 << 15},
+                                 original.Window(),
+                                 original.total_appended());
+  EXPECT_EQ(restored.size(), original.size());
+  EXPECT_EQ(restored.total_appended(), original.total_appended());
+  EXPECT_EQ(restored.dropped(), original.dropped());
+  for (Index i = 0; i < restored.size(); ++i) {
+    EXPECT_EQ(restored.At(i), original.At(i)) << i;
+  }
+  // Restored statistics are exact (rebuilt from the window), so they agree
+  // with a two-pass computation over the same window.
+  const MeanStd rolling = restored.Stats(7, 32);
+  const MeanStd exact = ExactMeanStd(restored.Window(), 7, 32);
+  EXPECT_NEAR(rolling.mean, exact.mean, 1e-12);
+  EXPECT_NEAR(rolling.std, exact.std, 1e-12);
+}
+
+}  // namespace
+}  // namespace valmod

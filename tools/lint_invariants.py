@@ -18,13 +18,15 @@ Checks (use `--list` to print this table):
   no-naked-new        No naked `new` outside explicitly waived
                       leak-on-purpose singletons; the codebase owns memory
                       through containers and values.
-  core-docs           Every public function declared in src/core headers
-                      carries a /// doc comment: src/core is the paper
-                      surface (Algorithms 3-6) and each entry point must
-                      say which figure/definition it reproduces.
+  core-docs           Every public function declared in src/core and
+                      src/stream headers carries a /// doc comment:
+                      src/core is the paper surface (Algorithms 3-6) and
+                      src/stream is the online API surface; each entry
+                      point must say what it reproduces or guarantees.
   no-float-distance   Distance math is double-only. Eq. 2's admissibility
                       argument relies on the error bounds worked out for
                       64-bit; a stray float silently halves the mantissa.
+                      Covers src/core, src/mp, src/signal, src/stream.
   no-using-namespace  Headers never open namespaces for their includers.
   self-include-first  Every src/<dir>/foo.cc includes "its" header
                       "<dir>/foo.h" first, proving the header is
@@ -44,7 +46,8 @@ import sys
 
 SRC_DIRS = ("src",)
 HEADER_GUARD_DIRS = ("src", "bench", "tests")
-DISTANCE_MATH_DIRS = ("src/core", "src/mp", "src/signal")
+DISTANCE_MATH_DIRS = ("src/core", "src/mp", "src/signal", "src/stream")
+DOCUMENTED_API_DIRS = ("src/core", "src/stream")
 
 WAIVER_RE = re.compile(r"//\s*lint:\s*allow\(([a-z0-9-]+)\)")
 
@@ -198,7 +201,8 @@ class Linter:
         r"VALMOD_|return\b|if\b|for\b|while\b|switch\b|else\b)")
 
     def check_core_docs(self):
-        for path in find_files(self.root, ("src/core",), (".h",)):
+        for path in find_files(self.root, DOCUMENTED_API_DIRS, (".h",)):
+            dirname = os.path.relpath(os.path.dirname(path), self.root)
             lines = read_lines(path)
             for lineno, line in enumerate(lines, 1):
                 if waived(line, "core-docs"):
@@ -224,9 +228,10 @@ class Linter:
                 doc = prev.strip()
                 if not (doc.startswith("///") or doc.startswith("template")):
                     self.error(path, lineno, "core-docs",
-                               f"public function '{m.group(1)}' in src/core "
-                               "needs a /// doc comment (this is the paper "
-                               "surface; say what it reproduces)")
+                               f"public function '{m.group(1)}' in "
+                               f"{dirname} needs a /// doc comment (this is "
+                               "an API surface; say what it reproduces or "
+                               "guarantees)")
 
     # --- check: no-float-distance --------------------------------------------
 
@@ -243,7 +248,7 @@ class Linter:
                     self.error(path, lineno, "no-float-distance",
                                "distance math is double-only (Eq. 2 "
                                "admissibility analysis assumes 64-bit); "
-                               "no `float` in src/core, src/mp, src/signal")
+                               "no `float` in " + ", ".join(DISTANCE_MATH_DIRS))
 
     # --- check: no-using-namespace -------------------------------------------
 
