@@ -1,0 +1,212 @@
+// End-to-end throughput of the motif query service over loopback TCP:
+// queries per second and p50/p99 latency, cold (every request computes)
+// vs cached (every request hits the result cache), at 1/4/16 concurrent
+// clients. The cached rows must sit orders of magnitude below the cold
+// ones — that gap is the result cache's reason to exist — and QPS should
+// rise with client count until the executor pool saturates the cores.
+// Results are also written to BENCH_service.json for downstream tooling.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "service/client.h"
+#include "service/protocol.h"
+#include "service/server.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace valmod;
+
+struct CellResult {
+  int clients = 0;
+  bool cached = false;
+  Index requests = 0;
+  double qps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double mean_us = 0.0;
+};
+
+double Percentile(std::vector<double>& sorted_latencies, double q) {
+  if (sorted_latencies.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted_latencies.size() - 1));
+  return sorted_latencies[rank];
+}
+
+/// Runs `per_client` queries from `clients` concurrent connections and
+/// aggregates client-observed latencies. `cached` toggles the request's
+/// no_cache flag: cold requests skip the cache lookup (each one computes),
+/// cached ones repeat a warmed key.
+CellResult RunCell(const Server& server, const Request& base, int clients,
+                   Index per_client, bool cached) {
+  std::vector<std::vector<double>> latencies(
+      static_cast<std::size_t>(clients));
+  std::atomic<int> errors{0};
+  WallTimer wall;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Client client;
+      if (!client.Connect("127.0.0.1", server.port(), 120.0).ok()) {
+        errors.fetch_add(1);
+        return;
+      }
+      Request request = base;
+      request.no_cache = !cached;
+      auto& mine = latencies[static_cast<std::size_t>(c)];
+      mine.reserve(static_cast<std::size_t>(per_client));
+      for (Index i = 0; i < per_client; ++i) {
+        request.id = c * 1000 + static_cast<int>(i);
+        Response response;
+        WallTimer timer;
+        if (!client.Query(request, &response).ok() || !response.ok) {
+          errors.fetch_add(1);
+          return;
+        }
+        mine.push_back(timer.Seconds() * 1e6);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const double elapsed = wall.Seconds();
+
+  CellResult result;
+  result.clients = clients;
+  result.cached = cached;
+  std::vector<double> all;
+  for (const auto& mine : latencies) {
+    all.insert(all.end(), mine.begin(), mine.end());
+  }
+  result.requests = static_cast<Index>(all.size());
+  if (errors.load() > 0 || all.empty()) return result;
+  std::sort(all.begin(), all.end());
+  result.qps = static_cast<double>(all.size()) / elapsed;
+  result.p50_us = Percentile(all, 0.50);
+  result.p99_us = Percentile(all, 0.99);
+  double sum = 0.0;
+  for (const double v : all) sum += v;
+  result.mean_us = sum / static_cast<double>(all.size());
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const bench::BenchConfig config = bench::LoadConfig();
+  bench::PrintHeader(
+      "Query-service throughput: loopback QPS and latency, cold vs cached",
+      "service subsystem (no paper artifact)", config);
+
+  ServerOptions options;
+  options.engine.workers = 2;
+  options.engine.queue_capacity = 256;
+  options.max_connections = 64;
+  Server server(options);
+  const Status status = server.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "bench_service_throughput: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+
+  // One moderately expensive query shape: the server generates the series
+  // (small request frames), five lengths per request.
+  Request base;
+  base.type = QueryType::kProfile;
+  base.dataset = "PLANTED";
+  base.n = config.n / 2;
+  base.len_min = config.len_min / 2;
+  base.len_max = base.len_min + 4;
+  base.k = 3;
+
+  // Warm the cache key the cached cells will repeat.
+  {
+    Client warm;
+    if (!warm.Connect("127.0.0.1", server.port(), 120.0).ok()) return 1;
+    Response response;
+    Request request = base;
+    if (!warm.Query(request, &response).ok() || !response.ok) {
+      std::fprintf(stderr, "bench_service_throughput: warmup failed\n");
+      return 1;
+    }
+  }
+
+  Table table(
+      {"clients", "mode", "requests", "qps", "p50-us", "p99-us", "mean-us"});
+  std::vector<CellResult> results;
+  for (const int clients : {1, 4, 16}) {
+    for (const bool cached : {false, true}) {
+      // Cold requests each recompute (~tens of ms); cached ones are
+      // round-trip bound, so they can afford many more repetitions.
+      const Index per_client =
+          cached ? 200 : (clients == 1 ? 6 : (clients == 4 ? 3 : 2));
+      const CellResult cell =
+          RunCell(server, base, clients, per_client, cached);
+      if (cell.qps == 0.0) {
+        std::fprintf(stderr, "bench_service_throughput: cell failed "
+                             "(clients=%d cached=%d)\n",
+                     clients, cached ? 1 : 0);
+        return 1;
+      }
+      table.AddRow({Table::Int(cell.clients),
+                    std::string(cached ? "cached" : "cold"),
+                    Table::Int(cell.requests), Table::Num(cell.qps, 1),
+                    Table::Num(cell.p50_us, 1), Table::Num(cell.p99_us, 1),
+                    Table::Num(cell.mean_us, 1)});
+      results.push_back(cell);
+    }
+  }
+  server.Shutdown();
+
+  std::printf("%s\n", table.Render().c_str());
+
+  // Machine-readable output, one object per cell, mirrored to the file the
+  // CI and docs tooling read.
+  std::string json = "[\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const CellResult& cell = results[i];
+    char line[256];
+    std::snprintf(
+        line, sizeof(line),
+        "  {\"bench\":\"service_throughput\",\"clients\":%d,"
+        "\"mode\":\"%s\",\"requests\":%lld,\"qps\":%.2f,"
+        "\"p50_us\":%.1f,\"p99_us\":%.1f,\"mean_us\":%.1f}%s\n",
+        cell.clients, cell.cached ? "cached" : "cold",
+        static_cast<long long>(cell.requests), cell.qps, cell.p50_us,
+        cell.p99_us, cell.mean_us, i + 1 < results.size() ? "," : "");
+    json += line;
+    std::printf("%s", line);
+  }
+  json += "]\n";
+  std::FILE* out = std::fopen("BENCH_service.json", "w");
+  if (out != nullptr) {
+    std::fputs(json.c_str(), out);
+    std::fclose(out);
+    std::printf("wrote BENCH_service.json\n");
+  }
+
+  // The whole point of the cache, stated as an invariant: for every client
+  // count, warm-cache repeats must be measurably faster than cold runs.
+  for (std::size_t i = 0; i + 1 < results.size(); i += 2) {
+    const CellResult& cold = results[i];
+    const CellResult& cached = results[i + 1];
+    if (cached.p50_us * 2.0 > cold.p50_us) {
+      std::fprintf(stderr,
+                   "bench_service_throughput: cached p50 (%.1f us) not "
+                   "measurably below cold p50 (%.1f us) at %d clients\n",
+                   cached.p50_us, cold.p50_us, cold.clients);
+      return 1;
+    }
+  }
+  std::printf("cached p50 is <1/2 of cold p50 at every client count.\n");
+  return 0;
+}

@@ -1,0 +1,121 @@
+// One-shot client for the motif query service (valmod_serve): sends one
+// query over TCP, prints the answer, and exits 0 on success. Exercises
+// every query type the protocol defines:
+//
+//   valmod_query --port=47113 --type=motif --dataset=PLANTED --n=4096
+//       --len_min=64 --len_max=96
+//   valmod_query --port=47113 --type=stats
+
+#include <cstdio>
+
+#include "service/client.h"
+#include "service/protocol.h"
+#include "util/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace valmod;
+  const CommandLine cli(argc, argv);
+  if (cli.Has("help")) {
+    std::printf(
+        "usage: %s [--host=127.0.0.1] [--port=47113] [--timeout_s=30]\n"
+        "          --type=motif|topk|discord|profile|stats\n"
+        "          [--dataset=PLANTED --n=4096] [--len_min=64 --len_max=96]\n"
+        "          [--k=3] [--p=10] [--deadline_ms=0] [--priority=1]\n"
+        "          [--no_cache] [--json]\n",
+        cli.ProgramName().c_str());
+    return 0;
+  }
+
+  Request request;
+  const std::string type_name = cli.GetString("type", "stats");
+  Status status = ParseQueryType(type_name, &request.type);
+  if (!status.ok()) {
+    std::fprintf(stderr, "valmod_query: %s\n", status.ToString().c_str());
+    return 2;
+  }
+  request.id = cli.GetIndex("id", 1);
+  request.dataset = cli.GetString("dataset", "PLANTED");
+  request.n = cli.GetIndex("n", 4096);
+  request.len_min = cli.GetIndex("len_min", 64);
+  request.len_max = cli.GetIndex("len_max", 96);
+  request.k = cli.GetIndex("k", 3);
+  request.p = cli.GetIndex("p", 10);
+  request.deadline_ms = cli.GetDouble("deadline_ms", 0.0);
+  request.priority = static_cast<int>(cli.GetIndex("priority", 1));
+  request.no_cache = cli.GetBool("no_cache", false);
+
+  Client client;
+  status = client.Connect(cli.GetString("host", "127.0.0.1"),
+                          static_cast<int>(cli.GetIndex("port", 47113)),
+                          cli.GetDouble("timeout_s", 30.0));
+  if (!status.ok()) {
+    std::fprintf(stderr, "valmod_query: %s\n", status.ToString().c_str());
+    return 2;
+  }
+  Response response;
+  status = client.Query(request, &response);
+  if (!status.ok()) {
+    std::fprintf(stderr, "valmod_query: %s\n", status.ToString().c_str());
+    return 2;
+  }
+  if (cli.GetBool("json", false)) {
+    std::printf("%s\n", response.ToJson().Serialize().c_str());
+  }
+  if (!response.ok) {
+    std::fprintf(stderr, "valmod_query: server error %s: %s\n",
+                 response.error_code.c_str(),
+                 response.error_message.c_str());
+    return 1;
+  }
+
+  if (request.type == QueryType::kStats) {
+    std::printf("%s", response.stats_text.c_str());
+    return 0;
+  }
+  std::printf("%s over %s lengths [%lld, %lld]: %s in %.1f us "
+              "(fingerprint %s)\n",
+              QueryTypeName(request.type),
+              request.dataset.c_str(),
+              static_cast<long long>(request.len_min),
+              static_cast<long long>(request.len_max),
+              response.cached ? "cache hit" : "computed",
+              response.elapsed_us, response.fingerprint.c_str());
+  if (response.has_best_motif) {
+    std::printf("  best motif: offsets (%lld, %lld) length %lld "
+                "distance %.6f (normalized %.6f)\n",
+                static_cast<long long>(response.best_motif.off1),
+                static_cast<long long>(response.best_motif.off2),
+                static_cast<long long>(response.best_motif.length),
+                response.best_motif.distance,
+                response.best_motif.norm_distance);
+  }
+  if (response.has_best_discord) {
+    std::printf("  best discord: offset %lld length %lld distance %.6f "
+                "(normalized %.6f)\n",
+                static_cast<long long>(response.best_discord.offset),
+                static_cast<long long>(response.best_discord.length),
+                response.best_discord.distance, response.best_discord_norm);
+  }
+  for (const LengthResult& lr : response.lengths) {
+    std::printf("  len %lld:", static_cast<long long>(lr.length));
+    if (lr.has_motif && lr.motif.valid()) {
+      std::printf(" motif (%lld, %lld) d=%.4f",
+                  static_cast<long long>(lr.motif.a),
+                  static_cast<long long>(lr.motif.b), lr.motif.distance);
+    }
+    if (lr.has_top_k) {
+      std::printf(" top_k=%zu", lr.top_k.size());
+    }
+    if (lr.has_discord && lr.discord.valid()) {
+      std::printf(" discord @%lld d=%.4f",
+                  static_cast<long long>(lr.discord.offset),
+                  lr.discord.distance);
+    }
+    if (lr.has_profile) {
+      std::printf(" profile min/mean/max %.4f/%.4f/%.4f", lr.profile_min,
+                  lr.profile_mean, lr.profile_max);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

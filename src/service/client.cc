@@ -1,0 +1,58 @@
+#include "service/client.h"
+
+#include "service/json.h"
+#include "service/net.h"
+
+namespace valmod {
+
+Client::~Client() { Close(); }
+
+Status Client::Connect(const std::string& host, int port, double timeout_s) {
+  Close();
+  timeout_s_ = timeout_s;
+  return net::Connect(host, port, timeout_s, &fd_);
+}
+
+Status Client::Query(const Request& request, Response* out) {
+  if (!connected()) return Status::IoError("client is not connected");
+  Status status =
+      net::WriteFramePayload(fd_, request.ToJson().Serialize());
+  if (!status.ok()) {
+    Close();
+    return status;
+  }
+  std::string payload;
+  status = net::ReadFramePayload(fd_, timeout_s_, nullptr, &payload);
+  if (!status.ok()) {
+    Close();
+    if (status.code() == StatusCode::kNotFound)
+      return Status::IoError("server closed the connection");
+    return status;
+  }
+  JsonValue json;
+  status = JsonValue::Parse(payload, &json);
+  if (!status.ok()) return status;
+  Response response;
+  status = response.FromJson(json);
+  if (!status.ok()) return status;
+  *out = std::move(response);
+  return Status::Ok();
+}
+
+Status Client::Stats(std::string* out_text) {
+  Request request;
+  request.type = QueryType::kStats;
+  Response response;
+  Status status = Query(request, &response);
+  if (!status.ok()) return status;
+  if (!response.ok) return response.ToStatus();
+  *out_text = response.stats_text;
+  return Status::Ok();
+}
+
+void Client::Close() {
+  net::CloseFd(fd_);
+  fd_ = -1;
+}
+
+}  // namespace valmod

@@ -1,0 +1,51 @@
+#ifndef VALMOD_SERVICE_CLIENT_H_
+#define VALMOD_SERVICE_CLIENT_H_
+
+#include <string>
+
+#include "service/protocol.h"
+#include "util/status.h"
+
+namespace valmod {
+
+/// Blocking client for the motif query service: one TCP connection, one
+/// request/response in flight at a time. Not thread-safe — use one Client
+/// per thread (connections are cheap; the server pools the real work).
+class Client {
+ public:
+  Client() = default;
+
+  /// Closes the connection if still open.
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to a server. `timeout_s` bounds the connect itself and every
+  /// subsequent per-read wait.
+  Status Connect(const std::string& host, int port, double timeout_s = 5.0);
+
+  /// Sends one request and blocks for its response. Transport failures
+  /// (connection lost, malformed frame) come back as the Status; an
+  /// application-level failure arrives as a Response with `ok == false`
+  /// while Query itself returns Ok.
+  Status Query(const Request& request, Response* out);
+
+  /// Convenience wrapper: issues a STATS request and returns the metrics
+  /// text exposition.
+  Status Stats(std::string* out_text);
+
+  /// Closes the connection (idempotent).
+  void Close();
+
+  /// True while the connection is open.
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+  double timeout_s_ = 5.0;
+};
+
+}  // namespace valmod
+
+#endif  // VALMOD_SERVICE_CLIENT_H_

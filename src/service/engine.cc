@@ -1,0 +1,272 @@
+#include "service/engine.h"
+
+#include <cmath>
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+#include "core/ranking.h"
+#include "datasets/registry.h"
+#include "mp/parallel_stomp.h"
+#include "service/fingerprint.h"
+#include "signal/znorm.h"
+#include "util/prefix_stats.h"
+#include "util/timer.h"
+
+namespace valmod {
+
+QueryEngine::QueryEngine(const QueryEngineOptions& options)
+    : options_(options),
+      cache_(options.cache_bytes, options.cache_shards),
+      executor_(options.workers, options.queue_capacity) {
+  metrics_.SetGauge("cache_bytes",
+                    [this] { return static_cast<std::int64_t>(cache_.bytes()); });
+  metrics_.SetGauge("cache_entries", [this] { return cache_.entries(); });
+  metrics_.SetGauge("cache_hits", [this] { return cache_.hits(); });
+  metrics_.SetGauge("cache_misses", [this] { return cache_.misses(); });
+  metrics_.SetGauge("cache_evictions", [this] { return cache_.evictions(); });
+  metrics_.SetGauge("cache_oversize_rejects",
+                    [this] { return cache_.oversize_rejects(); });
+  metrics_.SetGauge("queue_depth", [this] { return executor_.queue_depth(); });
+}
+
+QueryEngine::~QueryEngine() { Drain(); }
+
+void QueryEngine::Drain() { executor_.Drain(); }
+
+Status QueryEngine::ResolveSeries(const Request& request, Series* storage,
+                                  std::span<const double>* out) const {
+  if (!request.series.empty()) {
+    if (static_cast<Index>(request.series.size()) >
+        options_.max_series_points) {
+      return Status::OutOfRange(
+          "inline series exceeds max_series_points (" +
+          std::to_string(options_.max_series_points) + ")");
+    }
+    *out = request.series;
+    return Status::Ok();
+  }
+  if (request.dataset.empty())
+    return Status::InvalidArgument("request needs 'series' or 'dataset'");
+  if (request.n <= 0 || request.n > options_.max_series_points) {
+    return Status::InvalidArgument(
+        "dataset request needs 0 < n <= " +
+        std::to_string(options_.max_series_points));
+  }
+  Status status = GenerateByName(request.dataset, request.n, storage);
+  if (!status.ok()) return status;
+  *out = *storage;
+  return Status::Ok();
+}
+
+Status QueryEngine::ValidateRequest(const Request& request, Index n) const {
+  if (request.len_min < 4)
+    return Status::InvalidArgument("len_min must be >= 4");
+  if (request.len_max < request.len_min)
+    return Status::InvalidArgument("len_max must be >= len_min");
+  if (request.len_max - request.len_min + 1 > options_.max_lengths) {
+    return Status::OutOfRange("length range wider than max_lengths (" +
+                              std::to_string(options_.max_lengths) + ")");
+  }
+  if (n < request.len_max + ExclusionZone(request.len_max)) {
+    return Status::InvalidArgument(
+        "series of " + std::to_string(n) +
+        " points is too short for len_max " +
+        std::to_string(request.len_max) +
+        " (need len_max + ExclusionZone(len_max) points)");
+  }
+  if (request.p < 1) return Status::InvalidArgument("p must be >= 1");
+  if (request.k < 1 || request.k > options_.max_k) {
+    return Status::InvalidArgument("k must be in [1, " +
+                                   std::to_string(options_.max_k) + "]");
+  }
+  return Status::Ok();
+}
+
+CachedArtifact QueryEngine::ComputeArtifact(std::span<const double> series,
+                                            const Request& request,
+                                            const Deadline& deadline,
+                                            bool* dnf) const {
+  // Mirror the ParallelStomp convenience overload — center once, share one
+  // PrefixStats across lengths — so every answer is bit-identical to a
+  // direct per-length ParallelStomp(series, len) library call.
+  const Series centered = CenterSeries(series);
+  const PrefixStats stats(centered);
+  CachedArtifact artifact;
+  std::vector<MotifPair> per_length_motifs;
+  for (Index len = request.len_min; len <= request.len_max; ++len) {
+    if (deadline.Expired()) {
+      *dnf = true;
+      return artifact;
+    }
+    const MatrixProfile profile =
+        ParallelStomp(centered, stats, len, options_.stomp_threads);
+    LengthResult lr;
+    lr.length = len;
+    lr.has_motif = lr.has_top_k = lr.has_discord = lr.has_profile = true;
+    lr.motif = MotifFromProfile(profile);
+    lr.top_k = TopMotifsFromProfile(profile, request.k);
+    lr.discord = DiscordFromProfile(profile);
+    double sum = 0.0;
+    Index finite = 0;
+    for (const double d : profile.distances) {
+      if (d == kInf) continue;
+      lr.profile_min = d < lr.profile_min ? d : lr.profile_min;
+      lr.profile_max = d > lr.profile_max ? d : lr.profile_max;
+      sum += d;
+      ++finite;
+    }
+    lr.profile_mean = finite > 0 ? sum / static_cast<double>(finite) : kInf;
+    per_length_motifs.push_back(lr.motif);
+    const double norm = std::sqrt(1.0 / static_cast<double>(len));
+    if (lr.discord.valid() &&
+        lr.discord.distance * norm > artifact.best_discord_norm) {
+      artifact.best_discord = lr.discord;
+      artifact.best_discord_norm = lr.discord.distance * norm;
+      artifact.has_best_discord = true;
+    }
+    artifact.lengths.push_back(std::move(lr));
+  }
+  const std::vector<RankedPair> ranked =
+      RankMotifsByNormalizedDistance(per_length_motifs);
+  if (!ranked.empty()) {
+    artifact.best_motif = ranked.front();
+    artifact.has_best_motif = true;
+  }
+  return artifact;
+}
+
+Response QueryEngine::BuildResponse(const Request& request,
+                                    const CachedArtifact& artifact,
+                                    bool cached,
+                                    std::uint64_t fingerprint) const {
+  Response response;
+  response.id = request.id;
+  response.type = request.type;
+  response.ok = true;
+  response.cached = cached;
+  response.fingerprint = FingerprintHex(fingerprint);
+  response.lengths = artifact.lengths;
+  // Project each per-length entry down to the sections this query type
+  // asked for; the projection depends only on (type, artifact), so cached
+  // and freshly computed answers serialize identically.
+  const bool want_motif = request.type == QueryType::kMotif ||
+                          request.type == QueryType::kProfile;
+  const bool want_top_k = request.type == QueryType::kTopK ||
+                          request.type == QueryType::kProfile;
+  const bool want_discord = request.type == QueryType::kDiscord ||
+                            request.type == QueryType::kProfile;
+  const bool want_profile = request.type == QueryType::kProfile;
+  for (LengthResult& lr : response.lengths) {
+    lr.has_motif = want_motif;
+    lr.has_top_k = want_top_k;
+    lr.has_discord = want_discord;
+    lr.has_profile = want_profile;
+    if (!want_top_k) lr.top_k.clear();
+  }
+  if ((want_motif || want_top_k) && artifact.has_best_motif) {
+    response.has_best_motif = true;
+    response.best_motif = artifact.best_motif;
+  }
+  if ((want_discord || want_profile) && artifact.has_best_discord) {
+    response.has_best_discord = true;
+    response.best_discord = artifact.best_discord;
+    response.best_discord_norm = artifact.best_discord_norm;
+  }
+  return response;
+}
+
+Response QueryEngine::Execute(const Request& request) {
+  WallTimer timer;
+  metrics_.GetCounter("requests_total")->Increment();
+  const std::string type_name = QueryTypeName(request.type);
+  metrics_.GetCounter("requests_" + type_name)->Increment();
+
+  if (request.type == QueryType::kStats) {
+    Response response;
+    response.id = request.id;
+    response.type = request.type;
+    response.ok = true;
+    response.stats_text = metrics_.Exposition();
+    response.elapsed_us = timer.Seconds() * 1e6;
+    return response;
+  }
+
+  Series storage;
+  std::span<const double> series;
+  Status status = ResolveSeries(request, &storage, &series);
+  if (status.ok())
+    status = ValidateRequest(request, static_cast<Index>(series.size()));
+  if (!status.ok()) {
+    metrics_.GetCounter("requests_invalid")->Increment();
+    Response response = Response::Error(request, status);
+    response.elapsed_us = timer.Seconds() * 1e6;
+    return response;
+  }
+
+  const std::uint64_t fingerprint = SeriesFingerprint(series);
+  const CacheKey key{fingerprint, request.len_min, request.len_max, request.p,
+                     request.k};
+  const Deadline deadline = request.deadline_ms > 0
+                                ? Deadline::After(request.deadline_ms / 1e3)
+                                : Deadline();
+
+  CachedArtifact artifact;
+  bool cached = false;
+  if (!request.no_cache && cache_.Get(key, &artifact)) {
+    cached = true;
+  } else {
+    // Execute() blocks until the job completes, so the locals captured by
+    // reference below outlive the worker's use of them.
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Status job_status;
+    status = executor_.Submit(
+        request.priority, deadline, [&](bool expired) {
+          Status result_status;
+          CachedArtifact result;
+          if (expired) {
+            result_status = Status::DeadlineExceeded(
+                "deadline expired while the request was queued");
+          } else {
+            bool dnf = false;
+            result = ComputeArtifact(series, request, deadline, &dnf);
+            if (dnf) {
+              result_status = Status::DeadlineExceeded(
+                  "deadline expired during computation");
+            }
+          }
+          const std::lock_guard<std::mutex> lock(mu);
+          job_status = std::move(result_status);
+          artifact = std::move(result);
+          done = true;
+          cv.notify_one();
+        });
+    if (!status.ok()) {
+      metrics_.GetCounter("rejected_queue_full")->Increment();
+      Response response = Response::Error(request, status);
+      response.elapsed_us = timer.Seconds() * 1e6;
+      return response;
+    }
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return done; });
+    }
+    if (!job_status.ok()) {
+      metrics_.GetCounter("rejected_deadline")->Increment();
+      Response response = Response::Error(request, job_status);
+      response.elapsed_us = timer.Seconds() * 1e6;
+      return response;
+    }
+    cache_.Put(key, artifact);
+  }
+
+  Response response = BuildResponse(request, artifact, cached, fingerprint);
+  response.elapsed_us = timer.Seconds() * 1e6;
+  metrics_.GetHistogram("latency_" + type_name)
+      ->Observe(response.elapsed_us);
+  return response;
+}
+
+}  // namespace valmod

@@ -1,0 +1,109 @@
+#ifndef VALMOD_SERVICE_ENGINE_H_
+#define VALMOD_SERVICE_ENGINE_H_
+
+#include <span>
+
+#include "service/executor.h"
+#include "service/metrics.h"
+#include "service/protocol.h"
+#include "service/result_cache.h"
+#include "util/common.h"
+#include "util/status.h"
+
+namespace valmod {
+
+/// Tuning knobs of a QueryEngine. Defaults suit an embeddable in-process
+/// engine; valmod_serve exposes each as a flag.
+struct QueryEngineOptions {
+  /// Executor worker threads; <= 0 picks hardware_concurrency().
+  int workers = 0;
+  /// Bound on admitted-but-not-running jobs (admission control).
+  Index queue_capacity = 64;
+  /// Result-cache byte budget across all shards.
+  std::size_t cache_bytes = 64u << 20;
+  /// Result-cache shard count.
+  int cache_shards = 8;
+  /// Threads per ParallelStomp call. Kept at 1 by default so concurrency
+  /// comes from running independent jobs, not from splitting one; the
+  /// answer is bit-identical either way (the kernel's determinism
+  /// guarantee).
+  int stomp_threads = 1;
+  /// Largest series a request may submit or generate.
+  Index max_series_points = Index{1} << 22;
+  /// Largest length range (len_max - len_min + 1) a request may ask for.
+  Index max_lengths = 512;
+  /// Largest per-length top-K a request may ask for.
+  Index max_k = 64;
+};
+
+/// The embeddable query engine: validation, admission control, execution
+/// on the deterministic ParallelStomp kernel, result caching, and metrics.
+/// The TCP server (service/server.h) is a thin framing shell around one of
+/// these; tests and benchmarks call Execute() directly.
+///
+/// Execute() is safe to call from any number of threads concurrently: the
+/// caller's thread blocks while an executor worker computes, so the
+/// executor pool bounds CPU parallelism and the queue bounds memory.
+class QueryEngine {
+ public:
+  /// Starts the worker pool.
+  explicit QueryEngine(const QueryEngineOptions& options = {});
+
+  /// Drains outstanding work (see Drain()).
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Answers one request, blocking until the answer (or error) is ready.
+  /// Never aborts on bad input: every failure is a Response with
+  /// `ok == false` and a StatusCodeName error code — RESOURCE_EXHAUSTED
+  /// for backpressure, DEADLINE_EXCEEDED for lapsed deadlines,
+  /// INVALID_ARGUMENT/NOT_FOUND for bad requests.
+  Response Execute(const Request& request);
+
+  /// Stops admitting compute jobs (they get RESOURCE_EXHAUSTED), finishes
+  /// every admitted one, and joins the workers. STATS requests still work
+  /// afterwards. Idempotent.
+  void Drain();
+
+  /// The metrics registry (exposed via the STATS query type).
+  MetricsRegistry& metrics() { return metrics_; }
+
+  /// The result cache (read-only view for tests and gauges).
+  const ResultCache& cache() const { return cache_; }
+
+  /// The executor (read-only view for tests).
+  const Executor& executor() const { return executor_; }
+
+  /// The active options.
+  const QueryEngineOptions& options() const { return options_; }
+
+ private:
+  /// Materializes the request's series: inline data verbatim, or the named
+  /// synthetic dataset generated deterministically from (dataset, n).
+  Status ResolveSeries(const Request& request, Series* storage,
+                       std::span<const double>* out) const;
+  /// Parameter sanity checks against the resolved series length `n`.
+  Status ValidateRequest(const Request& request, Index n) const;
+  /// Runs the full computation for every length in [len_min, len_max] via
+  /// deterministic ParallelStomp (centered once, one PrefixStats), so
+  /// answers are bit-identical to direct library calls.
+  CachedArtifact ComputeArtifact(std::span<const double> series,
+                                 const Request& request,
+                                 const Deadline& deadline, bool* dnf) const;
+  /// Projects the artifact into the sections `request.type` asks for; a
+  /// cached artifact and a fresh one serialize byte-identically.
+  Response BuildResponse(const Request& request,
+                         const CachedArtifact& artifact, bool cached,
+                         std::uint64_t fingerprint) const;
+
+  QueryEngineOptions options_;
+  MetricsRegistry metrics_;
+  ResultCache cache_;
+  Executor executor_;  // last member: joins before the cache/metrics die
+};
+
+}  // namespace valmod
+
+#endif  // VALMOD_SERVICE_ENGINE_H_

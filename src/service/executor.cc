@@ -1,0 +1,52 @@
+#include "service/executor.h"
+
+#include <utility>
+
+namespace valmod {
+
+Executor::Executor(int workers, Index queue_capacity)
+    : queue_(queue_capacity) {
+  if (workers <= 0) {
+    workers = static_cast<int>(std::thread::hardware_concurrency());
+    if (workers <= 0) workers = 1;
+  }
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+Executor::~Executor() { Drain(); }
+
+Status Executor::Submit(int priority, const Deadline& deadline,
+                        std::function<void(bool expired)> run) {
+  Job job;
+  job.priority = priority;
+  job.deadline = deadline;
+  job.run = std::move(run);
+  return queue_.Push(std::move(job));
+}
+
+void Executor::Drain() {
+  if (drained_.exchange(true)) return;
+  queue_.Close();  // rejects new work; Pop hands out what was admitted
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void Executor::WorkerLoop() {
+  Job job;
+  while (queue_.Pop(&job)) {
+    const bool expired = job.deadline.Expired();
+    if (expired) {
+      expired_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      executed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    job.run(expired);
+    job.run = nullptr;  // release captures before blocking on the queue
+  }
+}
+
+}  // namespace valmod

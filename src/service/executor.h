@@ -1,0 +1,77 @@
+#ifndef VALMOD_SERVICE_EXECUTOR_H_
+#define VALMOD_SERVICE_EXECUTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "service/job_queue.h"
+#include "util/common.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace valmod {
+
+/// A fixed worker pool draining a bounded priority JobQueue. Submission is
+/// the service's admission-control point (backpressure instead of
+/// unbounded growth); Drain() is its graceful-shutdown point (every
+/// admitted job still runs, then the workers exit).
+class Executor {
+ public:
+  /// `workers <= 0` picks std::thread::hardware_concurrency();
+  /// `queue_capacity` bounds the number of admitted-but-not-yet-running
+  /// jobs.
+  Executor(int workers, Index queue_capacity);
+
+  /// Drains on destruction if Drain() was not called explicitly.
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Admits a job. Returns kResourceExhausted (backpressure) when the
+  /// queue is full or draining; Ok otherwise. `run(expired)` is then
+  /// invoked exactly once on a worker thread, with `expired == true` when
+  /// `deadline` lapsed before the job reached a worker.
+  Status Submit(int priority, const Deadline& deadline,
+                std::function<void(bool expired)> run);
+
+  /// Stops admission, runs every already-admitted job to completion, and
+  /// joins the workers. Idempotent; afterwards Submit rejects.
+  void Drain();
+
+  /// Number of admitted-but-not-yet-running jobs.
+  Index queue_depth() const { return queue_.size(); }
+
+  /// The queue's capacity bound.
+  Index queue_capacity() const { return queue_.capacity(); }
+
+  /// Worker-thread count.
+  int workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Jobs handed to `run` with expired == false.
+  std::int64_t executed() const {
+    return executed_.load(std::memory_order_relaxed);
+  }
+  /// Jobs whose deadline passed while they sat in the queue (still handed
+  /// to `run`, with expired == true, so callers get an answer).
+  std::int64_t expired_in_queue() const {
+    return expired_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Pops and runs jobs until the queue is closed and drained.
+  void WorkerLoop();
+
+  JobQueue queue_;
+  std::vector<std::thread> workers_;
+  std::atomic<std::int64_t> executed_{0};
+  std::atomic<std::int64_t> expired_{0};
+  std::atomic<bool> drained_{false};
+};
+
+}  // namespace valmod
+
+#endif  // VALMOD_SERVICE_EXECUTOR_H_

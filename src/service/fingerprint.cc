@@ -1,0 +1,40 @@
+#include "service/fingerprint.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace valmod {
+
+std::uint64_t Fnv1a64(const void* data, std::size_t size) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= static_cast<std::uint64_t>(bytes[i]);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+std::uint64_t SeriesFingerprint(std::span<const double> series) {
+  const std::uint64_t n = static_cast<std::uint64_t>(series.size());
+  std::uint64_t hash = Fnv1a64(&n, sizeof(n));
+  // Continue the running FNV state over the value bytes rather than
+  // restarting, so (length, values) hash as one message.
+  const unsigned char* bytes =
+      reinterpret_cast<const unsigned char*>(series.data());
+  const std::size_t size = series.size() * sizeof(double);
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= static_cast<std::uint64_t>(bytes[i]);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+std::string FingerprintHex(std::uint64_t fingerprint) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(fingerprint));
+  return std::string(buf, 16);
+}
+
+}  // namespace valmod

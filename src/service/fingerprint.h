@@ -1,0 +1,32 @@
+#ifndef VALMOD_SERVICE_FINGERPRINT_H_
+#define VALMOD_SERVICE_FINGERPRINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "util/common.h"
+
+namespace valmod {
+
+/// FNV-1a 64 over a byte range: the same hash the streaming checkpoint
+/// trailer uses, here keying the result cache. Not cryptographic — a client
+/// that *wants* to collide can — but with 64 bits accidental collisions
+/// across a cache of even millions of series are negligible, and a
+/// collision only ever returns a stale-but-well-formed answer.
+std::uint64_t Fnv1a64(const void* data, std::size_t size);
+
+/// Cache fingerprint of a series: FNV-1a 64 over the length followed by the
+/// raw little-endian IEEE-754 bytes, so any single-bit change of any value
+/// (or a length change) re-keys. Two bit-identical series always collide —
+/// which is the point: repeat queries hit the cache.
+std::uint64_t SeriesFingerprint(std::span<const double> series);
+
+/// Fixed-width lowercase-hex rendering of a fingerprint; used on the wire
+/// (JSON numbers lose precision past 2^53, a 16-char string does not).
+std::string FingerprintHex(std::uint64_t fingerprint);
+
+}  // namespace valmod
+
+#endif  // VALMOD_SERVICE_FINGERPRINT_H_

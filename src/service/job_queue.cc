@@ -1,0 +1,62 @@
+#include "service/job_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace valmod {
+
+JobQueue::JobQueue(Index capacity)
+    : capacity_(std::max<Index>(1, capacity)) {}
+
+Status JobQueue::Push(Job job) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (closed_)
+      return Status::ResourceExhausted("job queue is draining");
+    if (size_ >= capacity_)
+      return Status::ResourceExhausted(
+          "job queue full (" + std::to_string(capacity_) +
+          " queued); back off and retry");
+    const int priority =
+        std::clamp(job.priority, kPriorityHigh, kPriorityLow);
+    job.priority = priority;
+    lanes_[static_cast<std::size_t>(priority)].push_back(std::move(job));
+    ++size_;
+  }
+  cv_.notify_one();
+  return Status::Ok();
+}
+
+bool JobQueue::Pop(Job* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return size_ > 0 || closed_; });
+  if (size_ == 0) return false;  // closed and drained
+  for (std::deque<Job>& lane : lanes_) {
+    if (lane.empty()) continue;
+    *out = std::move(lane.front());
+    lane.pop_front();
+    --size_;
+    return true;
+  }
+  return false;  // unreachable: size_ > 0 implies a non-empty lane
+}
+
+void JobQueue::Close() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+Index JobQueue::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return size_;
+}
+
+bool JobQueue::closed() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+}  // namespace valmod

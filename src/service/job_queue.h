@@ -1,0 +1,80 @@
+#ifndef VALMOD_SERVICE_JOB_QUEUE_H_
+#define VALMOD_SERVICE_JOB_QUEUE_H_
+
+#include <array>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+
+#include "util/common.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace valmod {
+
+/// Scheduling priorities of the query service, best first. The admission
+/// queue drains strictly by priority (FIFO within a lane), so a saturated
+/// server keeps serving high-priority traffic at the expense of low.
+inline constexpr int kPriorityHigh = 0;
+inline constexpr int kPriorityNormal = 1;
+inline constexpr int kPriorityLow = 2;
+inline constexpr int kNumPriorities = 3;
+
+/// One queued unit of work. `run(expired)` is invoked exactly once by an
+/// executor worker — with `expired == true` when `deadline` lapsed while
+/// the job was still queued, so the job can fail fast (DEADLINE_EXCEEDED)
+/// instead of computing an answer nobody is waiting for.
+struct Job {
+  int priority = kPriorityNormal;
+  Deadline deadline;
+  std::function<void(bool expired)> run;
+};
+
+/// A bounded, priority-ordered MPMC job queue: the admission-control point
+/// of the query service. Push never blocks and never grows the queue past
+/// its capacity — when full (or draining) it returns kResourceExhausted,
+/// the protocol's explicit backpressure signal, rather than queueing
+/// unbounded work (docs/SERVICE.md, "Backpressure").
+class JobQueue {
+ public:
+  /// `capacity` bounds the total occupancy across all priority lanes;
+  /// clamped to >= 1.
+  explicit JobQueue(Index capacity);
+
+  /// Enqueues `job`. Returns kResourceExhausted when the queue is at
+  /// capacity or Close() has been called; Ok otherwise. Never blocks.
+  Status Push(Job job);
+
+  /// Blocks until a job is available or the queue is closed *and* empty.
+  /// Returns false only in the latter case — jobs queued before Close()
+  /// are always handed out, which is what graceful drain relies on.
+  bool Pop(Job* out);
+
+  /// Closes the queue: subsequent Push calls are rejected, Pop drains the
+  /// remaining jobs then returns false. Idempotent.
+  void Close();
+
+  /// Current total occupancy.
+  Index size() const;
+
+  /// The capacity bound.
+  Index capacity() const { return capacity_; }
+
+  /// True once Close() has been called.
+  bool closed() const;
+
+ private:
+  /// One FIFO lane per priority; total occupancy across the lanes is
+  /// bounded by capacity_ (enforced in Push).
+  std::array<std::deque<Job>, kNumPriorities> lanes_;
+  const Index capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  Index size_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace valmod
+
+#endif  // VALMOD_SERVICE_JOB_QUEUE_H_

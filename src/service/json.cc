@@ -1,0 +1,419 @@
+#include "service/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <system_error>
+#include <utility>
+
+#include "util/common.h"
+
+namespace valmod {
+namespace {
+
+/// Shortest decimal rendering of a finite double that parses back to the
+/// identical bit pattern (std::to_chars shortest form); the protocol's
+/// bit-exactness guarantee rests on this.
+void AppendDouble(double d, std::string* out) {
+  char buf[32];
+  const std::to_chars_result r = std::to_chars(buf, buf + sizeof(buf), d);
+  out->append(buf, static_cast<std::size_t>(r.ptr - buf));
+}
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  bool AtEnd() const { return pos >= text.size(); }
+  char Peek() const { return text[pos]; }
+
+  void SkipSpace() {
+    while (!AtEnd()) {
+      const char c = text[pos];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos;
+    }
+  }
+
+  Status Fail(const std::string& what) const {
+    return Status::InvalidArgument("json: " + what + " at byte " +
+                                   std::to_string(pos));
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth >= kMaxParseDepth) return Fail("nesting too deep");
+    SkipSpace();
+    if (AtEnd()) return Fail("unexpected end of input");
+    const char c = Peek();
+    switch (c) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"': {
+        std::string s;
+        Status status = ParseString(&s);
+        if (!status.ok()) return status;
+        *out = JsonValue(std::move(s));
+        return Status::Ok();
+      }
+      case 't':
+        return ParseLiteral("true", JsonValue(true), out);
+      case 'f':
+        return ParseLiteral("false", JsonValue(false), out);
+      case 'n':
+        return ParseLiteral("null", JsonValue(), out);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseLiteral(std::string_view lit, JsonValue value, JsonValue* out) {
+    if (text.substr(pos, lit.size()) != lit) return Fail("bad literal");
+    pos += lit.size();
+    *out = std::move(value);
+    return Status::Ok();
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos;  // opening quote
+    std::string s;
+    while (true) {
+      if (AtEnd()) return Fail("unterminated string");
+      char c = text[pos++];
+      if (c == '"') break;
+      if (c != '\\') {
+        s.push_back(c);
+        continue;
+      }
+      if (AtEnd()) return Fail("unterminated escape");
+      c = text[pos++];
+      switch (c) {
+        case '"':
+        case '\\':
+        case '/':
+          s.push_back(c);
+          break;
+        case 'b':
+          s.push_back('\b');
+          break;
+        case 'f':
+          s.push_back('\f');
+          break;
+        case 'n':
+          s.push_back('\n');
+          break;
+        case 'r':
+          s.push_back('\r');
+          break;
+        case 't':
+          s.push_back('\t');
+          break;
+        case 'u': {
+          if (pos + 4 > text.size()) return Fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text[pos++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Fail("bad \\u escape");
+            }
+          }
+          // The protocol only ships ASCII; encode BMP code points as UTF-8.
+          if (code < 0x80) {
+            s.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            s.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            s.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            s.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            s.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            s.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Fail("unknown escape");
+      }
+    }
+    *out = std::move(s);
+    return Status::Ok();
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const std::size_t start = pos;
+    if (!AtEnd() && (Peek() == '-' || Peek() == '+')) ++pos;
+    bool integral = true;
+    while (!AtEnd()) {
+      const char c = Peek();
+      if (c >= '0' && c <= '9') {
+        ++pos;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '-' || c == '+') {
+        integral = false;
+        ++pos;
+      } else {
+        break;
+      }
+    }
+    const std::string_view token = text.substr(start, pos - start);
+    if (token.empty()) return Fail("expected a value");
+    if (integral) {
+      std::int64_t i = 0;
+      const std::from_chars_result r =
+          std::from_chars(token.data(), token.data() + token.size(), i);
+      if (r.ec == std::errc() && r.ptr == token.data() + token.size()) {
+        *out = JsonValue(i);
+        return Status::Ok();
+      }
+      // Fall through: out-of-range integers degrade to double.
+    }
+    double d = 0.0;
+    const std::from_chars_result r =
+        std::from_chars(token.data(), token.data() + token.size(), d);
+    if (r.ec != std::errc() || r.ptr != token.data() + token.size()) {
+      return Fail("bad number '" + std::string(token) + "'");
+    }
+    *out = JsonValue(d);
+    return Status::Ok();
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    ++pos;  // '['
+    JsonValue::Array items;
+    SkipSpace();
+    if (!AtEnd() && Peek() == ']') {
+      ++pos;
+      *out = JsonValue(std::move(items));
+      return Status::Ok();
+    }
+    while (true) {
+      JsonValue item;
+      Status status = ParseValue(&item, depth + 1);
+      if (!status.ok()) return status;
+      items.push_back(std::move(item));
+      SkipSpace();
+      if (AtEnd()) return Fail("unterminated array");
+      const char c = text[pos++];
+      if (c == ']') break;
+      if (c != ',') return Fail("expected ',' or ']'");
+    }
+    *out = JsonValue(std::move(items));
+    return Status::Ok();
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    ++pos;  // '{'
+    JsonValue::Object members;
+    SkipSpace();
+    if (!AtEnd() && Peek() == '}') {
+      ++pos;
+      *out = JsonValue(std::move(members));
+      return Status::Ok();
+    }
+    while (true) {
+      SkipSpace();
+      if (AtEnd() || Peek() != '"') return Fail("expected object key");
+      std::string key;
+      Status status = ParseString(&key);
+      if (!status.ok()) return status;
+      SkipSpace();
+      if (AtEnd() || text[pos++] != ':') return Fail("expected ':'");
+      JsonValue value;
+      status = ParseValue(&value, depth + 1);
+      if (!status.ok()) return status;
+      members[std::move(key)] = std::move(value);
+      SkipSpace();
+      if (AtEnd()) return Fail("unterminated object");
+      const char c = text[pos++];
+      if (c == '}') break;
+      if (c != ',') return Fail("expected ',' or '}'");
+    }
+    *out = JsonValue(std::move(members));
+    return Status::Ok();
+  }
+};
+
+}  // namespace
+
+JsonValue::JsonValue(double d) {
+  if (std::isfinite(d)) {
+    kind_ = Kind::kDouble;
+    double_ = d;
+  } else {
+    kind_ = Kind::kString;
+    string_ = std::isnan(d) ? "nan" : (d > 0 ? "inf" : "-inf");
+  }
+}
+
+JsonValue::JsonValue(std::string s)
+    : kind_(Kind::kString), string_(std::move(s)) {}
+
+JsonValue::JsonValue(Array a) : kind_(Kind::kArray), array_(std::move(a)) {}
+
+JsonValue::JsonValue(Object o) : kind_(Kind::kObject), object_(std::move(o)) {}
+
+const std::string& JsonValue::EmptyString() {
+  static const std::string empty;
+  return empty;
+}
+
+bool JsonValue::AsBool(bool def) const { return is_bool() ? bool_ : def; }
+
+std::int64_t JsonValue::AsInt(std::int64_t def) const {
+  if (is_int()) return int_;
+  if (is_double()) return static_cast<std::int64_t>(double_);
+  return def;
+}
+
+double JsonValue::AsDouble(double def) const {
+  if (is_double()) return double_;
+  if (is_int()) return static_cast<double>(int_);
+  if (is_string()) {
+    if (string_ == "inf") return kInf;
+    if (string_ == "-inf") return -kInf;
+    if (string_ == "nan") return std::nan("");
+  }
+  return def;
+}
+
+const std::string& JsonValue::AsString(const std::string& def) const {
+  return is_string() ? string_ : def;
+}
+
+const JsonValue::Array& JsonValue::AsArray() const {
+  static const Array empty;
+  return is_array() ? array_ : empty;
+}
+
+const JsonValue::Object& JsonValue::AsObject() const {
+  static const Object empty;
+  return is_object() ? object_ : empty;
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  const auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+void JsonValue::Set(const std::string& key, JsonValue value) {
+  if (!is_object()) {
+    kind_ = Kind::kObject;
+    object_.clear();
+  }
+  object_[key] = std::move(value);
+}
+
+void JsonValue::Append(JsonValue value) {
+  if (!is_array()) {
+    kind_ = Kind::kArray;
+    array_.clear();
+  }
+  array_.push_back(std::move(value));
+}
+
+void JsonValue::SerializeTo(std::string* out) const {
+  switch (kind_) {
+    case Kind::kNull:
+      out->append("null");
+      break;
+    case Kind::kBool:
+      out->append(bool_ ? "true" : "false");
+      break;
+    case Kind::kInt:
+      out->append(std::to_string(int_));
+      break;
+    case Kind::kDouble:
+      AppendDouble(double_, out);
+      break;
+    case Kind::kString:
+      out->push_back('"');
+      out->append(JsonEscape(string_));
+      out->push_back('"');
+      break;
+    case Kind::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const JsonValue& v : array_) {
+        if (!first) out->push_back(',');
+        first = false;
+        v.SerializeTo(out);
+      }
+      out->push_back(']');
+      break;
+    }
+    case Kind::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [key, value] : object_) {
+        if (!first) out->push_back(',');
+        first = false;
+        out->push_back('"');
+        out->append(JsonEscape(key));
+        out->append("\":");
+        value.SerializeTo(out);
+      }
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+std::string JsonValue::Serialize() const {
+  std::string out;
+  SerializeTo(&out);
+  return out;
+}
+
+Status JsonValue::Parse(std::string_view text, JsonValue* out) {
+  Parser parser{text};
+  JsonValue value;
+  Status status = parser.ParseValue(&value, 0);
+  if (!status.ok()) return status;
+  parser.SkipSpace();
+  if (!parser.AtEnd()) return parser.Fail("trailing garbage");
+  *out = std::move(value);
+  return Status::Ok();
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out.append("\\\"");
+        break;
+      case '\\':
+        out.append("\\\\");
+        break;
+      case '\n':
+        out.append("\\n");
+        break;
+      case '\r':
+        out.append("\\r");
+        break;
+      case '\t':
+        out.append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out.append(buf);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace valmod

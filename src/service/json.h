@@ -1,0 +1,113 @@
+#ifndef VALMOD_SERVICE_JSON_H_
+#define VALMOD_SERVICE_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace valmod {
+
+/// Minimal self-contained JSON document model used by the query-service
+/// protocol (docs/SERVICE.md). Deliberately tiny: objects are ordered maps
+/// (deterministic serialization, so identical responses are byte-identical),
+/// numbers are either 64-bit integers or doubles, and non-finite doubles —
+/// which standard JSON cannot represent but matrix profiles produce (kInf
+/// sentinels) — are round-tripped as the strings "inf", "-inf", "nan".
+class JsonValue {
+ public:
+  using Array = std::vector<JsonValue>;
+  using Object = std::map<std::string, JsonValue>;
+
+  /// Constructs null.
+  JsonValue() : kind_(Kind::kNull) {}
+  /// Constructs a boolean.
+  explicit JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}
+  /// Constructs an integer number (serialized without a decimal point).
+  explicit JsonValue(std::int64_t i) : kind_(Kind::kInt), int_(i) {}
+  /// Constructs a double; non-finite values become the strings
+  /// "inf"/"-inf"/"nan" so they survive serialization.
+  explicit JsonValue(double d);
+  /// Constructs a string.
+  explicit JsonValue(std::string s);
+  /// Constructs an array.
+  explicit JsonValue(Array a);
+  /// Constructs an object.
+  explicit JsonValue(Object o);
+
+  /// True when this value is null.
+  bool is_null() const { return kind_ == Kind::kNull; }
+  /// True when this value is a boolean.
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  /// True when this value is an integer.
+  bool is_int() const { return kind_ == Kind::kInt; }
+  /// True when this value is a double.
+  bool is_double() const { return kind_ == Kind::kDouble; }
+  /// True when this value is an integer or a double.
+  bool is_number() const { return is_int() || is_double(); }
+  /// True when this value is a string.
+  bool is_string() const { return kind_ == Kind::kString; }
+  /// True when this value is an array.
+  bool is_array() const { return kind_ == Kind::kArray; }
+  /// True when this value is an object.
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Boolean value, or `def` when this is not a boolean.
+  bool AsBool(bool def = false) const;
+  /// Integer value (truncating a double), or `def` when not a number.
+  std::int64_t AsInt(std::int64_t def = 0) const;
+  /// Double value; accepts integers and the non-finite marker strings
+  /// "inf"/"-inf"/"nan"; `def` otherwise.
+  double AsDouble(double def = 0.0) const;
+  /// String value, or `def` when this is not a string.
+  const std::string& AsString(const std::string& def = EmptyString()) const;
+  /// Array contents (empty for non-arrays).
+  const Array& AsArray() const;
+  /// Object contents (empty for non-objects).
+  const Object& AsObject() const;
+
+  /// Object lookup; returns nullptr when absent or this is not an object.
+  const JsonValue* Find(const std::string& key) const;
+  /// Inserts/overwrites `key` (turns this value into an object if needed).
+  void Set(const std::string& key, JsonValue value);
+  /// Appends to the array (turns this value into an array if needed).
+  void Append(JsonValue value);
+
+  /// Compact single-line serialization. Doubles use shortest-round-trip
+  /// formatting, so Parse(Serialize(v)) reproduces every bit.
+  std::string Serialize() const;
+  /// Appends the serialization to `out` (the building block of Serialize).
+  void SerializeTo(std::string* out) const;
+
+  /// Parses a complete JSON document. Trailing non-whitespace, exceeding
+  /// `kMaxParseDepth` nesting, or any syntax error yields InvalidArgument
+  /// and leaves `*out` untouched.
+  static Status Parse(std::string_view text, JsonValue* out);
+
+ private:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+  /// Shared empty-string sentinel for AsString's default argument.
+  static const std::string& EmptyString();
+
+  Kind kind_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Maximum nesting depth accepted by JsonValue::Parse; the protocol needs
+/// 4, the guard stops stack exhaustion from adversarial frames.
+inline constexpr int kMaxParseDepth = 32;
+
+/// Escapes `s` as the *contents* of a JSON string literal (no quotes).
+std::string JsonEscape(std::string_view s);
+
+}  // namespace valmod
+
+#endif  // VALMOD_SERVICE_JSON_H_

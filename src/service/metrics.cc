@@ -1,0 +1,124 @@
+#include "service/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+namespace valmod {
+
+void LatencyHistogram::Observe(double us) {
+  if (!(us >= 0.0)) us = 0.0;  // NaN and negatives clamp to the first bucket
+  int bucket = 0;
+  // Smallest b with us < 2^(b+1): integer log2 of the microsecond count.
+  std::int64_t edge = 2;
+  while (bucket < kBuckets - 1 && us >= static_cast<double>(edge)) {
+    ++bucket;
+    edge <<= 1;
+  }
+  buckets_[static_cast<std::size_t>(bucket)].fetch_add(
+      1, std::memory_order_relaxed);
+  total_.fetch_add(1, std::memory_order_relaxed);
+  sum_us_.fetch_add(static_cast<std::int64_t>(us), std::memory_order_relaxed);
+}
+
+std::int64_t LatencyHistogram::TotalCount() const {
+  return total_.load(std::memory_order_relaxed);
+}
+
+double LatencyHistogram::QuantileUpperBoundUs(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  const std::int64_t total = TotalCount();
+  if (total == 0) return 0.0;
+  const std::int64_t rank = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::ceil(q * static_cast<double>(total))));
+  std::int64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets_[static_cast<std::size_t>(b)].load(
+        std::memory_order_relaxed);
+    if (seen >= rank) return static_cast<double>(std::int64_t{1} << (b + 1));
+  }
+  return static_cast<double>(std::int64_t{1} << kBuckets);
+}
+
+double LatencyHistogram::SumUs() const {
+  return static_cast<double>(sum_us_.load(std::memory_order_relaxed));
+}
+
+MetricCounter* MetricsRegistry::GetCounter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<MetricCounter>& slot = counters_[name];
+  if (!slot) slot = std::make_unique<MetricCounter>();
+  return slot.get();
+}
+
+LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<LatencyHistogram>& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<LatencyHistogram>();
+  return slot.get();
+}
+
+void MetricsRegistry::SetGauge(const std::string& name,
+                               std::function<std::int64_t()> fn) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  gauges_[name] = std::move(fn);
+}
+
+std::string MetricsRegistry::Exposition() const {
+  // Collect under the lock, render (and sample gauges) outside it, so a
+  // gauge callback that itself takes a lock cannot deadlock the registry.
+  std::vector<std::pair<std::string, std::int64_t>> counter_rows;
+  std::vector<std::pair<std::string, const LatencyHistogram*>> histo_rows;
+  std::vector<std::pair<std::string, std::function<std::int64_t()>>>
+      gauge_rows;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    counter_rows.reserve(counters_.size());
+    for (const auto& [name, counter] : counters_)
+      counter_rows.emplace_back(name, counter->Value());
+    histo_rows.reserve(histograms_.size());
+    for (const auto& [name, histogram] : histograms_)
+      histo_rows.emplace_back(name, histogram.get());
+    gauge_rows.reserve(gauges_.size());
+    for (const auto& [name, fn] : gauges_) gauge_rows.emplace_back(name, fn);
+  }
+  // All three maps are sorted and their key spaces are kept disjoint by
+  // convention, so a simple three-way merge yields name-sorted output.
+  std::vector<std::pair<std::string, std::string>> lines;
+  char buf[160];
+  for (const auto& [name, value] : counter_rows) {
+    std::snprintf(buf, sizeof(buf), "valmod_%s %lld", name.c_str(),
+                  static_cast<long long>(value));
+    lines.emplace_back(name, buf);
+  }
+  for (const auto& [name, histogram] : histo_rows) {
+    const std::int64_t count = histogram->TotalCount();
+    const double mean =
+        count > 0 ? histogram->SumUs() / static_cast<double>(count) : 0.0;
+    std::snprintf(buf, sizeof(buf),
+                  "valmod_%s_count %lld\nvalmod_%s_mean_us %.1f\n"
+                  "valmod_%s_p50_us %.0f\nvalmod_%s_p90_us %.0f\n"
+                  "valmod_%s_p99_us %.0f",
+                  name.c_str(), static_cast<long long>(count), name.c_str(),
+                  mean, name.c_str(), histogram->QuantileUpperBoundUs(0.5),
+                  name.c_str(), histogram->QuantileUpperBoundUs(0.9),
+                  name.c_str(), histogram->QuantileUpperBoundUs(0.99));
+    lines.emplace_back(name, buf);
+  }
+  for (const auto& [name, fn] : gauge_rows) {
+    std::snprintf(buf, sizeof(buf), "valmod_%s %lld", name.c_str(),
+                  static_cast<long long>(fn ? fn() : 0));
+    lines.emplace_back(name, buf);
+  }
+  std::sort(lines.begin(), lines.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::string out;
+  for (const auto& [name, text] : lines) {
+    out.append(text);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace valmod

@@ -1,0 +1,93 @@
+#ifndef VALMOD_SERVICE_METRICS_H_
+#define VALMOD_SERVICE_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "util/common.h"
+
+namespace valmod {
+
+/// A monotonically increasing counter. Lock-free; relaxed ordering is
+/// enough because counters are statistics, not synchronization.
+class MetricCounter {
+ public:
+  /// Adds `delta` (default 1).
+  void Increment(std::int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  /// Current value.
+  std::int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// A latency histogram over power-of-two microsecond buckets
+/// (1us, 2us, 4us, ... ~9 hours). Power-of-two edges keep Observe() to a
+/// handful of instructions on the request hot path and still bound every
+/// reported quantile within a factor of two — plenty for p50/p99 dashboards.
+class LatencyHistogram {
+ public:
+  /// Number of buckets; bucket b covers [2^b, 2^(b+1)) microseconds.
+  static constexpr int kBuckets = 45;
+
+  /// Records one observation of `us` microseconds.
+  void Observe(double us);
+
+  /// Total number of observations.
+  std::int64_t TotalCount() const;
+
+  /// Upper edge (microseconds) of the bucket containing quantile `q` of
+  /// the observations, i.e. an upper bound within 2x of the true quantile.
+  /// Returns 0 when empty. `q` is clamped into [0, 1].
+  double QuantileUpperBoundUs(double q) const;
+
+  /// Sum of all observed values, microseconds (for mean latency).
+  double SumUs() const;
+
+ private:
+  std::array<std::atomic<std::int64_t>, kBuckets> buckets_{};
+  std::atomic<std::int64_t> total_{0};
+  /// Microsecond sum stored as an integer so the counter stays lock-free.
+  std::atomic<std::int64_t> sum_us_{0};
+};
+
+/// Registry of named counters, latency histograms, and gauge callbacks,
+/// with a deterministic text exposition served by the STATS query type.
+/// Get* returns a stable pointer that lives as long as the registry; the
+/// maps are node-based so registration never invalidates prior pointers.
+class MetricsRegistry {
+ public:
+  /// Returns the counter named `name`, creating it on first use.
+  MetricCounter* GetCounter(const std::string& name);
+
+  /// Returns the histogram named `name`, creating it on first use.
+  LatencyHistogram* GetHistogram(const std::string& name);
+
+  /// Registers (or replaces) a gauge: `fn` is sampled at exposition time,
+  /// so gauges always report live values (e.g. current cache bytes).
+  void SetGauge(const std::string& name, std::function<std::int64_t()> fn);
+
+  /// Text exposition, one `valmod_<name> <value>` line per metric, sorted
+  /// by name. Histograms expose `<name>_count`, `<name>_mean_us`, and
+  /// `<name>_p{50,90,99}_us` lines.
+  std::string Exposition() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<MetricCounter>> counters_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+  std::map<std::string, std::function<std::int64_t()>> gauges_;
+};
+
+}  // namespace valmod
+
+#endif  // VALMOD_SERVICE_METRICS_H_

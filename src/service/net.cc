@@ -1,0 +1,212 @@
+#include "service/net.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "service/protocol.h"
+#include "util/timer.h"
+
+namespace valmod {
+namespace net {
+namespace {
+
+/// Poll slice: the granularity at which blocked reads re-check the stop
+/// flag. Short enough that drain feels immediate, long enough to be noise
+/// in syscall terms.
+constexpr int kPollSliceMs = 50;
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+/// Waits until `fd` is readable. DeadlineExceeded on timeout or when
+/// `*stop` turns true; Ok when readable.
+Status WaitReadable(int fd, double timeout_s, const std::atomic<bool>* stop) {
+  const Deadline deadline = Deadline::After(timeout_s);
+  while (true) {
+    if (stop != nullptr && stop->load(std::memory_order_relaxed))
+      return Status::DeadlineExceeded("stopped");
+    if (deadline.Expired()) return Status::DeadlineExceeded("read timeout");
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int r = poll(&pfd, 1, kPollSliceMs);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Errno("poll");
+    }
+    if (r > 0) return Status::Ok();
+  }
+}
+
+/// Reads exactly `want` bytes into `*out` (appending), polling between
+/// chunks. `eof_ok_at_start` maps immediate EOF to NotFound (clean close).
+Status ReadExact(int fd, std::size_t want, double timeout_s,
+                 const std::atomic<bool>* stop, bool eof_ok_at_start,
+                 std::string* out) {
+  std::size_t got = 0;
+  char buf[4096];
+  while (got < want) {
+    Status status = WaitReadable(fd, timeout_s, stop);
+    if (!status.ok()) return status;
+    const std::size_t chunk =
+        want - got < sizeof(buf) ? want - got : sizeof(buf);
+    const ssize_t r = recv(fd, buf, chunk, 0);
+    if (r < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return Errno("recv");
+    }
+    if (r == 0) {
+      if (eof_ok_at_start && got == 0)
+        return Status::NotFound("connection closed");
+      return Status::IoError("connection closed mid-frame");
+    }
+    out->append(buf, static_cast<std::size_t>(r));
+    got += static_cast<std::size_t>(r);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status Listen(const std::string& host, int port, int backlog, int* out_fd,
+              int* out_port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  const int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    CloseFd(fd);
+    return Status::InvalidArgument("bad listen address '" + host + "'");
+  }
+  if (bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status status = Errno("bind " + host + ":" + std::to_string(port));
+    CloseFd(fd);
+    return status;
+  }
+  if (listen(fd, backlog) < 0) {
+    const Status status = Errno("listen");
+    CloseFd(fd);
+    return status;
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len) < 0) {
+    const Status status = Errno("getsockname");
+    CloseFd(fd);
+    return status;
+  }
+  *out_fd = fd;
+  *out_port = static_cast<int>(ntohs(addr.sin_port));
+  return Status::Ok();
+}
+
+Status Accept(int listen_fd, double timeout_s, int* out_fd) {
+  Status status = WaitReadable(listen_fd, timeout_s, nullptr);
+  if (!status.ok()) return status;
+  const int fd = accept(listen_fd, nullptr, nullptr);
+  if (fd < 0) return Errno("accept");
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  *out_fd = fd;
+  return Status::Ok();
+}
+
+Status Connect(const std::string& host, int port, double timeout_s,
+               int* out_fd) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    CloseFd(fd);
+    return Status::InvalidArgument("bad address '" + host + "'");
+  }
+  // Loopback connects complete immediately or fail; a blocking connect
+  // with a socket-level timeout keeps this simple and portable.
+  struct timeval tv;
+  tv.tv_sec = static_cast<time_t>(timeout_s);
+  tv.tv_usec = static_cast<suseconds_t>((timeout_s - static_cast<double>(
+                                                         tv.tv_sec)) *
+                                        1e6);
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  if (connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status status =
+        Errno("connect " + host + ":" + std::to_string(port));
+    CloseFd(fd);
+    return status;
+  }
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  *out_fd = fd;
+  return Status::Ok();
+}
+
+Status SendAll(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t r = send(fd, data.data() + sent, data.size() - sent,
+                           MSG_NOSIGNAL);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += static_cast<std::size_t>(r);
+  }
+  return Status::Ok();
+}
+
+Status ReadFramePayload(int fd, double timeout_s,
+                        const std::atomic<bool>* stop, std::string* payload) {
+  // Header: read byte-wise up to the newline. Headers are ~16 bytes, so
+  // the per-byte recv cost is invisible next to the payload that follows.
+  std::string header;
+  while (true) {
+    Status status = ReadExact(fd, 1, timeout_s, stop, header.empty(), &header);
+    if (!status.ok()) return status;
+    if (header.back() == '\n') {
+      header.pop_back();
+      break;
+    }
+    if (header.size() > 64)
+      return Status::InvalidArgument("frame header too long");
+  }
+  std::size_t bytes = 0;
+  Status status = ParseFrameHeader(header, &bytes);
+  if (!status.ok()) return status;
+  std::string body;
+  body.reserve(bytes);
+  status = ReadExact(fd, bytes, timeout_s, stop, false, &body);
+  if (!status.ok()) return status;
+  if (body.empty() || body.back() != '\n')
+    return Status::InvalidArgument("frame payload must end with a newline");
+  body.pop_back();
+  *payload = std::move(body);
+  return Status::Ok();
+}
+
+Status WriteFramePayload(int fd, const std::string& json) {
+  return SendAll(fd, EncodeFrame(json));
+}
+
+void CloseFd(int fd) {
+  if (fd >= 0) close(fd);
+}
+
+}  // namespace net
+}  // namespace valmod

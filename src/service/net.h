@@ -1,0 +1,52 @@
+#ifndef VALMOD_SERVICE_NET_H_
+#define VALMOD_SERVICE_NET_H_
+
+#include <atomic>
+#include <string>
+
+#include "util/status.h"
+
+namespace valmod {
+namespace net {
+
+/// Thin POSIX TCP wrappers shared by the query-service server and client.
+/// Everything is blocking-with-timeout: reads poll in short slices so a
+/// caller-supplied stop flag (the server's drain signal) interrupts an
+/// idle connection within ~a slice rather than hanging on recv().
+
+/// Creates a listening TCP socket bound to host:port (port 0 picks an
+/// ephemeral port). On success fills `*out_fd` and the actually bound
+/// `*out_port`.
+Status Listen(const std::string& host, int port, int backlog, int* out_fd,
+              int* out_port);
+
+/// Accepts one connection, waiting at most `timeout_s`. DeadlineExceeded
+/// on timeout (so the accept loop can poll its stop flag), IoError when
+/// the listener is closed.
+Status Accept(int listen_fd, double timeout_s, int* out_fd);
+
+/// Connects to host:port, waiting at most `timeout_s`.
+Status Connect(const std::string& host, int port, double timeout_s,
+               int* out_fd);
+
+/// Writes all of `data`, retrying short writes.
+Status SendAll(int fd, const std::string& data);
+
+/// Reads one protocol frame (service/protocol.h) and returns its JSON
+/// payload (trailing newline stripped). Waits at most `timeout_s` between
+/// arriving bytes; aborts early with DeadlineExceeded when `*stop` (when
+/// non-null) becomes true. NotFound signals clean EOF before any byte of
+/// the next frame — the peer simply closed the connection.
+Status ReadFramePayload(int fd, double timeout_s,
+                        const std::atomic<bool>* stop, std::string* payload);
+
+/// Encodes `json` into a frame and sends it.
+Status WriteFramePayload(int fd, const std::string& json);
+
+/// Closes a file descriptor (no-op for fd < 0).
+void CloseFd(int fd);
+
+}  // namespace net
+}  // namespace valmod
+
+#endif  // VALMOD_SERVICE_NET_H_

@@ -1,0 +1,353 @@
+#include "service/protocol.h"
+
+#include <charconv>
+#include <system_error>
+#include <utility>
+
+namespace valmod {
+namespace {
+
+JsonValue MotifPairToJson(const MotifPair& pair) {
+  JsonValue v;
+  v.Set("a", JsonValue(static_cast<std::int64_t>(pair.a)));
+  v.Set("b", JsonValue(static_cast<std::int64_t>(pair.b)));
+  v.Set("distance", JsonValue(pair.distance));
+  return v;
+}
+
+MotifPair MotifPairFromJson(const JsonValue& v, Index length) {
+  MotifPair pair;
+  pair.length = length;
+  if (const JsonValue* a = v.Find("a")) pair.a = a->AsInt(kNoNeighbor);
+  if (const JsonValue* b = v.Find("b")) pair.b = b->AsInt(kNoNeighbor);
+  if (const JsonValue* d = v.Find("distance")) pair.distance = d->AsDouble();
+  return pair;
+}
+
+JsonValue DiscordToJson(const Discord& discord) {
+  JsonValue v;
+  v.Set("offset", JsonValue(static_cast<std::int64_t>(discord.offset)));
+  v.Set("distance", JsonValue(discord.distance));
+  return v;
+}
+
+Discord DiscordFromJson(const JsonValue& v, Index length) {
+  Discord discord;
+  discord.length = length;
+  if (const JsonValue* o = v.Find("offset"))
+    discord.offset = o->AsInt(kNoNeighbor);
+  if (const JsonValue* d = v.Find("distance"))
+    discord.distance = d->AsDouble(-1.0);
+  return discord;
+}
+
+}  // namespace
+
+const char* QueryTypeName(QueryType type) {
+  switch (type) {
+    case QueryType::kMotif:
+      return "motif";
+    case QueryType::kTopK:
+      return "topk";
+    case QueryType::kDiscord:
+      return "discord";
+    case QueryType::kProfile:
+      return "profile";
+    case QueryType::kStats:
+      return "stats";
+  }
+  return "unknown";
+}
+
+Status ParseQueryType(const std::string& name, QueryType* out) {
+  for (const QueryType type :
+       {QueryType::kMotif, QueryType::kTopK, QueryType::kDiscord,
+        QueryType::kProfile, QueryType::kStats}) {
+    if (name == QueryTypeName(type)) {
+      *out = type;
+      return Status::Ok();
+    }
+  }
+  return Status::InvalidArgument("unknown query type '" + name + "'");
+}
+
+JsonValue Request::ToJson() const {
+  JsonValue v;
+  v.Set("v", JsonValue(static_cast<std::int64_t>(kProtocolVersion)));
+  v.Set("type", JsonValue(std::string(QueryTypeName(type))));
+  v.Set("id", JsonValue(id));
+  if (!series.empty()) {
+    JsonValue values;
+    for (const double x : series) values.Append(JsonValue(x));
+    v.Set("series", std::move(values));
+  }
+  if (!dataset.empty()) {
+    v.Set("dataset", JsonValue(dataset));
+    v.Set("n", JsonValue(static_cast<std::int64_t>(n)));
+  }
+  v.Set("len_min", JsonValue(static_cast<std::int64_t>(len_min)));
+  v.Set("len_max", JsonValue(static_cast<std::int64_t>(len_max)));
+  v.Set("p", JsonValue(static_cast<std::int64_t>(p)));
+  v.Set("k", JsonValue(static_cast<std::int64_t>(k)));
+  if (deadline_ms > 0) v.Set("deadline_ms", JsonValue(deadline_ms));
+  v.Set("priority", JsonValue(static_cast<std::int64_t>(priority)));
+  if (no_cache) v.Set("no_cache", JsonValue(true));
+  return v;
+}
+
+Status Request::FromJson(const JsonValue& json) {
+  if (!json.is_object())
+    return Status::InvalidArgument("request must be a JSON object");
+  const JsonValue* type_field = json.Find("type");
+  if (type_field == nullptr || !type_field->is_string())
+    return Status::InvalidArgument("request is missing the 'type' string");
+  Status status = ParseQueryType(type_field->AsString(), &type);
+  if (!status.ok()) return status;
+  if (const JsonValue* f = json.Find("id")) id = f->AsInt();
+  series.clear();
+  if (const JsonValue* f = json.Find("series")) {
+    if (!f->is_array())
+      return Status::InvalidArgument("'series' must be an array");
+    series.reserve(f->AsArray().size());
+    for (const JsonValue& x : f->AsArray()) {
+      if (!x.is_number())
+        return Status::InvalidArgument("'series' must contain only numbers");
+      series.push_back(x.AsDouble());
+    }
+  }
+  dataset.clear();
+  if (const JsonValue* f = json.Find("dataset")) dataset = f->AsString();
+  if (const JsonValue* f = json.Find("n")) n = f->AsInt();
+  if (const JsonValue* f = json.Find("len_min")) len_min = f->AsInt();
+  if (const JsonValue* f = json.Find("len_max")) len_max = f->AsInt();
+  if (const JsonValue* f = json.Find("p")) p = f->AsInt(p);
+  if (const JsonValue* f = json.Find("k")) k = f->AsInt(k);
+  if (const JsonValue* f = json.Find("deadline_ms"))
+    deadline_ms = f->AsDouble();
+  if (const JsonValue* f = json.Find("priority"))
+    priority = static_cast<int>(f->AsInt(priority));
+  if (const JsonValue* f = json.Find("no_cache")) no_cache = f->AsBool();
+  return Status::Ok();
+}
+
+JsonValue LengthResult::ToJson() const {
+  JsonValue v;
+  v.Set("length", JsonValue(static_cast<std::int64_t>(length)));
+  if (has_motif) v.Set("motif", MotifPairToJson(motif));
+  if (has_top_k) {
+    JsonValue list;
+    for (const MotifPair& pair : top_k) list.Append(MotifPairToJson(pair));
+    v.Set("top_k", std::move(list));
+  }
+  if (has_discord) v.Set("discord", DiscordToJson(discord));
+  if (has_profile) {
+    JsonValue profile;
+    profile.Set("min", JsonValue(profile_min));
+    profile.Set("mean", JsonValue(profile_mean));
+    profile.Set("max", JsonValue(profile_max));
+    v.Set("profile", std::move(profile));
+  }
+  return v;
+}
+
+Status LengthResult::FromJson(const JsonValue& json) {
+  if (!json.is_object())
+    return Status::InvalidArgument("length result must be an object");
+  const JsonValue* len_field = json.Find("length");
+  if (len_field == nullptr)
+    return Status::InvalidArgument("length result is missing 'length'");
+  length = len_field->AsInt();
+  has_motif = has_top_k = has_discord = has_profile = false;
+  if (const JsonValue* f = json.Find("motif")) {
+    has_motif = true;
+    motif = MotifPairFromJson(*f, length);
+  }
+  if (const JsonValue* f = json.Find("top_k")) {
+    has_top_k = true;
+    top_k.clear();
+    for (const JsonValue& pair : f->AsArray())
+      top_k.push_back(MotifPairFromJson(pair, length));
+  }
+  if (const JsonValue* f = json.Find("discord")) {
+    has_discord = true;
+    discord = DiscordFromJson(*f, length);
+  }
+  if (const JsonValue* f = json.Find("profile")) {
+    has_profile = true;
+    if (const JsonValue* x = f->Find("min")) profile_min = x->AsDouble();
+    if (const JsonValue* x = f->Find("mean")) profile_mean = x->AsDouble();
+    if (const JsonValue* x = f->Find("max")) profile_max = x->AsDouble();
+  }
+  return Status::Ok();
+}
+
+Response Response::Error(const Request& request, const Status& status) {
+  Response response;
+  response.id = request.id;
+  response.type = request.type;
+  response.ok = false;
+  response.error_code = StatusCodeName(status.code());
+  response.error_message = status.message();
+  return response;
+}
+
+JsonValue Response::ToJson() const {
+  JsonValue v;
+  v.Set("v", JsonValue(static_cast<std::int64_t>(kProtocolVersion)));
+  v.Set("id", JsonValue(id));
+  v.Set("type", JsonValue(std::string(QueryTypeName(type))));
+  v.Set("ok", JsonValue(ok));
+  if (!ok) {
+    JsonValue error;
+    error.Set("code", JsonValue(error_code));
+    error.Set("message", JsonValue(error_message));
+    v.Set("error", std::move(error));
+    return v;
+  }
+  v.Set("cached", JsonValue(cached));
+  v.Set("elapsed_us", JsonValue(elapsed_us));
+  if (!fingerprint.empty()) v.Set("fingerprint", JsonValue(fingerprint));
+  if (!lengths.empty()) {
+    JsonValue list;
+    for (const LengthResult& lr : lengths) list.Append(lr.ToJson());
+    v.Set("lengths", std::move(list));
+  }
+  if (has_best_motif) {
+    JsonValue best;
+    best.Set("a", JsonValue(static_cast<std::int64_t>(best_motif.off1)));
+    best.Set("b", JsonValue(static_cast<std::int64_t>(best_motif.off2)));
+    best.Set("length", JsonValue(static_cast<std::int64_t>(best_motif.length)));
+    best.Set("distance", JsonValue(best_motif.distance));
+    best.Set("norm_distance", JsonValue(best_motif.norm_distance));
+    v.Set("best_motif", std::move(best));
+  }
+  if (has_best_discord) {
+    JsonValue best;
+    best.Set("offset",
+             JsonValue(static_cast<std::int64_t>(best_discord.offset)));
+    best.Set("length",
+             JsonValue(static_cast<std::int64_t>(best_discord.length)));
+    best.Set("distance", JsonValue(best_discord.distance));
+    best.Set("norm_distance", JsonValue(best_discord_norm));
+    v.Set("best_discord", std::move(best));
+  }
+  if (!stats_text.empty()) v.Set("stats_text", JsonValue(stats_text));
+  return v;
+}
+
+Status Response::FromJson(const JsonValue& json) {
+  if (!json.is_object())
+    return Status::InvalidArgument("response must be a JSON object");
+  if (const JsonValue* f = json.Find("v")) {
+    if (f->AsInt() != kProtocolVersion)
+      return Status::InvalidArgument("response protocol version mismatch");
+  }
+  if (const JsonValue* f = json.Find("id")) id = f->AsInt();
+  if (const JsonValue* f = json.Find("type")) {
+    Status status = ParseQueryType(f->AsString(), &type);
+    if (!status.ok()) return status;
+  }
+  ok = false;
+  if (const JsonValue* f = json.Find("ok")) ok = f->AsBool();
+  if (!ok) {
+    if (const JsonValue* error = json.Find("error")) {
+      if (const JsonValue* f = error->Find("code"))
+        error_code = f->AsString();
+      if (const JsonValue* f = error->Find("message"))
+        error_message = f->AsString();
+    }
+    return Status::Ok();
+  }
+  if (const JsonValue* f = json.Find("cached")) cached = f->AsBool();
+  if (const JsonValue* f = json.Find("elapsed_us"))
+    elapsed_us = f->AsDouble();
+  if (const JsonValue* f = json.Find("fingerprint"))
+    fingerprint = f->AsString();
+  lengths.clear();
+  if (const JsonValue* f = json.Find("lengths")) {
+    for (const JsonValue& item : f->AsArray()) {
+      LengthResult lr;
+      Status status = lr.FromJson(item);
+      if (!status.ok()) return status;
+      lengths.push_back(std::move(lr));
+    }
+  }
+  has_best_motif = false;
+  if (const JsonValue* f = json.Find("best_motif")) {
+    has_best_motif = true;
+    if (const JsonValue* x = f->Find("a")) best_motif.off1 = x->AsInt();
+    if (const JsonValue* x = f->Find("b")) best_motif.off2 = x->AsInt();
+    if (const JsonValue* x = f->Find("length")) best_motif.length = x->AsInt();
+    if (const JsonValue* x = f->Find("distance"))
+      best_motif.distance = x->AsDouble();
+    if (const JsonValue* x = f->Find("norm_distance"))
+      best_motif.norm_distance = x->AsDouble();
+  }
+  has_best_discord = false;
+  if (const JsonValue* f = json.Find("best_discord")) {
+    has_best_discord = true;
+    if (const JsonValue* x = f->Find("offset"))
+      best_discord.offset = x->AsInt();
+    if (const JsonValue* x = f->Find("length"))
+      best_discord.length = x->AsInt();
+    if (const JsonValue* x = f->Find("distance"))
+      best_discord.distance = x->AsDouble();
+    if (const JsonValue* x = f->Find("norm_distance"))
+      best_discord_norm = x->AsDouble();
+  }
+  if (const JsonValue* f = json.Find("stats_text")) stats_text = f->AsString();
+  return Status::Ok();
+}
+
+Status Response::ToStatus() const {
+  if (ok) return Status::Ok();
+  return Status(StatusCodeFromName(error_code), error_message);
+}
+
+std::string EncodeFrame(std::string_view json) {
+  std::string frame;
+  frame.reserve(json.size() + 32);
+  frame.append(kFrameMagic);
+  frame.append(std::to_string(json.size() + 1));  // +1: payload newline
+  frame.push_back('\n');
+  frame.append(json);
+  frame.push_back('\n');
+  return frame;
+}
+
+Status ParseFrameHeader(std::string_view header_line,
+                        std::size_t* out_bytes) {
+  if (header_line.substr(0, kFrameMagic.size()) != kFrameMagic) {
+    if (header_line.substr(0, 7) == "VALMOD/")
+      return Status::InvalidArgument(
+          "protocol version mismatch (expected VALMOD/" +
+          std::to_string(kProtocolVersion) + ")");
+    return Status::InvalidArgument("bad frame magic");
+  }
+  const std::string_view count = header_line.substr(kFrameMagic.size());
+  std::size_t bytes = 0;
+  const std::from_chars_result r =
+      std::from_chars(count.data(), count.data() + count.size(), bytes);
+  if (r.ec != std::errc() || r.ptr != count.data() + count.size() ||
+      bytes == 0) {
+    return Status::InvalidArgument("bad frame byte count");
+  }
+  if (bytes > kMaxFrameBytes)
+    return Status::OutOfRange("frame of " + std::to_string(bytes) +
+                              " bytes exceeds the " +
+                              std::to_string(kMaxFrameBytes) + "-byte cap");
+  *out_bytes = bytes;
+  return Status::Ok();
+}
+
+StatusCode StatusCodeFromName(const std::string& name) {
+  for (const StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kIoError, StatusCode::kOutOfRange,
+        StatusCode::kDeadlineExceeded, StatusCode::kResourceExhausted}) {
+    if (name == StatusCodeName(code)) return code;
+  }
+  return StatusCode::kIoError;
+}
+
+}  // namespace valmod

@@ -1,0 +1,177 @@
+#ifndef VALMOD_SERVICE_PROTOCOL_H_
+#define VALMOD_SERVICE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/ranking.h"
+#include "mp/matrix_profile.h"
+#include "service/json.h"
+#include "util/common.h"
+#include "util/status.h"
+
+namespace valmod {
+
+/// Wire protocol of the motif query service (full spec: docs/SERVICE.md).
+///
+/// Framing: every message — request or response — is one frame:
+///
+///     VALMOD/<version> <payload-bytes>\n
+///     <payload-bytes of JSON, newline-terminated>
+///
+/// The byte count includes the payload's trailing newline, so a frame can
+/// be both streamed (read header, then exactly N bytes) and eyeballed
+/// (`nc` output stays line-oriented). Readers reject foreign magic,
+/// version mismatches, and oversized counts *before* buffering a payload.
+
+/// Version in the frame header. Readers reject other versions.
+inline constexpr int kProtocolVersion = 1;
+
+/// Frame-header magic, including the version and trailing space.
+inline constexpr std::string_view kFrameMagic = "VALMOD/1 ";
+
+/// Upper bound on a single frame payload; a header announcing more is
+/// rejected without allocation (a 4M-point inline series fits comfortably).
+inline constexpr std::size_t kMaxFrameBytes = 256u << 20;
+
+/// The query types the service answers. All but kStats are projections of
+/// one shared computed artifact (per-length profiles over [len_min,
+/// len_max]), which is what makes the cross-type result cache pay off.
+enum class QueryType {
+  kMotif,    // Best motif pair per length + length-normalized best overall.
+  kTopK,     // Top-K disjoint motif pairs per length.
+  kDiscord,  // Top discord per length + length-normalized best overall.
+  kProfile,  // Per-length profile summaries (min/mean/max + all of the above).
+  kStats,    // Metrics-registry text exposition; never queued or cached.
+};
+
+/// Wire name of a query type, e.g. "motif".
+const char* QueryTypeName(QueryType type);
+
+/// Parses a wire name (case-sensitive). Returns InvalidArgument on unknown
+/// names.
+Status ParseQueryType(const std::string& name, QueryType* out);
+
+/// A client request. The series is given either inline (`series`) or as a
+/// named registry dataset (`dataset` + `n`, generated server-side with the
+/// registry's default seed); inline wins when both are present.
+struct Request {
+  QueryType type = QueryType::kStats;
+  /// Client correlation id, echoed verbatim in the response.
+  std::int64_t id = 0;
+  /// Inline series values (bit-exact on the wire).
+  Series series;
+  /// Named dataset alternative to `series`, e.g. "ECG" or "PLANTED".
+  std::string dataset;
+  /// Number of points to generate for `dataset`.
+  Index n = 0;
+  /// Length range [len_min, len_max] and the VALMOD parameters. `p` and `k`
+  /// participate in the cache key; `k` bounds the per-length top-K list.
+  Index len_min = 0;
+  Index len_max = 0;
+  Index p = 10;
+  Index k = 3;
+  /// Wall-clock budget in milliseconds; 0 means unlimited. Covers queue
+  /// wait plus execution.
+  double deadline_ms = 0.0;
+  /// Scheduling priority: 0 = high, 1 = normal (default), 2 = low.
+  int priority = 1;
+  /// Skip the cache lookup (the result is still stored); used by the
+  /// benchmark harness to measure cold latency.
+  bool no_cache = false;
+
+  /// Serializes to the request JSON object.
+  JsonValue ToJson() const;
+  /// Parses a request JSON object; unknown fields are ignored (forward
+  /// compatibility), missing ones keep their defaults. Type errors and an
+  /// unknown `type` yield InvalidArgument.
+  Status FromJson(const JsonValue& json);
+};
+
+/// Everything the service can say about one subsequence length. The `has_*`
+/// flags say which sections are populated: the cache stores entries with
+/// every flag set, a response projects down to the sections its query type
+/// asked for.
+struct LengthResult {
+  Index length = 0;
+  bool has_motif = false;
+  bool has_top_k = false;
+  bool has_discord = false;
+  bool has_profile = false;
+  /// Best motif pair at this length (Definition 2.3).
+  MotifPair motif;
+  /// Top-k disjoint motif pairs at this length, best first.
+  std::vector<MotifPair> top_k;
+  /// Top discord at this length.
+  Discord discord;
+  /// Matrix-profile summary over the finite entries.
+  double profile_min = kInf;
+  double profile_mean = kInf;
+  double profile_max = -kInf;
+
+  /// Serializes the populated sections.
+  JsonValue ToJson() const;
+  /// Parses a length-result object, deriving the `has_*` flags from which
+  /// sections are present.
+  Status FromJson(const JsonValue& json);
+};
+
+/// A server response. `ok == false` carries only `error_*` (plus the echoed
+/// id); `ok == true` carries the projection of the computed artifact that
+/// the query type selects.
+struct Response {
+  std::int64_t id = 0;
+  QueryType type = QueryType::kStats;
+  bool ok = false;
+  /// StatusCodeName of the failure, e.g. "RESOURCE_EXHAUSTED" — the
+  /// admission-control backpressure signal clients must handle.
+  std::string error_code;
+  std::string error_message;
+  /// True when the answer came from the result cache.
+  bool cached = false;
+  /// Server-side wall time for this request, microseconds.
+  double elapsed_us = 0.0;
+  /// Hex fingerprint of the resolved series (cache-key component).
+  std::string fingerprint;
+  /// Per-length sections, ascending length.
+  std::vector<LengthResult> lengths;
+  /// Best motif pair across lengths by length-normalized distance.
+  bool has_best_motif = false;
+  RankedPair best_motif;
+  /// Best discord across lengths by length-normalized distance.
+  bool has_best_discord = false;
+  Discord best_discord;
+  double best_discord_norm = -kInf;
+  /// Metrics text exposition (kStats responses only).
+  std::string stats_text;
+
+  /// Builds a failure response echoing `request`'s id and type.
+  static Response Error(const Request& request, const Status& status);
+
+  /// Serializes to the response JSON object.
+  JsonValue ToJson() const;
+  /// Parses a response JSON object (the client half).
+  Status FromJson(const JsonValue& json);
+
+  /// The response's Status: Ok when `ok`, else the reconstructed error.
+  Status ToStatus() const;
+};
+
+/// Wraps a JSON payload into one wire frame (header + payload + newline).
+std::string EncodeFrame(std::string_view json);
+
+/// Parses a frame-header line (without its trailing newline) into the
+/// payload byte count. Rejects foreign magic, other protocol versions, and
+/// counts above kMaxFrameBytes, each with a distinct message.
+Status ParseFrameHeader(std::string_view header_line, std::size_t* out_bytes);
+
+/// Maps a StatusCodeName() string back to its StatusCode; kIoError for
+/// names this build does not know (a newer server's codes still fail
+/// closed).
+StatusCode StatusCodeFromName(const std::string& name);
+
+}  // namespace valmod
+
+#endif  // VALMOD_SERVICE_PROTOCOL_H_

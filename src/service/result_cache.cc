@@ -1,0 +1,108 @@
+#include "service/result_cache.h"
+
+#include <algorithm>
+
+#include "service/fingerprint.h"
+
+namespace valmod {
+
+std::size_t CacheKeyHash::operator()(const CacheKey& key) const {
+  // FNV over the packed fields: cheap, and the shard selector needs the
+  // high bits to be as mixed as the low ones, which FNV-1a provides.
+  const std::uint64_t packed[5] = {
+      key.fingerprint, static_cast<std::uint64_t>(key.len_min),
+      static_cast<std::uint64_t>(key.len_max),
+      static_cast<std::uint64_t>(key.p), static_cast<std::uint64_t>(key.k)};
+  return static_cast<std::size_t>(Fnv1a64(packed, sizeof(packed)));
+}
+
+std::size_t CachedArtifact::ApproxBytes() const {
+  std::size_t total = sizeof(CachedArtifact);
+  for (const LengthResult& lr : lengths) {
+    total += sizeof(LengthResult);
+    total += lr.top_k.capacity() * sizeof(MotifPair);
+  }
+  return total;
+}
+
+ResultCache::ResultCache(std::size_t byte_budget, int shards)
+    : byte_budget_(byte_budget),
+      shards_(static_cast<std::size_t>(std::clamp(shards, 1, 64))) {
+  shard_budget_ = byte_budget_ / shards_.size();
+}
+
+ResultCache::Shard& ResultCache::ShardFor(const CacheKey& key) {
+  const std::size_t hash = CacheKeyHash()(key);
+  // The low bits feed the unordered_map inside the shard; take the high
+  // bits for shard selection so the two partitions stay independent.
+  return shards_[(hash >> 17) % shards_.size()];
+}
+
+bool ResultCache::Get(const CacheKey& key, CachedArtifact* out) {
+  Shard& shard = ShardFor(key);
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  *out = it->second->artifact;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void ResultCache::Put(const CacheKey& key, const CachedArtifact& artifact) {
+  const std::size_t entry_bytes = artifact.ApproxBytes() + sizeof(Entry);
+  Shard& shard = ShardFor(key);
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    shard.bytes -= it->second->bytes;
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+  }
+  if (entry_bytes > shard_budget_) {
+    oversize_rejects_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  shard.lru.push_front(Entry{key, artifact, entry_bytes});
+  shard.index[key] = shard.lru.begin();
+  shard.bytes += entry_bytes;
+  while (shard.bytes > shard_budget_ && !shard.lru.empty()) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes -= victim.bytes;
+    shard.index.erase(victim.key);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ResultCache::Clear() {
+  for (Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    shard.lru.clear();
+    shard.index.clear();
+    shard.bytes = 0;
+  }
+}
+
+std::size_t ResultCache::bytes() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.bytes;
+  }
+  return total;
+}
+
+Index ResultCache::entries() const {
+  Index total = 0;
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    total += static_cast<Index>(shard.lru.size());
+  }
+  return total;
+}
+
+}  // namespace valmod

@@ -1,0 +1,131 @@
+#ifndef VALMOD_SERVICE_RESULT_CACHE_H_
+#define VALMOD_SERVICE_RESULT_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/ranking.h"
+#include "mp/matrix_profile.h"
+#include "service/protocol.h"
+#include "util/common.h"
+
+namespace valmod {
+
+/// Key of one cached artifact: the series fingerprint plus every parameter
+/// the computation depends on. Two requests with the same key get
+/// byte-identical answers regardless of query type, which is why all query
+/// types share one cache (docs/SERVICE.md, "Cache keying").
+struct CacheKey {
+  std::uint64_t fingerprint = 0;
+  Index len_min = 0;
+  Index len_max = 0;
+  Index p = 0;
+  Index k = 0;
+
+  bool operator==(const CacheKey& other) const = default;
+};
+
+/// Hash for CacheKey; also selects the cache shard.
+struct CacheKeyHash {
+  /// FNV-1a style mix of every key field.
+  std::size_t operator()(const CacheKey& key) const;
+};
+
+/// The full computed answer for one (series, parameters) key: per-length
+/// motif/top-K/discord/profile-summary sections plus the cross-length
+/// length-normalized winners. Responses are projections of this.
+struct CachedArtifact {
+  /// One entry per length in [len_min, len_max], ascending, all `has_*`
+  /// flags set.
+  std::vector<LengthResult> lengths;
+  bool has_best_motif = false;
+  RankedPair best_motif;
+  bool has_best_discord = false;
+  Discord best_discord;
+  double best_discord_norm = -kInf;
+
+  /// Heap footprint estimate used against the cache byte budget.
+  std::size_t ApproxBytes() const;
+};
+
+/// A sharded LRU cache with a global byte budget. Each shard owns an
+/// independent mutex, LRU list, and budget slice (total / shards), so
+/// concurrent lookups on different keys rarely contend; eviction is
+/// strictly least-recently-used within a shard. An artifact larger than a
+/// shard's whole slice is not admitted at all (counted in
+/// `oversize_rejects`) — admitting it would evict an entire shard for one
+/// entry that can never pay its rent.
+class ResultCache {
+ public:
+  /// `byte_budget` caps the summed ApproxBytes of live entries across all
+  /// shards; `shards` is clamped to [1, 64].
+  explicit ResultCache(std::size_t byte_budget, int shards = 8);
+
+  /// Looks up `key`; on a hit copies the artifact into `*out`, promotes
+  /// the entry to most-recently-used, and returns true.
+  bool Get(const CacheKey& key, CachedArtifact* out);
+
+  /// Inserts or replaces `key`, then evicts least-recently-used entries
+  /// until the shard is back under its budget slice.
+  void Put(const CacheKey& key, const CachedArtifact& artifact);
+
+  /// Drops every entry (all shards).
+  void Clear();
+
+  /// Live bytes aggregated across shards (takes every shard lock).
+  std::size_t bytes() const;
+  /// Live entry count aggregated across shards.
+  Index entries() const;
+  /// Lookups that found their key.
+  std::int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  /// Lookups that missed.
+  std::int64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  /// Entries dropped to get a shard back under its budget slice.
+  std::int64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  /// Artifacts too large for a whole shard slice, never admitted.
+  std::int64_t oversize_rejects() const {
+    return oversize_rejects_.load(std::memory_order_relaxed);
+  }
+  /// The configured total byte budget.
+  std::size_t byte_budget() const { return byte_budget_; }
+  /// The number of shards after clamping.
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+
+ private:
+  struct Entry {
+    CacheKey key;
+    CachedArtifact artifact;
+    std::size_t bytes = 0;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    /// Front = most recently used; eviction pops from the back.
+    std::list<Entry> lru;
+    std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash>
+        index;
+    std::size_t bytes = 0;
+  };
+
+  /// Maps a key's hash onto its owning shard.
+  Shard& ShardFor(const CacheKey& key);
+
+  const std::size_t byte_budget_;
+  std::size_t shard_budget_;
+  std::vector<Shard> shards_;
+  std::atomic<std::int64_t> hits_{0};
+  std::atomic<std::int64_t> misses_{0};
+  std::atomic<std::int64_t> evictions_{0};
+  std::atomic<std::int64_t> oversize_rejects_{0};
+};
+
+}  // namespace valmod
+
+#endif  // VALMOD_SERVICE_RESULT_CACHE_H_

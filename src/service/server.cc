@@ -1,0 +1,124 @@
+#include "service/server.h"
+
+#include <utility>
+
+#include "service/net.h"
+#include "service/protocol.h"
+
+namespace valmod {
+
+Server::Server(const ServerOptions& options)
+    : options_(options), engine_(options.engine) {}
+
+Server::~Server() { Shutdown(); }
+
+Status Server::Start() {
+  if (running_.load(std::memory_order_acquire))
+    return Status::InvalidArgument("server already started");
+  Status status =
+      net::Listen(options_.host, options_.port, /*backlog=*/128, &listen_fd_,
+                  &port_);
+  if (!status.ok()) return status;
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void Server::Shutdown() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  // Phase 1: stop taking new connections and tell handlers to wind down.
+  stopping_.store(true, std::memory_order_release);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  net::CloseFd(listen_fd_);
+  listen_fd_ = -1;
+  // Phase 2: handlers poll stopping_ between frames, so each finishes the
+  // request it is serving (the executor runs it to completion), writes the
+  // response, and exits; join them all.
+  ReapFinished(/*join_all=*/true);
+  // Phase 3: drain the engine (no handler threads remain to submit work).
+  engine_.Drain();
+}
+
+void Server::ReapFinished(bool join_all) {
+  const std::lock_guard<std::mutex> lock(connections_mu_);
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if (join_all || (*it)->done.load(std::memory_order_acquire)) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    int fd = -1;
+    const Status status = net::Accept(listen_fd_, /*timeout_s=*/0.1, &fd);
+    if (!status.ok()) {
+      // Timeout: re-check stopping_. Anything else on a healthy listener
+      // is transient (e.g. the peer vanished between accept readiness and
+      // the syscall); keep serving.
+      continue;
+    }
+    ReapFinished(/*join_all=*/false);
+    if (active_connections_.load(std::memory_order_acquire) >=
+        options_.max_connections) {
+      connections_refused_.fetch_add(1, std::memory_order_relaxed);
+      const Response refusal = Response::Error(
+          Request{}, Status::ResourceExhausted(
+                         "connection limit (" +
+                         std::to_string(options_.max_connections) +
+                         ") reached; retry later"));
+      net::WriteFramePayload(fd, refusal.ToJson().Serialize());
+      net::CloseFd(fd);
+      continue;
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    active_connections_.fetch_add(1, std::memory_order_acq_rel);
+    auto connection = std::make_unique<Connection>();
+    Connection* raw = connection.get();
+    {
+      const std::lock_guard<std::mutex> lock(connections_mu_);
+      connections_.push_back(std::move(connection));
+    }
+    raw->thread = std::thread([this, fd, raw] {
+      HandleConnection(fd);
+      active_connections_.fetch_sub(1, std::memory_order_acq_rel);
+      raw->done.store(true, std::memory_order_release);
+    });
+  }
+}
+
+void Server::HandleConnection(int fd) {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    std::string payload;
+    Status status = net::ReadFramePayload(fd, options_.read_timeout_s,
+                                          &stopping_, &payload);
+    if (status.code() == StatusCode::kNotFound) break;  // clean client close
+    if (status.code() == StatusCode::kDeadlineExceeded) break;  // idle/stop
+    if (!status.ok()) {
+      // Malformed frame: answer once with the parse error, then close —
+      // after a framing error the byte stream cannot be trusted.
+      const Response error = Response::Error(Request{}, status);
+      net::WriteFramePayload(fd, error.ToJson().Serialize());
+      break;
+    }
+    JsonValue json;
+    status = JsonValue::Parse(payload, &json);
+    Request request;
+    if (status.ok()) status = request.FromJson(json);
+    Response response;
+    if (!status.ok()) {
+      response = Response::Error(request, status);
+    } else {
+      response = engine_.Execute(request);
+    }
+    status = net::WriteFramePayload(fd, response.ToJson().Serialize());
+    if (!status.ok()) break;  // peer went away mid-response
+  }
+  net::CloseFd(fd);
+}
+
+}  // namespace valmod

@@ -1,0 +1,109 @@
+#ifndef VALMOD_SERVICE_SERVER_H_
+#define VALMOD_SERVICE_SERVER_H_
+
+#include <atomic>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "service/engine.h"
+#include "util/status.h"
+
+namespace valmod {
+
+/// Tuning knobs of a Server.
+struct ServerOptions {
+  /// Listen address; loopback by default (the service speaks a trusted
+  /// in-cluster protocol, not the open internet).
+  std::string host = "127.0.0.1";
+  /// Listen port; 0 picks an ephemeral port (read it back via port()).
+  int port = 0;
+  /// Connections beyond this are answered with one RESOURCE_EXHAUSTED
+  /// frame and closed — the connection-level admission control.
+  int max_connections = 64;
+  /// Per-connection idle read timeout: a client that sends nothing for
+  /// this long is disconnected (protects the handler pool from dead
+  /// peers).
+  double read_timeout_s = 30.0;
+  /// Engine configuration (queue, cache, executor).
+  QueryEngineOptions engine;
+};
+
+/// The TCP face of the query engine: an accept loop, one handler thread
+/// per live connection (bounded by max_connections), length-prefixed
+/// newline-JSON frames in and out, and graceful drain — Shutdown() stops
+/// accepting, lets every in-flight request finish and flush its response,
+/// then joins every thread. valmod_serve wires Shutdown() to SIGINT.
+class Server {
+ public:
+  /// Stores the options and builds the embedded engine; nothing listens
+  /// until Start().
+  explicit Server(const ServerOptions& options);
+
+  /// Calls Shutdown() if the owner did not.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and starts the accept loop. InvalidArgument/IoError
+  /// on bad addresses or an occupied port.
+  Status Start();
+
+  /// The actually bound port (valid after Start(); useful with port 0).
+  int port() const { return port_; }
+
+  /// True between Start() and Shutdown().
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Graceful drain: stop accepting connections and requests, finish every
+  /// in-flight job, flush responses, join all threads. Idempotent and
+  /// safe to call from any thread (including a signal-watcher thread).
+  void Shutdown();
+
+  /// The embedded engine (metrics, cache — mostly for tests).
+  QueryEngine& engine() { return engine_; }
+
+  /// Connections accepted since Start().
+  std::int64_t connections_accepted() const {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+  /// Connections refused over max_connections (each got an error frame).
+  std::int64_t connections_refused() const {
+    return connections_refused_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Connection {
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  /// Accepts connections until stopping_; over-capacity ones get a
+  /// RESOURCE_EXHAUSTED frame and are closed without a handler thread.
+  void AcceptLoop();
+  /// Per-connection loop: read frame, execute, write frame, until EOF,
+  /// timeout, a malformed frame, or shutdown.
+  void HandleConnection(int fd);
+  /// Joins finished handler threads (all of them when `join_all`).
+  void ReapFinished(bool join_all);
+
+  ServerOptions options_;
+  QueryEngine engine_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::mutex connections_mu_;
+  std::list<std::unique_ptr<Connection>> connections_;
+  std::atomic<int> active_connections_{0};
+  std::atomic<std::int64_t> connections_accepted_{0};
+  std::atomic<std::int64_t> connections_refused_{0};
+};
+
+}  // namespace valmod
+
+#endif  // VALMOD_SERVICE_SERVER_H_

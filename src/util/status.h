@@ -16,6 +16,10 @@ enum class StatusCode {
   kIoError,
   kOutOfRange,
   kDeadlineExceeded,
+  /// A bounded resource (queue slot, connection slot) was full; the caller
+  /// should back off and retry. The query service's admission-control
+  /// backpressure signal (docs/SERVICE.md).
+  kResourceExhausted,
 };
 
 /// A lightweight success-or-error result, in the style of absl::Status.
@@ -41,6 +45,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,278 @@
+#include "service/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/ranking.h"
+#include "mp/matrix_profile.h"
+#include "mp/parallel_stomp.h"
+#include "service/protocol.h"
+#include "signal/znorm.h"
+#include "test_util.h"
+#include "util/common.h"
+#include "util/prefix_stats.h"
+
+namespace valmod {
+namespace {
+
+/// Canonical serialization of a response with the per-call fields (elapsed
+/// time, cache flag) zeroed, so answers can be compared for bit-identity.
+std::string NormalizedBody(Response response) {
+  response.elapsed_us = 0.0;
+  response.cached = false;
+  return response.ToJson().Serialize();
+}
+
+Request ProfileRequest(const Series& series, Index len_min, Index len_max) {
+  Request request;
+  request.type = QueryType::kProfile;
+  request.series = series;
+  request.len_min = len_min;
+  request.len_max = len_max;
+  request.k = 3;
+  return request;
+}
+
+TEST(QueryEngineTest, AnswersAreBitIdenticalToDirectLibraryCalls) {
+  const Series series =
+      testing_util::NoiseWithPlantedMotif(1024, 32, 100, 600, 7);
+  const Index len_min = 24;
+  const Index len_max = 40;
+
+  QueryEngine engine;
+  const Response response =
+      engine.Execute(ProfileRequest(series, len_min, len_max));
+  ASSERT_TRUE(response.ok) << response.error_message;
+  ASSERT_EQ(response.lengths.size(),
+            static_cast<std::size_t>(len_max - len_min + 1));
+
+  // The reference: direct library calls, centering once and sharing one
+  // PrefixStats exactly like the ParallelStomp convenience overload.
+  const Series centered = CenterSeries(series);
+  const PrefixStats stats(centered);
+  std::vector<MotifPair> per_length_motifs;
+  for (Index len = len_min; len <= len_max; ++len) {
+    const MatrixProfile profile = ParallelStomp(centered, stats, len, 1);
+    const LengthResult& lr =
+        response.lengths[static_cast<std::size_t>(len - len_min)];
+    EXPECT_EQ(lr.length, len);
+
+    const MotifPair motif = MotifFromProfile(profile);
+    EXPECT_EQ(lr.motif.a, motif.a);
+    EXPECT_EQ(lr.motif.b, motif.b);
+    EXPECT_EQ(lr.motif.distance, motif.distance);  // bit-exact
+
+    const std::vector<MotifPair> top_k = TopMotifsFromProfile(profile, 3);
+    ASSERT_EQ(lr.top_k.size(), top_k.size());
+    for (std::size_t i = 0; i < top_k.size(); ++i) {
+      EXPECT_EQ(lr.top_k[i].a, top_k[i].a);
+      EXPECT_EQ(lr.top_k[i].b, top_k[i].b);
+      EXPECT_EQ(lr.top_k[i].distance, top_k[i].distance);
+    }
+
+    const Discord discord = DiscordFromProfile(profile);
+    EXPECT_EQ(lr.discord.offset, discord.offset);
+    EXPECT_EQ(lr.discord.distance, discord.distance);
+
+    double profile_min = kInf;
+    double profile_max = -kInf;
+    double sum = 0.0;
+    Index finite = 0;
+    for (const double d : profile.distances) {
+      if (d == kInf) continue;
+      profile_min = d < profile_min ? d : profile_min;
+      profile_max = d > profile_max ? d : profile_max;
+      sum += d;
+      ++finite;
+    }
+    EXPECT_EQ(lr.profile_min, profile_min);
+    EXPECT_EQ(lr.profile_max, profile_max);
+    EXPECT_EQ(lr.profile_mean,
+              finite > 0 ? sum / static_cast<double>(finite) : kInf);
+    per_length_motifs.push_back(motif);
+  }
+
+  const std::vector<RankedPair> ranked =
+      RankMotifsByNormalizedDistance(per_length_motifs);
+  ASSERT_FALSE(ranked.empty());
+  ASSERT_TRUE(response.has_best_motif);
+  EXPECT_EQ(response.best_motif.off1, ranked.front().off1);
+  EXPECT_EQ(response.best_motif.off2, ranked.front().off2);
+  EXPECT_EQ(response.best_motif.length, ranked.front().length);
+  EXPECT_EQ(response.best_motif.norm_distance, ranked.front().norm_distance);
+}
+
+TEST(QueryEngineTest, CachedRepeatIsByteIdenticalToCold) {
+  const Series series =
+      testing_util::NoiseWithPlantedMotif(512, 24, 60, 300, 11);
+  QueryEngine engine;
+  const Request request = ProfileRequest(series, 16, 24);
+  const Response cold = engine.Execute(request);
+  ASSERT_TRUE(cold.ok);
+  EXPECT_FALSE(cold.cached);
+  const Response warm = engine.Execute(request);
+  ASSERT_TRUE(warm.ok);
+  EXPECT_TRUE(warm.cached);
+  EXPECT_EQ(NormalizedBody(warm), NormalizedBody(cold));
+  EXPECT_EQ(engine.cache().hits(), 1);
+}
+
+TEST(QueryEngineTest, AllQueryTypesShareOneCachedArtifact) {
+  const Series series =
+      testing_util::NoiseWithPlantedMotif(512, 24, 60, 300, 11);
+  QueryEngine engine;
+  Request request = ProfileRequest(series, 16, 24);
+  request.type = QueryType::kMotif;
+  ASSERT_FALSE(engine.Execute(request).cached);
+  // A different projection of the same (series, parameters) key hits.
+  request.type = QueryType::kDiscord;
+  EXPECT_TRUE(engine.Execute(request).cached);
+  request.type = QueryType::kTopK;
+  EXPECT_TRUE(engine.Execute(request).cached);
+  request.type = QueryType::kProfile;
+  EXPECT_TRUE(engine.Execute(request).cached);
+  EXPECT_EQ(engine.cache().entries(), 1);
+}
+
+TEST(QueryEngineTest, NoCacheSkipsLookupButStillStores) {
+  const Series series =
+      testing_util::NoiseWithPlantedMotif(512, 24, 60, 300, 13);
+  QueryEngine engine;
+  Request request = ProfileRequest(series, 16, 20);
+  request.no_cache = true;
+  EXPECT_FALSE(engine.Execute(request).cached);
+  EXPECT_FALSE(engine.Execute(request).cached);  // lookup skipped
+  request.no_cache = false;
+  EXPECT_TRUE(engine.Execute(request).cached);  // but the store happened
+}
+
+TEST(QueryEngineTest, DatasetRequestsResolveThroughTheRegistry) {
+  QueryEngine engine;
+  Request request;
+  request.type = QueryType::kMotif;
+  request.dataset = "PLANTED";
+  request.n = 2048;
+  request.len_min = 32;
+  request.len_max = 36;
+  const Response response = engine.Execute(request);
+  ASSERT_TRUE(response.ok) << response.error_message;
+  EXPECT_TRUE(response.has_best_motif);
+}
+
+TEST(QueryEngineTest, InvalidRequestsGetErrorResponses) {
+  QueryEngine engine;
+  const Series series = testing_util::WhiteNoise(256, 3);
+
+  Request request;  // neither series nor dataset
+  request.type = QueryType::kMotif;
+  request.len_min = 16;
+  request.len_max = 16;
+  EXPECT_EQ(engine.Execute(request).error_code, "INVALID_ARGUMENT");
+
+  request.series = series;
+  request.len_min = 2;  // too small
+  EXPECT_EQ(engine.Execute(request).error_code, "INVALID_ARGUMENT");
+
+  request.len_min = 32;
+  request.len_max = 16;  // inverted range
+  EXPECT_EQ(engine.Execute(request).error_code, "INVALID_ARGUMENT");
+
+  request.len_min = 200;
+  request.len_max = 240;  // series far too short
+  EXPECT_EQ(engine.Execute(request).error_code, "INVALID_ARGUMENT");
+
+  request.len_min = 16;
+  request.len_max = 16;
+  request.k = 100000;  // above max_k
+  EXPECT_EQ(engine.Execute(request).error_code, "INVALID_ARGUMENT");
+
+  Request dataset_request;
+  dataset_request.type = QueryType::kMotif;
+  dataset_request.dataset = "NO_SUCH_DATASET";
+  dataset_request.n = 1024;
+  dataset_request.len_min = 16;
+  dataset_request.len_max = 16;
+  EXPECT_EQ(engine.Execute(dataset_request).error_code, "NOT_FOUND");
+}
+
+TEST(QueryEngineTest, TinyDeadlineYieldsDeadlineExceeded) {
+  QueryEngine engine;
+  Request request;
+  request.type = QueryType::kProfile;
+  request.dataset = "PLANTED";
+  request.n = 1 << 14;
+  request.len_min = 64;
+  request.len_max = 128;
+  request.deadline_ms = 0.001;
+  const Response response = engine.Execute(request);
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.error_code, "DEADLINE_EXCEEDED");
+}
+
+TEST(QueryEngineTest, StatsQueryExposesMetrics) {
+  const Series series =
+      testing_util::NoiseWithPlantedMotif(512, 24, 60, 300, 17);
+  QueryEngine engine;
+  Request request = ProfileRequest(series, 16, 20);
+  request.type = QueryType::kMotif;
+  ASSERT_TRUE(engine.Execute(request).ok);
+
+  Request stats;
+  stats.type = QueryType::kStats;
+  const Response response = engine.Execute(stats);
+  ASSERT_TRUE(response.ok);
+  EXPECT_NE(response.stats_text.find("valmod_requests_total"),
+            std::string::npos);
+  EXPECT_NE(response.stats_text.find("valmod_requests_motif 1"),
+            std::string::npos);
+  EXPECT_NE(response.stats_text.find("valmod_latency_motif_count 1"),
+            std::string::npos);
+  EXPECT_NE(response.stats_text.find("valmod_cache_entries 1"),
+            std::string::npos);
+}
+
+TEST(QueryEngineTest, FloodedQueueAppliesBackpressure) {
+  QueryEngineOptions options;
+  options.workers = 1;
+  options.queue_capacity = 1;
+  QueryEngine engine(options);
+  constexpr int kThreads = 8;
+  std::atomic<int> succeeded{0};
+  std::atomic<int> rejected{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&engine, &succeeded, &rejected, t] {
+      // Unique series per thread so the cache cannot absorb the flood.
+      Request request = ProfileRequest(
+          testing_util::NoiseWithPlantedMotif(
+              1024, 32, 100, 600, static_cast<std::uint64_t>(100 + t)),
+          32, 48);
+      request.no_cache = true;
+      const Response response = engine.Execute(request);
+      if (response.ok) {
+        succeeded.fetch_add(1);
+      } else {
+        EXPECT_EQ(response.error_code, "RESOURCE_EXHAUSTED");
+        rejected.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(succeeded.load() + rejected.load(), kThreads);
+  EXPECT_GE(succeeded.load(), 1);
+  EXPECT_GE(rejected.load(), 1) << "flooding a capacity-1 queue from "
+                                << kThreads
+                                << " threads should trigger backpressure";
+  // The engine keeps serving after the flood.
+  Request after = ProfileRequest(
+      testing_util::NoiseWithPlantedMotif(512, 24, 60, 300, 999), 16, 20);
+  EXPECT_TRUE(engine.Execute(after).ok);
+}
+
+}  // namespace
+}  // namespace valmod

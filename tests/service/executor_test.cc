@@ -1,0 +1,123 @@
+#include "service/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace valmod {
+namespace {
+
+TEST(ExecutorTest, RunsSubmittedJobs) {
+  Executor executor(/*workers=*/2, /*queue_capacity=*/8);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(executor
+                    .Submit(kPriorityNormal, Deadline(),
+                            [&ran](bool expired) {
+                              EXPECT_FALSE(expired);
+                              ran.fetch_add(1);
+                            })
+                    .ok());
+  }
+  executor.Drain();
+  EXPECT_EQ(ran.load(), 5);
+  EXPECT_EQ(executor.executed(), 5);
+  EXPECT_EQ(executor.expired_in_queue(), 0);
+}
+
+TEST(ExecutorTest, RejectsWhenQueueFull) {
+  // One worker, blocked; capacity 1 — the second queued job must be
+  // rejected with the backpressure code rather than queued unboundedly.
+  Executor executor(/*workers=*/1, /*queue_capacity=*/1);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  ASSERT_TRUE(executor
+                  .Submit(kPriorityNormal, Deadline(),
+                          [&](bool) {
+                            std::unique_lock<std::mutex> lock(mu);
+                            cv.wait(lock, [&] { return release; });
+                          })
+                  .ok());
+  // Wait for the worker to pick up the blocker so the queue is empty.
+  while (executor.queue_depth() > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(
+      executor.Submit(kPriorityNormal, Deadline(), [](bool) {}).ok());
+  const Status status =
+      executor.Submit(kPriorityNormal, Deadline(), [](bool) {});
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  {
+    const std::lock_guard<std::mutex> lock(mu);
+    release = true;
+    cv.notify_all();
+  }
+  executor.Drain();
+}
+
+TEST(ExecutorTest, ExpiredJobsAreFlaggedNotDropped) {
+  // Block the only worker, queue a job whose deadline lapses while it
+  // waits; the job must still run, with expired == true, so its owner can
+  // fail fast instead of waiting forever.
+  Executor executor(/*workers=*/1, /*queue_capacity=*/4);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  ASSERT_TRUE(executor
+                  .Submit(kPriorityNormal, Deadline(),
+                          [&](bool) {
+                            std::unique_lock<std::mutex> lock(mu);
+                            cv.wait(lock, [&] { return release; });
+                          })
+                  .ok());
+  std::atomic<bool> saw_expired{false};
+  ASSERT_TRUE(executor
+                  .Submit(kPriorityNormal, Deadline::After(0.01),
+                          [&](bool expired) { saw_expired.store(expired); })
+                  .ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  {
+    const std::lock_guard<std::mutex> lock(mu);
+    release = true;
+    cv.notify_all();
+  }
+  executor.Drain();
+  EXPECT_TRUE(saw_expired.load());
+  EXPECT_EQ(executor.expired_in_queue(), 1);
+}
+
+TEST(ExecutorTest, DrainRunsAdmittedJobsThenRejects) {
+  Executor executor(/*workers=*/1, /*queue_capacity=*/16);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(executor
+                    .Submit(kPriorityNormal, Deadline(),
+                            [&ran](bool) { ran.fetch_add(1); })
+                    .ok());
+  }
+  executor.Drain();
+  EXPECT_EQ(ran.load(), 8);
+  // After Drain, submission is backpressure-rejected.
+  EXPECT_EQ(
+      executor.Submit(kPriorityNormal, Deadline(), [](bool) {}).code(),
+      StatusCode::kResourceExhausted);
+  // And Drain is idempotent.
+  executor.Drain();
+}
+
+TEST(ExecutorTest, DefaultWorkerCountIsPositive) {
+  Executor executor(/*workers=*/0, /*queue_capacity=*/2);
+  EXPECT_GE(executor.workers(), 1);
+  executor.Drain();
+}
+
+}  // namespace
+}  // namespace valmod

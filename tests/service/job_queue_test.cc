@@ -1,0 +1,115 @@
+#include "service/job_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace valmod {
+namespace {
+
+Job NoopJob(int priority) {
+  Job job;
+  job.priority = priority;
+  job.run = [](bool) {};
+  return job;
+}
+
+TEST(JobQueueTest, PushPopRoundTrips) {
+  JobQueue queue(4);
+  int ran = 0;
+  Job job;
+  job.run = [&ran](bool) { ++ran; };
+  ASSERT_TRUE(queue.Push(std::move(job)).ok());
+  EXPECT_EQ(queue.size(), 1);
+  Job out;
+  ASSERT_TRUE(queue.Pop(&out));
+  out.run(false);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(queue.size(), 0);
+}
+
+TEST(JobQueueTest, FullQueueReturnsBackpressureNotBlocking) {
+  JobQueue queue(2);
+  ASSERT_TRUE(queue.Push(NoopJob(kPriorityNormal)).ok());
+  ASSERT_TRUE(queue.Push(NoopJob(kPriorityNormal)).ok());
+  // The third push must return immediately with the backpressure code —
+  // never block, never grow the queue.
+  const Status status = queue.Push(NoopJob(kPriorityNormal));
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(queue.size(), 2);
+  // Capacity is shared across priority lanes: high priority is not a
+  // side-channel around the bound.
+  EXPECT_EQ(queue.Push(NoopJob(kPriorityHigh)).code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(JobQueueTest, PopsInPriorityOrderFifoWithinLane) {
+  JobQueue queue(8);
+  std::vector<int> order;
+  auto tagged = [&order](int tag, int priority) {
+    Job job;
+    job.priority = priority;
+    job.run = [&order, tag](bool) { order.push_back(tag); };
+    return job;
+  };
+  ASSERT_TRUE(queue.Push(tagged(1, kPriorityLow)).ok());
+  ASSERT_TRUE(queue.Push(tagged(2, kPriorityNormal)).ok());
+  ASSERT_TRUE(queue.Push(tagged(3, kPriorityHigh)).ok());
+  ASSERT_TRUE(queue.Push(tagged(4, kPriorityHigh)).ok());
+  ASSERT_TRUE(queue.Push(tagged(5, kPriorityNormal)).ok());
+  for (int i = 0; i < 5; ++i) {
+    Job out;
+    ASSERT_TRUE(queue.Pop(&out));
+    out.run(false);
+  }
+  EXPECT_EQ(order, (std::vector<int>{3, 4, 2, 5, 1}));
+}
+
+TEST(JobQueueTest, CloseRejectsPushesButDrainsPops) {
+  JobQueue queue(4);
+  ASSERT_TRUE(queue.Push(NoopJob(kPriorityNormal)).ok());
+  ASSERT_TRUE(queue.Push(NoopJob(kPriorityLow)).ok());
+  queue.Close();
+  EXPECT_TRUE(queue.closed());
+  EXPECT_EQ(queue.Push(NoopJob(kPriorityNormal)).code(),
+            StatusCode::kResourceExhausted);
+  // Jobs admitted before Close() are still handed out (graceful drain).
+  Job out;
+  EXPECT_TRUE(queue.Pop(&out));
+  EXPECT_TRUE(queue.Pop(&out));
+  EXPECT_FALSE(queue.Pop(&out));
+}
+
+TEST(JobQueueTest, CloseIsIdempotent) {
+  JobQueue queue(2);
+  queue.Close();
+  queue.Close();
+  Job out;
+  EXPECT_FALSE(queue.Pop(&out));
+}
+
+TEST(JobQueueTest, OutOfRangePrioritiesAreClamped) {
+  JobQueue queue(4);
+  Job low = NoopJob(99);
+  Job high = NoopJob(-5);
+  ASSERT_TRUE(queue.Push(std::move(low)).ok());
+  ASSERT_TRUE(queue.Push(std::move(high)).ok());
+  Job out;
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out.priority, kPriorityHigh);
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out.priority, kPriorityLow);
+}
+
+TEST(JobQueueTest, CapacityClampedToAtLeastOne) {
+  JobQueue queue(0);
+  EXPECT_EQ(queue.capacity(), 1);
+  ASSERT_TRUE(queue.Push(NoopJob(kPriorityNormal)).ok());
+  EXPECT_EQ(queue.Push(NoopJob(kPriorityNormal)).code(),
+            StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace valmod

@@ -1,0 +1,143 @@
+#include "service/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "util/common.h"
+
+namespace valmod {
+namespace {
+
+TEST(JsonTest, SerializesScalars) {
+  EXPECT_EQ(JsonValue().Serialize(), "null");
+  EXPECT_EQ(JsonValue(true).Serialize(), "true");
+  EXPECT_EQ(JsonValue(false).Serialize(), "false");
+  EXPECT_EQ(JsonValue(std::int64_t{42}).Serialize(), "42");
+  EXPECT_EQ(JsonValue(std::int64_t{-7}).Serialize(), "-7");
+  EXPECT_EQ(JsonValue(std::string("hi")).Serialize(), "\"hi\"");
+}
+
+TEST(JsonTest, ObjectKeysSerializeSorted) {
+  JsonValue v;
+  v.Set("zebra", JsonValue(std::int64_t{1}));
+  v.Set("alpha", JsonValue(std::int64_t{2}));
+  EXPECT_EQ(v.Serialize(), "{\"alpha\":2,\"zebra\":1}");
+}
+
+TEST(JsonTest, ArraysSerializeInOrder) {
+  JsonValue v;
+  v.Append(JsonValue(std::int64_t{3}));
+  v.Append(JsonValue(std::int64_t{1}));
+  v.Append(JsonValue(std::int64_t{2}));
+  EXPECT_EQ(v.Serialize(), "[3,1,2]");
+}
+
+TEST(JsonTest, EscapesStrings) {
+  const JsonValue v(std::string("a\"b\\c\n\t\x01"));
+  EXPECT_EQ(v.Serialize(), "\"a\\\"b\\\\c\\n\\t\\u0001\"");
+  JsonValue parsed;
+  ASSERT_TRUE(JsonValue::Parse(v.Serialize(), &parsed).ok());
+  EXPECT_EQ(parsed.AsString(), "a\"b\\c\n\t\x01");
+}
+
+TEST(JsonTest, DoublesRoundTripBitExact) {
+  const double values[] = {0.1,
+                           1.0 / 3.0,
+                           std::nextafter(2.0, 3.0),
+                           1e-300,
+                           1e300,
+                           -0.0,
+                           3.141592653589793};
+  for (const double d : values) {
+    JsonValue parsed;
+    ASSERT_TRUE(JsonValue::Parse(JsonValue(d).Serialize(), &parsed).ok());
+    EXPECT_EQ(parsed.AsDouble(), d) << JsonValue(d).Serialize();
+  }
+}
+
+TEST(JsonTest, NonFiniteDoublesBecomeMarkerStrings) {
+  EXPECT_EQ(JsonValue(kInf).Serialize(), "\"inf\"");
+  EXPECT_EQ(JsonValue(-kInf).Serialize(), "\"-inf\"");
+  EXPECT_EQ(JsonValue(std::numeric_limits<double>::quiet_NaN()).Serialize(),
+            "\"nan\"");
+  JsonValue parsed;
+  ASSERT_TRUE(JsonValue::Parse("\"inf\"", &parsed).ok());
+  EXPECT_EQ(parsed.AsDouble(), kInf);
+  ASSERT_TRUE(JsonValue::Parse("\"-inf\"", &parsed).ok());
+  EXPECT_EQ(parsed.AsDouble(), -kInf);
+  ASSERT_TRUE(JsonValue::Parse("\"nan\"", &parsed).ok());
+  EXPECT_TRUE(std::isnan(parsed.AsDouble()));
+}
+
+TEST(JsonTest, ParsesNestedDocument) {
+  JsonValue v;
+  const Status status = JsonValue::Parse(
+      " { \"a\" : [ 1 , 2.5 , true , null ] , \"b\" : { \"c\" : \"x\" } } ",
+      &v);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  ASSERT_TRUE(v.is_object());
+  const JsonValue* a = v.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->AsArray().size(), 4u);
+  EXPECT_EQ(a->AsArray()[0].AsInt(), 1);
+  EXPECT_EQ(a->AsArray()[1].AsDouble(), 2.5);
+  EXPECT_TRUE(a->AsArray()[2].AsBool());
+  EXPECT_TRUE(a->AsArray()[3].is_null());
+  const JsonValue* b = v.Find("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_NE(b->Find("c"), nullptr);
+  EXPECT_EQ(b->Find("c")->AsString(), "x");
+}
+
+TEST(JsonTest, IntegersStayIntegers) {
+  JsonValue v;
+  ASSERT_TRUE(JsonValue::Parse("9007199254740993", &v).ok());
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.AsInt(), 9007199254740993LL);
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  JsonValue v;
+  EXPECT_FALSE(JsonValue::Parse("", &v).ok());
+  EXPECT_FALSE(JsonValue::Parse("{", &v).ok());
+  EXPECT_FALSE(JsonValue::Parse("[1,]", &v).ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\":}", &v).ok());
+  EXPECT_FALSE(JsonValue::Parse("\"unterminated", &v).ok());
+  EXPECT_FALSE(JsonValue::Parse("1 trailing", &v).ok());
+  EXPECT_FALSE(JsonValue::Parse("tru", &v).ok());
+}
+
+TEST(JsonTest, RejectsExcessiveNesting) {
+  std::string deep;
+  for (int i = 0; i < kMaxParseDepth + 1; ++i) deep += "[";
+  for (int i = 0; i < kMaxParseDepth + 1; ++i) deep += "]";
+  JsonValue v;
+  EXPECT_FALSE(JsonValue::Parse(deep, &v).ok());
+  std::string fine;
+  for (int i = 0; i < kMaxParseDepth - 1; ++i) fine += "[";
+  for (int i = 0; i < kMaxParseDepth - 1; ++i) fine += "]";
+  EXPECT_TRUE(JsonValue::Parse(fine, &v).ok());
+}
+
+TEST(JsonTest, ParsesUnicodeEscapes) {
+  JsonValue v;
+  ASSERT_TRUE(JsonValue::Parse("\"\\u00e9\\u0041\"", &v).ok());
+  EXPECT_EQ(v.AsString(), "\xc3\xa9"
+                          "A");
+}
+
+TEST(JsonTest, SerializationIsDeterministic) {
+  JsonValue a;
+  a.Set("x", JsonValue(1.5));
+  a.Set("y", JsonValue(std::string("s")));
+  JsonValue b;
+  b.Set("y", JsonValue(std::string("s")));
+  b.Set("x", JsonValue(1.5));
+  EXPECT_EQ(a.Serialize(), b.Serialize());
+}
+
+}  // namespace
+}  // namespace valmod

@@ -1,0 +1,102 @@
+#include "service/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace valmod {
+namespace {
+
+TEST(MetricsTest, CountersAccumulate) {
+  MetricsRegistry registry;
+  MetricCounter* counter = registry.GetCounter("requests_total");
+  counter->Increment();
+  counter->Increment(4);
+  EXPECT_EQ(counter->Value(), 5);
+  // Same name returns the same counter.
+  EXPECT_EQ(registry.GetCounter("requests_total"), counter);
+}
+
+TEST(MetricsTest, HistogramQuantilesBoundWithinFactorOfTwo) {
+  LatencyHistogram histogram;
+  for (int i = 0; i < 99; ++i) histogram.Observe(100.0);  // bucket [64,128)
+  histogram.Observe(100000.0);  // one outlier in [65536,131072)
+  EXPECT_EQ(histogram.TotalCount(), 100);
+  const double p50 = histogram.QuantileUpperBoundUs(0.5);
+  EXPECT_GE(p50, 100.0);
+  EXPECT_LE(p50, 200.0);
+  const double p99 = histogram.QuantileUpperBoundUs(0.99);
+  EXPECT_GE(p99, 100.0);
+  EXPECT_LE(p99, 200.0);
+  const double p999 = histogram.QuantileUpperBoundUs(0.999);
+  EXPECT_GE(p999, 100000.0);
+  EXPECT_LE(p999, 200000.0);
+  EXPECT_NEAR(histogram.SumUs(), 99 * 100.0 + 100000.0, 100.0);
+}
+
+TEST(MetricsTest, EmptyHistogramReportsZero) {
+  LatencyHistogram histogram;
+  EXPECT_EQ(histogram.TotalCount(), 0);
+  EXPECT_EQ(histogram.QuantileUpperBoundUs(0.5), 0.0);
+}
+
+TEST(MetricsTest, ExpositionIsSortedAndPrefixed) {
+  MetricsRegistry registry;
+  registry.GetCounter("zeta")->Increment(2);
+  registry.GetCounter("alpha")->Increment();
+  registry.SetGauge("middle", [] { return std::int64_t{7}; });
+  const std::string text = registry.Exposition();
+  const std::size_t alpha = text.find("valmod_alpha 1");
+  const std::size_t middle = text.find("valmod_middle 7");
+  const std::size_t zeta = text.find("valmod_zeta 2");
+  ASSERT_NE(alpha, std::string::npos) << text;
+  ASSERT_NE(middle, std::string::npos) << text;
+  ASSERT_NE(zeta, std::string::npos) << text;
+  EXPECT_LT(alpha, middle);
+  EXPECT_LT(middle, zeta);
+}
+
+TEST(MetricsTest, HistogramExpositionHasCountMeanAndQuantiles) {
+  MetricsRegistry registry;
+  registry.GetHistogram("latency_motif")->Observe(50.0);
+  const std::string text = registry.Exposition();
+  EXPECT_NE(text.find("valmod_latency_motif_count 1"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("valmod_latency_motif_mean_us"), std::string::npos);
+  EXPECT_NE(text.find("valmod_latency_motif_p50_us"), std::string::npos);
+  EXPECT_NE(text.find("valmod_latency_motif_p90_us"), std::string::npos);
+  EXPECT_NE(text.find("valmod_latency_motif_p99_us"), std::string::npos);
+}
+
+TEST(MetricsTest, GaugesSampleLiveValues) {
+  MetricsRegistry registry;
+  std::int64_t value = 1;
+  registry.SetGauge("live", [&value] { return value; });
+  EXPECT_NE(registry.Exposition().find("valmod_live 1"), std::string::npos);
+  value = 2;
+  EXPECT_NE(registry.Exposition().find("valmod_live 2"), std::string::npos);
+}
+
+TEST(MetricsTest, ConcurrentRegistrationAndUpdatesAreSafe) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 4;
+  constexpr int kOps = 1000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < kOps; ++i) {
+        registry.GetCounter("shared")->Increment();
+        registry.GetHistogram("lat")->Observe(static_cast<double>(i));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(registry.GetCounter("shared")->Value(), kThreads * kOps);
+  EXPECT_EQ(registry.GetHistogram("lat")->TotalCount(), kThreads * kOps);
+}
+
+}  // namespace
+}  // namespace valmod

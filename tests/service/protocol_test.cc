@@ -1,0 +1,194 @@
+#include "service/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "service/job_queue.h"
+#include "service/json.h"
+#include "util/status.h"
+
+namespace valmod {
+namespace {
+
+TEST(ProtocolTest, QueryTypeNamesRoundTrip) {
+  for (QueryType type : {QueryType::kMotif, QueryType::kTopK,
+                         QueryType::kDiscord, QueryType::kProfile,
+                         QueryType::kStats}) {
+    QueryType back = QueryType::kStats;
+    ASSERT_TRUE(ParseQueryType(QueryTypeName(type), &back).ok());
+    EXPECT_EQ(back, type);
+  }
+  QueryType out;
+  EXPECT_EQ(ParseQueryType("bogus", &out).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ProtocolTest, FrameRoundTrips) {
+  const std::string frame = EncodeFrame("{\"a\":1}");
+  // Header line, then the payload with its trailing newline.
+  const std::size_t header_end = frame.find('\n');
+  ASSERT_NE(header_end, std::string::npos);
+  const std::string header = frame.substr(0, header_end);
+  std::size_t bytes = 0;
+  ASSERT_TRUE(ParseFrameHeader(header, &bytes).ok());
+  // The count includes the payload's trailing newline.
+  EXPECT_EQ(bytes, std::string("{\"a\":1}").size() + 1);
+  EXPECT_EQ(frame.substr(header_end + 1), "{\"a\":1}\n");
+}
+
+TEST(ProtocolTest, HeaderRejectsForeignMagicAndVersions) {
+  std::size_t bytes = 0;
+  EXPECT_FALSE(ParseFrameHeader("HTTP/1.1 200", &bytes).ok());
+  EXPECT_FALSE(ParseFrameHeader("VALMOD/2 10", &bytes).ok());
+  EXPECT_FALSE(ParseFrameHeader("VALMOD/1 ", &bytes).ok());
+  EXPECT_FALSE(ParseFrameHeader("VALMOD/1 abc", &bytes).ok());
+  EXPECT_FALSE(ParseFrameHeader("VALMOD/1 -5", &bytes).ok());
+  // A count over the cap is rejected before any payload is buffered.
+  EXPECT_FALSE(
+      ParseFrameHeader("VALMOD/1 " + std::to_string(kMaxFrameBytes + 1),
+                       &bytes)
+          .ok());
+  EXPECT_TRUE(ParseFrameHeader("VALMOD/1 17", &bytes).ok());
+  EXPECT_EQ(bytes, 17u);
+}
+
+TEST(ProtocolTest, RequestRoundTripsThroughJson) {
+  Request request;
+  request.type = QueryType::kTopK;
+  request.id = 99;
+  request.series = {1.0, 2.5, -3.0, 0.125};
+  request.len_min = 8;
+  request.len_max = 16;
+  request.p = 5;
+  request.k = 4;
+  request.deadline_ms = 250.0;
+  request.priority = kPriorityHigh;
+  request.no_cache = true;
+
+  Request back;
+  ASSERT_TRUE(back.FromJson(request.ToJson()).ok());
+  EXPECT_EQ(back.type, request.type);
+  EXPECT_EQ(back.id, request.id);
+  EXPECT_EQ(back.series, request.series);
+  EXPECT_EQ(back.len_min, request.len_min);
+  EXPECT_EQ(back.len_max, request.len_max);
+  EXPECT_EQ(back.p, request.p);
+  EXPECT_EQ(back.k, request.k);
+  EXPECT_EQ(back.deadline_ms, request.deadline_ms);
+  EXPECT_EQ(back.priority, request.priority);
+  EXPECT_EQ(back.no_cache, request.no_cache);
+}
+
+TEST(ProtocolTest, DatasetRequestRoundTrips) {
+  Request request;
+  request.type = QueryType::kDiscord;
+  request.dataset = "PLANTED";
+  request.n = 4096;
+  request.len_min = 32;
+  request.len_max = 40;
+  Request back;
+  ASSERT_TRUE(back.FromJson(request.ToJson()).ok());
+  EXPECT_EQ(back.dataset, "PLANTED");
+  EXPECT_EQ(back.n, 4096);
+  EXPECT_TRUE(back.series.empty());
+}
+
+TEST(ProtocolTest, RequestMissingFieldsKeepDefaults) {
+  JsonValue json;
+  ASSERT_TRUE(
+      JsonValue::Parse("{\"type\":\"motif\",\"unknown_field\":1}", &json)
+          .ok());
+  Request request;
+  ASSERT_TRUE(request.FromJson(json).ok());
+  EXPECT_EQ(request.type, QueryType::kMotif);
+  EXPECT_EQ(request.p, 10);
+  EXPECT_EQ(request.k, 3);
+  EXPECT_EQ(request.priority, kPriorityNormal);
+}
+
+TEST(ProtocolTest, RequestRejectsUnknownType) {
+  JsonValue json;
+  ASSERT_TRUE(JsonValue::Parse("{\"type\":\"nope\"}", &json).ok());
+  Request request;
+  EXPECT_EQ(request.FromJson(json).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ProtocolTest, ResponseRoundTripsThroughJson) {
+  Response response;
+  response.id = 7;
+  response.type = QueryType::kMotif;
+  response.ok = true;
+  response.cached = true;
+  response.elapsed_us = 123.5;
+  response.fingerprint = "00000000deadbeef";
+  LengthResult lr;
+  lr.length = 32;
+  lr.has_motif = true;
+  lr.motif = {10, 50, 32, 1.25};
+  response.lengths.push_back(lr);
+  response.has_best_motif = true;
+  response.best_motif = {10, 50, 32, 1.25, 1.25 * 0.1767766952966369};
+
+  Response back;
+  ASSERT_TRUE(back.FromJson(response.ToJson()).ok());
+  EXPECT_EQ(back.id, 7);
+  EXPECT_EQ(back.type, QueryType::kMotif);
+  EXPECT_TRUE(back.ok);
+  EXPECT_TRUE(back.cached);
+  EXPECT_EQ(back.fingerprint, "00000000deadbeef");
+  ASSERT_EQ(back.lengths.size(), 1u);
+  EXPECT_TRUE(back.lengths[0].has_motif);
+  EXPECT_FALSE(back.lengths[0].has_discord);
+  EXPECT_EQ(back.lengths[0].motif.a, 10);
+  EXPECT_EQ(back.lengths[0].motif.b, 50);
+  EXPECT_EQ(back.lengths[0].motif.distance, 1.25);
+  ASSERT_TRUE(back.has_best_motif);
+  EXPECT_EQ(back.best_motif.norm_distance, response.best_motif.norm_distance);
+  // Re-serialization of the parsed response is byte-identical: the wire
+  // format is canonical.
+  EXPECT_EQ(back.ToJson().Serialize(), response.ToJson().Serialize());
+}
+
+TEST(ProtocolTest, ErrorResponseCarriesCodeAndMessage) {
+  Request request;
+  request.type = QueryType::kProfile;
+  request.id = 3;
+  const Response error = Response::Error(
+      request, Status::ResourceExhausted("job queue full"));
+  EXPECT_FALSE(error.ok);
+  EXPECT_EQ(error.id, 3);
+  EXPECT_EQ(error.error_code, "RESOURCE_EXHAUSTED");
+  Response back;
+  ASSERT_TRUE(back.FromJson(error.ToJson()).ok());
+  EXPECT_FALSE(back.ok);
+  const Status status = back.ToStatus();
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(status.message(), "job queue full");
+}
+
+TEST(ProtocolTest, UnknownErrorCodeFailsClosed) {
+  EXPECT_EQ(StatusCodeFromName("SOME_FUTURE_CODE"), StatusCode::kIoError);
+  EXPECT_EQ(StatusCodeFromName("RESOURCE_EXHAUSTED"),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(StatusCodeFromName("DEADLINE_EXCEEDED"),
+            StatusCode::kDeadlineExceeded);
+}
+
+TEST(ProtocolTest, SeriesValuesSurviveTheWireBitExact) {
+  Request request;
+  request.type = QueryType::kMotif;
+  request.series = {0.1, 1.0 / 3.0, 1e-300, -2.5000000000000004};
+  Request back;
+  JsonValue reparsed;
+  ASSERT_TRUE(
+      JsonValue::Parse(request.ToJson().Serialize(), &reparsed).ok());
+  ASSERT_TRUE(back.FromJson(reparsed).ok());
+  ASSERT_EQ(back.series.size(), request.series.size());
+  for (std::size_t i = 0; i < back.series.size(); ++i) {
+    EXPECT_EQ(back.series[i], request.series[i]) << i;
+  }
+}
+
+}  // namespace
+}  // namespace valmod

@@ -1,0 +1,170 @@
+#include "service/result_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "util/common.h"
+
+namespace valmod {
+namespace {
+
+CacheKey KeyFor(std::uint64_t fingerprint) {
+  return CacheKey{fingerprint, 16, 32, 10, 3};
+}
+
+/// An artifact whose footprint scales with `lengths` so tests can control
+/// entry sizes without hardcoding struct sizes.
+CachedArtifact ArtifactWithLengths(Index lengths, double marker = 0.0) {
+  CachedArtifact artifact;
+  for (Index i = 0; i < lengths; ++i) {
+    LengthResult lr;
+    lr.length = 16 + i;
+    lr.has_motif = lr.has_top_k = lr.has_discord = lr.has_profile = true;
+    lr.profile_min = marker;
+    artifact.lengths.push_back(lr);
+  }
+  return artifact;
+}
+
+/// Cost of one cache entry holding `artifact`, measured empirically so the
+/// tests track the implementation's bookkeeping overhead.
+std::size_t EntryCost(const CachedArtifact& artifact) {
+  ResultCache probe(/*byte_budget=*/1u << 30, /*shards=*/1);
+  probe.Put(KeyFor(1), artifact);
+  return probe.bytes();
+}
+
+TEST(ResultCacheTest, GetMissThenHit) {
+  ResultCache cache(1u << 20, /*shards=*/4);
+  CachedArtifact out;
+  EXPECT_FALSE(cache.Get(KeyFor(1), &out));
+  EXPECT_EQ(cache.misses(), 1);
+  cache.Put(KeyFor(1), ArtifactWithLengths(2, 42.0));
+  ASSERT_TRUE(cache.Get(KeyFor(1), &out));
+  EXPECT_EQ(cache.hits(), 1);
+  ASSERT_EQ(out.lengths.size(), 2u);
+  EXPECT_EQ(out.lengths[0].profile_min, 42.0);
+}
+
+TEST(ResultCacheTest, KeyIncludesEveryParameter) {
+  ResultCache cache(1u << 20, /*shards=*/4);
+  cache.Put(CacheKey{7, 16, 32, 10, 3}, ArtifactWithLengths(1));
+  CachedArtifact out;
+  EXPECT_FALSE(cache.Get(CacheKey{8, 16, 32, 10, 3}, &out));  // fingerprint
+  EXPECT_FALSE(cache.Get(CacheKey{7, 17, 32, 10, 3}, &out));  // len_min
+  EXPECT_FALSE(cache.Get(CacheKey{7, 16, 33, 10, 3}, &out));  // len_max
+  EXPECT_FALSE(cache.Get(CacheKey{7, 16, 32, 11, 3}, &out));  // p
+  EXPECT_FALSE(cache.Get(CacheKey{7, 16, 32, 10, 4}, &out));  // k
+  EXPECT_TRUE(cache.Get(CacheKey{7, 16, 32, 10, 3}, &out));
+}
+
+TEST(ResultCacheTest, EvictsLeastRecentlyUsedFirst) {
+  const CachedArtifact artifact = ArtifactWithLengths(4);
+  const std::size_t cost = EntryCost(artifact);
+  // Room for exactly three entries; one shard so LRU order is global.
+  ResultCache cache(3 * cost, /*shards=*/1);
+  cache.Put(KeyFor(1), artifact);
+  cache.Put(KeyFor(2), artifact);
+  cache.Put(KeyFor(3), artifact);
+  EXPECT_EQ(cache.entries(), 3);
+  // Touch 1 so 2 becomes the least recently used.
+  CachedArtifact out;
+  ASSERT_TRUE(cache.Get(KeyFor(1), &out));
+  cache.Put(KeyFor(4), artifact);
+  EXPECT_EQ(cache.entries(), 3);
+  EXPECT_EQ(cache.evictions(), 1);
+  EXPECT_FALSE(cache.Get(KeyFor(2), &out)) << "LRU entry should be evicted";
+  EXPECT_TRUE(cache.Get(KeyFor(1), &out));
+  EXPECT_TRUE(cache.Get(KeyFor(3), &out));
+  EXPECT_TRUE(cache.Get(KeyFor(4), &out));
+}
+
+TEST(ResultCacheTest, ByteBudgetIsNeverExceeded) {
+  const CachedArtifact artifact = ArtifactWithLengths(8);
+  const std::size_t cost = EntryCost(artifact);
+  const std::size_t budget = 5 * cost + cost / 2;
+  ResultCache cache(budget, /*shards=*/1);
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    cache.Put(KeyFor(i), artifact);
+    EXPECT_LE(cache.bytes(), budget);
+  }
+  EXPECT_EQ(cache.entries(), 5);
+  EXPECT_EQ(cache.evictions(), 45);
+}
+
+TEST(ResultCacheTest, ReplacingAKeyDoesNotLeakBytes) {
+  const CachedArtifact small = ArtifactWithLengths(2);
+  const CachedArtifact big = ArtifactWithLengths(16);
+  ResultCache cache(1u << 20, /*shards=*/1);
+  cache.Put(KeyFor(1), big);
+  const std::size_t big_bytes = cache.bytes();
+  cache.Put(KeyFor(1), small);
+  EXPECT_LT(cache.bytes(), big_bytes);
+  EXPECT_EQ(cache.entries(), 1);
+}
+
+TEST(ResultCacheTest, OversizeArtifactsAreRejectedNotAdmitted) {
+  const CachedArtifact big = ArtifactWithLengths(64);
+  const std::size_t cost = EntryCost(big);
+  // Budget below one entry: admitting would evict the whole shard.
+  ResultCache cache(cost - 1, /*shards=*/1);
+  cache.Put(KeyFor(1), big);
+  EXPECT_EQ(cache.entries(), 0);
+  EXPECT_EQ(cache.oversize_rejects(), 1);
+  CachedArtifact out;
+  EXPECT_FALSE(cache.Get(KeyFor(1), &out));
+}
+
+TEST(ResultCacheTest, ClearDropsEverything) {
+  ResultCache cache(1u << 20, /*shards=*/8);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    cache.Put(KeyFor(i), ArtifactWithLengths(1));
+  }
+  EXPECT_GT(cache.entries(), 0);
+  cache.Clear();
+  EXPECT_EQ(cache.entries(), 0);
+  EXPECT_EQ(cache.bytes(), 0u);
+}
+
+// Named *Stress* so the tsan-parallel CTest preset picks it up: many
+// threads hammering overlapping keys across all shards must neither race
+// (TSan) nor ever exceed the byte budget.
+TEST(ResultCacheStressTest, MultithreadedHammerStaysBoundedAndRaceFree) {
+  const CachedArtifact artifact = ArtifactWithLengths(4);
+  const std::size_t cost = EntryCost(artifact);
+  const std::size_t budget = 8 * cost;
+  ResultCache cache(budget, /*shards=*/4);
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 2000;
+  constexpr std::uint64_t kKeySpace = 32;
+  std::atomic<bool> over_budget{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      CachedArtifact out;
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const std::uint64_t key =
+            static_cast<std::uint64_t>(t * 31 + i) % kKeySpace;
+        if (i % 3 == 0) {
+          cache.Put(KeyFor(key), artifact);
+        } else if (cache.Get(KeyFor(key), &out)) {
+          // Hits must return a fully formed artifact, not a torn one.
+          if (out.lengths.size() != 4u) over_budget.store(true);
+        }
+        if (cache.bytes() > budget) over_budget.store(true);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_FALSE(over_budget.load());
+  EXPECT_LE(cache.bytes(), budget);
+  EXPECT_GT(cache.hits() + cache.misses(), 0);
+}
+
+}  // namespace
+}  // namespace valmod

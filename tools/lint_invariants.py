@@ -18,15 +18,25 @@ Checks (use `--list` to print this table):
   no-naked-new        No naked `new` outside explicitly waived
                       leak-on-purpose singletons; the codebase owns memory
                       through containers and values.
-  core-docs           Every public function declared in src/core and
-                      src/stream headers carries a /// doc comment:
-                      src/core is the paper surface (Algorithms 3-6) and
-                      src/stream is the online API surface; each entry
-                      point must say what it reproduces or guarantees.
+  core-docs           Every public function declared in src/core,
+                      src/stream, and src/service headers carries a ///
+                      doc comment: src/core is the paper surface
+                      (Algorithms 3-6), src/stream the online API surface,
+                      and src/service the query-protocol surface; each
+                      entry point must say what it reproduces or
+                      guarantees.
   no-float-distance   Distance math is double-only. Eq. 2's admissibility
                       argument relies on the error bounds worked out for
                       64-bit; a stray float silently halves the mantissa.
-                      Covers src/core, src/mp, src/signal, src/stream.
+                      Covers src/core, src/mp, src/signal, src/stream,
+                      src/service (the service serializes distances, so a
+                      float there would corrupt the wire contract too).
+  no-unbounded-queue  Every std::deque/std::queue member in src/service
+                      must state its capacity bound in an adjacent comment
+                      (within two lines). The service's admission-control
+                      guarantee — backpressure instead of unbounded memory
+                      growth — dies the day someone adds a buffer nobody
+                      bounded.
   no-using-namespace  Headers never open namespaces for their includers.
   self-include-first  Every src/<dir>/foo.cc includes "its" header
                       "<dir>/foo.h" first, proving the header is
@@ -46,8 +56,10 @@ import sys
 
 SRC_DIRS = ("src",)
 HEADER_GUARD_DIRS = ("src", "bench", "tests")
-DISTANCE_MATH_DIRS = ("src/core", "src/mp", "src/signal", "src/stream")
-DOCUMENTED_API_DIRS = ("src/core", "src/stream")
+DISTANCE_MATH_DIRS = ("src/core", "src/mp", "src/signal", "src/stream",
+                      "src/service")
+DOCUMENTED_API_DIRS = ("src/core", "src/stream", "src/service")
+BOUNDED_QUEUE_DIRS = ("src/service",)
 
 WAIVER_RE = re.compile(r"//\s*lint:\s*allow\(([a-z0-9-]+)\)")
 
@@ -250,6 +262,34 @@ class Linter:
                                "admissibility analysis assumes 64-bit); "
                                "no `float` in " + ", ".join(DISTANCE_MATH_DIRS))
 
+    # --- check: no-unbounded-queue -------------------------------------------
+
+    QUEUE_MEMBER_RE = re.compile(r"\bstd::(?:deque|queue)\s*<[^;]*;")
+    CAPACITY_MENTION_RE = re.compile(r"capacit|bound", re.IGNORECASE)
+
+    def check_no_unbounded_queue(self):
+        for path in find_files(self.root, BOUNDED_QUEUE_DIRS, (".h", ".cc")):
+            lines = read_lines(path)
+            for lineno, line in enumerate(lines, 1):
+                if waived(line, "no-unbounded-queue",
+                          lines[lineno - 2] if lineno >= 2 else ""):
+                    continue
+                if not self.QUEUE_MEMBER_RE.search(
+                        strip_comments_and_strings(line)):
+                    continue
+                # The declaration (or a comment within two lines of it) must
+                # name the capacity bound.
+                lo = max(0, lineno - 3)
+                hi = min(len(lines), lineno + 2)
+                window = "\n".join(lines[lo:hi])
+                if self.CAPACITY_MENTION_RE.search(window):
+                    continue
+                self.error(path, lineno, "no-unbounded-queue",
+                           "std::deque/std::queue members in src/service "
+                           "must document their capacity bound within two "
+                           "lines (the service promises backpressure, "
+                           "never unbounded queue growth)")
+
     # --- check: no-using-namespace -------------------------------------------
 
     USING_NS_RE = re.compile(r"^\s*using\s+namespace\b")
@@ -302,6 +342,7 @@ class Linter:
         self.check_no_naked_new()
         self.check_core_docs()
         self.check_no_float_distance()
+        self.check_no_unbounded_queue()
         self.check_no_using_namespace()
         self.check_self_include_first()
         return self.errors
