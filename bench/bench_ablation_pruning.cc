@@ -6,6 +6,12 @@
 // Run on one easy dataset (ECG) and the hard one (EMG). Shape to verify:
 // each removed ingredient costs time, with the shortcut (d) mattering most
 // on easy data and the fallback (c) mattering most on hard data.
+//
+// Each VALMOD run is also cross-checked against the process-wide
+// obs::Counters: the per-length pruning ratios reported by the library
+// structs must match the deltas the observability layer recorded for the
+// same call. Any mismatch fails the bench (exit 1) — this is the live
+// guard that the counters cannot drift from the algorithm.
 
 #include <cstdio>
 
@@ -13,6 +19,7 @@
 #include "bench_common.h"
 #include "core/valmod.h"
 #include "datasets/registry.h"
+#include "obs/counters.h"
 #include "util/table.h"
 #include "util/timer.h"
 
@@ -33,9 +40,82 @@ valmod::ValmodOptions Base(const valmod::bench::BenchConfig& config) {
   return options;
 }
 
+bool CheckEq(const char* what, long long actual, long long expected) {
+  if (actual == expected) return true;
+  std::fprintf(stderr,
+               "counter mismatch: %s — counters saw %lld, library structs "
+               "imply %lld\n",
+               what, actual, expected);
+  return false;
+}
+
+// Cross-checks the obs::Counters delta of one RunValmod call against the
+// library-struct bookkeeping of the same call. Single-threaded, so the
+// process-global deltas are exactly this run's contribution.
+bool VerifyCountersAgainstStructs(const valmod::ValmodOptions& options,
+                                  const valmod::ValmodResult& result,
+                                  const valmod::obs::CountersSnapshot& before,
+                                  const valmod::obs::CountersSnapshot& after) {
+  using valmod::LengthStats;
+  long long full_profiles = 0;  // rows of every full STOMP pass
+  long long submp_valid = 0;    // certified subMP entries, non-fallback
+  long long heap_updates = 0;
+  long long fallbacks = 0;
+  long long submp_lengths = 0;
+  for (const LengthStats& ls : result.length_stats) {
+    heap_updates += ls.heap_updates;
+    if (ls.used_full_recompute) {
+      full_profiles += ls.n_profiles;
+      if (ls.length != options.len_min && !options.emit_per_length_profiles) {
+        ++fallbacks;  // Algorithm 1 line 13: subMP attempted, then full
+        ++submp_lengths;
+      }
+    } else {
+      submp_valid += ls.valid_count;
+      ++submp_lengths;
+    }
+  }
+  if (options.emit_per_length_profiles) submp_lengths = 0;
+
+  bool ok = true;
+  ok &= CheckEq("mp_profiles_full_stomp",
+                after.mp_profiles_full_stomp - before.mp_profiles_full_stomp,
+                full_profiles);
+  ok &= CheckEq("stomp_rows", after.stomp_rows - before.stomp_rows,
+                full_profiles);
+  ok &= CheckEq("listdp_heap_updates",
+                after.listdp_heap_updates - before.listdp_heap_updates,
+                heap_updates);
+  ok &= CheckEq("valmod_full_fallbacks",
+                after.valmod_full_fallbacks - before.valmod_full_fallbacks,
+                fallbacks);
+  ok &= CheckEq("submp_lengths_total",
+                after.submp_lengths_total - before.submp_lengths_total,
+                submp_lengths);
+  const long long certified_plus_recomputed =
+      (after.submp_profiles_certified - before.submp_profiles_certified) +
+      (after.submp_profiles_recomputed - before.submp_profiles_recomputed);
+  if (fallbacks == 0) {
+    // The conservation law: certified-from-bounds + selectively-salvaged
+    // profiles is exactly the valid_count the library reports per length.
+    ok &= CheckEq("submp certified+recomputed", certified_plus_recomputed,
+                  submp_valid);
+  } else if (certified_plus_recomputed < submp_valid) {
+    // Fallback lengths record their (discarded) subMP attempt too, so the
+    // counter can only exceed the struct sum, never undershoot it.
+    std::fprintf(stderr,
+                 "counter mismatch: submp certified+recomputed %lld < "
+                 "library-struct valid sum %lld despite %lld fallbacks\n",
+                 certified_plus_recomputed, submp_valid, fallbacks);
+    ok = false;
+  }
+  return ok;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  valmod::bench::HandleObsJsonFlag(&argc, argv);
   using namespace valmod;
   const bench::BenchConfig config = bench::LoadConfig();
   bench::PrintHeader("Ablation: VALMOD design choices", "DESIGN.md ablations",
@@ -63,6 +143,7 @@ int main() {
        }},
   };
 
+  bool counters_ok = true;
   Table table({"dataset", "variant", "seconds", "full MP passes",
                "selective recomputes"});
   for (const char* name : {"ECG", "EMG"}) {
@@ -70,13 +151,18 @@ int main() {
     if (!GenerateByName(name, config.n, &series).ok()) return 1;
     for (const Variant& variant : variants) {
       const ValmodOptions options = variant.configure(config);
+      const obs::CountersSnapshot before = obs::Counters::Snapshot();
       WallTimer timer;
       const ValmodResult result = RunValmod(series, options);
+      const double seconds = timer.Seconds();
+      const obs::CountersSnapshot after = obs::Counters::Snapshot();
+      counters_ok &=
+          VerifyCountersAgainstStructs(options, result, before, after);
       Index selective = 0;
       for (const LengthStats& ls : result.length_stats) {
         selective += ls.selective_recomputes;
       }
-      table.AddRow({name, variant.label, Table::Num(timer.Seconds(), 3),
+      table.AddRow({name, variant.label, Table::Num(seconds, 3),
                     Table::Int(result.full_mp_computations),
                     Table::Int(selective)});
     }
@@ -88,5 +174,11 @@ int main() {
                   Table::Int(config.range + 1), "0"});
   }
   std::printf("%s\n", table.Render().c_str());
+  if (!counters_ok) {
+    std::fprintf(stderr,
+                 "bench_ablation_pruning: obs counter cross-check FAILED\n");
+    return 1;
+  }
+  std::printf("obs counter cross-check: all variants consistent\n");
   return 0;
 }

@@ -40,7 +40,8 @@ double MeanExcess(const MatrixProfile& approx, const MatrixProfile& full) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  valmod::bench::HandleObsJsonFlag(&argc, argv);
   using namespace valmod;
   const bench::BenchConfig config = bench::LoadConfig();
   bench::PrintHeader("Anytime convergence: STAMP orders vs SCRIMP diagonals",

@@ -14,7 +14,8 @@
 #include "util/table.h"
 #include "util/timer.h"
 
-int main() {
+int main(int argc, char** argv) {
+  valmod::bench::HandleObsJsonFlag(&argc, argv);
   using namespace valmod;
   const bench::BenchConfig config = bench::LoadConfig();
   bench::PrintHeader(

@@ -1,9 +1,69 @@
 #include "bench_common.h"
 
 #include <cstdlib>
+#include <cstring>
+
+#include "obs/counters.h"
 
 namespace valmod {
 namespace bench {
+
+namespace {
+
+void PrintObsCountersAtExit() {
+  std::printf("%s\n", ObsCountersJson().c_str());
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+std::string ObsCountersJson() {
+  const obs::CountersSnapshot s = obs::Counters::Snapshot();
+  char buf[768];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"obs_counters\":{"
+      "\"mp_profiles_full_stomp\":%lld,"
+      "\"submp_profiles_certified\":%lld,"
+      "\"submp_profiles_recomputed\":%lld,"
+      "\"submp_profiles_uncertified\":%lld,"
+      "\"submp_lengths_certified\":%lld,"
+      "\"submp_lengths_total\":%lld,"
+      "\"valmod_full_fallbacks\":%lld,"
+      "\"listdp_heap_updates\":%lld,"
+      "\"stomp_rows\":%lld,"
+      "\"stomp_chunks\":%lld,"
+      "\"lb_tightness_samples\":%lld,"
+      "\"lb_tightness_mean\":%.6f}}",
+      static_cast<long long>(s.mp_profiles_full_stomp),
+      static_cast<long long>(s.submp_profiles_certified),
+      static_cast<long long>(s.submp_profiles_recomputed),
+      static_cast<long long>(s.submp_profiles_uncertified),
+      static_cast<long long>(s.submp_lengths_certified),
+      static_cast<long long>(s.submp_lengths_total),
+      static_cast<long long>(s.valmod_full_fallbacks),
+      static_cast<long long>(s.listdp_heap_updates),
+      static_cast<long long>(s.stomp_rows),
+      static_cast<long long>(s.stomp_chunks),
+      static_cast<long long>(s.lb_tightness_samples), s.MeanLbTightness());
+  return buf;
+}
+
+void HandleObsJsonFlag(int* argc, char** argv) {
+  bool found = false;
+  int write = 1;
+  for (int read = 1; read < *argc; ++read) {
+    if (std::strcmp(argv[read], "--obs-json") == 0) {
+      found = true;
+      continue;  // strip: downstream flag parsers must not see it
+    }
+    argv[write++] = argv[read];
+  }
+  if (!found) return;
+  *argc = write;
+  argv[write] = nullptr;
+  std::atexit(PrintObsCountersAtExit);
+}
 
 BenchConfig LoadConfig() {
   BenchConfig config;

@@ -41,6 +41,17 @@ struct BenchConfig {
 /// Reads the config, applying the VALMOD_BENCH_SCALE environment variable.
 BenchConfig LoadConfig();
 
+/// One-line JSON object of the process-wide obs::Counters snapshot
+/// (`{"obs_counters":{...}}`); the machine-readable side channel of the
+/// human-oriented bench tables.
+std::string ObsCountersJson();
+
+/// Handles the shared `--obs-json` bench flag: when present it is removed
+/// from argv (so downstream parsers like google-benchmark never see it) and
+/// an atexit hook is installed that prints ObsCountersJson() to stdout
+/// after the bench finishes. Every bench main calls this first.
+void HandleObsJsonFlag(int* argc, char** argv);
+
 /// Formats seconds, or "DNF" when the deadline was hit.
 std::string FormatSeconds(double seconds, bool dnf);
 

@@ -17,7 +17,8 @@
 #include "signal/znorm.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  valmod::bench::HandleObsJsonFlag(&argc, argv);
   using namespace valmod;
   const bench::BenchConfig config = bench::LoadConfig();
   bench::PrintHeader(

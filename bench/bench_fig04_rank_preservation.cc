@@ -41,7 +41,8 @@ double InversionFraction(const std::vector<double>& base,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  valmod::bench::HandleObsJsonFlag(&argc, argv);
   using namespace valmod;
   const bench::BenchConfig config = bench::LoadConfig();
   bench::PrintHeader(

@@ -18,7 +18,8 @@
 #include "util/prefix_stats.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  valmod::bench::HandleObsJsonFlag(&argc, argv);
   using namespace valmod;
   const bench::BenchConfig config = bench::LoadConfig();
   bench::PrintHeader("Figures 6-7: worked example of Algorithms 3-4",

@@ -17,7 +17,8 @@
 #include "util/table.h"
 #include "util/timer.h"
 
-int main() {
+int main(int argc, char** argv) {
+  valmod::bench::HandleObsJsonFlag(&argc, argv);
   using namespace valmod;
   const bench::BenchConfig config = bench::LoadConfig();
   bench::PrintHeader("Figure 8: runtime vs motif length (seconds per cell)",

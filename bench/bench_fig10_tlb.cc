@@ -14,7 +14,8 @@
 #include "datasets/registry.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  valmod::bench::HandleObsJsonFlag(&argc, argv);
   using namespace valmod;
   const bench::BenchConfig config = bench::LoadConfig();
   bench::PrintHeader("Figure 10: tightness of the lower bound (TLB)",

@@ -14,7 +14,8 @@
 #include "util/prefix_stats.h"
 #include "util/random.h"
 
-int main() {
+int main(int argc, char** argv) {
+  valmod::bench::HandleObsJsonFlag(&argc, argv);
   using namespace valmod;
   const bench::BenchConfig config = bench::LoadConfig();
   bench::PrintHeader("Figure 11: pairwise subsequence distance distribution",

@@ -16,7 +16,8 @@
 #include "util/table.h"
 #include "util/timer.h"
 
-int main() {
+int main(int argc, char** argv) {
+  valmod::bench::HandleObsJsonFlag(&argc, argv);
   using namespace valmod;
   const bench::BenchConfig config = bench::LoadConfig();
   bench::PrintHeader("Figure 12: runtime vs motif length range (seconds)",

@@ -10,6 +10,7 @@
 #include <complex>
 #include <vector>
 
+#include "bench_common.h"
 #include "core/lower_bound.h"
 #include "mp/stomp.h"
 #include "signal/distance.h"
@@ -121,3 +122,14 @@ BENCHMARK(BM_BoundedHeapInsert)->Arg(5)->Arg(50)->Arg(150);
 
 }  // namespace
 }  // namespace valmod
+
+// Hand-rolled main (instead of benchmark_main) so the shared --obs-json
+// flag is stripped before google-benchmark's own flag parsing runs.
+int main(int argc, char** argv) {
+  valmod::bench::HandleObsJsonFlag(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -100,7 +100,8 @@ CellResult RunCell(const Server& server, const Request& base, int clients,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  valmod::bench::HandleObsJsonFlag(&argc, argv);
   const bench::BenchConfig config = bench::LoadConfig();
   bench::PrintHeader(
       "Query-service throughput: loopback QPS and latency, cold vs cached",

@@ -12,7 +12,8 @@
 #include "datasets/stats.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  valmod::bench::HandleObsJsonFlag(&argc, argv);
   using namespace valmod;
   const bench::BenchConfig config = bench::LoadConfig();
   bench::PrintHeader("Table 1: dataset characteristics", "Table 1", config);

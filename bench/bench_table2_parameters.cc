@@ -9,7 +9,8 @@
 #include "bench_common.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  valmod::bench::HandleObsJsonFlag(&argc, argv);
   using namespace valmod;
   const bench::BenchConfig config = bench::LoadConfig();
   bench::PrintHeader("Table 2: benchmark parameters (defaults in [..])",

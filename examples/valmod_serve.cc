@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "obs/log.h"
 #include "service/server.h"
 #include "util/cli.h"
 
@@ -32,8 +33,12 @@ int main(int argc, char** argv) {
         "usage: %s [--host=127.0.0.1] [--port=47113] [--workers=N]\n"
         "          [--queue_capacity=64] [--cache_mb=64] [--cache_shards=8]\n"
         "          [--max_connections=64] [--read_timeout_s=30]\n"
-        "          [--stomp_threads=1]\n"
-        "Serves VALMOD/1 motif queries over TCP until SIGINT, then drains.\n",
+        "          [--stomp_threads=1] [--metrics_port=PORT|-1]\n"
+        "          [--slow_query_ms=1000]\n"
+        "Serves VALMOD/1 motif queries over TCP until SIGINT, then drains.\n"
+        "An HTTP gateway (GET /metrics, /healthz, /trace/start, /trace/stop)\n"
+        "listens on --metrics_port (0 = ephemeral, -1 = disabled); requests\n"
+        "slower than --slow_query_ms log one structured warning line.\n",
         cli.ProgramName().c_str());
     return 0;
   }
@@ -52,6 +57,12 @@ int main(int argc, char** argv) {
       static_cast<int>(cli.GetIndex("cache_shards", 8));
   options.engine.stomp_threads =
       static_cast<int>(cli.GetIndex("stomp_threads", 1));
+  options.metrics_port = static_cast<int>(cli.GetIndex("metrics_port", 0));
+  options.engine.slow_query_ms = cli.GetDouble("slow_query_ms", 1000.0);
+
+  // The serve binary is an application, not a library: surface info-level
+  // structured logs (slow queries are warn-level and show either way).
+  valmod::obs::Log::SetMinLevel(valmod::obs::LogLevel::kInfo);
 
   Server server(options);
   const Status status = server.Start();
@@ -67,6 +78,11 @@ int main(int argc, char** argv) {
                   : server.engine().executor().workers(),
               static_cast<long long>(options.engine.queue_capacity),
               options.engine.cache_bytes >> 20);
+  if (server.metrics_port() > 0) {
+    std::printf("valmod_serve: metrics at http://%s:%d/metrics "
+                "(also /healthz, /trace/start, /trace/stop)\n",
+                options.host.c_str(), server.metrics_port());
+  }
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleStopSignal);

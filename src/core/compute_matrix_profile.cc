@@ -1,6 +1,8 @@
 #include "core/compute_matrix_profile.h"
 
 #include "mp/stomp.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace valmod {
@@ -10,6 +12,7 @@ MatrixProfileWithLb ComputeMatrixProfileWithLb(std::span<const double> series,
                                                Index len, Index p,
                                                const Deadline& deadline) {
   VALMOD_CHECK(p >= 1);
+  const obs::TraceSpan span("compute_matrix_profile");
   const Index n_sub = NumSubsequences(static_cast<Index>(series.size()), len);
   MatrixProfileWithLb out;
   out.list_dp.resize(static_cast<std::size_t>(n_sub));
@@ -18,9 +21,10 @@ MatrixProfileWithLb ComputeMatrixProfileWithLb(std::span<const double> series,
   const StompRowObserver observer = [&](Index row, std::span<const double> qt,
                                         std::span<const double> profile) {
     out.list_dp[static_cast<std::size_t>(row)] =
-        HarvestProfile(row, len, p, qt, profile, stats);
+        HarvestProfile(row, len, p, qt, profile, stats, &out.heap_updates);
   };
   out.profile = Stomp(series, stats, len, observer, deadline, &out.dnf);
+  obs::Counters::RecordFullProfilePass(n_sub, out.heap_updates);
   return out;
 }
 

@@ -16,6 +16,9 @@ namespace valmod {
 struct MatrixProfileWithLb {
   MatrixProfile profile;
   ListDp list_dp;
+  /// Successful listDP heap insertions across all harvested rows (the
+  /// Algorithm 3 bookkeeping cost surfaced by obs::Counters).
+  Index heap_updates = 0;
   /// Set when the deadline expired; the profile is then incomplete.
   bool dnf = false;
 };

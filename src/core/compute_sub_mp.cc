@@ -5,6 +5,8 @@
 
 #include "core/lower_bound.h"
 #include "mp/distance_profile.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
 #include "signal/distance.h"
 #include "signal/sliding_dot.h"
 #include "signal/znorm.h"
@@ -75,6 +77,7 @@ SubMpResult ComputeSubMp(std::span<const double> series,
                          Index new_len, Index p, const SubMpOptions& options,
                          const Deadline& deadline,
                          SubMpDiagnostics* diagnostics) {
+  const obs::TraceSpan span("submp_length_update");
   const Index n = static_cast<Index>(series.size());
   const Index n_sub_new = NumSubsequences(n, new_len);
   VALMOD_CHECK(n_sub_new >= 1);
@@ -127,7 +130,9 @@ SubMpResult ComputeSubMp(std::span<const double> series,
   // Global certification: every non-valid profile's true minimum is at least
   // its maxLB, hence at least minLbAbs; if the best certified distance beats
   // that, it is the exact motif distance for this length.
+  result.min_lb_abs = min_lb_abs;
   result.best_motif_found = result.min_dist_abs < min_lb_abs;
+  const Index certified_from_bounds = result.valid_count;
 
   // "Last opportunity" (lines 27-38): recompute just the non-valid profiles
   // that could still hide a better pair, instead of a full STOMP pass.
@@ -136,6 +141,7 @@ SubMpResult ComputeSubMp(std::span<const double> series,
       static_cast<double>(non_valid.size()) <
           options.selective_fraction * static_cast<double>(n_sub_new);
   if (!result.best_motif_found && selective_allowed) {
+    const obs::TraceSpan recompute_span("submp_selective_recompute");
     for (const auto& [owner, max_lb] : non_valid) {
       if (deadline.Expired()) {
         result.dnf = true;
@@ -151,8 +157,8 @@ SubMpResult ComputeSubMp(std::span<const double> series,
       const Index arg = ArgMin(dist_row);
       ++result.recomputed_count;
       // Re-base the profile's retained entries at new_len (line 34).
-      list_dp[static_cast<std::size_t>(owner)] =
-          HarvestProfile(owner, new_len, p, qt_row, dist_row, stats);
+      list_dp[static_cast<std::size_t>(owner)] = HarvestProfile(
+          owner, new_len, p, qt_row, dist_row, stats, &result.heap_updates);
       if (arg == kNoNeighbor) continue;
       const double row_min = dist_row[static_cast<std::size_t>(arg)];
       result.sub_mp[static_cast<std::size_t>(owner)] = row_min;
@@ -171,6 +177,18 @@ SubMpResult ComputeSubMp(std::span<const double> series,
     // true minimum cannot beat the final answer: the motif is certified.
     result.best_motif_found = true;
   }
+  // Pruning accounting for the observability layer. "Recomputed" counts the
+  // profiles the selective pass salvaged into validity, so certified +
+  // recomputed == valid_count holds exactly (a conservation law the tests
+  // assert); the ratio sample is Algorithm 4's minDistABS / minLbAbs.
+  const double tightness =
+      (result.min_dist_abs != kInf && min_lb_abs != kInf && min_lb_abs > 0.0)
+          ? result.min_dist_abs / min_lb_abs
+          : -1.0;
+  obs::Counters::RecordSubMpLength(
+      certified_from_bounds, result.valid_count - certified_from_bounds,
+      n_sub_new - result.valid_count, result.best_motif_found,
+      result.heap_updates, tightness);
   return result;
 }
 

@@ -48,6 +48,14 @@ struct SubMpResult {
   double min_dist_abs = kInf;
   Index min_owner = kNoNeighbor;
   Index min_neighbor = kNoNeighbor;
+  /// minLbAbs of Algorithm 4 line 14: the smallest pruning threshold among
+  /// the profiles not certified by the main update loop (kInf when every
+  /// profile certified). min_dist_abs / min_lb_abs is the bound-tightness
+  /// ratio surfaced by obs::Counters.
+  double min_lb_abs = kInf;
+  /// Successful listDP heap insertions performed by the selective-recompute
+  /// re-harvests.
+  Index heap_updates = 0;
   /// Deadline expired mid-computation.
   bool dnf = false;
 };

@@ -18,8 +18,10 @@ double ProfileLbState::MaxLowerBound(const PrefixStats& stats,
 ProfileLbState HarvestProfile(Index owner, Index len, Index p,
                               std::span<const double> qt_row,
                               std::span<const double> dist_row,
-                              const PrefixStats& stats) {
+                              const PrefixStats& stats,
+                              Index* heap_updates) {
   VALMOD_CHECK(qt_row.size() == dist_row.size());
+  Index updates = 0;
   ProfileLbState state;
   state.owner = owner;
   state.base_len = len;
@@ -44,12 +46,13 @@ ProfileLbState HarvestProfile(Index owner, Index len, Index p,
     entry.neighbor = j;
     entry.qt = qt_row[static_cast<std::size_t>(j)];
     entry.lb_base = std::sqrt(base_sq);
-    state.entries.Insert(entry);
+    if (state.entries.Insert(entry)) ++updates;
     if (state.entries.Full()) {
       const double m = state.entries.Max().lb_base;
       max_sq = m * m;
     }
   }
+  if (heap_updates != nullptr) *heap_updates += updates;
   return state;
 }
 

@@ -74,11 +74,14 @@ using ListDp = std::vector<ProfileLbState>;
 ///
 /// `qt_row[j]` is dot(T_owner, T_j) at length `len`; `dist_row[j]` the
 /// z-normalized distance (kInf marks trivial matches, which are skipped).
-/// Retains the `p` entries with the smallest Eq. 2 base bounds.
+/// Retains the `p` entries with the smallest Eq. 2 base bounds. When
+/// `heap_updates` is non-null it is incremented once per retained
+/// insertion (the listDP work metric surfaced by obs::Counters).
 ProfileLbState HarvestProfile(Index owner, Index len, Index p,
                               std::span<const double> qt_row,
                               std::span<const double> dist_row,
-                              const PrefixStats& stats);
+                              const PrefixStats& stats,
+                              Index* heap_updates = nullptr);
 
 }  // namespace valmod
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "core/compute_matrix_profile.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
 #include "signal/znorm.h"
 #include "util/check.h"
 #include "util/prefix_stats.h"
@@ -40,6 +42,7 @@ MotifPair ValmodResult::BestOverall() const {
 
 ValmodResult RunValmod(std::span<const double> series,
                        const ValmodOptions& options) {
+  const obs::TraceSpan span("valmod_run");
   const Index n = static_cast<Index>(series.size());
   VALMOD_CHECK(options.len_min >= 4);
   VALMOD_CHECK(options.len_max >= options.len_min);
@@ -68,10 +71,14 @@ ValmodResult RunValmod(std::span<const double> series,
   UpdateValmp(result.valmp, base.profile.distances, base.profile.indices,
               options.len_min);
   result.per_length_motifs.push_back(MotifFromProfile(base.profile));
-  result.length_stats.push_back(LengthStats{
-      options.len_min, base.profile.size(), base.profile.size(),
-      /*used_full_recompute=*/true, /*selective_recomputes=*/0,
-      timer.Seconds()});
+  LengthStats base_stats;
+  base_stats.length = options.len_min;
+  base_stats.n_profiles = base.profile.size();
+  base_stats.valid_count = base.profile.size();
+  base_stats.used_full_recompute = true;
+  base_stats.heap_updates = base.heap_updates;
+  base_stats.seconds = timer.Seconds();
+  result.length_stats.push_back(base_stats);
   if (options.emit_per_length_profiles) {
     result.per_length_profiles.push_back(base.profile);
   }
@@ -98,9 +105,14 @@ ValmodResult RunValmod(std::span<const double> series,
                   len);
       result.per_length_motifs.push_back(MotifFromProfile(full.profile));
       result.per_length_profiles.push_back(std::move(full.profile));
-      result.length_stats.push_back(
-          LengthStats{len, NumSubsequences(n, len), NumSubsequences(n, len),
-                      true, 0, timer.Seconds()});
+      LengthStats full_stats;
+      full_stats.length = len;
+      full_stats.n_profiles = NumSubsequences(n, len);
+      full_stats.valid_count = full_stats.n_profiles;
+      full_stats.used_full_recompute = true;
+      full_stats.heap_updates = full.heap_updates;
+      full_stats.seconds = timer.Seconds();
+      result.length_stats.push_back(full_stats);
       continue;
     }
 
@@ -116,12 +128,17 @@ ValmodResult RunValmod(std::span<const double> series,
     ls.n_profiles = NumSubsequences(n, len);
     ls.valid_count = sub.valid_count;
     ls.selective_recomputes = sub.recomputed_count;
+    ls.min_dist_abs = sub.min_dist_abs;
+    ls.min_lb_abs = sub.min_lb_abs;
+    ls.heap_updates = sub.heap_updates;
     if (sub.best_motif_found) {
       UpdateValmp(result.valmp, sub.sub_mp, sub.ip, len);
       result.per_length_motifs.push_back(MotifFromSubMp(sub, len));
     } else {
       // Rare: the bounds could not certify the motif; recompute the full
       // matrix profile for this length and re-base listDP (line 13).
+      const obs::TraceSpan fallback_span("valmod_full_fallback");
+      obs::Counters::RecordValmodFallback();
       MatrixProfileWithLb full = ComputeMatrixProfileWithLb(
           series, stats, len, options.p, options.deadline);
       ++result.full_mp_computations;
@@ -135,6 +152,7 @@ ValmodResult RunValmod(std::span<const double> series,
       result.per_length_motifs.push_back(MotifFromProfile(full.profile));
       ls.used_full_recompute = true;
       ls.valid_count = ls.n_profiles;
+      ls.heap_updates += full.heap_updates;
     }
     ls.seconds = timer.Seconds();
     result.length_stats.push_back(ls);

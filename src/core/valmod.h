@@ -45,6 +45,14 @@ struct LengthStats {
   bool used_full_recompute = false;
   /// Profiles recomputed by Algorithm 4's selective fallback.
   Index selective_recomputes = 0;
+  /// Best certified distance at this length (Algorithm 4's minDistABS;
+  /// kInf on full-recompute lengths where the quantity is not defined).
+  double min_dist_abs = kInf;
+  /// Smallest pruning threshold among non-certified profiles (Algorithm 4's
+  /// minLbAbs; kInf when every profile certified or on full recomputes).
+  double min_lb_abs = kInf;
+  /// Successful listDP heap insertions attributable to this length.
+  Index heap_updates = 0;
   double seconds = 0.0;
 };
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "mp/stomp_kernel.h"
+#include "obs/trace.h"
 #include "signal/sliding_dot.h"
 #include "signal/znorm.h"
 #include "util/check.h"
@@ -15,6 +16,7 @@ namespace valmod {
 MatrixProfile ParallelStomp(std::span<const double> series,
                             const PrefixStats& stats, Index len,
                             int threads) {
+  const obs::TraceSpan span("parallel_stomp_pass");
   const Index n = static_cast<Index>(series.size());
   VALMOD_CHECK(len >= 2 && n >= len + 1);
   const Index n_sub = NumSubsequences(n, len);

@@ -5,6 +5,7 @@
 
 #include "mp/matrix_profile.h"
 #include "mp/stomp_kernel.h"
+#include "obs/trace.h"
 #include "signal/sliding_dot.h"
 #include "signal/znorm.h"
 #include "util/check.h"
@@ -14,6 +15,7 @@ namespace valmod {
 MatrixProfile Stomp(std::span<const double> series, const PrefixStats& stats,
                     Index len, const StompRowObserver& observer,
                     const Deadline& deadline, bool* out_dnf) {
+  const obs::TraceSpan span("stomp_pass");
   const Index n = static_cast<Index>(series.size());
   VALMOD_CHECK(len >= 2 && n >= len + 1);
   const Index n_sub = NumSubsequences(n, len);

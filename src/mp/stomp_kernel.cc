@@ -4,6 +4,8 @@
 
 #include "mp/distance_profile.h"
 #include "mp/matrix_profile.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
 #include "signal/distance.h"
 #include "signal/sliding_dot.h"
 
@@ -18,6 +20,8 @@ bool StompProcessRows(std::span<const double> series,
                       const Deadline& deadline) {
   const Index n_sub = static_cast<Index>(col_stats.size());
   if (row_begin >= row_end) return true;
+  const obs::TraceSpan span("stomp_row_chunk");
+  obs::Counters::RecordStompChunk(row_end - row_begin);
   std::vector<double> qt = SlidingDotProduct(
       series.subspan(static_cast<std::size_t>(row_begin),
                      static_cast<std::size_t>(len)),

@@ -1,0 +1,61 @@
+#include "obs/chrome_trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace valmod {
+namespace obs {
+
+namespace {
+
+// Span names are lint-enforced snake_case literals, so no JSON escaping is
+// needed; defend anyway against a rogue literal reaching a viewer.
+void AppendEscaped(std::string* out, const char* text) {
+  for (const char* p = text; *p != '\0'; ++p) {
+    const char c = *p;
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      out->append(buffer);
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const std::vector<TraceEvent>& events) {
+  std::string out;
+  out.reserve(events.size() * 96 + 64);
+  out.append("{\"traceEvents\":[");
+  bool first = true;
+  for (const TraceEvent& event : events) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append("{\"name\":\"");
+    AppendEscaped(&out, event.name == nullptr ? "" : event.name);
+    char buffer[160];
+    // trace_event times are microseconds; keep nanosecond precision with
+    // three decimals so adjacent spans never collapse to zero width.
+    std::snprintf(buffer, sizeof(buffer),
+                  "\",\"ph\":\"X\",\"pid\":1,\"tid\":%u,"
+                  "\"ts\":%" PRId64 ".%03d,\"dur\":%" PRId64 ".%03d,"
+                  "\"args\":{\"depth\":%d}}",
+                  event.tid, event.start_ns / 1000,
+                  static_cast<int>(((event.start_ns % 1000) + 1000) % 1000),
+                  event.dur_ns / 1000,
+                  static_cast<int>(((event.dur_ns % 1000) + 1000) % 1000),
+                  event.depth);
+    out.append(buffer);
+  }
+  out.append("],\"displayTimeUnit\":\"ms\"}");
+  return out;
+}
+
+}  // namespace obs
+}  // namespace valmod

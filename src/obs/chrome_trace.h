@@ -1,0 +1,22 @@
+#ifndef VALMOD_OBS_CHROME_TRACE_H_
+#define VALMOD_OBS_CHROME_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace valmod {
+namespace obs {
+
+/// Renders collected spans as Chrome trace_event JSON: an object with a
+/// "traceEvents" array of phase-"X" (complete) events, one per span, with
+/// microsecond ts/dur and the span depth under "args". The output loads in
+/// chrome://tracing and Perfetto. Deterministic: events render in input
+/// order, numbers with fixed formatting.
+std::string ChromeTraceJson(const std::vector<TraceEvent>& events);
+
+}  // namespace obs
+}  // namespace valmod
+
+#endif  // VALMOD_OBS_CHROME_TRACE_H_

@@ -1,0 +1,125 @@
+#include "obs/counters.h"
+
+#include <atomic>
+
+namespace valmod {
+namespace obs {
+
+double CountersSnapshot::MeanLbTightness() const {
+  if (lb_tightness_samples <= 0) return 0.0;
+  return static_cast<double>(lb_tightness_ppm_sum) /
+         (1e6 * static_cast<double>(lb_tightness_samples));
+}
+
+namespace {
+
+struct CounterCells {
+  std::atomic<std::int64_t> mp_profiles_full_stomp{0};
+  std::atomic<std::int64_t> submp_profiles_certified{0};
+  std::atomic<std::int64_t> submp_profiles_recomputed{0};
+  std::atomic<std::int64_t> submp_profiles_uncertified{0};
+  std::atomic<std::int64_t> submp_lengths_certified{0};
+  std::atomic<std::int64_t> submp_lengths_total{0};
+  std::atomic<std::int64_t> valmod_full_fallbacks{0};
+  std::atomic<std::int64_t> listdp_heap_updates{0};
+  std::atomic<std::int64_t> stomp_rows{0};
+  std::atomic<std::int64_t> stomp_chunks{0};
+  std::atomic<std::int64_t> lb_tightness_ppm_sum{0};
+  std::atomic<std::int64_t> lb_tightness_samples{0};
+};
+
+CounterCells& Cells() {
+  static CounterCells cells;
+  return cells;
+}
+
+void Add(std::atomic<std::int64_t>& cell, std::int64_t value) {
+  if (value != 0) cell.fetch_add(value, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void Counters::RecordFullProfilePass(std::int64_t profiles,
+                                     std::int64_t heap_updates) {
+  CounterCells& cells = Cells();
+  Add(cells.mp_profiles_full_stomp, profiles);
+  Add(cells.listdp_heap_updates, heap_updates);
+}
+
+void Counters::RecordSubMpLength(std::int64_t certified,
+                                 std::int64_t recomputed,
+                                 std::int64_t uncertified, bool motif_certified,
+                                 std::int64_t heap_updates,
+                                 double tightness_ratio) {
+  CounterCells& cells = Cells();
+  Add(cells.submp_profiles_certified, certified);
+  Add(cells.submp_profiles_recomputed, recomputed);
+  Add(cells.submp_profiles_uncertified, uncertified);
+  cells.submp_lengths_total.fetch_add(1, std::memory_order_relaxed);
+  if (motif_certified) {
+    cells.submp_lengths_certified.fetch_add(1, std::memory_order_relaxed);
+  }
+  Add(cells.listdp_heap_updates, heap_updates);
+  if (tightness_ratio >= 0.0) {
+    Add(cells.lb_tightness_ppm_sum,
+        static_cast<std::int64_t>(tightness_ratio * 1e6 + 0.5));
+    cells.lb_tightness_samples.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Counters::RecordStompChunk(std::int64_t rows) {
+  CounterCells& cells = Cells();
+  Add(cells.stomp_rows, rows);
+  cells.stomp_chunks.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Counters::RecordValmodFallback() {
+  Cells().valmod_full_fallbacks.fetch_add(1, std::memory_order_relaxed);
+}
+
+CountersSnapshot Counters::Snapshot() {
+  CounterCells& cells = Cells();
+  CountersSnapshot snapshot;
+  snapshot.mp_profiles_full_stomp =
+      cells.mp_profiles_full_stomp.load(std::memory_order_relaxed);
+  snapshot.submp_profiles_certified =
+      cells.submp_profiles_certified.load(std::memory_order_relaxed);
+  snapshot.submp_profiles_recomputed =
+      cells.submp_profiles_recomputed.load(std::memory_order_relaxed);
+  snapshot.submp_profiles_uncertified =
+      cells.submp_profiles_uncertified.load(std::memory_order_relaxed);
+  snapshot.submp_lengths_certified =
+      cells.submp_lengths_certified.load(std::memory_order_relaxed);
+  snapshot.submp_lengths_total =
+      cells.submp_lengths_total.load(std::memory_order_relaxed);
+  snapshot.valmod_full_fallbacks =
+      cells.valmod_full_fallbacks.load(std::memory_order_relaxed);
+  snapshot.listdp_heap_updates =
+      cells.listdp_heap_updates.load(std::memory_order_relaxed);
+  snapshot.stomp_rows = cells.stomp_rows.load(std::memory_order_relaxed);
+  snapshot.stomp_chunks = cells.stomp_chunks.load(std::memory_order_relaxed);
+  snapshot.lb_tightness_ppm_sum =
+      cells.lb_tightness_ppm_sum.load(std::memory_order_relaxed);
+  snapshot.lb_tightness_samples =
+      cells.lb_tightness_samples.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+void Counters::Reset() {
+  CounterCells& cells = Cells();
+  cells.mp_profiles_full_stomp.store(0, std::memory_order_relaxed);
+  cells.submp_profiles_certified.store(0, std::memory_order_relaxed);
+  cells.submp_profiles_recomputed.store(0, std::memory_order_relaxed);
+  cells.submp_profiles_uncertified.store(0, std::memory_order_relaxed);
+  cells.submp_lengths_certified.store(0, std::memory_order_relaxed);
+  cells.submp_lengths_total.store(0, std::memory_order_relaxed);
+  cells.valmod_full_fallbacks.store(0, std::memory_order_relaxed);
+  cells.listdp_heap_updates.store(0, std::memory_order_relaxed);
+  cells.stomp_rows.store(0, std::memory_order_relaxed);
+  cells.stomp_chunks.store(0, std::memory_order_relaxed);
+  cells.lb_tightness_ppm_sum.store(0, std::memory_order_relaxed);
+  cells.lb_tightness_samples.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace obs
+}  // namespace valmod

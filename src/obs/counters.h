@@ -1,0 +1,94 @@
+#ifndef VALMOD_OBS_COUNTERS_H_
+#define VALMOD_OBS_COUNTERS_H_
+
+#include <cstdint>
+
+namespace valmod {
+namespace obs {
+
+/// A point-in-time copy of the process-wide algorithm counters (see
+/// Counters). Field names match the Prometheus series the service exports
+/// (prefixed valmod_). The counter glossary in docs/OBSERVABILITY.md maps
+/// each field to the VALMOD paper's Algorithm 3/4 lines.
+struct CountersSnapshot {
+  /// Distance profiles computed by a full STOMP pass (Algorithm 3 and any
+  /// full-recompute fallback lengths in Algorithm 1).
+  std::int64_t mp_profiles_full_stomp = 0;
+  /// Sub-MP entries certified from the listDP lower bounds alone
+  /// (Algorithm 4 lines 7-12: minDist <= maxLB, no recompute needed).
+  std::int64_t submp_profiles_certified = 0;
+  /// Sub-MP entries salvaged by the selective "last opportunity" recompute
+  /// (Algorithm 4 lines 17-21).
+  std::int64_t submp_profiles_recomputed = 0;
+  /// Sub-MP entries left non-valid after update + recompute.
+  std::int64_t submp_profiles_uncertified = 0;
+  /// ComputeSubMp calls whose best motif was certified without a full pass
+  /// (Algorithm 4 line 14: minDistABS < minLbAbs).
+  std::int64_t submp_lengths_certified = 0;
+  /// Total ComputeSubMp calls.
+  std::int64_t submp_lengths_total = 0;
+  /// Lengths where RunValmod fell back to a full STOMP recompute because
+  /// the sub-MP could not certify the motif (Algorithm 1 line 10).
+  std::int64_t valmod_full_fallbacks = 0;
+  /// Successful listDP bounded-heap insertions across harvest passes.
+  std::int64_t listdp_heap_updates = 0;
+  /// Rows processed by the STOMP kernel (each = one distance profile).
+  std::int64_t stomp_rows = 0;
+  /// Fixed-grid chunks processed by the STOMP kernel.
+  std::int64_t stomp_chunks = 0;
+  /// Sum of per-length tightness ratios minDistABS/minLbAbs in parts per
+  /// million (ratio <= 1 when the bound certifies; see MeanLbTightness).
+  std::int64_t lb_tightness_ppm_sum = 0;
+  /// Number of finite tightness samples in lb_tightness_ppm_sum.
+  std::int64_t lb_tightness_samples = 0;
+
+  /// Mean lower-bound tightness ratio minDistABS/minLbAbs across sampled
+  /// lengths, or 0 when no finite sample was recorded. Values near 1 mean
+  /// the bound is tight; small values mean loose bounds.
+  double MeanLbTightness() const;
+};
+
+/// Process-wide algorithm counters behind the observability layer: the
+/// pruning statistics of Algorithms 3/4 (certified vs recomputed vs
+/// fallback profiles, heap updates, bound tightness) plus kernel row
+/// counts. All recorders are lock-free relaxed atomics, callable from any
+/// thread; the core layer batches locally and records once per pass so the
+/// hot loops stay untouched.
+class Counters {
+ public:
+  /// Records one full STOMP profile pass harvesting `profiles` distance
+  /// profiles with `heap_updates` successful listDP insertions.
+  static void RecordFullProfilePass(std::int64_t profiles,
+                                    std::int64_t heap_updates);
+
+  /// Records one ComputeSubMp call: `certified` entries valid from bounds
+  /// alone, `recomputed` salvaged selectively, `uncertified` left invalid;
+  /// `motif_certified` is the Algorithm 4 line 14 outcome;
+  /// `tightness_ratio` is minDistABS/minLbAbs (pass a negative value when
+  /// not finite to skip the sample).
+  static void RecordSubMpLength(std::int64_t certified,
+                                std::int64_t recomputed,
+                                std::int64_t uncertified, bool motif_certified,
+                                std::int64_t heap_updates,
+                                double tightness_ratio);
+
+  /// Records one processed STOMP kernel chunk of `rows` rows.
+  static void RecordStompChunk(std::int64_t rows);
+
+  /// Records one full-STOMP fallback taken by RunValmod for an
+  /// uncertified length.
+  static void RecordValmodFallback();
+
+  /// Returns a consistent-enough copy of all counters (each field is an
+  /// independent relaxed load).
+  static CountersSnapshot Snapshot();
+
+  /// Resets every counter to zero. Test-only: racing recorders may survive
+  /// into the zeroed state.
+  static void Reset();
+};
+
+}  // namespace obs
+}  // namespace valmod
+
+#endif  // VALMOD_OBS_COUNTERS_H_

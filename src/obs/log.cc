@@ -1,0 +1,150 @@
+#include "obs/log.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <mutex>
+#include <utility>
+
+namespace valmod {
+namespace obs {
+
+namespace {
+
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarn)};
+
+struct SinkState {
+  std::mutex mutex;
+  std::function<void(const std::string&)> sink;
+};
+
+SinkState& Sink() {
+  static SinkState state;
+  return state;
+}
+
+void Emit(const std::string& line) {
+  SinkState& state = Sink();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  if (state.sink) {
+    state.sink(line);
+    return;
+  }
+  std::fprintf(stderr, "%s\n", line.c_str());
+}
+
+void AppendEscaped(std::string* out, std::string_view value) {
+  for (const char c : value) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      out->append(buffer);
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+void Log::SetMinLevel(LogLevel level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel Log::min_level() {
+  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+void Log::SetSink(std::function<void(const std::string&)> sink) {
+  SinkState& state = Sink();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.sink = std::move(sink);
+}
+
+LogEvent::LogEvent(LogLevel level, const char* event)
+    : enabled_(static_cast<int>(level) >=
+               g_min_level.load(std::memory_order_relaxed)) {
+  if (!enabled_) return;
+  line_.reserve(128);
+  line_.append("{\"level\":\"");
+  line_.append(LogLevelName(level));
+  line_.append("\",\"event\":\"");
+  AppendEscaped(&line_, event);
+  line_.push_back('"');
+}
+
+LogEvent::~LogEvent() {
+  if (!enabled_) return;
+  line_.push_back('}');
+  Emit(line_);
+}
+
+void LogEvent::AppendKey(const char* key) {
+  line_.append(",\"");
+  line_.append(key);
+  line_.append("\":");
+}
+
+LogEvent& LogEvent::Str(const char* key, std::string_view value) {
+  if (!enabled_) return *this;
+  AppendKey(key);
+  line_.push_back('"');
+  AppendEscaped(&line_, value);
+  line_.push_back('"');
+  return *this;
+}
+
+LogEvent& LogEvent::Int(const char* key, std::int64_t value) {
+  if (!enabled_) return *this;
+  AppendKey(key);
+  line_.append(std::to_string(value));
+  return *this;
+}
+
+LogEvent& LogEvent::Num(const char* key, double value) {
+  if (!enabled_) return *this;
+  AppendKey(key);
+  if (!std::isfinite(value)) {
+    line_.append("null");
+    return *this;
+  }
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  line_.append(buffer);
+  return *this;
+}
+
+LogEvent& LogEvent::Bool(const char* key, bool value) {
+  if (!enabled_) return *this;
+  AppendKey(key);
+  line_.append(value ? "true" : "false");
+  return *this;
+}
+
+LogEvent& LogEvent::Raw(const char* key, std::string_view json) {
+  if (!enabled_) return *this;
+  AppendKey(key);
+  line_.append(json);
+  return *this;
+}
+
+}  // namespace obs
+}  // namespace valmod

@@ -1,0 +1,85 @@
+#ifndef VALMOD_OBS_LOG_H_
+#define VALMOD_OBS_LOG_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace valmod {
+namespace obs {
+
+/// Structured-log severity, ordered so numeric comparison is a threshold.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+};
+
+/// The level's lowercase name ("debug", "info", "warn", "error").
+const char* LogLevelName(LogLevel level);
+
+/// Process-wide structured-logging configuration: a minimum level (events
+/// below it are discarded at build time, default kWarn so libraries stay
+/// quiet) and an optional sink override for tests and embedders (default
+/// sink writes one line to stderr). Thread-safe.
+class Log {
+ public:
+  /// Sets the minimum emitted level.
+  static void SetMinLevel(LogLevel level);
+
+  /// Current minimum emitted level.
+  static LogLevel min_level();
+
+  /// Replaces the output sink; each call receives one complete JSON line
+  /// (no trailing newline). Pass nullptr to restore the stderr sink.
+  static void SetSink(std::function<void(const std::string&)> sink);
+};
+
+/// Builder for one structured JSON log line, emitted on destruction:
+///
+///   obs::LogEvent(obs::LogLevel::kWarn, "slow_query")
+///       .Str("dataset", name).Int("n", n).Num("elapsed_us", us);
+///
+/// renders {"level":"warn","event":"slow_query","dataset":...}. Events
+/// below Log::min_level() skip all formatting. Field keys must be JSON-safe
+/// literals; string values are escaped.
+class LogEvent {
+ public:
+  /// Starts an event named `event` (a literal tag, not free text).
+  LogEvent(LogLevel level, const char* event);
+
+  /// Emits the line to the configured sink (unless below the threshold).
+  ~LogEvent();
+
+  LogEvent(const LogEvent&) = delete;
+  LogEvent& operator=(const LogEvent&) = delete;
+
+  /// Adds an escaped string field.
+  LogEvent& Str(const char* key, std::string_view value);
+
+  /// Adds an integer field.
+  LogEvent& Int(const char* key, std::int64_t value);
+
+  /// Adds a numeric field (%.6g; NaN/Inf render as null).
+  LogEvent& Num(const char* key, double value);
+
+  /// Adds a boolean field.
+  LogEvent& Bool(const char* key, bool value);
+
+  /// Adds a pre-rendered JSON value verbatim; `json` must be valid JSON.
+  LogEvent& Raw(const char* key, std::string_view json);
+
+ private:
+  /// Appends `,"key":` to the pending line.
+  void AppendKey(const char* key);
+
+  std::string line_;
+  bool enabled_;
+};
+
+}  // namespace obs
+}  // namespace valmod
+
+#endif  // VALMOD_OBS_LOG_H_

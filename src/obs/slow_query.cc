@@ -1,0 +1,62 @@
+#include "obs/slow_query.h"
+
+#include <cstdio>
+
+#include "obs/log.h"
+
+namespace valmod {
+namespace obs {
+
+SlowQueryLog::SlowQueryLog(double threshold_ms)
+    : threshold_ms_(threshold_ms) {}
+
+bool SlowQueryLog::MaybeLog(const SlowQueryRecord& record,
+                            const StageRecorder& stages) const {
+  if (disabled()) return false;
+  if (record.elapsed_us <= threshold_ms_ * 1e3) return false;
+  LogEvent event(LogLevel::kWarn, "slow_query");
+  event.Str("type", record.query_type)
+      .Str("dataset", record.dataset)
+      .Int("n", record.n)
+      .Int("len_min", record.len_min)
+      .Int("len_max", record.len_max)
+      .Int("p", record.p)
+      .Int("k", record.k)
+      .Int("priority", record.priority)
+      .Bool("cached", record.cached)
+      .Bool("ok", record.ok)
+      .Num("elapsed_us", record.elapsed_us)
+      .Num("threshold_ms", threshold_ms_);
+  if (!record.ok) event.Str("error_code", record.error_code);
+  event.Raw("stages", StagesJson(stages));
+  return true;
+}
+
+std::string StagesJson(const StageRecorder& stages) {
+  std::string out;
+  out.reserve(stages.stages().size() * 48 + 16);
+  out.push_back('[');
+  bool first = true;
+  for (const StageRecord& stage : stages.stages()) {
+    if (!first) out.push_back(',');
+    first = false;
+    char buffer[96];
+    std::snprintf(buffer, sizeof(buffer),
+                  "{\"stage\":\"%s\",\"us\":%.3f,\"depth\":%d}",
+                  stage.name == nullptr ? "" : stage.name, stage.dur_us,
+                  stage.depth);
+    out.append(buffer);
+  }
+  if (stages.dropped() > 0) {
+    if (!first) out.push_back(',');
+    char buffer[48];
+    std::snprintf(buffer, sizeof(buffer), "{\"dropped\":%zu}",
+                  stages.dropped());
+    out.append(buffer);
+  }
+  out.push_back(']');
+  return out;
+}
+
+}  // namespace obs
+}  // namespace valmod

@@ -1,0 +1,65 @@
+#ifndef VALMOD_OBS_SLOW_QUERY_H_
+#define VALMOD_OBS_SLOW_QUERY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "obs/trace.h"
+
+namespace valmod {
+namespace obs {
+
+/// Everything the slow-query log reports about one request: the query
+/// parameters, its outcome, total latency, and the stage timings captured
+/// by the request's StageRecorder (the flattened span tree).
+struct SlowQueryRecord {
+  std::string query_type;
+  std::string dataset;
+  std::int64_t n = 0;
+  std::int64_t len_min = 0;
+  std::int64_t len_max = 0;
+  std::int64_t p = 0;
+  std::int64_t k = 0;
+  int priority = 0;
+  bool cached = false;
+  bool ok = true;
+  std::string error_code;
+  double elapsed_us = 0.0;
+};
+
+/// Threshold-gated structured slow-query log. Requests slower than the
+/// configured threshold emit one kWarn "slow_query" JSON line with the
+/// query parameters and the request's stage timings. A threshold <= 0
+/// disables logging entirely. Thread-safe (stateless besides the
+/// immutable threshold).
+class SlowQueryLog {
+ public:
+  /// Creates a log that fires for requests taking longer than
+  /// `threshold_ms` milliseconds (<= 0 disables).
+  explicit SlowQueryLog(double threshold_ms);
+
+  /// Logs `record` (with `stages` rendered as a JSON array) if its
+  /// elapsed_us exceeds the threshold; returns true when a line was
+  /// emitted.
+  bool MaybeLog(const SlowQueryRecord& record,
+                const StageRecorder& stages) const;
+
+  /// The configured threshold in milliseconds.
+  double threshold_ms() const { return threshold_ms_; }
+
+  /// True when the threshold disables logging.
+  bool disabled() const { return threshold_ms_ <= 0.0; }
+
+ private:
+  double threshold_ms_;
+};
+
+/// Renders a StageRecorder as a JSON array of {"stage","us","depth"}
+/// objects (plus a trailing {"dropped":N} object when stages overflowed) —
+/// the "stages" payload of the slow-query line, also reusable by tools.
+std::string StagesJson(const StageRecorder& stages);
+
+}  // namespace obs
+}  // namespace valmod
+
+#endif  // VALMOD_OBS_SLOW_QUERY_H_

@@ -1,0 +1,200 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "obs/chrome_trace.h"
+
+namespace valmod {
+namespace obs {
+
+void StageRecorder::Add(const char* name, double dur_us, int depth) {
+  if (stages_.size() >= kMaxStages) {
+    ++dropped_;
+    return;
+  }
+  stages_.push_back(StageRecord{name, dur_us, depth});
+}
+
+namespace {
+
+thread_local StageRecorder* t_stage_sink = nullptr;
+thread_local std::int32_t t_span_depth = 0;
+// Span depth at sink install time; stage records report depth relative to
+// it, so a span wrapping the installer does not shift what gets recorded.
+thread_local std::int32_t t_sink_base_depth = 0;
+
+std::int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+#if VALMOD_TRACING_ENABLED
+
+// One buffer per thread that ever completed a span while a session was
+// active. The buffer is shared (shared_ptr) between the owning thread_local
+// slot and the global registry, so StopAndCollect can read buffers of
+// exited threads and exited threads cannot dangle the registry.
+struct ThreadBuffer {
+  std::mutex mutex;
+  // Events from the current session generation only; bounded by
+  // TraceSession::kMaxEventsPerThread (overflow counts as dropped).
+  std::vector<TraceEvent> events;
+  std::uint64_t generation = 0;
+  std::uint32_t tid = 0;
+};
+
+struct TraceGlobals {
+  std::atomic<bool> active{false};
+  std::atomic<std::int64_t> dropped{0};
+  std::atomic<std::uint64_t> generation{0};
+  std::atomic<std::int64_t> session_start_ns{0};
+  std::mutex registry_mutex;
+  // Registration order == first-span order == stable tid order.
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+};
+
+TraceGlobals& Globals() {
+  static TraceGlobals globals;
+  return globals;
+}
+
+ThreadBuffer& LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = []() {
+    auto fresh = std::make_shared<ThreadBuffer>();
+    TraceGlobals& globals = Globals();
+    std::lock_guard<std::mutex> lock(globals.registry_mutex);
+    fresh->tid = static_cast<std::uint32_t>(globals.buffers.size());
+    globals.buffers.push_back(fresh);
+    return fresh;
+  }();
+  return *buffer;
+}
+
+#endif  // VALMOD_TRACING_ENABLED
+
+}  // namespace
+
+ScopedStageSink::ScopedStageSink(StageRecorder* recorder)
+    : previous_(t_stage_sink), previous_base_(t_sink_base_depth) {
+  t_stage_sink = recorder;
+  t_sink_base_depth = t_span_depth;
+}
+
+ScopedStageSink::~ScopedStageSink() {
+  t_stage_sink = previous_;
+  t_sink_base_depth = previous_base_;
+}
+
+TraceSession& TraceSession::Global() {
+  static TraceSession session;
+  return session;
+}
+
+#if VALMOD_TRACING_ENABLED
+
+void TraceSession::Start() {
+  TraceGlobals& globals = Globals();
+  std::lock_guard<std::mutex> lock(globals.registry_mutex);
+  const std::uint64_t generation =
+      globals.generation.fetch_add(1, std::memory_order_relaxed) + 1;
+  globals.session_start_ns.store(NowNs(), std::memory_order_relaxed);
+  for (const std::shared_ptr<ThreadBuffer>& buffer : globals.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    buffer->events.clear();
+    buffer->generation = generation;
+  }
+  globals.active.store(true, std::memory_order_release);
+}
+
+std::vector<TraceEvent> TraceSession::StopAndCollect() {
+  TraceGlobals& globals = Globals();
+  std::vector<TraceEvent> collected;
+  std::lock_guard<std::mutex> lock(globals.registry_mutex);
+  globals.active.store(false, std::memory_order_release);
+  const std::uint64_t generation =
+      globals.generation.load(std::memory_order_relaxed);
+  for (const std::shared_ptr<ThreadBuffer>& buffer : globals.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    if (buffer->generation != generation) continue;
+    collected.insert(collected.end(), buffer->events.begin(),
+                     buffer->events.end());
+    buffer->events.clear();
+  }
+  return collected;
+}
+
+bool TraceSession::active() const {
+  return Globals().active.load(std::memory_order_acquire);
+}
+
+std::int64_t TraceSession::dropped_events() const {
+  return Globals().dropped.load(std::memory_order_relaxed);
+}
+
+TraceSpan::TraceSpan(const char* name) : name_(name) {
+  const bool session_active =
+      Globals().active.load(std::memory_order_relaxed);
+  if (!session_active && t_stage_sink == nullptr) return;
+  armed_ = true;
+  depth_ = t_span_depth++;
+  start_ns_ = NowNs();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!armed_) return;
+  const std::int64_t end_ns = NowNs();
+  --t_span_depth;
+  const std::int32_t sink_depth = depth_ - t_sink_base_depth;
+  if (t_stage_sink != nullptr && sink_depth >= 0 && sink_depth <= 1) {
+    t_stage_sink->Add(name_, static_cast<double>(end_ns - start_ns_) / 1e3,
+                      sink_depth);
+  }
+  TraceGlobals& globals = Globals();
+  if (!globals.active.load(std::memory_order_relaxed)) return;
+  ThreadBuffer& buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  // Threads whose buffer registered after Start() stamped the registry carry
+  // a stale generation; adopt the live session lazily on first event.
+  const std::uint64_t generation =
+      globals.generation.load(std::memory_order_relaxed);
+  if (buffer.generation != generation) {
+    buffer.events.clear();
+    buffer.generation = generation;
+  }
+  if (buffer.events.size() >= TraceSession::kMaxEventsPerThread) {
+    globals.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  TraceEvent event;
+  event.name = name_;
+  event.tid = buffer.tid;
+  event.depth = depth_;
+  event.start_ns =
+      start_ns_ - globals.session_start_ns.load(std::memory_order_relaxed);
+  event.dur_ns = end_ns - start_ns_;
+  buffer.events.push_back(event);
+}
+
+#else  // !VALMOD_TRACING_ENABLED
+
+void TraceSession::Start() {}
+
+std::vector<TraceEvent> TraceSession::StopAndCollect() { return {}; }
+
+bool TraceSession::active() const { return false; }
+
+std::int64_t TraceSession::dropped_events() const { return 0; }
+
+#endif  // VALMOD_TRACING_ENABLED
+
+std::string TraceSession::StopAndExportJson() {
+  return ChromeTraceJson(StopAndCollect());
+}
+
+}  // namespace obs
+}  // namespace valmod

@@ -1,0 +1,169 @@
+#ifndef VALMOD_OBS_TRACE_H_
+#define VALMOD_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+
+// Compile-time tracing gate. The build defines VALMOD_TRACING_ENABLED=0 when
+// configured with -DVALMOD_TRACING=OFF; consumers outside CMake default to
+// the instrumented build.
+#ifndef VALMOD_TRACING_ENABLED
+#define VALMOD_TRACING_ENABLED 1
+#endif
+
+namespace valmod {
+namespace obs {
+
+/// One completed span, collected by TraceSession::StopAndCollect. `name` is
+/// the span's string literal (TraceSpan requires literal names so events
+/// never dangle); `tid` is a dense per-session thread id in first-use
+/// order; `depth` the span's nesting level on its thread; times are
+/// nanoseconds relative to the session start.
+struct TraceEvent {
+  const char* name = nullptr;
+  std::uint32_t tid = 0;
+  std::int32_t depth = 0;
+  std::int64_t start_ns = 0;
+  std::int64_t dur_ns = 0;
+};
+
+/// A finished stage captured for the slow-query log: a flattened span-tree
+/// node (spans at relative depth 0 or 1 below the sink's install point).
+struct StageRecord {
+  const char* name = nullptr;
+  double dur_us = 0.0;
+  int depth = 0;
+};
+
+/// Per-request sink for span completions, independent of any global trace
+/// session: the query engine installs one around each request (on both the
+/// request thread and the executor worker), and the slow-query log renders
+/// the captured stages. Bounded: at most kMaxStages records are kept, the
+/// rest are counted as dropped.
+class StageRecorder {
+ public:
+  /// Capacity bound on recorded stages; overflow increments dropped().
+  static constexpr std::size_t kMaxStages = 128;
+
+  /// Appends one stage record (drops and counts beyond kMaxStages).
+  void Add(const char* name, double dur_us, int depth);
+
+  /// Stages recorded so far, in completion order.
+  const std::vector<StageRecord>& stages() const { return stages_; }
+
+  /// Number of stages dropped by the kMaxStages bound.
+  std::size_t dropped() const { return dropped_; }
+
+ private:
+  std::vector<StageRecord> stages_;
+  std::size_t dropped_ = 0;
+};
+
+/// RAII installer of a thread-local StageRecorder: spans completing on this
+/// thread while the sink is installed are mirrored into the recorder.
+/// Depths are relative to the install point, and only relative depths 0-1
+/// are recorded, so per-chunk kernel spans do not flood it. Nestable; the
+/// previous sink is restored on destruction. The recorder must outlive the
+/// scope. Spans feed the sink only when tracing is compiled in; manual
+/// StageRecorder::Add calls work either way.
+class ScopedStageSink {
+ public:
+  /// Installs `recorder` as this thread's stage sink.
+  explicit ScopedStageSink(StageRecorder* recorder);
+
+  /// Restores the previously installed sink.
+  ~ScopedStageSink();
+
+  ScopedStageSink(const ScopedStageSink&) = delete;
+  ScopedStageSink& operator=(const ScopedStageSink&) = delete;
+
+ private:
+  StageRecorder* previous_;
+  std::int32_t previous_base_;
+};
+
+/// The process-wide trace recorder. Start() arms span collection into
+/// per-thread buffers; StopAndCollect()/StopAndExportJson() disarm it and
+/// return every span completed during the session. One session at a time;
+/// Start() while active restarts (discarding buffered spans). All methods
+/// are thread-safe. When tracing is compiled out the session always
+/// collects zero events.
+class TraceSession {
+ public:
+  /// Per-thread event-buffer bound; spans beyond it are counted in
+  /// dropped_events() instead of buffered.
+  static constexpr std::size_t kMaxEventsPerThread = std::size_t{1} << 20;
+
+  /// The process-wide session singleton.
+  static TraceSession& Global();
+
+  /// Arms collection: clears all thread buffers and timestamps the session
+  /// start (span timestamps are relative to it).
+  void Start();
+
+  /// Disarms collection and returns the buffered events, grouped by thread
+  /// (threads in first-span order) and in completion order within each
+  /// thread — a deterministic sequence for single-threaded workloads.
+  std::vector<TraceEvent> StopAndCollect();
+
+  /// StopAndCollect() rendered as Chrome trace_event JSON
+  /// (obs/chrome_trace.h), loadable in chrome://tracing and Perfetto.
+  std::string StopAndExportJson();
+
+  /// True between Start() and Stop*().
+  bool active() const;
+
+  /// Events dropped by the per-thread buffer bound since process start.
+  std::int64_t dropped_events() const;
+};
+
+#if VALMOD_TRACING_ENABLED
+
+/// A RAII tracing span: construction timestamps the start, destruction
+/// records the completed span into the active TraceSession's thread-local
+/// buffer and/or the installed StageRecorder sink. `name` MUST be a string
+/// literal (it is stored by pointer), snake_case and unique per file
+/// (enforced by tools/lint_invariants.py, check `obs-span-names`). When
+/// neither a session nor a sink is active, construction is two
+/// thread-local/atomic loads and destruction is a branch. Compiled to an
+/// empty type with -DVALMOD_TRACING=OFF.
+class TraceSpan {
+ public:
+  /// Opens a span named `name` (string literal; see class comment).
+  explicit TraceSpan(const char* name);
+
+  /// Closes the span and records it if armed.
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  std::int64_t start_ns_ = 0;
+  std::int32_t depth_ = 0;
+  bool armed_ = false;
+};
+
+#else  // !VALMOD_TRACING_ENABLED
+
+/// Tracing compiled out: spans are empty objects with no members and no
+/// side effects, so the optimizer erases them entirely.
+class TraceSpan {
+ public:
+  /// No-op; the name is discarded at compile time.
+  explicit TraceSpan(const char*) {}
+};
+
+static_assert(sizeof(TraceSpan) == 1 && alignof(TraceSpan) == 1,
+              "tracing-off TraceSpan must compile to an empty object");
+
+#endif  // VALMOD_TRACING_ENABLED
+
+}  // namespace obs
+}  // namespace valmod
+
+#endif  // VALMOD_OBS_TRACE_H_

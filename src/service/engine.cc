@@ -8,6 +8,8 @@
 #include "core/ranking.h"
 #include "datasets/registry.h"
 #include "mp/parallel_stomp.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
 #include "service/fingerprint.h"
 #include "signal/znorm.h"
 #include "util/prefix_stats.h"
@@ -17,6 +19,7 @@ namespace valmod {
 
 QueryEngine::QueryEngine(const QueryEngineOptions& options)
     : options_(options),
+      slow_log_(options.slow_query_ms),
       cache_(options.cache_bytes, options.cache_shards),
       executor_(options.workers, options.queue_capacity) {
   metrics_.SetGauge("cache_bytes",
@@ -28,6 +31,41 @@ QueryEngine::QueryEngine(const QueryEngineOptions& options)
   metrics_.SetGauge("cache_oversize_rejects",
                     [this] { return cache_.oversize_rejects(); });
   metrics_.SetGauge("queue_depth", [this] { return executor_.queue_depth(); });
+  // The process-wide algorithm counters (obs::Counters) surface as gauges
+  // so both the STATS exposition and GET /metrics always carry the pruning
+  // statistics of Algorithms 3/4.
+  metrics_.SetGauge("mp_profiles_full_stomp", [] {
+    return obs::Counters::Snapshot().mp_profiles_full_stomp;
+  });
+  metrics_.SetGauge("submp_profiles_certified", [] {
+    return obs::Counters::Snapshot().submp_profiles_certified;
+  });
+  metrics_.SetGauge("submp_profiles_recomputed", [] {
+    return obs::Counters::Snapshot().submp_profiles_recomputed;
+  });
+  metrics_.SetGauge("submp_profiles_uncertified", [] {
+    return obs::Counters::Snapshot().submp_profiles_uncertified;
+  });
+  metrics_.SetGauge("submp_lengths_certified", [] {
+    return obs::Counters::Snapshot().submp_lengths_certified;
+  });
+  metrics_.SetGauge("submp_lengths_total", [] {
+    return obs::Counters::Snapshot().submp_lengths_total;
+  });
+  metrics_.SetGauge("full_stomp_fallbacks", [] {
+    return obs::Counters::Snapshot().valmod_full_fallbacks;
+  });
+  metrics_.SetGauge("listdp_heap_updates", [] {
+    return obs::Counters::Snapshot().listdp_heap_updates;
+  });
+  metrics_.SetGauge("stomp_rows",
+                    [] { return obs::Counters::Snapshot().stomp_rows; });
+  metrics_.SetGauge("stomp_chunks",
+                    [] { return obs::Counters::Snapshot().stomp_chunks; });
+  metrics_.SetGauge("lb_tightness_mean_ppm", [] {
+    return static_cast<std::int64_t>(
+        obs::Counters::Snapshot().MeanLbTightness() * 1e6);
+  });
 }
 
 QueryEngine::~QueryEngine() { Drain(); }
@@ -192,81 +230,139 @@ Response QueryEngine::Execute(const Request& request) {
     return response;
   }
 
-  Series storage;
-  std::span<const double> series;
-  Status status = ResolveSeries(request, &storage, &series);
-  if (status.ok())
-    status = ValidateRequest(request, static_cast<Index>(series.size()));
-  if (!status.ok()) {
-    metrics_.GetCounter("requests_invalid")->Increment();
-    Response response = Response::Error(request, status);
-    response.elapsed_us = timer.Seconds() * 1e6;
-    return response;
-  }
+  // Per-request stage capture: spans completing on this thread (and on the
+  // executor worker, which installs its own sink onto the same recorder)
+  // land in `stages` and feed the slow-query log. The worker's writes are
+  // published to this thread by the job mutex/cv handshake below.
+  obs::StageRecorder stages;
+  const obs::ScopedStageSink sink(&stages);
+  Response response;
+  {
+    const obs::TraceSpan span("service_execute");
 
-  const std::uint64_t fingerprint = SeriesFingerprint(series);
-  const CacheKey key{fingerprint, request.len_min, request.len_max, request.p,
-                     request.k};
-  const Deadline deadline = request.deadline_ms > 0
-                                ? Deadline::After(request.deadline_ms / 1e3)
-                                : Deadline();
-
-  CachedArtifact artifact;
-  bool cached = false;
-  if (!request.no_cache && cache_.Get(key, &artifact)) {
-    cached = true;
-  } else {
-    // Execute() blocks until the job completes, so the locals captured by
-    // reference below outlive the worker's use of them.
-    std::mutex mu;
-    std::condition_variable cv;
-    bool done = false;
-    Status job_status;
-    status = executor_.Submit(
-        request.priority, deadline, [&](bool expired) {
-          Status result_status;
-          CachedArtifact result;
-          if (expired) {
-            result_status = Status::DeadlineExceeded(
-                "deadline expired while the request was queued");
-          } else {
-            bool dnf = false;
-            result = ComputeArtifact(series, request, deadline, &dnf);
-            if (dnf) {
-              result_status = Status::DeadlineExceeded(
-                  "deadline expired during computation");
-            }
-          }
-          const std::lock_guard<std::mutex> lock(mu);
-          job_status = std::move(result_status);
-          artifact = std::move(result);
-          done = true;
-          cv.notify_one();
-        });
-    if (!status.ok()) {
-      metrics_.GetCounter("rejected_queue_full")->Increment();
-      Response response = Response::Error(request, status);
-      response.elapsed_us = timer.Seconds() * 1e6;
-      return response;
-    }
+    Series storage;
+    std::span<const double> series;
+    Status status;
     {
-      std::unique_lock<std::mutex> lock(mu);
-      cv.wait(lock, [&] { return done; });
+      const obs::TraceSpan resolve_span("resolve_series");
+      status = ResolveSeries(request, &storage, &series);
+      if (status.ok())
+        status = ValidateRequest(request, static_cast<Index>(series.size()));
     }
-    if (!job_status.ok()) {
-      metrics_.GetCounter("rejected_deadline")->Increment();
-      Response response = Response::Error(request, job_status);
+    if (!status.ok()) {
+      metrics_.GetCounter("requests_invalid")->Increment();
+      response = Response::Error(request, status);
       response.elapsed_us = timer.Seconds() * 1e6;
+      LogIfSlow(request, response, stages);
       return response;
     }
-    cache_.Put(key, artifact);
-  }
 
-  Response response = BuildResponse(request, artifact, cached, fingerprint);
+    const std::uint64_t fingerprint = SeriesFingerprint(series);
+    const CacheKey key{fingerprint, request.len_min, request.len_max,
+                       request.p, request.k};
+    const Deadline deadline = request.deadline_ms > 0
+                                  ? Deadline::After(request.deadline_ms / 1e3)
+                                  : Deadline();
+
+    CachedArtifact artifact;
+    bool cached = false;
+    bool hit = false;
+    {
+      const obs::TraceSpan cache_span("cache_lookup");
+      hit = !request.no_cache && cache_.Get(key, &artifact);
+    }
+    if (hit) {
+      cached = true;
+    } else {
+      // Execute() blocks until the job completes, so the locals captured by
+      // reference below outlive the worker's use of them.
+      std::mutex mu;
+      std::condition_variable cv;
+      bool done = false;
+      Status job_status;
+      WallTimer queue_timer;
+      status = executor_.Submit(
+          request.priority, deadline, [&](bool expired) {
+            Status result_status;
+            CachedArtifact result;
+            {
+              // The worker thread mirrors its spans into the same
+              // recorder; `queue_wait` is the submit-to-start gap.
+              const obs::ScopedStageSink worker_sink(&stages);
+              stages.Add("queue_wait", queue_timer.Seconds() * 1e6, 1);
+              const obs::TraceSpan compute_span("compute_artifact");
+              if (expired) {
+                result_status = Status::DeadlineExceeded(
+                    "deadline expired while the request was queued");
+              } else {
+                bool dnf = false;
+                result = ComputeArtifact(series, request, deadline, &dnf);
+                if (dnf) {
+                  result_status = Status::DeadlineExceeded(
+                      "deadline expired during computation");
+                }
+              }
+            }
+            const std::lock_guard<std::mutex> lock(mu);
+            job_status = std::move(result_status);
+            artifact = std::move(result);
+            done = true;
+            cv.notify_one();
+          });
+      if (!status.ok()) {
+        metrics_.GetCounter("rejected_queue_full")->Increment();
+        response = Response::Error(request, status);
+        response.elapsed_us = timer.Seconds() * 1e6;
+        LogIfSlow(request, response, stages);
+        return response;
+      }
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return done; });
+      }
+      if (!job_status.ok()) {
+        metrics_.GetCounter("rejected_deadline")->Increment();
+        response = Response::Error(request, job_status);
+        response.elapsed_us = timer.Seconds() * 1e6;
+        LogIfSlow(request, response, stages);
+        return response;
+      }
+      cache_.Put(key, artifact);
+    }
+
+    {
+      const obs::TraceSpan build_span("build_response");
+      response = BuildResponse(request, artifact, cached, fingerprint);
+    }
+  }
   response.elapsed_us = timer.Seconds() * 1e6;
   metrics_.GetHistogram("latency_" + type_name)
       ->Observe(response.elapsed_us);
+  LogIfSlow(request, response, stages);
   return response;
+}
+
+void QueryEngine::LogIfSlow(const Request& request, const Response& response,
+                            const obs::StageRecorder& stages) {
+  if (slow_log_.disabled()) return;
+  obs::SlowQueryRecord record;
+  record.query_type = QueryTypeName(request.type);
+  record.dataset = request.dataset;
+  record.n = request.series.empty()
+                 ? request.n
+                 : static_cast<Index>(request.series.size());
+  record.len_min = request.len_min;
+  record.len_max = request.len_max;
+  record.p = request.p;
+  record.k = request.k;
+  record.priority = request.priority;
+  record.cached = response.cached;
+  record.ok = response.ok;
+  record.error_code = response.error_code;
+  record.elapsed_us = response.elapsed_us;
+  if (slow_log_.MaybeLog(record, stages)) {
+    metrics_.GetCounter("slow_queries_total")->Increment();
+  }
 }
 
 }  // namespace valmod

@@ -3,6 +3,7 @@
 
 #include <span>
 
+#include "obs/slow_query.h"
 #include "service/executor.h"
 #include "service/metrics.h"
 #include "service/protocol.h"
@@ -34,6 +35,10 @@ struct QueryEngineOptions {
   Index max_lengths = 512;
   /// Largest per-length top-K a request may ask for.
   Index max_k = 64;
+  /// Slow-query log threshold in milliseconds: compute requests slower than
+  /// this emit one structured "slow_query" warning with their stage
+  /// timings. <= 0 (the default) disables the log.
+  double slow_query_ms = 0.0;
 };
 
 /// The embeddable query engine: validation, admission control, execution
@@ -97,9 +102,13 @@ class QueryEngine {
   Response BuildResponse(const Request& request,
                          const CachedArtifact& artifact, bool cached,
                          std::uint64_t fingerprint) const;
+  /// Feeds the slow-query log (and its counter) after a finished request.
+  void LogIfSlow(const Request& request, const Response& response,
+                 const obs::StageRecorder& stages);
 
   QueryEngineOptions options_;
   MetricsRegistry metrics_;
+  obs::SlowQueryLog slow_log_;
   ResultCache cache_;
   Executor executor_;  // last member: joins before the cache/metrics die
 };

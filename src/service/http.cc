@@ -1,0 +1,113 @@
+#include "service/http.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "service/net.h"
+
+namespace valmod {
+
+namespace {
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    default:
+      return "Internal Server Error";
+  }
+}
+
+std::string RenderResponse(const HttpResponse& response) {
+  char header[256];
+  std::snprintf(header, sizeof(header),
+                "HTTP/1.1 %d %s\r\nContent-Type: %s\r\n"
+                "Content-Length: %zu\r\nConnection: close\r\n\r\n",
+                response.status, StatusText(response.status),
+                response.content_type.c_str(), response.body.size());
+  return std::string(header) + response.body;
+}
+
+/// Splits "GET /path HTTP/1.1" out of the request head; empty method on a
+/// malformed request line.
+void ParseRequestLine(const std::string& head, std::string* method,
+                      std::string* path) {
+  const std::size_t line_end = head.find_first_of("\r\n");
+  const std::string line =
+      line_end == std::string::npos ? head : head.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string::npos) return;
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos) return;
+  *method = line.substr(0, sp1);
+  *path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+}
+
+/// Request heads beyond this are rejected; scrape requests are < 1 KiB.
+constexpr std::size_t kMaxHeadBytes = 8192;
+
+}  // namespace
+
+HttpGateway::HttpGateway(HttpGatewayOptions options, Handler handler)
+    : options_(std::move(options)), handler_(std::move(handler)) {}
+
+HttpGateway::~HttpGateway() { Shutdown(); }
+
+Status HttpGateway::Start() {
+  Status status =
+      net::Listen(options_.host, options_.port, /*backlog=*/16, &listen_fd_,
+                  &port_);
+  if (!status.ok()) return status;
+  stopping_.store(false, std::memory_order_release);
+  thread_ = std::thread([this]() { ServeLoop(); });
+  return Status::Ok();
+}
+
+void HttpGateway::Shutdown() {
+  stopping_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  net::CloseFd(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void HttpGateway::ServeLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    int fd = -1;
+    const Status status = net::Accept(listen_fd_, /*timeout_s=*/0.2, &fd);
+    if (!status.ok()) continue;  // Timeout: re-check the stop flag.
+    HandleConnection(fd);
+    net::CloseFd(fd);
+  }
+}
+
+void HttpGateway::HandleConnection(int fd) {
+  std::string head;
+  const Status status = net::ReadHttpHead(fd, options_.read_timeout_s,
+                                          &stopping_, kMaxHeadBytes, &head);
+  if (!status.ok()) return;  // Timeout/garbage: just drop the connection.
+  std::string method;
+  std::string path;
+  ParseRequestLine(head, &method, &path);
+  HttpResponse response;
+  if (method.empty() || path.empty()) {
+    response.status = 400;
+    response.body = "malformed request line\n";
+  } else if (method != "GET") {
+    response.status = 405;
+    response.body = "only GET is served here\n";
+  } else if (handler_) {
+    response = handler_(path);
+  } else {
+    response.status = 404;
+    response.body = "no handler\n";
+  }
+  net::SendAll(fd, RenderResponse(response));
+}
+
+}  // namespace valmod

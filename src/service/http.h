@@ -1,0 +1,76 @@
+#ifndef VALMOD_SERVICE_HTTP_H_
+#define VALMOD_SERVICE_HTTP_H_
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "util/status.h"
+
+namespace valmod {
+
+/// One HTTP response produced by a gateway handler.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Configuration of the observability HTTP gateway.
+struct HttpGatewayOptions {
+  std::string host = "127.0.0.1";
+  /// 0 picks an ephemeral port.
+  int port = 0;
+  /// Per-request read timeout; the gateway serves local scrapers, so slow
+  /// clients are cut off quickly.
+  double read_timeout_s = 5.0;
+};
+
+/// A minimal single-threaded HTTP/1.1 listener for the service's
+/// observability surface (GET /metrics, /healthz, /trace/*). It is NOT a
+/// general web server: GET only, no request bodies, no keep-alive
+/// (Connection: close on every response), requests served serially by one
+/// accept thread — exactly what a scrape endpoint needs, reusing the
+/// service/net socket primitives.
+class HttpGateway {
+ public:
+  /// Handler mapped over the request path (no query-string splitting; the
+  /// path arrives verbatim). Runs on the gateway thread.
+  using Handler = std::function<HttpResponse(const std::string& path)>;
+
+  /// Creates a stopped gateway; Start() binds the socket.
+  HttpGateway(HttpGatewayOptions options, Handler handler);
+
+  /// Stops and joins the serving thread.
+  ~HttpGateway();
+
+  HttpGateway(const HttpGateway&) = delete;
+  HttpGateway& operator=(const HttpGateway&) = delete;
+
+  /// Binds host:port and starts the serving thread.
+  Status Start();
+
+  /// Stops accepting, closes the listener, joins the thread. Idempotent.
+  void Shutdown();
+
+  /// The bound port (valid after Start()).
+  int port() const { return port_; }
+
+ private:
+  /// Accept loop: serves connections serially until Shutdown().
+  void ServeLoop();
+  /// Reads one GET request head and writes the handler's response.
+  void HandleConnection(int fd);
+
+  HttpGatewayOptions options_;
+  Handler handler_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread thread_;
+};
+
+}  // namespace valmod
+
+#endif  // VALMOD_SERVICE_HTTP_H_

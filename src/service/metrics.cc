@@ -10,8 +10,9 @@ namespace valmod {
 void LatencyHistogram::Observe(double us) {
   if (!(us >= 0.0)) us = 0.0;  // NaN and negatives clamp to the first bucket
   int bucket = 0;
-  // Smallest b with us < 2^(b+1): integer log2 of the microsecond count.
-  std::int64_t edge = 2;
+  // Smallest b with us < BucketUpperEdgeUs(b): sub-microsecond observations
+  // stay in bucket 0 so their reported upper bound is 1us, never 0.
+  std::int64_t edge = 1;
   while (bucket < kBuckets - 1 && us >= static_cast<double>(edge)) {
     ++bucket;
     edge <<= 1;
@@ -36,9 +37,14 @@ double LatencyHistogram::QuantileUpperBoundUs(double q) const {
   for (int b = 0; b < kBuckets; ++b) {
     seen += buckets_[static_cast<std::size_t>(b)].load(
         std::memory_order_relaxed);
-    if (seen >= rank) return static_cast<double>(std::int64_t{1} << (b + 1));
+    if (seen >= rank) return static_cast<double>(BucketUpperEdgeUs(b));
   }
-  return static_cast<double>(std::int64_t{1} << kBuckets);
+  return static_cast<double>(BucketUpperEdgeUs(kBuckets - 1));
+}
+
+std::int64_t LatencyHistogram::BucketCount(int b) const {
+  if (b < 0 || b >= kBuckets) return 0;
+  return buckets_[static_cast<std::size_t>(b)].load(std::memory_order_relaxed);
 }
 
 double LatencyHistogram::SumUs() const {
@@ -117,6 +123,70 @@ std::string MetricsRegistry::Exposition() const {
   for (const auto& [name, text] : lines) {
     out.append(text);
     out.push_back('\n');
+  }
+  return out;
+}
+
+std::string MetricsRegistry::PrometheusText() const {
+  // Same snapshot-then-render structure as Exposition(): collect under the
+  // lock, sample gauges and histogram cells outside it.
+  std::vector<std::pair<std::string, std::int64_t>> counter_rows;
+  std::vector<std::pair<std::string, const LatencyHistogram*>> histo_rows;
+  std::vector<std::pair<std::string, std::function<std::int64_t()>>>
+      gauge_rows;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    counter_rows.reserve(counters_.size());
+    for (const auto& [name, counter] : counters_)
+      counter_rows.emplace_back(name, counter->Value());
+    histo_rows.reserve(histograms_.size());
+    for (const auto& [name, histogram] : histograms_)
+      histo_rows.emplace_back(name, histogram.get());
+    gauge_rows.reserve(gauges_.size());
+    for (const auto& [name, fn] : gauges_) gauge_rows.emplace_back(name, fn);
+  }
+  std::string out;
+  char buf[192];
+  for (const auto& [name, value] : counter_rows) {
+    std::snprintf(buf, sizeof(buf),
+                  "# TYPE valmod_%s counter\nvalmod_%s %lld\n", name.c_str(),
+                  name.c_str(), static_cast<long long>(value));
+    out.append(buf);
+  }
+  for (const auto& [name, fn] : gauge_rows) {
+    std::snprintf(buf, sizeof(buf),
+                  "# TYPE valmod_%s gauge\nvalmod_%s %lld\n", name.c_str(),
+                  name.c_str(), static_cast<long long>(fn ? fn() : 0));
+    out.append(buf);
+  }
+  for (const auto& [name, histogram] : histo_rows) {
+    std::snprintf(buf, sizeof(buf), "# TYPE valmod_%s_us histogram\n",
+                  name.c_str());
+    out.append(buf);
+    // Cumulative le-series through the highest non-empty bucket; the first
+    // edge always renders so empty histograms still expose one series.
+    int last = 0;
+    for (int b = 0; b < LatencyHistogram::kBuckets; ++b) {
+      if (histogram->BucketCount(b) > 0) last = b;
+    }
+    std::int64_t cumulative = 0;
+    for (int b = 0; b <= last; ++b) {
+      cumulative += histogram->BucketCount(b);
+      std::snprintf(buf, sizeof(buf),
+                    "valmod_%s_us_bucket{le=\"%lld\"} %lld\n", name.c_str(),
+                    static_cast<long long>(
+                        LatencyHistogram::BucketUpperEdgeUs(b)),
+                    static_cast<long long>(cumulative));
+      out.append(buf);
+    }
+    const std::int64_t count = histogram->TotalCount();
+    std::snprintf(buf, sizeof(buf),
+                  "valmod_%s_us_bucket{le=\"+Inf\"} %lld\n"
+                  "valmod_%s_us_sum %.0f\nvalmod_%s_us_count %lld\n",
+                  name.c_str(), static_cast<long long>(count), name.c_str(),
+                  histogram->SumUs(), name.c_str(),
+                  static_cast<long long>(count));
+    out.append(buf);
   }
   return out;
 }

@@ -31,13 +31,20 @@ class MetricCounter {
 };
 
 /// A latency histogram over power-of-two microsecond buckets
-/// (1us, 2us, 4us, ... ~9 hours). Power-of-two edges keep Observe() to a
+/// (1us, 2us, 4us, ... ~4.9 hours). Power-of-two edges keep Observe() to a
 /// handful of instructions on the request hot path and still bound every
 /// reported quantile within a factor of two — plenty for p50/p99 dashboards.
 class LatencyHistogram {
  public:
-  /// Number of buckets; bucket b covers [2^b, 2^(b+1)) microseconds.
+  /// Number of buckets; bucket 0 covers [0, 1) and bucket b >= 1 covers
+  /// [2^(b-1), 2^b) microseconds.
   static constexpr int kBuckets = 45;
+
+  /// Upper edge of bucket `b` in microseconds (1 for bucket 0, else 2^b);
+  /// the `le` labels of the Prometheus exposition.
+  static constexpr std::int64_t BucketUpperEdgeUs(int b) {
+    return std::int64_t{1} << b;
+  }
 
   /// Records one observation of `us` microseconds.
   void Observe(double us);
@@ -45,9 +52,13 @@ class LatencyHistogram {
   /// Total number of observations.
   std::int64_t TotalCount() const;
 
+  /// Observations landed in bucket `b` (0 <= b < kBuckets).
+  std::int64_t BucketCount(int b) const;
+
   /// Upper edge (microseconds) of the bucket containing quantile `q` of
-  /// the observations, i.e. an upper bound within 2x of the true quantile.
-  /// Returns 0 when empty. `q` is clamped into [0, 1].
+  /// the observations, i.e. an upper bound within 2x of the true quantile
+  /// (sub-microsecond observations report 1). Returns 0 when empty. `q` is
+  /// clamped into [0, 1].
   double QuantileUpperBoundUs(double q) const;
 
   /// Sum of all observed values, microseconds (for mean latency).
@@ -80,6 +91,13 @@ class MetricsRegistry {
   /// by name. Histograms expose `<name>_count`, `<name>_mean_us`, and
   /// `<name>_p{50,90,99}_us` lines.
   std::string Exposition() const;
+
+  /// Prometheus text exposition format 0.0.4: `# TYPE` comments plus
+  /// counter/gauge sample lines, and each histogram as cumulative
+  /// `valmod_<name>_us_bucket{le="..."}` series (through the highest
+  /// non-empty bucket, then `+Inf`) with `_sum` and `_count`. Served by the
+  /// HTTP gateway's GET /metrics.
+  std::string PrometheusText() const;
 
  private:
   mutable std::mutex mu_;

@@ -204,6 +204,25 @@ Status WriteFramePayload(int fd, const std::string& json) {
   return SendAll(fd, EncodeFrame(json));
 }
 
+Status ReadHttpHead(int fd, double timeout_s, const std::atomic<bool>* stop,
+                    std::size_t max_bytes, std::string* head) {
+  // Byte-wise like the frame-header read: request heads are a few hundred
+  // bytes, so simplicity beats buffering here too.
+  std::string data;
+  while (true) {
+    Status status = ReadExact(fd, 1, timeout_s, stop, data.empty(), &data);
+    if (!status.ok()) return status;
+    const std::size_t size = data.size();
+    if ((size >= 4 && data.compare(size - 4, 4, "\r\n\r\n") == 0) ||
+        (size >= 2 && data.compare(size - 2, 2, "\n\n") == 0)) {
+      *head = std::move(data);
+      return Status::Ok();
+    }
+    if (size > max_bytes)
+      return Status::InvalidArgument("http request head too long");
+  }
+}
+
 void CloseFd(int fd) {
   if (fd >= 0) close(fd);
 }

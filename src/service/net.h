@@ -43,6 +43,14 @@ Status ReadFramePayload(int fd, double timeout_s,
 /// Encodes `json` into a frame and sends it.
 Status WriteFramePayload(int fd, const std::string& json);
 
+/// Reads an HTTP/1.x request head: everything through the first blank line
+/// (CRLFCRLF, or LFLF from sloppy clients), at most `max_bytes`
+/// (InvalidArgument beyond that). Same timeout/stop semantics as
+/// ReadFramePayload. Used by the observability HTTP gateway, which only
+/// serves bodyless GETs.
+Status ReadHttpHead(int fd, double timeout_s, const std::atomic<bool>* stop,
+                    std::size_t max_bytes, std::string* head);
+
 /// Closes a file descriptor (no-op for fd < 0).
 void CloseFd(int fd);
 

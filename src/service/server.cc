@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/trace.h"
 #include "service/net.h"
 #include "service/protocol.h"
 
@@ -19,10 +20,51 @@ Status Server::Start() {
       net::Listen(options_.host, options_.port, /*backlog=*/128, &listen_fd_,
                   &port_);
   if (!status.ok()) return status;
+  if (options_.metrics_port >= 0) {
+    HttpGatewayOptions http_options;
+    http_options.host = options_.host;
+    http_options.port = options_.metrics_port;
+    http_gateway_ = std::make_unique<HttpGateway>(
+        http_options, [this](const std::string& path) {
+          return HandleHttp(path);
+        });
+    status = http_gateway_->Start();
+    if (!status.ok()) {
+      http_gateway_.reset();
+      net::CloseFd(listen_fd_);
+      listen_fd_ = -1;
+      return status;
+    }
+  }
   stopping_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return Status::Ok();
+}
+
+int Server::metrics_port() const {
+  return http_gateway_ ? http_gateway_->port() : 0;
+}
+
+HttpResponse Server::HandleHttp(const std::string& path) {
+  HttpResponse response;
+  if (path == "/healthz") {
+    response.body = "ok\n";
+  } else if (path == "/metrics") {
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = engine_.metrics().PrometheusText();
+  } else if (path == "/trace/start") {
+    obs::TraceSession::Global().Start();
+    response.body = "tracing started\n";
+  } else if (path == "/trace/stop") {
+    response.content_type = "application/json; charset=utf-8";
+    response.body = obs::TraceSession::Global().StopAndExportJson();
+  } else {
+    response.status = 404;
+    response.body = "unknown path (try /metrics, /healthz, /trace/start, "
+                    "/trace/stop)\n";
+  }
+  return response;
 }
 
 void Server::Shutdown() {
@@ -38,6 +80,12 @@ void Server::Shutdown() {
   ReapFinished(/*join_all=*/true);
   // Phase 3: drain the engine (no handler threads remain to submit work).
   engine_.Drain();
+  // Phase 4: stop the observability gateway (kept alive through the drain
+  // so a scraper can watch the shutdown).
+  if (http_gateway_) {
+    http_gateway_->Shutdown();
+    http_gateway_.reset();
+  }
 }
 
 void Server::ReapFinished(bool join_all) {
@@ -105,6 +153,7 @@ void Server::HandleConnection(int fd) {
       net::WriteFramePayload(fd, error.ToJson().Serialize());
       break;
     }
+    const obs::TraceSpan span("connection_frame");
     JsonValue json;
     status = JsonValue::Parse(payload, &json);
     Request request;

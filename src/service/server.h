@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "service/engine.h"
+#include "service/http.h"
 #include "util/status.h"
 
 namespace valmod {
@@ -27,6 +28,10 @@ struct ServerOptions {
   /// this long is disconnected (protects the handler pool from dead
   /// peers).
   double read_timeout_s = 30.0;
+  /// Port of the observability HTTP gateway (GET /metrics, /healthz,
+  /// /trace/start, /trace/stop): 0 picks an ephemeral port (read it back
+  /// via metrics_port()), a negative value disables the gateway.
+  int metrics_port = 0;
   /// Engine configuration (queue, cache, executor).
   QueryEngineOptions engine;
 };
@@ -54,6 +59,10 @@ class Server {
 
   /// The actually bound port (valid after Start(); useful with port 0).
   int port() const { return port_; }
+
+  /// The bound port of the observability HTTP gateway (valid after
+  /// Start(); 0 when the gateway is disabled).
+  int metrics_port() const;
 
   /// True between Start() and Shutdown().
   bool running() const { return running_.load(std::memory_order_acquire); }
@@ -90,8 +99,12 @@ class Server {
   /// Joins finished handler threads (all of them when `join_all`).
   void ReapFinished(bool join_all);
 
+  /// Builds the HTTP response for one gateway path.
+  HttpResponse HandleHttp(const std::string& path);
+
   ServerOptions options_;
   QueryEngine engine_;
+  std::unique_ptr<HttpGateway> http_gateway_;
   int listen_fd_ = -1;
   int port_ = 0;
   std::atomic<bool> running_{false};

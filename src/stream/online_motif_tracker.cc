@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <utility>
 
+#include "obs/trace.h"
 #include "signal/znorm.h"
 #include "util/check.h"
 
@@ -74,6 +75,7 @@ Status OnlineMotifTracker::FromSnapshots(
 }
 
 void OnlineMotifTracker::Append(double value) {
+  const obs::TraceSpan span("tracker_append");
   for (StreamingMatrixProfile& profile : profiles_) profile.Append(value);
 }
 

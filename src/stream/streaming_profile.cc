@@ -4,6 +4,7 @@
 
 #include "mp/stomp.h"
 #include "mp/stomp_kernel.h"
+#include "obs/trace.h"
 #include "signal/distance.h"
 #include "signal/sliding_dot.h"
 #include "util/check.h"
@@ -39,6 +40,7 @@ void StreamingMatrixProfile::AppendBlock(std::span<const double> values) {
 }
 
 void StreamingMatrixProfile::InitializeFromBatch() {
+  const obs::TraceSpan span("stream_init_batch");
   const Index len = options_.subsequence_length;
   const std::span<const double> t = series_.Window();
   // A fresh PrefixStats over the window makes the initial profile
@@ -58,6 +60,7 @@ void StreamingMatrixProfile::InitializeFromBatch() {
 }
 
 void StreamingMatrixProfile::IncorporateNewRow() {
+  const obs::TraceSpan span("stream_append_update");
   const Index len = options_.subsequence_length;
   const std::span<const double> t = series_.Window();
   const Index n_sub = num_subsequences();
@@ -121,6 +124,7 @@ void StreamingMatrixProfile::IncorporateNewRow() {
 }
 
 void StreamingMatrixProfile::EvictFront(std::vector<Index>* stale) {
+  const obs::TraceSpan span("stream_evict_repair");
   // Subsequence 0 of the previous window left the buffer: drop its profile
   // slot, shift every stored neighbor index down by one, and collect the
   // offsets whose nearest neighbor was the evicted subsequence — their

@@ -1,0 +1,109 @@
+#include "obs/counters.h"
+
+#include <gtest/gtest.h>
+
+#include "core/valmod.h"
+#include "test_util.h"
+#include "util/common.h"
+
+namespace valmod {
+namespace {
+
+TEST(CountersTest, RecordersAccumulateAndResetClears) {
+  obs::Counters::Reset();
+  obs::Counters::RecordFullProfilePass(100, 7);
+  obs::Counters::RecordStompChunk(64);
+  obs::Counters::RecordStompChunk(36);
+  obs::Counters::RecordValmodFallback();
+  obs::Counters::RecordSubMpLength(/*certified=*/30, /*recomputed=*/5,
+                                   /*uncertified=*/65,
+                                   /*motif_certified=*/true,
+                                   /*heap_updates=*/11,
+                                   /*tightness_ratio=*/0.5);
+  const obs::CountersSnapshot s = obs::Counters::Snapshot();
+  EXPECT_EQ(s.mp_profiles_full_stomp, 100);
+  EXPECT_EQ(s.listdp_heap_updates, 18);  // 7 from the pass + 11 from subMP
+  EXPECT_EQ(s.stomp_chunks, 2);
+  EXPECT_EQ(s.stomp_rows, 100);
+  EXPECT_EQ(s.valmod_full_fallbacks, 1);
+  EXPECT_EQ(s.submp_profiles_certified, 30);
+  EXPECT_EQ(s.submp_profiles_recomputed, 5);
+  EXPECT_EQ(s.submp_profiles_uncertified, 65);
+  EXPECT_EQ(s.submp_lengths_certified, 1);
+  EXPECT_EQ(s.submp_lengths_total, 1);
+  EXPECT_EQ(s.lb_tightness_samples, 1);
+  EXPECT_EQ(s.lb_tightness_ppm_sum, 500000);
+  EXPECT_DOUBLE_EQ(s.MeanLbTightness(), 0.5);
+
+  obs::Counters::Reset();
+  const obs::CountersSnapshot zero = obs::Counters::Snapshot();
+  EXPECT_EQ(zero.mp_profiles_full_stomp, 0);
+  EXPECT_EQ(zero.submp_lengths_total, 0);
+  EXPECT_EQ(zero.lb_tightness_samples, 0);
+  EXPECT_DOUBLE_EQ(zero.MeanLbTightness(), 0.0);
+}
+
+TEST(CountersTest, NegativeTightnessRatioSkipsTheSample) {
+  obs::Counters::Reset();
+  obs::Counters::RecordSubMpLength(1, 0, 0, false, 0, /*tightness_ratio=*/-1.0);
+  const obs::CountersSnapshot s = obs::Counters::Snapshot();
+  EXPECT_EQ(s.submp_lengths_total, 1);
+  EXPECT_EQ(s.submp_lengths_certified, 0);
+  EXPECT_EQ(s.lb_tightness_samples, 0);
+  EXPECT_DOUBLE_EQ(s.MeanLbTightness(), 0.0);
+}
+
+// The tentpole conservation law: what the process-wide counters record for
+// one RunValmod call must match the per-length bookkeeping the library
+// returns — certified-from-bounds plus selectively-salvaged profiles is
+// exactly the valid_count sum, full-pass profile counts match the fallback
+// lengths, and heap updates agree entry for entry.
+TEST(CountersTest, ValmodRunMatchesLengthStatsExactly) {
+  const Series series =
+      testing_util::NoiseWithPlantedMotif(512, 24, 60, 300, 21);
+  ValmodOptions options;
+  options.len_min = 16;
+  options.len_max = 24;
+  options.p = 5;
+
+  obs::Counters::Reset();
+  const ValmodResult result = RunValmod(series, options);
+  const obs::CountersSnapshot s = obs::Counters::Snapshot();
+  ASSERT_FALSE(result.dnf);
+
+  std::int64_t full_profiles = 0;
+  std::int64_t submp_valid = 0;
+  std::int64_t heap_updates = 0;
+  std::int64_t fallbacks = 0;
+  for (const LengthStats& ls : result.length_stats) {
+    heap_updates += ls.heap_updates;
+    if (ls.used_full_recompute) {
+      full_profiles += ls.n_profiles;
+      if (ls.length != options.len_min) ++fallbacks;
+    } else {
+      submp_valid += ls.valid_count;
+    }
+  }
+
+  EXPECT_EQ(s.mp_profiles_full_stomp, full_profiles);
+  EXPECT_EQ(s.stomp_rows, full_profiles);
+  EXPECT_EQ(s.listdp_heap_updates, heap_updates);
+  EXPECT_EQ(s.valmod_full_fallbacks, fallbacks);
+  EXPECT_EQ(s.submp_lengths_total,
+            static_cast<std::int64_t>(result.length_stats.size()) - 1);
+  if (fallbacks == 0) {
+    EXPECT_EQ(s.submp_profiles_certified + s.submp_profiles_recomputed,
+              submp_valid);
+  } else {
+    // Fallback lengths record their (discarded) subMP attempt too, so the
+    // counters can only exceed the struct sum.
+    EXPECT_GE(s.submp_profiles_certified + s.submp_profiles_recomputed,
+              submp_valid);
+  }
+  // Lengths whose motif certified without a fallback are exactly the
+  // non-fallback sub-MP lengths.
+  EXPECT_EQ(s.submp_lengths_certified, s.submp_lengths_total - fallbacks);
+}
+
+}  // namespace
+}  // namespace valmod

@@ -1,0 +1,152 @@
+#include "obs/log.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/slow_query.h"
+#include "obs/trace.h"
+
+namespace valmod {
+namespace {
+
+/// Captures log lines for one test and restores the defaults afterwards.
+class CapturedLog {
+ public:
+  CapturedLog() {
+    obs::Log::SetSink([this](const std::string& line) {
+      lines_.push_back(line);
+    });
+  }
+  ~CapturedLog() {
+    obs::Log::SetSink(nullptr);
+    obs::Log::SetMinLevel(obs::LogLevel::kWarn);
+  }
+  const std::vector<std::string>& lines() const { return lines_; }
+
+ private:
+  std::vector<std::string> lines_;
+};
+
+TEST(LogTest, LevelNamesAreLowercase) {
+  EXPECT_STREQ(LogLevelName(obs::LogLevel::kDebug), "debug");
+  EXPECT_STREQ(LogLevelName(obs::LogLevel::kInfo), "info");
+  EXPECT_STREQ(LogLevelName(obs::LogLevel::kWarn), "warn");
+  EXPECT_STREQ(LogLevelName(obs::LogLevel::kError), "error");
+}
+
+TEST(LogTest, ThresholdFiltersBelowMinLevel) {
+  CapturedLog captured;
+  obs::Log::SetMinLevel(obs::LogLevel::kInfo);
+  obs::LogEvent(obs::LogLevel::kDebug, "too_quiet");
+  obs::LogEvent(obs::LogLevel::kInfo, "audible");
+  obs::LogEvent(obs::LogLevel::kError, "loud");
+  ASSERT_EQ(captured.lines().size(), 2u);
+  EXPECT_NE(captured.lines()[0].find("\"event\":\"audible\""),
+            std::string::npos);
+  EXPECT_NE(captured.lines()[1].find("\"level\":\"error\""),
+            std::string::npos);
+}
+
+TEST(LogTest, RendersAllFieldTypesAsOneJsonLine) {
+  CapturedLog captured;
+  obs::LogEvent(obs::LogLevel::kWarn, "kitchen_sink")
+      .Str("text", "plain")
+      .Int("count", -42)
+      .Num("ratio", 0.25)
+      .Num("nonfinite", 0.0 / 0.0)
+      .Bool("flag", true)
+      .Raw("payload", "[1,2]");
+  ASSERT_EQ(captured.lines().size(), 1u);
+  const std::string& line = captured.lines()[0];
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  EXPECT_NE(line.find("{\"level\":\"warn\",\"event\":\"kitchen_sink\""),
+            std::string::npos)
+      << line;
+  EXPECT_NE(line.find("\"text\":\"plain\""), std::string::npos);
+  EXPECT_NE(line.find("\"count\":-42"), std::string::npos);
+  EXPECT_NE(line.find("\"ratio\":0.25"), std::string::npos);
+  EXPECT_NE(line.find("\"nonfinite\":null"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"flag\":true"), std::string::npos);
+  EXPECT_NE(line.find("\"payload\":[1,2]"), std::string::npos);
+}
+
+TEST(LogTest, EscapesStringsForJson) {
+  CapturedLog captured;
+  obs::LogEvent(obs::LogLevel::kError, "escape_check")
+      .Str("value", "quote\" backslash\\ newline\n tab\t");
+  ASSERT_EQ(captured.lines().size(), 1u);
+  const std::string& line = captured.lines()[0];
+  EXPECT_NE(line.find("quote\\\" backslash\\\\ newline\\u000a tab\\u0009"),
+            std::string::npos)
+      << line;
+}
+
+TEST(SlowQueryLogTest, ThresholdGatesEmission) {
+  CapturedLog captured;
+  const obs::SlowQueryLog log(/*threshold_ms=*/10.0);
+  EXPECT_FALSE(log.disabled());
+  obs::StageRecorder stages;
+  stages.Add("queue_wait", 123.0, 1);
+  obs::SlowQueryRecord record;
+  record.query_type = "motif";
+  record.dataset = "PLANTED";
+  record.n = 4096;
+  record.len_min = 16;
+  record.len_max = 24;
+  record.elapsed_us = 9000.0;  // 9 ms < 10 ms threshold
+  EXPECT_FALSE(log.MaybeLog(record, stages));
+  EXPECT_TRUE(captured.lines().empty());
+
+  record.elapsed_us = 11000.0;  // 11 ms > threshold
+  EXPECT_TRUE(log.MaybeLog(record, stages));
+  ASSERT_EQ(captured.lines().size(), 1u);
+  const std::string& line = captured.lines()[0];
+  EXPECT_NE(line.find("\"event\":\"slow_query\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"type\":\"motif\""), std::string::npos);
+  EXPECT_NE(line.find("\"dataset\":\"PLANTED\""), std::string::npos);
+  EXPECT_NE(line.find("\"threshold_ms\":10"), std::string::npos);
+  EXPECT_NE(line.find("\"stages\":[{\"stage\":\"queue_wait\""),
+            std::string::npos)
+      << line;
+}
+
+TEST(SlowQueryLogTest, NonPositiveThresholdDisables) {
+  CapturedLog captured;
+  const obs::SlowQueryLog log(/*threshold_ms=*/0.0);
+  EXPECT_TRUE(log.disabled());
+  obs::SlowQueryRecord record;
+  record.elapsed_us = 1e9;
+  EXPECT_FALSE(log.MaybeLog(record, obs::StageRecorder()));
+  EXPECT_TRUE(captured.lines().empty());
+}
+
+TEST(SlowQueryLogTest, FailedRequestsCarryTheErrorCode) {
+  CapturedLog captured;
+  const obs::SlowQueryLog log(/*threshold_ms=*/1.0);
+  obs::SlowQueryRecord record;
+  record.query_type = "profile";
+  record.ok = false;
+  record.error_code = "DEADLINE_EXCEEDED";
+  record.elapsed_us = 5000.0;
+  EXPECT_TRUE(log.MaybeLog(record, obs::StageRecorder()));
+  ASSERT_EQ(captured.lines().size(), 1u);
+  EXPECT_NE(captured.lines()[0].find("\"error_code\":\"DEADLINE_EXCEEDED\""),
+            std::string::npos)
+      << captured.lines()[0];
+}
+
+TEST(SlowQueryLogTest, StagesJsonReportsDroppedOverflow) {
+  obs::StageRecorder stages;
+  for (std::size_t i = 0; i < obs::StageRecorder::kMaxStages + 3; ++i) {
+    stages.Add("repeat_stage", 2.0, 0);
+  }
+  const std::string json = obs::StagesJson(stages);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("{\"dropped\":3}"), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace valmod

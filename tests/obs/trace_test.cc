@@ -1,0 +1,222 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "core/valmod.h"
+#include "obs/chrome_trace.h"
+#include "test_util.h"
+#include "util/common.h"
+
+namespace valmod {
+namespace {
+
+std::vector<std::pair<std::string, int>> NamesAndDepths(
+    const std::vector<obs::TraceEvent>& events) {
+  std::vector<std::pair<std::string, int>> out;
+  out.reserve(events.size());
+  for (const obs::TraceEvent& event : events) {
+    out.emplace_back(event.name, event.depth);
+  }
+  return out;
+}
+
+std::vector<obs::TraceEvent> TraceOneValmodRun(const Series& series) {
+  ValmodOptions options;
+  options.len_min = 16;
+  options.len_max = 20;
+  options.p = 5;
+  obs::TraceSession::Global().Start();
+  RunValmod(series, options);
+  return obs::TraceSession::Global().StopAndCollect();
+}
+
+// Satellite (c): the trace export is deterministic — two identical
+// single-threaded runs produce identical span sequences (names, depths,
+// thread ids), differing only in timestamps.
+TEST(TraceTest, SingleThreadedRunsExportDeterministically) {
+  const Series series =
+      testing_util::NoiseWithPlantedMotif(512, 24, 60, 300, 21);
+  const std::vector<obs::TraceEvent> first = TraceOneValmodRun(series);
+  const std::vector<obs::TraceEvent> second = TraceOneValmodRun(series);
+  EXPECT_EQ(NamesAndDepths(first), NamesAndDepths(second));
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].tid, second[i].tid);
+    EXPECT_GE(first[i].dur_ns, 0);
+    EXPECT_GE(first[i].start_ns, 0);
+  }
+#if VALMOD_TRACING_ENABLED
+  EXPECT_FALSE(first.empty());
+  // The instrumented layers all appear: the algorithm driver, the full
+  // profile pass, the kernel chunks, and the per-length sub-MP updates.
+  const auto names = NamesAndDepths(first);
+  auto contains = [&names](const char* name) {
+    for (const auto& [n, depth] : names) {
+      if (n == name) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(contains("valmod_run"));
+  EXPECT_TRUE(contains("compute_matrix_profile"));
+  EXPECT_TRUE(contains("stomp_row_chunk"));
+  EXPECT_TRUE(contains("submp_length_update"));
+#else
+  // Tracing compiled out: sessions always collect zero events.
+  EXPECT_TRUE(first.empty());
+#endif
+}
+
+TEST(TraceTest, InactiveSessionCollectsNothing) {
+  {
+    const obs::TraceSpan span("orphan_span");
+  }
+  obs::TraceSession::Global().Start();
+#if VALMOD_TRACING_ENABLED
+  EXPECT_TRUE(obs::TraceSession::Global().active());
+#else
+  // The compiled-out stub never reports active.
+  EXPECT_FALSE(obs::TraceSession::Global().active());
+#endif
+  const std::vector<obs::TraceEvent> events =
+      obs::TraceSession::Global().StopAndCollect();
+  EXPECT_FALSE(obs::TraceSession::Global().active());
+  // The span closed before Start(), so nothing was buffered.
+  EXPECT_TRUE(events.empty());
+  // A second stop without a start is a harmless no-op.
+  EXPECT_TRUE(obs::TraceSession::Global().StopAndCollect().empty());
+}
+
+#if VALMOD_TRACING_ENABLED
+
+TEST(TraceTest, NestedSpansRecordDepthsInCompletionOrder) {
+  obs::TraceSession::Global().Start();
+  {
+    const obs::TraceSpan outer("outer_span");
+    {
+      const obs::TraceSpan middle("middle_span");
+      const obs::TraceSpan inner("inner_span");
+    }
+  }
+  const std::vector<obs::TraceEvent> events =
+      obs::TraceSession::Global().StopAndCollect();
+  ASSERT_EQ(events.size(), 3u);
+  // Completion order: innermost closes first.
+  EXPECT_STREQ(events[0].name, "inner_span");
+  EXPECT_EQ(events[0].depth, 2);
+  EXPECT_STREQ(events[1].name, "middle_span");
+  EXPECT_EQ(events[1].depth, 1);
+  EXPECT_STREQ(events[2].name, "outer_span");
+  EXPECT_EQ(events[2].depth, 0);
+  // Containment: the outer span brackets the inner ones.
+  EXPECT_LE(events[2].start_ns, events[0].start_ns);
+  EXPECT_GE(events[2].start_ns + events[2].dur_ns,
+            events[0].start_ns + events[0].dur_ns);
+}
+
+TEST(TraceTest, StageSinkCapturesRelativeDepthZeroAndOneOnly) {
+  obs::StageRecorder stages;
+  {
+    // An already-open outer span (as the server's connection_frame would
+    // be): the sink's depths are relative to its install point, so this
+    // must not shift what gets captured.
+    const obs::TraceSpan outer("outer_context_span");
+    const obs::ScopedStageSink sink(&stages);
+    {
+      const obs::TraceSpan stage("stage_span");
+      {
+        const obs::TraceSpan sub("substage_span");
+        const obs::TraceSpan detail("detail_span");  // relative depth 2
+      }
+    }
+  }
+  ASSERT_EQ(stages.stages().size(), 2u);
+  EXPECT_STREQ(stages.stages()[0].name, "substage_span");
+  EXPECT_EQ(stages.stages()[0].depth, 1);
+  EXPECT_STREQ(stages.stages()[1].name, "stage_span");
+  EXPECT_EQ(stages.stages()[1].depth, 0);
+  EXPECT_EQ(stages.dropped(), 0u);
+  // The outer span closed after the sink was uninstalled: not captured.
+}
+
+TEST(TraceTest, StageSinkNestsAndRestores) {
+  obs::StageRecorder outer_stages;
+  obs::StageRecorder inner_stages;
+  {
+    const obs::ScopedStageSink outer_sink(&outer_stages);
+    {
+      const obs::ScopedStageSink inner_sink(&inner_stages);
+      const obs::TraceSpan span("inner_only_span");
+    }
+    const obs::TraceSpan span("outer_only_span");
+  }
+  ASSERT_EQ(inner_stages.stages().size(), 1u);
+  EXPECT_STREQ(inner_stages.stages()[0].name, "inner_only_span");
+  ASSERT_EQ(outer_stages.stages().size(), 1u);
+  EXPECT_STREQ(outer_stages.stages()[0].name, "outer_only_span");
+}
+
+#else  // !VALMOD_TRACING_ENABLED
+
+// Satellite (c): with -DVALMOD_TRACING=OFF the span type compiles to an
+// empty object — zero storage, zero side effects.
+static_assert(std::is_empty_v<obs::TraceSpan>,
+              "tracing-off TraceSpan must be empty");
+
+TEST(TraceTest, TracingOffSpansAreInvisible) {
+  obs::TraceSession::Global().Start();
+  {
+    const obs::TraceSpan span("invisible_span");
+  }
+  EXPECT_TRUE(obs::TraceSession::Global().StopAndCollect().empty());
+  // Manual stage records still work (the slow-query log's queue_wait).
+  obs::StageRecorder stages;
+  stages.Add("manual_stage", 12.5, 1);
+  ASSERT_EQ(stages.stages().size(), 1u);
+  EXPECT_STREQ(stages.stages()[0].name, "manual_stage");
+}
+
+#endif  // VALMOD_TRACING_ENABLED
+
+TEST(TraceTest, StageRecorderBoundsAndCountsDrops) {
+  obs::StageRecorder stages;
+  for (std::size_t i = 0; i < obs::StageRecorder::kMaxStages + 5; ++i) {
+    stages.Add("bulk_stage", 1.0, 0);
+  }
+  EXPECT_EQ(stages.stages().size(), obs::StageRecorder::kMaxStages);
+  EXPECT_EQ(stages.dropped(), 5u);
+}
+
+TEST(ChromeTraceTest, RendersCompleteEventsWithEscaping) {
+  std::vector<obs::TraceEvent> events;
+  obs::TraceEvent event;
+  event.name = "alpha_span";
+  event.tid = 0;
+  event.depth = 0;
+  event.start_ns = 1500;   // 1.5 us
+  event.dur_ns = 2000000;  // 2 ms
+  events.push_back(event);
+  event.name = "beta\"evil\nname";  // spans never do this, but JSON must hold
+  event.tid = 3;
+  event.depth = 2;
+  events.push_back(event);
+  const std::string json = obs::ChromeTraceJson(events);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\":\"alpha_span\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1.500"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"dur\":2000.000"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"tid\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"depth\":2}"), std::string::npos);
+  EXPECT_NE(json.find("beta\\\"evil\\u000aname"), std::string::npos) << json;
+  // Empty input still renders a valid document.
+  EXPECT_NE(obs::ChromeTraceJson({}).find("\"traceEvents\":[]"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace valmod

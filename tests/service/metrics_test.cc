@@ -42,6 +42,58 @@ TEST(MetricsTest, EmptyHistogramReportsZero) {
   EXPECT_EQ(histogram.QuantileUpperBoundUs(0.5), 0.0);
 }
 
+// Regression for the bucket-0 edge: sub-microsecond observations land in
+// bucket [0,1) whose upper edge is 1us — the quantile used to report the
+// edge of the wrong bucket for them.
+TEST(MetricsTest, SubMicrosecondObservationsQuantileToOneMicrosecond) {
+  LatencyHistogram histogram;
+  histogram.Observe(0.5);
+  EXPECT_EQ(histogram.TotalCount(), 1);
+  EXPECT_EQ(histogram.BucketCount(0), 1);
+  EXPECT_EQ(LatencyHistogram::BucketUpperEdgeUs(0), 1);
+  EXPECT_DOUBLE_EQ(histogram.QuantileUpperBoundUs(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(histogram.QuantileUpperBoundUs(0.99), 1.0);
+  // The next bucket starts at exactly 1us: [1,2) reports upper edge 2.
+  LatencyHistogram next;
+  next.Observe(1.0);
+  EXPECT_EQ(next.BucketCount(1), 1);
+  EXPECT_DOUBLE_EQ(next.QuantileUpperBoundUs(0.5), 2.0);
+}
+
+TEST(MetricsTest, PrometheusTextRendersTypedCumulativeSeries) {
+  MetricsRegistry registry;
+  registry.GetCounter("requests_total")->Increment(3);
+  registry.SetGauge("queue_depth", [] { return std::int64_t{2}; });
+  LatencyHistogram* histogram = registry.GetHistogram("latency_motif");
+  histogram->Observe(0.25);   // bucket 0, le="1"
+  histogram->Observe(100.0);  // bucket 7, le="128"
+  histogram->Observe(100.0);
+  const std::string text = registry.PrometheusText();
+  EXPECT_NE(text.find("# TYPE valmod_requests_total counter\n"
+                      "valmod_requests_total 3\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE valmod_queue_depth gauge\n"
+                      "valmod_queue_depth 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE valmod_latency_motif_us histogram\n"),
+            std::string::npos);
+  // Buckets are cumulative: the le="128" series includes the bucket-0 hit.
+  EXPECT_NE(text.find("valmod_latency_motif_us_bucket{le=\"1\"} 1\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("valmod_latency_motif_us_bucket{le=\"128\"} 3\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("valmod_latency_motif_us_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("valmod_latency_motif_us_sum 200\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("valmod_latency_motif_us_count 3\n"),
+            std::string::npos);
+}
+
 TEST(MetricsTest, ExpositionIsSortedAndPrefixed) {
   MetricsRegistry registry;
   registry.GetCounter("zeta")->Increment(2);

@@ -1,0 +1,268 @@
+// End-to-end tests of the observability layer's HTTP face: /metrics and
+// /healthz on the gateway, the trace session endpoints, and the slow-query
+// log wired through the engine. The acceptance invariant lives here too:
+// the pruning counters scraped from /metrics equal the library-struct
+// bookkeeping of the same RunValmod call, exactly.
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/valmod.h"
+#include "obs/counters.h"
+#include "obs/log.h"
+#include "service/engine.h"
+#include "service/net.h"
+#include "service/protocol.h"
+#include "service/server.h"
+#include "test_util.h"
+#include "util/common.h"
+
+namespace valmod {
+namespace {
+
+/// Sends raw bytes to the gateway and returns everything until EOF (the
+/// gateway always answers Connection: close).
+std::string HttpExchange(int port, const std::string& request_text) {
+  int fd = -1;
+  if (!net::Connect("127.0.0.1", port, 5.0, &fd).ok()) return {};
+  if (!net::SendAll(fd, request_text).ok()) {
+    net::CloseFd(fd);
+    return {};
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t got = ::read(fd, buf, sizeof(buf));
+    if (got <= 0) break;
+    response.append(buf, static_cast<std::size_t>(got));
+  }
+  net::CloseFd(fd);
+  return response;
+}
+
+std::string HttpGet(int port, const std::string& path) {
+  return HttpExchange(port,
+                      "GET " + path + " HTTP/1.1\r\nHost: test\r\n\r\n");
+}
+
+std::string BodyOf(const std::string& response) {
+  const std::size_t at = response.find("\r\n\r\n");
+  return at == std::string::npos ? std::string() : response.substr(at + 4);
+}
+
+/// Parses `name value` from Prometheus text (skipping # TYPE lines).
+std::int64_t MetricValue(const std::string& text, const std::string& name) {
+  std::size_t pos = 0;
+  const std::string needle = name + " ";
+  while (pos < text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::string line = text.substr(
+        pos, eol == std::string::npos ? std::string::npos : eol - pos);
+    if (line.rfind(needle, 0) == 0) {
+      return std::stoll(line.substr(needle.size()));
+    }
+    if (eol == std::string::npos) break;
+    pos = eol + 1;
+  }
+  ADD_FAILURE() << "metric " << name << " not found in:\n" << text;
+  return -1;
+}
+
+Request MotifRequest(const Series& series) {
+  Request request;
+  request.type = QueryType::kMotif;
+  request.series = series;
+  request.len_min = 16;
+  request.len_max = 20;
+  request.k = 3;
+  return request;
+}
+
+TEST(ObservabilityHttp, HealthzMetricsAndErrorPaths) {
+  ServerOptions options;
+  Server server(options);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.metrics_port(), 0);
+  const int port = server.metrics_port();
+
+  const std::string healthz = HttpGet(port, "/healthz");
+  EXPECT_NE(healthz.find("HTTP/1.1 200 OK"), std::string::npos) << healthz;
+  EXPECT_EQ(BodyOf(healthz), "ok\n");
+
+  // One real query so the latency histogram and request counters are live.
+  const Response response = server.engine().Execute(
+      MotifRequest(testing_util::NoiseWithPlantedMotif(512, 24, 60, 300, 21)));
+  ASSERT_TRUE(response.ok) << response.error_message;
+
+  const std::string metrics = HttpGet(port, "/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos)
+      << metrics;
+  const std::string body = BodyOf(metrics);
+  EXPECT_NE(body.find("# TYPE valmod_requests_total counter"),
+            std::string::npos)
+      << body;
+  EXPECT_EQ(MetricValue(body, "valmod_requests_total"), 1);
+  EXPECT_NE(body.find("# TYPE valmod_submp_profiles_certified gauge"),
+            std::string::npos);
+  EXPECT_NE(body.find("# TYPE valmod_latency_motif_us histogram"),
+            std::string::npos);
+  EXPECT_NE(body.find("valmod_latency_motif_us_bucket{le=\""),
+            std::string::npos);
+  EXPECT_NE(body.find("valmod_latency_motif_us_bucket{le=\"+Inf\"} 1"),
+            std::string::npos)
+      << body;
+  EXPECT_EQ(MetricValue(body, "valmod_latency_motif_us_count"), 1);
+
+  const std::string not_found = HttpGet(port, "/nope");
+  EXPECT_NE(not_found.find("HTTP/1.1 404 Not Found"), std::string::npos)
+      << not_found;
+  const std::string post = HttpExchange(
+      port, "POST /metrics HTTP/1.1\r\nHost: test\r\n\r\n");
+  EXPECT_NE(post.find("HTTP/1.1 405 Method Not Allowed"), std::string::npos)
+      << post;
+  const std::string malformed = HttpExchange(port, "NONSENSE\r\n\r\n");
+  EXPECT_NE(malformed.find("HTTP/1.1 400 Bad Request"), std::string::npos)
+      << malformed;
+
+  server.Shutdown();
+}
+
+TEST(ObservabilityHttp, NegativeMetricsPortDisablesTheGateway) {
+  ServerOptions options;
+  options.metrics_port = -1;
+  Server server(options);
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_EQ(server.metrics_port(), 0);
+  server.Shutdown();
+}
+
+// The acceptance invariant: the certified/recomputed totals scraped from
+// GET /metrics equal the profile counts the library structs report for the
+// same RunValmod call.
+TEST(ObservabilityHttp, MetricsCountersMatchLibraryStructsExactly) {
+  ServerOptions options;
+  Server server(options);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.metrics_port(), 0);
+
+  obs::Counters::Reset();
+  const Series series =
+      testing_util::NoiseWithPlantedMotif(512, 24, 60, 300, 21);
+  ValmodOptions valmod_options;
+  valmod_options.len_min = 16;
+  valmod_options.len_max = 24;
+  valmod_options.p = 5;
+  const ValmodResult result = RunValmod(series, valmod_options);
+  ASSERT_FALSE(result.dnf);
+
+  std::int64_t full_profiles = 0;
+  std::int64_t submp_valid = 0;
+  std::int64_t heap_updates = 0;
+  std::int64_t fallbacks = 0;
+  for (const LengthStats& ls : result.length_stats) {
+    heap_updates += ls.heap_updates;
+    if (ls.used_full_recompute) {
+      full_profiles += ls.n_profiles;
+      if (ls.length != valmod_options.len_min) ++fallbacks;
+    } else {
+      submp_valid += ls.valid_count;
+    }
+  }
+  // The planted-motif input certifies every length from the bounds; the
+  // exact-equality branch below is therefore the one exercised.
+  ASSERT_EQ(fallbacks, 0);
+
+  const std::string body = BodyOf(HttpGet(server.metrics_port(), "/metrics"));
+  EXPECT_EQ(MetricValue(body, "valmod_submp_profiles_certified") +
+                MetricValue(body, "valmod_submp_profiles_recomputed"),
+            submp_valid);
+  EXPECT_EQ(MetricValue(body, "valmod_mp_profiles_full_stomp"),
+            full_profiles);
+  EXPECT_EQ(MetricValue(body, "valmod_listdp_heap_updates"), heap_updates);
+  EXPECT_EQ(MetricValue(body, "valmod_full_stomp_fallbacks"), 0);
+  EXPECT_EQ(MetricValue(body, "valmod_submp_lengths_total"),
+            static_cast<std::int64_t>(result.length_stats.size()) - 1);
+  server.Shutdown();
+}
+
+TEST(ObservabilityHttp, TraceEndpointsCaptureAQuerySession) {
+  ServerOptions options;
+  Server server(options);
+  ASSERT_TRUE(server.Start().ok());
+  const int port = server.metrics_port();
+
+  const std::string started = HttpGet(port, "/trace/start");
+  EXPECT_NE(started.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_EQ(BodyOf(started), "tracing started\n");
+
+  const Response response = server.engine().Execute(
+      MotifRequest(testing_util::NoiseWithPlantedMotif(512, 24, 60, 300, 7)));
+  ASSERT_TRUE(response.ok) << response.error_message;
+
+  const std::string stopped = HttpGet(port, "/trace/stop");
+  EXPECT_NE(stopped.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(stopped.find("application/json"), std::string::npos) << stopped;
+  const std::string body = BodyOf(stopped);
+  EXPECT_NE(body.find("{\"traceEvents\":["), std::string::npos) << body;
+#if VALMOD_TRACING_ENABLED
+  // The traced session spans the engine stages and the kernel chunks.
+  EXPECT_NE(body.find("\"name\":\"service_execute\""), std::string::npos);
+  EXPECT_NE(body.find("\"name\":\"compute_artifact\""), std::string::npos);
+  EXPECT_NE(body.find("\"name\":\"stomp_row_chunk\""), std::string::npos);
+#endif
+  server.Shutdown();
+}
+
+TEST(ObservabilityHttp, SlowQueryLogFiresAndCountsOverThreshold) {
+  std::vector<std::string> lines;
+  obs::Log::SetSink([&lines](const std::string& line) {
+    lines.push_back(line);
+  });
+
+  QueryEngineOptions options;
+  options.slow_query_ms = 0.001;  // everything is slow
+  QueryEngine engine(options);
+  const Response response = engine.Execute(
+      MotifRequest(testing_util::NoiseWithPlantedMotif(512, 24, 60, 300, 9)));
+  ASSERT_TRUE(response.ok) << response.error_message;
+
+  obs::Log::SetSink(nullptr);
+  ASSERT_EQ(lines.size(), 1u);
+  const std::string& line = lines[0];
+  EXPECT_NE(line.find("\"event\":\"slow_query\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"type\":\"motif\""), std::string::npos);
+  EXPECT_NE(line.find("\"cached\":false"), std::string::npos);
+  // queue_wait is a manual stage record, present with or without tracing.
+  EXPECT_NE(line.find("\"stage\":\"queue_wait\""), std::string::npos) << line;
+#if VALMOD_TRACING_ENABLED
+  EXPECT_NE(line.find("\"stage\":\"compute_artifact\""), std::string::npos)
+      << line;
+  EXPECT_NE(line.find("\"stage\":\"service_execute\""), std::string::npos);
+#endif
+  EXPECT_NE(engine.metrics().Exposition().find("valmod_slow_queries_total 1"),
+            std::string::npos);
+
+  // Under the threshold nothing fires: a fresh engine with a generous
+  // threshold stays quiet on a fast cached query.
+  QueryEngineOptions quiet_options;
+  quiet_options.slow_query_ms = 60000.0;
+  QueryEngine quiet(quiet_options);
+  std::vector<std::string> quiet_lines;
+  obs::Log::SetSink([&quiet_lines](const std::string& line) {
+    quiet_lines.push_back(line);
+  });
+  const Response fast = quiet.Execute(
+      MotifRequest(testing_util::NoiseWithPlantedMotif(512, 24, 60, 300, 9)));
+  obs::Log::SetSink(nullptr);
+  ASSERT_TRUE(fast.ok);
+  EXPECT_TRUE(quiet_lines.empty());
+}
+
+}  // namespace
+}  // namespace valmod

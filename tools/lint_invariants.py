@@ -41,6 +41,12 @@ Checks (use `--list` to print this table):
   self-include-first  Every src/<dir>/foo.cc includes "its" header
                       "<dir>/foo.h" first, proving the header is
                       self-contained.
+  obs-span-names      obs::TraceSpan names are snake_case string literals,
+                      unique within their file. Span names are the public
+                      vocabulary of the trace export and the slow-query
+                      stage log (docs/OBSERVABILITY.md glossary); a
+                      CamelCase or duplicated name breaks trace grouping
+                      silently.
 
 A line can waive a named check with a trailing comment:
 
@@ -57,9 +63,10 @@ import sys
 SRC_DIRS = ("src",)
 HEADER_GUARD_DIRS = ("src", "bench", "tests")
 DISTANCE_MATH_DIRS = ("src/core", "src/mp", "src/signal", "src/stream",
-                      "src/service")
-DOCUMENTED_API_DIRS = ("src/core", "src/stream", "src/service")
+                      "src/service", "src/obs")
+DOCUMENTED_API_DIRS = ("src/core", "src/stream", "src/service", "src/obs")
 BOUNDED_QUEUE_DIRS = ("src/service",)
+SPAN_NAME_DIRS = ("src", "bench", "tests", "examples")
 
 WAIVER_RE = re.compile(r"//\s*lint:\s*allow\(([a-z0-9-]+)\)")
 
@@ -335,6 +342,39 @@ class Linter:
                            f'first include must be "{own_header}" so the '
                            "header proves self-contained")
 
+    # --- check: obs-span-names -----------------------------------------------
+
+    SPAN_CTOR_RE = re.compile(r'\bTraceSpan\b[^("\n]*\(\s*"([^"]*)"')
+    SPAN_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+
+    def check_obs_span_names(self):
+        for path in find_files(self.root, SPAN_NAME_DIRS, (".h", ".cc")):
+            lines = read_lines(path)
+            seen = {}
+            for lineno, line in enumerate(lines, 1):
+                if waived(line, "obs-span-names",
+                          lines[lineno - 2] if lineno >= 2 else ""):
+                    continue
+                # Strip trailing // comments only: the span name itself is a
+                # string literal, which strip_comments_and_strings would
+                # blank out. Span names never contain slashes.
+                code = line.split("//", 1)[0]
+                for m in self.SPAN_CTOR_RE.finditer(code):
+                    name = m.group(1)
+                    if not self.SPAN_NAME_RE.match(name):
+                        self.error(path, lineno, "obs-span-names",
+                                   f"span name '{name}' must be snake_case "
+                                   "([a-z][a-z0-9_]*): span names are the "
+                                   "trace export's public vocabulary")
+                    elif name in seen:
+                        self.error(path, lineno, "obs-span-names",
+                                   f"span name '{name}' already used at "
+                                   f"line {seen[name]}; names must be "
+                                   "unique per file so trace groupings "
+                                   "stay unambiguous")
+                    else:
+                        seen[name] = lineno
+
     def run(self):
         self.check_header_guards()
         self.check_no_pow_square()
@@ -345,6 +385,7 @@ class Linter:
         self.check_no_unbounded_queue()
         self.check_no_using_namespace()
         self.check_self_include_first()
+        self.check_obs_span_names()
         return self.errors
 
 
