@@ -5,6 +5,7 @@
 // the baselines start hitting the cell budget (DNF) first.
 
 #include <cstdio>
+#include <string>
 
 #include "baselines/moen.h"
 #include "baselines/quick_motif.h"
@@ -12,6 +13,7 @@
 #include "bench_common.h"
 #include "core/valmod.h"
 #include "datasets/registry.h"
+#include "mp/simd/simd.h"
 #include "util/table.h"
 #include "util/timer.h"
 
@@ -22,7 +24,15 @@ int main(int argc, char** argv) {
   bench::PrintHeader("Figure 13: runtime vs data series size (seconds)",
                      "Figure 13", config);
 
-  Table table({"dataset", "n", "VALMOD", "STOMP", "QUICK MOTIF", "MOEN"});
+  // VALMOD runs twice per cell: once on the active kernel tier and once
+  // pinned to the scalar table, so the figure doubles as the end-to-end
+  // SIMD ablation. The per-cell speedups go to BENCH_fig13_simd.json.
+  std::string simd_json = "[\n";
+  char simd_line[256];
+  bool first_simd_line = true;
+
+  Table table({"dataset", "n", "VALMOD", "VALMOD(scalar)", "STOMP",
+               "QUICK MOTIF", "MOEN"});
   for (const DatasetSpec& spec : BenchmarkDatasets()) {
     for (const Index n : config.series_sizes) {
       const Series series = spec.generator(n, spec.default_seed);
@@ -37,8 +47,37 @@ int main(int argc, char** argv) {
       valmod_options.deadline =
           Deadline::After(config.cell_deadline_seconds);
       const ValmodResult valmod = RunValmod(series, valmod_options);
+      const double valmod_seconds = timer.Seconds();
       const std::string valmod_time =
-          bench::FormatSeconds(timer.Seconds(), valmod.dnf);
+          bench::FormatSeconds(valmod_seconds, valmod.dnf);
+
+      timer.Reset();
+      double valmod_scalar_seconds;
+      bool valmod_scalar_dnf;
+      {
+        simd::ScopedKernelOverride scalar_guard(simd::SimdLevel::kScalar);
+        ValmodOptions scalar_options = valmod_options;
+        scalar_options.deadline =
+            Deadline::After(config.cell_deadline_seconds);
+        const ValmodResult valmod_scalar = RunValmod(series, scalar_options);
+        valmod_scalar_seconds = timer.Seconds();
+        valmod_scalar_dnf = valmod_scalar.dnf;
+      }
+      const std::string valmod_scalar_time =
+          bench::FormatSeconds(valmod_scalar_seconds, valmod_scalar_dnf);
+      if (!valmod.dnf && !valmod_scalar_dnf) {
+        std::snprintf(simd_line, sizeof(simd_line),
+                      "%s  {\"dataset\":\"%s\",\"n\":%lld,"
+                      "\"tier\":\"%s\",\"simd_s\":%.3f,\"scalar_s\":%.3f,"
+                      "\"speedup\":%.2f}",
+                      first_simd_line ? "" : ",\n", spec.name.c_str(),
+                      static_cast<long long>(n),
+                      simd::SimdLevelName(simd::ActiveSimdLevel()),
+                      valmod_seconds, valmod_scalar_seconds,
+                      valmod_scalar_seconds / valmod_seconds);
+        simd_json += simd_line;
+        first_simd_line = false;
+      }
 
       timer.Reset();
       const PerLengthMotifs stomp =
@@ -62,10 +101,17 @@ int main(int argc, char** argv) {
       const std::string moen_time =
           bench::FormatSeconds(timer.Seconds(), moen.dnf);
 
-      table.AddRow({spec.name, Table::Int(n), valmod_time, stomp_time,
-                    quick_time, moen_time});
+      table.AddRow({spec.name, Table::Int(n), valmod_time, valmod_scalar_time,
+                    stomp_time, quick_time, moen_time});
     }
   }
   std::printf("%s\n", table.Render().c_str());
+
+  simd_json += "\n]\n";
+  if (std::FILE* out = std::fopen("BENCH_fig13_simd.json", "w")) {
+    std::fputs(simd_json.c_str(), out);
+    std::fclose(out);
+    std::printf("wrote BENCH_fig13_simd.json\n");
+  }
   return 0;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <utility>
+#include <vector>
 
 #include "core/lower_bound.h"
 #include "mp/distance_profile.h"
@@ -52,12 +53,21 @@ double ProfileTlb(const PrefixStats& stats, const ProfileLbState& state,
                   Index new_len) {
   const double sigma_now = stats.Std(state.owner, new_len);
   const MeanStd owner_stats = stats.Stats(state.owner, new_len);
-  double acc = 0.0;
-  Index count = 0;
+  // All live entries share the owner's sigma ratio, so their Eq. 2 bounds
+  // evaluate as one batch through the dispatched SIMD kernel.
+  std::vector<double> lb_bases;
+  lb_bases.reserve(state.entries.Items().size());
   for (const LbEntry& entry : state.entries.Items()) {
     if (entry.dead) continue;
-    const double lb =
-        LowerBoundAtLength(entry.lb_base, state.sigma_base, sigma_now);
+    lb_bases.push_back(entry.lb_base);
+  }
+  std::vector<double> lbs(lb_bases.size());
+  LowerBoundAtLengthBatch(lb_bases, state.sigma_base, sigma_now, lbs);
+  double acc = 0.0;
+  std::size_t live = 0;
+  for (const LbEntry& entry : state.entries.Items()) {
+    if (entry.dead) continue;
+    const double lb = lbs[live++];
     const double dist = ZNormalizedDistanceFromDotProduct(
         entry.qt, new_len, owner_stats, stats.Stats(entry.neighbor, new_len));
     if (dist <= 0.0) {
@@ -65,9 +75,8 @@ double ProfileTlb(const PrefixStats& stats, const ProfileLbState& state,
     } else {
       acc += std::min(1.0, lb / dist);
     }
-    ++count;
   }
-  return count == 0 ? 0.0 : acc / static_cast<double>(count);
+  return live == 0 ? 0.0 : acc / static_cast<double>(live);
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 #include "core/list_dp.h"
 
 #include <cmath>
+#include <vector>
 
 #include "core/lower_bound.h"
 #include "signal/distance.h"
@@ -31,16 +32,18 @@ ProfileLbState HarvestProfile(Index owner, Index len, Index p,
   // This loop runs once per (row, column), i.e. O(n^2) per matrix-profile
   // pass, so it is written to be cheap: the correlation is recovered from
   // the already-computed distance (q = 1 - d^2/(2l), inverting Eq. 3 with
-  // all flat-window conventions already applied), and the heap threshold is
-  // checked on the *squared* base term so the sqrt only runs for entries
-  // that actually enter the heap.
-  const double l = static_cast<double>(len);
+  // all flat-window conventions already applied) by the batched SIMD kernel,
+  // and the heap threshold is checked on the *squared* base term so the sqrt
+  // only runs for entries that actually enter the heap. The scratch is
+  // thread-local because ParallelStomp harvests rows concurrently.
+  static thread_local std::vector<double> base_sq_row;
+  base_sq_row.resize(qt_row.size());
+  LowerBoundBaseSqBatch(dist_row, len, base_sq_row);
   double max_sq = kInf;  // Squared heap max; +inf until the heap fills.
   for (Index j = 0; j < n_sub; ++j) {
     const double dist = dist_row[static_cast<std::size_t>(j)];
     if (dist == kInf) continue;  // Trivial match.
-    const double q = 1.0 - dist * dist / (2.0 * l);
-    const double base_sq = q <= 0.0 ? l : l * (1.0 - q * q);
+    const double base_sq = base_sq_row[static_cast<std::size_t>(j)];
     if (base_sq >= max_sq) continue;  // Cannot displace the heap max.
     LbEntry entry;
     entry.neighbor = j;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "mp/simd/simd.h"
 #include "signal/znorm.h"
 #include "util/check.h"
 
@@ -25,6 +26,24 @@ double LowerBoundDistance(double correlation, Index base_len,
                           double sigma_owner_base, double sigma_owner_now) {
   return LowerBoundAtLength(LowerBoundBase(correlation, base_len),
                             sigma_owner_base, sigma_owner_now);
+}
+
+void LowerBoundAtLengthBatch(std::span<const double> lb_bases,
+                             double sigma_base, double sigma_now,
+                             std::span<double> out) {
+  VALMOD_DCHECK(out.size() == lb_bases.size());
+  simd::CurrentKernels().lb_at_length(lb_bases.data(),
+                                      static_cast<Index>(lb_bases.size()),
+                                      sigma_base, sigma_now, out.data());
+}
+
+void LowerBoundBaseSqBatch(std::span<const double> distances, Index base_len,
+                           std::span<double> out) {
+  VALMOD_DCHECK(out.size() == distances.size());
+  VALMOD_DCHECK(base_len >= 1);
+  simd::CurrentKernels().lb_base_sq_row(distances.data(),
+                                        static_cast<Index>(distances.size()),
+                                        base_len, out.data());
 }
 
 }  // namespace valmod

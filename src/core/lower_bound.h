@@ -1,6 +1,8 @@
 #ifndef VALMOD_CORE_LOWER_BOUND_H_
 #define VALMOD_CORE_LOWER_BOUND_H_
 
+#include <span>
+
 #include "util/common.h"
 #include "util/prefix_stats.h"
 
@@ -38,6 +40,23 @@ double LowerBoundAtLength(double lower_bound_base, double sigma_base,
 /// statistics. Used by tests and diagnostics; hot paths use the split form.
 double LowerBoundDistance(double correlation, Index base_len,
                           double sigma_owner_base, double sigma_owner_now);
+
+/// Vectorized LowerBoundAtLength over a batch of base terms sharing one
+/// owner: out[i] = lb_bases[i] * sigma_base / sigma_now (0 when the owner
+/// window is flat at the target length). Routed through the dispatched SIMD
+/// kernels; bit-identical to calling LowerBoundAtLength per element.
+/// `out` must have lb_bases.size() elements.
+void LowerBoundAtLengthBatch(std::span<const double> lb_bases,
+                             double sigma_base, double sigma_now,
+                             std::span<double> out);
+
+/// Vectorized squared base term recovered from distances (the HarvestProfile
+/// inner loop): for each i with d = distances[i], q = 1 - d^2/(2*base_len)
+/// and out[i] = base_len if q <= 0, else base_len * (1 - q^2). Entries where
+/// d is kInf (trivial matches) come back as base_len; callers that skip them
+/// must keep checking the distance. `out` must match distances.size().
+void LowerBoundBaseSqBatch(std::span<const double> distances, Index base_len,
+                           std::span<double> out);
 
 }  // namespace valmod
 

@@ -1,6 +1,7 @@
 #include "mp/distance_profile.h"
 
 #include "mp/matrix_profile.h"
+#include "mp/simd/simd.h"
 #include "signal/distance.h"
 #include "signal/sliding_dot.h"
 #include "signal/znorm.h"
@@ -14,11 +15,21 @@ std::vector<double> DistanceProfileFromDotProducts(
   const Index n_sub = static_cast<Index>(qt.size());
   const MeanStd q_stats = stats.Stats(query_offset, len);
   std::vector<double> profile(static_cast<std::size_t>(n_sub), kInf);
+  // Materialize the column stats once so the row can run through the
+  // dispatched kernel; the copy is O(n_sub), same order as the row itself.
+  std::vector<MeanStd> col_stats(static_cast<std::size_t>(n_sub));
   for (Index j = 0; j < n_sub; ++j) {
-    if (IsTrivialMatch(query_offset, j, len)) continue;
-    profile[static_cast<std::size_t>(j)] = ZNormalizedDistanceFromDotProduct(
-        qt[static_cast<std::size_t>(j)], len, q_stats, stats.Stats(j, len));
+    col_stats[static_cast<std::size_t>(j)] = stats.Stats(j, len);
   }
+  const simd::SimdKernels& kernels = simd::CurrentKernels();
+  const ColumnRanges ranges = NonTrivialColumnRanges(query_offset, len, n_sub);
+  double best = kInf;
+  Index best_j = kNoNeighbor;
+  kernels.dist_row_min(qt.data(), col_stats.data(), q_stats, len, 0,
+                       ranges.left_end, profile.data(), &best, &best_j);
+  kernels.dist_row_min(qt.data(), col_stats.data(), q_stats, len,
+                       ranges.right_begin, n_sub, profile.data(), &best,
+                       &best_j);
   return profile;
 }
 

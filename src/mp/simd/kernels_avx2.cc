@@ -1,0 +1,432 @@
+#include "mp/simd/simd.h"
+
+#include "mp/simd/kernels_detail.h"
+
+// AVX2 kernel table. Compiled with -mavx2 -mfma -ffp-contract=off (see
+// CMakeLists.txt); everything outside the VALMOD_SIMD_AVX2 guard must build
+// for the baseline target too, so the guard wraps the whole implementation.
+//
+// Bit-identity with the scalar table is a hard requirement (the property
+// suite asserts it case by case), and it falls out of three facts:
+//  1. Every arithmetic step mirrors the scalar op sequence with the exactly
+//     rounded IEEE vector ops mul/sub/add/div/sqrt — FMA is never emitted
+//     (no fma intrinsics; -ffp-contract=off stops the compiler contracting
+//     the scalar heads/tails in this TU).
+//  2. The predicate ops match scalar semantics: _CMP_LT_OQ/_CMP_LE_OQ are
+//     false on NaN exactly like the < / <= they replace, and vminpd/vmaxpd
+//     return the *second* operand on NaN or equality, which makes
+//     min(1, raw) / max(-1, x) / max(v, 0) reproduce std::clamp and
+//     std::max including their NaN pass-through and bound priority.
+//  3. Column-min tracking keeps per-lane minima under strict less-than and
+//     reduces lanes lexicographically by (value, index), which equals the
+//     scalar ascending first-strict-min scan, ties included.
+
+#if defined(VALMOD_SIMD_AVX2)
+
+#include <immintrin.h>
+
+namespace valmod {
+namespace simd {
+namespace {
+
+/// Deinterleaves four consecutive MeanStd records (AoS, 16 bytes each) into
+/// a means vector and a stds vector in natural j order.
+inline void LoadStats4(const MeanStd* stats, Index j, __m256d* means,
+                       __m256d* stds) {
+  // v01 = [m0 s0 m1 s1], v23 = [m2 s2 m3 s3]
+  const __m256d v01 = _mm256_loadu_pd(&stats[static_cast<std::size_t>(j)].mean);
+  const __m256d v23 =
+      _mm256_loadu_pd(&stats[static_cast<std::size_t>(j + 2)].mean);
+  // unpacklo -> [m0 m2 m1 m3]; permute(0xD8) picks lanes 0,2,1,3 -> natural.
+  *means = _mm256_permute4x64_pd(_mm256_unpacklo_pd(v01, v23), 0xD8);
+  *stds = _mm256_permute4x64_pd(_mm256_unpackhi_pd(v01, v23), 0xD8);
+}
+
+/// Vector IsFlatWindow (signal/znorm.h): std^2 <= rel^2 * (mean^2 + std^2)
+/// + 1e-26, evaluated with the same association as the scalar expression.
+inline __m256d FlatMask4(__m256d mean, __m256d std) {
+  const __m256d std_sq = _mm256_mul_pd(std, std);
+  const __m256d rms_sq = _mm256_add_pd(_mm256_mul_pd(mean, mean), std_sq);
+  const __m256d rhs = _mm256_add_pd(
+      _mm256_mul_pd(_mm256_set1_pd(kFlatRelEpsilon * kFlatRelEpsilon), rms_sq),
+      _mm256_set1_pd(1e-26));
+  return _mm256_cmp_pd(std_sq, rhs, _CMP_LE_OQ);
+}
+
+/// Row-invariant broadcast state for the distance kernels. The row's
+/// IsFlatWindow result travels separately, as the kRowFlat template
+/// parameter of Distance4.
+struct RowConstants {
+  __m256d l_mean;  // l * row.mean
+  __m256d l_std;   // l * row.std
+  __m256d two_l;   // 2 * l
+};
+
+inline RowConstants MakeRowConstants(double l, const MeanStd& row_stats) {
+  RowConstants rc;
+  rc.l_mean = _mm256_set1_pd(l * row_stats.mean);
+  rc.l_std = _mm256_set1_pd(l * row_stats.std);
+  rc.two_l = _mm256_set1_pd(2.0 * l);
+  return rc;
+}
+
+/// Four Eq. 3 distances from four dot products; mirrors
+/// internal::DistanceFromQt lane by lane. kRowFlat is the row window's
+/// IsFlatWindow result, lifted to a template parameter so the common
+/// non-flat-row path skips the row-side mask combining entirely (the result
+/// is identical: with row_flat = 0, any_flat == col_flat and both_flat is
+/// never taken).
+template <bool kRowFlat>
+inline __m256d Distance4(__m256d qt, const RowConstants& rc, __m256d col_mean,
+                         __m256d col_std) {
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d neg_one = _mm256_set1_pd(-1.0);
+  // corr = (qt - (l*a.mean)*b.mean) / ((l*a.std)*b.std)
+  const __m256d num = _mm256_sub_pd(qt, _mm256_mul_pd(rc.l_mean, col_mean));
+  const __m256d den = _mm256_mul_pd(rc.l_std, col_std);
+  const __m256d raw = _mm256_div_pd(num, den);
+  // std::clamp(raw, -1, 1) via min/max: vminpd(1, raw) is `1 < raw ? 1 :
+  // raw` and vmaxpd(-1, x) is `x < -1 ? -1 : x` — both return the second
+  // operand on NaN or equality, so NaN passes through and the lo bound wins,
+  // exactly like the scalar two-comparison clamp.
+  __m256d corr = _mm256_max_pd(neg_one, _mm256_min_pd(one, raw));
+  // Flat-window overrides: one flat -> 0.5, both flat -> 1.0.
+  const __m256d col_flat = FlatMask4(col_mean, col_std);
+  if constexpr (kRowFlat) {
+    // Row flat: every lane is at least "one flat" (0.5); flat columns are
+    // "both flat" (1.0).
+    corr = _mm256_blendv_pd(_mm256_set1_pd(0.5), one, col_flat);
+  } else {
+    corr = _mm256_blendv_pd(corr, _mm256_set1_pd(0.5), col_flat);
+  }
+  // d = sqrt(max(0, (2l)*(1-corr))); max operand order gives std::max(0., v)
+  // NaN/-0.0 behavior (vmaxpd returns the second operand in those cases).
+  const __m256d v = _mm256_mul_pd(rc.two_l, _mm256_sub_pd(one, corr));
+  return _mm256_sqrt_pd(_mm256_max_pd(v, _mm256_setzero_pd()));
+}
+
+/// Per-lane running minima for column-min tracking.
+struct LaneMin {
+  __m256d value;
+  __m256i index;
+};
+
+inline LaneMin MakeLaneMin(double best, Index best_j) {
+  return {_mm256_set1_pd(best), _mm256_set1_epi64x(best_j)};
+}
+
+inline void UpdateLaneMin(LaneMin* lanes, __m256d d, __m256i jv) {
+  const __m256d lt = _mm256_cmp_pd(d, lanes->value, _CMP_LT_OQ);
+  lanes->value = _mm256_blendv_pd(lanes->value, d, lt);
+  lanes->index = _mm256_castpd_si256(_mm256_blendv_pd(
+      _mm256_castsi256_pd(lanes->index), _mm256_castsi256_pd(jv), lt));
+}
+
+/// Lexicographic (value, index) reduce over the four lanes, folded into the
+/// caller's running best. Equal values keep the smaller index, so ties
+/// resolve exactly like the scalar ascending scan.
+inline void ReduceLaneMin(const LaneMin& lanes, double* best, Index* best_j) {
+  alignas(32) double values[4];
+  alignas(32) long long indices[4];
+  _mm256_store_pd(values, lanes.value);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(indices), lanes.index);
+  for (int lane = 0; lane < 4; ++lane) {
+    const double v = values[lane];
+    const Index idx = static_cast<Index>(indices[lane]);
+    if (v < *best || (v == *best && idx < *best_j)) {
+      *best = v;
+      *best_j = idx;
+    }
+  }
+}
+
+void QtUpdateAvx2(const double* series, Index row, Index len, Index n_sub,
+                  const double* qt_prev, double* qt_out) {
+  const double a = series[static_cast<std::size_t>(row - 1)];
+  const double b = series[static_cast<std::size_t>(row + len - 1)];
+  const __m256d av = _mm256_set1_pd(a);
+  const __m256d bv = _mm256_set1_pd(b);
+  Index j = n_sub - 1;
+  // Descending blocks keep the in-place update alias-safe: block [jb, jb+3]
+  // reads qt_prev[jb-1 .. jb+2], all below every index written so far, and
+  // loads happen before the block's own store.
+  for (; j - 3 >= 1; j -= 4) {
+    const Index jb = j - 3;
+    const __m256d prev =
+        _mm256_loadu_pd(qt_prev + static_cast<std::size_t>(jb - 1));
+    const __m256d s1 =
+        _mm256_loadu_pd(series + static_cast<std::size_t>(jb - 1));
+    const __m256d s2 =
+        _mm256_loadu_pd(series + static_cast<std::size_t>(jb + len - 1));
+    const __m256d t = _mm256_add_pd(_mm256_sub_pd(prev, _mm256_mul_pd(av, s1)),
+                                    _mm256_mul_pd(bv, s2));
+    _mm256_storeu_pd(qt_out + static_cast<std::size_t>(jb), t);
+  }
+  for (; j >= 1; --j) {
+    qt_out[static_cast<std::size_t>(j)] = internal::QtStep(
+        qt_prev[static_cast<std::size_t>(j - 1)], a,
+        series[static_cast<std::size_t>(j - 1)], b,
+        series[static_cast<std::size_t>(j + len - 1)]);
+  }
+}
+
+template <bool kRowFlat>
+void DistRowMinBody(const double* qt, const MeanStd* col_stats,
+                    MeanStd row_stats, Index len, Index begin, Index end,
+                    double* profile, double* best, Index* best_j) {
+  const double l = static_cast<double>(len);
+  const RowConstants rc = MakeRowConstants(l, row_stats);
+  LaneMin lanes = MakeLaneMin(*best, *best_j);
+  Index j = begin;
+  __m256i jv = _mm256_set_epi64x(begin + 3, begin + 2, begin + 1, begin);
+  const __m256i four = _mm256_set1_epi64x(4);
+  const __m256i eight = _mm256_set1_epi64x(8);
+  // 8-wide unroll with a second min accumulator: the two Distance4 chains
+  // (each serialized through vdivpd -> vsqrtpd) overlap, and the per-lane
+  // min updates no longer share one dependency chain. Bit-identity is
+  // untouched — every element sees the exact same op sequence, and the
+  // lexicographic (value, index) reduce over both accumulators equals the
+  // scalar ascending first-strict-min scan.
+  LaneMin lanes_hi = MakeLaneMin(*best, *best_j);
+  __m256i jv_hi = _mm256_add_epi64(jv, four);
+  for (; j + 8 <= end; j += 8) {
+    __m256d means, stds, means_hi, stds_hi;
+    LoadStats4(col_stats, j, &means, &stds);
+    LoadStats4(col_stats, j + 4, &means_hi, &stds_hi);
+    const __m256d qtv = _mm256_loadu_pd(qt + static_cast<std::size_t>(j));
+    const __m256d qtv_hi =
+        _mm256_loadu_pd(qt + static_cast<std::size_t>(j + 4));
+    const __m256d d = Distance4<kRowFlat>(qtv, rc, means, stds);
+    const __m256d d_hi = Distance4<kRowFlat>(qtv_hi, rc, means_hi, stds_hi);
+    if (profile != nullptr) {
+      _mm256_storeu_pd(profile + static_cast<std::size_t>(j), d);
+      _mm256_storeu_pd(profile + static_cast<std::size_t>(j + 4), d_hi);
+    }
+    UpdateLaneMin(&lanes, d, jv);
+    UpdateLaneMin(&lanes_hi, d_hi, jv_hi);
+    jv = _mm256_add_epi64(jv, eight);
+    jv_hi = _mm256_add_epi64(jv_hi, eight);
+  }
+  for (; j + 4 <= end; j += 4) {
+    __m256d means, stds;
+    LoadStats4(col_stats, j, &means, &stds);
+    const __m256d qtv = _mm256_loadu_pd(qt + static_cast<std::size_t>(j));
+    const __m256d d = Distance4<kRowFlat>(qtv, rc, means, stds);
+    if (profile != nullptr) {
+      _mm256_storeu_pd(profile + static_cast<std::size_t>(j), d);
+    }
+    UpdateLaneMin(&lanes, d, jv);
+    jv = _mm256_add_epi64(jv, four);
+  }
+  ReduceLaneMin(lanes, best, best_j);
+  ReduceLaneMin(lanes_hi, best, best_j);
+  for (; j < end; ++j) {
+    const std::size_t k = static_cast<std::size_t>(j);
+    const double d = internal::DistanceFromQt(qt[k], l, row_stats,
+                                              col_stats[k]);
+    if (profile != nullptr) profile[k] = d;
+    if (d < *best) {
+      *best = d;
+      *best_j = j;
+    }
+  }
+}
+
+void DistRowMinAvx2(const double* qt, const MeanStd* col_stats,
+                    MeanStd row_stats, Index len, Index begin, Index end,
+                    double* profile, double* best, Index* best_j) {
+  if (IsFlatWindow(row_stats.mean, row_stats.std)) {
+    DistRowMinBody<true>(qt, col_stats, row_stats, len, begin, end, profile,
+                         best, best_j);
+  } else {
+    DistRowMinBody<false>(qt, col_stats, row_stats, len, begin, end, profile,
+                          best, best_j);
+  }
+}
+
+template <bool kRowFlat>
+void DistRowMinUpdateBody(const double* qt, const MeanStd* col_stats,
+                          MeanStd row_stats, Index len, Index row, Index begin,
+                          Index end, double* distances, Index* indices,
+                          double* best, Index* best_j) {
+  const double l = static_cast<double>(len);
+  const RowConstants rc = MakeRowConstants(l, row_stats);
+  LaneMin lanes = MakeLaneMin(*best, *best_j);
+  const __m256i rowv = _mm256_set1_epi64x(row);
+  Index j = begin;
+  __m256i jv = _mm256_set_epi64x(begin + 3, begin + 2, begin + 1, begin);
+  const __m256i four = _mm256_set1_epi64x(4);
+  for (; j + 4 <= end; j += 4) {
+    __m256d means, stds;
+    LoadStats4(col_stats, j, &means, &stds);
+    const __m256d qtv = _mm256_loadu_pd(qt + static_cast<std::size_t>(j));
+    const __m256d d = Distance4<kRowFlat>(qtv, rc, means, stds);
+    UpdateLaneMin(&lanes, d, jv);
+    jv = _mm256_add_epi64(jv, four);
+    // Stored-profile min-update: d < distances[j] replaces (distance, index).
+    const std::size_t k = static_cast<std::size_t>(j);
+    const __m256d stored = _mm256_loadu_pd(distances + k);
+    const __m256d lt = _mm256_cmp_pd(d, stored, _CMP_LT_OQ);
+    _mm256_storeu_pd(distances + k, _mm256_blendv_pd(stored, d, lt));
+    const __m256i stored_idx = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(indices + k));
+    const __m256i new_idx = _mm256_castpd_si256(_mm256_blendv_pd(
+        _mm256_castsi256_pd(stored_idx), _mm256_castsi256_pd(rowv), lt));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(indices + k), new_idx);
+  }
+  ReduceLaneMin(lanes, best, best_j);
+  for (; j < end; ++j) {
+    const std::size_t k = static_cast<std::size_t>(j);
+    const double d = internal::DistanceFromQt(qt[k], l, row_stats,
+                                              col_stats[k]);
+    if (d < *best) {
+      *best = d;
+      *best_j = j;
+    }
+    if (d < distances[k]) {
+      distances[k] = d;
+      indices[k] = row;
+    }
+  }
+}
+
+void DistRowMinUpdateAvx2(const double* qt, const MeanStd* col_stats,
+                          MeanStd row_stats, Index len, Index row, Index begin,
+                          Index end, double* distances, Index* indices,
+                          double* best, Index* best_j) {
+  if (IsFlatWindow(row_stats.mean, row_stats.std)) {
+    DistRowMinUpdateBody<true>(qt, col_stats, row_stats, len, row, begin, end,
+                               distances, indices, best, best_j);
+  } else {
+    DistRowMinUpdateBody<false>(qt, col_stats, row_stats, len, row, begin,
+                                end, distances, indices, best, best_j);
+  }
+}
+
+void LbBaseSqRowAvx2(const double* dist_row, Index n, Index len,
+                     double* base_sq) {
+  const double l = static_cast<double>(len);
+  const double two_l = 2.0 * l;
+  const __m256d lv = _mm256_set1_pd(l);
+  const __m256d two_lv = _mm256_set1_pd(two_l);
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d zero = _mm256_setzero_pd();
+  Index j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const std::size_t k = static_cast<std::size_t>(j);
+    const __m256d d = _mm256_loadu_pd(dist_row + k);
+    // q = 1 - d*d/(2l); base_sq = q <= 0 ? l : l*(1 - q*q)
+    const __m256d q =
+        _mm256_sub_pd(one, _mm256_div_pd(_mm256_mul_pd(d, d), two_lv));
+    const __m256d structured =
+        _mm256_mul_pd(lv, _mm256_sub_pd(one, _mm256_mul_pd(q, q)));
+    const __m256d le = _mm256_cmp_pd(q, zero, _CMP_LE_OQ);
+    _mm256_storeu_pd(base_sq + k, _mm256_blendv_pd(structured, lv, le));
+  }
+  for (; j < n; ++j) {
+    base_sq[static_cast<std::size_t>(j)] = internal::LbBaseSqFromDistance(
+        dist_row[static_cast<std::size_t>(j)], l, two_l);
+  }
+}
+
+void LbAtLengthAvx2(const double* lb_base, Index n, double sigma_base,
+                    double sigma_now, double* out) {
+  if (sigma_now < kFlatStdEpsilon) {
+    for (Index j = 0; j < n; ++j) out[static_cast<std::size_t>(j)] = 0.0;
+    return;
+  }
+  const double ratio = sigma_base / sigma_now;
+  const __m256d rv = _mm256_set1_pd(ratio);
+  Index j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const std::size_t k = static_cast<std::size_t>(j);
+    _mm256_storeu_pd(out + k, _mm256_mul_pd(_mm256_loadu_pd(lb_base + k), rv));
+  }
+  for (; j < n; ++j) {
+    out[static_cast<std::size_t>(j)] =
+        lb_base[static_cast<std::size_t>(j)] * ratio;
+  }
+}
+
+void SlidingDotAvx2(const double* query, Index m, const double* series,
+                    Index n, double* out) {
+  const Index n_out = n - m + 1;
+  Index j = 0;
+  // Four output dots at a time; k advances sequentially, so each lane's
+  // accumulation order equals the scalar inner loop's.
+  for (; j + 4 <= n_out; j += 4) {
+    __m256d acc = _mm256_setzero_pd();
+    for (Index k = 0; k < m; ++k) {
+      const __m256d qk = _mm256_set1_pd(query[static_cast<std::size_t>(k)]);
+      const __m256d sv =
+          _mm256_loadu_pd(series + static_cast<std::size_t>(j + k));
+      acc = _mm256_add_pd(acc, _mm256_mul_pd(qk, sv));
+    }
+    _mm256_storeu_pd(out + static_cast<std::size_t>(j), acc);
+  }
+  for (; j < n_out; ++j) {
+    double acc = 0.0;
+    for (Index k = 0; k < m; ++k) {
+      acc += query[static_cast<std::size_t>(k)] *
+             series[static_cast<std::size_t>(j + k)];
+    }
+    out[static_cast<std::size_t>(j)] = acc;
+  }
+}
+
+void ZNormalizeAvx2(const double* values, Index n, double mean, double std,
+                    double* out) {
+  const __m256d mv = _mm256_set1_pd(mean);
+  const __m256d sv = _mm256_set1_pd(std);
+  Index i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const std::size_t k = static_cast<std::size_t>(i);
+    const __m256d v = _mm256_loadu_pd(values + k);
+    _mm256_storeu_pd(out + k, _mm256_div_pd(_mm256_sub_pd(v, mv), sv));
+  }
+  for (; i < n; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        (values[static_cast<std::size_t>(i)] - mean) / std;
+  }
+}
+
+}  // namespace
+
+namespace internal {
+
+const SimdKernels* Avx2KernelsOrNull() {
+  if (!__builtin_cpu_supports("avx2") || !__builtin_cpu_supports("fma")) {
+    return nullptr;
+  }
+  static const SimdKernels kTable = [] {
+    SimdKernels t;
+    t.level = SimdLevel::kAvx2;
+    t.qt_update = &QtUpdateAvx2;
+    t.dist_row_min = &DistRowMinAvx2;
+    t.dist_row_min_update = &DistRowMinUpdateAvx2;
+    t.lb_base_sq_row = &LbBaseSqRowAvx2;
+    t.lb_at_length = &LbAtLengthAvx2;
+    t.sliding_dot = &SlidingDotAvx2;
+    t.znormalize = &ZNormalizeAvx2;
+    return t;
+  }();
+  return &kTable;
+}
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace valmod
+
+#else  // !defined(VALMOD_SIMD_AVX2)
+
+namespace valmod {
+namespace simd {
+namespace internal {
+
+const SimdKernels* Avx2KernelsOrNull() { return nullptr; }
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace valmod
+
+#endif  // defined(VALMOD_SIMD_AVX2)

@@ -1,0 +1,63 @@
+#ifndef VALMOD_MP_SIMD_KERNELS_DETAIL_H_
+#define VALMOD_MP_SIMD_KERNELS_DETAIL_H_
+
+#include <algorithm>
+#include <cmath>
+
+#include "signal/znorm.h"
+#include "util/common.h"
+#include "util/prefix_stats.h"
+
+// Shared scalar bodies for the kernel tables. Both translation units — the
+// scalar table and the AVX2 table (which uses these for its unaligned
+// heads/tails) — must produce bit-identical doubles, so every function here
+// mirrors the op *sequence* of the code it replaces (signal/distance.cc,
+// core/list_dp.cc, core/lower_bound.cc) exactly: same association, same
+// comparison predicates, no re-ordering. The AVX2 TU is compiled with
+// -ffp-contract=off so these expressions cannot be FMA-contracted there.
+
+namespace valmod {
+namespace simd {
+namespace internal {
+
+/// Eq. 3 distance from a dot product, with the flat-window conventions of
+/// signal/distance.cc: flat/flat pairs have correlation 1, flat/non-flat
+/// pairs 0.5, and the structured correlation is clamped to [-1, 1].
+/// `l` is the subsequence length as a double.
+inline double DistanceFromQt(double qt, double l, const MeanStd& a,
+                             const MeanStd& b) {
+  const bool flat_a = IsFlatWindow(a.mean, a.std);
+  const bool flat_b = IsFlatWindow(b.mean, b.std);
+  double corr;
+  if (flat_a || flat_b) {
+    corr = (flat_a && flat_b) ? 1.0 : 0.5;
+  } else {
+    corr = (qt - l * a.mean * b.mean) / (l * a.std * b.std);
+    corr = std::clamp(corr, -1.0, 1.0);
+  }
+  const double v = 2.0 * l * (1.0 - corr);
+  return std::sqrt(std::max(0.0, v));
+}
+
+/// One step of the STOMP dot-product recurrence (Algorithm 3), exactly as
+/// written in the row kernel: ((qt_prev - a*s1) + b*s2) where a = series at
+/// row-1 and b = series at row+len-1.
+inline double QtStep(double qt_prev, double a, double s1, double b,
+                     double s2) {
+  return qt_prev - a * s1 + b * s2;
+}
+
+/// Squared Eq. 2 base term recovered from an already-computed distance
+/// (core/list_dp.cc HarvestProfile): q = 1 - d^2/(2l), base^2 = l(1 - q^2)
+/// clamped to l when the correlation is non-positive. `two_l` must be the
+/// double product 2.0 * l.
+inline double LbBaseSqFromDistance(double dist, double l, double two_l) {
+  const double q = 1.0 - dist * dist / two_l;
+  return q <= 0.0 ? l : l * (1.0 - q * q);
+}
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace valmod
+
+#endif  // VALMOD_MP_SIMD_KERNELS_DETAIL_H_

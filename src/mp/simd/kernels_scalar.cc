@@ -1,0 +1,130 @@
+#include "mp/simd/simd.h"
+
+#include "mp/simd/kernels_detail.h"
+
+// Scalar reference kernels. These are the exact loops the pre-SIMD code ran
+// inline at the call sites (stomp_kernel.cc, streaming_profile.cc,
+// list_dp.cc, lower_bound.cc, sliding_dot.cc, znorm.cc), lifted behind the
+// dispatch table; VALMOD_FORCE_SCALAR=1 output is bitwise-identical to the
+// historical scalar implementation because this *is* that implementation.
+
+namespace valmod {
+namespace simd {
+namespace {
+
+void QtUpdateScalar(const double* series, Index row, Index len, Index n_sub,
+                    const double* qt_prev, double* qt_out) {
+  const double a = series[static_cast<std::size_t>(row - 1)];
+  const double b = series[static_cast<std::size_t>(row + len - 1)];
+  // Descending j keeps the in-place (qt_out == qt_prev) update reading the
+  // previous row: qt_prev[j-1] is consumed before qt_out[j-1] is written.
+  for (Index j = n_sub - 1; j >= 1; --j) {
+    qt_out[static_cast<std::size_t>(j)] = internal::QtStep(
+        qt_prev[static_cast<std::size_t>(j - 1)], a,
+        series[static_cast<std::size_t>(j - 1)], b,
+        series[static_cast<std::size_t>(j + len - 1)]);
+  }
+}
+
+void DistRowMinScalar(const double* qt, const MeanStd* col_stats,
+                      MeanStd row_stats, Index len, Index begin, Index end,
+                      double* profile, double* best, Index* best_j) {
+  const double l = static_cast<double>(len);
+  for (Index j = begin; j < end; ++j) {
+    const std::size_t k = static_cast<std::size_t>(j);
+    const double d = internal::DistanceFromQt(qt[k], l, row_stats,
+                                              col_stats[k]);
+    if (profile != nullptr) profile[k] = d;
+    if (d < *best) {
+      *best = d;
+      *best_j = j;
+    }
+  }
+}
+
+void DistRowMinUpdateScalar(const double* qt, const MeanStd* col_stats,
+                            MeanStd row_stats, Index len, Index row,
+                            Index begin, Index end, double* distances,
+                            Index* indices, double* best, Index* best_j) {
+  const double l = static_cast<double>(len);
+  for (Index j = begin; j < end; ++j) {
+    const std::size_t k = static_cast<std::size_t>(j);
+    const double d = internal::DistanceFromQt(qt[k], l, row_stats,
+                                              col_stats[k]);
+    if (d < *best) {
+      *best = d;
+      *best_j = j;
+    }
+    if (d < distances[k]) {
+      distances[k] = d;
+      indices[k] = row;
+    }
+  }
+}
+
+void LbBaseSqRowScalar(const double* dist_row, Index n, Index len,
+                       double* base_sq) {
+  const double l = static_cast<double>(len);
+  const double two_l = 2.0 * l;
+  for (Index j = 0; j < n; ++j) {
+    base_sq[static_cast<std::size_t>(j)] = internal::LbBaseSqFromDistance(
+        dist_row[static_cast<std::size_t>(j)], l, two_l);
+  }
+}
+
+void LbAtLengthScalar(const double* lb_base, Index n, double sigma_base,
+                      double sigma_now, double* out) {
+  if (sigma_now < kFlatStdEpsilon) {
+    for (Index j = 0; j < n; ++j) out[static_cast<std::size_t>(j)] = 0.0;
+    return;
+  }
+  const double ratio = sigma_base / sigma_now;
+  for (Index j = 0; j < n; ++j) {
+    out[static_cast<std::size_t>(j)] =
+        lb_base[static_cast<std::size_t>(j)] * ratio;
+  }
+}
+
+void SlidingDotScalar(const double* query, Index m, const double* series,
+                      Index n, double* out) {
+  for (Index j = 0; j + m <= n; ++j) {
+    double acc = 0.0;
+    for (Index k = 0; k < m; ++k) {
+      acc += query[static_cast<std::size_t>(k)] *
+             series[static_cast<std::size_t>(j + k)];
+    }
+    out[static_cast<std::size_t>(j)] = acc;
+  }
+}
+
+void ZNormalizeScalar(const double* values, Index n, double mean, double std,
+                      double* out) {
+  for (Index i = 0; i < n; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        (values[static_cast<std::size_t>(i)] - mean) / std;
+  }
+}
+
+}  // namespace
+
+namespace internal {
+
+const SimdKernels& ScalarKernels() {
+  static const SimdKernels kTable = [] {
+    SimdKernels t;
+    t.level = SimdLevel::kScalar;
+    t.qt_update = &QtUpdateScalar;
+    t.dist_row_min = &DistRowMinScalar;
+    t.dist_row_min_update = &DistRowMinUpdateScalar;
+    t.lb_base_sq_row = &LbBaseSqRowScalar;
+    t.lb_at_length = &LbAtLengthScalar;
+    t.sliding_dot = &SlidingDotScalar;
+    t.znormalize = &ZNormalizeScalar;
+    return t;
+  }();
+  return kTable;
+}
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace valmod

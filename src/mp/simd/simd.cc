@@ -1,0 +1,69 @@
+#include "mp/simd/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace valmod {
+namespace simd {
+namespace {
+
+// Active kernel table. Null until first use; CurrentKernels publishes the
+// resolved table with release semantics so concurrent first callers either
+// resolve it themselves (to the same value) or read the published pointer.
+std::atomic<const SimdKernels*> g_active{nullptr};
+
+}  // namespace
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+SimdLevel DetectedSimdLevel() {
+  return internal::Avx2KernelsOrNull() != nullptr ? SimdLevel::kAvx2
+                                                  : SimdLevel::kScalar;
+}
+
+SimdLevel ActiveSimdLevel() {
+  static const SimdLevel kLevel = [] {
+    const char* force = std::getenv("VALMOD_FORCE_SCALAR");
+    if (force != nullptr && force[0] == '1' && force[1] == '\0') {
+      return SimdLevel::kScalar;
+    }
+    return DetectedSimdLevel();
+  }();
+  return kLevel;
+}
+
+const SimdKernels& KernelsFor(SimdLevel level) {
+  if (level == SimdLevel::kAvx2) {
+    const SimdKernels* avx2 = internal::Avx2KernelsOrNull();
+    if (avx2 != nullptr) return *avx2;
+  }
+  return internal::ScalarKernels();
+}
+
+const SimdKernels& CurrentKernels() {
+  const SimdKernels* kernels = g_active.load(std::memory_order_acquire);
+  if (kernels == nullptr) {
+    kernels = &KernelsFor(ActiveSimdLevel());
+    g_active.store(kernels, std::memory_order_release);
+  }
+  return *kernels;
+}
+
+ScopedKernelOverride::ScopedKernelOverride(SimdLevel level)
+    : previous_(g_active.exchange(&KernelsFor(level),
+                                  std::memory_order_acq_rel)) {}
+
+ScopedKernelOverride::~ScopedKernelOverride() {
+  g_active.store(previous_, std::memory_order_release);
+}
+
+}  // namespace simd
+}  // namespace valmod

@@ -1,0 +1,145 @@
+#ifndef VALMOD_MP_SIMD_SIMD_H_
+#define VALMOD_MP_SIMD_SIMD_H_
+
+#include "util/common.h"
+#include "util/prefix_stats.h"
+
+namespace valmod {
+namespace simd {
+
+/// Instruction-set tiers the hot kernels are compiled for. The tier is
+/// picked once at startup (CPUID + the VALMOD_FORCE_SCALAR=1 environment
+/// override + the VALMOD_SIMD CMake option) and stays fixed for the process,
+/// so every profile a run produces comes from one code path.
+///
+/// Determinism contract (carried over from the PR-1 chunk-grid work):
+///  * For a given tier, output is bit-identical across thread counts — the
+///    kernels are pure per-row functions and the lane width is fixed.
+///  * The AVX2 tier mirrors the scalar op sequence with 4-wide exactly
+///    rounded IEEE ops (mul/sub/div/sqrt, no FMA contraction), so its
+///    distances are bit-identical to the scalar tier as well; the
+///    property-based differential suite asserts this on every generated
+///    case (tests/property/).
+enum class SimdLevel {
+  kScalar = 0,
+  kAvx2 = 1,
+};
+
+/// Human-readable tier name ("scalar", "avx2"); logged by benches and
+/// examples so every recorded number names the code path that produced it.
+const char* SimdLevelName(SimdLevel level);
+
+/// The dispatch table of hot kernels. All pointers are always non-null.
+/// Raw pointers + counts (rather than spans) keep the kernel ABI trivial;
+/// every function is a pure elementwise/row primitive safe to call from any
+/// thread on disjoint outputs.
+struct SimdKernels {
+  /// Tier this table implements.
+  SimdLevel level = SimdLevel::kScalar;
+
+  /// STOMP dot-product recurrence (Algorithm 3): for j in [1, n_sub),
+  /// qt_out[j] = qt_prev[j-1] - series[row-1]*series[j-1]
+  ///                          + series[row+len-1]*series[j+len-1].
+  /// qt_out[0] is left untouched (callers restore it from the precomputed
+  /// first row or an O(len) dot product). Alias-safe for qt_out == qt_prev:
+  /// the update walks descending, so each read of qt_prev[j-1] happens
+  /// before the write to qt_out[j-1].
+  void (*qt_update)(const double* series, Index row, Index len, Index n_sub,
+                    const double* qt_prev, double* qt_out);
+
+  /// Distance-row kernel with column-min tracking: for j in [begin, end),
+  /// d = z-normalized distance from qt[j] (Eq. 3 with the flat-window
+  /// conventions of signal/distance.h); writes d to profile[j] when
+  /// `profile` is non-null; updates (*best, *best_j) under strict less-than
+  /// so the lowest index wins ties, exactly like a sequential scan. The
+  /// exclusion zone is the caller's job (NonTrivialColumnRanges).
+  void (*dist_row_min)(const double* qt, const MeanStd* col_stats,
+                       MeanStd row_stats, Index len, Index begin, Index end,
+                       double* profile, double* best, Index* best_j);
+
+  /// Streaming variant of dist_row_min: additionally min-updates the stored
+  /// profile (distances[j], indices[j] <- d, row when d < distances[j]),
+  /// which is the "new subsequence improves old entries" half of the
+  /// STAMPI-style append (stream/streaming_profile.cc).
+  void (*dist_row_min_update)(const double* qt, const MeanStd* col_stats,
+                              MeanStd row_stats, Index len, Index row,
+                              Index begin, Index end, double* distances,
+                              Index* indices, double* best, Index* best_j);
+
+  /// Batch Eq. 2 base-term evaluation over one distance row (the inner loop
+  /// of HarvestProfile, O(n^2) per matrix-profile pass): for each j,
+  /// q = 1 - d^2/(2*len) and base_sq[j] = q <= 0 ? len : len*(1 - q^2).
+  /// kInf distances (trivial matches) yield base_sq = len; callers skip
+  /// them by checking dist_row, exactly like the scalar loop always did.
+  void (*lb_base_sq_row)(const double* dist_row, Index n, Index len,
+                         double* base_sq);
+
+  /// Batch Eq. 2 bound at a target length: out[j] = lb_base[j] *
+  /// (sigma_base / sigma_now), or 0 when sigma_now is below the flat-window
+  /// floor (LowerBoundAtLength applied elementwise).
+  void (*lb_at_length)(const double* lb_base, Index n, double sigma_base,
+                       double sigma_now, double* out);
+
+  /// Naive sliding dot product (the short-query path of MASS):
+  /// out[j] = dot(query, series[j .. j+m)) for j in [0, n - m]. Accumulates
+  /// in query order per output, so results are bit-identical to the scalar
+  /// inner loop.
+  void (*sliding_dot)(const double* query, Index m, const double* series,
+                      Index n, double* out);
+
+  /// Elementwise z-normalization: out[i] = (values[i] - mean) / std.
+  void (*znormalize)(const double* values, Index n, double mean, double std,
+                     double* out);
+};
+
+/// The tier the hardware (and the build) supports, ignoring overrides:
+/// kAvx2 when the binary carries AVX2 kernels and CPUID reports AVX2+FMA,
+/// else kScalar.
+SimdLevel DetectedSimdLevel();
+
+/// The tier selected for this process: DetectedSimdLevel() unless the
+/// VALMOD_FORCE_SCALAR=1 environment variable pins it to kScalar. Computed
+/// once; the environment is read on first use.
+SimdLevel ActiveSimdLevel();
+
+/// Kernel table for an explicit tier. Requesting kAvx2 on a build or host
+/// without AVX2 support returns the scalar table.
+const SimdKernels& KernelsFor(SimdLevel level);
+
+/// The process-wide active kernel table. One atomic pointer load; call
+/// sites hoist the reference out of their row loops.
+const SimdKernels& CurrentKernels();
+
+/// Temporarily pins the active kernel table to `level` and restores the
+/// previous table on destruction. For differential tests and benchmarks
+/// that compare tiers inside one process. Not safe to construct while
+/// kernels are executing on other threads; use from test/bench setup only.
+class ScopedKernelOverride {
+ public:
+  /// Pins the table; remembers what to restore.
+  explicit ScopedKernelOverride(SimdLevel level);
+  ~ScopedKernelOverride();
+
+  ScopedKernelOverride(const ScopedKernelOverride&) = delete;
+  ScopedKernelOverride& operator=(const ScopedKernelOverride&) = delete;
+
+ private:
+  const SimdKernels* previous_;
+};
+
+namespace internal {
+
+/// The AVX2 table, or nullptr when this binary was built without AVX2
+/// kernels (VALMOD_SIMD=OFF or a non-x86 target) or the CPU lacks
+/// AVX2/FMA. Defined in kernels_avx2.cc; everything else dispatches
+/// through KernelsFor/CurrentKernels.
+const SimdKernels* Avx2KernelsOrNull();
+
+/// The scalar reference table (always available).
+const SimdKernels& ScalarKernels();
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace valmod
+
+#endif  // VALMOD_MP_SIMD_SIMD_H_

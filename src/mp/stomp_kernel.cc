@@ -2,11 +2,10 @@
 
 #include <vector>
 
-#include "mp/distance_profile.h"
 #include "mp/matrix_profile.h"
+#include "mp/simd/simd.h"
 #include "obs/counters.h"
 #include "obs/trace.h"
-#include "signal/distance.h"
 #include "signal/sliding_dot.h"
 
 namespace valmod {
@@ -22,6 +21,7 @@ bool StompProcessRows(std::span<const double> series,
   if (row_begin >= row_end) return true;
   const obs::TraceSpan span("stomp_row_chunk");
   obs::Counters::RecordStompChunk(row_end - row_begin);
+  const simd::SimdKernels& kernels = simd::CurrentKernels();
   std::vector<double> qt = SlidingDotProduct(
       series.subspan(static_cast<std::size_t>(row_begin),
                      static_cast<std::size_t>(len)),
@@ -34,46 +34,28 @@ bool StompProcessRows(std::span<const double> series,
   for (Index i = row_begin; i < row_end; ++i) {
     if (deadline.Expired()) return false;
     if (i > row_begin) {
-      // Update QT in place, descending j so QT[j-1] is still the old row.
-      for (Index j = n_sub - 1; j >= 1; --j) {
-        qt[static_cast<std::size_t>(j)] =
-            qt[static_cast<std::size_t>(j - 1)] -
-            series[static_cast<std::size_t>(i - 1)] *
-                series[static_cast<std::size_t>(j - 1)] +
-            series[static_cast<std::size_t>(i + len - 1)] *
-                series[static_cast<std::size_t>(j + len - 1)];
-      }
+      // Update QT in place; the kernel walks descending j so QT[j-1] is
+      // still the old row, and restores column 0 from the first-row MASS
+      // pass (QT[i][0] == QT[0][i] by symmetry).
+      kernels.qt_update(series.data(), i, len, n_sub, qt.data(), qt.data());
       qt[0] = qt_first[static_cast<std::size_t>(i)];
     }
     const MeanStd row_stats = col_stats[static_cast<std::size_t>(i)];
+    const ColumnRanges ranges = NonTrivialColumnRanges(i, len, n_sub);
     double best = kInf;
     Index best_j = kNoNeighbor;
+    double* profile_out = observer ? profile.data() : nullptr;
     if (observer) {
-      for (Index j = 0; j < n_sub; ++j) {
-        profile[static_cast<std::size_t>(j)] =
-            IsTrivialMatch(i, j, len)
-                ? kInf
-                : ZNormalizedDistanceFromDotProduct(
-                      qt[static_cast<std::size_t>(j)], len, row_stats,
-                      col_stats[static_cast<std::size_t>(j)]);
-      }
-      const Index arg = ArgMin(profile);
-      if (arg != kNoNeighbor) {
-        best = profile[static_cast<std::size_t>(arg)];
-        best_j = arg;
-      }
-    } else {
-      for (Index j = 0; j < n_sub; ++j) {
-        if (IsTrivialMatch(i, j, len)) continue;
-        const double d = ZNormalizedDistanceFromDotProduct(
-            qt[static_cast<std::size_t>(j)], len, row_stats,
-            col_stats[static_cast<std::size_t>(j)]);
-        if (d < best) {
-          best = d;
-          best_j = j;
-        }
+      // The exclusion zone shows up as kInf in the materialized row.
+      for (Index j = ranges.left_end; j < ranges.right_begin; ++j) {
+        profile[static_cast<std::size_t>(j)] = kInf;
       }
     }
+    kernels.dist_row_min(qt.data(), col_stats.data(), row_stats, len, 0,
+                         ranges.left_end, profile_out, &best, &best_j);
+    kernels.dist_row_min(qt.data(), col_stats.data(), row_stats, len,
+                         ranges.right_begin, n_sub, profile_out, &best,
+                         &best_j);
     distances[i] = best;
     indices[i] = best_j;
     if (observer) observer(i, qt, profile);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "mp/simd/simd.h"
 #include "signal/fft.h"
 #include "util/check.h"
 
@@ -19,14 +20,8 @@ std::vector<double> SlidingDotProductNaive(std::span<const double> query,
   const Index n = static_cast<Index>(series.size());
   VALMOD_CHECK(m >= 1 && n >= m);
   std::vector<double> out(static_cast<std::size_t>(n - m + 1));
-  for (Index j = 0; j + m <= n; ++j) {
-    double acc = 0.0;
-    for (Index k = 0; k < m; ++k) {
-      acc += query[static_cast<std::size_t>(k)] *
-             series[static_cast<std::size_t>(j + k)];
-    }
-    out[static_cast<std::size_t>(j)] = acc;
-  }
+  simd::CurrentKernels().sliding_dot(query.data(), m, series.data(), n,
+                                     out.data());
   return out;
 }
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "mp/simd/simd.h"
 #include "util/check.h"
 #include "util/prefix_stats.h"
 
@@ -16,9 +17,9 @@ std::vector<double> ZNormalize(std::span<const double> values) {
   if (ms.std <= kFlatStdEpsilon * (1.0 + std::abs(ms.mean))) {
     return out;  // Constant window -> zeros.
   }
-  for (std::size_t i = 0; i < values.size(); ++i) {
-    out[i] = (values[i] - ms.mean) / ms.std;
-  }
+  simd::CurrentKernels().znormalize(values.data(),
+                                    static_cast<Index>(values.size()),
+                                    ms.mean, ms.std, out.data());
   return out;
 }
 

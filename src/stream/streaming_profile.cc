@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "mp/simd/simd.h"
 #include "mp/stomp.h"
 #include "mp/stomp_kernel.h"
 #include "obs/trace.h"
@@ -84,40 +85,28 @@ void StreamingMatrixProfile::IncorporateNewRow() {
     ++mass_reseeds_;
   } else {
     qt_scratch_.resize(static_cast<std::size_t>(n_sub));
-    for (Index c = n_sub - 1; c >= 1; --c) {
-      qt_scratch_[static_cast<std::size_t>(c)] =
-          qt_last_[static_cast<std::size_t>(c - 1)] -
-          t[static_cast<std::size_t>(r - 1)] *
-              t[static_cast<std::size_t>(c - 1)] +
-          t[static_cast<std::size_t>(r + len - 1)] *
-              t[static_cast<std::size_t>(c + len - 1)];
-    }
+    simd::CurrentKernels().qt_update(t.data(), r, len, n_sub, qt_last_.data(),
+                                     qt_scratch_.data());
     qt_scratch_[0] = SubsequenceDotProduct(t, r, 0, len);
     ++rows_since_reseed_;
   }
 
   // Distance profile of the new row: set its own slot to the row minimum
-  // and min-update every older slot against the new subsequence.
+  // and min-update every older slot against the new subsequence. The new
+  // row is the last one, so only the left non-trivial range is non-empty.
   const MeanStd row_stats = col_stats_[static_cast<std::size_t>(r)];
+  const ColumnRanges ranges = NonTrivialColumnRanges(r, len, n_sub);
   double best = kInf;
   Index best_c = kNoNeighbor;
   distances_.push_back(kInf);
   indices_.push_back(kNoNeighbor);
-  for (Index c = 0; c < n_sub; ++c) {
-    if (IsTrivialMatch(r, c, len)) continue;
-    const std::size_t k = static_cast<std::size_t>(c);
-    const double d = ZNormalizedDistanceFromDotProduct(qt_scratch_[k], len,
-                                                       row_stats,
-                                                       col_stats_[k]);
-    if (d < best) {
-      best = d;
-      best_c = c;
-    }
-    if (d < distances_[k]) {
-      distances_[k] = d;
-      indices_[k] = r;
-    }
-  }
+  simd::CurrentKernels().dist_row_min_update(
+      qt_scratch_.data(), col_stats_.data(), row_stats, len, r, 0,
+      ranges.left_end, distances_.data(), indices_.data(), &best, &best_c);
+  simd::CurrentKernels().dist_row_min_update(
+      qt_scratch_.data(), col_stats_.data(), row_stats, len, r,
+      ranges.right_begin, n_sub, distances_.data(), indices_.data(), &best,
+      &best_c);
   distances_[static_cast<std::size_t>(r)] = best;
   indices_[static_cast<std::size_t>(r)] = best_c;
   qt_last_.swap(qt_scratch_);
@@ -153,16 +142,16 @@ void StreamingMatrixProfile::RecomputeRow(Index row) {
   const MeanStd row_stats = series_.Stats(row, len);
   double best = kInf;
   Index best_c = kNoNeighbor;
-  for (Index c = 0; c < n_sub; ++c) {
-    if (IsTrivialMatch(row, c, len)) continue;
-    const double d = ZNormalizedDistanceFromDotProduct(
-        qt[static_cast<std::size_t>(c)], len, row_stats,
-        series_.Stats(c, len));
-    if (d < best) {
-      best = d;
-      best_c = c;
-    }
-  }
+  // col_stats_ is always current here: stale-row repair runs right after
+  // IncorporateNewRow refreshed it for this window.
+  VALMOD_DCHECK(static_cast<Index>(col_stats_.size()) == n_sub);
+  const ColumnRanges ranges = NonTrivialColumnRanges(row, len, n_sub);
+  simd::CurrentKernels().dist_row_min(qt.data(), col_stats_.data(), row_stats,
+                                      len, 0, ranges.left_end, nullptr, &best,
+                                      &best_c);
+  simd::CurrentKernels().dist_row_min(qt.data(), col_stats_.data(), row_stats,
+                                      len, ranges.right_begin, n_sub, nullptr,
+                                      &best, &best_c);
   // Only this row's slot is refreshed: every other slot's stored minimum is
   // still witnessed by a live subsequence.
   distances_[static_cast<std::size_t>(row)] = best;

@@ -38,6 +38,31 @@ inline bool IsTrivialMatch(Index i, Index j, Index len) {
   return d < ExclusionZone(len);
 }
 
+/// The columns of profile row `i` that are NOT trivial matches, as two
+/// contiguous half-open ranges: [0, left_end) and [right_begin, n_sub).
+/// Everything in [left_end, right_begin) is inside the exclusion zone.
+struct ColumnRanges {
+  Index left_end = 0;
+  Index right_begin = 0;
+};
+
+/// Single source of truth for the exclusion-zone boundary as a *range*:
+/// j is trivial iff |i - j| < ExclusionZone(len), so the trivial block is
+/// [i - zone + 1, i + zone - 1] clipped to [0, n_sub). The scalar and SIMD
+/// column kernels iterate these ranges instead of testing IsTrivialMatch
+/// per column; keeping the l/2 rounding in one place is what lets the
+/// brute-force, STOMP, and SIMD paths agree on the boundary for odd `len`
+/// (an off-by-one here silently admits trivial matches).
+inline ColumnRanges NonTrivialColumnRanges(Index i, Index len, Index n_sub) {
+  const Index zone = ExclusionZone(len);
+  Index left_end = i - zone + 1;
+  if (left_end < 0) left_end = 0;
+  if (left_end > n_sub) left_end = n_sub;
+  Index right_begin = i + zone;
+  if (right_begin > n_sub) right_begin = n_sub;
+  return {left_end, right_begin};
+}
+
 }  // namespace valmod
 
 #endif  // VALMOD_UTIL_COMMON_H_

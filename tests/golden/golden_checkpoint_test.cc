@@ -1,0 +1,145 @@
+// Golden-file regression tests for the stream checkpoint format
+// (stream/checkpoint.h, format spec in docs/STREAMING.md). The corpus under
+// tests/golden/ is committed; these tests pin two independent properties:
+//
+//  * Byte-exactness: serializing today's deterministic tracker reproduces
+//    the committed bytes exactly — any formatting, ordering, or numeric
+//    change to the writer is caught as a diff, not discovered by a customer
+//    whose old checkpoints stopped loading.
+//  * Backward compatibility: the committed version-1 corpus still parses,
+//    and restores the exact tracker state it was written from.
+//
+// To regenerate after an INTENTIONAL format change (requires a version
+// bump), run the test once with VALMOD_REGEN_GOLDEN=1 and commit the diff;
+// see docs/TESTING.md.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "datasets/generators.h"
+#include "mp/matrix_profile.h"
+#include "stream/checkpoint.h"
+#include "stream/online_motif_tracker.h"
+#include "test_util.h"
+
+namespace valmod {
+namespace {
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(VALMOD_GOLDEN_DIR) + "/" + name;
+}
+
+bool RegenRequested() {
+  const char* env = std::getenv("VALMOD_REGEN_GOLDEN");
+  return env != nullptr && std::string(env) == "1";
+}
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  out << content;
+}
+
+/// The corpus generator: fixed options, fixed seeded input, long enough to
+/// exercise eviction so the checkpoint carries a non-trivial reseed counter
+/// and repaired profile slots. Never change this without bumping the corpus
+/// file name and kStreamCheckpointVersion.
+OnlineMotifTracker MakeGoldenTracker() {
+  OnlineTrackerOptions options;
+  options.length_min = 8;
+  options.length_max = 16;
+  options.length_step = 4;
+  options.capacity = 96;
+  OnlineMotifTracker tracker(options);
+  tracker.AppendBlock(GeneratePlantedWalk(150, 42));
+  return tracker;
+}
+
+const char kCheckpointCorpus[] = "checkpoint_v1.golden";
+
+TEST(GoldenCheckpointTest, WriterIsByteExactAgainstCommittedCorpus) {
+  const OnlineMotifTracker tracker = MakeGoldenTracker();
+  const std::string tmp = ::testing::TempDir() + "/checkpoint_now.golden";
+  ASSERT_TRUE(WriteCheckpoint(tracker, tmp).ok());
+  const std::string now = ReadFileOrEmpty(tmp);
+  ASSERT_FALSE(now.empty());
+  const std::string golden_path = GoldenPath(kCheckpointCorpus);
+  if (RegenRequested()) {
+    WriteFile(golden_path, now);
+    GTEST_SKIP() << "regenerated " << golden_path << " (" << now.size()
+                 << " bytes); commit the diff";
+  }
+  const std::string golden = ReadFileOrEmpty(golden_path);
+  ASSERT_FALSE(golden.empty()) << "missing corpus " << golden_path
+                               << "; run with VALMOD_REGEN_GOLDEN=1";
+  if (now != golden) {
+    // Locate the first differing byte for a actionable failure message.
+    std::size_t at = 0;
+    while (at < now.size() && at < golden.size() && now[at] == golden[at]) {
+      ++at;
+    }
+    FAIL() << "checkpoint bytes diverge from " << golden_path
+           << " at offset " << at << " (now " << now.size() << " bytes, "
+           << "golden " << golden.size() << " bytes). If the format change "
+           << "is intentional, bump kStreamCheckpointVersion and regen with "
+           << "VALMOD_REGEN_GOLDEN=1.";
+  }
+}
+
+TEST(GoldenCheckpointTest, CommittedCorpusStillRestoresExactState) {
+  const std::string golden_path = GoldenPath(kCheckpointCorpus);
+  if (RegenRequested()) GTEST_SKIP() << "regen run";
+  ASSERT_FALSE(ReadFileOrEmpty(golden_path).empty())
+      << "missing corpus " << golden_path;
+  OnlineMotifTracker restored(OnlineTrackerOptions{2, 2, 1, 0, 1});
+  ASSERT_TRUE(ReadCheckpoint(golden_path, &restored).ok());
+  const OnlineMotifTracker want = MakeGoldenTracker();
+  ASSERT_EQ(restored.lengths(), want.lengths());
+  EXPECT_EQ(restored.total_appended(), want.total_appended());
+  EXPECT_EQ(restored.size(), want.size());
+  for (Index len : want.lengths()) {
+    const MatrixProfile pr = restored.ProfileForLength(len).Profile();
+    const MatrixProfile pw = want.ProfileForLength(len).Profile();
+    ASSERT_EQ(pr.size(), pw.size()) << "len=" << len;
+    for (Index i = 0; i < pw.size(); ++i) {
+      const std::size_t k = static_cast<std::size_t>(i);
+      EXPECT_EQ(pr.distances[k], pw.distances[k]) << len << "," << i;
+      EXPECT_EQ(pr.indices[k], pw.indices[k]) << len << "," << i;
+    }
+  }
+  // The restored tracker must keep streaming usefully: append more data to
+  // both and compare profiles. Not bitwise — the live tracker's running
+  // window statistics carry summation history from already-evicted points,
+  // which a restore (recomputing fresh sums over the stored window) cannot
+  // reproduce; the drift is last-ulp and bounded by the stats drift policy.
+  OnlineMotifTracker continued = MakeGoldenTracker();
+  OnlineMotifTracker from_disk(OnlineTrackerOptions{2, 2, 1, 0, 1});
+  ASSERT_TRUE(ReadCheckpoint(golden_path, &from_disk).ok());
+  const Series more = GeneratePlantedWalk(60, 43);
+  continued.AppendBlock(more);
+  from_disk.AppendBlock(more);
+  for (Index len : continued.lengths()) {
+    const MatrixProfile pa = continued.ProfileForLength(len).Profile();
+    const MatrixProfile pb = from_disk.ProfileForLength(len).Profile();
+    for (Index i = 0; i < pa.size(); ++i) {
+      const std::size_t k = static_cast<std::size_t>(i);
+      EXPECT_NEAR(pa.distances[k], pb.distances[k],
+                  1e-9 * (1.0 + pa.distances[k]))
+          << len << "," << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace valmod

@@ -1,0 +1,212 @@
+// Golden-file regression tests for the VALMOD/1 wire protocol
+// (service/protocol.h, spec in docs/SERVICE.md). The committed corpus is a
+// concatenation of frames — a request with an inline series, a successful
+// motif response, and an error response — exactly as they would cross a
+// socket. Two properties are pinned:
+//
+//  * Byte-exactness: re-encoding the same logical messages today must
+//    reproduce the committed bytes (canonical sorted-key JSON, shortest
+//    round-trip doubles, frame header byte counts). Any serializer change
+//    shows up as a corpus diff, not as an interop break with old clients.
+//  * Backward compatibility: the committed frames still parse into the
+//    original field values through today's ParseFrameHeader / FromJson.
+//
+// Regenerate after an INTENTIONAL protocol change (version bump!) with
+// VALMOD_REGEN_GOLDEN=1; see docs/TESTING.md.
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "service/json.h"
+#include "service/protocol.h"
+#include "util/status.h"
+
+namespace valmod {
+namespace {
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(VALMOD_GOLDEN_DIR) + "/" + name;
+}
+
+bool RegenRequested() {
+  const char* env = std::getenv("VALMOD_REGEN_GOLDEN");
+  return env != nullptr && std::string(env) == "1";
+}
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  out << content;
+}
+
+const char kFramesCorpus[] = "frames_v1.golden";
+
+/// The corpus request: every field off its default, series values chosen to
+/// exercise the double formatter (integers, negatives, fractions exact and
+/// inexact in binary, large magnitudes).
+Request MakeGoldenRequest() {
+  Request request;
+  request.type = QueryType::kMotif;
+  request.id = 7;
+  request.series = {0.0,  1.5,   -2.25, 0.1,    3.0,
+                    -4.5, 1e6,   0.125, -0.001, 42.0};
+  request.len_min = 3;
+  request.len_max = 4;
+  request.p = 5;
+  request.k = 2;
+  request.deadline_ms = 1500.0;
+  request.priority = 0;
+  request.no_cache = true;
+  return request;
+}
+
+/// The corpus success response, fully deterministic (no timing fields left
+/// to the clock).
+Response MakeGoldenResponse() {
+  Response response;
+  response.id = 7;
+  response.type = QueryType::kMotif;
+  response.ok = true;
+  response.cached = false;
+  response.elapsed_us = 1234.5;
+  response.fingerprint = "00c0ffee";
+  LengthResult lr;
+  lr.length = 3;
+  lr.has_motif = true;
+  lr.motif = MotifPair{2, 7, 3, 0.25};
+  response.lengths.push_back(lr);
+  response.has_best_motif = true;
+  response.best_motif = RankedPair{2, 7, 3, 0.25, 0.14433756729740643};
+  return response;
+}
+
+/// The corpus error response (the backpressure shape clients must handle).
+Response MakeGoldenErrorResponse() {
+  Request request = MakeGoldenRequest();
+  request.id = 8;
+  return Response::Error(request,
+                         Status::ResourceExhausted("queue is full"));
+}
+
+std::string EncodeCorpus() {
+  std::string bytes;
+  bytes += EncodeFrame(MakeGoldenRequest().ToJson().Serialize());
+  bytes += EncodeFrame(MakeGoldenResponse().ToJson().Serialize());
+  bytes += EncodeFrame(MakeGoldenErrorResponse().ToJson().Serialize());
+  return bytes;
+}
+
+/// Splits one frame off the front of `bytes` at `*pos`, returning its JSON
+/// payload (without the trailing newline) and advancing *pos.
+std::string NextFramePayload(const std::string& bytes, std::size_t* pos) {
+  const std::size_t eol = bytes.find('\n', *pos);
+  EXPECT_NE(eol, std::string::npos);
+  std::size_t payload_bytes = 0;
+  const Status status = ParseFrameHeader(
+      std::string_view(bytes).substr(*pos, eol - *pos), &payload_bytes);
+  EXPECT_TRUE(status.ok()) << status.message();
+  const std::string payload = bytes.substr(eol + 1, payload_bytes);
+  *pos = eol + 1 + payload_bytes;
+  EXPECT_FALSE(payload.empty());
+  EXPECT_EQ(payload.back(), '\n');
+  return payload.substr(0, payload.size() - 1);
+}
+
+TEST(GoldenProtocolTest, EncoderIsByteExactAgainstCommittedCorpus) {
+  const std::string now = EncodeCorpus();
+  const std::string golden_path = GoldenPath(kFramesCorpus);
+  if (RegenRequested()) {
+    WriteFile(golden_path, now);
+    GTEST_SKIP() << "regenerated " << golden_path << " (" << now.size()
+                 << " bytes); commit the diff";
+  }
+  const std::string golden = ReadFileOrEmpty(golden_path);
+  ASSERT_FALSE(golden.empty()) << "missing corpus " << golden_path
+                               << "; run with VALMOD_REGEN_GOLDEN=1";
+  if (now != golden) {
+    std::size_t at = 0;
+    while (at < now.size() && at < golden.size() && now[at] == golden[at]) {
+      ++at;
+    }
+    FAIL() << "wire bytes diverge from " << golden_path << " at offset "
+           << at << ". If the protocol change is intentional, bump "
+           << "kProtocolVersion and regen with VALMOD_REGEN_GOLDEN=1.";
+  }
+}
+
+TEST(GoldenProtocolTest, CommittedCorpusStillParses) {
+  if (RegenRequested()) GTEST_SKIP() << "regen run";
+  const std::string golden = ReadFileOrEmpty(GoldenPath(kFramesCorpus));
+  ASSERT_FALSE(golden.empty()) << "missing corpus; regen first";
+  std::size_t pos = 0;
+
+  // Frame 1: the request, every field surviving the round trip.
+  {
+    JsonValue json;
+    ASSERT_TRUE(JsonValue::Parse(NextFramePayload(golden, &pos), &json).ok());
+    Request request;
+    ASSERT_TRUE(request.FromJson(json).ok());
+    const Request want = MakeGoldenRequest();
+    EXPECT_EQ(request.type, want.type);
+    EXPECT_EQ(request.id, want.id);
+    ASSERT_EQ(request.series.size(), want.series.size());
+    for (std::size_t i = 0; i < want.series.size(); ++i) {
+      EXPECT_EQ(request.series[i], want.series[i]) << "series[" << i << "]";
+    }
+    EXPECT_EQ(request.len_min, want.len_min);
+    EXPECT_EQ(request.len_max, want.len_max);
+    EXPECT_EQ(request.p, want.p);
+    EXPECT_EQ(request.k, want.k);
+    EXPECT_EQ(request.deadline_ms, want.deadline_ms);
+    EXPECT_EQ(request.priority, want.priority);
+    EXPECT_EQ(request.no_cache, want.no_cache);
+  }
+
+  // Frame 2: the success response.
+  {
+    JsonValue json;
+    ASSERT_TRUE(JsonValue::Parse(NextFramePayload(golden, &pos), &json).ok());
+    Response response;
+    ASSERT_TRUE(response.FromJson(json).ok());
+    EXPECT_EQ(response.id, 7);
+    EXPECT_TRUE(response.ok);
+    EXPECT_EQ(response.type, QueryType::kMotif);
+    EXPECT_EQ(response.elapsed_us, 1234.5);
+    EXPECT_EQ(response.fingerprint, "00c0ffee");
+    ASSERT_EQ(response.lengths.size(), 1u);
+    EXPECT_TRUE(response.lengths[0].has_motif);
+    EXPECT_EQ(response.lengths[0].motif.a, 2);
+    EXPECT_EQ(response.lengths[0].motif.b, 7);
+    EXPECT_EQ(response.lengths[0].motif.distance, 0.25);
+    EXPECT_TRUE(response.has_best_motif);
+    EXPECT_EQ(response.best_motif.off1, 2);
+    EXPECT_EQ(response.best_motif.off2, 7);
+  }
+
+  // Frame 3: the error response fails closed with the original code.
+  {
+    JsonValue json;
+    ASSERT_TRUE(JsonValue::Parse(NextFramePayload(golden, &pos), &json).ok());
+    Response response;
+    ASSERT_TRUE(response.FromJson(json).ok());
+    EXPECT_EQ(response.id, 8);
+    EXPECT_FALSE(response.ok);
+    const Status status = response.ToStatus();
+    EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+    EXPECT_EQ(response.error_message, "queue is full");
+  }
+  EXPECT_EQ(pos, golden.size()) << "trailing bytes after the last frame";
+}
+
+}  // namespace
+}  // namespace valmod

@@ -1,0 +1,149 @@
+// Regression tests for the trivial-match exclusion-zone boundary at l / 2.
+//
+// The zone half-width is len / 2 (integer division), so for odd lengths the
+// boundary does not sit symmetrically around the window midpoint — an
+// off-by-one in any of the three scan implementations (brute-force predicate,
+// scalar STOMP ranges, SIMD column-min ranges) silently admits trivial
+// matches or rejects the legal pair sitting exactly on the boundary. All
+// paths share NonTrivialColumnRanges / IsTrivialMatch (util/common.h); these
+// tests pin the boundary down from every side.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mp/brute_force.h"
+#include "mp/simd/simd.h"
+#include "mp/stomp.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace valmod {
+namespace {
+
+using testing_util::WhiteNoise;
+
+TEST(ExclusionZoneTest, HalfWidthIsFlooredHalfLength) {
+  EXPECT_EQ(ExclusionZone(2), 1);
+  EXPECT_EQ(ExclusionZone(3), 1);
+  EXPECT_EQ(ExclusionZone(4), 2);
+  EXPECT_EQ(ExclusionZone(5), 2);  // odd: floor(5/2), not round-up
+  EXPECT_EQ(ExclusionZone(7), 3);
+  EXPECT_EQ(ExclusionZone(9), 4);
+  EXPECT_EQ(ExclusionZone(16), 8);
+  EXPECT_EQ(ExclusionZone(17), 8);
+}
+
+TEST(ExclusionZoneTest, RangesAgreeWithPredicateExhaustively) {
+  // The column ranges are the single source of truth for the scan kernels;
+  // the predicate is what brute force uses. They must partition every (i, j)
+  // identically, for odd and even lengths and for rows near both edges.
+  for (const Index len : {4, 5, 7, 8, 9, 16, 17}) {
+    for (const Index n_sub : {1, 2, 5, 13, 40}) {
+      for (Index i = 0; i < n_sub; ++i) {
+        const ColumnRanges ranges = NonTrivialColumnRanges(i, len, n_sub);
+        ASSERT_LE(0, ranges.left_end);
+        ASSERT_LE(ranges.left_end, ranges.right_begin);
+        ASSERT_LE(ranges.right_begin, n_sub);
+        for (Index j = 0; j < n_sub; ++j) {
+          const bool in_zone =
+              j >= ranges.left_end && j < ranges.right_begin;
+          EXPECT_EQ(in_zone, IsTrivialMatch(i, j, len))
+              << "len=" << len << " n_sub=" << n_sub << " i=" << i
+              << " j=" << j;
+        }
+      }
+    }
+  }
+}
+
+/// Plants a zone-periodic tile of length `len + zone` at offset `at`, so the
+/// subsequences at `at` and `at + zone` are bitwise identical — the unique
+/// near-zero pair of the series, sitting exactly ON the zone boundary
+/// (|a - b| == zone, legal by the strict `<` in IsTrivialMatch).
+Series SeriesWithBoundaryPair(Index n, Index len, Index at,
+                              std::uint64_t seed) {
+  Series series = WhiteNoise(n, seed);
+  const Index zone = ExclusionZone(len);
+  Rng rng(seed + 1);
+  std::vector<double> tile(static_cast<std::size_t>(zone));
+  for (auto& v : tile) v = rng.Gaussian(0.0, 2.0);
+  for (Index i = 0; i < len + zone; ++i) {
+    series[static_cast<std::size_t>(at + i)] =
+        tile[static_cast<std::size_t>(i % zone)];
+  }
+  return series;
+}
+
+class ExclusionZoneBoundaryTest : public ::testing::TestWithParam<Index> {};
+
+TEST_P(ExclusionZoneBoundaryTest, BruteForceAdmitsPairExactlyOnBoundary) {
+  const Index len = GetParam();
+  const Index zone = ExclusionZone(len);
+  const Index at = 20;
+  const Series series = SeriesWithBoundaryPair(64, len, at, 77);
+  const std::vector<MotifPair> motifs =
+      BruteForceVariableLengthMotifs(series, len, len);
+  ASSERT_EQ(motifs.size(), 1u);
+  ASSERT_TRUE(motifs[0].valid());
+  EXPECT_EQ(motifs[0].a, at);
+  EXPECT_EQ(motifs[0].b, at + zone);
+  EXPECT_NEAR(motifs[0].distance, 0.0, 1e-6);
+}
+
+TEST_P(ExclusionZoneBoundaryTest, StompAgreesWithBruteForceOnBoundary) {
+  const Index len = GetParam();
+  const Index zone = ExclusionZone(len);
+  const Index at = 20;
+  const Series series = SeriesWithBoundaryPair(64, len, at, 77);
+  const MatrixProfile profile = Stomp(series, len);
+  // The boundary pair witnesses each other: STOMP's range scan must include
+  // column at+zone for row at (first column of the right range) and column
+  // at for row at+zone (last column of the left range).
+  EXPECT_EQ(profile.indices[static_cast<std::size_t>(at)], at + zone);
+  EXPECT_EQ(profile.indices[static_cast<std::size_t>(at + zone)], at);
+  EXPECT_NEAR(profile.distances[static_cast<std::size_t>(at)], 0.0, 1e-6);
+  const MotifPair motif = MotifFromProfile(profile);
+  EXPECT_EQ(motif.a, at);
+  EXPECT_EQ(motif.b, at + zone);
+  // And no row anywhere picked a neighbor inside the zone.
+  for (Index i = 0; i < profile.size(); ++i) {
+    const Index j = profile.indices[static_cast<std::size_t>(i)];
+    if (j == kNoNeighbor) continue;
+    EXPECT_FALSE(IsTrivialMatch(i, j, len))
+        << "row " << i << " matched " << j << " inside the zone";
+  }
+}
+
+TEST_P(ExclusionZoneBoundaryTest, SimdColumnMinAgreesWithScalarOnBoundary) {
+  const Index len = GetParam();
+  const Index zone = ExclusionZone(len);
+  const Index at = 20;
+  const Series series = SeriesWithBoundaryPair(64, len, at, 77);
+  MatrixProfile scalar_mp;
+  MatrixProfile simd_mp;
+  {
+    simd::ScopedKernelOverride guard(simd::SimdLevel::kScalar);
+    scalar_mp = Stomp(series, len);
+  }
+  {
+    simd::ScopedKernelOverride guard(simd::SimdLevel::kAvx2);
+    simd_mp = Stomp(series, len);
+  }
+  ASSERT_EQ(scalar_mp.size(), simd_mp.size());
+  for (Index i = 0; i < scalar_mp.size(); ++i) {
+    const std::size_t k = static_cast<std::size_t>(i);
+    EXPECT_EQ(scalar_mp.indices[k], simd_mp.indices[k]) << "row " << i;
+    EXPECT_EQ(scalar_mp.distances[k], simd_mp.distances[k]) << "row " << i;
+  }
+  EXPECT_EQ(simd_mp.indices[static_cast<std::size_t>(at)], at + zone);
+}
+
+// Odd lengths are where the floor(l/2) rounding bites; keep one even length
+// as the control.
+INSTANTIATE_TEST_SUITE_P(Lengths, ExclusionZoneBoundaryTest,
+                         ::testing::Values<Index>(7, 9, 13, 8));
+
+}  // namespace
+}  // namespace valmod

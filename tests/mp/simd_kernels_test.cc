@@ -1,0 +1,291 @@
+// Unit tests for the SIMD dispatch layer (mp/simd/): tier selection,
+// scoped overrides, and the semantic contract of every kernel in the
+// dispatch table, checked against the O(len) reference implementations in
+// signal/. The SIMD-vs-scalar bitwise equivalence is covered separately by
+// tests/property/property_simd_test.cc.
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mp/matrix_profile.h"
+#include "mp/simd/simd.h"
+#include "signal/distance.h"
+#include "signal/znorm.h"
+#include "test_util.h"
+#include "util/prefix_stats.h"
+
+namespace valmod {
+namespace {
+
+using testing_util::WhiteNoise;
+
+TEST(SimdDispatchTest, LevelNamesAreStable) {
+  EXPECT_STREQ(simd::SimdLevelName(simd::SimdLevel::kScalar), "scalar");
+  EXPECT_STREQ(simd::SimdLevelName(simd::SimdLevel::kAvx2), "avx2");
+}
+
+TEST(SimdDispatchTest, ScalarTableIsAlwaysScalar) {
+  const simd::SimdKernels& table = simd::KernelsFor(simd::SimdLevel::kScalar);
+  EXPECT_EQ(table.level, simd::SimdLevel::kScalar);
+  EXPECT_NE(table.qt_update, nullptr);
+  EXPECT_NE(table.dist_row_min, nullptr);
+  EXPECT_NE(table.dist_row_min_update, nullptr);
+  EXPECT_NE(table.lb_base_sq_row, nullptr);
+  EXPECT_NE(table.lb_at_length, nullptr);
+  EXPECT_NE(table.sliding_dot, nullptr);
+  EXPECT_NE(table.znormalize, nullptr);
+}
+
+TEST(SimdDispatchTest, Avx2RequestMatchesDetection) {
+  const simd::SimdKernels& table = simd::KernelsFor(simd::SimdLevel::kAvx2);
+  // On an AVX2+FMA host with VALMOD_SIMD=ON this is the vector table; on any
+  // other host/build the request degrades to the scalar table, never null.
+  EXPECT_EQ(table.level, simd::DetectedSimdLevel());
+}
+
+TEST(SimdDispatchTest, ActiveLevelNeverExceedsDetected) {
+  // Active is detected unless VALMOD_FORCE_SCALAR pinned it down; it can
+  // never be a tier the hardware lacks.
+  const simd::SimdLevel active = simd::ActiveSimdLevel();
+  const simd::SimdLevel detected = simd::DetectedSimdLevel();
+  EXPECT_TRUE(active == detected || active == simd::SimdLevel::kScalar);
+}
+
+TEST(SimdDispatchTest, ScopedOverridePinsAndRestores) {
+  const simd::SimdLevel before = simd::CurrentKernels().level;
+  {
+    simd::ScopedKernelOverride pin_scalar(simd::SimdLevel::kScalar);
+    EXPECT_EQ(simd::CurrentKernels().level, simd::SimdLevel::kScalar);
+    {
+      simd::ScopedKernelOverride pin_avx2(simd::SimdLevel::kAvx2);
+      EXPECT_EQ(simd::CurrentKernels().level, simd::DetectedSimdLevel());
+    }
+    EXPECT_EQ(simd::CurrentKernels().level, simd::SimdLevel::kScalar);
+  }
+  EXPECT_EQ(simd::CurrentKernels().level, before);
+}
+
+/// Fixture running every kernel-contract test against both tiers; on a host
+/// without AVX2 both parameters resolve to the scalar table and the suite
+/// degenerates to testing it twice.
+class SimdKernelContractTest
+    : public ::testing::TestWithParam<simd::SimdLevel> {
+ protected:
+  const simd::SimdKernels& kernels() const {
+    return simd::KernelsFor(GetParam());
+  }
+};
+
+TEST_P(SimdKernelContractTest, SlidingDotMatchesDirectDot) {
+  const Series series = WhiteNoise(97, 101);
+  const Index len = 9;
+  const Index n = static_cast<Index>(series.size());
+  const Index n_sub = NumSubsequences(n, len);
+  std::vector<double> out(static_cast<std::size_t>(n_sub), -1.0);
+  kernels().sliding_dot(series.data(), len, series.data(), n, out.data());
+  for (Index j = 0; j < n_sub; ++j) {
+    EXPECT_NEAR(out[static_cast<std::size_t>(j)],
+                SubsequenceDotProduct(series, 0, j, len), 1e-9)
+        << "j=" << j;
+  }
+}
+
+TEST_P(SimdKernelContractTest, QtUpdateMatchesDirectDotAndAliasesSafely) {
+  const Series series = WhiteNoise(83, 7);
+  const Index len = 8;
+  const Index n = static_cast<Index>(series.size());
+  const Index n_sub = NumSubsequences(n, len);
+  std::vector<double> qt0(static_cast<std::size_t>(n_sub));
+  kernels().sliding_dot(series.data(), len, series.data(), n, qt0.data());
+
+  // Out-of-place: row 1 from row 0.
+  std::vector<double> out(static_cast<std::size_t>(n_sub), -7.0);
+  kernels().qt_update(series.data(), 1, len, n_sub, qt0.data(), out.data());
+  EXPECT_EQ(out[0], -7.0) << "qt_out[0] must be left untouched";
+  for (Index j = 1; j < n_sub; ++j) {
+    EXPECT_NEAR(out[static_cast<std::size_t>(j)],
+                SubsequenceDotProduct(series, 1, j, len), 1e-8)
+        << "j=" << j;
+  }
+
+  // In-place (qt_out == qt_prev) must produce the identical row.
+  std::vector<double> in_place = qt0;
+  kernels().qt_update(series.data(), 1, len, n_sub, in_place.data(),
+                      in_place.data());
+  for (Index j = 1; j < n_sub; ++j) {
+    EXPECT_EQ(in_place[static_cast<std::size_t>(j)],
+              out[static_cast<std::size_t>(j)])
+        << "aliased update diverged at j=" << j;
+  }
+}
+
+TEST_P(SimdKernelContractTest, DistRowMinMatchesReferenceDistance) {
+  const Series series = WhiteNoise(71, 13);
+  const Index len = 11;
+  const Index n = static_cast<Index>(series.size());
+  const Index n_sub = NumSubsequences(n, len);
+  const PrefixStats stats(series);
+  std::vector<MeanStd> col_stats(static_cast<std::size_t>(n_sub));
+  for (Index j = 0; j < n_sub; ++j) {
+    col_stats[static_cast<std::size_t>(j)] = stats.Stats(j, len);
+  }
+  std::vector<double> qt(static_cast<std::size_t>(n_sub));
+  kernels().sliding_dot(series.data() + 2, len, series.data(), n - 2,
+                        qt.data());
+  // Row 2 against every column in [0, n_sub - 2).
+  const Index end = n_sub - 2;
+  std::vector<double> profile(static_cast<std::size_t>(n_sub), -1.0);
+  double best = kInf;
+  Index best_j = kNoNeighbor;
+  kernels().dist_row_min(qt.data(), col_stats.data(), col_stats[2], len, 0,
+                         end, profile.data(), &best, &best_j);
+  double want_best = kInf;
+  Index want_j = kNoNeighbor;
+  for (Index j = 0; j < end; ++j) {
+    const double want = ZNormalizedDistanceFromDotProduct(
+        qt[static_cast<std::size_t>(j)], len, col_stats[2],
+        col_stats[static_cast<std::size_t>(j)]);
+    EXPECT_EQ(profile[static_cast<std::size_t>(j)], want) << "j=" << j;
+    if (want < want_best) {
+      want_best = want;
+      want_j = j;
+    }
+  }
+  EXPECT_EQ(best, want_best);
+  EXPECT_EQ(best_j, want_j);
+  // The [end, n_sub) suffix was outside the range and must be untouched.
+  EXPECT_EQ(profile[static_cast<std::size_t>(end)], -1.0);
+}
+
+TEST_P(SimdKernelContractTest, DistRowMinTiesGoToLowestIndex) {
+  // Synthetic row where several columns produce bitwise-equal distances: all
+  // windows share unit stats, so the distance is a pure function of qt and
+  // equal qt values tie exactly. The scan must keep the first minimum
+  // (strict less-than update), whatever lane it lands in.
+  const Index len = 8;
+  const Index n_sub = 23;
+  std::vector<MeanStd> col_stats(static_cast<std::size_t>(n_sub),
+                                 MeanStd{0.0, 1.0});
+  std::vector<double> qt(static_cast<std::size_t>(n_sub), 2.0);
+  // Two exactly-equal global minima at 6 and 13 (different mod-4 lanes).
+  qt[6] = 7.5;
+  qt[13] = 7.5;
+  double best = kInf;
+  Index best_j = kNoNeighbor;
+  kernels().dist_row_min(qt.data(), col_stats.data(), MeanStd{0.0, 1.0}, len,
+                         0, n_sub, nullptr, &best, &best_j);
+  EXPECT_EQ(best_j, 6);
+  // And with every column tied, the very first column wins.
+  std::vector<double> flat_qt(static_cast<std::size_t>(n_sub), 2.0);
+  best = kInf;
+  best_j = kNoNeighbor;
+  kernels().dist_row_min(flat_qt.data(), col_stats.data(), MeanStd{0.0, 1.0},
+                         len, 0, n_sub, nullptr, &best, &best_j);
+  EXPECT_EQ(best_j, 0);
+}
+
+TEST_P(SimdKernelContractTest, DistRowMinUpdateImprovesStrictly) {
+  const Series series = WhiteNoise(61, 29);
+  const Index len = 7;
+  const Index n = static_cast<Index>(series.size());
+  const Index n_sub = NumSubsequences(n, len);
+  const PrefixStats stats(series);
+  std::vector<MeanStd> col_stats(static_cast<std::size_t>(n_sub));
+  for (Index j = 0; j < n_sub; ++j) {
+    col_stats[static_cast<std::size_t>(j)] = stats.Stats(j, len);
+  }
+  std::vector<double> qt(static_cast<std::size_t>(n_sub));
+  kernels().sliding_dot(series.data(), len, series.data(), n, qt.data());
+
+  // Exact current distances stored: strict < means nothing may change.
+  std::vector<double> exact(static_cast<std::size_t>(n_sub));
+  {
+    double b = kInf;
+    Index bj = kNoNeighbor;
+    kernels().dist_row_min(qt.data(), col_stats.data(), col_stats[0], len, 0,
+                           n_sub, exact.data(), &b, &bj);
+  }
+  std::vector<double> stored = exact;
+  std::vector<Index> indices(static_cast<std::size_t>(n_sub), 42);
+  double best = kInf;
+  Index best_j = kNoNeighbor;
+  kernels().dist_row_min_update(qt.data(), col_stats.data(), col_stats[0],
+                                len, /*row=*/5, 0, n_sub, stored.data(),
+                                indices.data(), &best, &best_j);
+  for (Index j = 0; j < n_sub; ++j) {
+    const std::size_t k = static_cast<std::size_t>(j);
+    EXPECT_EQ(stored[k], exact[k]) << "equal distance overwrote slot " << j;
+    EXPECT_EQ(indices[k], 42) << "equal distance re-attributed slot " << j;
+  }
+
+  // Worse stored values: every slot must improve and point at the row.
+  std::vector<double> worse(static_cast<std::size_t>(n_sub), kInf);
+  std::vector<Index> worse_idx(static_cast<std::size_t>(n_sub), kNoNeighbor);
+  best = kInf;
+  best_j = kNoNeighbor;
+  kernels().dist_row_min_update(qt.data(), col_stats.data(), col_stats[0],
+                                len, /*row=*/5, 0, n_sub, worse.data(),
+                                worse_idx.data(), &best, &best_j);
+  for (Index j = 0; j < n_sub; ++j) {
+    const std::size_t k = static_cast<std::size_t>(j);
+    EXPECT_EQ(worse[k], exact[k]);
+    EXPECT_EQ(worse_idx[k], 5);
+  }
+}
+
+TEST_P(SimdKernelContractTest, LbBaseSqRowMatchesEq2) {
+  const Index len = 10;
+  const double l = 10.0;
+  const std::vector<double> dists = {0.0, 1.5, std::sqrt(2.0 * l), 25.0,
+                                     kInf};
+  std::vector<double> base_sq(dists.size());
+  kernels().lb_base_sq_row(dists.data(), static_cast<Index>(dists.size()),
+                           len, base_sq.data());
+  // d = 0 -> q = 1 -> base 0; q <= 0 (d >= sqrt(2l), incl. inf) -> base l.
+  EXPECT_EQ(base_sq[0], 0.0);
+  const double q1 = 1.0 - 1.5 * 1.5 / (2.0 * l);
+  EXPECT_DOUBLE_EQ(base_sq[1], l * (1.0 - q1 * q1));
+  EXPECT_EQ(base_sq[2], l);
+  EXPECT_EQ(base_sq[3], l);
+  EXPECT_EQ(base_sq[4], l);
+}
+
+TEST_P(SimdKernelContractTest, LbAtLengthScalesOrFlushesToZero) {
+  const std::vector<double> base = {0.0, 2.0, 5.0, 7.25};
+  std::vector<double> out(base.size(), -1.0);
+  kernels().lb_at_length(base.data(), static_cast<Index>(base.size()), 3.0,
+                         1.5, out.data());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_DOUBLE_EQ(out[i], base[i] * 2.0);
+  }
+  // A flat target window (sigma below the floor) bounds nothing: all zeros.
+  kernels().lb_at_length(base.data(), static_cast<Index>(base.size()), 3.0,
+                         0.0, out.data());
+  for (double v : out) EXPECT_EQ(v, 0.0);
+}
+
+TEST_P(SimdKernelContractTest, ZNormalizeMatchesFormula) {
+  const Series values = WhiteNoise(37, 5);
+  const Index n = static_cast<Index>(values.size());
+  const double mean = 0.25;
+  const double std_dev = 1.75;
+  std::vector<double> out(values.size());
+  kernels().znormalize(values.data(), n, mean, std_dev, out.data());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(out[i], (values[i] - mean) / std_dev);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Tiers, SimdKernelContractTest,
+                         ::testing::Values(simd::SimdLevel::kScalar,
+                                           simd::SimdLevel::kAvx2),
+                         [](const auto& tier) {
+                           return std::string(simd::SimdLevelName(tier.param));
+                         });
+
+}  // namespace
+}  // namespace valmod

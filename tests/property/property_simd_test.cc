@@ -1,0 +1,238 @@
+// Property-based differential tests: the AVX2 kernel tier must be
+// bit-identical to the scalar tier on every generated case — profiles,
+// indices, and every primitive in the dispatch table. Bitwise equality
+// subsumes the 1e-9 deviation budget of the acceptance criteria.
+//
+// On mismatch the failing seed is printed and the case is shrunk to the
+// smallest still-failing input; reproduce with
+//   VALMOD_PROPERTY_SEED=<seed> ctest -R property_simd
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mp/simd/simd.h"
+#include "mp/stomp.h"
+#include "signal/sliding_dot.h"
+#include "signal/znorm.h"
+#include "test_util.h"
+#include "util/prefix_stats.h"
+
+namespace valmod {
+namespace {
+
+using testing_util::MakePropertyCase;
+using testing_util::PropertyCase;
+using testing_util::PropertySeedOverride;
+using testing_util::ShrinkPropertyCase;
+
+/// First index where the two buffers differ bitwise, or -1. Bitwise (==)
+/// comparison is intentional: the two tiers promise identical doubles, not
+/// merely close ones.
+Index FirstMismatch(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) return 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return static_cast<Index>(i);
+  }
+  return -1;
+}
+
+Index FirstMismatch(const std::vector<Index>& a, const std::vector<Index>& b) {
+  if (a.size() != b.size()) return 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return static_cast<Index>(i);
+  }
+  return -1;
+}
+
+/// Runs every comparison for one case; returns "" on success or a
+/// human-readable description of the first divergence. Pure (no gtest
+/// machinery) so the shrinker can re-invoke it.
+std::string CompareSimdVsScalar(const PropertyCase& c) {
+  std::ostringstream err;
+  const simd::SimdKernels& sk = simd::KernelsFor(simd::SimdLevel::kScalar);
+  const simd::SimdKernels& vk = simd::KernelsFor(simd::SimdLevel::kAvx2);
+
+  // End-to-end: STOMP under each tier.
+  MatrixProfile scalar_mp;
+  MatrixProfile simd_mp;
+  {
+    simd::ScopedKernelOverride guard(simd::SimdLevel::kScalar);
+    scalar_mp = Stomp(c.series, c.len);
+  }
+  {
+    simd::ScopedKernelOverride guard(simd::SimdLevel::kAvx2);
+    simd_mp = Stomp(c.series, c.len);
+  }
+  if (Index at = FirstMismatch(scalar_mp.distances, simd_mp.distances);
+      at >= 0) {
+    err << "Stomp distances differ at " << at << ": scalar="
+        << scalar_mp.distances[static_cast<std::size_t>(at)] << " simd="
+        << simd_mp.distances[static_cast<std::size_t>(at)];
+    return err.str();
+  }
+  if (Index at = FirstMismatch(scalar_mp.indices, simd_mp.indices); at >= 0) {
+    err << "Stomp indices differ at " << at;
+    return err.str();
+  }
+
+  // Primitive-by-primitive, on buffers derived from the case.
+  const Series centered = CenterSeries(c.series);
+  const PrefixStats stats(centered);
+  const Index n = static_cast<Index>(centered.size());
+  const Index len = c.len;
+  const Index n_sub = NumSubsequences(n, len);
+  std::vector<MeanStd> col_stats(static_cast<std::size_t>(n_sub));
+  for (Index j = 0; j < n_sub; ++j) {
+    col_stats[static_cast<std::size_t>(j)] = stats.Stats(j, len);
+  }
+  std::vector<double> qt0(static_cast<std::size_t>(n_sub));
+  sk.sliding_dot(centered.data(), len, centered.data(), n, qt0.data());
+  {
+    std::vector<double> got(static_cast<std::size_t>(n_sub));
+    vk.sliding_dot(centered.data(), len, centered.data(), n, got.data());
+    if (Index at = FirstMismatch(qt0, got); at >= 0) {
+      err << "sliding_dot differs at " << at;
+      return err.str();
+    }
+  }
+
+  // qt_update for row 1 (out-of-place so both tiers read the same input).
+  {
+    std::vector<double> out_s(static_cast<std::size_t>(n_sub), -7.0);
+    std::vector<double> out_v(static_cast<std::size_t>(n_sub), -7.0);
+    sk.qt_update(centered.data(), 1, len, n_sub, qt0.data(), out_s.data());
+    vk.qt_update(centered.data(), 1, len, n_sub, qt0.data(), out_v.data());
+    if (Index at = FirstMismatch(out_s, out_v); at >= 0) {
+      err << "qt_update differs at " << at;
+      return err.str();
+    }
+  }
+
+  // dist_row_min over the full row (the kernel is exclusion-zone agnostic).
+  std::vector<double> prof_s(static_cast<std::size_t>(n_sub), 0.0);
+  {
+    std::vector<double> prof_v(static_cast<std::size_t>(n_sub), 0.0);
+    double best_s = kInf, best_v = kInf;
+    Index bj_s = kNoNeighbor, bj_v = kNoNeighbor;
+    sk.dist_row_min(qt0.data(), col_stats.data(), col_stats[0], len, 0, n_sub,
+                    prof_s.data(), &best_s, &bj_s);
+    vk.dist_row_min(qt0.data(), col_stats.data(), col_stats[0], len, 0, n_sub,
+                    prof_v.data(), &best_v, &bj_v);
+    if (Index at = FirstMismatch(prof_s, prof_v); at >= 0) {
+      err << "dist_row_min profile differs at " << at << ": scalar="
+          << prof_s[static_cast<std::size_t>(at)] << " simd="
+          << prof_v[static_cast<std::size_t>(at)];
+      return err.str();
+    }
+    if (best_s != best_v || bj_s != bj_v) {
+      err << "dist_row_min best differs: scalar=(" << best_s << "," << bj_s
+          << ") simd=(" << best_v << "," << bj_v << ")";
+      return err.str();
+    }
+  }
+
+  // dist_row_min_update against a pre-seeded stored profile.
+  {
+    std::vector<double> dist_s = prof_s;
+    std::vector<double> dist_v = prof_s;
+    std::vector<Index> idx_s(static_cast<std::size_t>(n_sub), 3);
+    std::vector<Index> idx_v(static_cast<std::size_t>(n_sub), 3);
+    const MeanStd row_stats = col_stats[static_cast<std::size_t>(n_sub / 2)];
+    double best_s = kInf, best_v = kInf;
+    Index bj_s = kNoNeighbor, bj_v = kNoNeighbor;
+    sk.dist_row_min_update(qt0.data(), col_stats.data(), row_stats, len, 9, 0,
+                           n_sub, dist_s.data(), idx_s.data(), &best_s, &bj_s);
+    vk.dist_row_min_update(qt0.data(), col_stats.data(), row_stats, len, 9, 0,
+                           n_sub, dist_v.data(), idx_v.data(), &best_v, &bj_v);
+    if (Index at = FirstMismatch(dist_s, dist_v); at >= 0) {
+      err << "dist_row_min_update distances differ at " << at;
+      return err.str();
+    }
+    if (Index at = FirstMismatch(idx_s, idx_v); at >= 0) {
+      err << "dist_row_min_update indices differ at " << at;
+      return err.str();
+    }
+    if (best_s != best_v || bj_s != bj_v) {
+      err << "dist_row_min_update best differs";
+      return err.str();
+    }
+  }
+
+  // Lower-bound batch kernels, fed the STOMP row (contains kInf entries).
+  {
+    std::vector<double> bsq_s(scalar_mp.distances.size());
+    std::vector<double> bsq_v(scalar_mp.distances.size());
+    sk.lb_base_sq_row(scalar_mp.distances.data(),
+                      static_cast<Index>(scalar_mp.distances.size()), len,
+                      bsq_s.data());
+    vk.lb_base_sq_row(scalar_mp.distances.data(),
+                      static_cast<Index>(scalar_mp.distances.size()), len,
+                      bsq_v.data());
+    if (Index at = FirstMismatch(bsq_s, bsq_v); at >= 0) {
+      err << "lb_base_sq_row differs at " << at;
+      return err.str();
+    }
+    std::vector<double> lb_s(bsq_s.size());
+    std::vector<double> lb_v(bsq_s.size());
+    const double sigma_base = col_stats[0].std;
+    for (const double sigma_now : {col_stats[1].std, 0.0}) {
+      sk.lb_at_length(bsq_s.data(), static_cast<Index>(bsq_s.size()),
+                      sigma_base, sigma_now, lb_s.data());
+      vk.lb_at_length(bsq_s.data(), static_cast<Index>(bsq_s.size()),
+                      sigma_base, sigma_now, lb_v.data());
+      if (Index at = FirstMismatch(lb_s, lb_v); at >= 0) {
+        err << "lb_at_length(sigma_now=" << sigma_now << ") differs at " << at;
+        return err.str();
+      }
+    }
+  }
+
+  // znormalize with the first window's moments.
+  {
+    const MeanStd ms = stats.Stats(0, len);
+    if (ms.std > 0.0) {
+      std::vector<double> zn_s(static_cast<std::size_t>(len));
+      std::vector<double> zn_v(static_cast<std::size_t>(len));
+      sk.znormalize(centered.data(), len, ms.mean, ms.std, zn_s.data());
+      vk.znormalize(centered.data(), len, ms.mean, ms.std, zn_v.data());
+      if (Index at = FirstMismatch(zn_s, zn_v); at >= 0) {
+        err << "znormalize differs at " << at;
+        return err.str();
+      }
+    }
+  }
+  return "";
+}
+
+class SimdScalarPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimdScalarPropertyTest, KernelsBitIdentical) {
+  if (simd::DetectedSimdLevel() != simd::SimdLevel::kAvx2) {
+    GTEST_SKIP() << "host has no AVX2+FMA; nothing to differentiate";
+  }
+  const std::uint64_t seed = PropertySeedOverride(GetParam());
+  const PropertyCase c = MakePropertyCase(seed, 360);
+  const std::string mismatch = CompareSimdVsScalar(c);
+  if (!mismatch.empty()) {
+    const PropertyCase minimal =
+        ShrinkPropertyCase(c, [](const PropertyCase& cand) {
+          return !CompareSimdVsScalar(cand).empty();
+        });
+    FAIL() << "SIMD-vs-scalar divergence: " << mismatch
+           << "\n  case:      " << c.Describe()
+           << "\n  shrunk to: " << minimal.Describe()
+           << "\n  reproduce: VALMOD_PROPERTY_SEED=" << seed
+           << " ctest -R property_simd";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimdScalarPropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 100));
+
+}  // namespace
+}  // namespace valmod

@@ -254,8 +254,8 @@ TEST(ObservabilityHttp, SlowQueryLogFiresAndCountsOverThreshold) {
   quiet_options.slow_query_ms = 60000.0;
   QueryEngine quiet(quiet_options);
   std::vector<std::string> quiet_lines;
-  obs::Log::SetSink([&quiet_lines](const std::string& line) {
-    quiet_lines.push_back(line);
+  obs::Log::SetSink([&quiet_lines](const std::string& quiet_line) {
+    quiet_lines.push_back(quiet_line);
   });
   const Response fast = quiet.Execute(
       MotifRequest(testing_util::NoiseWithPlantedMotif(512, 24, 60, 300, 9)));

@@ -1,8 +1,12 @@
 #ifndef VALMOD_TESTS_TEST_UTIL_H_
 #define VALMOD_TESTS_TEST_UTIL_H_
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
+#include <sstream>
+#include <string>
 
 #include "datasets/generators.h"
 #include "util/common.h"
@@ -60,6 +64,170 @@ inline Series WhiteNoise(Index n, std::uint64_t seed, double sigma = 1.0) {
   Series out(static_cast<std::size_t>(n));
   for (auto& v : out) v = rng.Gaussian(0.0, sigma);
   return out;
+}
+
+// --- Property-based differential harness -----------------------------------
+//
+// A PropertyCase is one generated (series, subsequence length) input; the
+// generator is a pure function of the seed, so every failure is reproducible
+// from the single integer printed in the failure message (see
+// docs/TESTING.md, "Reproducing a property-test failure").
+
+/// One generated differential-test case.
+struct PropertyCase {
+  std::uint64_t seed = 0;
+  /// Generator family, for failure messages.
+  const char* family = "";
+  Series series;
+  /// Subsequence length; always >= 4 with series.size() >= 3 * len + 2, so
+  /// the case is valid for every property (batch, streaming, VALMOD).
+  Index len = 0;
+
+  std::string Describe() const {
+    std::ostringstream os;
+    os << "PropertyCase{seed=" << seed << ", family=" << family
+       << ", n=" << series.size() << ", len=" << len << "}";
+    return os.str();
+  }
+};
+
+/// Deterministically builds case `seed`. The families cover the inputs the
+/// kernels historically get wrong: random walks (smooth near-duplicates),
+/// white noise with a planted motif (crisp answers), flat/constant plateaus
+/// (flat-window special cases), extreme magnitudes (cancellation,
+/// NaN-adjacent overflow in naive formulas), and near-constant data with a
+/// ramp (tiny variance, denormal-adjacent stds). Lengths mix odd and even
+/// so the l/2 exclusion-zone rounding is exercised on every run.
+///
+/// `extreme_scale` sets the dynamic range of the extreme_magnitudes family.
+/// The default (1e12) drives the O(1) dot-product recurrence of Eq. 3 into
+/// catastrophic cancellation — correct for same-formula differential suites
+/// (SIMD vs scalar is bit-identical regardless of conditioning), but
+/// cross-algorithm oracles (VALMOD vs brute force, streaming vs batch)
+/// compare the recurrence against O(len) exact arithmetic and must stay
+/// inside the recurrence's numeric envelope: pass ~1e4 there. This is the
+/// documented conditioning limit of STOMP-style updates, not a defect in
+/// either implementation.
+inline PropertyCase MakePropertyCase(std::uint64_t seed, Index max_n = 420,
+                                     double extreme_scale = 1e12) {
+  Rng rng(seed * 0x9E3779B97F4A7C15ull + 1);
+  PropertyCase c;
+  c.seed = seed;
+  const Index family = static_cast<Index>(seed % 5);
+  // len in [4, 24], both parities; n in [3*len + 2, max_n].
+  c.len = rng.UniformIndex(4, 24);
+  const Index min_n = 3 * c.len + 2;
+  const Index n = rng.UniformIndex(min_n, std::max(min_n, max_n));
+  switch (family) {
+    case 0: {
+      c.family = "random_walk";
+      c.series = GenerateRandomWalk(n, seed + 11, 0.5);
+      break;
+    }
+    case 1: {
+      c.family = "planted_motif";
+      const Index at_a = c.len / 2;
+      const Index at_b = n - 2 * c.len;
+      c.series = NoiseWithPlantedMotif(n, c.len, at_a, at_b, seed + 13);
+      break;
+    }
+    case 2: {
+      c.family = "flat_plateau";
+      c.series = GenerateRandomWalk(n, seed + 17, 0.5);
+      // Constant plateau longer than one window, plus an exactly-zero run.
+      const Index p0 = n / 5;
+      for (Index i = p0; i < std::min(n, p0 + 2 * c.len); ++i) {
+        c.series[static_cast<std::size_t>(i)] = 2.5;
+      }
+      const Index z0 = (3 * n) / 5;
+      for (Index i = z0; i < std::min(n, z0 + c.len + 1); ++i) {
+        c.series[static_cast<std::size_t>(i)] = 0.0;
+      }
+      break;
+    }
+    case 3: {
+      c.family = "extreme_magnitudes";
+      c.series = WhiteNoise(n, seed + 19);
+      // A burst of huge values next to a burst of tiny ones: the naive
+      // correlation formula overflows toward inf/NaN without the guards.
+      const Index h0 = n / 4;
+      for (Index i = h0; i < std::min(n, h0 + c.len); ++i) {
+        c.series[static_cast<std::size_t>(i)] *= extreme_scale;
+      }
+      const Index t0 = n / 2;
+      for (Index i = t0; i < std::min(n, t0 + c.len); ++i) {
+        c.series[static_cast<std::size_t>(i)] /= extreme_scale;
+      }
+      break;
+    }
+    default: {
+      c.family = "near_constant_ramp";
+      Rng noise(seed + 23);
+      c.series.assign(static_cast<std::size_t>(n), 1.0);
+      for (Index i = 0; i < n; ++i) {
+        c.series[static_cast<std::size_t>(i)] +=
+            1e-8 * static_cast<double>(i) + 1e-10 * noise.Gaussian();
+      }
+      break;
+    }
+  }
+  return c;
+}
+
+/// Greedy shrinker: repeatedly applies the first size reduction that keeps
+/// `fails(case)` true — drop the back half, drop the front half, halve the
+/// subsequence length — and returns the smallest still-failing case.
+/// `fails` must be a pure predicate (no gtest assertions).
+template <typename FailsFn>
+PropertyCase ShrinkPropertyCase(PropertyCase c, const FailsFn& fails) {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    const Index n = static_cast<Index>(c.series.size());
+    const Index min_n = 3 * c.len + 2;
+    // Candidate 1/2: keep one half of the series (front, then back).
+    for (int which = 0; which < 2 && !progress; ++which) {
+      const Index half = n / 2;
+      if (half < min_n) continue;
+      PropertyCase cand = c;
+      if (which == 0) {
+        cand.series.assign(c.series.begin(),
+                           c.series.begin() + static_cast<std::ptrdiff_t>(half));
+      } else {
+        cand.series.assign(c.series.end() - static_cast<std::ptrdiff_t>(half),
+                           c.series.end());
+      }
+      if (fails(cand)) {
+        c = cand;
+        progress = true;
+      }
+    }
+    // Candidate 3: halve the window length.
+    if (!progress && c.len / 2 >= 4) {
+      PropertyCase cand = c;
+      cand.len = c.len / 2;
+      if (fails(cand)) {
+        c = cand;
+        progress = true;
+      }
+    }
+  }
+  return c;
+}
+
+/// Seed override for reproducing one failing case: when the
+/// VALMOD_PROPERTY_SEED environment variable is set, returns that seed and
+/// sets *overridden; otherwise returns `seed` unchanged. Every property test
+/// routes its seed through this, so
+///   VALMOD_PROPERTY_SEED=42 ctest -R property
+/// re-runs every property against the single failing case.
+inline std::uint64_t PropertySeedOverride(std::uint64_t seed,
+                                          bool* overridden = nullptr) {
+  if (overridden != nullptr) *overridden = false;
+  const char* env = std::getenv("VALMOD_PROPERTY_SEED");
+  if (env == nullptr || *env == '\0') return seed;
+  if (overridden != nullptr) *overridden = true;
+  return std::strtoull(env, nullptr, 10);
 }
 
 }  // namespace testing_util

@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Line-coverage ratchet for the hot directories (src/core, src/mp).
+
+Aggregates gcov line coverage from a VALMOD_COVERAGE build tree (the
+`coverage` preset) after the test suite has run, then compares each ratcheted
+directory against the committed floor in tools/coverage_baseline.json. The
+check fails when coverage drops below the floor minus a small slack — so a PR
+that adds uncovered code to the measured subsystems must also add tests.
+Raising the floor is intentional and manual: run with --update after
+improving coverage and commit the diff.
+
+The container ships plain gcov (no gcovr/lcov), so this drives
+`gcov --json-format --stdout` directly over every .gcda file and merges the
+per-object reports itself; a source line counts as covered when any object
+that compiled it executed it.
+
+Usage:
+  tools/check_coverage.py --build-dir build/coverage [--update] [--verbose]
+"""
+
+import argparse
+import collections
+import json
+import os
+import subprocess
+import sys
+
+# Directories (repo-relative prefixes) whose coverage is ratcheted.
+RATCHETED = ["src/core", "src/mp"]
+
+# Allowed drop below the committed floor, in percentage points: absorbs line
+# drift from unrelated refactors without letting real regressions through.
+SLACK = 0.25
+
+
+def find_repo_root():
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def collect_gcda(build_dir):
+    out = []
+    for dirpath, _dirnames, filenames in os.walk(build_dir):
+        for name in filenames:
+            if name.endswith(".gcda"):
+                out.append(os.path.join(dirpath, name))
+    return out
+
+
+def gcov_json(gcda_path):
+    """Runs gcov on one .gcda and yields its parsed JSON report."""
+    proc = subprocess.run(
+        ["gcov", "--json-format", "--stdout", gcda_path],
+        cwd=os.path.dirname(gcda_path),
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(f"gcov failed on {gcda_path}: {proc.stderr.strip()}")
+    for line in proc.stdout.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        yield json.loads(line)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build/coverage",
+                        help="coverage-instrumented build tree (after ctest)")
+    parser.add_argument("--baseline",
+                        default=os.path.join("tools",
+                                             "coverage_baseline.json"))
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline with current coverage")
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args()
+
+    root = find_repo_root()
+    build_dir = os.path.join(root, args.build_dir)
+    if not os.path.isdir(build_dir):
+        print(f"error: build dir {build_dir} not found", file=sys.stderr)
+        return 2
+
+    gcda_files = collect_gcda(build_dir)
+    if not gcda_files:
+        print(f"error: no .gcda files under {build_dir}; build with the "
+              "`coverage` preset and run ctest first", file=sys.stderr)
+        return 2
+
+    # file -> line -> max execution count across objects.
+    lines = collections.defaultdict(dict)
+    for gcda in gcda_files:
+        for report in gcov_json(gcda):
+            for entry in report.get("files", []):
+                path = entry["file"]
+                if not os.path.isabs(path):
+                    path = os.path.normpath(
+                        os.path.join(os.path.dirname(gcda), path))
+                rel = os.path.relpath(path, root)
+                if rel.startswith(".."):
+                    continue  # toolchain or third-party header
+                per_file = lines[rel]
+                for line in entry.get("lines", []):
+                    number = line["line_number"]
+                    count = line["count"]
+                    per_file[number] = max(per_file.get(number, 0), count)
+
+    covered = collections.Counter()
+    total = collections.Counter()
+    for rel, per_file in lines.items():
+        for prefix in RATCHETED:
+            if rel.startswith(prefix + os.sep):
+                total[prefix] += len(per_file)
+                covered[prefix] += sum(1 for c in per_file.values() if c > 0)
+                break
+
+    current = {}
+    for prefix in RATCHETED:
+        if total[prefix] == 0:
+            print(f"error: no measured lines under {prefix}",
+                  file=sys.stderr)
+            return 2
+        current[prefix] = round(100.0 * covered[prefix] / total[prefix], 2)
+        print(f"{prefix}: {current[prefix]:.2f}% "
+              f"({covered[prefix]}/{total[prefix]} lines)")
+
+    baseline_path = os.path.join(root, args.baseline)
+    if args.update:
+        with open(baseline_path, "w", encoding="utf-8") as f:
+            json.dump(current, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"baseline updated: {baseline_path}")
+        return 0
+
+    try:
+        with open(baseline_path, encoding="utf-8") as f:
+            baseline = json.load(f)
+    except FileNotFoundError:
+        print(f"error: missing baseline {baseline_path}; create it with "
+              "--update", file=sys.stderr)
+        return 2
+
+    failed = False
+    for prefix in RATCHETED:
+        floor = float(baseline.get(prefix, 0.0))
+        if current[prefix] + SLACK < floor:
+            print(f"FAIL: {prefix} coverage {current[prefix]:.2f}% is below "
+                  f"the ratcheted floor {floor:.2f}% (slack {SLACK})",
+                  file=sys.stderr)
+            failed = True
+        elif args.verbose:
+            print(f"ok: {prefix} {current[prefix]:.2f}% >= "
+                  f"floor {floor:.2f}% - {SLACK}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
