@@ -3,8 +3,10 @@
 #include <atomic>
 #include <cmath>
 #include <cstdio>
-#include <mutex>
 #include <utility>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace valmod {
 namespace obs {
@@ -14,8 +16,8 @@ namespace {
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarn)};
 
 struct SinkState {
-  std::mutex mutex;
-  std::function<void(const std::string&)> sink;
+  Mutex mutex;
+  std::function<void(const std::string&)> sink GUARDED_BY(mutex);
 };
 
 SinkState& Sink() {
@@ -25,7 +27,7 @@ SinkState& Sink() {
 
 void Emit(const std::string& line) {
   SinkState& state = Sink();
-  std::lock_guard<std::mutex> lock(state.mutex);
+  const MutexLock lock(&state.mutex);
   if (state.sink) {
     state.sink(line);
     return;
@@ -75,7 +77,7 @@ LogLevel Log::min_level() {
 
 void Log::SetSink(std::function<void(const std::string&)> sink) {
   SinkState& state = Sink();
-  std::lock_guard<std::mutex> lock(state.mutex);
+  const MutexLock lock(&state.mutex);
   state.sink = std::move(sink);
 }
 

@@ -3,10 +3,11 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
-#include <mutex>
 #include <utility>
 
 #include "obs/chrome_trace.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace valmod {
 namespace obs {
@@ -40,12 +41,12 @@ std::int64_t NowNs() {
 // slot and the global registry, so StopAndCollect can read buffers of
 // exited threads and exited threads cannot dangle the registry.
 struct ThreadBuffer {
-  std::mutex mutex;
+  Mutex mutex;
   // Events from the current session generation only; bounded by
   // TraceSession::kMaxEventsPerThread (overflow counts as dropped).
-  std::vector<TraceEvent> events;
-  std::uint64_t generation = 0;
-  std::uint32_t tid = 0;
+  std::vector<TraceEvent> events GUARDED_BY(mutex);
+  std::uint64_t generation GUARDED_BY(mutex) = 0;
+  std::uint32_t tid = 0;  // unguarded: written once at registration
 };
 
 struct TraceGlobals {
@@ -53,9 +54,10 @@ struct TraceGlobals {
   std::atomic<std::int64_t> dropped{0};
   std::atomic<std::uint64_t> generation{0};
   std::atomic<std::int64_t> session_start_ns{0};
-  std::mutex registry_mutex;
+  Mutex registry_mutex;
   // Registration order == first-span order == stable tid order.
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers
+      GUARDED_BY(registry_mutex);
 };
 
 TraceGlobals& Globals() {
@@ -67,7 +69,7 @@ ThreadBuffer& LocalBuffer() {
   thread_local std::shared_ptr<ThreadBuffer> buffer = []() {
     auto fresh = std::make_shared<ThreadBuffer>();
     TraceGlobals& globals = Globals();
-    std::lock_guard<std::mutex> lock(globals.registry_mutex);
+    const MutexLock lock(&globals.registry_mutex);
     fresh->tid = static_cast<std::uint32_t>(globals.buffers.size());
     globals.buffers.push_back(fresh);
     return fresh;
@@ -99,12 +101,12 @@ TraceSession& TraceSession::Global() {
 
 void TraceSession::Start() {
   TraceGlobals& globals = Globals();
-  std::lock_guard<std::mutex> lock(globals.registry_mutex);
+  const MutexLock lock(&globals.registry_mutex);
   const std::uint64_t generation =
       globals.generation.fetch_add(1, std::memory_order_relaxed) + 1;
   globals.session_start_ns.store(NowNs(), std::memory_order_relaxed);
   for (const std::shared_ptr<ThreadBuffer>& buffer : globals.buffers) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    const MutexLock buffer_lock(&buffer->mutex);
     buffer->events.clear();
     buffer->generation = generation;
   }
@@ -114,12 +116,12 @@ void TraceSession::Start() {
 std::vector<TraceEvent> TraceSession::StopAndCollect() {
   TraceGlobals& globals = Globals();
   std::vector<TraceEvent> collected;
-  std::lock_guard<std::mutex> lock(globals.registry_mutex);
+  const MutexLock lock(&globals.registry_mutex);
   globals.active.store(false, std::memory_order_release);
   const std::uint64_t generation =
       globals.generation.load(std::memory_order_relaxed);
   for (const std::shared_ptr<ThreadBuffer>& buffer : globals.buffers) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    const MutexLock buffer_lock(&buffer->mutex);
     if (buffer->generation != generation) continue;
     collected.insert(collected.end(), buffer->events.begin(),
                      buffer->events.end());
@@ -157,7 +159,7 @@ TraceSpan::~TraceSpan() {
   TraceGlobals& globals = Globals();
   if (!globals.active.load(std::memory_order_relaxed)) return;
   ThreadBuffer& buffer = LocalBuffer();
-  std::lock_guard<std::mutex> lock(buffer.mutex);
+  const MutexLock lock(&buffer.mutex);
   // Threads whose buffer registered after Start() stamped the registry carry
   // a stale generation; adopt the live session lazily on first event.
   const std::uint64_t generation =

@@ -1,8 +1,6 @@
 #include "service/engine.h"
 
 #include <cmath>
-#include <condition_variable>
-#include <mutex>
 #include <utility>
 
 #include "core/ranking.h"
@@ -12,6 +10,7 @@
 #include "obs/trace.h"
 #include "service/fingerprint.h"
 #include "signal/znorm.h"
+#include "util/mutex.h"
 #include "util/prefix_stats.h"
 #include "util/timer.h"
 
@@ -275,9 +274,11 @@ Response QueryEngine::Execute(const Request& request) {
       cached = true;
     } else {
       // Execute() blocks until the job completes, so the locals captured by
-      // reference below outlive the worker's use of them.
-      std::mutex mu;
-      std::condition_variable cv;
+      // reference below outlive the worker's use of them. (GUARDED_BY does
+      // not apply to locals; the annotated wrappers still document and —
+      // via the scoped types — enforce the acquire/release pairing.)
+      Mutex mu;
+      CondVar cv;
       bool done = false;
       Status job_status;
       WallTimer queue_timer;
@@ -303,11 +304,11 @@ Response QueryEngine::Execute(const Request& request) {
                 }
               }
             }
-            const std::lock_guard<std::mutex> lock(mu);
+            const MutexLock lock(&mu);
             job_status = std::move(result_status);
             artifact = std::move(result);
             done = true;
-            cv.notify_one();
+            cv.NotifyOne();
           });
       if (!status.ok()) {
         metrics_.GetCounter("rejected_queue_full")->Increment();
@@ -317,8 +318,8 @@ Response QueryEngine::Execute(const Request& request) {
         return response;
       }
       {
-        std::unique_lock<std::mutex> lock(mu);
-        cv.wait(lock, [&] { return done; });
+        const MutexLock lock(&mu);
+        while (!done) cv.Wait(mu);
       }
       if (!job_status.ok()) {
         metrics_.GetCounter("rejected_deadline")->Increment();

@@ -10,7 +10,7 @@ JobQueue::JobQueue(Index capacity)
 
 Status JobQueue::Push(Job job) {
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(&mu_);
     if (closed_)
       return Status::ResourceExhausted("job queue is draining");
     if (size_ >= capacity_)
@@ -23,14 +23,20 @@ Status JobQueue::Push(Job job) {
     lanes_[static_cast<std::size_t>(priority)].push_back(std::move(job));
     ++size_;
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
   return Status::Ok();
 }
 
 bool JobQueue::Pop(Job* out) {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] { return size_ > 0 || closed_; });
+  const MutexLock lock(&mu_);
+  // Condition loop instead of a predicate lambda: the analysis cannot see
+  // into lambdas, but it proves these guarded reads happen under mu_.
+  while (size_ == 0 && !closed_) cv_.Wait(mu_);
   if (size_ == 0) return false;  // closed and drained
+  return PopLocked(out);
+}
+
+bool JobQueue::PopLocked(Job* out) {
   for (std::deque<Job>& lane : lanes_) {
     if (lane.empty()) continue;
     *out = std::move(lane.front());
@@ -43,19 +49,19 @@ bool JobQueue::Pop(Job* out) {
 
 void JobQueue::Close() {
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(&mu_);
     closed_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 Index JobQueue::size() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(&mu_);
   return size_;
 }
 
 bool JobQueue::closed() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(&mu_);
   return closed_;
 }
 

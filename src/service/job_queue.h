@@ -2,13 +2,13 @@
 #define VALMOD_SERVICE_JOB_QUEUE_H_
 
 #include <array>
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 
 #include "util/common.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "util/timer.h"
 
 namespace valmod {
@@ -44,35 +44,39 @@ class JobQueue {
 
   /// Enqueues `job`. Returns kResourceExhausted when the queue is at
   /// capacity or Close() has been called; Ok otherwise. Never blocks.
-  Status Push(Job job);
+  Status Push(Job job) EXCLUDES(mu_);
 
   /// Blocks until a job is available or the queue is closed *and* empty.
   /// Returns false only in the latter case — jobs queued before Close()
   /// are always handed out, which is what graceful drain relies on.
-  bool Pop(Job* out);
+  bool Pop(Job* out) EXCLUDES(mu_);
 
   /// Closes the queue: subsequent Push calls are rejected, Pop drains the
   /// remaining jobs then returns false. Idempotent.
-  void Close();
+  void Close() EXCLUDES(mu_);
 
   /// Current total occupancy.
-  Index size() const;
+  Index size() const EXCLUDES(mu_);
 
   /// The capacity bound.
   Index capacity() const { return capacity_; }
 
   /// True once Close() has been called.
-  bool closed() const;
+  bool closed() const EXCLUDES(mu_);
 
  private:
+  /// Moves the best-priority queued job into `*out`. The caller holds mu_
+  /// and has checked size_ > 0.
+  bool PopLocked(Job* out) REQUIRES(mu_);
+
+  const Index capacity_;
+  mutable Mutex mu_;
+  CondVar cv_;  // unguarded: sync primitive paired with mu_
   /// One FIFO lane per priority; total occupancy across the lanes is
   /// bounded by capacity_ (enforced in Push).
-  std::array<std::deque<Job>, kNumPriorities> lanes_;
-  const Index capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  Index size_ = 0;
-  bool closed_ = false;
+  std::array<std::deque<Job>, kNumPriorities> lanes_ GUARDED_BY(mu_);
+  Index size_ GUARDED_BY(mu_) = 0;
+  bool closed_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace valmod

@@ -52,14 +52,14 @@ double LatencyHistogram::SumUs() const {
 }
 
 MetricCounter* MetricsRegistry::GetCounter(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(&mu_);
   std::unique_ptr<MetricCounter>& slot = counters_[name];
   if (!slot) slot = std::make_unique<MetricCounter>();
   return slot.get();
 }
 
 LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(&mu_);
   std::unique_ptr<LatencyHistogram>& slot = histograms_[name];
   if (!slot) slot = std::make_unique<LatencyHistogram>();
   return slot.get();
@@ -67,38 +67,41 @@ LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& name) {
 
 void MetricsRegistry::SetGauge(const std::string& name,
                                std::function<std::int64_t()> fn) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(&mu_);
   gauges_[name] = std::move(fn);
 }
 
+MetricsRegistry::Rows MetricsRegistry::CollectLocked() const {
+  Rows rows;
+  rows.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_)
+    rows.counters.emplace_back(name, counter->Value());
+  rows.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_)
+    rows.histograms.emplace_back(name, histogram.get());
+  rows.gauges.reserve(gauges_.size());
+  for (const auto& [name, fn] : gauges_) rows.gauges.emplace_back(name, fn);
+  return rows;
+}
+
 std::string MetricsRegistry::Exposition() const {
-  // Collect under the lock, render (and sample gauges) outside it, so a
-  // gauge callback that itself takes a lock cannot deadlock the registry.
-  std::vector<std::pair<std::string, std::int64_t>> counter_rows;
-  std::vector<std::pair<std::string, const LatencyHistogram*>> histo_rows;
-  std::vector<std::pair<std::string, std::function<std::int64_t()>>>
-      gauge_rows;
+  // Collect under the lock, render (and sample gauges) outside it — see
+  // CollectLocked's contract.
+  Rows rows;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
-    counter_rows.reserve(counters_.size());
-    for (const auto& [name, counter] : counters_)
-      counter_rows.emplace_back(name, counter->Value());
-    histo_rows.reserve(histograms_.size());
-    for (const auto& [name, histogram] : histograms_)
-      histo_rows.emplace_back(name, histogram.get());
-    gauge_rows.reserve(gauges_.size());
-    for (const auto& [name, fn] : gauges_) gauge_rows.emplace_back(name, fn);
+    const MutexLock lock(&mu_);
+    rows = CollectLocked();
   }
   // All three maps are sorted and their key spaces are kept disjoint by
   // convention, so a simple three-way merge yields name-sorted output.
   std::vector<std::pair<std::string, std::string>> lines;
   char buf[160];
-  for (const auto& [name, value] : counter_rows) {
+  for (const auto& [name, value] : rows.counters) {
     std::snprintf(buf, sizeof(buf), "valmod_%s %lld", name.c_str(),
                   static_cast<long long>(value));
     lines.emplace_back(name, buf);
   }
-  for (const auto& [name, histogram] : histo_rows) {
+  for (const auto& [name, histogram] : rows.histograms) {
     const std::int64_t count = histogram->TotalCount();
     const double mean =
         count > 0 ? histogram->SumUs() / static_cast<double>(count) : 0.0;
@@ -112,7 +115,7 @@ std::string MetricsRegistry::Exposition() const {
                   name.c_str(), histogram->QuantileUpperBoundUs(0.99));
     lines.emplace_back(name, buf);
   }
-  for (const auto& [name, fn] : gauge_rows) {
+  for (const auto& [name, fn] : rows.gauges) {
     std::snprintf(buf, sizeof(buf), "valmod_%s %lld", name.c_str(),
                   static_cast<long long>(fn ? fn() : 0));
     lines.emplace_back(name, buf);
@@ -130,36 +133,26 @@ std::string MetricsRegistry::Exposition() const {
 std::string MetricsRegistry::PrometheusText() const {
   // Same snapshot-then-render structure as Exposition(): collect under the
   // lock, sample gauges and histogram cells outside it.
-  std::vector<std::pair<std::string, std::int64_t>> counter_rows;
-  std::vector<std::pair<std::string, const LatencyHistogram*>> histo_rows;
-  std::vector<std::pair<std::string, std::function<std::int64_t()>>>
-      gauge_rows;
+  Rows rows;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
-    counter_rows.reserve(counters_.size());
-    for (const auto& [name, counter] : counters_)
-      counter_rows.emplace_back(name, counter->Value());
-    histo_rows.reserve(histograms_.size());
-    for (const auto& [name, histogram] : histograms_)
-      histo_rows.emplace_back(name, histogram.get());
-    gauge_rows.reserve(gauges_.size());
-    for (const auto& [name, fn] : gauges_) gauge_rows.emplace_back(name, fn);
+    const MutexLock lock(&mu_);
+    rows = CollectLocked();
   }
   std::string out;
   char buf[192];
-  for (const auto& [name, value] : counter_rows) {
+  for (const auto& [name, value] : rows.counters) {
     std::snprintf(buf, sizeof(buf),
                   "# TYPE valmod_%s counter\nvalmod_%s %lld\n", name.c_str(),
                   name.c_str(), static_cast<long long>(value));
     out.append(buf);
   }
-  for (const auto& [name, fn] : gauge_rows) {
+  for (const auto& [name, fn] : rows.gauges) {
     std::snprintf(buf, sizeof(buf),
                   "# TYPE valmod_%s gauge\nvalmod_%s %lld\n", name.c_str(),
                   name.c_str(), static_cast<long long>(fn ? fn() : 0));
     out.append(buf);
   }
-  for (const auto& [name, histogram] : histo_rows) {
+  for (const auto& [name, histogram] : rows.histograms) {
     std::snprintf(buf, sizeof(buf), "# TYPE valmod_%s_us histogram\n",
                   name.c_str());
     out.append(buf);

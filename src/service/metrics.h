@@ -7,10 +7,13 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "util/common.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace valmod {
 
@@ -78,14 +81,15 @@ class LatencyHistogram {
 class MetricsRegistry {
  public:
   /// Returns the counter named `name`, creating it on first use.
-  MetricCounter* GetCounter(const std::string& name);
+  MetricCounter* GetCounter(const std::string& name) EXCLUDES(mu_);
 
   /// Returns the histogram named `name`, creating it on first use.
-  LatencyHistogram* GetHistogram(const std::string& name);
+  LatencyHistogram* GetHistogram(const std::string& name) EXCLUDES(mu_);
 
   /// Registers (or replaces) a gauge: `fn` is sampled at exposition time,
   /// so gauges always report live values (e.g. current cache bytes).
-  void SetGauge(const std::string& name, std::function<std::int64_t()> fn);
+  void SetGauge(const std::string& name, std::function<std::int64_t()> fn)
+      EXCLUDES(mu_);
 
   /// Text exposition, one `valmod_<name> <value>` line per metric, sorted
   /// by name. Histograms expose `<name>_count`, `<name>_mean_us`, and
@@ -100,10 +104,28 @@ class MetricsRegistry {
   std::string PrometheusText() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<MetricCounter>> counters_;
-  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
-  std::map<std::string, std::function<std::int64_t()>> gauges_;
+  /// A registry snapshot taken under mu_ and rendered outside it, so a
+  /// gauge callback that itself takes a lock cannot deadlock the registry.
+  /// Counter values are copied; histogram cells and gauges are sampled at
+  /// render time (the pointers outlive the registry's maps by node-based
+  /// map stability).
+  struct Rows {
+    std::vector<std::pair<std::string, std::int64_t>> counters;
+    std::vector<std::pair<std::string, const LatencyHistogram*>> histograms;
+    std::vector<std::pair<std::string, std::function<std::int64_t()>>> gauges;
+  };
+
+  /// Copies every registered metric into a Rows snapshot. The caller holds
+  /// mu_; both expositions render from the same snapshot shape.
+  Rows CollectLocked() const REQUIRES(mu_);
+
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<MetricCounter>> counters_
+      GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_
+      GUARDED_BY(mu_);
+  std::map<std::string, std::function<std::int64_t()>> gauges_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace valmod

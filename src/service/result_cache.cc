@@ -40,7 +40,7 @@ ResultCache::Shard& ResultCache::ShardFor(const CacheKey& key) {
 
 bool ResultCache::Get(const CacheKey& key, CachedArtifact* out) {
   Shard& shard = ShardFor(key);
-  const std::lock_guard<std::mutex> lock(shard.mu);
+  const MutexLock lock(&shard.mu);
   const auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -55,7 +55,7 @@ bool ResultCache::Get(const CacheKey& key, CachedArtifact* out) {
 void ResultCache::Put(const CacheKey& key, const CachedArtifact& artifact) {
   const std::size_t entry_bytes = artifact.ApproxBytes() + sizeof(Entry);
   Shard& shard = ShardFor(key);
-  const std::lock_guard<std::mutex> lock(shard.mu);
+  const MutexLock lock(&shard.mu);
   const auto it = shard.index.find(key);
   if (it != shard.index.end()) {
     shard.bytes -= it->second->bytes;
@@ -69,6 +69,10 @@ void ResultCache::Put(const CacheKey& key, const CachedArtifact& artifact) {
   shard.lru.push_front(Entry{key, artifact, entry_bytes});
   shard.index[key] = shard.lru.begin();
   shard.bytes += entry_bytes;
+  EvictToBudgetLocked(shard);
+}
+
+void ResultCache::EvictToBudgetLocked(Shard& shard) {
   while (shard.bytes > shard_budget_ && !shard.lru.empty()) {
     const Entry& victim = shard.lru.back();
     shard.bytes -= victim.bytes;
@@ -80,7 +84,7 @@ void ResultCache::Put(const CacheKey& key, const CachedArtifact& artifact) {
 
 void ResultCache::Clear() {
   for (Shard& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard.mu);
+    const MutexLock lock(&shard.mu);
     shard.lru.clear();
     shard.index.clear();
     shard.bytes = 0;
@@ -90,7 +94,7 @@ void ResultCache::Clear() {
 std::size_t ResultCache::bytes() const {
   std::size_t total = 0;
   for (const Shard& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard.mu);
+    const MutexLock lock(&shard.mu);
     total += shard.bytes;
   }
   return total;
@@ -99,7 +103,7 @@ std::size_t ResultCache::bytes() const {
 Index ResultCache::entries() const {
   Index total = 0;
   for (const Shard& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard.mu);
+    const MutexLock lock(&shard.mu);
     total += static_cast<Index>(shard.lru.size());
   }
   return total;

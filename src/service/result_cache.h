@@ -4,7 +4,6 @@
 #include <atomic>
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -12,6 +11,8 @@
 #include "mp/matrix_profile.h"
 #include "service/protocol.h"
 #include "util/common.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace valmod {
 
@@ -106,16 +107,20 @@ class ResultCache {
     std::size_t bytes = 0;
   };
   struct Shard {
-    mutable std::mutex mu;
+    mutable Mutex mu;
     /// Front = most recently used; eviction pops from the back.
-    std::list<Entry> lru;
+    std::list<Entry> lru GUARDED_BY(mu);
     std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash>
-        index;
-    std::size_t bytes = 0;
+        index GUARDED_BY(mu);
+    std::size_t bytes GUARDED_BY(mu) = 0;
   };
 
   /// Maps a key's hash onto its owning shard.
   Shard& ShardFor(const CacheKey& key);
+
+  /// Pops least-recently-used entries until `shard` is back under its
+  /// budget slice; counts each pop in evictions_.
+  void EvictToBudgetLocked(Shard& shard) REQUIRES(shard.mu);
 
   const std::size_t byte_budget_;
   std::size_t shard_budget_;

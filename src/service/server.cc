@@ -89,7 +89,7 @@ void Server::Shutdown() {
 }
 
 void Server::ReapFinished(bool join_all) {
-  const std::lock_guard<std::mutex> lock(connections_mu_);
+  const MutexLock lock(&connections_mu_);
   for (auto it = connections_.begin(); it != connections_.end();) {
     if (join_all || (*it)->done.load(std::memory_order_acquire)) {
       if ((*it)->thread.joinable()) (*it)->thread.join();
@@ -128,7 +128,7 @@ void Server::AcceptLoop() {
     auto connection = std::make_unique<Connection>();
     Connection* raw = connection.get();
     {
-      const std::lock_guard<std::mutex> lock(connections_mu_);
+      const MutexLock lock(&connections_mu_);
       connections_.push_back(std::move(connection));
     }
     raw->thread = std::thread([this, fd, raw] {

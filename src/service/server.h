@@ -4,13 +4,14 @@
 #include <atomic>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 
 #include "service/engine.h"
 #include "service/http.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace valmod {
 
@@ -97,21 +98,28 @@ class Server {
   /// timeout, a malformed frame, or shutdown.
   void HandleConnection(int fd);
   /// Joins finished handler threads (all of them when `join_all`).
-  void ReapFinished(bool join_all);
+  void ReapFinished(bool join_all) EXCLUDES(connections_mu_);
 
   /// Builds the HTTP response for one gateway path.
   HttpResponse HandleHttp(const std::string& path);
 
-  ServerOptions options_;
-  QueryEngine engine_;
+  ServerOptions options_;      // unguarded: written only before Start()
+  QueryEngine engine_;         // unguarded: internally synchronized
+  /// unguarded: created in Start() before the accept thread exists,
+  /// destroyed in Shutdown() after every thread is joined.
   std::unique_ptr<HttpGateway> http_gateway_;
-  int listen_fd_ = -1;
-  int port_ = 0;
+  int listen_fd_ = -1;         // unguarded: written in Start()/Shutdown() only
+  int port_ = 0;               // unguarded: written in Start() before threads
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
+  /// unguarded: joined/assigned by Start()/Shutdown() only, never
+  /// concurrently.
   std::thread accept_thread_;
-  std::mutex connections_mu_;
-  std::list<std::unique_ptr<Connection>> connections_;
+  Mutex connections_mu_;
+  /// Bounded by options_.max_connections live entries (finished handlers
+  /// are reaped on every accept).
+  std::list<std::unique_ptr<Connection>> connections_
+      GUARDED_BY(connections_mu_);
   std::atomic<int> active_connections_{0};
   std::atomic<std::int64_t> connections_accepted_{0};
   std::atomic<std::int64_t> connections_refused_{0};

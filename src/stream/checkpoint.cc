@@ -1,5 +1,6 @@
 #include "stream/checkpoint.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
@@ -113,16 +114,22 @@ Status ReadCheckpoint(const std::string& path, OnlineMotifTracker* out) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
   if (!in) return Status::IoError("read failed: " + path);
-  const std::string content = buffer.str();
+  return ParseCheckpoint(buffer.str(), path, out);
+}
+
+Status ParseCheckpoint(std::string_view content, const std::string& source,
+                       OnlineMotifTracker* out) {
+  const std::string& path = source;  // error messages name the origin
 
   // Version first: a version mismatch must produce a clear error even
   // though it also changes the checksum.
   const std::size_t first_newline = content.find('\n');
-  if (first_newline == std::string::npos) {
+  if (first_newline == std::string_view::npos) {
     return Status::InvalidArgument("not a stream checkpoint: " + path);
   }
   {
-    std::istringstream magic_line(content.substr(0, first_newline));
+    std::istringstream magic_line(std::string(content.substr(0,
+                                                             first_newline)));
     std::string magic;
     int version = 0;
     if (!(magic_line >> magic >> version) ||
@@ -138,12 +145,12 @@ Status ReadCheckpoint(const std::string& path, OnlineMotifTracker* out) {
   // Checksum second: any byte flip in the body is rejected before the
   // content is parsed.
   const std::size_t trailer_pos = content.rfind("\nchecksum ");
-  if (trailer_pos == std::string::npos) {
+  if (trailer_pos == std::string_view::npos) {
     return Status::InvalidArgument("missing checksum trailer in " + path);
   }
-  const std::string body = content.substr(0, trailer_pos + 1);
+  const std::string body(content.substr(0, trailer_pos + 1));
   {
-    std::istringstream trailer(content.substr(trailer_pos + 1));
+    std::istringstream trailer(std::string(content.substr(trailer_pos + 1)));
     std::string word;
     std::string hex;
     trailer >> word >> hex;
@@ -207,8 +214,13 @@ Status ReadCheckpoint(const std::string& path, OnlineMotifTracker* out) {
       total_appended < window_size) {
     return Status::OutOfRange("window size out of range in " + path);
   }
+  // Reserve no more than the remaining text could plausibly hold (every
+  // value line is at least 2 bytes): a corrupt header claiming a huge count
+  // must fail on truncation below, not on a giant allocation here.
+  const std::size_t plausible_values = body.size() / 2;
   std::vector<double> window;
-  window.reserve(static_cast<std::size_t>(window_size));
+  window.reserve(std::min(static_cast<std::size_t>(window_size),
+                          plausible_values));
   for (Index i = 0; i < window_size; ++i) {
     if (Status s = NextLine(lines, "window values", path, &line); !s.ok()) {
       return s;
@@ -245,9 +257,11 @@ Status ReadCheckpoint(const std::string& path, OnlineMotifTracker* out) {
     if (n_sub < 0 || n_sub > window_size) {
       return Status::OutOfRange("profile row count out of range in " + path);
     }
-    snapshot.distances.reserve(static_cast<std::size_t>(n_sub));
-    snapshot.indices.reserve(static_cast<std::size_t>(n_sub));
-    snapshot.qt_last.reserve(static_cast<std::size_t>(n_sub));
+    const std::size_t plausible_rows =
+        std::min(static_cast<std::size_t>(n_sub), plausible_values);
+    snapshot.distances.reserve(plausible_rows);
+    snapshot.indices.reserve(plausible_rows);
+    snapshot.qt_last.reserve(plausible_rows);
     for (long long i = 0; i < n_sub; ++i) {
       if (Status s = NextLine(lines, "profile rows", path, &line); !s.ok()) {
         return s;

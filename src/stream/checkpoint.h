@@ -2,6 +2,7 @@
 #define VALMOD_STREAM_CHECKPOINT_H_
 
 #include <string>
+#include <string_view>
 
 #include "stream/online_motif_tracker.h"
 #include "util/status.h"
@@ -31,6 +32,13 @@ Status WriteCheckpoint(const OnlineMotifTracker& tracker,
 /// mismatch, checksum failure, or inconsistent content. `*out` is assigned
 /// only on success.
 Status ReadCheckpoint(const std::string& path, OnlineMotifTracker* out);
+
+/// Restores a tracker from in-memory checkpoint text (the full file
+/// contents, trailer included). `source` names the origin in error
+/// messages. This is ReadCheckpoint without the file I/O — the entry point
+/// the checkpoint fuzzer drives byte-for-byte.
+Status ParseCheckpoint(std::string_view content, const std::string& source,
+                       OnlineMotifTracker* out);
 
 }  // namespace valmod
 

@@ -1,0 +1,69 @@
+#include "stream/shared_tracker.h"
+
+#include <utility>
+
+#include "stream/checkpoint.h"
+
+namespace valmod {
+
+void SharedTracker::Append(double value) {
+  const WriterMutexLock lock(&mu_);
+  tracker_.Append(value);
+}
+
+void SharedTracker::AppendBlock(std::span<const double> values) {
+  const WriterMutexLock lock(&mu_);
+  tracker_.AppendBlock(values);
+}
+
+OnlineTrackerOptions SharedTracker::options() const {
+  const ReaderMutexLock lock(&mu_);
+  return tracker_.options();
+}
+
+Index SharedTracker::size() const {
+  const ReaderMutexLock lock(&mu_);
+  return tracker_.size();
+}
+
+Index SharedTracker::total_appended() const {
+  const ReaderMutexLock lock(&mu_);
+  return tracker_.total_appended();
+}
+
+bool SharedTracker::ready() const {
+  const ReaderMutexLock lock(&mu_);
+  return tracker_.ready();
+}
+
+RankedPair SharedTracker::BestPair() const {
+  const ReaderMutexLock lock(&mu_);
+  return tracker_.BestPair();
+}
+
+std::vector<RankedPair> SharedTracker::TopKPairs(Index k) const {
+  const ReaderMutexLock lock(&mu_);
+  return tracker_.TopKPairs(k);
+}
+
+std::vector<Discord> SharedTracker::TopDiscords(Index k) const {
+  const ReaderMutexLock lock(&mu_);
+  return tracker_.TopDiscords(k);
+}
+
+Status SharedTracker::Checkpoint(const std::string& path) const {
+  const ReaderMutexLock lock(&mu_);
+  return WriteCheckpoint(tracker_, path);
+}
+
+Status SharedTracker::Restore(const std::string& path) {
+  // Parse outside the lock: readers keep serving while the file is
+  // validated, and a corrupt checkpoint leaves the live tracker untouched.
+  OnlineMotifTracker fresh(options());
+  if (Status s = ReadCheckpoint(path, &fresh); !s.ok()) return s;
+  const WriterMutexLock lock(&mu_);
+  tracker_ = std::move(fresh);
+  return Status::Ok();
+}
+
+}  // namespace valmod

@@ -1,0 +1,78 @@
+#ifndef VALMOD_STREAM_SHARED_TRACKER_H_
+#define VALMOD_STREAM_SHARED_TRACKER_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/ranking.h"
+#include "stream/online_motif_tracker.h"
+#include "util/common.h"
+#include "util/mutex.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace valmod {
+
+/// A thread-safe façade over OnlineMotifTracker for the serving path: one
+/// ingest thread appends points while any number of query threads read the
+/// current motifs (ROADMAP: streaming + serving unification). Appends and
+/// restore take the write lock; every query and the checkpoint snapshot
+/// take the read lock, so concurrent readers never serialize against each
+/// other. All locking is annotation-checked — misuse is a compile error
+/// under -Wthread-safety.
+class SharedTracker {
+ public:
+  /// Creates a tracker over the configured length range; CHECK-fails on
+  /// invalid options (same contract as OnlineMotifTracker).
+  explicit SharedTracker(const OnlineTrackerOptions& options)
+      : tracker_(options) {}
+
+  SharedTracker(const SharedTracker&) = delete;
+  SharedTracker& operator=(const SharedTracker&) = delete;
+
+  /// Appends one point to every tracked length (exclusive lock).
+  void Append(double value) EXCLUDES(mu_);
+
+  /// Appends every value of `values` in order under one exclusive lock, so
+  /// readers observe block boundaries, never mid-block state.
+  void AppendBlock(std::span<const double> values) EXCLUDES(mu_);
+
+  /// Active options (immutable after construction or Restore).
+  OnlineTrackerOptions options() const EXCLUDES(mu_);
+
+  /// Number of live points in the shared window.
+  Index size() const EXCLUDES(mu_);
+
+  /// Total points ever appended.
+  Index total_appended() const EXCLUDES(mu_);
+
+  /// True once at least one tracked length has a valid pair.
+  bool ready() const EXCLUDES(mu_);
+
+  /// The current best pair across all tracked lengths (shared lock).
+  RankedPair BestPair() const EXCLUDES(mu_);
+
+  /// The current top-k pairs across all tracked lengths (shared lock).
+  std::vector<RankedPair> TopKPairs(Index k) const EXCLUDES(mu_);
+
+  /// The current top-k discords across all tracked lengths (shared lock).
+  std::vector<Discord> TopDiscords(Index k) const EXCLUDES(mu_);
+
+  /// Writes a checkpoint of the current state to `path` under the shared
+  /// lock: ingest pauses for the snapshot, queries do not.
+  Status Checkpoint(const std::string& path) const EXCLUDES(mu_);
+
+  /// Replaces the tracker with the state checkpointed at `path`. The file
+  /// is read and validated before the exclusive lock is taken, so a corrupt
+  /// checkpoint never disturbs the live tracker.
+  Status Restore(const std::string& path) EXCLUDES(mu_);
+
+ private:
+  mutable SharedMutex mu_;
+  OnlineMotifTracker tracker_ GUARDED_BY(mu_);
+};
+
+}  // namespace valmod
+
+#endif  // VALMOD_STREAM_SHARED_TRACKER_H_

@@ -1,0 +1,157 @@
+#ifndef VALMOD_UTIL_MUTEX_H_
+#define VALMOD_UTIL_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "util/thread_annotations.h"
+
+namespace valmod {
+
+/// An annotated std::mutex: the capability every concurrent subsystem
+/// (src/service, src/obs, src/stream) declares its locking protocol
+/// against. Members guarded by a Mutex carry GUARDED_BY(mu_), helpers that
+/// assume it carry REQUIRES(mu_), and the `thread-safety` preset turns any
+/// violation into a compile error. Same cost as a bare std::mutex — the
+/// annotations are attributes, not code.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  /// Blocks until the calling thread holds the mutex exclusively.
+  void Lock() ACQUIRE() { mu_.lock(); }
+
+  /// Releases the mutex; the calling thread must hold it.
+  void Unlock() RELEASE() { mu_.unlock(); }
+
+  /// Acquires without blocking when possible; returns true iff acquired.
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The wrapped std::mutex, for interop with std::condition_variable
+  /// machinery (CondVar uses it; nothing else should).
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// An annotated std::shared_mutex for read-mostly state: queries take the
+/// shared side (ReaderMutexLock), mutations the exclusive side (MutexLock
+/// works via the same Lock/Unlock surface as Mutex).
+class CAPABILITY("mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  /// Blocks until the calling thread holds the mutex exclusively.
+  void Lock() ACQUIRE() { mu_.lock(); }
+
+  /// Releases exclusive ownership.
+  void Unlock() RELEASE() { mu_.unlock(); }
+
+  /// Blocks until the calling thread holds the mutex shared (read side).
+  void ReaderLock() ACQUIRE_SHARED() { mu_.lock_shared(); }
+
+  /// Releases shared ownership.
+  void ReaderUnlock() RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive lock over a Mutex — the annotated std::lock_guard.
+/// Scoped acquisition is what the analysis reasons about best; prefer this
+/// over manual Lock/Unlock pairs everywhere.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  /// Acquires `*mu` for the lifetime of this object.
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+
+  /// Releases the mutex.
+  ~MutexLock() RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// RAII exclusive (writer) lock over a SharedMutex.
+class SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  /// Acquires `*mu` exclusively for the lifetime of this object.
+  explicit WriterMutexLock(SharedMutex* mu) ACQUIRE(mu) : mu_(mu) {
+    mu_->Lock();
+  }
+
+  /// Releases the exclusive hold.
+  ~WriterMutexLock() RELEASE() { mu_->Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// RAII shared (reader) lock over a SharedMutex: any number of readers may
+/// hold it concurrently; it excludes writers.
+class SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  /// Acquires `*mu` shared for the lifetime of this object.
+  explicit ReaderMutexLock(SharedMutex* mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_->ReaderLock();
+  }
+
+  /// Releases the shared hold.
+  ~ReaderMutexLock() RELEASE() { mu_->ReaderUnlock(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// An annotated std::condition_variable that waits on a valmod::Mutex.
+/// Wait() REQUIRES the mutex, so the canonical pattern keeps every guarded
+/// access visible to the analysis (no predicate lambda, which the analysis
+/// cannot see into):
+///
+///   MutexLock lock(&mu_);
+///   while (!condition_)   // guarded read, provably under mu_
+///     cv_.Wait(mu_);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu` and blocks until notified; `mu` is held again
+  /// on return. Spurious wakeups happen — always wait in a condition loop.
+  void Wait(Mutex& mu) REQUIRES(mu) {
+    // Adopt the caller's hold for the wait, then hand it back: release()
+    // stops the unique_lock from unlocking what the caller still owns.
+    std::unique_lock<std::mutex> lock(mu.native(), std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  /// Wakes one waiter (if any).
+  void NotifyOne() { cv_.notify_one(); }
+
+  /// Wakes every waiter.
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace valmod
+
+#endif  // VALMOD_UTIL_MUTEX_H_

@@ -1,0 +1,98 @@
+#ifndef VALMOD_UTIL_THREAD_ANNOTATIONS_H_
+#define VALMOD_UTIL_THREAD_ANNOTATIONS_H_
+
+// Clang Thread Safety Analysis attribute macros (the full capability set of
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html). The concurrent
+// subsystems (src/service, src/obs, src/stream) declare their locking
+// protocol with these macros so the `thread-safety` CMake preset
+// (-Wthread-safety -Wthread-safety-beta -Werror) can prove, per commit and
+// at compile time, that every guarded member is only touched with its mutex
+// held. Under GCC and other non-Clang compilers every macro expands to
+// nothing, so the annotated code builds identically everywhere.
+//
+// The macros annotate *declarations*:
+//
+//   class CAPABILITY("mutex") Mutex { ... };        // a lockable thing
+//   Mutex mu_;
+//   Index size_ GUARDED_BY(mu_);                    // data needing mu_
+//   void EvictLocked() REQUIRES(mu_);               // caller must hold mu_
+//
+// Conventions (docs/TOOLING.md, "Static concurrency analysis"):
+//  * every mutable member of a class holding a valmod::Mutex carries
+//    GUARDED_BY / PT_GUARDED_BY, or an explicit `// unguarded:` reason
+//    (enforced by tools/lint_invariants.py check `guarded-by-required`);
+//  * private helpers that assume the lock carry REQUIRES and a *Locked
+//    name suffix;
+//  * NO_THREAD_SAFETY_ANALYSIS is a last resort and needs a comment.
+
+#if defined(__clang__) && (!defined(SWIG))
+#define VALMOD_THREAD_ANNOTATION_ATTRIBUTE_(x) __attribute__((x))
+#else
+#define VALMOD_THREAD_ANNOTATION_ATTRIBUTE_(x)  // no-op outside Clang
+#endif
+
+// A type that acts as a capability (e.g. a mutex). `x` names the capability
+// kind in diagnostics ("mutex", "role", ...).
+#define CAPABILITY(x) VALMOD_THREAD_ANNOTATION_ATTRIBUTE_(capability(x))
+
+// An RAII type that acquires a capability in its constructor and releases
+// it in its destructor (e.g. MutexLock).
+#define SCOPED_CAPABILITY VALMOD_THREAD_ANNOTATION_ATTRIBUTE_(scoped_lockable)
+
+// Data members readable/writable only while `x` is held.
+#define GUARDED_BY(x) VALMOD_THREAD_ANNOTATION_ATTRIBUTE_(guarded_by(x))
+
+// Pointer members whose *pointee* is protected by `x` (the pointer itself
+// may be read freely).
+#define PT_GUARDED_BY(x) VALMOD_THREAD_ANNOTATION_ATTRIBUTE_(pt_guarded_by(x))
+
+// Functions callable only while holding every listed capability
+// exclusively (resp. shared); the function does not release them.
+#define REQUIRES(...) \
+  VALMOD_THREAD_ANNOTATION_ATTRIBUTE_(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  VALMOD_THREAD_ANNOTATION_ATTRIBUTE_(requires_shared_capability(__VA_ARGS__))
+
+// Functions that acquire the listed capabilities and hold them past return.
+#define ACQUIRE(...) \
+  VALMOD_THREAD_ANNOTATION_ATTRIBUTE_(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  VALMOD_THREAD_ANNOTATION_ATTRIBUTE_(acquire_shared_capability(__VA_ARGS__))
+
+// Functions that release capabilities the caller holds on entry.
+#define RELEASE(...) \
+  VALMOD_THREAD_ANNOTATION_ATTRIBUTE_(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  VALMOD_THREAD_ANNOTATION_ATTRIBUTE_(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  VALMOD_THREAD_ANNOTATION_ATTRIBUTE_(release_generic_capability(__VA_ARGS__))
+
+// Functions that try to acquire and report success as `x` (true/false).
+#define TRY_ACQUIRE(...) \
+  VALMOD_THREAD_ANNOTATION_ATTRIBUTE_(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...)                  \
+  VALMOD_THREAD_ANNOTATION_ATTRIBUTE_(          \
+      try_acquire_shared_capability(__VA_ARGS__))
+
+// Functions callable only while NOT holding the listed capabilities
+// (deadlock prevention: public entry points of a locking class).
+#define EXCLUDES(...) \
+  VALMOD_THREAD_ANNOTATION_ATTRIBUTE_(locks_excluded(__VA_ARGS__))
+
+// Runtime assertion that the calling thread holds the capability; tells the
+// analysis to treat it as held from here on.
+#define ASSERT_CAPABILITY(x) \
+  VALMOD_THREAD_ANNOTATION_ATTRIBUTE_(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) \
+  VALMOD_THREAD_ANNOTATION_ATTRIBUTE_(assert_shared_capability(x))
+
+// Functions returning a reference to a capability (lock accessors).
+#define RETURN_CAPABILITY(x) \
+  VALMOD_THREAD_ANNOTATION_ATTRIBUTE_(lock_returned(x))
+
+// Escape hatch: turns the analysis off for one function. Every use must
+// carry a comment explaining why the protocol cannot be expressed.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  VALMOD_THREAD_ANNOTATION_ATTRIBUTE_(no_thread_safety_analysis)
+
+#endif  // VALMOD_UTIL_THREAD_ANNOTATIONS_H_

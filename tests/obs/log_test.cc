@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -55,7 +56,7 @@ TEST(LogTest, RendersAllFieldTypesAsOneJsonLine) {
       .Str("text", "plain")
       .Int("count", -42)
       .Num("ratio", 0.25)
-      .Num("nonfinite", 0.0 / 0.0)
+      .Num("nonfinite", std::numeric_limits<double>::quiet_NaN())
       .Bool("flag", true)
       .Raw("payload", "[1,2]");
   ASSERT_EQ(captured.lines().size(), 1u);

@@ -1,0 +1,118 @@
+#include "stream/shared_tracker.h"
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stream/online_motif_tracker.h"
+#include "test_util.h"
+#include "util/common.h"
+
+namespace valmod {
+namespace {
+
+OnlineTrackerOptions SmallTracker(Index len_min, Index len_max, Index step,
+                                  Index capacity) {
+  OnlineTrackerOptions options;
+  options.length_min = len_min;
+  options.length_max = len_max;
+  options.length_step = step;
+  options.capacity = capacity;
+  return options;
+}
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+TEST(SharedTrackerTest, MatchesUnsharedTrackerSerially) {
+  const Series data = testing_util::WhiteNoise(400, 11);
+  OnlineMotifTracker plain(SmallTracker(8, 16, 4, 0));
+  SharedTracker shared(SmallTracker(8, 16, 4, 0));
+  plain.AppendBlock(data);
+  shared.AppendBlock(data);
+  EXPECT_EQ(shared.size(), plain.size());
+  EXPECT_EQ(shared.total_appended(), plain.total_appended());
+  ASSERT_EQ(shared.ready(), plain.ready());
+  const RankedPair a = shared.BestPair();
+  const RankedPair b = plain.BestPair();
+  EXPECT_EQ(a.off1, b.off1);
+  EXPECT_EQ(a.off2, b.off2);
+  EXPECT_EQ(a.length, b.length);
+  EXPECT_DOUBLE_EQ(a.norm_distance, b.norm_distance);
+  EXPECT_EQ(shared.TopKPairs(3).size(), plain.TopKPairs(3).size());
+  EXPECT_EQ(shared.TopDiscords(2).size(), plain.TopDiscords(2).size());
+}
+
+TEST(SharedTrackerTest, CheckpointRestoreRoundtrip) {
+  const Series data = testing_util::WhiteNoise(300, 5);
+  SharedTracker tracker(SmallTracker(10, 14, 4, 0));
+  tracker.AppendBlock(data);
+  const std::string path = TempPath("shared_tracker.ckpt");
+  ASSERT_TRUE(tracker.Checkpoint(path).ok());
+
+  SharedTracker restored(SmallTracker(10, 14, 4, 0));
+  ASSERT_TRUE(restored.Restore(path).ok());
+  EXPECT_EQ(restored.total_appended(), tracker.total_appended());
+  EXPECT_EQ(restored.size(), tracker.size());
+  const RankedPair a = restored.BestPair();
+  const RankedPair b = tracker.BestPair();
+  EXPECT_EQ(a.off1, b.off1);
+  EXPECT_EQ(a.off2, b.off2);
+  EXPECT_DOUBLE_EQ(a.norm_distance, b.norm_distance);
+  std::remove(path.c_str());
+}
+
+TEST(SharedTrackerTest, RestoreFailureLeavesTrackerUntouched) {
+  const Series data = testing_util::WhiteNoise(200, 9);
+  SharedTracker tracker(SmallTracker(8, 12, 4, 0));
+  tracker.AppendBlock(data);
+  const Index appended_before = tracker.total_appended();
+  EXPECT_FALSE(tracker.Restore("/nonexistent/checkpoint.ckpt").ok());
+  EXPECT_EQ(tracker.total_appended(), appended_before);
+}
+
+// One ingest thread races query threads; under TSan (tsan-parallel preset
+// runs Stress-named suites) this proves the reader/writer locking protocol,
+// and everywhere it proves queries observe only complete states. Readers
+// run a fixed quota with yields rather than spinning until the writer
+// finishes: glibc's shared_mutex admits readers greedily, so free-spinning
+// readers can starve the writer without bound.
+TEST(SharedTrackerStressTest, ConcurrentAppendAndQuery) {
+  const Series data = testing_util::WhiteNoise(1500, 3);
+  SharedTracker tracker(SmallTracker(16, 24, 8, 400));
+
+  std::thread writer([&] {
+    for (double v : data) tracker.Append(v);
+  });
+
+  std::vector<std::thread> readers;
+  std::atomic<std::int64_t> queries{0};
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        const Index total = tracker.total_appended();
+        EXPECT_GE(total, tracker.size());
+        if (tracker.ready()) {
+          const RankedPair best = tracker.BestPair();
+          EXPECT_NE(best.off1, kNoNeighbor);
+          EXPECT_FALSE(tracker.TopKPairs(2).empty());
+        }
+        queries.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::yield();
+      }
+    });
+  }
+  writer.join();
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(queries.load(), 3 * 200);
+  EXPECT_EQ(tracker.total_appended(), static_cast<Index>(data.size()));
+  EXPECT_TRUE(tracker.ready());
+}
+
+}  // namespace
+}  // namespace valmod

@@ -1,0 +1,101 @@
+// Negative-compile cases for the thread-safety analysis: each macro gate
+// below seeds one deliberate locking bug, and tools/check_thread_safety.sh
+// compiles this TU once per gate with clang -Wthread-safety
+// -Werror=thread-safety, asserting that every case FAILS to compile. If a
+// case starts compiling, the analysis (or our annotation layer) has gone
+// blind — that is the regression this file exists to catch.
+//
+// With no gate defined the file must compile cleanly; the script checks
+// that too, so a broken include can't masquerade as "all bugs rejected".
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace valmod {
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) {
+    const MutexLock lock(&mu_);
+    balance_ += amount;
+  }
+
+  int UnsafeRead() {
+#if defined(NEGATIVE_CASE_GUARDED_READ)
+    return balance_;  // reads a GUARDED_BY member with no lock held
+#else
+    const MutexLock lock(&mu_);
+    return balance_;
+#endif
+  }
+
+  void CallLockedHelperUnlocked() {
+#if defined(NEGATIVE_CASE_REQUIRES_UNHELD)
+    AddLocked(1);  // calls a REQUIRES(mu_) method with no lock held
+#else
+    const MutexLock lock(&mu_);
+    AddLocked(1);
+#endif
+  }
+
+  void DoubleAcquire() {
+    const MutexLock lock(&mu_);
+#if defined(NEGATIVE_CASE_DOUBLE_LOCK)
+    mu_.Lock();  // acquires a capability this thread already holds
+#endif
+    balance_ += 1;
+  }
+
+  void ForgottenUnlock() {
+#if defined(NEGATIVE_CASE_MISSING_RELEASE)
+    mu_.Lock();
+    balance_ += 1;
+    // returns still holding mu_: a leak the analysis must reject
+#endif
+  }
+
+ private:
+  void AddLocked(int amount) REQUIRES(mu_) { balance_ += amount; }
+
+  Mutex mu_;
+  int balance_ GUARDED_BY(mu_) = 0;
+};
+
+class ReadMostly {
+ public:
+  int Read() const {
+#if defined(NEGATIVE_CASE_READER_WRITES)
+    return value_;  // reads a GUARDED_BY member with no lock at all
+#else
+    const ReaderMutexLock lock(&mu_);
+    return value_;
+#endif
+  }
+
+  void Write(int value) {
+    const WriterMutexLock lock(&mu_);
+    value_ = value;
+  }
+
+ private:
+  mutable SharedMutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+// Anchors the classes so the TU has something to emit even when every gate
+// is off; the script only runs -fsyntax-only, but keep -Wunused quiet.
+int ThreadAnnotationsNegativeAnchor() {
+  Account account;
+  account.Deposit(1);
+  account.CallLockedHelperUnlocked();
+  account.DoubleAcquire();
+  account.ForgottenUnlock();
+  ReadMostly read_mostly;
+  read_mostly.Write(2);
+  return account.UnsafeRead() + read_mostly.Read();
+}
+
+}  // namespace valmod

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Negative-compile proof of the thread-safety analysis: compiles
+# tests/util/thread_annotations_negative.cc once per seeded locking bug
+# with clang -Wthread-safety -Werror=thread-safety and asserts each one is
+# REJECTED, plus once with no bug to prove the baseline compiles. A bug
+# that compiles means the analysis has gone blind (annotation macros
+# expanded to nothing under clang, wrapper attributes dropped, ...).
+#
+# Exits 77 (the ctest/automake SKIP convention) when no clang is on PATH —
+# the analysis is clang-only, and the CI thread-safety job provides clang.
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+SOURCE="$ROOT/tests/util/thread_annotations_negative.cc"
+
+CLANG="${CLANG:-}"
+if [ -z "$CLANG" ]; then
+  for candidate in clang++ clang++-20 clang++-19 clang++-18 clang++-17; do
+    if command -v "$candidate" >/dev/null 2>&1; then
+      CLANG="$candidate"
+      break
+    fi
+  done
+fi
+if [ -z "$CLANG" ]; then
+  echo "SKIP: no clang++ on PATH (thread-safety analysis is clang-only)"
+  exit 77
+fi
+
+FLAGS=(-std=c++20 -fsyntax-only -I"$ROOT/src"
+       -Wthread-safety -Wthread-safety-beta
+       -Werror=thread-safety -Werror=thread-safety-beta)
+
+echo "using $($CLANG --version | head -n 1)"
+
+# Baseline: with no seeded bug the TU must compile cleanly, otherwise the
+# per-case failures below would prove nothing.
+if ! "$CLANG" "${FLAGS[@]}" "$SOURCE"; then
+  echo "FAIL: baseline (no seeded bug) does not compile"
+  exit 1
+fi
+echo "ok: baseline compiles cleanly"
+
+CASES=(
+  NEGATIVE_CASE_GUARDED_READ
+  NEGATIVE_CASE_REQUIRES_UNHELD
+  NEGATIVE_CASE_DOUBLE_LOCK
+  NEGATIVE_CASE_MISSING_RELEASE
+  NEGATIVE_CASE_READER_WRITES
+)
+
+failures=0
+for case_name in "${CASES[@]}"; do
+  if "$CLANG" "${FLAGS[@]}" "-D$case_name" "$SOURCE" 2>/dev/null; then
+    echo "FAIL: $case_name compiled — the analysis missed a seeded lock bug"
+    failures=$((failures + 1))
+  else
+    echo "ok: $case_name rejected"
+  fi
+done
+
+if [ "$failures" -ne 0 ]; then
+  exit 1
+fi
+echo "all ${#CASES[@]} seeded lock bugs rejected"

@@ -1,0 +1,72 @@
+/// Fuzzes the stream-checkpoint restore path: ParseCheckpoint over raw
+/// bytes (mostly exercising the magic/version/checksum gates) and over the
+/// same bytes re-sealed with a valid FNV-1a trailer, so mutations reach the
+/// structural parser and OnlineMotifTracker::FromSnapshots behind the
+/// checksum. Any crash or sanitizer report is a finding: a corrupt
+/// checkpoint must always come back as a Status, never as UB or an abort.
+///
+/// Seed corpus: tests/golden/checkpoint_v1.golden (a real checkpoint).
+
+#include "fuzz_common.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "stream/checkpoint.h"
+#include "stream/online_motif_tracker.h"
+
+namespace {
+
+/// Mirrors the checkpoint trailer hash (FNV-1a 64) so mutated bodies can be
+/// re-sealed past the checksum gate.
+std::uint64_t Fnv1a64(std::string_view bytes) {
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (char c : bytes) {
+    hash ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+valmod::OnlineMotifTracker FreshTracker() {
+  valmod::OnlineTrackerOptions options;
+  options.length_min = 8;
+  options.length_max = 16;
+  options.length_step = 4;
+  return valmod::OnlineMotifTracker(options);
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view input(reinterpret_cast<const char*>(data), size);
+
+  // Pass 1: the bytes as-is. Most mutants die at the checksum gate — that
+  // gate is itself attack surface (trailer parsing, hex decoding).
+  {
+    valmod::OnlineMotifTracker tracker = FreshTracker();
+    (void)valmod::ParseCheckpoint(input, "fuzz", &tracker);
+  }
+
+  // Pass 2: strip any existing trailer and re-seal with a valid checksum,
+  // so the mutated body reaches options/window/profile parsing and the
+  // FromSnapshots restore behind the gate.
+  std::string body(input.substr(0, input.rfind("\nchecksum ") ==
+                                           std::string_view::npos
+                                       ? input.size()
+                                       : input.rfind("\nchecksum ") + 1));
+  if (body.empty() || body.back() != '\n') body.push_back('\n');
+  char trailer[32];
+  std::snprintf(trailer, sizeof(trailer), "checksum %llx\n",
+                static_cast<unsigned long long>(Fnv1a64(body)));
+  const std::string sealed = body + trailer;
+  valmod::OnlineMotifTracker tracker = FreshTracker();
+  (void)valmod::ParseCheckpoint(sealed, "fuzz-sealed", &tracker);
+  return 0;
+}
+
+VALMOD_FUZZ_STANDALONE_MAIN()

@@ -1,0 +1,46 @@
+#ifndef VALMOD_TOOLS_FUZZ_FUZZ_COMMON_H_
+#define VALMOD_TOOLS_FUZZ_FUZZ_COMMON_H_
+
+/// Shared scaffolding for the fuzz harnesses in tools/fuzz/. Each harness
+/// defines the libFuzzer entry point LLVMFuzzerTestOneInput; under clang
+/// with -fsanitize=fuzzer (VALMOD_HAVE_LIBFUZZER) libFuzzer supplies
+/// main(), everywhere else the VALMOD_FUZZ_STANDALONE_MAIN macro expands to
+/// a file-driven main that replays each argv path through the same entry
+/// point — so the golden-corpus smoke test runs identically under gcc.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+#if defined(VALMOD_HAVE_LIBFUZZER)
+#define VALMOD_FUZZ_STANDALONE_MAIN()
+#else
+#define VALMOD_FUZZ_STANDALONE_MAIN()                                        \
+  int main(int argc, char** argv) {                                          \
+    int replayed = 0;                                                        \
+    for (int i = 1; i < argc; ++i) {                                         \
+      std::ifstream in(argv[i], std::ios::binary);                           \
+      if (!in) {                                                             \
+        std::fprintf(stderr, "cannot open %s\n", argv[i]);                   \
+        return 1;                                                            \
+      }                                                                      \
+      std::ostringstream buffer;                                             \
+      buffer << in.rdbuf();                                                  \
+      const std::string bytes = buffer.str();                                \
+      LLVMFuzzerTestOneInput(                                                \
+          reinterpret_cast<const std::uint8_t*>(bytes.data()),               \
+          bytes.size());                                                     \
+      ++replayed;                                                            \
+    }                                                                        \
+    std::fprintf(stderr, "replayed %d input(s), no crash\n", replayed);      \
+    return 0;                                                                \
+  }
+#endif
+
+#endif  // VALMOD_TOOLS_FUZZ_FUZZ_COMMON_H_

@@ -1,0 +1,64 @@
+/// Fuzzes the VALMOD/1 wire path a hostile client controls: the frame
+/// header parser, the JSON parser, and Request/Response::FromJson. Any
+/// crash, sanitizer report, or hang is a finding — parse errors are the
+/// expected outcome for most inputs and must surface as Status, never as
+/// UB. Accepted payloads are additionally round-tripped (parse → serialize
+/// → reparse) so serialization stays total over everything FromJson admits.
+///
+/// Seed corpus: tests/golden/frames_v1.golden (real frames of both
+/// directions). Input shape: optionally a `VALMOD/1 <n>` header line, then
+/// arbitrary bytes treated as a frame payload.
+
+#include "fuzz_common.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "service/json.h"
+#include "service/protocol.h"
+#include "util/status.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view input(reinterpret_cast<const char*>(data), size);
+
+  // First line through the frame-header parser (a corpus frame starts with
+  // one; for arbitrary bytes this exercises the reject paths).
+  const std::size_t newline = input.find('\n');
+  const std::string_view header =
+      newline == std::string_view::npos ? input : input.substr(0, newline);
+  std::size_t payload_bytes = 0;
+  (void)valmod::ParseFrameHeader(header, &payload_bytes);
+
+  // Everything after the header line (or the whole input when there is
+  // none) through the JSON parser and both message decoders.
+  const std::string payload(newline == std::string_view::npos
+                                ? input
+                                : input.substr(newline + 1));
+  valmod::JsonValue json;
+  if (!valmod::JsonValue::Parse(payload, &json).ok()) return 0;
+
+  valmod::Request request;
+  if (request.FromJson(json).ok()) {
+    // Whatever FromJson admits, ToJson must serialize and reparse.
+    const std::string again = request.ToJson().Serialize();
+    valmod::JsonValue reparsed;
+    if (!valmod::JsonValue::Parse(again, &reparsed).ok()) __builtin_trap();
+    valmod::Request roundtrip;
+    if (!roundtrip.FromJson(reparsed).ok()) __builtin_trap();
+  }
+
+  valmod::Response response;
+  if (response.FromJson(json).ok()) {
+    const std::string again = response.ToJson().Serialize();
+    valmod::JsonValue reparsed;
+    if (!valmod::JsonValue::Parse(again, &reparsed).ok()) __builtin_trap();
+    valmod::Response roundtrip;
+    if (!roundtrip.FromJson(reparsed).ok()) __builtin_trap();
+  }
+  return 0;
+}
+
+VALMOD_FUZZ_STANDALONE_MAIN()

@@ -47,6 +47,17 @@ Checks (use `--list` to print this table):
                       stage log (docs/OBSERVABILITY.md glossary); a
                       CamelCase or duplicated name breaks trace grouping
                       silently.
+  guarded-by-required In src/service, src/obs, and src/stream, every data
+                      member of a class or struct that holds a
+                      valmod::Mutex/SharedMutex must either carry
+                      GUARDED_BY/PT_GUARDED_BY or say why not in a
+                      `// unguarded: <reason>` comment (same line or the
+                      doc comment above). Exempt on their own: the lock
+                      members themselves, CondVar, std::atomic, and
+                      const/static members. This keeps the thread-safety
+                      annotations (docs/TOOLING.md) exhaustive — an
+                      unannotated member is invisible to the analysis,
+                      which is exactly how locking bugs hide.
 
 A line can waive a named check with a trailing comment:
 
@@ -67,6 +78,7 @@ DISTANCE_MATH_DIRS = ("src/core", "src/mp", "src/signal", "src/stream",
 DOCUMENTED_API_DIRS = ("src/core", "src/stream", "src/service", "src/obs")
 BOUNDED_QUEUE_DIRS = ("src/service",)
 SPAN_NAME_DIRS = ("src", "bench", "tests", "examples")
+GUARDED_BY_DIRS = ("src/service", "src/obs", "src/stream")
 
 WAIVER_RE = re.compile(r"//\s*lint:\s*allow\(([a-z0-9-]+)\)")
 
@@ -244,6 +256,15 @@ class Linter:
                     continue
                 if stripped.startswith(("struct", "class", "enum")):
                     continue
+                # Thread-safety annotation macros parenthesize their lock
+                # argument on data-member declarations; they are not
+                # function names (see src/util/thread_annotations.h).
+                if m.group(1) in ("GUARDED_BY", "PT_GUARDED_BY", "REQUIRES",
+                                  "REQUIRES_SHARED", "EXCLUDES", "ACQUIRE",
+                                  "ACQUIRE_SHARED", "RELEASE",
+                                  "RELEASE_SHARED", "TRY_ACQUIRE",
+                                  "ASSERT_CAPABILITY", "CAPABILITY"):
+                    continue
                 doc = prev.strip()
                 if not (doc.startswith("///") or doc.startswith("template")):
                     self.error(path, lineno, "core-docs",
@@ -375,6 +396,120 @@ class Linter:
                     else:
                         seen[name] = lineno
 
+    # --- check: guarded-by-required ------------------------------------------
+
+    CLASS_HEAD_RE = re.compile(r"^(\s*)(?:class|struct)\s+[A-Za-z_]\w*")
+    MUTEX_MEMBER_RE = re.compile(
+        r"^\s*(?:mutable\s+)?(?:valmod::)?(?:Mutex|SharedMutex)\s+\w+\s*;")
+    LOCK_TYPE_RE = re.compile(
+        r"^\s*(?:mutable\s+)?(?:valmod::)?(?:Mutex|SharedMutex|CondVar)\b")
+    GUARD_ANNOT_RE = re.compile(r"\b(?:PT_)?GUARDED_BY\s*\(")
+    UNGUARDED_COMMENT_RE = re.compile(r"//+\s*unguarded:")
+    MEMBER_EXEMPT_RE = re.compile(
+        r"^\s*(?:static\b|const\b|constexpr\b|std::atomic\b)")
+
+    def _class_member_statements(self, lines):
+        """Yields (class_first_lineno, [(member_first_lineno, stmt)]) per
+        class/struct, where stmt joins a member declaration's lines with
+        comments and strings stripped. Relies on the clang-format layout
+        every file here follows (format-check in CI): the class head and
+        its `{` share a line, members sit one indent level in, and the
+        closing `};` matches the head's indent."""
+        stripped = [strip_comments_and_strings(l) for l in lines]
+        stack = []  # [(indent, first_lineno, members)]
+        skip_body_indent = None  # inside an inline method body
+        i = 0
+        while i < len(stripped):
+            line = stripped[i].rstrip()
+            lineno = i + 1
+            indent = len(line) - len(line.lstrip(" "))
+            bare = line.strip()
+            if skip_body_indent is not None:
+                if bare in ("}", "};") and indent == skip_body_indent:
+                    skip_body_indent = None
+                i += 1
+                continue
+            head = self.CLASS_HEAD_RE.match(line)
+            if head and "{" in line and ";" not in line:
+                stack.append((indent, lineno, []))
+                i += 1
+                continue
+            if stack and bare.startswith("};") and indent == stack[-1][0]:
+                _, first, members = stack.pop()
+                yield first, members
+                i += 1
+                continue
+            if stack and bare and indent == stack[-1][0] + 2:
+                # Accumulate one statement from this member-indent line.
+                stmt_lines = [line]
+                first = lineno
+                while not stmt_lines[-1].rstrip().endswith((";", "{", "}")):
+                    i += 1
+                    if i >= len(stripped):
+                        break
+                    stmt_lines.append(stripped[i].rstrip())
+                stmt = " ".join(s.strip() for s in stmt_lines)
+                if stmt.endswith("{"):
+                    # An inline method body opens: skip to its closing
+                    # brace at this indent.
+                    skip_body_indent = indent
+                elif stmt.endswith(";"):
+                    stack[-1][2].append((first, stmt))
+            i += 1
+
+    def _has_unguarded_reason(self, lines, first_lineno):
+        """True when the declaration line or the comment block directly
+        above it contains `// unguarded: <reason>`."""
+        idx = first_lineno - 1
+        if self.UNGUARDED_COMMENT_RE.search(lines[idx]):
+            return True
+        for back in range(1, 4):
+            j = idx - back
+            if j < 0:
+                return False
+            text = lines[j].strip()
+            if not text.startswith("//"):
+                return False
+            if self.UNGUARDED_COMMENT_RE.search(lines[j]):
+                return True
+        return False
+
+    def check_guarded_by_required(self):
+        for path in find_files(self.root, GUARDED_BY_DIRS, (".h", ".cc")):
+            lines = read_lines(path)
+            for _, members in self._class_member_statements(lines):
+                if not any(self.MUTEX_MEMBER_RE.match(stmt)
+                           for _, stmt in members):
+                    continue  # class holds no capability; nothing to guard
+                for first, stmt in members:
+                    if waived(lines[first - 1], "guarded-by-required",
+                              lines[first - 2] if first >= 2 else ""):
+                        continue
+                    if self.GUARD_ANNOT_RE.search(stmt):
+                        continue
+                    if self.LOCK_TYPE_RE.match(stmt):
+                        continue
+                    if self.MEMBER_EXEMPT_RE.match(stmt):
+                        continue
+                    # After the GUARDED_BY branch has fired, any
+                    # parenthesis left in the statement marks a function
+                    # declaration (or a paren-initialized member, which
+                    # this heuristic deliberately leaves to review): data
+                    # members here use brace or `=` initializers.
+                    if "(" in stmt:
+                        continue
+                    if self._has_unguarded_reason(lines, first):
+                        continue
+                    name = re.search(r"([A-Za-z_]\w*)\s*(?:=.*|\{.*\})?;$",
+                                     stmt)
+                    label = name.group(1) if name else stmt
+                    self.error(path, first, "guarded-by-required",
+                               f"member '{label}' of a mutex-holding class "
+                               "needs GUARDED_BY(...)/PT_GUARDED_BY(...) or "
+                               "a `// unguarded: <reason>` comment — an "
+                               "unannotated member is invisible to the "
+                               "thread-safety analysis")
+
     def run(self):
         self.check_header_guards()
         self.check_no_pow_square()
@@ -386,6 +521,7 @@ class Linter:
         self.check_no_using_namespace()
         self.check_self_include_first()
         self.check_obs_span_names()
+        self.check_guarded_by_required()
         return self.errors
 
 
