@@ -1,10 +1,14 @@
 // End-to-end throughput of the motif query service over loopback TCP:
-// queries per second and p50/p99 latency, cold (every request computes)
-// vs cached (every request hits the result cache), at 1/4/16 concurrent
-// clients. The cached rows must sit orders of magnitude below the cold
-// ones — that gap is the result cache's reason to exist — and QPS should
-// rise with client count until the executor pool saturates the cores.
-// Results are also written to BENCH_service.json for downstream tooling.
+// queries per second and p50/p99 latency in three modes — cold (every
+// request recomputes: no_cache + no_catalog), catalog_warm (every request
+// skips the result cache but serves from the persisted artifact catalog:
+// no_cache only), and cached (every request hits the result cache) — at
+// 1/4/16 concurrent clients, plus a series-size sweep at 4 clients. The
+// catalog column is the tentpole's reason to exist: on the largest series
+// the catalog-warm p50 must sit at least 10x below the cold p50 (hard
+// gate), and the cached rows must stay below the cold ones at every client
+// count. Results are also written to BENCH_service.json for downstream
+// tooling.
 
 #include <algorithm>
 #include <atomic>
@@ -24,9 +28,27 @@ namespace {
 
 using namespace valmod;
 
+/// The three serving paths the table compares. Cold pays the full STOMP,
+/// catalog_warm pays an artifact load + projection, cached pays a
+/// result-cache lookup.
+enum class Mode { kCold, kCatalogWarm, kCached };
+
+const char* ModeName(Mode mode) {
+  switch (mode) {
+    case Mode::kCold:
+      return "cold";
+    case Mode::kCatalogWarm:
+      return "catalog_warm";
+    case Mode::kCached:
+      return "cached";
+  }
+  return "?";
+}
+
 struct CellResult {
+  Index n = 0;
   int clients = 0;
-  bool cached = false;
+  Mode mode = Mode::kCold;
   Index requests = 0;
   double qps = 0.0;
   double p50_us = 0.0;
@@ -41,12 +63,24 @@ double Percentile(std::vector<double>& sorted_latencies, double q) {
   return sorted_latencies[rank];
 }
 
+Request BaseRequest(Index n) {
+  Request request;
+  request.type = QueryType::kProfile;
+  request.dataset = "PLANTED";
+  request.n = n;
+  request.len_min = 64;
+  request.len_max = 68;
+  request.k = 3;
+  return request;
+}
+
 /// Runs `per_client` queries from `clients` concurrent connections and
-/// aggregates client-observed latencies. `cached` toggles the request's
-/// no_cache flag: cold requests skip the cache lookup (each one computes),
-/// cached ones repeat a warmed key.
-CellResult RunCell(const Server& server, const Request& base, int clients,
-                   Index per_client, bool cached) {
+/// aggregates client-observed latencies. The mode sets the request's
+/// no_cache/no_catalog flags: cold requests skip both shared answers (each
+/// one computes), catalog_warm ones skip only the result cache (each one
+/// serves from the persisted artifact), cached ones repeat a warmed key.
+CellResult RunCell(const Server& server, Index n, int clients,
+                   Index per_client, Mode mode) {
   std::vector<std::vector<double>> latencies(
       static_cast<std::size_t>(clients));
   std::atomic<int> errors{0};
@@ -60,8 +94,9 @@ CellResult RunCell(const Server& server, const Request& base, int clients,
         errors.fetch_add(1);
         return;
       }
-      Request request = base;
-      request.no_cache = !cached;
+      Request request = BaseRequest(n);
+      request.no_cache = mode != Mode::kCached;
+      request.no_catalog = mode == Mode::kCold;
       auto& mine = latencies[static_cast<std::size_t>(c)];
       mine.reserve(static_cast<std::size_t>(per_client));
       for (Index i = 0; i < per_client; ++i) {
@@ -80,8 +115,9 @@ CellResult RunCell(const Server& server, const Request& base, int clients,
   const double elapsed = wall.Seconds();
 
   CellResult result;
+  result.n = n;
   result.clients = clients;
-  result.cached = cached;
+  result.mode = mode;
   std::vector<double> all;
   for (const auto& mine : latencies) {
     all.insert(all.end(), mine.begin(), mine.end());
@@ -98,19 +134,40 @@ CellResult RunCell(const Server& server, const Request& base, int clients,
   return result;
 }
 
+/// One plain request per size: computes the artifact, writes it through to
+/// the catalog, and seeds the result-cache key the cached cells repeat.
+bool Warm(const Server& server, Index n) {
+  Client warm;
+  if (!warm.Connect("127.0.0.1", server.port(), 120.0).ok()) return false;
+  Response response;
+  const Request request = BaseRequest(n);
+  return warm.Query(request, &response).ok() && response.ok;
+}
+
+Index ColdPerClient(Index n, int clients) {
+  // Cold requests cost O(n^2); keep the wall clock of a cell bounded.
+  if (n >= 16384) return 1;
+  if (n >= 8192) return 2;
+  return clients >= 16 ? 2 : (clients >= 4 ? 3 : 6);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   valmod::bench::HandleObsJsonFlag(&argc, argv);
   const bench::BenchConfig config = bench::LoadConfig();
   bench::PrintHeader(
-      "Query-service throughput: loopback QPS and latency, cold vs cached",
+      "Query-service throughput: loopback QPS and latency, cold vs "
+      "catalog-warm vs cached",
       "service subsystem (no paper artifact)", config);
 
   ServerOptions options;
   options.engine.workers = 2;
   options.engine.queue_capacity = 256;
   options.max_connections = 64;
+  // The artifact catalog under test: a scratch directory, populated by the
+  // warmup's write-through, served by the catalog_warm cells.
+  options.engine.catalog_dir = "bench_catalog_scratch";
   Server server(options);
   const Status status = server.Start();
   if (!status.ok()) {
@@ -119,51 +176,53 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  // One moderately expensive query shape: the server generates the series
-  // (small request frames), five lengths per request.
-  Request base;
-  base.type = QueryType::kProfile;
-  base.dataset = "PLANTED";
-  base.n = config.n / 2;
-  base.len_min = config.len_min / 2;
-  base.len_max = base.len_min + 4;
-  base.k = 3;
+  const Index base_n = config.n / 2;
+  // The size sweep's largest series carries the hard catalog gate below.
+  const std::vector<Index> sizes = {base_n, config.n, config.n * 4};
 
-  // Warm the cache key the cached cells will repeat.
-  {
-    Client warm;
-    if (!warm.Connect("127.0.0.1", server.port(), 120.0).ok()) return 1;
-    Response response;
-    Request request = base;
-    if (!warm.Query(request, &response).ok() || !response.ok) {
-      std::fprintf(stderr, "bench_service_throughput: warmup failed\n");
-      return 1;
+  Table table({"n", "clients", "mode", "requests", "qps", "p50-us", "p99-us",
+               "mean-us"});
+  std::vector<CellResult> results;
+  auto run_cell = [&](Index n, int clients, Index per_client,
+                      Mode mode) -> bool {
+    const CellResult cell = RunCell(server, n, clients, per_client, mode);
+    if (cell.qps == 0.0) {
+      std::fprintf(stderr,
+                   "bench_service_throughput: cell failed "
+                   "(n=%lld clients=%d mode=%s)\n",
+                   static_cast<long long>(n), clients, ModeName(mode));
+      return false;
+    }
+    table.AddRow({Table::Int(cell.n), Table::Int(cell.clients),
+                  std::string(ModeName(cell.mode)), Table::Int(cell.requests),
+                  Table::Num(cell.qps, 1), Table::Num(cell.p50_us, 1),
+                  Table::Num(cell.p99_us, 1), Table::Num(cell.mean_us, 1)});
+    results.push_back(cell);
+    return true;
+  };
+
+  // Sweep 1: client scaling at the base size, all three modes.
+  if (!Warm(server, base_n)) return 1;
+  for (const int clients : {1, 4, 16}) {
+    for (const Mode mode :
+         {Mode::kCold, Mode::kCatalogWarm, Mode::kCached}) {
+      const Index per_client = mode == Mode::kCold
+                                   ? ColdPerClient(base_n, clients)
+                                   : (mode == Mode::kCatalogWarm ? 100 : 200);
+      if (!run_cell(base_n, clients, per_client, mode)) return 1;
     }
   }
 
-  Table table(
-      {"clients", "mode", "requests", "qps", "p50-us", "p99-us", "mean-us"});
-  std::vector<CellResult> results;
-  for (const int clients : {1, 4, 16}) {
-    for (const bool cached : {false, true}) {
-      // Cold requests each recompute (~tens of ms); cached ones are
-      // round-trip bound, so they can afford many more repetitions.
+  // Sweep 2: series size at 4 clients, cold vs catalog_warm — the gap the
+  // catalog exists to create, and it must widen with n (cold is O(n^2),
+  // the artifact load is O(n)).
+  for (std::size_t i = 1; i < sizes.size(); ++i) {
+    const Index n = sizes[i];
+    if (!Warm(server, n)) return 1;
+    for (const Mode mode : {Mode::kCold, Mode::kCatalogWarm}) {
       const Index per_client =
-          cached ? 200 : (clients == 1 ? 6 : (clients == 4 ? 3 : 2));
-      const CellResult cell =
-          RunCell(server, base, clients, per_client, cached);
-      if (cell.qps == 0.0) {
-        std::fprintf(stderr, "bench_service_throughput: cell failed "
-                             "(clients=%d cached=%d)\n",
-                     clients, cached ? 1 : 0);
-        return 1;
-      }
-      table.AddRow({Table::Int(cell.clients),
-                    std::string(cached ? "cached" : "cold"),
-                    Table::Int(cell.requests), Table::Num(cell.qps, 1),
-                    Table::Num(cell.p50_us, 1), Table::Num(cell.p99_us, 1),
-                    Table::Num(cell.mean_us, 1)});
-      results.push_back(cell);
+          mode == Mode::kCold ? ColdPerClient(n, 4) : 50;
+      if (!run_cell(n, 4, per_client, mode)) return 1;
     }
   }
   server.Shutdown();
@@ -178,10 +237,10 @@ int main(int argc, char** argv) {
     char line[256];
     std::snprintf(
         line, sizeof(line),
-        "  {\"bench\":\"service_throughput\",\"clients\":%d,"
+        "  {\"bench\":\"service_throughput\",\"n\":%lld,\"clients\":%d,"
         "\"mode\":\"%s\",\"requests\":%lld,\"qps\":%.2f,"
         "\"p50_us\":%.1f,\"p99_us\":%.1f,\"mean_us\":%.1f}%s\n",
-        cell.clients, cell.cached ? "cached" : "cold",
+        static_cast<long long>(cell.n), cell.clients, ModeName(cell.mode),
         static_cast<long long>(cell.requests), cell.qps, cell.p50_us,
         cell.p99_us, cell.mean_us, i + 1 < results.size() ? "," : "");
     json += line;
@@ -195,19 +254,54 @@ int main(int argc, char** argv) {
     std::printf("wrote BENCH_service.json\n");
   }
 
-  // The whole point of the cache, stated as an invariant: for every client
-  // count, warm-cache repeats must be measurably faster than cold runs.
-  for (std::size_t i = 0; i + 1 < results.size(); i += 2) {
-    const CellResult& cold = results[i];
-    const CellResult& cached = results[i + 1];
-    if (cached.p50_us * 2.0 > cold.p50_us) {
-      std::fprintf(stderr,
-                   "bench_service_throughput: cached p50 (%.1f us) not "
-                   "measurably below cold p50 (%.1f us) at %d clients\n",
-                   cached.p50_us, cold.p50_us, cold.clients);
-      return 1;
+  // Gate 1: for every client count at the base size, warm-cache repeats
+  // must be measurably faster than cold runs (the result cache's reason to
+  // exist).
+  for (const CellResult& cold : results) {
+    if (cold.mode != Mode::kCold || cold.n != base_n) continue;
+    for (const CellResult& cached : results) {
+      if (cached.mode != Mode::kCached || cached.n != base_n ||
+          cached.clients != cold.clients) {
+        continue;
+      }
+      if (cached.p50_us * 2.0 > cold.p50_us) {
+        std::fprintf(stderr,
+                     "bench_service_throughput: cached p50 (%.1f us) not "
+                     "measurably below cold p50 (%.1f us) at %d clients\n",
+                     cached.p50_us, cold.p50_us, cold.clients);
+        return 1;
+      }
     }
   }
-  std::printf("cached p50 is <1/2 of cold p50 at every client count.\n");
+
+  // Gate 2 (hard, the tentpole's acceptance): on the largest series,
+  // catalog-warm serving must beat a cold recompute by at least 10x p50 —
+  // otherwise the persisted artifact is not doing its job.
+  const Index largest = sizes.back();
+  const CellResult* cold_large = nullptr;
+  const CellResult* warm_large = nullptr;
+  for (const CellResult& cell : results) {
+    if (cell.n != largest) continue;
+    if (cell.mode == Mode::kCold) cold_large = &cell;
+    if (cell.mode == Mode::kCatalogWarm) warm_large = &cell;
+  }
+  if (cold_large == nullptr || warm_large == nullptr) {
+    std::fprintf(stderr,
+                 "bench_service_throughput: missing largest-series cells\n");
+    return 1;
+  }
+  if (warm_large->p50_us * 10.0 >= cold_large->p50_us) {
+    std::fprintf(stderr,
+                 "bench_service_throughput: catalog-warm p50 (%.1f us) is "
+                 "not 10x below cold p50 (%.1f us) at n=%lld\n",
+                 warm_large->p50_us, cold_large->p50_us,
+                 static_cast<long long>(largest));
+    return 1;
+  }
+  std::printf(
+      "cached p50 is <1/2 of cold p50 at every client count; catalog-warm "
+      "p50 is %.0fx below cold p50 at n=%lld.\n",
+      cold_large->p50_us / warm_large->p50_us,
+      static_cast<long long>(largest));
   return 0;
 }

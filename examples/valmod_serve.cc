@@ -34,11 +34,16 @@ int main(int argc, char** argv) {
         "          [--queue_capacity=64] [--cache_mb=64] [--cache_shards=8]\n"
         "          [--max_connections=64] [--read_timeout_s=30]\n"
         "          [--stomp_threads=1] [--metrics_port=PORT|-1]\n"
-        "          [--slow_query_ms=1000]\n"
+        "          [--slow_query_ms=1000] [--catalog_dir=DIR]\n"
+        "          [--catalog_shards=8] [--catalog_resident_mb=256]\n"
+        "          [--catalog_write=1]\n"
         "Serves VALMOD/1 motif queries over TCP until SIGINT, then drains.\n"
         "An HTTP gateway (GET /metrics, /healthz, /trace/start, /trace/stop)\n"
         "listens on --metrics_port (0 = ephemeral, -1 = disabled); requests\n"
-        "slower than --slow_query_ms log one structured warning line.\n",
+        "slower than --slow_query_ms log one structured warning line.\n"
+        "--catalog_dir enables the persisted artifact catalog: cold queries\n"
+        "whose artifact was built before (by this process or the offline\n"
+        "valmod_catalog tool) are served from disk instead of recomputed.\n",
         cli.ProgramName().c_str());
     return 0;
   }
@@ -59,6 +64,12 @@ int main(int argc, char** argv) {
       static_cast<int>(cli.GetIndex("stomp_threads", 1));
   options.metrics_port = static_cast<int>(cli.GetIndex("metrics_port", 0));
   options.engine.slow_query_ms = cli.GetDouble("slow_query_ms", 1000.0);
+  options.engine.catalog_dir = cli.GetString("catalog_dir", "");
+  options.engine.catalog_shards =
+      static_cast<int>(cli.GetIndex("catalog_shards", 8));
+  options.engine.catalog_resident_bytes =
+      static_cast<std::size_t>(cli.GetIndex("catalog_resident_mb", 256)) << 20;
+  options.engine.catalog_write = cli.GetIndex("catalog_write", 1) != 0;
 
   // The serve binary is an application, not a library: surface info-level
   // structured logs (slow queries are warn-level and show either way).
@@ -78,6 +89,13 @@ int main(int argc, char** argv) {
                   : server.engine().executor().workers(),
               static_cast<long long>(options.engine.queue_capacity),
               options.engine.cache_bytes >> 20);
+  if (server.engine().artifact_catalog() != nullptr) {
+    std::printf("valmod_serve: artifact catalog at %s (%d shards, "
+                "%zuMiB resident budget)\n",
+                options.engine.catalog_dir.c_str(),
+                server.engine().artifact_catalog()->options().shards,
+                options.engine.catalog_resident_bytes >> 20);
+  }
   if (server.metrics_port() > 0) {
     std::printf("valmod_serve: metrics at http://%s:%d/metrics "
                 "(also /healthz, /trace/start, /trace/stop)\n",

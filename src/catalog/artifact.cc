@@ -1,0 +1,35 @@
+#include "catalog/artifact.h"
+
+namespace valmod {
+namespace catalog {
+
+std::size_t ArtifactKeyHash::operator()(const ArtifactKey& key) const {
+  // FNV-1a over the key fields, mirroring CacheKeyHash so shard placement
+  // and hashing behave identically across the cache and the catalog.
+  std::uint64_t hash = 14695981039346656037ULL;
+  const auto mix = [&hash](std::uint64_t value) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (value >> (byte * 8)) & 0xffu;
+      hash *= 1099511628211ULL;
+    }
+  };
+  mix(key.fingerprint);
+  mix(static_cast<std::uint64_t>(key.len_min));
+  mix(static_cast<std::uint64_t>(key.len_max));
+  mix(static_cast<std::uint64_t>(key.p));
+  return static_cast<std::size_t>(hash);
+}
+
+std::size_t MotifArtifact::ApproxBytes() const {
+  std::size_t bytes = sizeof(MotifArtifact);
+  bytes += static_cast<std::size_t>(valmp.size()) *
+           (2 * sizeof(double) + 2 * sizeof(Index));
+  for (const ArtifactLength& length : lengths) {
+    bytes += sizeof(ArtifactLength);
+    bytes += length.top_k.capacity() * sizeof(MotifPair);
+  }
+  return bytes;
+}
+
+}  // namespace catalog
+}  // namespace valmod

@@ -1,0 +1,96 @@
+#ifndef VALMOD_CATALOG_ARTIFACT_H_
+#define VALMOD_CATALOG_ARTIFACT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/ranking.h"
+#include "core/valmp.h"
+#include "mp/matrix_profile.h"
+#include "util/common.h"
+
+namespace valmod {
+namespace catalog {
+
+/// Key of one persisted artifact: the series fingerprint plus every
+/// parameter the *computation* depends on. Deliberately narrower than the
+/// service's CacheKey: `k` is absent because an artifact stores the
+/// deepest top-K list it was built with (`MotifArtifact::stored_k`) and
+/// any request with a smaller k is served by truncation —
+/// TopMotifsFromProfile is a greedy ascending-distance scan, so its top-k
+/// for k' < k is an exact prefix of its top-k (docs/CATALOG.md,
+/// "Truncation serving").
+struct ArtifactKey {
+  std::uint64_t fingerprint = 0;
+  Index len_min = 0;
+  Index len_max = 0;
+  Index p = 0;
+
+  /// Field-wise equality.
+  bool operator==(const ArtifactKey& other) const = default;
+};
+
+/// Hash for ArtifactKey; also selects the catalog shard, so equal series
+/// always land in the same shard directory.
+struct ArtifactKeyHash {
+  /// FNV-1a style mix of every key field (same recipe as CacheKeyHash).
+  std::size_t operator()(const ArtifactKey& key) const;
+};
+
+/// Everything the artifact persists for one subsequence length: the best
+/// motif pair, the stored_k-deep disjoint top-K list, the top discord, and
+/// the matrix-profile summary. Mirrors the service's LengthResult minus
+/// the wire-level `has_*` projection flags — an artifact always stores
+/// every section.
+struct ArtifactLength {
+  Index length = 0;
+  /// Best motif pair at this length (Definition 2.3).
+  MotifPair motif;
+  /// Top-stored_k disjoint motif pairs at this length, best first; may be
+  /// shorter when the profile yields fewer disjoint pairs.
+  std::vector<MotifPair> top_k;
+  /// Top discord at this length.
+  Discord discord;
+  /// Matrix-profile summary over the finite entries.
+  double profile_min = kInf;
+  double profile_mean = kInf;
+  double profile_max = -kInf;
+};
+
+/// One persisted motif artifact: the full answer family for a (series,
+/// length-range, p) key — VALMP, per-length motif/top-K/discord/profile
+/// sections, and the cross-length length-normalized winners. The service
+/// projects responses for every query type out of this one object; the
+/// offline `valmod_catalog` tool builds the same object ahead of time.
+struct MotifArtifact {
+  ArtifactKey key;
+  /// Number of points in the source series (provenance; not required to
+  /// serve, but lets tools sanity-check an artifact against its series).
+  Index n = 0;
+  /// Depth of every per-length top-K list; requests with k <= stored_k are
+  /// served from this artifact by prefix truncation.
+  Index stored_k = 0;
+  /// The Variable-Length Matrix Profile folded across every length in
+  /// [key.len_min, key.len_max] (Algorithm 2 per length).
+  Valmp valmp;
+  /// One entry per length in [key.len_min, key.len_max], ascending.
+  std::vector<ArtifactLength> lengths;
+  bool has_best_motif = false;
+  /// Best motif pair across lengths by length-normalized distance.
+  RankedPair best_motif;
+  bool has_best_discord = false;
+  /// Best discord across lengths by length-normalized distance.
+  Discord best_discord;
+  double best_discord_norm = -kInf;
+
+  /// Heap footprint estimate used against the catalog's resident-bytes
+  /// budget (same role as CachedArtifact::ApproxBytes for the result
+  /// cache).
+  std::size_t ApproxBytes() const;
+};
+
+}  // namespace catalog
+}  // namespace valmod
+
+#endif  // VALMOD_CATALOG_ARTIFACT_H_

@@ -1,0 +1,95 @@
+#include "catalog/builder.h"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "core/ranking.h"
+#include "core/valmp.h"
+#include "mp/parallel_stomp.h"
+#include "obs/trace.h"
+#include "signal/znorm.h"
+#include "util/prefix_stats.h"
+
+namespace valmod {
+namespace catalog {
+
+Status BuildArtifact(std::span<const double> series,
+                     std::uint64_t fingerprint, const BuildOptions& options,
+                     const Deadline& deadline, MotifArtifact* out) {
+  if (options.len_min < 4)
+    return Status::InvalidArgument("len_min must be >= 4");
+  if (options.len_max < options.len_min)
+    return Status::InvalidArgument("len_max must be >= len_min");
+  if (options.stored_k < 1)
+    return Status::InvalidArgument("stored_k must be >= 1");
+  if (options.p < 1) return Status::InvalidArgument("p must be >= 1");
+  const Index n = static_cast<Index>(series.size());
+  if (n < options.len_max + ExclusionZone(options.len_max)) {
+    return Status::InvalidArgument(
+        "series of " + std::to_string(n) + " points is too short for "
+        "len_max " + std::to_string(options.len_max) +
+        " (need len_max + ExclusionZone(len_max) points)");
+  }
+
+  const obs::TraceSpan span("build_artifact");
+  // Mirror the ParallelStomp convenience overload — center once, share one
+  // PrefixStats across lengths — so every per-length section is
+  // bit-identical to a direct ParallelStomp(series, len) library call
+  // (and to what QueryEngine computes for a cold request).
+  const Series centered = CenterSeries(series);
+  const PrefixStats stats(centered);
+
+  MotifArtifact artifact;
+  artifact.key.fingerprint = fingerprint;
+  artifact.key.len_min = options.len_min;
+  artifact.key.len_max = options.len_max;
+  artifact.key.p = options.p;
+  artifact.n = n;
+  artifact.stored_k = options.stored_k;
+  artifact.valmp = Valmp(NumSubsequences(n, options.len_min));
+
+  std::vector<MotifPair> per_length_motifs;
+  for (Index len = options.len_min; len <= options.len_max; ++len) {
+    if (deadline.Expired())
+      return Status::DeadlineExceeded("deadline expired during build");
+    const MatrixProfile profile =
+        ParallelStomp(centered, stats, len, options.stomp_threads);
+    ArtifactLength lr;
+    lr.length = len;
+    lr.motif = MotifFromProfile(profile);
+    lr.top_k = TopMotifsFromProfile(profile, options.stored_k);
+    lr.discord = DiscordFromProfile(profile);
+    double sum = 0.0;
+    Index finite = 0;
+    for (const double d : profile.distances) {
+      if (d == kInf) continue;
+      lr.profile_min = d < lr.profile_min ? d : lr.profile_min;
+      lr.profile_max = d > lr.profile_max ? d : lr.profile_max;
+      sum += d;
+      ++finite;
+    }
+    lr.profile_mean = finite > 0 ? sum / static_cast<double>(finite) : kInf;
+    UpdateValmp(artifact.valmp, profile.distances, profile.indices, len);
+    per_length_motifs.push_back(lr.motif);
+    const double norm = std::sqrt(1.0 / static_cast<double>(len));
+    if (lr.discord.valid() &&
+        lr.discord.distance * norm > artifact.best_discord_norm) {
+      artifact.best_discord = lr.discord;
+      artifact.best_discord_norm = lr.discord.distance * norm;
+      artifact.has_best_discord = true;
+    }
+    artifact.lengths.push_back(std::move(lr));
+  }
+  const std::vector<RankedPair> ranked =
+      RankMotifsByNormalizedDistance(per_length_motifs);
+  if (!ranked.empty()) {
+    artifact.best_motif = ranked.front();
+    artifact.has_best_motif = true;
+  }
+  *out = std::move(artifact);
+  return Status::Ok();
+}
+
+}  // namespace catalog
+}  // namespace valmod

@@ -1,0 +1,50 @@
+#ifndef VALMOD_CATALOG_BUILDER_H_
+#define VALMOD_CATALOG_BUILDER_H_
+
+#include <cstdint>
+#include <span>
+
+#include "catalog/artifact.h"
+#include "util/common.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace valmod {
+namespace catalog {
+
+/// Parameters of one artifact build; mirrors the request parameters the
+/// artifact key covers, plus the top-K depth to persist.
+struct BuildOptions {
+  /// Length range [len_min, len_max], inclusive.
+  Index len_min = 0;
+  Index len_max = 0;
+  /// VALMOD p parameter (part of the key for provenance).
+  Index p = 10;
+  /// Top-K depth stored per length. Any request with k <= stored_k is
+  /// served from the artifact by prefix truncation, so builders should use
+  /// the service's max_k here.
+  Index stored_k = 3;
+  /// Threads per ParallelStomp call; the answer is bit-identical for any
+  /// value (the kernel's determinism guarantee).
+  int stomp_threads = 1;
+};
+
+/// Computes the full motif artifact for `series`: centered once, one
+/// PrefixStats, one deterministic ParallelStomp per length — exactly the
+/// pipeline QueryEngine runs for a cold request, so artifacts built
+/// offline are bit-identical to what the engine would compute online. The
+/// per-length profiles are additionally folded into the VALMP
+/// (Algorithm 2) so one artifact answers the whole query family.
+///
+/// `fingerprint` is the caller-computed series fingerprint (the engine and
+/// the offline tool both use service SeriesFingerprint). Returns
+/// InvalidArgument for an unusable geometry and DeadlineExceeded when
+/// `deadline` lapses mid-build (`*out` is unspecified then).
+Status BuildArtifact(std::span<const double> series,
+                     std::uint64_t fingerprint, const BuildOptions& options,
+                     const Deadline& deadline, MotifArtifact* out);
+
+}  // namespace catalog
+}  // namespace valmod
+
+#endif  // VALMOD_CATALOG_BUILDER_H_

@@ -1,0 +1,168 @@
+#include "catalog/catalog.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "catalog/format.h"
+#include "catalog/mmap_file.h"
+#include "obs/counters.h"
+
+namespace valmod {
+namespace catalog {
+namespace {
+
+/// Fixed-width lowercase-hex rendering of a fingerprint (mirrors
+/// service/FingerprintHex; kept local so the catalog stays below the
+/// service layer).
+std::string HexU64(std::uint64_t value) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(value));
+  return std::string(buffer, 16);
+}
+
+}  // namespace
+
+Catalog::Catalog(const CatalogOptions& options) : options_(options) {
+  if (options_.shards < 1) options_.shards = 1;
+  if (options_.shards > 64) options_.shards = 64;
+  shard_budget_ =
+      options_.resident_bytes / static_cast<std::size_t>(options_.shards);
+  shards_ = std::vector<Shard>(static_cast<std::size_t>(options_.shards));
+}
+
+Status Catalog::Open() {
+  if (options_.root.empty())
+    return Status::InvalidArgument("catalog root directory is empty");
+  Status status = EnsureDirectory(options_.root);
+  if (!status.ok()) return status;
+  for (int shard = 0; shard < options_.shards; ++shard) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "shard-%02d", shard);
+    status = EnsureDirectory(options_.root + "/" + name);
+    if (!status.ok()) return status;
+  }
+  return Status::Ok();
+}
+
+std::size_t Catalog::ShardIndexFor(const ArtifactKey& key) const {
+  return ArtifactKeyHash{}(key) % shards_.size();
+}
+
+std::string Catalog::ArtifactPath(const ArtifactKey& key) const {
+  char shard_name[32];
+  std::snprintf(shard_name, sizeof(shard_name), "shard-%02d",
+                static_cast<int>(ShardIndexFor(key)));
+  return options_.root + "/" + shard_name + "/" + HexU64(key.fingerprint) +
+         "-" + std::to_string(key.len_min) + "-" +
+         std::to_string(key.len_max) + "-p" + std::to_string(key.p) + ".vca";
+}
+
+Status Catalog::Put(const MotifArtifact& artifact) {
+  const std::string bytes = SerializeArtifact(artifact);
+  const Status status = WriteFileAtomic(ArtifactPath(artifact.key), bytes);
+  if (!status.ok()) return status;
+  puts_.fetch_add(1, std::memory_order_relaxed);
+  Shard& shard = shards_[ShardIndexFor(artifact.key)];
+  const MutexLock lock(&shard.mu);
+  AdmitResident(shard, artifact.key,
+                std::make_shared<const MotifArtifact>(artifact));
+  return Status::Ok();
+}
+
+Status Catalog::Get(const ArtifactKey& key,
+                    std::shared_ptr<const MotifArtifact>* out) {
+  Shard& shard = shards_[ShardIndexFor(key)];
+  const MutexLock lock(&shard.mu);
+  const auto found = shard.index.find(key);
+  if (found != shard.index.end()) {
+    shard.lru.splice(shard.lru.begin(), shard.lru, found->second);
+    *out = found->second->artifact;
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    obs::Counters::RecordCatalogLookup(/*hit=*/true);
+    return Status::Ok();
+  }
+  // Not resident: parse straight out of the mmap-ed file (the fixed-width
+  // format makes this one pass, no intermediate copy of the blob). Holding
+  // the shard mutex serializes concurrent loaders of the same shard, so a
+  // burst of Gets for one key parses once and hits the LRU afterwards.
+  MappedFile file;
+  Status status = file.Open(ArtifactPath(key));
+  if (!status.ok()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    obs::Counters::RecordCatalogLookup(/*hit=*/false);
+    return status;
+  }
+  MotifArtifact parsed;
+  status = ParseArtifact(file.bytes(), ArtifactPath(key), &parsed);
+  if (status.ok() && !(parsed.key == key)) {
+    status = Status::InvalidArgument("artifact at " + ArtifactPath(key) +
+                                     " carries a different key (renamed "
+                                     "or cross-linked file)");
+  }
+  if (!status.ok()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    obs::Counters::RecordCatalogLookup(/*hit=*/false);
+    return status;
+  }
+  auto artifact = std::make_shared<const MotifArtifact>(std::move(parsed));
+  *out = artifact;
+  disk_loads_.fetch_add(1, std::memory_order_relaxed);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  obs::Counters::RecordCatalogLookup(/*hit=*/true);
+  AdmitResident(shard, key, std::move(artifact));
+  return Status::Ok();
+}
+
+void Catalog::DropResident() {
+  for (Shard& shard : shards_) {
+    const MutexLock lock(&shard.mu);
+    resident_bytes_now_.fetch_sub(shard.bytes, std::memory_order_relaxed);
+    resident_entries_.fetch_sub(static_cast<Index>(shard.lru.size()),
+                                std::memory_order_relaxed);
+    shard.lru.clear();
+    shard.index.clear();
+    shard.bytes = 0;
+  }
+}
+
+void Catalog::AdmitResident(Shard& shard, const ArtifactKey& key,
+                            std::shared_ptr<const MotifArtifact> artifact) {
+  const std::size_t bytes = artifact->ApproxBytes();
+  const auto found = shard.index.find(key);
+  if (found != shard.index.end()) {
+    shard.bytes -= found->second->bytes;
+    resident_bytes_now_.fetch_sub(found->second->bytes,
+                                  std::memory_order_relaxed);
+    resident_entries_.fetch_sub(1, std::memory_order_relaxed);
+    shard.lru.erase(found->second);
+    shard.index.erase(found);
+  }
+  if (bytes > shard_budget_) {
+    // Oversize for a whole shard slice: serve it, but never admit it —
+    // one entry that evicts an entire shard can never pay its rent.
+    return;
+  }
+  shard.lru.push_front(Entry{key, std::move(artifact), bytes});
+  shard.index[key] = shard.lru.begin();
+  shard.bytes += bytes;
+  resident_bytes_now_.fetch_add(bytes, std::memory_order_relaxed);
+  resident_entries_.fetch_add(1, std::memory_order_relaxed);
+  EvictToBudgetLocked(shard);
+}
+
+void Catalog::EvictToBudgetLocked(Shard& shard) {
+  while (shard.bytes > shard_budget_ && !shard.lru.empty()) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes -= victim.bytes;
+    resident_bytes_now_.fetch_sub(victim.bytes, std::memory_order_relaxed);
+    resident_entries_.fetch_sub(1, std::memory_order_relaxed);
+    shard.index.erase(victim.key);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    obs::Counters::RecordCatalogEviction();
+  }
+}
+
+}  // namespace catalog
+}  // namespace valmod

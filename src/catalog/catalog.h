@@ -1,0 +1,152 @@
+#ifndef VALMOD_CATALOG_CATALOG_H_
+#define VALMOD_CATALOG_CATALOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/artifact.h"
+#include "util/common.h"
+#include "util/mutex.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace valmod {
+namespace catalog {
+
+/// Tuning knobs of a Catalog.
+struct CatalogOptions {
+  /// Root directory; shard directories (`shard-00` ...) live underneath.
+  std::string root;
+  /// Number of shard directories/mutexes; clamped to [1, 64]. Keys map to
+  /// shards by ArtifactKeyHash, so the same series always lands in the
+  /// same shard (and the same on-disk path) regardless of process.
+  int shards = 8;
+  /// Byte budget for resident (parsed, in-memory) artifacts across all
+  /// shards; each shard gets an equal slice. Disk holds everything; this
+  /// only bounds what stays hot.
+  std::size_t resident_bytes = 256u << 20;
+};
+
+/// A sharded, persisted store of motif artifacts: the serving tier's
+/// answer to "never pay the same STOMP twice across processes". Put()
+/// serializes an artifact into the versioned+checksummed binary format
+/// (catalog/format.h) and writes it atomically under its shard directory;
+/// Get() serves it back from a resident LRU first and the mmap-ed file
+/// second. Artifacts are handed out as shared_ptr-to-const, so eviction
+/// never invalidates an answer a request is still projecting from.
+///
+/// Thread safety: every shard owns an annotated Mutex; cross-shard state
+/// is atomic. All methods are safe from any thread after Open().
+class Catalog {
+ public:
+  /// Stores the options; nothing touches the filesystem until Open().
+  explicit Catalog(const CatalogOptions& options);
+
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Creates the root and shard directories (idempotent). Must succeed
+  /// before Put/Get are used.
+  Status Open();
+
+  /// Serializes `artifact` and atomically replaces its on-disk file
+  /// (write-to-temp + rename, so concurrent readers only ever see a
+  /// complete artifact), then makes it resident. Ok on success.
+  Status Put(const MotifArtifact& artifact);
+
+  /// Looks up `key`: resident LRU first (promoting on hit), then the
+  /// shard's on-disk file via mmap + checksum-verified parse (admitting
+  /// the result to the LRU). Ok fills `*out`; NotFound means the catalog
+  /// has never seen this key; any other status means the file exists but
+  /// is unreadable or corrupt (the caller should treat it as a miss and
+  /// recompute — Put will then heal the file).
+  Status Get(const ArtifactKey& key,
+             std::shared_ptr<const MotifArtifact>* out);
+
+  /// Drops every resident entry (disk is untouched). Mostly for tests and
+  /// for measuring cold-load latency.
+  void DropResident();
+
+  /// The on-disk path an artifact key maps to (exists only after a Put).
+  std::string ArtifactPath(const ArtifactKey& key) const;
+
+  /// Gets that served an artifact (resident or loaded from disk).
+  std::int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  /// Gets that found nothing servable (absent, unreadable, or corrupt).
+  std::int64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  /// Hits that had to parse the on-disk file (subset of hits()).
+  std::int64_t disk_loads() const {
+    return disk_loads_.load(std::memory_order_relaxed);
+  }
+  /// Resident entries dropped to get a shard back under its budget slice.
+  std::int64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  /// Successful Put() calls.
+  std::int64_t puts() const { return puts_.load(std::memory_order_relaxed); }
+  /// Current resident (parsed, in-memory) bytes across shards.
+  std::size_t resident_bytes() const {
+    return resident_bytes_now_.load(std::memory_order_relaxed);
+  }
+  /// Current resident entry count across shards.
+  Index resident_entries() const {
+    return resident_entries_.load(std::memory_order_relaxed);
+  }
+  /// The active options (after shard clamping).
+  const CatalogOptions& options() const { return options_; }
+
+ private:
+  struct Entry {
+    ArtifactKey key;
+    std::shared_ptr<const MotifArtifact> artifact;
+    std::size_t bytes = 0;
+  };
+  /// One shard: a directory plus the resident-LRU slice covering it.
+  struct Shard {
+    mutable Mutex mu;
+    /// Front = most recently used; eviction pops from the back. Bounded
+    /// by the shard's resident-bytes budget slice (EvictToBudgetLocked).
+    std::list<Entry> lru GUARDED_BY(mu);
+    std::unordered_map<ArtifactKey, std::list<Entry>::iterator,
+                       ArtifactKeyHash>
+        index GUARDED_BY(mu);
+    std::size_t bytes GUARDED_BY(mu) = 0;
+  };
+
+  /// Maps a key's hash onto its owning shard index.
+  std::size_t ShardIndexFor(const ArtifactKey& key) const;
+
+  /// Inserts (or replaces) a resident entry and evicts back to budget.
+  void AdmitResident(Shard& shard, const ArtifactKey& key,
+                     std::shared_ptr<const MotifArtifact> artifact)
+      REQUIRES(shard.mu);
+
+  /// Pops least-recently-used entries until `shard` is back under its
+  /// budget slice; counts each pop in evictions_.
+  void EvictToBudgetLocked(Shard& shard) REQUIRES(shard.mu);
+
+  CatalogOptions options_;  // unguarded: written only in the constructor
+  std::size_t shard_budget_ = 0;  // unguarded: written only in constructor
+  /// unguarded: the vector itself is sized in the constructor and never
+  /// resized; per-shard state is guarded by each shard's own mu.
+  std::vector<Shard> shards_;
+  std::atomic<std::int64_t> hits_{0};
+  std::atomic<std::int64_t> misses_{0};
+  std::atomic<std::int64_t> disk_loads_{0};
+  std::atomic<std::int64_t> evictions_{0};
+  std::atomic<std::int64_t> puts_{0};
+  std::atomic<std::size_t> resident_bytes_now_{0};
+  std::atomic<Index> resident_entries_{0};
+};
+
+}  // namespace catalog
+}  // namespace valmod
+
+#endif  // VALMOD_CATALOG_CATALOG_H_

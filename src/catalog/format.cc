@@ -1,0 +1,289 @@
+#include "catalog/format.h"
+
+#include <cstring>
+
+#include "util/common.h"
+
+namespace valmod {
+namespace catalog {
+namespace {
+
+/// FNV-1a 64 over a byte range; mirrors service/fingerprint.h (kept local
+/// so the catalog layer stays below the service in the link order).
+std::uint64_t Fnv1a64(const void* data, std::size_t size) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+/// The canonical padding pair written into unused top-K slots, so equal
+/// artifacts serialize byte-identically.
+MotifPair PaddingPair() {
+  MotifPair pair;
+  pair.a = kNoNeighbor;
+  pair.b = kNoNeighbor;
+  pair.length = 0;
+  pair.distance = kInf;
+  return pair;
+}
+
+void AppendU64(std::string* out, std::uint64_t value) {
+  char bytes[8];
+  for (int i = 0; i < 8; ++i)
+    bytes[i] = static_cast<char>((value >> (i * 8)) & 0xffu);
+  out->append(bytes, 8);
+}
+
+void AppendI64(std::string* out, std::int64_t value) {
+  AppendU64(out, static_cast<std::uint64_t>(value));
+}
+
+void AppendF64(std::string* out, double value) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  AppendU64(out, bits);
+}
+
+void AppendPair(std::string* out, const MotifPair& pair) {
+  AppendI64(out, pair.a);
+  AppendI64(out, pair.b);
+  AppendI64(out, pair.length);
+  AppendF64(out, pair.distance);
+}
+
+void AppendDiscord(std::string* out, const Discord& discord) {
+  AppendI64(out, discord.offset);
+  AppendI64(out, discord.length);
+  AppendF64(out, discord.distance);
+}
+
+/// Little-endian cursor over an artifact blob; bounds were validated
+/// up-front (the byte size is an exact function of the header counts), so
+/// reads never run past the end.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view bytes) : bytes_(bytes) {}
+
+  std::uint64_t ReadU64() {
+    std::uint64_t value = 0;
+    for (int i = 0; i < 8; ++i) {
+      value |= static_cast<std::uint64_t>(
+                   static_cast<unsigned char>(bytes_[pos_ + i]))
+               << (i * 8);
+    }
+    pos_ += 8;
+    return value;
+  }
+
+  std::int64_t ReadI64() { return static_cast<std::int64_t>(ReadU64()); }
+
+  double ReadF64() {
+    const std::uint64_t bits = ReadU64();
+    double value = 0.0;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+  }
+
+  MotifPair ReadPair() {
+    MotifPair pair;
+    pair.a = ReadI64();
+    pair.b = ReadI64();
+    pair.length = ReadI64();
+    pair.distance = ReadF64();
+    return pair;
+  }
+
+  Discord ReadDiscord() {
+    Discord discord;
+    discord.offset = ReadI64();
+    discord.length = ReadI64();
+    discord.distance = ReadF64();
+    return discord;
+  }
+
+  std::size_t pos() const { return pos_; }
+
+ private:
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+Status Corrupt(const std::string& source, const std::string& what) {
+  return Status::InvalidArgument("catalog artifact " + source + ": " + what);
+}
+
+}  // namespace
+
+std::size_t SerializedArtifactBytes(std::int64_t n_slots,
+                                    std::int64_t length_count,
+                                    std::int64_t stored_k) {
+  return kArtifactHeaderBytes +
+         static_cast<std::size_t>(n_slots) * kValmpSlotBytes +
+         static_cast<std::size_t>(length_count) *
+             (kLengthRecordFixedBytes +
+              static_cast<std::size_t>(stored_k) * kTopKSlotBytes) +
+         sizeof(std::uint64_t);
+}
+
+std::string SerializeArtifact(const MotifArtifact& artifact) {
+  const std::int64_t n_slots = artifact.valmp.size();
+  const std::int64_t length_count =
+      static_cast<std::int64_t>(artifact.lengths.size());
+  std::string out;
+  out.reserve(
+      SerializedArtifactBytes(n_slots, length_count, artifact.stored_k));
+  out.append(kArtifactMagic);
+  AppendU64(&out, kArtifactVersion);  // version u32 + reserved u32, packed
+  AppendU64(&out, artifact.key.fingerprint);
+  AppendI64(&out, artifact.key.len_min);
+  AppendI64(&out, artifact.key.len_max);
+  AppendI64(&out, artifact.key.p);
+  AppendI64(&out, artifact.n);
+  AppendI64(&out, artifact.stored_k);
+  AppendI64(&out, n_slots);
+  AppendI64(&out, length_count);
+  std::uint64_t flags = 0;
+  if (artifact.has_best_motif) flags |= 1u;
+  if (artifact.has_best_discord) flags |= 2u;
+  AppendU64(&out, flags);
+  AppendI64(&out, artifact.best_motif.off1);
+  AppendI64(&out, artifact.best_motif.off2);
+  AppendI64(&out, artifact.best_motif.length);
+  AppendF64(&out, artifact.best_motif.distance);
+  AppendF64(&out, artifact.best_motif.norm_distance);
+  AppendDiscord(&out, artifact.best_discord);
+  AppendF64(&out, artifact.best_discord_norm);
+
+  for (std::int64_t i = 0; i < n_slots; ++i) {
+    const std::size_t slot = static_cast<std::size_t>(i);
+    AppendF64(&out, artifact.valmp.distances[slot]);
+    AppendF64(&out, artifact.valmp.norm_distances[slot]);
+    AppendI64(&out, artifact.valmp.lengths[slot]);
+    AppendI64(&out, artifact.valmp.indices[slot]);
+  }
+
+  const MotifPair padding = PaddingPair();
+  for (const ArtifactLength& length : artifact.lengths) {
+    AppendI64(&out, length.length);
+    AppendPair(&out, length.motif);
+    AppendDiscord(&out, length.discord);
+    AppendF64(&out, length.profile_min);
+    AppendF64(&out, length.profile_mean);
+    AppendF64(&out, length.profile_max);
+    const std::int64_t live =
+        static_cast<std::int64_t>(length.top_k.size()) < artifact.stored_k
+            ? static_cast<std::int64_t>(length.top_k.size())
+            : artifact.stored_k;
+    AppendI64(&out, live);
+    for (std::int64_t slot = 0; slot < artifact.stored_k; ++slot) {
+      AppendPair(&out, slot < live
+                           ? length.top_k[static_cast<std::size_t>(slot)]
+                           : padding);
+    }
+  }
+
+  AppendU64(&out, Fnv1a64(out.data(), out.size()));
+  return out;
+}
+
+Status ParseArtifact(std::string_view bytes, const std::string& source,
+                     MotifArtifact* out) {
+  if (bytes.size() < kArtifactHeaderBytes + sizeof(std::uint64_t))
+    return Corrupt(source, "truncated (shorter than header + checksum)");
+  if (bytes.substr(0, kArtifactMagic.size()) != kArtifactMagic)
+    return Corrupt(source, "bad magic (not a catalog artifact)");
+
+  Cursor cursor(bytes.substr(kArtifactMagic.size()));
+  const std::uint64_t version = cursor.ReadU64();
+  if (version != kArtifactVersion) {
+    return Corrupt(source, "unsupported version " + std::to_string(version) +
+                               " (expected " +
+                               std::to_string(kArtifactVersion) + ")");
+  }
+  MotifArtifact artifact;
+  artifact.key.fingerprint = cursor.ReadU64();
+  artifact.key.len_min = cursor.ReadI64();
+  artifact.key.len_max = cursor.ReadI64();
+  artifact.key.p = cursor.ReadI64();
+  artifact.n = cursor.ReadI64();
+  artifact.stored_k = cursor.ReadI64();
+  const std::int64_t n_slots = cursor.ReadI64();
+  const std::int64_t length_count = cursor.ReadI64();
+  // Bound every count before trusting it in size arithmetic; the ceilings
+  // keep SerializedArtifactBytes far from 64-bit overflow.
+  if (n_slots < 0 || n_slots > kMaxValmpSlots)
+    return Corrupt(source, "implausible VALMP slot count");
+  if (length_count < 0 || length_count > kMaxLengthRecords)
+    return Corrupt(source, "implausible length-record count");
+  if (artifact.stored_k < 0 || artifact.stored_k > kMaxStoredK)
+    return Corrupt(source, "implausible stored_k");
+  const std::size_t expected =
+      SerializedArtifactBytes(n_slots, length_count, artifact.stored_k);
+  if (bytes.size() != expected) {
+    return Corrupt(source, "size mismatch: header promises " +
+                               std::to_string(expected) + " bytes, file has " +
+                               std::to_string(bytes.size()));
+  }
+  // Counts are now consistent with the actual byte size, so the checksum
+  // and every fixed-width read below are in bounds — and allocations are
+  // bounded by the input size.
+  const std::size_t body = bytes.size() - sizeof(std::uint64_t);
+  std::uint64_t stored_checksum = 0;
+  for (int i = 0; i < 8; ++i) {
+    stored_checksum |= static_cast<std::uint64_t>(static_cast<unsigned char>(
+                           bytes[body + static_cast<std::size_t>(i)]))
+                       << (i * 8);
+  }
+  if (stored_checksum != Fnv1a64(bytes.data(), body))
+    return Corrupt(source, "checksum mismatch (artifact corrupt)");
+
+  const std::uint64_t flags = cursor.ReadU64();
+  artifact.has_best_motif = (flags & 1u) != 0;
+  artifact.has_best_discord = (flags & 2u) != 0;
+  artifact.best_motif.off1 = cursor.ReadI64();
+  artifact.best_motif.off2 = cursor.ReadI64();
+  artifact.best_motif.length = cursor.ReadI64();
+  artifact.best_motif.distance = cursor.ReadF64();
+  artifact.best_motif.norm_distance = cursor.ReadF64();
+  artifact.best_discord = cursor.ReadDiscord();
+  artifact.best_discord_norm = cursor.ReadF64();
+
+  artifact.valmp = Valmp(n_slots);
+  for (std::int64_t i = 0; i < n_slots; ++i) {
+    const std::size_t slot = static_cast<std::size_t>(i);
+    artifact.valmp.distances[slot] = cursor.ReadF64();
+    artifact.valmp.norm_distances[slot] = cursor.ReadF64();
+    artifact.valmp.lengths[slot] = cursor.ReadI64();
+    artifact.valmp.indices[slot] = cursor.ReadI64();
+  }
+
+  artifact.lengths.reserve(static_cast<std::size_t>(length_count));
+  for (std::int64_t i = 0; i < length_count; ++i) {
+    ArtifactLength length;
+    length.length = cursor.ReadI64();
+    length.motif = cursor.ReadPair();
+    length.discord = cursor.ReadDiscord();
+    length.profile_min = cursor.ReadF64();
+    length.profile_mean = cursor.ReadF64();
+    length.profile_max = cursor.ReadF64();
+    const std::int64_t live = cursor.ReadI64();
+    if (live < 0 || live > artifact.stored_k)
+      return Corrupt(source, "top-K count exceeds stored_k");
+    length.top_k.reserve(static_cast<std::size_t>(live));
+    for (std::int64_t slot = 0; slot < artifact.stored_k; ++slot) {
+      const MotifPair pair = cursor.ReadPair();
+      if (slot < live) length.top_k.push_back(pair);
+    }
+    artifact.lengths.push_back(std::move(length));
+  }
+
+  *out = std::move(artifact);
+  return Status::Ok();
+}
+
+}  // namespace catalog
+}  // namespace valmod

@@ -1,0 +1,78 @@
+#ifndef VALMOD_CATALOG_FORMAT_H_
+#define VALMOD_CATALOG_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "catalog/artifact.h"
+#include "util/status.h"
+
+namespace valmod {
+namespace catalog {
+
+/// On-disk artifact format (full spec: docs/CATALOG.md).
+///
+/// A catalog artifact is one little-endian binary blob of fixed-width,
+/// 8-byte-aligned sections — mmap-friendly by construction — sealed with a
+/// trailing FNV-1a 64 checksum over every preceding byte (the same hash
+/// and trailer discipline as the stream checkpoint format):
+///
+///     [header 160 B] [VALMP n_slots x 32 B] [per-length records] [u64 checksum]
+///
+/// Each per-length record is itself fixed-width (96 + 32 * stored_k
+/// bytes): unused top-K slots are padded with a canonical invalid pair, so
+/// a reader can index any length's record by arithmetic alone. Doubles
+/// travel as raw IEEE-754 bits, so serialization round-trips byte-exactly:
+/// Serialize(Parse(Serialize(a))) == Serialize(a) for every artifact.
+
+/// 8-byte magic opening every artifact file.
+inline constexpr std::string_view kArtifactMagic = "VALMCAT\n";
+
+/// Format version; readers reject any other value.
+inline constexpr std::uint32_t kArtifactVersion = 1;
+
+/// Fixed header size in bytes (magic through best_discord_norm).
+inline constexpr std::size_t kArtifactHeaderBytes = 160;
+
+/// Bytes per VALMP slot (distance, norm_distance, length, index).
+inline constexpr std::size_t kValmpSlotBytes = 32;
+
+/// Fixed bytes of a per-length record before its top-K slots.
+inline constexpr std::size_t kLengthRecordFixedBytes = 96;
+
+/// Bytes per top-K motif-pair slot (a, b, length, distance).
+inline constexpr std::size_t kTopKSlotBytes = 32;
+
+/// Sanity ceilings a parser enforces before any allocation, so a
+/// malicious header cannot demand an unbounded reserve.
+inline constexpr std::int64_t kMaxValmpSlots = std::int64_t{1} << 32;
+/// Upper bound on per-artifact length records a parser accepts.
+inline constexpr std::int64_t kMaxLengthRecords = std::int64_t{1} << 20;
+/// Upper bound on stored_k a parser accepts.
+inline constexpr std::int64_t kMaxStoredK = std::int64_t{1} << 20;
+
+/// Serializes an artifact into the on-disk byte format described above,
+/// checksum trailer included.
+std::string SerializeArtifact(const MotifArtifact& artifact);
+
+/// Parses an artifact blob (as written by SerializeArtifact, possibly via
+/// an mmap view). Rejects foreign magic, other versions, count fields
+/// inconsistent with the byte size, and checksum mismatches — each with a
+/// distinct message naming `source`. Never allocates more than O(size)
+/// bytes regardless of header contents. On success `*out` is fully
+/// overwritten.
+Status ParseArtifact(std::string_view bytes, const std::string& source,
+                     MotifArtifact* out);
+
+/// The exact serialized size of an artifact with the given geometry; what
+/// Serialize produces and Parse demands.
+std::size_t SerializedArtifactBytes(std::int64_t n_slots,
+                                    std::int64_t length_count,
+                                    std::int64_t stored_k);
+
+}  // namespace catalog
+}  // namespace valmod
+
+#endif  // VALMOD_CATALOG_FORMAT_H_

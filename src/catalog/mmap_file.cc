@@ -1,0 +1,156 @@
+#include "catalog/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace valmod {
+namespace catalog {
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+MappedFile::~MappedFile() { Close(); }
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      opened_empty_(std::exchange(other.opened_empty_, false)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    Close();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    opened_empty_ = std::exchange(other.opened_empty_, false);
+  }
+  return *this;
+}
+
+Status MappedFile::Open(const std::string& path) {
+  Close();
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT)
+      return Status::NotFound("no artifact at " + path);
+    return Errno("open " + path);
+  }
+  struct stat st;
+  if (fstat(fd, &st) < 0) {
+    const Status status = Errno("fstat " + path);
+    ::close(fd);
+    return status;
+  }
+  const std::size_t size = static_cast<std::size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    opened_empty_ = true;
+    return Status::Ok();
+  }
+  void* data = mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference
+  if (data == MAP_FAILED) return Errno("mmap " + path);
+  data_ = data;
+  size_ = size;
+  return Status::Ok();
+}
+
+void MappedFile::Close() {
+  if (data_ != nullptr) munmap(data_, size_);
+  data_ = nullptr;
+  size_ = 0;
+  opened_empty_ = false;
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view bytes) {
+  // Unique within the directory: pid disambiguates concurrent writers of
+  // different processes, the sequence number concurrent same-process
+  // writers of the same key (the catalog writes before taking its shard
+  // lock, so two workers can land here with the same path at once).
+  static std::atomic<std::uint64_t> sequence{0};
+  const std::string temp =
+      path + ".tmp." + std::to_string(static_cast<long long>(getpid())) +
+      "." + std::to_string(sequence.fetch_add(1, std::memory_order_relaxed));
+  const int fd =
+      ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return Errno("open " + temp);
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t r =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      const Status status = Errno("write " + temp);
+      ::close(fd);
+      ::unlink(temp.c_str());
+      return status;
+    }
+    written += static_cast<std::size_t>(r);
+  }
+  if (fsync(fd) < 0) {
+    const Status status = Errno("fsync " + temp);
+    ::close(fd);
+    ::unlink(temp.c_str());
+    return status;
+  }
+  if (::close(fd) < 0) {
+    const Status status = Errno("close " + temp);
+    ::unlink(temp.c_str());
+    return status;
+  }
+  if (::rename(temp.c_str(), path.c_str()) < 0) {
+    const Status status = Errno("rename " + temp + " -> " + path);
+    ::unlink(temp.c_str());
+    return status;
+  }
+  return Status::Ok();
+}
+
+Status ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (errno == ENOENT)
+      return Status::NotFound("no artifact at " + path);
+    return Status::IoError("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in.good() && !in.eof())
+    return Status::IoError("error reading " + path);
+  *out = buffer.str();
+  return Status::Ok();
+}
+
+Status EnsureDirectory(const std::string& path) {
+  if (mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) {
+    struct stat st;
+    if (stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode))
+      return Status::Ok();
+    return Status::IoError(path + " exists and is not a directory");
+  }
+  if (errno != ENOENT) return Errno("mkdir " + path);
+  // Missing parent: create it first, then retry this level once.
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos || slash == 0)
+    return Errno("mkdir " + path);
+  const Status parent = EnsureDirectory(path.substr(0, slash));
+  if (!parent.ok()) return parent;
+  if (mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) return Status::Ok();
+  return Errno("mkdir " + path);
+}
+
+}  // namespace catalog
+}  // namespace valmod

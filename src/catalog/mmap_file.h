@@ -1,0 +1,74 @@
+#ifndef VALMOD_CATALOG_MMAP_FILE_H_
+#define VALMOD_CATALOG_MMAP_FILE_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace valmod {
+namespace catalog {
+
+/// A read-only memory-mapped file. The artifact format is fixed-width and
+/// aligned precisely so a shard can parse straight out of the mapping
+/// without a read()-and-copy of the whole blob; the mapping lives for the
+/// duration of the parse (MappedFile is movable, non-copyable RAII).
+class MappedFile {
+ public:
+  /// An empty, unmapped file; Open() maps one.
+  MappedFile() = default;
+
+  /// Unmaps (no-op when unmapped).
+  ~MappedFile();
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  /// Transfers the mapping; the source is left unmapped.
+  MappedFile(MappedFile&& other) noexcept;
+  /// Transfers the mapping; the source is left unmapped.
+  MappedFile& operator=(MappedFile&& other) noexcept;
+
+  /// Maps `path` read-only. NotFound when the file does not exist, IoError
+  /// on any other failure. A zero-byte file maps successfully with
+  /// size() == 0.
+  Status Open(const std::string& path);
+
+  /// Unmaps now (idempotent).
+  void Close();
+
+  /// The mapped bytes (empty view when unmapped or zero-sized).
+  std::string_view bytes() const {
+    return std::string_view(static_cast<const char*>(data_), size_);
+  }
+
+  /// True between a successful Open() and Close().
+  bool mapped() const { return data_ != nullptr || opened_empty_; }
+
+  /// Size of the mapping in bytes.
+  std::size_t size() const { return size_; }
+
+ private:
+  void* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool opened_empty_ = false;
+};
+
+/// Writes `bytes` to `path` atomically: a unique temp file in the same
+/// directory, fsync, then rename over the target. Readers therefore only
+/// ever see a complete artifact — never a torn write — which is what lets
+/// shards serve from disk while a Put replaces the same key.
+Status WriteFileAtomic(const std::string& path, std::string_view bytes);
+
+/// Reads a whole file into `*out` (the non-mmap fallback used by tools and
+/// tests). NotFound when absent, IoError otherwise.
+Status ReadFile(const std::string& path, std::string* out);
+
+/// Creates a directory (and any missing parents). Ok when it already
+/// exists as a directory.
+Status EnsureDirectory(const std::string& path);
+
+}  // namespace catalog
+}  // namespace valmod
+
+#endif  // VALMOD_CATALOG_MMAP_FILE_H_

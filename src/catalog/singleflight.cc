@@ -1,0 +1,46 @@
+#include "catalog/singleflight.h"
+
+#include <utility>
+
+#include "obs/counters.h"
+
+namespace valmod {
+namespace catalog {
+
+bool Singleflight::JoinOrLead(const ArtifactKey& key, Waiter waiter) {
+  const MutexLock lock(&mu_);
+  auto [it, opened] = pending_.try_emplace(key);
+  it->second.push_back(std::move(waiter));
+  if (opened) {
+    flights_led_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    coalesced_.fetch_add(1, std::memory_order_relaxed);
+    obs::Counters::RecordCoalescedJob();
+  }
+  return opened;
+}
+
+void Singleflight::Complete(
+    const ArtifactKey& key,
+    const std::shared_ptr<const MotifArtifact>& artifact,
+    const Status& status) {
+  std::vector<Waiter> waiters;
+  {
+    const MutexLock lock(&mu_);
+    const auto found = pending_.find(key);
+    if (found == pending_.end()) return;
+    waiters = std::move(found->second);
+    pending_.erase(found);
+  }
+  // Outside the lock: a waiter may submit follow-up work that re-enters
+  // JoinOrLead (the retry-once path) without self-deadlocking.
+  for (Waiter& waiter : waiters) waiter(artifact, status);
+}
+
+Index Singleflight::in_flight() const {
+  const MutexLock lock(&mu_);
+  return static_cast<Index>(pending_.size());
+}
+
+}  // namespace catalog
+}  // namespace valmod

@@ -1,0 +1,83 @@
+#ifndef VALMOD_CATALOG_SINGLEFLIGHT_H_
+#define VALMOD_CATALOG_SINGLEFLIGHT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/artifact.h"
+#include "util/common.h"
+#include "util/mutex.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace valmod {
+namespace catalog {
+
+/// A request coalescer: N identical in-flight (series, range, p) cold jobs
+/// cost exactly one STOMP. The first caller for a key becomes the
+/// *leader* and computes; every later caller for the same key while the
+/// flight is open becomes a *follower* and just parks a callback. The
+/// leader's Complete() delivers the one shared artifact to every waiter.
+///
+/// Deliberately callback-based, not condition-variable-based: followers
+/// must never occupy an executor worker while they wait, or a thundering
+/// herd of W+1 identical requests on a W-worker pool would park every
+/// worker on a CV and starve the leader — a deadlock by coalescing. A
+/// parked callback costs a closure, not a thread.
+class Singleflight {
+ public:
+  /// Delivery callback: the shared artifact on success (status Ok), or a
+  /// null artifact with the leader's failure status. Invoked exactly once,
+  /// on the leader's (worker) thread, outside the coalescer's lock.
+  using Waiter = std::function<void(
+      const std::shared_ptr<const MotifArtifact>&, const Status&)>;
+
+  Singleflight() = default;
+  Singleflight(const Singleflight&) = delete;
+  Singleflight& operator=(const Singleflight&) = delete;
+
+  /// Registers `waiter` under `key`. Returns true when the caller opened
+  /// the flight (it is now the leader and MUST eventually call
+  /// Complete()), false when an earlier leader is already computing (the
+  /// waiter fires when that leader completes). Followers are counted in
+  /// coalesced() and in the process-wide obs counter.
+  bool JoinOrLead(const ArtifactKey& key, Waiter waiter);
+
+  /// Closes the flight for `key`: removes it and invokes every parked
+  /// waiter (leader's included, in join order) with the given artifact
+  /// and status, outside the lock. No-op for an unknown key.
+  void Complete(const ArtifactKey& key,
+                const std::shared_ptr<const MotifArtifact>& artifact,
+                const Status& status);
+
+  /// Followers that joined an existing flight instead of computing — the
+  /// STOMPs the coalescer saved.
+  std::int64_t coalesced() const {
+    return coalesced_.load(std::memory_order_relaxed);
+  }
+  /// Flights opened (leaders).
+  std::int64_t flights_led() const {
+    return flights_led_.load(std::memory_order_relaxed);
+  }
+  /// Currently open flights.
+  Index in_flight() const;
+
+ private:
+  mutable Mutex mu_;
+  /// Open flights: key -> parked waiters (leader first). Bounded by the
+  /// executor queue: every open flight has exactly one admitted job, so
+  /// there are never more than queue_capacity + workers entries.
+  std::unordered_map<ArtifactKey, std::vector<Waiter>, ArtifactKeyHash>
+      pending_ GUARDED_BY(mu_);
+  std::atomic<std::int64_t> coalesced_{0};
+  std::atomic<std::int64_t> flights_led_{0};
+};
+
+}  // namespace catalog
+}  // namespace valmod
+
+#endif  // VALMOD_CATALOG_SINGLEFLIGHT_H_

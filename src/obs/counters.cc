@@ -26,6 +26,10 @@ struct CounterCells {
   std::atomic<std::int64_t> stomp_chunks{0};
   std::atomic<std::int64_t> lb_tightness_ppm_sum{0};
   std::atomic<std::int64_t> lb_tightness_samples{0};
+  std::atomic<std::int64_t> catalog_hits{0};
+  std::atomic<std::int64_t> catalog_misses{0};
+  std::atomic<std::int64_t> catalog_evictions{0};
+  std::atomic<std::int64_t> coalesced_jobs{0};
 };
 
 CounterCells& Cells() {
@@ -77,6 +81,20 @@ void Counters::RecordValmodFallback() {
   Cells().valmod_full_fallbacks.fetch_add(1, std::memory_order_relaxed);
 }
 
+void Counters::RecordCatalogLookup(bool hit) {
+  CounterCells& cells = Cells();
+  (hit ? cells.catalog_hits : cells.catalog_misses)
+      .fetch_add(1, std::memory_order_relaxed);
+}
+
+void Counters::RecordCatalogEviction() {
+  Cells().catalog_evictions.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Counters::RecordCoalescedJob() {
+  Cells().coalesced_jobs.fetch_add(1, std::memory_order_relaxed);
+}
+
 CountersSnapshot Counters::Snapshot() {
   CounterCells& cells = Cells();
   CountersSnapshot snapshot;
@@ -102,6 +120,13 @@ CountersSnapshot Counters::Snapshot() {
       cells.lb_tightness_ppm_sum.load(std::memory_order_relaxed);
   snapshot.lb_tightness_samples =
       cells.lb_tightness_samples.load(std::memory_order_relaxed);
+  snapshot.catalog_hits = cells.catalog_hits.load(std::memory_order_relaxed);
+  snapshot.catalog_misses =
+      cells.catalog_misses.load(std::memory_order_relaxed);
+  snapshot.catalog_evictions =
+      cells.catalog_evictions.load(std::memory_order_relaxed);
+  snapshot.coalesced_jobs =
+      cells.coalesced_jobs.load(std::memory_order_relaxed);
   return snapshot;
 }
 
@@ -119,6 +144,10 @@ void Counters::Reset() {
   cells.stomp_chunks.store(0, std::memory_order_relaxed);
   cells.lb_tightness_ppm_sum.store(0, std::memory_order_relaxed);
   cells.lb_tightness_samples.store(0, std::memory_order_relaxed);
+  cells.catalog_hits.store(0, std::memory_order_relaxed);
+  cells.catalog_misses.store(0, std::memory_order_relaxed);
+  cells.catalog_evictions.store(0, std::memory_order_relaxed);
+  cells.coalesced_jobs.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace obs

@@ -41,6 +41,16 @@ struct CountersSnapshot {
   std::int64_t lb_tightness_ppm_sum = 0;
   /// Number of finite tightness samples in lb_tightness_ppm_sum.
   std::int64_t lb_tightness_samples = 0;
+  /// Catalog lookups that served a persisted artifact (resident or from
+  /// disk) instead of recomputing.
+  std::int64_t catalog_hits = 0;
+  /// Catalog lookups that found nothing servable (absent or corrupt).
+  std::int64_t catalog_misses = 0;
+  /// Resident catalog entries evicted to respect the byte budget.
+  std::int64_t catalog_evictions = 0;
+  /// Cold jobs that joined an already-in-flight identical computation
+  /// instead of paying their own STOMP (Singleflight followers).
+  std::int64_t coalesced_jobs = 0;
 
   /// Mean lower-bound tightness ratio minDistABS/minLbAbs across sampled
   /// lengths, or 0 when no finite sample was recorded. Values near 1 mean
@@ -78,6 +88,16 @@ class Counters {
   /// Records one full-STOMP fallback taken by RunValmod for an
   /// uncertified length.
   static void RecordValmodFallback();
+
+  /// Records one artifact-catalog lookup outcome.
+  static void RecordCatalogLookup(bool hit);
+
+  /// Records one resident-artifact eviction from the catalog LRU.
+  static void RecordCatalogEviction();
+
+  /// Records one cold job coalesced onto an identical in-flight
+  /// computation (a Singleflight follower; the STOMP it did not pay).
+  static void RecordCoalescedJob();
 
   /// Returns a consistent-enough copy of all counters (each field is an
   /// independent relaxed load).

@@ -1,26 +1,70 @@
 #include "service/engine.h"
 
-#include <cmath>
+#include <algorithm>
+#include <cstdint>
 #include <utility>
 
-#include "core/ranking.h"
+#include "catalog/artifact.h"
+#include "catalog/builder.h"
 #include "datasets/registry.h"
-#include "mp/parallel_stomp.h"
 #include "obs/counters.h"
+#include "obs/log.h"
 #include "obs/trace.h"
 #include "service/fingerprint.h"
-#include "signal/znorm.h"
 #include "util/mutex.h"
-#include "util/prefix_stats.h"
 #include "util/timer.h"
 
 namespace valmod {
+
+// Everything one request carries across its thread hops. The calling
+// thread fills it in, the executor worker reads and finishes it; each hop
+// publishes through a mutex (the executor queue, the singleflight table,
+// or the blocking-Execute handshake), so the plain members never race.
+struct QueryEngine::Pending {
+  Request request;
+  ResponseCallback done;
+  /// Wall clock of the whole request, started at ExecuteAsync entry.
+  WallTimer timer;
+  /// Stage sink shared by the calling thread and the worker (sequenced by
+  /// the hand-off mutexes; never written concurrently).
+  obs::StageRecorder stages;
+  /// Owns generated dataset points; `series` views this or the request.
+  Series storage;
+  std::span<const double> series;
+  std::uint64_t fingerprint = 0;
+  catalog::ArtifactKey artifact_key;
+  CacheKey cache_key;
+  Deadline deadline;
+  std::string type_name;
+  /// Submit-to-start gap of the executor job (the queue_wait stage).
+  WallTimer queue_timer;
+  /// True once this request has paid (or been refused) its own compute
+  /// attempt. Coalesced followers start false so a failed leader grants
+  /// them exactly one retry; leaders and no_cache jobs start true.
+  bool retried = false;
+};
 
 QueryEngine::QueryEngine(const QueryEngineOptions& options)
     : options_(options),
       slow_log_(options.slow_query_ms),
       cache_(options.cache_bytes, options.cache_shards),
       executor_(options.workers, options.queue_capacity) {
+  if (!options_.catalog_dir.empty()) {
+    catalog::CatalogOptions copts;
+    copts.root = options_.catalog_dir;
+    copts.shards = options_.catalog_shards;
+    copts.resident_bytes = options_.catalog_resident_bytes;
+    auto cat = std::make_unique<catalog::Catalog>(copts);
+    const Status status = cat->Open();
+    if (status.ok()) {
+      catalog_ = std::move(cat);
+    } else {
+      // A broken catalog degrades to compute-only serving, never an abort.
+      obs::LogEvent(obs::LogLevel::kWarn, "catalog_open_failed")
+          .Str("root", options_.catalog_dir)
+          .Str("error", status.message());
+    }
+  }
   metrics_.SetGauge("cache_bytes",
                     [this] { return static_cast<std::int64_t>(cache_.bytes()); });
   metrics_.SetGauge("cache_entries", [this] { return cache_.entries(); });
@@ -30,6 +74,22 @@ QueryEngine::QueryEngine(const QueryEngineOptions& options)
   metrics_.SetGauge("cache_oversize_rejects",
                     [this] { return cache_.oversize_rejects(); });
   metrics_.SetGauge("queue_depth", [this] { return executor_.queue_depth(); });
+  // Artifact-catalog and coalescer gauges are instance-backed (unlike the
+  // process-wide algorithm counters below) so each engine reports its own
+  // catalog; they exist even with the catalog disabled so the exposition
+  // schema is stable.
+  metrics_.SetGauge("catalog_hits_total",
+                    [this] { return catalog_ ? catalog_->hits() : 0; });
+  metrics_.SetGauge("catalog_misses_total",
+                    [this] { return catalog_ ? catalog_->misses() : 0; });
+  metrics_.SetGauge("catalog_evictions_total",
+                    [this] { return catalog_ ? catalog_->evictions() : 0; });
+  metrics_.SetGauge("catalog_resident_bytes_total", [this] {
+    return catalog_ ? static_cast<std::int64_t>(catalog_->resident_bytes())
+                    : 0;
+  });
+  metrics_.SetGauge("catalog_coalesced_jobs_total",
+                    [this] { return flight_.coalesced(); });
   // The process-wide algorithm counters (obs::Counters) surface as gauges
   // so both the STATS exposition and GET /metrics always carry the pruning
   // statistics of Algorithms 3/4.
@@ -120,57 +180,270 @@ Status QueryEngine::ValidateRequest(const Request& request, Index n) const {
   return Status::Ok();
 }
 
-CachedArtifact QueryEngine::ComputeArtifact(std::span<const double> series,
-                                            const Request& request,
-                                            const Deadline& deadline,
-                                            bool* dnf) const {
-  // Mirror the ParallelStomp convenience overload — center once, share one
-  // PrefixStats across lengths — so every answer is bit-identical to a
-  // direct per-length ParallelStomp(series, len) library call.
-  const Series centered = CenterSeries(series);
-  const PrefixStats stats(centered);
-  CachedArtifact artifact;
-  std::vector<MotifPair> per_length_motifs;
-  for (Index len = request.len_min; len <= request.len_max; ++len) {
-    if (deadline.Expired()) {
-      *dnf = true;
-      return artifact;
+Response QueryEngine::Execute(const Request& request) {
+  // The blocking face parks on the async one. (GUARDED_BY does not apply
+  // to locals; the callback runs at most once, so the references stay
+  // valid until `done` flips.)
+  Mutex mu;
+  CondVar cv;
+  bool done = false;
+  Response out;
+  ExecuteAsync(request, [&](Response response) {
+    const MutexLock lock(&mu);
+    out = std::move(response);
+    done = true;
+    cv.NotifyOne();
+  });
+  const MutexLock lock(&mu);
+  while (!done) cv.Wait(mu);
+  return out;
+}
+
+void QueryEngine::ExecuteAsync(const Request& request, ResponseCallback done) {
+  metrics_.GetCounter("requests_total")->Increment();
+  const std::string type_name = QueryTypeName(request.type);
+  metrics_.GetCounter("requests_" + type_name)->Increment();
+
+  if (request.type == QueryType::kStats) {
+    WallTimer timer;
+    Response response;
+    response.id = request.id;
+    response.type = request.type;
+    response.ok = true;
+    response.stats_text = metrics_.Exposition();
+    response.elapsed_us = timer.Seconds() * 1e6;
+    done(std::move(response));
+    return;
+  }
+
+  auto state = std::make_shared<Pending>();
+  state->request = request;
+  state->done = std::move(done);
+  state->type_name = type_name;
+
+  Response response;
+  bool terminal = false;
+  bool observe_latency = false;
+  {
+    // The inline leg of the request: spans completing here land in the
+    // state's recorder. The sink and the service_execute span must close
+    // before the executor hand-off — the worker writes to the same
+    // recorder, and only the submission mutex orders the two.
+    const obs::ScopedStageSink sink(&state->stages);
+    const obs::TraceSpan span("service_execute");
+
+    Status status;
+    {
+      const obs::TraceSpan resolve_span("resolve_series");
+      status = ResolveSeries(state->request, &state->storage, &state->series);
+      if (status.ok()) {
+        status = ValidateRequest(state->request,
+                                 static_cast<Index>(state->series.size()));
+      }
     }
-    const MatrixProfile profile =
-        ParallelStomp(centered, stats, len, options_.stomp_threads);
+    if (!status.ok()) {
+      metrics_.GetCounter("requests_invalid")->Increment();
+      response = Response::Error(state->request, status);
+      terminal = true;
+    } else {
+      state->fingerprint = SeriesFingerprint(state->series);
+      state->artifact_key =
+          catalog::ArtifactKey{state->fingerprint, request.len_min,
+                               request.len_max, request.p};
+      state->cache_key = CacheKey{state->fingerprint, request.len_min,
+                                  request.len_max, request.p, request.k};
+      state->deadline = request.deadline_ms > 0
+                            ? Deadline::After(request.deadline_ms / 1e3)
+                            : Deadline();
+
+      CachedArtifact artifact;
+      bool hit = false;
+      {
+        const obs::TraceSpan cache_span("cache_lookup");
+        hit = !request.no_cache && cache_.Get(state->cache_key, &artifact);
+      }
+      if (hit) {
+        const obs::TraceSpan build_span("build_cached_response");
+        response = BuildResponse(state->request, artifact, /*cached=*/true,
+                                 state->fingerprint);
+        terminal = true;
+        observe_latency = true;
+      }
+    }
+  }
+  if (terminal) {
+    FinishResponse(state, std::move(response), observe_latency);
+    return;
+  }
+  StartColdPath(state);
+}
+
+void QueryEngine::StartColdPath(const std::shared_ptr<Pending>& state) {
+  if (state->request.no_cache) {
+    // no_cache opts out of every shared answer, including an in-flight
+    // one: the benchmark and backpressure tests rely on each such request
+    // paying its own way through the queue.
+    SubmitCompute(state, /*leader=*/false);
+    return;
+  }
+  const bool leads = flight_.JoinOrLead(
+      state->artifact_key,
+      [this, state](const std::shared_ptr<const catalog::MotifArtifact>&
+                        artifact,
+                    const Status& status) {
+        DeliverArtifact(state, artifact, status);
+      });
+  if (leads) SubmitCompute(state, /*leader=*/true);
+}
+
+void QueryEngine::SubmitCompute(const std::shared_ptr<Pending>& state,
+                                bool leader) {
+  // This request now owns a compute attempt; its own failure is final.
+  state->retried = true;
+  state->queue_timer.Reset();
+  const Status status = executor_.Submit(
+      state->request.priority, state->deadline,
+      [this, state, leader](bool expired) {
+        std::shared_ptr<const catalog::MotifArtifact> artifact;
+        Status job_status;
+        {
+          // The worker leg mirrors its spans into the request's recorder;
+          // `queue_wait` is the submit-to-start gap. Close the sink before
+          // delivery: followers' recorders are distinct, and the leader's
+          // own delivery re-installs it.
+          const obs::ScopedStageSink worker_sink(&state->stages);
+          state->stages.Add("queue_wait",
+                            state->queue_timer.Seconds() * 1e6, 1);
+          const obs::TraceSpan compute_span("compute_artifact");
+          if (expired) {
+            job_status = Status::DeadlineExceeded(
+                "deadline expired while the request was queued");
+          } else {
+            if (catalog_ && !state->request.no_catalog) {
+              std::shared_ptr<const catalog::MotifArtifact> persisted;
+              const Status catalog_status =
+                  catalog_->Get(state->artifact_key, &persisted);
+              // Any non-hit (absent, corrupt, or stored too shallow for
+              // this k) falls through to a rebuild, which heals the
+              // catalog via the write-through below.
+              if (catalog_status.ok() &&
+                  persisted->stored_k >= state->request.k) {
+                artifact = std::move(persisted);
+              }
+            }
+            if (!artifact) {
+              catalog::BuildOptions build_options;
+              build_options.len_min = state->request.len_min;
+              build_options.len_max = state->request.len_max;
+              build_options.p = state->request.p;
+              // Store top-K lists max_k deep so every admissible k is a
+              // prefix truncation of this one artifact.
+              build_options.stored_k = options_.max_k;
+              build_options.stomp_threads = options_.stomp_threads;
+              auto built = std::make_shared<catalog::MotifArtifact>();
+              job_status =
+                  catalog::BuildArtifact(state->series, state->fingerprint,
+                                         build_options, state->deadline,
+                                         built.get());
+              if (job_status.ok()) {
+                if (catalog_ && options_.catalog_write) {
+                  const Status put_status = catalog_->Put(*built);
+                  if (!put_status.ok()) {
+                    // Persistence is best-effort; serving goes on.
+                    obs::LogEvent(obs::LogLevel::kWarn, "catalog_put_failed")
+                        .Str("error", put_status.message());
+                  }
+                }
+                artifact = std::move(built);
+              }
+            }
+          }
+        }
+        if (leader) {
+          flight_.Complete(state->artifact_key, artifact, job_status);
+        } else {
+          DeliverArtifact(state, artifact, job_status);
+        }
+      });
+  if (!status.ok()) {
+    // Admission refused. A led flight must still complete so coalesced
+    // followers hear about it (and take their retry).
+    if (leader) {
+      flight_.Complete(state->artifact_key, nullptr, status);
+    } else {
+      DeliverArtifact(state, nullptr, status);
+    }
+  }
+}
+
+void QueryEngine::DeliverArtifact(
+    const std::shared_ptr<Pending>& state,
+    const std::shared_ptr<const catalog::MotifArtifact>& artifact,
+    const Status& status) {
+  if (!status.ok() || artifact == nullptr) {
+    const Status error =
+        status.ok() ? Status::IoError("flight completed without an artifact")
+                    : status;
+    if (!state->retried) {
+      // A coalesced follower inherited its leader's failure without ever
+      // getting its own shot at the queue; grant exactly one.
+      state->retried = true;
+      StartColdPath(state);
+      return;
+    }
+    metrics_
+        .GetCounter(error.code() == StatusCode::kResourceExhausted
+                        ? "rejected_queue_full"
+                        : "rejected_deadline")
+        ->Increment();
+    FinishResponse(state, Response::Error(state->request, error), false);
+    return;
+  }
+  // Terminal success leg; may run on the leader's worker for coalesced
+  // followers. Their recorders are idle by now (followers' inline legs
+  // closed before joining the flight), so installing the sink is safe.
+  const obs::ScopedStageSink sink(&state->stages);
+  const CachedArtifact projected =
+      ProjectArtifact(*artifact, state->request.k);
+  // Even no_cache requests store their answer (they skip only lookups).
+  cache_.Put(state->cache_key, projected);
+  Response response;
+  {
+    const obs::TraceSpan build_span("build_response");
+    response = BuildResponse(state->request, projected, /*cached=*/false,
+                             state->fingerprint);
+  }
+  FinishResponse(state, std::move(response), true);
+}
+
+CachedArtifact QueryEngine::ProjectArtifact(
+    const catalog::MotifArtifact& artifact, Index k) const {
+  CachedArtifact projected;
+  projected.lengths.reserve(artifact.lengths.size());
+  for (const catalog::ArtifactLength& al : artifact.lengths) {
     LengthResult lr;
-    lr.length = len;
+    lr.length = al.length;
     lr.has_motif = lr.has_top_k = lr.has_discord = lr.has_profile = true;
-    lr.motif = MotifFromProfile(profile);
-    lr.top_k = TopMotifsFromProfile(profile, request.k);
-    lr.discord = DiscordFromProfile(profile);
-    double sum = 0.0;
-    Index finite = 0;
-    for (const double d : profile.distances) {
-      if (d == kInf) continue;
-      lr.profile_min = d < lr.profile_min ? d : lr.profile_min;
-      lr.profile_max = d > lr.profile_max ? d : lr.profile_max;
-      sum += d;
-      ++finite;
-    }
-    lr.profile_mean = finite > 0 ? sum / static_cast<double>(finite) : kInf;
-    per_length_motifs.push_back(lr.motif);
-    const double norm = std::sqrt(1.0 / static_cast<double>(len));
-    if (lr.discord.valid() &&
-        lr.discord.distance * norm > artifact.best_discord_norm) {
-      artifact.best_discord = lr.discord;
-      artifact.best_discord_norm = lr.discord.distance * norm;
-      artifact.has_best_discord = true;
-    }
-    artifact.lengths.push_back(std::move(lr));
+    lr.motif = al.motif;
+    // Top-K prefix truncation: TopMotifsFromProfile's greedy selection
+    // makes the k-deep answer an exact prefix of the stored_k-deep one,
+    // so this slice is bit-identical to computing with this k directly.
+    const std::size_t keep =
+        std::min(static_cast<std::size_t>(k), al.top_k.size());
+    lr.top_k.assign(al.top_k.begin(),
+                    al.top_k.begin() + static_cast<std::ptrdiff_t>(keep));
+    lr.discord = al.discord;
+    lr.profile_min = al.profile_min;
+    lr.profile_mean = al.profile_mean;
+    lr.profile_max = al.profile_max;
+    projected.lengths.push_back(std::move(lr));
   }
-  const std::vector<RankedPair> ranked =
-      RankMotifsByNormalizedDistance(per_length_motifs);
-  if (!ranked.empty()) {
-    artifact.best_motif = ranked.front();
-    artifact.has_best_motif = true;
-  }
-  return artifact;
+  projected.has_best_motif = artifact.has_best_motif;
+  projected.best_motif = artifact.best_motif;
+  projected.has_best_discord = artifact.has_best_discord;
+  projected.best_discord = artifact.best_discord;
+  projected.best_discord_norm = artifact.best_discord_norm;
+  return projected;
 }
 
 Response QueryEngine::BuildResponse(const Request& request,
@@ -213,134 +486,15 @@ Response QueryEngine::BuildResponse(const Request& request,
   return response;
 }
 
-Response QueryEngine::Execute(const Request& request) {
-  WallTimer timer;
-  metrics_.GetCounter("requests_total")->Increment();
-  const std::string type_name = QueryTypeName(request.type);
-  metrics_.GetCounter("requests_" + type_name)->Increment();
-
-  if (request.type == QueryType::kStats) {
-    Response response;
-    response.id = request.id;
-    response.type = request.type;
-    response.ok = true;
-    response.stats_text = metrics_.Exposition();
-    response.elapsed_us = timer.Seconds() * 1e6;
-    return response;
+void QueryEngine::FinishResponse(const std::shared_ptr<Pending>& state,
+                                 Response response, bool observe_latency) {
+  response.elapsed_us = state->timer.Seconds() * 1e6;
+  if (observe_latency) {
+    metrics_.GetHistogram("latency_" + state->type_name)
+        ->Observe(response.elapsed_us);
   }
-
-  // Per-request stage capture: spans completing on this thread (and on the
-  // executor worker, which installs its own sink onto the same recorder)
-  // land in `stages` and feed the slow-query log. The worker's writes are
-  // published to this thread by the job mutex/cv handshake below.
-  obs::StageRecorder stages;
-  const obs::ScopedStageSink sink(&stages);
-  Response response;
-  {
-    const obs::TraceSpan span("service_execute");
-
-    Series storage;
-    std::span<const double> series;
-    Status status;
-    {
-      const obs::TraceSpan resolve_span("resolve_series");
-      status = ResolveSeries(request, &storage, &series);
-      if (status.ok())
-        status = ValidateRequest(request, static_cast<Index>(series.size()));
-    }
-    if (!status.ok()) {
-      metrics_.GetCounter("requests_invalid")->Increment();
-      response = Response::Error(request, status);
-      response.elapsed_us = timer.Seconds() * 1e6;
-      LogIfSlow(request, response, stages);
-      return response;
-    }
-
-    const std::uint64_t fingerprint = SeriesFingerprint(series);
-    const CacheKey key{fingerprint, request.len_min, request.len_max,
-                       request.p, request.k};
-    const Deadline deadline = request.deadline_ms > 0
-                                  ? Deadline::After(request.deadline_ms / 1e3)
-                                  : Deadline();
-
-    CachedArtifact artifact;
-    bool cached = false;
-    bool hit = false;
-    {
-      const obs::TraceSpan cache_span("cache_lookup");
-      hit = !request.no_cache && cache_.Get(key, &artifact);
-    }
-    if (hit) {
-      cached = true;
-    } else {
-      // Execute() blocks until the job completes, so the locals captured by
-      // reference below outlive the worker's use of them. (GUARDED_BY does
-      // not apply to locals; the annotated wrappers still document and —
-      // via the scoped types — enforce the acquire/release pairing.)
-      Mutex mu;
-      CondVar cv;
-      bool done = false;
-      Status job_status;
-      WallTimer queue_timer;
-      status = executor_.Submit(
-          request.priority, deadline, [&](bool expired) {
-            Status result_status;
-            CachedArtifact result;
-            {
-              // The worker thread mirrors its spans into the same
-              // recorder; `queue_wait` is the submit-to-start gap.
-              const obs::ScopedStageSink worker_sink(&stages);
-              stages.Add("queue_wait", queue_timer.Seconds() * 1e6, 1);
-              const obs::TraceSpan compute_span("compute_artifact");
-              if (expired) {
-                result_status = Status::DeadlineExceeded(
-                    "deadline expired while the request was queued");
-              } else {
-                bool dnf = false;
-                result = ComputeArtifact(series, request, deadline, &dnf);
-                if (dnf) {
-                  result_status = Status::DeadlineExceeded(
-                      "deadline expired during computation");
-                }
-              }
-            }
-            const MutexLock lock(&mu);
-            job_status = std::move(result_status);
-            artifact = std::move(result);
-            done = true;
-            cv.NotifyOne();
-          });
-      if (!status.ok()) {
-        metrics_.GetCounter("rejected_queue_full")->Increment();
-        response = Response::Error(request, status);
-        response.elapsed_us = timer.Seconds() * 1e6;
-        LogIfSlow(request, response, stages);
-        return response;
-      }
-      {
-        const MutexLock lock(&mu);
-        while (!done) cv.Wait(mu);
-      }
-      if (!job_status.ok()) {
-        metrics_.GetCounter("rejected_deadline")->Increment();
-        response = Response::Error(request, job_status);
-        response.elapsed_us = timer.Seconds() * 1e6;
-        LogIfSlow(request, response, stages);
-        return response;
-      }
-      cache_.Put(key, artifact);
-    }
-
-    {
-      const obs::TraceSpan build_span("build_response");
-      response = BuildResponse(request, artifact, cached, fingerprint);
-    }
-  }
-  response.elapsed_us = timer.Seconds() * 1e6;
-  metrics_.GetHistogram("latency_" + type_name)
-      ->Observe(response.elapsed_us);
-  LogIfSlow(request, response, stages);
-  return response;
+  LogIfSlow(state->request, response, state->stages);
+  state->done(std::move(response));
 }
 
 void QueryEngine::LogIfSlow(const Request& request, const Response& response,

@@ -1,8 +1,13 @@
 #ifndef VALMOD_SERVICE_ENGINE_H_
 #define VALMOD_SERVICE_ENGINE_H_
 
+#include <functional>
+#include <memory>
 #include <span>
+#include <string>
 
+#include "catalog/catalog.h"
+#include "catalog/singleflight.h"
 #include "obs/slow_query.h"
 #include "service/executor.h"
 #include "service/metrics.h"
@@ -33,25 +38,47 @@ struct QueryEngineOptions {
   Index max_series_points = Index{1} << 22;
   /// Largest length range (len_max - len_min + 1) a request may ask for.
   Index max_lengths = 512;
-  /// Largest per-length top-K a request may ask for.
+  /// Largest per-length top-K a request may ask for. Freshly computed
+  /// artifacts store top-K lists exactly this deep, so any admissible k is
+  /// served from cache, catalog, or a coalesced flight by prefix
+  /// truncation.
   Index max_k = 64;
   /// Slow-query log threshold in milliseconds: compute requests slower than
   /// this emit one structured "slow_query" warning with their stage
   /// timings. <= 0 (the default) disables the log.
   double slow_query_ms = 0.0;
+  /// Root directory of the persisted artifact catalog (src/catalog);
+  /// empty (the default) disables the catalog entirely.
+  std::string catalog_dir;
+  /// Catalog shard-directory count (clamped to [1, 64]).
+  int catalog_shards = 8;
+  /// Byte budget for the catalog's resident (parsed, in-memory) artifacts.
+  std::size_t catalog_resident_bytes = 256u << 20;
+  /// Write freshly computed artifacts through to the catalog, so the next
+  /// process (or a restart) serves them without recomputing. Only
+  /// meaningful with catalog_dir set.
+  bool catalog_write = true;
 };
 
 /// The embeddable query engine: validation, admission control, execution
-/// on the deterministic ParallelStomp kernel, result caching, and metrics.
-/// The TCP server (service/server.h) is a thin framing shell around one of
-/// these; tests and benchmarks call Execute() directly.
+/// on the deterministic ParallelStomp kernel, result caching, the
+/// persisted artifact catalog, in-flight request coalescing, and metrics.
+/// The TCP server (service/server.h) is an event-loop framing shell around
+/// one of these; tests and benchmarks call Execute() directly.
 ///
-/// Execute() is safe to call from any number of threads concurrently: the
-/// caller's thread blocks while an executor worker computes, so the
-/// executor pool bounds CPU parallelism and the queue bounds memory.
+/// A cold request flows: result cache -> singleflight coalescer ->
+/// executor worker -> artifact catalog -> (on catalog miss) one
+/// deterministic build that is written through to the catalog and
+/// delivered to every coalesced waiter. Every path produces responses
+/// bit-identical to a direct library call.
 class QueryEngine {
  public:
-  /// Starts the worker pool.
+  /// Delivery callback of ExecuteAsync; invoked exactly once per request,
+  /// possibly synchronously on the calling thread (stats, validation
+  /// errors, cache hits) and otherwise on an executor worker.
+  using ResponseCallback = std::function<void(Response)>;
+
+  /// Starts the worker pool (and opens the catalog when configured).
   explicit QueryEngine(const QueryEngineOptions& options = {});
 
   /// Drains outstanding work (see Drain()).
@@ -67,6 +94,14 @@ class QueryEngine {
   /// INVALID_ARGUMENT/NOT_FOUND for bad requests.
   Response Execute(const Request& request);
 
+  /// The non-blocking face of Execute(): same request/response semantics,
+  /// but the caller's thread is never parked. `done` fires exactly once —
+  /// synchronously for requests that never reach the executor (stats,
+  /// validation errors, result-cache hits), on a worker thread otherwise.
+  /// This is what lets the server's I/O event loop multiplex hundreds of
+  /// connections over a fixed worker pool.
+  void ExecuteAsync(const Request& request, ResponseCallback done);
+
   /// Stops admitting compute jobs (they get RESOURCE_EXHAUSTED), finishes
   /// every admitted one, and joins the workers. STATS requests still work
   /// afterwards. Idempotent.
@@ -81,27 +116,56 @@ class QueryEngine {
   /// The executor (read-only view for tests).
   const Executor& executor() const { return executor_; }
 
+  /// The persisted artifact catalog, or nullptr when disabled (read-only
+  /// view for tests and gauges).
+  const catalog::Catalog* artifact_catalog() const { return catalog_.get(); }
+
+  /// The request coalescer (read-only view for tests and gauges).
+  const catalog::Singleflight& flight() const { return flight_; }
+
   /// The active options.
   const QueryEngineOptions& options() const { return options_; }
 
  private:
+  /// Everything one in-flight request carries between the calling thread,
+  /// the executor worker, and (for coalesced followers) the leader's
+  /// worker. Heap-allocated and shared because the async pipeline hops
+  /// threads; every hop hands off through a mutex, so the non-atomic
+  /// members are written by one thread at a time.
+  struct Pending;
+
   /// Materializes the request's series: inline data verbatim, or the named
   /// synthetic dataset generated deterministically from (dataset, n).
   Status ResolveSeries(const Request& request, Series* storage,
                        std::span<const double>* out) const;
   /// Parameter sanity checks against the resolved series length `n`.
   Status ValidateRequest(const Request& request, Index n) const;
-  /// Runs the full computation for every length in [len_min, len_max] via
-  /// deterministic ParallelStomp (centered once, one PrefixStats), so
-  /// answers are bit-identical to direct library calls.
-  CachedArtifact ComputeArtifact(std::span<const double> series,
-                                 const Request& request,
-                                 const Deadline& deadline, bool* dnf) const;
+  /// Enters the cold path for a cache miss: joins (or opens) the
+  /// singleflight for coalescable requests, then submits the leader's job.
+  void StartColdPath(const std::shared_ptr<Pending>& state);
+  /// Submits the compute job to the executor; on admission failure the
+  /// flight (when led) completes with RESOURCE_EXHAUSTED.
+  void SubmitCompute(const std::shared_ptr<Pending>& state, bool leader);
+  /// Terminal delivery: projects the artifact for this request's k, stores
+  /// it in the result cache, builds and delivers the response (or the
+  /// error), and feeds metrics and the slow-query log.
+  void DeliverArtifact(
+      const std::shared_ptr<Pending>& state,
+      const std::shared_ptr<const catalog::MotifArtifact>& artifact,
+      const Status& status);
+  /// Projects a full artifact down to a result-cache entry for one
+  /// request's k (top-K prefix truncation; see docs/CATALOG.md).
+  CachedArtifact ProjectArtifact(const catalog::MotifArtifact& artifact,
+                                 Index k) const;
   /// Projects the artifact into the sections `request.type` asks for; a
   /// cached artifact and a fresh one serialize byte-identically.
   Response BuildResponse(const Request& request,
                          const CachedArtifact& artifact, bool cached,
                          std::uint64_t fingerprint) const;
+  /// Delivers a terminal response: elapsed time, latency histogram (for
+  /// successes), the slow-query log, then the callback.
+  void FinishResponse(const std::shared_ptr<Pending>& state,
+                      Response response, bool observe_latency);
   /// Feeds the slow-query log (and its counter) after a finished request.
   void LogIfSlow(const Request& request, const Response& response,
                  const obs::StageRecorder& stages);
@@ -110,7 +174,11 @@ class QueryEngine {
   MetricsRegistry metrics_;
   obs::SlowQueryLog slow_log_;
   ResultCache cache_;
-  Executor executor_;  // last member: joins before the cache/metrics die
+  /// unguarded: created in the constructor before any worker exists;
+  /// internally synchronized afterwards.
+  std::unique_ptr<catalog::Catalog> catalog_;
+  catalog::Singleflight flight_;  // unguarded: internally synchronized
+  Executor executor_;  // last member: joins before the cache/catalog die
 };
 
 }  // namespace valmod

@@ -1,6 +1,7 @@
 #include "service/net.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -221,6 +222,45 @@ Status ReadHttpHead(int fd, double timeout_s, const std::atomic<bool>* stop,
     if (size > max_bytes)
       return Status::InvalidArgument("http request head too long");
   }
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  if (fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+    return Errno("fcntl(F_SETFL)");
+  return Status::Ok();
+}
+
+Status MakePipe(int* out_read_fd, int* out_write_fd) {
+  int fds[2];
+  if (pipe(fds) < 0) return Errno("pipe");
+  for (const int fd : fds) {
+    const Status status = SetNonBlocking(fd);
+    if (!status.ok()) {
+      CloseFd(fds[0]);
+      CloseFd(fds[1]);
+      return status;
+    }
+  }
+  *out_read_fd = fds[0];
+  *out_write_fd = fds[1];
+  return Status::Ok();
+}
+
+Status AcceptNonBlocking(int listen_fd, int* out_fd) {
+  const int fd = accept(listen_fd, nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR ||
+        errno == ECONNABORTED) {
+      return Status::DeadlineExceeded("no pending connection");
+    }
+    return Errno("accept");
+  }
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  *out_fd = fd;
+  return Status::Ok();
 }
 
 void CloseFd(int fd) {

@@ -51,6 +51,20 @@ Status WriteFramePayload(int fd, const std::string& json);
 Status ReadHttpHead(int fd, double timeout_s, const std::atomic<bool>* stop,
                     std::size_t max_bytes, std::string* head);
 
+/// Puts `fd` into non-blocking mode (the server's event loop runs every
+/// connection socket non-blocking).
+Status SetNonBlocking(int fd);
+
+/// Creates a non-blocking self-pipe: worker threads write one byte to
+/// `*out_write_fd` to wake a poll() sleeping on `*out_read_fd`.
+Status MakePipe(int* out_read_fd, int* out_write_fd);
+
+/// Accepts one pending connection without waiting. DeadlineExceeded when
+/// none is pending (the event loop treats it as "accept queue drained"),
+/// IoError on a dead listener. The accepted socket has TCP_NODELAY set but
+/// is still blocking; callers opt in via SetNonBlocking.
+Status AcceptNonBlocking(int listen_fd, int* out_fd);
+
 /// Closes a file descriptor (no-op for fd < 0).
 void CloseFd(int fd);
 

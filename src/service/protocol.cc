@@ -92,6 +92,7 @@ JsonValue Request::ToJson() const {
   if (deadline_ms > 0) v.Set("deadline_ms", JsonValue(deadline_ms));
   v.Set("priority", JsonValue(static_cast<std::int64_t>(priority)));
   if (no_cache) v.Set("no_cache", JsonValue(true));
+  if (no_catalog) v.Set("no_catalog", JsonValue(true));
   return v;
 }
 
@@ -127,6 +128,7 @@ Status Request::FromJson(const JsonValue& json) {
   if (const JsonValue* f = json.Find("priority"))
     priority = static_cast<int>(f->AsInt(priority));
   if (const JsonValue* f = json.Find("no_cache")) no_cache = f->AsBool();
+  if (const JsonValue* f = json.Find("no_catalog")) no_catalog = f->AsBool();
   return Status::Ok();
 }
 

@@ -81,6 +81,10 @@ struct Request {
   /// Skip the cache lookup (the result is still stored); used by the
   /// benchmark harness to measure cold latency.
   bool no_cache = false;
+  /// Skip the artifact-catalog lookup (write-through still happens); used
+  /// by the benchmark harness to isolate true cold compute from
+  /// catalog-warm serving.
+  bool no_catalog = false;
 
   /// Serializes to the request JSON object.
   JsonValue ToJson() const;

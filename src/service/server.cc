@@ -1,5 +1,11 @@
 #include "service/server.h"
 
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <string_view>
 #include <utility>
 
 #include "obs/trace.h"
@@ -7,6 +13,16 @@
 #include "service/protocol.h"
 
 namespace valmod {
+namespace {
+
+/// Poll slice of the event loop: the idle-timeout sweep granularity. The
+/// wake pipe makes response delivery immediate regardless.
+constexpr int kLoopSliceMs = 50;
+
+/// Longest accepted frame-header line (magic + decimal byte count).
+constexpr std::size_t kMaxHeaderBytes = 64;
+
+}  // namespace
 
 Server::Server(const ServerOptions& options)
     : options_(options), engine_(options.engine) {}
@@ -20,6 +36,13 @@ Status Server::Start() {
       net::Listen(options_.host, options_.port, /*backlog=*/128, &listen_fd_,
                   &port_);
   if (!status.ok()) return status;
+  status = net::SetNonBlocking(listen_fd_);
+  if (status.ok()) status = net::MakePipe(&wake_read_fd_, &wake_write_fd_);
+  if (!status.ok()) {
+    net::CloseFd(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
   if (options_.metrics_port >= 0) {
     HttpGatewayOptions http_options;
     http_options.host = options_.host;
@@ -33,12 +56,15 @@ Status Server::Start() {
       http_gateway_.reset();
       net::CloseFd(listen_fd_);
       listen_fd_ = -1;
+      net::CloseFd(wake_read_fd_);
+      net::CloseFd(wake_write_fd_);
+      wake_read_fd_ = wake_write_fd_ = -1;
       return status;
     }
   }
   stopping_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  loop_thread_ = std::thread([this] { EventLoop(); });
   return Status::Ok();
 }
 
@@ -69,18 +95,22 @@ HttpResponse Server::HandleHttp(const std::string& path) {
 
 void Server::Shutdown() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
-  // Phase 1: stop taking new connections and tell handlers to wind down.
+  // Phase 1: tell the loop to wind down — it stops accepting and parsing,
+  // finishes every in-flight request, and flushes every response.
   stopping_.store(true, std::memory_order_release);
-  if (accept_thread_.joinable()) accept_thread_.join();
+  if (wake_write_fd_ >= 0) {
+    const char byte = 'w';
+    (void)!write(wake_write_fd_, &byte, 1);
+  }
+  if (loop_thread_.joinable()) loop_thread_.join();
   net::CloseFd(listen_fd_);
   listen_fd_ = -1;
-  // Phase 2: handlers poll stopping_ between frames, so each finishes the
-  // request it is serving (the executor runs it to completion), writes the
-  // response, and exits; join them all.
-  ReapFinished(/*join_all=*/true);
-  // Phase 3: drain the engine (no handler threads remain to submit work).
+  net::CloseFd(wake_read_fd_);
+  net::CloseFd(wake_write_fd_);
+  wake_read_fd_ = wake_write_fd_ = -1;
+  // Phase 2: drain the engine (the loop is gone, nothing submits work).
   engine_.Drain();
-  // Phase 4: stop the observability gateway (kept alive through the drain
+  // Phase 3: stop the observability gateway (kept alive through the drain
   // so a scraper can watch the shutdown).
   if (http_gateway_) {
     http_gateway_->Shutdown();
@@ -88,29 +118,125 @@ void Server::Shutdown() {
   }
 }
 
-void Server::ReapFinished(bool join_all) {
-  const MutexLock lock(&connections_mu_);
-  for (auto it = connections_.begin(); it != connections_.end();) {
-    if (join_all || (*it)->done.load(std::memory_order_acquire)) {
-      if ((*it)->thread.joinable()) (*it)->thread.join();
-      it = connections_.erase(it);
-    } else {
-      ++it;
+void Server::EventLoop() {
+  std::vector<struct pollfd> pfds;
+  std::vector<std::uint64_t> conn_ids;  // parallel to pfds; 0 = not a conn
+  std::vector<std::uint64_t> doomed;
+  while (true) {
+    DrainCompletions();
+
+    const bool stopping = stopping_.load(std::memory_order_acquire);
+    pfds.clear();
+    conn_ids.clear();
+    pfds.push_back({wake_read_fd_, POLLIN, 0});
+    conn_ids.push_back(0);
+    if (!stopping) {
+      pfds.push_back({listen_fd_, POLLIN, 0});
+      conn_ids.push_back(0);
+    }
+    for (auto& [id, conn] : conns_) {
+      short events = 0;
+      // No POLLIN while a request is in flight: the kernel socket buffer
+      // applies natural backpressure to pipelining clients, exactly like
+      // the old one-thread-per-connection read loop.
+      if (!conn.in_flight && !conn.peer_closed && !conn.close_after_flush &&
+          !stopping) {
+        events |= POLLIN;
+      }
+      if (conn.out_sent < conn.out.size()) events |= POLLOUT;
+      if (events == 0) continue;
+      pfds.push_back({conn.fd, events, 0});
+      conn_ids.push_back(id);
+    }
+
+    const int ready = poll(pfds.data(), pfds.size(), kLoopSliceMs);
+    if (ready < 0 && errno != EINTR && errno != EAGAIN) break;  // loop fd died
+
+    if ((pfds[0].revents & POLLIN) != 0) {
+      char buf[256];
+      while (read(wake_read_fd_, buf, sizeof(buf)) > 0) {
+      }
+    }
+    std::size_t index = 1;
+    if (!stopping) {
+      if ((pfds[index].revents & POLLIN) != 0) AcceptPending();
+      ++index;
+    }
+    for (; index < pfds.size(); ++index) {
+      const auto it = conns_.find(conn_ids[index]);
+      if (it == conns_.end()) continue;
+      Conn& conn = it->second;
+      if ((pfds[index].revents & (POLLIN | POLLHUP | POLLERR)) != 0)
+        HandleReadable(conn);
+      if ((pfds[index].revents & POLLOUT) != 0) FlushWrites(conn);
+    }
+    DrainCompletions();
+
+    // Close sweep: reap dead sockets, flushed close_after_flush
+    // connections, cleanly closed peers with nothing left, and idle peers.
+    doomed.clear();
+    for (auto& [id, conn] : conns_) {
+      if (conn.dead) {
+        doomed.push_back(id);
+        continue;
+      }
+      const bool flushed = conn.out_sent >= conn.out.size();
+      if (conn.close_after_flush && flushed) {
+        doomed.push_back(id);
+        continue;
+      }
+      if (conn.peer_closed && !conn.in_flight && flushed) {
+        // A pipelined frame may still be buffered; serve it before closing
+        // (the old handler drained buffered frames up to the EOF too).
+        if (!stopping) ParseAndDispatch(conn);
+        if (!conn.in_flight && !conn.close_after_flush &&
+            conn.out_sent >= conn.out.size()) {
+          doomed.push_back(id);
+        }
+        continue;
+      }
+      if (!conn.in_flight && conn.out.empty() && !conn.close_after_flush &&
+          conn.idle.Seconds() > options_.read_timeout_s) {
+        doomed.push_back(id);
+      }
+    }
+    for (const std::uint64_t id : doomed) CloseConn(id);
+
+    if (stopping) {
+      // Exit once every dispatched job has completed and every response
+      // byte is out the door. Reading jobs_in_flight_ before the drain
+      // guarantees the drain sees every completion counted as done.
+      const bool no_jobs =
+          jobs_in_flight_.load(std::memory_order_acquire) == 0;
+      DrainCompletions();
+      bool pending = false;
+      for (auto& [id, conn] : conns_) {
+        FlushWrites(conn);
+        if (conn.in_flight ||
+            (!conn.dead && conn.out_sent < conn.out.size())) {
+          pending = true;
+        }
+      }
+      if (no_jobs && !pending) break;
     }
   }
+  for (auto& [id, conn] : conns_) net::CloseFd(conn.fd);
+  conns_.clear();
+  active_connections_.store(0, std::memory_order_release);
 }
 
-void Server::AcceptLoop() {
+void Server::AcceptPending() {
   while (!stopping_.load(std::memory_order_acquire)) {
     int fd = -1;
-    const Status status = net::Accept(listen_fd_, /*timeout_s=*/0.1, &fd);
-    if (!status.ok()) {
-      // Timeout: re-check stopping_. Anything else on a healthy listener
-      // is transient (e.g. the peer vanished between accept readiness and
-      // the syscall); keep serving.
+    const Status status = net::AcceptNonBlocking(listen_fd_, &fd);
+    if (!status.ok()) return;  // backlog drained (or listener gone)
+    if (!net::SetNonBlocking(fd).ok()) {
+      net::CloseFd(fd);
       continue;
     }
-    ReapFinished(/*join_all=*/false);
+    Conn conn;
+    conn.fd = fd;
+    conn.id = next_conn_id_++;
     if (active_connections_.load(std::memory_order_acquire) >=
         options_.max_connections) {
       connections_refused_.fetch_add(1, std::memory_order_relaxed);
@@ -119,55 +245,161 @@ void Server::AcceptLoop() {
                          "connection limit (" +
                          std::to_string(options_.max_connections) +
                          ") reached; retry later"));
-      net::WriteFramePayload(fd, refusal.ToJson().Serialize());
-      net::CloseFd(fd);
-      continue;
+      conn.out = EncodeFrame(refusal.ToJson().Serialize());
+      conn.close_after_flush = true;
+      conn.refused = true;
+    } else {
+      connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+      active_connections_.fetch_add(1, std::memory_order_acq_rel);
     }
-    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
-    active_connections_.fetch_add(1, std::memory_order_acq_rel);
-    auto connection = std::make_unique<Connection>();
-    Connection* raw = connection.get();
-    {
-      const MutexLock lock(&connections_mu_);
-      connections_.push_back(std::move(connection));
-    }
-    raw->thread = std::thread([this, fd, raw] {
-      HandleConnection(fd);
-      active_connections_.fetch_sub(1, std::memory_order_acq_rel);
-      raw->done.store(true, std::memory_order_release);
-    });
+    const std::uint64_t id = conn.id;
+    auto [it, inserted] = conns_.emplace(id, std::move(conn));
+    FlushWrites(it->second);  // refusals usually fit the socket buffer
   }
 }
 
-void Server::HandleConnection(int fd) {
-  while (!stopping_.load(std::memory_order_acquire)) {
-    std::string payload;
-    Status status = net::ReadFramePayload(fd, options_.read_timeout_s,
-                                          &stopping_, &payload);
-    if (status.code() == StatusCode::kNotFound) break;  // clean client close
-    if (status.code() == StatusCode::kDeadlineExceeded) break;  // idle/stop
-    if (!status.ok()) {
-      // Malformed frame: answer once with the parse error, then close —
-      // after a framing error the byte stream cannot be trusted.
-      const Response error = Response::Error(Request{}, status);
-      net::WriteFramePayload(fd, error.ToJson().Serialize());
+void Server::HandleReadable(Conn& conn) {
+  if (conn.dead || conn.peer_closed) return;
+  char buf[4096];
+  while (true) {
+    const ssize_t r = recv(conn.fd, buf, sizeof(buf), 0);
+    if (r > 0) {
+      conn.in.append(buf, static_cast<std::size_t>(r));
+      conn.idle.Reset();
+      if (conn.in_flight) break;  // enough; resume after the response
+      continue;
+    }
+    if (r == 0) {
+      conn.peer_closed = true;
       break;
     }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    conn.dead = true;
+    return;
+  }
+  ParseAndDispatch(conn);
+}
+
+void Server::ParseAndDispatch(Conn& conn) {
+  while (!conn.in_flight && !conn.close_after_flush && !conn.dead &&
+         !stopping_.load(std::memory_order_acquire)) {
+    const std::size_t newline = conn.in.find('\n');
+    if (newline == std::string::npos) {
+      if (conn.in.size() > kMaxHeaderBytes) {
+        // Framing errors get one answer, then the stream is untrusted.
+        const Response error = Response::Error(
+            Request{}, Status::InvalidArgument("frame header too long"));
+        conn.out += EncodeFrame(error.ToJson().Serialize());
+        conn.close_after_flush = true;
+      }
+      return;  // wait for more header bytes
+    }
+    std::size_t body_bytes = 0;
+    Status status = ParseFrameHeader(
+        std::string_view(conn.in).substr(0, newline), &body_bytes);
+    if (!status.ok()) {
+      const Response error = Response::Error(Request{}, status);
+      conn.out += EncodeFrame(error.ToJson().Serialize());
+      conn.close_after_flush = true;
+      return;
+    }
+    if (conn.in.size() < newline + 1 + body_bytes) return;  // wait for body
+    std::string payload = conn.in.substr(newline + 1, body_bytes);
+    conn.in.erase(0, newline + 1 + body_bytes);
+    if (payload.empty() || payload.back() != '\n') {
+      const Response error = Response::Error(
+          Request{},
+          Status::InvalidArgument("frame payload must end with a newline"));
+      conn.out += EncodeFrame(error.ToJson().Serialize());
+      conn.close_after_flush = true;
+      return;
+    }
+    payload.pop_back();
+
     const obs::TraceSpan span("connection_frame");
     JsonValue json;
     status = JsonValue::Parse(payload, &json);
     Request request;
     if (status.ok()) status = request.FromJson(json);
-    Response response;
     if (!status.ok()) {
-      response = Response::Error(request, status);
-    } else {
-      response = engine_.Execute(request);
+      // Malformed JSON inside a well-formed frame: answer it and keep the
+      // connection — the framing is still trustworthy.
+      const Response error = Response::Error(request, status);
+      conn.out += EncodeFrame(error.ToJson().Serialize());
+      conn.idle.Reset();
+      continue;
     }
-    status = net::WriteFramePayload(fd, response.ToJson().Serialize());
-    if (!status.ok()) break;  // peer went away mid-response
+    conn.in_flight = true;
+    jobs_in_flight_.fetch_add(1, std::memory_order_acq_rel);
+    const std::uint64_t id = conn.id;
+    // The callback may run synchronously (cache hits) or on an executor
+    // worker; either way the response travels through the completion
+    // queue, so the loop thread stays the only toucher of Conn state.
+    engine_.ExecuteAsync(request, [this, id](Response response) {
+      OnResponse(id, EncodeFrame(response.ToJson().Serialize()));
+    });
+    return;
   }
-  net::CloseFd(fd);
+}
+
+void Server::FlushWrites(Conn& conn) {
+  if (conn.dead) return;
+  while (conn.out_sent < conn.out.size()) {
+    const ssize_t r = send(conn.fd, conn.out.data() + conn.out_sent,
+                           conn.out.size() - conn.out_sent, MSG_NOSIGNAL);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      conn.dead = true;  // peer went away mid-response
+      return;
+    }
+    conn.out_sent += static_cast<std::size_t>(r);
+  }
+  conn.out.clear();
+  conn.out_sent = 0;
+}
+
+void Server::OnResponse(std::uint64_t conn_id, std::string frame) {
+  {
+    const MutexLock lock(&completions_mu_);
+    completions_.emplace_back(conn_id, std::move(frame));
+  }
+  // Decrement after queueing: once the loop reads zero, a final drain is
+  // guaranteed to see every completion.
+  jobs_in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+  if (wake_write_fd_ >= 0) {
+    const char byte = 'r';
+    (void)!write(wake_write_fd_, &byte, 1);
+  }
+}
+
+void Server::DrainCompletions() {
+  std::vector<std::pair<std::uint64_t, std::string>> done;
+  {
+    const MutexLock lock(&completions_mu_);
+    done.swap(completions_);
+  }
+  for (auto& [id, frame] : done) {
+    const auto it = conns_.find(id);
+    if (it == conns_.end()) continue;  // connection died while computing
+    Conn& conn = it->second;
+    conn.in_flight = false;
+    conn.out += frame;
+    conn.idle.Reset();
+    // A pipelining client may have the next frame buffered already.
+    ParseAndDispatch(conn);
+    FlushWrites(conn);
+  }
+}
+
+void Server::CloseConn(std::uint64_t conn_id) {
+  const auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  net::CloseFd(it->second.fd);
+  if (!it->second.refused)
+    active_connections_.fetch_sub(1, std::memory_order_acq_rel);
+  conns_.erase(it);
 }
 
 }  // namespace valmod

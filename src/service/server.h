@@ -2,16 +2,20 @@
 #define VALMOD_SERVICE_SERVER_H_
 
 #include <atomic>
-#include <list>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "service/engine.h"
 #include "service/http.h"
 #include "util/mutex.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
+#include "util/timer.h"
 
 namespace valmod {
 
@@ -25,23 +29,27 @@ struct ServerOptions {
   /// Connections beyond this are answered with one RESOURCE_EXHAUSTED
   /// frame and closed — the connection-level admission control.
   int max_connections = 64;
-  /// Per-connection idle read timeout: a client that sends nothing for
-  /// this long is disconnected (protects the handler pool from dead
-  /// peers).
+  /// Per-connection idle timeout: a client with no request in flight that
+  /// sends nothing for this long is disconnected (protects the connection
+  /// table from dead peers).
   double read_timeout_s = 30.0;
   /// Port of the observability HTTP gateway (GET /metrics, /healthz,
   /// /trace/start, /trace/stop): 0 picks an ephemeral port (read it back
   /// via metrics_port()), a negative value disables the gateway.
   int metrics_port = 0;
-  /// Engine configuration (queue, cache, executor).
+  /// Engine configuration (queue, cache, catalog, executor).
   QueryEngineOptions engine;
 };
 
-/// The TCP face of the query engine: an accept loop, one handler thread
-/// per live connection (bounded by max_connections), length-prefixed
-/// newline-JSON frames in and out, and graceful drain — Shutdown() stops
-/// accepting, lets every in-flight request finish and flush its response,
-/// then joins every thread. valmod_serve wires Shutdown() to SIGINT.
+/// The TCP face of the query engine: a single poll()-based I/O event loop
+/// multiplexing every connection (bounded by max_connections), with all
+/// compute on the engine's executor workers via ExecuteAsync. The loop
+/// shuffles length-prefixed newline-JSON frames; workers hand finished
+/// responses back through a completion queue and a self-pipe wake-up, so
+/// no thread ever blocks on a socket and no thread is parked per
+/// connection. Graceful drain — Shutdown() stops accepting, lets every
+/// in-flight request finish and flush its response, then joins the loop.
+/// valmod_serve wires Shutdown() to SIGINT.
 class Server {
  public:
   /// Stores the options and builds the embedded engine; nothing listens
@@ -54,7 +62,7 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds, listens, and starts the accept loop. InvalidArgument/IoError
+  /// Binds, listens, and starts the event loop. InvalidArgument/IoError
   /// on bad addresses or an occupied port.
   Status Start();
 
@@ -69,8 +77,8 @@ class Server {
   bool running() const { return running_.load(std::memory_order_acquire); }
 
   /// Graceful drain: stop accepting connections and requests, finish every
-  /// in-flight job, flush responses, join all threads. Idempotent and
-  /// safe to call from any thread (including a signal-watcher thread).
+  /// in-flight job, flush responses, join the loop. Idempotent and safe to
+  /// call from any thread (including a signal-watcher thread).
   void Shutdown();
 
   /// The embedded engine (metrics, cache — mostly for tests).
@@ -86,40 +94,88 @@ class Server {
   }
 
  private:
-  struct Connection {
-    std::thread thread;
-    std::atomic<bool> done{false};
+  /// Per-connection state, owned exclusively by the event-loop thread.
+  struct Conn {
+    int fd = -1;
+    std::uint64_t id = 0;
+    /// Bytes received but not yet consumed as frames. Bounded: reads stop
+    /// while a request is in flight, and a parsed frame body is capped at
+    /// kMaxFrameBytes, so at most ~one frame plus pipelined slack sits
+    /// here.
+    std::string in;
+    /// Serialized response bytes not yet flushed to the socket.
+    std::string out;
+    /// Prefix of `out` already sent.
+    std::size_t out_sent = 0;
+    /// One request executing on the engine; further frames wait in `in`
+    /// (preserving the old per-connection serial semantics).
+    bool in_flight = false;
+    /// Flush `out`, then close — framing errors and admission refusals.
+    bool close_after_flush = false;
+    /// Peer closed its sending side; stop reading, finish what's queued.
+    bool peer_closed = false;
+    /// True for over-capacity connections (not counted as active).
+    bool refused = false;
+    /// Socket failed or finished; the loop's close sweep reaps it.
+    bool dead = false;
+    /// Time since the last byte read or response queued (idle timeout).
+    WallTimer idle;
   };
 
-  /// Accepts connections until stopping_; over-capacity ones get a
-  /// RESOURCE_EXHAUSTED frame and are closed without a handler thread.
-  void AcceptLoop();
-  /// Per-connection loop: read frame, execute, write frame, until EOF,
-  /// timeout, a malformed frame, or shutdown.
-  void HandleConnection(int fd);
-  /// Joins finished handler threads (all of them when `join_all`).
-  void ReapFinished(bool join_all) EXCLUDES(connections_mu_);
+  /// The I/O loop: poll() over the listener, the wake pipe, and every
+  /// connection socket; dispatch parsed requests to the engine.
+  void EventLoop();
+  /// Accepts until the backlog is drained; over-capacity connections get a
+  /// queued RESOURCE_EXHAUSTED frame and close_after_flush.
+  void AcceptPending();
+  /// Non-blocking read into conn.in until EAGAIN/EOF, then frame parsing.
+  void HandleReadable(Conn& conn);
+  /// Consumes at most one complete frame from conn.in and dispatches it.
+  void ParseAndDispatch(Conn& conn);
+  /// Non-blocking flush of conn.out; closes on error or completed
+  /// close_after_flush.
+  void FlushWrites(Conn& conn);
+  /// Worker-side completion: queues the serialized response frame for the
+  /// loop and wakes it through the pipe. Runs on executor workers (or the
+  /// loop thread itself for synchronous ExecuteAsync completions).
+  void OnResponse(std::uint64_t conn_id, std::string frame);
+  /// Moves queued completions into their connections' out buffers.
+  void DrainCompletions();
+  /// Closes and forgets the connection (loop thread only).
+  void CloseConn(std::uint64_t conn_id);
 
   /// Builds the HTTP response for one gateway path.
   HttpResponse HandleHttp(const std::string& path);
 
   ServerOptions options_;      // unguarded: written only before Start()
   QueryEngine engine_;         // unguarded: internally synchronized
-  /// unguarded: created in Start() before the accept thread exists,
-  /// destroyed in Shutdown() after every thread is joined.
+  /// unguarded: created in Start() before the loop thread exists,
+  /// destroyed in Shutdown() after it is joined.
   std::unique_ptr<HttpGateway> http_gateway_;
   int listen_fd_ = -1;         // unguarded: written in Start()/Shutdown() only
   int port_ = 0;               // unguarded: written in Start() before threads
+  /// Self-pipe: workers write a byte to wake the loop's poll().
+  /// unguarded: created in Start() before the loop thread exists.
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;     // unguarded: see wake_read_fd_
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
   /// unguarded: joined/assigned by Start()/Shutdown() only, never
   /// concurrently.
-  std::thread accept_thread_;
-  Mutex connections_mu_;
-  /// Bounded by options_.max_connections live entries (finished handlers
-  /// are reaped on every accept).
-  std::list<std::unique_ptr<Connection>> connections_
-      GUARDED_BY(connections_mu_);
+  std::thread loop_thread_;
+  /// Live connections keyed by id.
+  /// unguarded: touched only by the loop thread (workers reference
+  /// connections by id through completions_).
+  std::unordered_map<std::uint64_t, Conn> conns_;
+  std::uint64_t next_conn_id_ = 1;  // unguarded: loop thread only
+  Mutex completions_mu_;
+  /// Finished (conn id, serialized frame) pairs awaiting the loop.
+  /// Bounded: at most one in-flight request per live connection.
+  std::vector<std::pair<std::uint64_t, std::string>> completions_
+      GUARDED_BY(completions_mu_);
+  /// Requests dispatched to the engine whose completion has not yet been
+  /// queued; the drain loop exits only at zero.
+  std::atomic<int> jobs_in_flight_{0};
   std::atomic<int> active_connections_{0};
   std::atomic<std::int64_t> connections_accepted_{0};
   std::atomic<std::int64_t> connections_refused_{0};

@@ -1,0 +1,159 @@
+// Unit tests for the on-disk artifact format (catalog/format.h): byte-exact
+// round-trips, geometry/size validation, and checksum tamper detection.
+
+#include <cstring>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "catalog/builder.h"
+#include "catalog/format.h"
+#include "datasets/generators.h"
+#include "service/fingerprint.h"
+#include "util/common.h"
+
+namespace valmod {
+namespace catalog {
+namespace {
+
+MotifArtifact MakeArtifact(Index n = 256, Index len_min = 8,
+                           Index len_max = 12, Index stored_k = 3) {
+  const Series series = GeneratePlantedWalk(n, 1234);
+  BuildOptions options;
+  options.len_min = len_min;
+  options.len_max = len_max;
+  options.p = 10;
+  options.stored_k = stored_k;
+  MotifArtifact artifact;
+  const Status status = BuildArtifact(series, SeriesFingerprint(series),
+                                      options, Deadline(), &artifact);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return artifact;
+}
+
+TEST(ArtifactFormatTest, RoundTripIsByteExact) {
+  const MotifArtifact artifact = MakeArtifact();
+  const std::string bytes = SerializeArtifact(artifact);
+  ASSERT_EQ(bytes.size(),
+            SerializedArtifactBytes(
+                static_cast<std::int64_t>(artifact.valmp.size()),
+                static_cast<std::int64_t>(artifact.lengths.size()),
+                artifact.stored_k));
+
+  MotifArtifact parsed;
+  const Status status = ParseArtifact(bytes, "test", &parsed);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  // The strongest property: re-serializing the parse reproduces the exact
+  // bytes, so every field (doubles included) survived bit-for-bit.
+  EXPECT_EQ(SerializeArtifact(parsed), bytes);
+
+  EXPECT_EQ(parsed.key, artifact.key);
+  EXPECT_EQ(parsed.n, artifact.n);
+  EXPECT_EQ(parsed.stored_k, artifact.stored_k);
+  ASSERT_EQ(parsed.lengths.size(), artifact.lengths.size());
+  for (std::size_t i = 0; i < artifact.lengths.size(); ++i) {
+    const ArtifactLength& want = artifact.lengths[i];
+    const ArtifactLength& got = parsed.lengths[i];
+    EXPECT_EQ(got.length, want.length);
+    EXPECT_EQ(got.motif.a, want.motif.a);
+    EXPECT_EQ(got.motif.b, want.motif.b);
+    EXPECT_EQ(got.motif.distance, want.motif.distance);
+    ASSERT_EQ(got.top_k.size(), want.top_k.size());
+    for (std::size_t j = 0; j < want.top_k.size(); ++j) {
+      EXPECT_EQ(got.top_k[j].a, want.top_k[j].a);
+      EXPECT_EQ(got.top_k[j].b, want.top_k[j].b);
+      EXPECT_EQ(got.top_k[j].distance, want.top_k[j].distance);
+    }
+    EXPECT_EQ(got.discord.offset, want.discord.offset);
+    EXPECT_EQ(got.discord.distance, want.discord.distance);
+    EXPECT_EQ(got.profile_min, want.profile_min);
+    EXPECT_EQ(got.profile_mean, want.profile_mean);
+    EXPECT_EQ(got.profile_max, want.profile_max);
+  }
+  ASSERT_EQ(parsed.valmp.size(), artifact.valmp.size());
+  for (Index i = 0; i < artifact.valmp.size(); ++i) {
+    const std::size_t s = static_cast<std::size_t>(i);
+    EXPECT_EQ(parsed.valmp.distances[s], artifact.valmp.distances[s]);
+    EXPECT_EQ(parsed.valmp.norm_distances[s],
+              artifact.valmp.norm_distances[s]);
+    EXPECT_EQ(parsed.valmp.lengths[s], artifact.valmp.lengths[s]);
+    EXPECT_EQ(parsed.valmp.indices[s], artifact.valmp.indices[s]);
+  }
+  EXPECT_EQ(parsed.has_best_motif, artifact.has_best_motif);
+  EXPECT_EQ(parsed.best_motif.norm_distance, artifact.best_motif.norm_distance);
+  EXPECT_EQ(parsed.has_best_discord, artifact.has_best_discord);
+  EXPECT_EQ(parsed.best_discord_norm, artifact.best_discord_norm);
+}
+
+TEST(ArtifactFormatTest, ShortTopKListsPadAndRestore) {
+  // stored_k deeper than the profile can fill: unused slots pad with the
+  // canonical invalid pair and parse back to the original short list.
+  const MotifArtifact artifact =
+      MakeArtifact(/*n=*/128, /*len_min=*/8, /*len_max=*/9, /*stored_k=*/32);
+  const std::string bytes = SerializeArtifact(artifact);
+  MotifArtifact parsed;
+  ASSERT_TRUE(ParseArtifact(bytes, "test", &parsed).ok());
+  EXPECT_EQ(SerializeArtifact(parsed), bytes);
+  for (std::size_t i = 0; i < artifact.lengths.size(); ++i) {
+    EXPECT_EQ(parsed.lengths[i].top_k.size(),
+              artifact.lengths[i].top_k.size());
+  }
+}
+
+TEST(ArtifactFormatTest, RejectsForeignMagicAndVersion) {
+  const std::string bytes = SerializeArtifact(MakeArtifact());
+  MotifArtifact parsed;
+
+  std::string bad_magic = bytes;
+  bad_magic[0] = 'X';
+  Status status = ParseArtifact(bad_magic, "test", &parsed);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("magic"), std::string::npos);
+
+  std::string bad_version = bytes;
+  bad_version[8] = 99;  // version byte (little-endian u64 at offset 8)
+  status = ParseArtifact(bad_version, "test", &parsed);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("version"), std::string::npos);
+}
+
+TEST(ArtifactFormatTest, RejectsTruncationAndTrailingGarbage) {
+  const std::string bytes = SerializeArtifact(MakeArtifact());
+  MotifArtifact parsed;
+  EXPECT_FALSE(
+      ParseArtifact(std::string_view(bytes).substr(0, bytes.size() - 1),
+                    "test", &parsed)
+          .ok());
+  EXPECT_FALSE(ParseArtifact(bytes + "x", "test", &parsed).ok());
+  EXPECT_FALSE(ParseArtifact(std::string_view(bytes).substr(0, 16), "test",
+                             &parsed)
+                   .ok());
+  EXPECT_FALSE(ParseArtifact(std::string_view(), "test", &parsed).ok());
+}
+
+TEST(ArtifactFormatTest, DetectsEveryFlippedRegion) {
+  const std::string bytes = SerializeArtifact(MakeArtifact());
+  MotifArtifact parsed;
+  // Flip one bit in each region (header, VALMP, length records, trailer);
+  // the checksum (or a field validator) must reject every one of them.
+  const std::size_t offsets[] = {kArtifactHeaderBytes / 2,
+                                 kArtifactHeaderBytes + 5,
+                                 bytes.size() - 9, bytes.size() - 1};
+  for (const std::size_t at : offsets) {
+    std::string corrupt = bytes;
+    corrupt[at] = static_cast<char>(corrupt[at] ^ 0x20);
+    EXPECT_FALSE(ParseArtifact(corrupt, "test", &parsed).ok())
+        << "corruption at byte " << at << " went undetected";
+  }
+}
+
+TEST(ArtifactFormatTest, SizeHelperMatchesLayoutConstants) {
+  EXPECT_EQ(SerializedArtifactBytes(0, 0, 0), kArtifactHeaderBytes + 8);
+  EXPECT_EQ(SerializedArtifactBytes(3, 2, 4),
+            kArtifactHeaderBytes + 3 * kValmpSlotBytes +
+                2 * (kLengthRecordFixedBytes + 4 * kTopKSlotBytes) + 8);
+}
+
+}  // namespace
+}  // namespace catalog
+}  // namespace valmod

@@ -1,0 +1,203 @@
+// Unit tests for the sharded artifact catalog (catalog/catalog.h):
+// persistence across instances, resident-LRU accounting and eviction,
+// corrupt-file handling, and stat counters.
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "catalog/builder.h"
+#include "catalog/catalog.h"
+#include "catalog/format.h"
+#include "datasets/generators.h"
+#include "service/fingerprint.h"
+#include "util/common.h"
+
+namespace valmod {
+namespace catalog {
+namespace {
+
+MotifArtifact MakeArtifact(std::uint32_t seed, Index n = 200) {
+  const Series series = GeneratePlantedWalk(n, seed);
+  BuildOptions options;
+  options.len_min = 8;
+  options.len_max = 10;
+  options.p = 10;
+  options.stored_k = 3;
+  MotifArtifact artifact;
+  const Status status = BuildArtifact(series, SeriesFingerprint(series),
+                                      options, Deadline(), &artifact);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return artifact;
+}
+
+std::string FreshRoot(const char* name) {
+  static int counter = 0;
+  std::string root = ::testing::TempDir() + "/catalog_" + name + "_" +
+                     std::to_string(counter++);
+  // TempDir() survives across runs; stale artifacts from a previous run
+  // would skew the hit/miss/disk-load counts these tests pin down.
+  std::filesystem::remove_all(root);
+  return root;
+}
+
+TEST(CatalogTest, PutThenGetServesResident) {
+  CatalogOptions options;
+  options.root = FreshRoot("basic");
+  Catalog catalog(options);
+  ASSERT_TRUE(catalog.Open().ok());
+
+  const MotifArtifact artifact = MakeArtifact(7);
+  ASSERT_TRUE(catalog.Put(artifact).ok());
+  EXPECT_EQ(catalog.puts(), 1);
+  EXPECT_EQ(catalog.resident_entries(), 1);
+  EXPECT_GT(catalog.resident_bytes(), 0u);
+
+  std::shared_ptr<const MotifArtifact> got;
+  ASSERT_TRUE(catalog.Get(artifact.key, &got).ok());
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->key, artifact.key);
+  EXPECT_EQ(SerializeArtifact(*got), SerializeArtifact(artifact));
+  EXPECT_EQ(catalog.hits(), 1);
+  EXPECT_EQ(catalog.disk_loads(), 0) << "resident hit must not touch disk";
+}
+
+TEST(CatalogTest, UnknownKeyIsNotFound) {
+  CatalogOptions options;
+  options.root = FreshRoot("miss");
+  Catalog catalog(options);
+  ASSERT_TRUE(catalog.Open().ok());
+  std::shared_ptr<const MotifArtifact> got;
+  ArtifactKey key;
+  key.fingerprint = 0xdeadbeef;
+  key.len_min = 8;
+  key.len_max = 10;
+  key.p = 10;
+  const Status status = catalog.Get(key, &got);
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(catalog.misses(), 1);
+}
+
+TEST(CatalogTest, SurvivesProcessBoundary) {
+  // A second Catalog instance over the same root (a "new process") must
+  // serve the first instance's artifact from disk, byte-identically.
+  CatalogOptions options;
+  options.root = FreshRoot("persist");
+  const MotifArtifact artifact = MakeArtifact(11);
+  {
+    Catalog writer(options);
+    ASSERT_TRUE(writer.Open().ok());
+    ASSERT_TRUE(writer.Put(artifact).ok());
+  }
+  Catalog reader(options);
+  ASSERT_TRUE(reader.Open().ok());
+  std::shared_ptr<const MotifArtifact> got;
+  ASSERT_TRUE(reader.Get(artifact.key, &got).ok());
+  EXPECT_EQ(SerializeArtifact(*got), SerializeArtifact(artifact));
+  EXPECT_EQ(reader.disk_loads(), 1);
+  // And the loaded artifact is now resident: the next Get skips disk.
+  std::shared_ptr<const MotifArtifact> again;
+  ASSERT_TRUE(reader.Get(artifact.key, &again).ok());
+  EXPECT_EQ(reader.disk_loads(), 1);
+  EXPECT_EQ(reader.hits(), 2);
+}
+
+TEST(CatalogTest, DropResidentKeepsDisk) {
+  CatalogOptions options;
+  options.root = FreshRoot("drop");
+  Catalog catalog(options);
+  ASSERT_TRUE(catalog.Open().ok());
+  const MotifArtifact artifact = MakeArtifact(13);
+  ASSERT_TRUE(catalog.Put(artifact).ok());
+  catalog.DropResident();
+  EXPECT_EQ(catalog.resident_entries(), 0);
+  EXPECT_EQ(catalog.resident_bytes(), 0u);
+  std::shared_ptr<const MotifArtifact> got;
+  ASSERT_TRUE(catalog.Get(artifact.key, &got).ok());
+  EXPECT_EQ(catalog.disk_loads(), 1);
+  EXPECT_EQ(SerializeArtifact(*got), SerializeArtifact(artifact));
+}
+
+TEST(CatalogTest, EvictsLeastRecentlyUsedUnderByteBudget) {
+  const MotifArtifact a = MakeArtifact(21);
+  const MotifArtifact b = MakeArtifact(22);
+  const MotifArtifact c = MakeArtifact(23);
+  CatalogOptions options;
+  options.root = FreshRoot("lru");
+  options.shards = 1;  // one shard so all three compete for one budget
+  options.resident_bytes = a.ApproxBytes() + b.ApproxBytes() +
+                           c.ApproxBytes() / 2;  // room for ~two
+  Catalog catalog(options);
+  ASSERT_TRUE(catalog.Open().ok());
+  ASSERT_TRUE(catalog.Put(a).ok());
+  ASSERT_TRUE(catalog.Put(b).ok());
+  // Touch `a` so `b` is the LRU victim when `c` arrives.
+  std::shared_ptr<const MotifArtifact> got;
+  ASSERT_TRUE(catalog.Get(a.key, &got).ok());
+  ASSERT_TRUE(catalog.Put(c).ok());
+  EXPECT_GE(catalog.evictions(), 1);
+  EXPECT_LE(catalog.resident_bytes(), options.resident_bytes);
+  // `b` fell out of residence but is still on disk.
+  const std::int64_t disk_loads_before = catalog.disk_loads();
+  ASSERT_TRUE(catalog.Get(b.key, &got).ok());
+  EXPECT_EQ(catalog.disk_loads(), disk_loads_before + 1);
+}
+
+TEST(CatalogTest, CorruptFileIsAnErrorAndPutHeals) {
+  CatalogOptions options;
+  options.root = FreshRoot("corrupt");
+  Catalog catalog(options);
+  ASSERT_TRUE(catalog.Open().ok());
+  const MotifArtifact artifact = MakeArtifact(31);
+  ASSERT_TRUE(catalog.Put(artifact).ok());
+  catalog.DropResident();
+
+  // Flip a byte in the on-disk file.
+  const std::string path = catalog.ArtifactPath(artifact.key);
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_FALSE(bytes.empty());
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x1);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+
+  std::shared_ptr<const MotifArtifact> got;
+  const Status status = catalog.Get(artifact.key, &got);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.code(), StatusCode::kNotFound)
+      << "corruption must be distinguishable from absence";
+  // Recompute-and-Put heals the file; the next Get serves it again.
+  ASSERT_TRUE(catalog.Put(artifact).ok());
+  catalog.DropResident();
+  ASSERT_TRUE(catalog.Get(artifact.key, &got).ok());
+  EXPECT_EQ(SerializeArtifact(*got), SerializeArtifact(artifact));
+}
+
+TEST(CatalogTest, ArtifactPathIsDeterministicAcrossInstances) {
+  CatalogOptions options;
+  options.root = FreshRoot("path");
+  const Catalog one(options);
+  const Catalog two(options);
+  ArtifactKey key;
+  key.fingerprint = 0x1234567890abcdefULL;
+  key.len_min = 64;
+  key.len_max = 96;
+  key.p = 10;
+  EXPECT_EQ(one.ArtifactPath(key), two.ArtifactPath(key));
+  EXPECT_NE(one.ArtifactPath(key).find("shard-"), std::string::npos);
+  EXPECT_NE(one.ArtifactPath(key).find("1234567890abcdef"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace catalog
+}  // namespace valmod

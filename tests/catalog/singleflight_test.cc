@@ -1,0 +1,160 @@
+// Unit tests for the request coalescer (catalog/singleflight.h): leader
+// election, follower parking, join-order delivery, and counters.
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "catalog/singleflight.h"
+#include "util/status.h"
+
+namespace valmod {
+namespace catalog {
+namespace {
+
+ArtifactKey Key(std::uint64_t fingerprint) {
+  ArtifactKey key;
+  key.fingerprint = fingerprint;
+  key.len_min = 8;
+  key.len_max = 16;
+  key.p = 10;
+  return key;
+}
+
+TEST(SingleflightTest, FirstLeadsLaterCallersFollow) {
+  Singleflight flight;
+  int delivered = 0;
+  auto waiter = [&delivered](const std::shared_ptr<const MotifArtifact>&,
+                             const Status&) { ++delivered; };
+  EXPECT_TRUE(flight.JoinOrLead(Key(1), waiter));
+  EXPECT_FALSE(flight.JoinOrLead(Key(1), waiter));
+  EXPECT_FALSE(flight.JoinOrLead(Key(1), waiter));
+  EXPECT_EQ(flight.flights_led(), 1);
+  EXPECT_EQ(flight.coalesced(), 2);
+  EXPECT_EQ(flight.in_flight(), 1);
+  EXPECT_EQ(delivered, 0) << "waiters must not fire before Complete";
+
+  auto artifact = std::make_shared<MotifArtifact>();
+  flight.Complete(Key(1), artifact, Status::Ok());
+  EXPECT_EQ(delivered, 3) << "leader and both followers get the artifact";
+  EXPECT_EQ(flight.in_flight(), 0);
+}
+
+TEST(SingleflightTest, DistinctKeysAreIndependentFlights) {
+  Singleflight flight;
+  auto noop = [](const std::shared_ptr<const MotifArtifact>&,
+                 const Status&) {};
+  EXPECT_TRUE(flight.JoinOrLead(Key(1), noop));
+  EXPECT_TRUE(flight.JoinOrLead(Key(2), noop));
+  EXPECT_EQ(flight.flights_led(), 2);
+  EXPECT_EQ(flight.coalesced(), 0);
+  EXPECT_EQ(flight.in_flight(), 2);
+  flight.Complete(Key(1), nullptr, Status::DeadlineExceeded("x"));
+  EXPECT_EQ(flight.in_flight(), 1);
+  flight.Complete(Key(2), nullptr, Status::DeadlineExceeded("x"));
+  EXPECT_EQ(flight.in_flight(), 0);
+}
+
+TEST(SingleflightTest, DeliversInJoinOrderWithSharedArtifact) {
+  Singleflight flight;
+  std::vector<int> order;
+  std::vector<const MotifArtifact*> seen;
+  for (int i = 0; i < 4; ++i) {
+    flight.JoinOrLead(
+        Key(9), [i, &order, &seen](
+                    const std::shared_ptr<const MotifArtifact>& artifact,
+                    const Status& status) {
+          EXPECT_TRUE(status.ok());
+          order.push_back(i);
+          seen.push_back(artifact.get());
+        });
+  }
+  auto artifact = std::make_shared<MotifArtifact>();
+  flight.Complete(Key(9), artifact, Status::Ok());
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  for (const MotifArtifact* p : seen) {
+    EXPECT_EQ(p, artifact.get()) << "every waiter shares the one artifact";
+  }
+}
+
+TEST(SingleflightTest, ErrorPropagatesToEveryWaiter) {
+  Singleflight flight;
+  int errors = 0;
+  for (int i = 0; i < 3; ++i) {
+    flight.JoinOrLead(
+        Key(5), [&errors](const std::shared_ptr<const MotifArtifact>& artifact,
+                          const Status& status) {
+          EXPECT_EQ(artifact, nullptr);
+          EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+          ++errors;
+        });
+  }
+  flight.Complete(Key(5), nullptr, Status::ResourceExhausted("queue full"));
+  EXPECT_EQ(errors, 3);
+}
+
+TEST(SingleflightTest, CompleteOfUnknownKeyIsANoOp) {
+  Singleflight flight;
+  flight.Complete(Key(404), nullptr, Status::Ok());  // must not crash
+  EXPECT_EQ(flight.in_flight(), 0);
+}
+
+TEST(SingleflightTest, KeyReusableAfterComplete) {
+  Singleflight flight;
+  auto noop = [](const std::shared_ptr<const MotifArtifact>&,
+                 const Status&) {};
+  EXPECT_TRUE(flight.JoinOrLead(Key(3), noop));
+  flight.Complete(Key(3), nullptr, Status::Ok());
+  EXPECT_TRUE(flight.JoinOrLead(Key(3), noop))
+      << "a completed key opens a fresh flight";
+  flight.Complete(Key(3), nullptr, Status::Ok());
+}
+
+TEST(SingleflightTest, WaiterMayReenterJoinOrLeadDuringDelivery) {
+  // The engine's retry-once path re-enters JoinOrLead from inside a waiter
+  // callback; the coalescer must deliver outside its lock to allow it.
+  Singleflight flight;
+  bool retried = false;
+  flight.JoinOrLead(
+      Key(8), [&flight, &retried](const std::shared_ptr<const MotifArtifact>&,
+                                  const Status& status) {
+        if (!status.ok()) {
+          retried = flight.JoinOrLead(
+              Key(8), [](const std::shared_ptr<const MotifArtifact>&,
+                         const Status&) {});
+        }
+      });
+  flight.Complete(Key(8), nullptr, Status::DeadlineExceeded("x"));
+  EXPECT_TRUE(retried) << "re-entry after Complete leads a fresh flight";
+  flight.Complete(Key(8), nullptr, Status::Ok());
+}
+
+TEST(SingleflightTest, ConcurrentJoinersElectExactlyOneLeader) {
+  Singleflight flight;
+  std::atomic<int> leaders{0};
+  std::atomic<int> delivered{0};
+  std::vector<std::thread> threads;
+  threads.reserve(16);
+  for (int i = 0; i < 16; ++i) {
+    threads.emplace_back([&flight, &leaders, &delivered] {
+      if (flight.JoinOrLead(
+              Key(77), [&delivered](
+                           const std::shared_ptr<const MotifArtifact>&,
+                           const Status&) { ++delivered; })) {
+        leaders.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(leaders.load(), 1);
+  EXPECT_EQ(flight.coalesced(), 15);
+  flight.Complete(Key(77), nullptr, Status::Ok());
+  EXPECT_EQ(delivered.load(), 16);
+}
+
+}  // namespace
+}  // namespace catalog
+}  // namespace valmod

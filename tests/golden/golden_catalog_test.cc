@@ -1,0 +1,131 @@
+// Golden-file regression tests for the artifact-catalog binary format
+// (catalog/format.h, spec in docs/CATALOG.md). The corpus under
+// tests/golden/ is committed; these tests pin two independent properties:
+//
+//  * Byte-exactness: serializing today's deterministic artifact reproduces
+//    the committed bytes exactly — any layout, padding, checksum, or
+//    numeric change to the writer is caught as a diff, not discovered when
+//    a server restart fails to load its persisted catalog.
+//  * Backward compatibility: the committed version-1 corpus still parses,
+//    and restores the exact artifact it was written from.
+//
+// To regenerate after an INTENTIONAL format change (requires a
+// kArtifactVersion bump), run the test once with VALMOD_REGEN_GOLDEN=1 and
+// commit the diff; see docs/TESTING.md.
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "catalog/builder.h"
+#include "catalog/format.h"
+#include "datasets/generators.h"
+#include "service/fingerprint.h"
+#include "util/common.h"
+
+namespace valmod {
+namespace catalog {
+namespace {
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(VALMOD_GOLDEN_DIR) + "/" + name;
+}
+
+bool RegenRequested() {
+  const char* env = std::getenv("VALMOD_REGEN_GOLDEN");
+  return env != nullptr && std::string(env) == "1";
+}
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  out << content;
+}
+
+/// The corpus generator: a fixed seeded series and fixed VALMOD parameters,
+/// deep enough stored_k that some per-length top-K lists run short and
+/// exercise slot padding. Never change this without bumping the corpus file
+/// name and kArtifactVersion.
+MotifArtifact MakeGoldenArtifact() {
+  const Series series = GeneratePlantedWalk(220, 42);
+  BuildOptions options;
+  options.len_min = 8;
+  options.len_max = 12;
+  options.p = 10;
+  options.stored_k = 5;
+  MotifArtifact artifact;
+  const Status status = BuildArtifact(series, SeriesFingerprint(series),
+                                      options, Deadline(), &artifact);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return artifact;
+}
+
+const char kArtifactCorpus[] = "catalog_artifact_v1.golden";
+
+TEST(GoldenCatalogTest, WriterIsByteExactAgainstCommittedCorpus) {
+  const std::string now = SerializeArtifact(MakeGoldenArtifact());
+  ASSERT_FALSE(now.empty());
+  const std::string golden_path = GoldenPath(kArtifactCorpus);
+  if (RegenRequested()) {
+    WriteFile(golden_path, now);
+    GTEST_SKIP() << "regenerated " << golden_path << " (" << now.size()
+                 << " bytes); commit the diff";
+  }
+  const std::string golden = ReadFileOrEmpty(golden_path);
+  ASSERT_FALSE(golden.empty()) << "missing corpus " << golden_path
+                               << "; run with VALMOD_REGEN_GOLDEN=1";
+  if (now != golden) {
+    std::size_t at = 0;
+    while (at < now.size() && at < golden.size() && now[at] == golden[at]) {
+      ++at;
+    }
+    FAIL() << "artifact bytes diverge from " << golden_path << " at offset "
+           << at << " (now " << now.size() << " bytes, golden "
+           << golden.size() << " bytes). If the format change is "
+           << "intentional, bump kArtifactVersion and regen with "
+           << "VALMOD_REGEN_GOLDEN=1.";
+  }
+}
+
+TEST(GoldenCatalogTest, CommittedCorpusStillParsesToExactArtifact) {
+  const std::string golden_path = GoldenPath(kArtifactCorpus);
+  if (RegenRequested()) GTEST_SKIP() << "regen run";
+  const std::string golden = ReadFileOrEmpty(golden_path);
+  ASSERT_FALSE(golden.empty()) << "missing corpus " << golden_path;
+
+  MotifArtifact parsed;
+  const Status status = ParseArtifact(golden, golden_path, &parsed);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  // Re-serializing the parse reproduces the committed bytes, so every
+  // stored field (bit patterns of doubles included) survived the round
+  // trip through the version-1 layout.
+  EXPECT_EQ(SerializeArtifact(parsed), golden);
+
+  const MotifArtifact want = MakeGoldenArtifact();
+  EXPECT_EQ(parsed.key, want.key);
+  EXPECT_EQ(parsed.n, want.n);
+  EXPECT_EQ(parsed.stored_k, want.stored_k);
+  ASSERT_EQ(parsed.lengths.size(), want.lengths.size());
+  for (std::size_t i = 0; i < want.lengths.size(); ++i) {
+    EXPECT_EQ(parsed.lengths[i].length, want.lengths[i].length);
+    EXPECT_EQ(parsed.lengths[i].motif.distance,
+              want.lengths[i].motif.distance);
+    EXPECT_EQ(parsed.lengths[i].top_k.size(), want.lengths[i].top_k.size());
+  }
+  EXPECT_EQ(parsed.has_best_motif, want.has_best_motif);
+  EXPECT_EQ(parsed.best_motif.norm_distance, want.best_motif.norm_distance);
+  EXPECT_EQ(parsed.best_discord_norm, want.best_discord_norm);
+}
+
+}  // namespace
+}  // namespace catalog
+}  // namespace valmod

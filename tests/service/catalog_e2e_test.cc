@@ -1,0 +1,238 @@
+// End-to-end tests of the engine's catalog/coalescing path: N identical
+// concurrent cold requests cost exactly one STOMP job, a second engine
+// instance serves from the persisted artifact without recomputing, deeper
+// stored artifacts serve shallower k by prefix truncation, and no_catalog
+// forces a recompute — every path byte-identical to a cold compute.
+
+#include "service/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/counters.h"
+#include "service/protocol.h"
+#include "test_util.h"
+#include "util/common.h"
+#include "util/mutex.h"
+
+namespace valmod {
+namespace {
+
+/// Canonical serialization with the per-call fields (elapsed time, cache
+/// flag) zeroed, so responses can be compared for bit-identity.
+std::string NormalizedBody(Response response) {
+  response.elapsed_us = 0.0;
+  response.cached = false;
+  return response.ToJson().Serialize();
+}
+
+Request ProfileRequest(const Series& series, Index len_min, Index len_max,
+                       Index k = 3) {
+  Request request;
+  request.type = QueryType::kProfile;
+  request.series = series;
+  request.len_min = len_min;
+  request.len_max = len_max;
+  request.k = k;
+  return request;
+}
+
+std::string FreshCatalogRoot(const char* name) {
+  static int counter = 0;
+  std::string root = ::testing::TempDir() + "/catalog_e2e_" + name + "_" +
+                     std::to_string(counter++);
+  // TempDir() survives across runs; a stale catalog from a previous run
+  // would turn this test's cold path into a hit.
+  std::filesystem::remove_all(root);
+  return root;
+}
+
+/// stomp_rows recorded by exactly one cold execution of `request` on a
+/// fresh engine (no catalog, no shared cache). The kernel is deterministic,
+/// so this count is exact, not approximate.
+std::int64_t StompRowsForOneJob(const Request& request) {
+  QueryEngine engine;
+  obs::Counters::Reset();
+  const Response response = engine.Execute(request);
+  EXPECT_TRUE(response.ok) << response.error_message;
+  return obs::Counters::Snapshot().stomp_rows;
+}
+
+TEST(CatalogE2eTest, SixteenConcurrentColdRequestsCostOneStompJob) {
+  // The acceptance scenario: 16 identical cold requests in flight at once
+  // coalesce onto one compute job. A single worker plus a blocker request
+  // occupying it guarantees every follower joins the leader's flight
+  // before the leader's job even starts — no timing luck involved.
+  const Series series =
+      testing_util::NoiseWithPlantedMotif(2048, 32, 200, 1200, 41);
+  const Series blocker_series =
+      testing_util::NoiseWithPlantedMotif(4096, 48, 300, 2500, 43);
+  const Request request = ProfileRequest(series, 24, 40);
+  Request blocker = ProfileRequest(blocker_series, 24, 40);
+  blocker.no_cache = true;  // skips the coalescer: pays its own way
+
+  const std::int64_t one_job_rows = StompRowsForOneJob(request);
+  const std::int64_t blocker_rows = StompRowsForOneJob(blocker);
+  ASSERT_GT(one_job_rows, 0);
+
+  // The reference answer every coalesced response must match byte-exactly
+  // (transitively bit-identical to direct library calls per
+  // QueryEngineTest.AnswersAreBitIdenticalToDirectLibraryCalls).
+  std::string reference;
+  {
+    QueryEngine engine;
+    reference = NormalizedBody(engine.Execute(request));
+  }
+
+  obs::Counters::Reset();
+  constexpr int kClients = 16;
+  Mutex mu;
+  std::vector<std::string> bodies;
+  int blocker_done = 0;
+  {
+    QueryEngineOptions options;
+    options.workers = 1;
+    QueryEngine engine(options);
+    engine.ExecuteAsync(blocker, [&mu, &blocker_done](Response response) {
+      EXPECT_TRUE(response.ok) << response.error_message;
+      const MutexLock lock(&mu);
+      ++blocker_done;
+    });
+    // With the lone worker occupied by the blocker, these 16 submissions
+    // are all in flight together: the first leads, the rest coalesce.
+    for (int i = 0; i < kClients; ++i) {
+      engine.ExecuteAsync(request, [&mu, &bodies](Response response) {
+        EXPECT_TRUE(response.ok) << response.error_message;
+        const MutexLock lock(&mu);
+        bodies.push_back(NormalizedBody(std::move(response)));
+      });
+    }
+    EXPECT_EQ(engine.flight().coalesced(), kClients - 1);
+    EXPECT_EQ(engine.flight().flights_led(), 1);
+    engine.Drain();
+    EXPECT_EQ(engine.flight().in_flight(), 0);
+  }
+  const MutexLock lock(&mu);
+  EXPECT_EQ(blocker_done, 1);
+  ASSERT_EQ(bodies.size(), static_cast<std::size_t>(kClients));
+  for (const std::string& body : bodies) EXPECT_EQ(body, reference);
+  // The ledger: 16 requests, but the kernel ran exactly one job's worth of
+  // rows for them (plus the blocker's own).
+  const obs::CountersSnapshot snapshot = obs::Counters::Snapshot();
+  EXPECT_EQ(snapshot.stomp_rows, one_job_rows + blocker_rows);
+  EXPECT_EQ(snapshot.coalesced_jobs, kClients - 1);
+}
+
+TEST(CatalogE2eTest, SecondEngineServesFromPersistedArtifactWithoutStomp) {
+  const Series series =
+      testing_util::NoiseWithPlantedMotif(1024, 32, 100, 600, 47);
+  const Request request = ProfileRequest(series, 16, 24);
+  const std::string root = FreshCatalogRoot("warm");
+
+  std::string cold_body;
+  {
+    QueryEngineOptions options;
+    options.catalog_dir = root;
+    QueryEngine engine(options);
+    ASSERT_NE(engine.artifact_catalog(), nullptr);
+    const Response cold = engine.Execute(request);
+    ASSERT_TRUE(cold.ok) << cold.error_message;
+    EXPECT_FALSE(cold.cached);
+    cold_body = NormalizedBody(cold);
+    EXPECT_EQ(engine.artifact_catalog()->puts(), 1);
+  }
+
+  // A fresh engine over the same root — a restart. Its result cache is
+  // empty, so the request goes cold; the catalog answers instead of STOMP.
+  QueryEngineOptions options;
+  options.catalog_dir = root;
+  QueryEngine engine(options);
+  obs::Counters::Reset();
+  const Response warm = engine.Execute(request);
+  ASSERT_TRUE(warm.ok) << warm.error_message;
+  EXPECT_FALSE(warm.cached) << "catalog hits are not result-cache hits";
+  EXPECT_EQ(NormalizedBody(warm), cold_body);
+  const obs::CountersSnapshot snapshot = obs::Counters::Snapshot();
+  EXPECT_EQ(snapshot.stomp_rows, 0) << "served from the artifact, not STOMP";
+  EXPECT_EQ(snapshot.catalog_hits, 1);
+  EXPECT_EQ(engine.artifact_catalog()->hits(), 1);
+  EXPECT_EQ(engine.artifact_catalog()->disk_loads(), 1);
+}
+
+TEST(CatalogE2eTest, StoredArtifactServesShallowerKByPrefixTruncation) {
+  const Series series =
+      testing_util::NoiseWithPlantedMotif(1024, 32, 100, 600, 53);
+  const std::string root = FreshCatalogRoot("truncate");
+  {
+    QueryEngineOptions options;
+    options.catalog_dir = root;
+    QueryEngine engine(options);
+    ASSERT_TRUE(engine.Execute(ProfileRequest(series, 16, 24, /*k=*/5)).ok);
+  }
+
+  // k=2 from the stored (max_k-deep) artifact, no recompute...
+  QueryEngineOptions options;
+  options.catalog_dir = root;
+  QueryEngine engine(options);
+  obs::Counters::Reset();
+  const Response truncated =
+      engine.Execute(ProfileRequest(series, 16, 24, /*k=*/2));
+  ASSERT_TRUE(truncated.ok) << truncated.error_message;
+  EXPECT_EQ(obs::Counters::Snapshot().stomp_rows, 0);
+  EXPECT_EQ(engine.artifact_catalog()->hits(), 1);
+  for (const LengthResult& lr : truncated.lengths) {
+    EXPECT_LE(lr.top_k.size(), 2u);
+  }
+  // ...and byte-identical to computing with k=2 directly.
+  QueryEngine reference;
+  EXPECT_EQ(NormalizedBody(truncated),
+            NormalizedBody(
+                reference.Execute(ProfileRequest(series, 16, 24, /*k=*/2))));
+}
+
+TEST(CatalogE2eTest, NoCatalogFlagForcesRecomputeButSameBytes) {
+  const Series series =
+      testing_util::NoiseWithPlantedMotif(1024, 32, 100, 600, 59);
+  Request request = ProfileRequest(series, 16, 24);
+  const std::string root = FreshCatalogRoot("nocatalog");
+  {
+    QueryEngineOptions options;
+    options.catalog_dir = root;
+    QueryEngine engine(options);
+    ASSERT_TRUE(engine.Execute(request).ok);
+  }
+
+  QueryEngineOptions options;
+  options.catalog_dir = root;
+  QueryEngine engine(options);
+  obs::Counters::Reset();
+  request.no_catalog = true;
+  const Response recomputed = engine.Execute(request);
+  ASSERT_TRUE(recomputed.ok) << recomputed.error_message;
+  EXPECT_GT(obs::Counters::Snapshot().stomp_rows, 0)
+      << "no_catalog must skip the artifact lookup";
+  EXPECT_EQ(engine.artifact_catalog()->hits(), 0);
+
+  request.no_catalog = false;
+  QueryEngineOptions fresh_options;
+  fresh_options.catalog_dir = root;
+  QueryEngine fresh(fresh_options);
+  EXPECT_EQ(NormalizedBody(recomputed),
+            NormalizedBody(fresh.Execute(request)));
+}
+
+TEST(CatalogE2eTest, EngineWithoutCatalogDirHasNoCatalog) {
+  QueryEngine engine;
+  EXPECT_EQ(engine.artifact_catalog(), nullptr);
+  // And still serves correctly (the compute-only path).
+  const Series series =
+      testing_util::NoiseWithPlantedMotif(512, 24, 60, 300, 61);
+  EXPECT_TRUE(engine.Execute(ProfileRequest(series, 16, 20)).ok);
+}
+
+}  // namespace
+}  // namespace valmod

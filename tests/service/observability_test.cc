@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -189,6 +190,75 @@ TEST(ObservabilityHttp, MetricsCountersMatchLibraryStructsExactly) {
   EXPECT_EQ(MetricValue(body, "valmod_submp_lengths_total"),
             static_cast<std::int64_t>(result.length_stats.size()) - 1);
   server.Shutdown();
+}
+
+// The catalog acceptance invariant: the five catalog series scraped from
+// GET /metrics equal the Catalog/Singleflight struct counters exactly.
+TEST(ObservabilityHttp, CatalogMetricsMatchLibraryStructsExactly) {
+  static int run = 0;
+  ServerOptions options;
+  options.engine.workers = 1;  // deterministic coalescing (see below)
+  options.engine.catalog_dir =
+      ::testing::TempDir() + "/obs_catalog_" + std::to_string(run++);
+  // TempDir() survives across runs; a stale catalog would flip the
+  // hit/miss counts this test pins down.
+  std::filesystem::remove_all(options.engine.catalog_dir);
+  Server server(options);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.metrics_port(), 0);
+  QueryEngine& engine = server.engine();
+  ASSERT_NE(engine.artifact_catalog(), nullptr);
+
+  // One cold query: a catalog miss, then the write-through Put.
+  const Series series =
+      testing_util::NoiseWithPlantedMotif(512, 24, 60, 300, 23);
+  ASSERT_TRUE(engine.Execute(MotifRequest(series)).ok);
+  // The same key with no_cache: skips the result cache (and the
+  // coalescer), so the worker consults the catalog and hits.
+  Request again = MotifRequest(series);
+  again.no_cache = true;
+  ASSERT_TRUE(engine.Execute(again).ok);
+
+  // Three identical in-flight cold requests on a worker occupied by a
+  // blocker: one leads, two coalesce — deterministically.
+  Request blocker =
+      MotifRequest(testing_util::NoiseWithPlantedMotif(512, 24, 60, 300, 29));
+  blocker.no_cache = true;
+  const Request coalesced =
+      MotifRequest(testing_util::NoiseWithPlantedMotif(512, 24, 60, 300, 31));
+  engine.ExecuteAsync(blocker, [](Response) {});
+  for (int i = 0; i < 3; ++i) engine.ExecuteAsync(coalesced, [](Response) {});
+  engine.Drain();
+
+  const catalog::Catalog& cat = *engine.artifact_catalog();
+  const std::string body = BodyOf(HttpGet(server.metrics_port(), "/metrics"));
+  EXPECT_EQ(MetricValue(body, "valmod_catalog_hits_total"), cat.hits());
+  EXPECT_EQ(MetricValue(body, "valmod_catalog_misses_total"), cat.misses());
+  EXPECT_EQ(MetricValue(body, "valmod_catalog_evictions_total"),
+            cat.evictions());
+  EXPECT_EQ(MetricValue(body, "valmod_catalog_resident_bytes_total"),
+            static_cast<std::int64_t>(cat.resident_bytes()));
+  EXPECT_EQ(MetricValue(body, "valmod_catalog_coalesced_jobs_total"),
+            engine.flight().coalesced());
+  // And the values themselves are the ones the scenario dictates.
+  EXPECT_EQ(cat.hits(), 1);
+  EXPECT_GE(cat.misses(), 1);
+  EXPECT_GT(cat.resident_bytes(), 0u);
+  EXPECT_EQ(engine.flight().coalesced(), 2);
+  server.Shutdown();
+}
+
+TEST(ObservabilityHttp, CatalogMetricsExistAtZeroWhenDisabled) {
+  // The exposition schema is stable: engines without a catalog still
+  // export every catalog series, pinned at zero.
+  QueryEngine engine;
+  ASSERT_EQ(engine.artifact_catalog(), nullptr);
+  const std::string body = engine.metrics().Exposition();
+  EXPECT_EQ(MetricValue(body, "valmod_catalog_hits_total"), 0);
+  EXPECT_EQ(MetricValue(body, "valmod_catalog_misses_total"), 0);
+  EXPECT_EQ(MetricValue(body, "valmod_catalog_evictions_total"), 0);
+  EXPECT_EQ(MetricValue(body, "valmod_catalog_resident_bytes_total"), 0);
+  EXPECT_EQ(MetricValue(body, "valmod_catalog_coalesced_jobs_total"), 0);
 }
 
 TEST(ObservabilityHttp, TraceEndpointsCaptureAQuerySession) {

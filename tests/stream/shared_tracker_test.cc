@@ -95,8 +95,12 @@ TEST(SharedTrackerStressTest, ConcurrentAppendAndQuery) {
   for (int r = 0; r < 3; ++r) {
     readers.emplace_back([&] {
       for (int i = 0; i < 200; ++i) {
-        const Index total = tracker.total_appended();
-        EXPECT_GE(total, tracker.size());
+        // size first, then total: each accessor takes the lock on its
+        // own, and total_appended is monotone, so this order makes the
+        // size <= total invariant race-free to observe (the reverse
+        // order can see appends land between the two reads).
+        const Index size = tracker.size();
+        EXPECT_GE(tracker.total_appended(), size);
         if (tracker.ready()) {
           const RankedPair best = tracker.BestPair();
           EXPECT_NE(best.off1, kNoNeighbor);

@@ -1,0 +1,63 @@
+/// Fuzzes the catalog artifact parser: ParseArtifact over raw bytes
+/// (exercising the magic/version/geometry/checksum gates) and over the same
+/// bytes re-sealed with a valid FNV-1a trailer, so mutations reach the
+/// structural parser behind the checksum. Any crash, sanitizer report, or
+/// over-allocation is a finding: a corrupt artifact file must always come
+/// back as a Status, never as UB or an abort — a server restart loads these
+/// files straight off disk.
+///
+/// Seed corpus: tests/golden/catalog_artifact_v1.golden (a real artifact).
+
+#include "fuzz_common.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "catalog/artifact.h"
+#include "catalog/format.h"
+
+namespace {
+
+/// Mirrors the artifact trailer hash (FNV-1a 64) so mutated bodies can be
+/// re-sealed past the checksum gate.
+std::uint64_t Fnv1a64(std::string_view bytes) {
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (char c : bytes) {
+    hash ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view input(reinterpret_cast<const char*>(data), size);
+
+  // Pass 1: the bytes as-is. Most mutants die at the magic/size/checksum
+  // gates — those gates are themselves attack surface (the size arithmetic
+  // must never trust header counts before bounding them).
+  {
+    valmod::catalog::MotifArtifact artifact;
+    (void)valmod::catalog::ParseArtifact(input, "fuzz", &artifact);
+  }
+
+  // Pass 2: strip the 8-byte trailer and re-seal the body with a valid
+  // checksum, so mutated headers, VALMP slots, and length records reach
+  // the structural parser behind the gate.
+  if (input.size() > 8) {
+    std::string sealed(input.substr(0, input.size() - 8));
+    const std::uint64_t checksum = Fnv1a64(sealed);
+    for (int i = 0; i < 8; ++i) {
+      sealed.push_back(static_cast<char>((checksum >> (i * 8)) & 0xffu));
+    }
+    valmod::catalog::MotifArtifact artifact;
+    (void)valmod::catalog::ParseArtifact(sealed, "fuzz-sealed", &artifact);
+  }
+  return 0;
+}
+
+VALMOD_FUZZ_STANDALONE_MAIN()

@@ -19,24 +19,26 @@ Checks (use `--list` to print this table):
                       leak-on-purpose singletons; the codebase owns memory
                       through containers and values.
   core-docs           Every public function declared in src/core,
-                      src/stream, and src/service headers carries a ///
-                      doc comment: src/core is the paper surface
-                      (Algorithms 3-6), src/stream the online API surface,
-                      and src/service the query-protocol surface; each
+                      src/stream, src/service, and src/catalog headers
+                      carries a /// doc comment: src/core is the paper
+                      surface (Algorithms 3-6), src/stream the online API
+                      surface, src/service the query-protocol surface, and
+                      src/catalog the persisted-artifact surface; each
                       entry point must say what it reproduces or
                       guarantees.
   no-float-distance   Distance math is double-only. Eq. 2's admissibility
                       argument relies on the error bounds worked out for
                       64-bit; a stray float silently halves the mantissa.
                       Covers src/core, src/mp, src/signal, src/stream,
-                      src/service (the service serializes distances, so a
-                      float there would corrupt the wire contract too).
+                      src/service, src/catalog (the service and catalog
+                      serialize distances, so a float there would corrupt
+                      the wire and on-disk contracts too).
   no-unbounded-queue  Every std::deque/std::queue member in src/service
-                      must state its capacity bound in an adjacent comment
-                      (within two lines). The service's admission-control
-                      guarantee — backpressure instead of unbounded memory
-                      growth — dies the day someone adds a buffer nobody
-                      bounded.
+                      and src/catalog must state its capacity bound in an
+                      adjacent comment (within two lines). The service's
+                      admission-control guarantee — backpressure instead
+                      of unbounded memory growth — dies the day someone
+                      adds a buffer nobody bounded.
   no-using-namespace  Headers never open namespaces for their includers.
   self-include-first  Every src/<dir>/foo.cc includes "its" header
                       "<dir>/foo.h" first, proving the header is
@@ -47,7 +49,8 @@ Checks (use `--list` to print this table):
                       stage log (docs/OBSERVABILITY.md glossary); a
                       CamelCase or duplicated name breaks trace grouping
                       silently.
-  guarded-by-required In src/service, src/obs, and src/stream, every data
+  guarded-by-required In src/service, src/obs, src/stream, and
+                      src/catalog, every data
                       member of a class or struct that holds a
                       valmod::Mutex/SharedMutex must either carry
                       GUARDED_BY/PT_GUARDED_BY or say why not in a
@@ -74,11 +77,12 @@ import sys
 SRC_DIRS = ("src",)
 HEADER_GUARD_DIRS = ("src", "bench", "tests")
 DISTANCE_MATH_DIRS = ("src/core", "src/mp", "src/signal", "src/stream",
-                      "src/service", "src/obs")
-DOCUMENTED_API_DIRS = ("src/core", "src/stream", "src/service", "src/obs")
-BOUNDED_QUEUE_DIRS = ("src/service",)
+                      "src/service", "src/obs", "src/catalog")
+DOCUMENTED_API_DIRS = ("src/core", "src/stream", "src/service", "src/obs",
+                       "src/catalog")
+BOUNDED_QUEUE_DIRS = ("src/service", "src/catalog")
 SPAN_NAME_DIRS = ("src", "bench", "tests", "examples")
-GUARDED_BY_DIRS = ("src/service", "src/obs", "src/stream")
+GUARDED_BY_DIRS = ("src/service", "src/obs", "src/stream", "src/catalog")
 
 WAIVER_RE = re.compile(r"//\s*lint:\s*allow\(([a-z0-9-]+)\)")
 
